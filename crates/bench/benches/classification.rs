@@ -1,0 +1,46 @@
+//! Benchmarks of the MSDL software path: window classification and
+//! affected-subgraph extraction across window sizes.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use tagnn_graph::classify::classify_window;
+use tagnn_graph::subgraph::AffectedSubgraph;
+use tagnn_graph::{DatasetPreset, Snapshot};
+
+fn bench_classify(c: &mut Criterion) {
+    let g = DatasetPreset::HepPh.config_small(8).generate();
+    let mut group = c.benchmark_group("classify_window");
+    for k in [2usize, 4, 8] {
+        let refs: Vec<&Snapshot> = g.snapshots()[..k].iter().collect();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| classify_window(black_box(&refs)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_extract(c: &mut Criterion) {
+    let g = DatasetPreset::HepPh.config_small(8).generate();
+    let mut group = c.benchmark_group("subgraph_extract");
+    for k in [2usize, 4, 8] {
+        let refs: Vec<&Snapshot> = g.snapshots()[..k].iter().collect();
+        let cls = classify_window(&refs);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| AffectedSubgraph::extract(black_box(&refs), &cls));
+        });
+    }
+    group.finish();
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generate");
+    group.sample_size(10);
+    for ds in [DatasetPreset::Gdelt, DatasetPreset::HepPh] {
+        group.bench_with_input(BenchmarkId::from_parameter(ds.abbrev()), &ds, |b, &ds| {
+            b.iter(|| ds.config_small(4).generate());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_classify, bench_extract, bench_generation);
+criterion_main!(benches);

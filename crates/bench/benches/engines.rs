@@ -1,0 +1,65 @@
+//! Benchmarks of the two inference engines — the snapshot-by-snapshot
+//! reference versus the topology-aware concurrent engine with and without
+//! cell skipping (the software-level Fig. 8 comparison).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tagnn_graph::{DatasetPreset, DynamicGraph};
+use tagnn_models::{
+    ConcurrentEngine, DgnnModel, ModelKind, ReferenceEngine, ReuseMode, SkipConfig,
+};
+
+fn setup() -> (DynamicGraph, DgnnModel) {
+    let g = DatasetPreset::Gdelt.config_small(6).generate();
+    let m = DgnnModel::new(ModelKind::TGcn, g.feature_dim(), 16, 7);
+    (g, m)
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let (g, m) = setup();
+    let mut group = c.benchmark_group("engines");
+    group.sample_size(10);
+    group.bench_function("reference", |b| {
+        let engine = ReferenceEngine::new(m.clone());
+        b.iter(|| engine.run(black_box(&g)));
+    });
+    group.bench_function("concurrent_noskip", |b| {
+        let engine = ConcurrentEngine::with_options(
+            m.clone(),
+            SkipConfig::disabled(),
+            3,
+            ReuseMode::PaperWindow,
+        );
+        b.iter(|| engine.run(black_box(&g)));
+    });
+    group.bench_function("concurrent_skip", |b| {
+        let engine = ConcurrentEngine::with_options(
+            m.clone(),
+            SkipConfig::paper_default(),
+            3,
+            ReuseMode::PaperWindow,
+        );
+        b.iter(|| engine.run(black_box(&g)));
+    });
+    group.bench_function("concurrent_exact", |b| {
+        let engine =
+            ConcurrentEngine::with_options(m.clone(), SkipConfig::disabled(), 3, ReuseMode::Exact);
+        b.iter(|| engine.run(black_box(&g)));
+    });
+    group.finish();
+}
+
+fn bench_window_sizes(c: &mut Criterion) {
+    let (g, m) = setup();
+    let mut group = c.benchmark_group("window_size");
+    group.sample_size(10);
+    for k in [1usize, 2, 3, 6] {
+        group.bench_function(k.to_string(), |b| {
+            let engine = ConcurrentEngine::with_window(m.clone(), SkipConfig::paper_default(), k);
+            b.iter(|| engine.run(black_box(&g)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines, bench_window_sizes);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Fig. 13(b) microbenchmarks: building and scanning the three dynamic
+//! graph formats — O-CSR, per-snapshot CSR replication, and PMA.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tagnn_graph::classify::classify_window;
+use tagnn_graph::multi_csr::MultiCsr;
+use tagnn_graph::pma::Pma;
+use tagnn_graph::subgraph::AffectedSubgraph;
+use tagnn_graph::{DatasetPreset, OCsr, Snapshot};
+
+fn window() -> Vec<Snapshot> {
+    let g = DatasetPreset::Gdelt.config_small(4).generate();
+    g.snapshots().to_vec()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let snaps = window();
+    let refs: Vec<&Snapshot> = snaps.iter().collect();
+    let cls = classify_window(&refs);
+    let sg = AffectedSubgraph::extract(&refs, &cls);
+
+    let mut group = c.benchmark_group("format_build");
+    group.bench_function("ocsr", |b| {
+        b.iter(|| OCsr::from_subgraph(black_box(&refs), &cls, &sg));
+    });
+    group.bench_function("multi_csr", |b| {
+        b.iter(|| MultiCsr::from_window(black_box(&refs)));
+    });
+    group.bench_function("pma", |b| {
+        b.iter(|| {
+            let mut pma = Pma::new();
+            for e in sg.edges() {
+                pma.insert((e.src, e.snapshot, e.dst));
+            }
+            black_box(pma)
+        });
+    });
+    group.finish();
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let snaps = window();
+    let refs: Vec<&Snapshot> = snaps.iter().collect();
+    let cls = classify_window(&refs);
+    let sg = AffectedSubgraph::extract(&refs, &cls);
+    let ocsr = OCsr::from_subgraph(&refs, &cls, &sg);
+    let csr = MultiCsr::from_window(&refs);
+    let mut pma = Pma::new();
+    for e in sg.edges() {
+        pma.insert((e.src, e.snapshot, e.dst));
+    }
+    let sources: Vec<u32> = ocsr.sources().to_vec();
+
+    let mut group = c.benchmark_group("format_scan");
+    group.bench_function("ocsr_neighbors", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &v in &sources {
+                for (u, t) in ocsr.neighbors(v) {
+                    acc += u as u64 + t as u64;
+                }
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("multi_csr_neighbors", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &v in &sources {
+                for t in 0..csr.window() as u32 {
+                    for &u in csr.neighbors_at(v, t) {
+                        acc += u as u64 + t as u64;
+                    }
+                }
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("pma_neighbors", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &v in &sources {
+                for (t, u) in pma.neighbors(v) {
+                    acc += u as u64 + t as u64;
+                }
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_scan);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Microbenchmarks of the arithmetic kernels shared by the engines and the
+//! simulator: dense matmul, cosine similarity, delta condensing, and the
+//! recurrent cell steps.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use tagnn_models::rnn::{RnnCell, RnnKind};
+use tagnn_tensor::similarity::{cosine, CondensedDelta};
+use tagnn_tensor::{init, ops};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for n in [64usize, 128, 256] {
+        let a = init::xavier_uniform(n, n, 1);
+        let b = init::xavier_uniform(n, n, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, _| {
+            bencher.iter(|| ops::matmul(black_box(&a), black_box(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_cosine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cosine");
+    for dim in [64usize, 256, 1024] {
+        let a: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.37).sin()).collect();
+        let b: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.11).cos()).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |bencher, _| {
+            bencher.iter(|| cosine(black_box(&a), black_box(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_condense(c: &mut Criterion) {
+    let mut group = c.benchmark_group("condense");
+    for density in [10usize, 50, 90] {
+        let dim = 512;
+        let dense: Vec<f32> = (0..dim)
+            .map(|i| if i % 100 < density { 0.5 } else { 0.0 })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(density),
+            &density,
+            |bencher, _| {
+                bencher.iter(|| CondensedDelta::from_dense(black_box(&dense), 0.0));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_cell_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cell_step");
+    for (name, kind) in [("lstm", RnnKind::Lstm), ("gru", RnnKind::Gru)] {
+        let cell = RnnCell::new(kind, 64, 64, 7);
+        let x: Vec<f32> = (0..64).map(|i| (i as f32 * 0.21).sin()).collect();
+        group.bench_function(name, |bencher| {
+            let mut state = cell.zero_state();
+            bencher.iter(|| cell.step(black_box(&x), &mut state));
+        });
+    }
+    group.finish();
+}
+
+fn bench_delta_patch(c: &mut Criterion) {
+    let cell = RnnCell::new(RnnKind::Gru, 64, 64, 7);
+    let x0: Vec<f32> = (0..64).map(|i| (i as f32 * 0.21).sin()).collect();
+    let mut x1 = x0.clone();
+    for v in x1.iter_mut().take(8) {
+        *v += 0.1;
+    }
+    let delta = CondensedDelta::from_dense(&ops::sub(&x1, &x0), 0.0);
+    c.bench_function("delta_patch_step", |bencher| {
+        let mut state = cell.zero_state();
+        cell.step(&x0, &mut state);
+        bencher.iter(|| {
+            let mut pre = state.x_pre.clone();
+            cell.patch_preactivation(&mut pre, black_box(&delta));
+            black_box(pre);
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_cosine,
+    bench_condense,
+    bench_cell_step,
+    bench_delta_patch
+);
+criterion_main!(benches);

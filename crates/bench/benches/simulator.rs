@@ -1,0 +1,110 @@
+//! Benchmarks of the accelerator simulator and the baseline platform
+//! models (the machinery behind Figures 9-14).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tagnn_graph::{DatasetPreset, DynamicGraph};
+use tagnn_models::{ModelKind, SkipConfig};
+use tagnn_sim::baselines::{cambricon_dg, cpu_dgl, dgnn_booster, edgcn, gpu_pipad};
+use tagnn_sim::{AcceleratorConfig, TagnnSimulator, Workload};
+
+fn setup() -> (DynamicGraph, Workload) {
+    let g = DatasetPreset::Gdelt.config_small(6).generate();
+    let w = Workload::measure(
+        &g,
+        "GT",
+        ModelKind::TGcn,
+        16,
+        3,
+        SkipConfig::paper_default(),
+        7,
+    );
+    (g, w)
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let (g, w) = setup();
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(20);
+    group.bench_function("tagnn_full", |b| {
+        let sim = TagnnSimulator::new(AcceleratorConfig::tagnn_default());
+        b.iter(|| sim.simulate(black_box(&g), black_box(&w)));
+    });
+    group.bench_function("tagnn_wo_oadl", |b| {
+        let sim = TagnnSimulator::new(AcceleratorConfig::tagnn_default().without_oadl());
+        b.iter(|| sim.simulate(black_box(&g), black_box(&w)));
+    });
+    group.finish();
+}
+
+fn bench_platform_models(c: &mut Criterion) {
+    let (_, w) = setup();
+    let mut group = c.benchmark_group("platform_estimate");
+    for p in [
+        cpu_dgl::dgl_cpu(),
+        gpu_pipad::pipad(),
+        gpu_pipad::tagnn_s(),
+        dgnn_booster::dgnn_booster(),
+        edgcn::edgcn(),
+        cambricon_dg::cambricon_dg(),
+    ] {
+        group.bench_function(p.name.clone(), |b| {
+            b.iter(|| p.estimate(black_box(&w)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_workload_measure(c: &mut Criterion) {
+    let g = DatasetPreset::Gdelt.config_small(6).generate();
+    let mut group = c.benchmark_group("workload_measure");
+    group.sample_size(10);
+    group.bench_function("measure", |b| {
+        b.iter(|| {
+            Workload::measure(
+                black_box(&g),
+                "GT",
+                ModelKind::TGcn,
+                16,
+                3,
+                SkipConfig::paper_default(),
+                7,
+            )
+        });
+    });
+    group.finish();
+}
+
+fn bench_timeline(c: &mut Criterion) {
+    use tagnn_sim::timeline::{simulate_timeline, WindowWork};
+    let windows: Vec<WindowWork> = (0..256)
+        .map(|i| WindowWork {
+            load_cycles: 100 + (i * 13) % 200,
+            msdl_cycles: 20,
+            compute_cycles: 150 + (i * 7) % 100,
+            writeback_cycles: 10,
+        })
+        .collect();
+    c.bench_function("timeline_256_windows", |b| {
+        b.iter(|| simulate_timeline(black_box(&windows)));
+    });
+}
+
+fn bench_event_pipeline(c: &mut Criterion) {
+    use tagnn_sim::event::{simulate_pipeline, StageSpec};
+    let stages: Vec<StageSpec> = (0..6)
+        .map(|i| StageSpec::new(&format!("s{i}"), 4))
+        .collect();
+    c.bench_function("pipeline_6_stages_10k_items", |b| {
+        b.iter(|| simulate_pipeline(black_box(&stages), 10_000, |s, i| 1 + (s as u64 + i) % 4));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_simulator,
+    bench_platform_models,
+    bench_workload_measure,
+    bench_timeline,
+    bench_event_pipeline
+);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! experiments [all | <id>...] [--quick] [--json]
+//!
+//!   all       run every experiment (default)
+//!   <id>      e.g. fig9, table5, fig14a
+//!   --quick   reduced context (2 datasets, 1 model) for smoke runs
+//!   --json    emit one JSON object per experiment instead of text tables
+//! ```
+
+use std::io::Write;
+
+fn main() {
+    let (ids, ctx, json) = tagnn_bench::parse_args(std::env::args().skip(1));
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for id in &ids {
+        let result = tagnn::experiments::run(id, &ctx);
+        let rendered = tagnn_bench::render_results(std::slice::from_ref(&result), json);
+        writeln!(out, "{rendered}").expect("stdout");
+    }
+}

@@ -1,0 +1,229 @@
+//! Command-line front end for the TaGNN library.
+//!
+//! ```text
+//! tagnn-cli run      --dataset GT [--model tgcn] [--snapshots 8] [--window 4]
+//!                    [--hidden 32] [--scale 0.05] [--seed 214] [--no-skip]
+//!                    [--reuse exact|paper] [--file edges.txt]
+//! tagnn-cli simulate <run options> [--dcus 16] [--macs 4096]
+//!                    [--no-oadl] [--no-adsc] [--round-robin]
+//! tagnn-cli info     --dataset GT [--snapshots 8] [--scale 0.05]
+//! tagnn-cli export   --dataset GT --out edges.txt [--snapshots 8]
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use tagnn::prelude::*;
+use tagnn_bench::cli::{dataset_of, model_of, num, parse_flags};
+use tagnn_graph::stats::{degree_stats, unaffected_ratio};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: tagnn-cli <run|simulate|info|export> [--dataset HP|GT|ML|EP|FK] \
+         [--model cdgcn|gclstm|tgcn] [--snapshots N] [--window K] [--hidden H] \
+         [--scale F] [--seed N] [--no-skip] [--reuse exact|paper] [--file edges.txt] \
+         [--dcus N] [--macs N] [--no-oadl] [--no-adsc] [--round-robin] [--out PATH]"
+    );
+    ExitCode::FAILURE
+}
+
+fn build_pipeline(flags: &HashMap<String, String>) -> Result<TagnnPipeline, String> {
+    let snapshots: usize = num(flags, "snapshots", 8)?;
+    let window: usize = num(flags, "window", 4)?;
+    let hidden: usize = num(flags, "hidden", 32)?;
+    let seed: u64 = num(flags, "seed", 0xD6)?;
+    let skip = if flags.contains_key("no-skip") {
+        SkipConfig::disabled()
+    } else {
+        SkipConfig::paper_default()
+    };
+    let reuse = match flags.get("reuse").map(String::as_str).unwrap_or("paper") {
+        "exact" => ReuseMode::Exact,
+        "paper" => ReuseMode::PaperWindow,
+        other => return Err(format!("unknown reuse mode `{other}` (use exact|paper)")),
+    };
+
+    let mut builder = TagnnPipeline::builder()
+        .model(model_of(flags)?)
+        .snapshots(snapshots)
+        .window(window)
+        .hidden(hidden)
+        .seed(seed)
+        .skip(skip)
+        .reuse(reuse);
+
+    if let Some(path) = flags.get("file") {
+        let feature_dim: usize = num(flags, "dim", 32)?;
+        let graph =
+            tagnn_graph::io::load_temporal_edge_list(path, snapshots, window, feature_dim, seed)
+                .map_err(|e| format!("loading {path}: {e}"))?;
+        return Ok(TagnnPipeline::from_graph(
+            graph,
+            path,
+            model_of(flags)?,
+            hidden,
+            window,
+            skip,
+            reuse,
+            seed,
+        ));
+    }
+
+    builder = builder
+        .dataset(dataset_of(flags)?)
+        .scale(num(flags, "scale", 0.05)?);
+    Ok(builder.build())
+}
+
+fn print_run_summary(
+    reference: &tagnn_models::InferenceOutput,
+    concurrent: &tagnn_models::InferenceOutput,
+) {
+    let r = &reference.stats;
+    let c = &concurrent.stats;
+    println!("snapshots processed: {}", reference.final_features.len());
+    println!(
+        "feature rows loaded : {} -> {} ({:.1}% saved)",
+        r.feature_rows_loaded,
+        c.feature_rows_loaded,
+        100.0 * (1.0 - c.feature_rows_loaded as f64 / r.feature_rows_loaded.max(1) as f64)
+    );
+    println!(
+        "total MACs          : {} -> {} ({:.1}% saved)",
+        r.total_macs(),
+        c.total_macs(),
+        100.0 * (1.0 - c.total_macs() as f64 / r.total_macs().max(1) as f64)
+    );
+    println!(
+        "cell updates        : {} full / {} delta / {} skipped (skip ratio {:.1}%)",
+        c.skip.normal,
+        c.skip.delta,
+        c.skip.skipped,
+        100.0 * c.skip.skip_ratio()
+    );
+    println!(
+        "max |H_ref - H_conc|: {:.5}",
+        reference.max_final_feature_diff(concurrent)
+    );
+}
+
+fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
+    let p = build_pipeline(flags)?;
+    println!(
+        "dataset {} | {} vertices, {} edges, {} snapshots, D={}",
+        p.name(),
+        p.graph().num_vertices(),
+        p.graph().snapshot(0).num_edges(),
+        p.graph().num_snapshots(),
+        p.graph().feature_dim()
+    );
+    let reference = p.run_reference();
+    let concurrent = p.run_concurrent();
+    print_run_summary(&reference, &concurrent);
+    Ok(())
+}
+
+fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let p = build_pipeline(flags)?;
+    let mut cfg = AcceleratorConfig::tagnn_default();
+    if let Some(d) = flags.get("dcus") {
+        cfg = cfg.with_dcus(d.parse().map_err(|_| "--dcus: bad value".to_string())?);
+    }
+    if let Some(m) = flags.get("macs") {
+        cfg = cfg.with_macs(m.parse().map_err(|_| "--macs: bad value".to_string())?);
+    }
+    if flags.contains_key("no-oadl") {
+        cfg = cfg.without_oadl();
+    }
+    if flags.contains_key("no-adsc") {
+        cfg = cfg.without_adsc();
+    }
+    if flags.contains_key("round-robin") {
+        cfg = cfg.without_balanced_dispatch();
+    }
+    let r = p.simulate(&cfg);
+    println!("configuration : {}", r.name);
+    println!("cycles        : {}", r.cycles);
+    println!("time          : {:.4} ms", r.time_ms);
+    println!("DRAM traffic  : {:.3} MB", r.dram.total() as f64 / 1e6);
+    println!("energy        : {:.3} mJ", r.energy_mj);
+    println!("DCU util      : {:.1}%", 100.0 * r.dispatch_utilization);
+    println!(
+        "breakdown     : msdl={} agg={} comb={} rnn={} arnn={} dram={}",
+        r.breakdown.msdl,
+        r.breakdown.aggregation,
+        r.breakdown.combination,
+        r.breakdown.rnn,
+        r.breakdown.arnn,
+        r.breakdown.dram
+    );
+    println!(
+        "pipeline      : compute stalls={} cycles, memory idle={} cycles",
+        r.compute_stall_cycles, r.memory_idle_cycles
+    );
+    Ok(())
+}
+
+fn cmd_info(flags: &HashMap<String, String>) -> Result<(), String> {
+    let p = build_pipeline(flags)?;
+    let g = p.graph();
+    println!("dataset {}", p.name());
+    println!("vertices      : {}", g.num_vertices());
+    println!("feature dim   : {}", g.feature_dim());
+    println!("snapshots     : {}", g.num_snapshots());
+    for t in 0..g.num_snapshots().min(4) {
+        let d = degree_stats(g.snapshot(t));
+        println!(
+            "  snapshot {t}: {} edges, mean degree {:.2}, max {}, isolated {}",
+            g.snapshot(t).num_edges(),
+            d.mean,
+            d.max,
+            d.isolated
+        );
+    }
+    for k in [2usize, 3, 4] {
+        println!(
+            "unaffected ratio @ window {k}: {:.1}%",
+            100.0 * unaffected_ratio(g, k)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_export(flags: &HashMap<String, String>) -> Result<(), String> {
+    let p = build_pipeline(flags)?;
+    let out = flags.get("out").ok_or("--out is required for export")?;
+    let file = std::fs::File::create(out).map_err(|e| format!("creating {out}: {e}"))?;
+    let written =
+        tagnn_graph::io::write_temporal_edge_list(p.graph(), std::io::BufWriter::new(file))
+            .map_err(|e| format!("writing {out}: {e}"))?;
+    println!("wrote {written} edges to {out}");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        return usage();
+    };
+    let flags = match parse_flags(rest) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    let result = match cmd.as_str() {
+        "run" => cmd_run(&flags),
+        "simulate" => cmd_simulate(&flags),
+        "info" => cmd_info(&flags),
+        "export" => cmd_export(&flags),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

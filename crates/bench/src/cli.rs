@@ -1,0 +1,128 @@
+//! Flag parsing and option resolution shared by the `tagnn-cli` binary.
+
+use std::collections::HashMap;
+use tagnn::prelude::*;
+
+/// Bare boolean flags accepted by the CLI.
+pub const BOOLEAN_FLAGS: [&str; 4] = ["no-skip", "no-oadl", "no-adsc", "round-robin"];
+
+/// Minimal flag parser: `--key value` pairs plus bare boolean flags.
+pub fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        let Some(key) = a.strip_prefix("--") else {
+            return Err(format!("unexpected argument `{a}`"));
+        };
+        if BOOLEAN_FLAGS.contains(&key) {
+            flags.insert(key.to_string(), "true".to_string());
+            i += 1;
+        } else {
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("--{key} needs a value"))?;
+            flags.insert(key.to_string(), value.clone());
+            i += 2;
+        }
+    }
+    Ok(flags)
+}
+
+/// Resolves `--dataset` (default GT).
+pub fn dataset_of(flags: &HashMap<String, String>) -> Result<DatasetPreset, String> {
+    match flags.get("dataset").map(String::as_str).unwrap_or("GT") {
+        "HP" => Ok(DatasetPreset::HepPh),
+        "GT" => Ok(DatasetPreset::Gdelt),
+        "ML" => Ok(DatasetPreset::MovieLens),
+        "EP" => Ok(DatasetPreset::Epinions),
+        "FK" => Ok(DatasetPreset::Flickr),
+        other => Err(format!("unknown dataset `{other}` (use HP|GT|ML|EP|FK)")),
+    }
+}
+
+/// Resolves `--model` (default tgcn).
+pub fn model_of(flags: &HashMap<String, String>) -> Result<ModelKind, String> {
+    match flags.get("model").map(String::as_str).unwrap_or("tgcn") {
+        "cdgcn" => Ok(ModelKind::CdGcn),
+        "gclstm" => Ok(ModelKind::GcLstm),
+        "tgcn" => Ok(ModelKind::TGcn),
+        other => Err(format!("unknown model `{other}` (use cdgcn|gclstm|tgcn)")),
+    }
+}
+
+/// Parses a numeric flag with a default.
+pub fn num<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{key}: cannot parse `{v}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_key_value_pairs() {
+        let f = parse_flags(&args(&["--dataset", "HP", "--window", "3"])).unwrap();
+        assert_eq!(f["dataset"], "HP");
+        assert_eq!(f["window"], "3");
+    }
+
+    #[test]
+    fn parses_boolean_flags_without_values() {
+        let f = parse_flags(&args(&["--no-skip", "--dataset", "ML", "--round-robin"])).unwrap();
+        assert_eq!(f["no-skip"], "true");
+        assert_eq!(f["round-robin"], "true");
+        assert_eq!(f["dataset"], "ML");
+    }
+
+    #[test]
+    fn rejects_missing_value() {
+        assert!(parse_flags(&args(&["--window"])).is_err());
+    }
+
+    #[test]
+    fn rejects_bare_positional() {
+        assert!(parse_flags(&args(&["oops"])).is_err());
+    }
+
+    #[test]
+    fn dataset_and_model_resolution() {
+        let f = parse_flags(&args(&["--dataset", "FK", "--model", "cdgcn"])).unwrap();
+        assert_eq!(dataset_of(&f).unwrap(), DatasetPreset::Flickr);
+        assert_eq!(model_of(&f).unwrap(), ModelKind::CdGcn);
+        // Defaults.
+        let empty = HashMap::new();
+        assert_eq!(dataset_of(&empty).unwrap(), DatasetPreset::Gdelt);
+        assert_eq!(model_of(&empty).unwrap(), ModelKind::TGcn);
+    }
+
+    #[test]
+    fn rejects_unknown_enum_values() {
+        let f = parse_flags(&args(&["--dataset", "XX"])).unwrap();
+        assert!(dataset_of(&f).is_err());
+        let f = parse_flags(&args(&["--model", "rnn"])).unwrap();
+        assert!(model_of(&f).is_err());
+    }
+
+    #[test]
+    fn numeric_defaults_and_errors() {
+        let f = parse_flags(&args(&["--window", "5"])).unwrap();
+        assert_eq!(num::<usize>(&f, "window", 4).unwrap(), 5);
+        assert_eq!(num::<usize>(&f, "hidden", 32).unwrap(), 32);
+        let bad = parse_flags(&args(&["--window", "five"])).unwrap();
+        assert!(num::<usize>(&bad, "window", 4).is_err());
+    }
+}

@@ -1,0 +1,138 @@
+#![warn(missing_docs)]
+
+//! Benchmark harness support for TaGNN.
+//!
+//! The `experiments` binary regenerates every table and figure of the
+//! paper (see `tagnn::experiments`); the Criterion benches under
+//! `benches/` measure the library's own kernels (formats, classification,
+//! engines, simulator).
+
+pub mod cli;
+
+use tagnn::experiments::{ExperimentContext, ExperimentResult};
+
+/// Parses harness CLI arguments into (experiment ids, context, json flag).
+///
+/// Grammar:
+/// `experiments [all | <id>...] [--quick] [--json] [--scale F] [--hidden N]
+/// [--window K] [--snapshots N] [--seed N]`.
+pub fn parse_args<I: Iterator<Item = String>>(args: I) -> (Vec<String>, ExperimentContext, bool) {
+    let mut ids: Vec<String> = Vec::new();
+    let mut quick = false;
+    let mut json = false;
+    let mut overrides: Vec<(String, String)> = Vec::new();
+    let mut iter = args.peekable();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--json" => json = true,
+            key @ ("--scale" | "--hidden" | "--window" | "--snapshots" | "--seed") => {
+                let value = iter.next().unwrap_or_else(|| {
+                    eprintln!("error: {key} needs a value");
+                    std::process::exit(2);
+                });
+                overrides.push((key.trim_start_matches('-').to_string(), value));
+            }
+            "all" => ids.extend(
+                tagnn::experiments::ALL_EXPERIMENTS
+                    .iter()
+                    .map(|s| s.to_string()),
+            ),
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        ids.extend(
+            tagnn::experiments::ALL_EXPERIMENTS
+                .iter()
+                .map(|s| s.to_string()),
+        );
+    }
+    let mut ctx = if quick {
+        ExperimentContext::quick()
+    } else {
+        ExperimentContext::default()
+    };
+    for (key, value) in overrides {
+        fn fail(k: &str, v: &str) -> ! {
+            eprintln!("error: --{k}: cannot parse `{v}`");
+            std::process::exit(2);
+        }
+        match key.as_str() {
+            "scale" => ctx.scale = value.parse().unwrap_or_else(|_| fail("scale", &value)),
+            "hidden" => ctx.hidden = value.parse().unwrap_or_else(|_| fail("hidden", &value)),
+            "window" => ctx.window = value.parse().unwrap_or_else(|_| fail("window", &value)),
+            "snapshots" => {
+                ctx.snapshots = value.parse().unwrap_or_else(|_| fail("snapshots", &value))
+            }
+            "seed" => ctx.seed = value.parse().unwrap_or_else(|_| fail("seed", &value)),
+            _ => unreachable!(),
+        }
+    }
+    (ids, ctx, json)
+}
+
+/// Renders a batch of results, as text or JSON lines.
+pub fn render_results(results: &[ExperimentResult], json: bool) -> String {
+    if json {
+        results
+            .iter()
+            .map(|r| serde_json::to_string(r).expect("results serialise"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    } else {
+        results
+            .iter()
+            .map(ExperimentResult::render)
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_args_select_all() {
+        let (ids, _, json) = parse_args(std::iter::empty());
+        assert_eq!(ids.len(), tagnn::experiments::ALL_EXPERIMENTS.len());
+        assert!(!json);
+    }
+
+    #[test]
+    fn quick_flag_shrinks_context() {
+        let (_, ctx, _) = parse_args(vec!["--quick".to_string()].into_iter());
+        assert_eq!(ctx.models.len(), 1);
+    }
+
+    #[test]
+    fn explicit_ids_pass_through() {
+        let (ids, _, json) = parse_args(vec!["fig9".to_string(), "--json".to_string()].into_iter());
+        assert_eq!(ids, vec!["fig9"]);
+        assert!(json);
+    }
+
+    #[test]
+    fn context_overrides_apply() {
+        let (_, ctx, _) = parse_args(
+            vec![
+                "--quick", "--scale", "0.1", "--hidden", "24", "--window", "2",
+            ]
+            .into_iter()
+            .map(String::from),
+        );
+        assert_eq!(ctx.scale, 0.1);
+        assert_eq!(ctx.hidden, 24);
+        assert_eq!(ctx.window, 2);
+    }
+
+    #[test]
+    fn render_json_is_parseable() {
+        let ctx = ExperimentContext::quick();
+        let r = vec![tagnn::experiments::run("table4", &ctx)];
+        let out = render_results(&r, true);
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["id"], "table4");
+    }
+}

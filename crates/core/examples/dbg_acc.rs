@@ -1,0 +1,47 @@
+use tagnn::prelude::*;
+use tagnn_models::accuracy::*;
+use tagnn_models::approx::*;
+fn main() {
+    for (scale, snaps, win, hidden) in [(0.02, 16usize, 3usize, 12usize), (0.05, 16, 4, 32)] {
+        let p = TagnnPipeline::builder()
+            .dataset(DatasetPreset::Gdelt)
+            .model(ModelKind::TGcn)
+            .snapshots(snaps)
+            .window(win)
+            .hidden(hidden)
+            .scale(scale)
+            .build();
+        let exact = p.run_reference();
+        let last = exact.final_features.len() - 1;
+        let task = EvalTask::new(&exact.final_features[last], 0.814, 0xD6);
+        println!(
+            "scale={scale} base={:.3}",
+            task.accuracy(&exact.final_features[last])
+        );
+        for (name, skip, reuse) in [
+            ("exact+skip", SkipConfig::paper_default(), ReuseMode::Exact),
+            (
+                "paper+noskip",
+                SkipConfig::disabled(),
+                ReuseMode::PaperWindow,
+            ),
+            (
+                "paper+skip",
+                SkipConfig::paper_default(),
+                ReuseMode::PaperWindow,
+            ),
+        ] {
+            let out =
+                ConcurrentEngine::with_options(p.model().clone(), skip, win, reuse).run(p.graph());
+            println!(
+                "  {name}: acc={:.3} skip={:.2}",
+                task.accuracy(&out.final_features[last]),
+                out.stats.skip.skip_ratio()
+            );
+        }
+        for m in ApproxMethod::paper_variants() {
+            let hs = run_approx_rnn(p.model(), p.graph(), &exact.gnn_outputs, m);
+            println!("  {}: acc={:.3}", m.name(), task.accuracy(&hs[last]));
+        }
+    }
+}

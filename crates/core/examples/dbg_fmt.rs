@@ -1,0 +1,40 @@
+use tagnn::prelude::*;
+use tagnn_graph::classify::classify_window;
+use tagnn_graph::multi_csr::MultiCsr;
+use tagnn_graph::subgraph::AffectedSubgraph;
+use tagnn_graph::types::VertexClass;
+fn main() {
+    let p = TagnnPipeline::builder()
+        .dataset(DatasetPreset::Gdelt)
+        .model(ModelKind::TGcn)
+        .snapshots(6)
+        .window(3)
+        .hidden(12)
+        .scale(0.02)
+        .build();
+    let g = p.graph();
+    println!(
+        "n={} e={} dim={}",
+        g.num_vertices(),
+        g.snapshot(0).num_edges(),
+        g.feature_dim()
+    );
+    for batch in g.batches(3) {
+        let refs: Vec<&Snapshot> = batch.iter().collect();
+        let cls = classify_window(&refs);
+        let sg = AffectedSubgraph::extract(&refs, &cls);
+        let ocsr = OCsr::from_subgraph(&refs, &cls, &sg);
+        let csr = MultiCsr::from_window(&refs);
+        let un = cls.count(VertexClass::Unaffected);
+        let st = cls.count(VertexClass::Stable);
+        let af = cls.count(VertexClass::Affected);
+        println!(
+            "un={un} st={st} af={af} | sgV={} sgE={} featrows={} | ocsr={}B csr={}B",
+            sg.num_vertices(),
+            sg.num_edges(),
+            ocsr.num_feature_rows(),
+            ocsr.storage_bytes(),
+            csr.storage_bytes()
+        );
+    }
+}

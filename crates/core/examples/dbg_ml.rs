@@ -1,0 +1,55 @@
+use tagnn::prelude::*;
+use tagnn_models::accuracy::*;
+use tagnn_tensor::similarity::cosine;
+fn main() {
+    let ctx_hidden = 48;
+    let window = 4;
+    let p = TagnnPipeline::builder()
+        .dataset(DatasetPreset::MovieLens)
+        .model(ModelKind::GcLstm)
+        .snapshots(16)
+        .window(window)
+        .hidden(ctx_hidden)
+        .scale(0.05)
+        .reuse(ReuseMode::Exact)
+        .build();
+    let exact = p.run_reference();
+    let total = exact.final_features.len();
+    let out = p.run_concurrent();
+    println!(
+        "skip: {:?} ratio={:.2}",
+        out.stats.skip,
+        out.stats.skip.skip_ratio()
+    );
+    for t in [total - 4, total - 2, total - 1] {
+        let a = &exact.final_features[t];
+        let b = &out.final_features[t];
+        let mut sim = 0.0;
+        let mut maxd = 0f32;
+        for v in 0..a.rows() {
+            sim += cosine(a.row(v), b.row(v)) as f64;
+            maxd = maxd.max(
+                a.row(v)
+                    .iter()
+                    .zip(b.row(v))
+                    .map(|(x, y)| (x - y).abs())
+                    .fold(0.0f32, f32::max),
+            );
+        }
+        println!(
+            "t={t}: mean_cos={:.4} maxdiff={:.3}",
+            sim / a.rows() as f64,
+            maxd
+        );
+    }
+    // mean |h| magnitude
+    let h = &exact.final_features[total - 1];
+    let mag: f32 = h.as_slice().iter().map(|v| v.abs()).sum::<f32>() / h.as_slice().len() as f32;
+    println!("mean |h| = {mag:.4}");
+    let task = EvalTask::new(&exact.final_features[total - 1], 0.912, 0xD6);
+    println!(
+        "acc exact={:.3} tagnn={:.3}",
+        task.accuracy(&exact.final_features[total - 1]),
+        task.accuracy(&out.final_features[total - 1])
+    );
+}

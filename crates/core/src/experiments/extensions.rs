@@ -1,0 +1,270 @@
+//! Beyond-paper extension studies.
+//!
+//! These do not correspond to a table or figure in the paper; they probe
+//! design choices the paper leaves implicit:
+//!
+//! * `extA` — exact versus window-granularity GNN reuse: what the paper's
+//!   reuse approximation buys (loads/compute) and costs (output error);
+//! * `extB` — Condense-Unit tolerance sweep: how lossy deltas trade RNN
+//!   MACs against output fidelity;
+//! * `extC` — pipeline boundedness: where the accelerator sits between
+//!   memory- and compute-bound as HBM bandwidth scales;
+//! * `extD` — MSDL stage balance: why the paper replicates the
+//!   `Fetch_Neighbors`/`Fetch_Features` units (§4.1), shown on the real
+//!   degree distribution with a finite-FIFO pipeline simulation.
+
+use crate::experiments::{ExperimentContext, ExperimentResult};
+use crate::report::{fmt_f, fmt_pct, TextTable};
+use std::collections::BTreeMap;
+use tagnn_models::{ConcurrentEngine, ModelKind, ReuseMode, SkipConfig};
+use tagnn_sim::{AcceleratorConfig, TagnnSimulator};
+
+/// extA: exact vs window-granularity GNN reuse (T-GCN, skipping off so the
+/// comparison isolates the GNN side).
+pub fn ext_a(ctx: &ExperimentContext) -> ExperimentResult {
+    let mut table = TextTable::new(vec![
+        "Dataset",
+        "Loads (exact)",
+        "Loads (paper)",
+        "GNN MACs saved (exact)",
+        "GNN MACs saved (paper)",
+        "Max output error (paper)",
+    ]);
+    let mut metrics = BTreeMap::new();
+    for &ds in &ctx.datasets {
+        let p = ctx.pipeline(ds, ModelKind::TGcn);
+        let reference = p.run_reference();
+        let run = |mode| {
+            ConcurrentEngine::with_options(
+                p.model().clone(),
+                SkipConfig::disabled(),
+                ctx.window,
+                mode,
+            )
+            .run(p.graph())
+        };
+        let exact = run(ReuseMode::Exact);
+        let paper = run(ReuseMode::PaperWindow);
+        let ref_macs =
+            (reference.stats.gnn_aggregate_macs + reference.stats.gnn_combine_macs) as f64;
+        let saved = |out: &tagnn_models::InferenceOutput| {
+            1.0 - (out.stats.gnn_aggregate_macs + out.stats.gnn_combine_macs) as f64 / ref_macs
+        };
+        let err = reference.max_final_feature_diff(&paper);
+        table.row(vec![
+            ds.abbrev().to_string(),
+            exact.stats.feature_rows_loaded.to_string(),
+            paper.stats.feature_rows_loaded.to_string(),
+            fmt_pct(saved(&exact)),
+            fmt_pct(saved(&paper)),
+            format!("{err:.4}"),
+        ]);
+        metrics.insert(format!("exact_saved_{}", ds.abbrev()), saved(&exact));
+        metrics.insert(format!("paper_saved_{}", ds.abbrev()), saved(&paper));
+        metrics.insert(format!("paper_err_{}", ds.abbrev()), err as f64);
+        metrics.insert(
+            format!("exact_loads_{}", ds.abbrev()),
+            exact.stats.feature_rows_loaded as f64,
+        );
+        metrics.insert(
+            format!("paper_loads_{}", ds.abbrev()),
+            paper.stats.feature_rows_loaded as f64,
+        );
+    }
+    ExperimentResult {
+        id: "extA".into(),
+        title: "Extension: exact vs window-granularity GNN reuse (T-GCN, no skipping)".into(),
+        table,
+        metrics,
+    }
+}
+
+/// extB: Condense-Unit delta tolerance sweep (T-GCN, delta-only band so
+/// every scored vertex takes the delta path).
+pub fn ext_b(ctx: &ExperimentContext) -> ExperimentResult {
+    let ds = *ctx.datasets.last().expect("at least one dataset");
+    let p = ctx.pipeline(ds, ModelKind::TGcn);
+    let reference = p.run_reference();
+    let mut table = TextTable::new(vec![
+        "Tolerance",
+        "Delta updates",
+        "RNN MACs (vs full)",
+        "Max output error",
+    ]);
+    let mut metrics = BTreeMap::new();
+    let full_macs = reference.stats.rnn_macs as f64;
+    for (i, tol) in [0.0f32, 0.001, 0.01, 0.05, 0.1].into_iter().enumerate() {
+        let skip = SkipConfig {
+            theta_s: -1.0,
+            theta_e: 1.0,
+            delta_tolerance: tol,
+            enabled: true,
+        };
+        let out =
+            ConcurrentEngine::with_options(p.model().clone(), skip, ctx.window, ReuseMode::Exact)
+                .run(p.graph());
+        let err = reference.max_final_feature_diff(&out);
+        let mac_frac = out.stats.rnn_macs as f64 / full_macs;
+        table.row(vec![
+            format!("{tol}"),
+            out.stats.skip.delta.to_string(),
+            fmt_pct(mac_frac),
+            format!("{err:.5}"),
+        ]);
+        metrics.insert(format!("mac_frac_{i}"), mac_frac);
+        metrics.insert(format!("err_{i}"), err as f64);
+    }
+    ExperimentResult {
+        id: "extB".into(),
+        title: format!("Extension: Condense-Unit tolerance sweep ({})", ds.abbrev()),
+        table,
+        metrics,
+    }
+}
+
+/// extC: memory- vs compute-boundedness as HBM bandwidth scales.
+pub fn ext_c(ctx: &ExperimentContext) -> ExperimentResult {
+    let ds = *ctx.datasets.first().expect("at least one dataset");
+    let p = ctx.pipeline(ds, ModelKind::TGcn);
+    let mut table = TextTable::new(vec![
+        "HBM bandwidth",
+        "Time (ms)",
+        "Compute stall",
+        "Memory idle",
+        "Bound",
+    ]);
+    let mut metrics = BTreeMap::new();
+    for (i, scale) in [0.25f64, 0.5, 1.0, 2.0, 4.0].into_iter().enumerate() {
+        let mut cfg = AcceleratorConfig::tagnn_default();
+        cfg.hbm_bandwidth *= scale;
+        cfg.name = format!("TaGNN@{scale}x BW");
+        let r = TagnnSimulator::new(cfg).simulate(p.graph(), p.workload());
+        let stall = r.compute_stall_cycles as f64 / r.cycles.max(1) as f64;
+        let idle = r.memory_idle_cycles as f64 / r.cycles.max(1) as f64;
+        let bound = if stall > idle { "memory" } else { "compute" };
+        table.row(vec![
+            format!("{scale}x"),
+            fmt_f(r.time_ms),
+            fmt_pct(stall),
+            fmt_pct(idle),
+            bound.to_string(),
+        ]);
+        metrics.insert(format!("time_{i}"), r.time_ms);
+        metrics.insert(format!("stall_{i}"), stall);
+    }
+    ExperimentResult {
+        id: "extC".into(),
+        title: format!(
+            "Extension: memory/compute boundedness vs HBM bandwidth ({})",
+            ds.abbrev()
+        ),
+        table,
+        metrics,
+    }
+}
+
+/// extD: MSDL classification-pipeline balance as the fetch units are
+/// replicated, simulated with finite inter-stage FIFOs over the actual
+/// degree distribution.
+pub fn ext_d(ctx: &ExperimentContext) -> ExperimentResult {
+    use tagnn_sim::msdl::detailed_classification;
+    let ds = *ctx.datasets.first().expect("at least one dataset");
+    let p = ctx.pipeline(ds, ModelKind::TGcn);
+    let snap0 = p.graph().snapshot(0);
+    let degrees: Vec<usize> = (0..p.graph().num_vertices() as u32)
+        .map(|v| snap0.csr().degree(v))
+        .collect();
+    let feature_words = p.graph().feature_dim();
+
+    let mut table = TextTable::new(vec![
+        "Fetch replication",
+        "Cycles",
+        "Speedup",
+        "Bottleneck stage",
+        "Bottleneck utilisation",
+    ]);
+    let mut metrics = BTreeMap::new();
+    let mut base = None;
+    for (i, replication) in [1usize, 2, 4, 8, 16].into_iter().enumerate() {
+        let r = detailed_classification(&degrees, ctx.window, feature_words, replication);
+        let b = *base.get_or_insert(r.total_cycles.max(1));
+        let bottleneck = r.bottleneck().expect("stages exist");
+        let util = bottleneck.busy_cycles as f64 / r.total_cycles.max(1) as f64;
+        table.row(vec![
+            format!("{replication}x"),
+            r.total_cycles.to_string(),
+            fmt_f(b as f64 / r.total_cycles.max(1) as f64),
+            bottleneck.name.clone(),
+            fmt_pct(util),
+        ]);
+        metrics.insert(format!("cycles_{i}"), r.total_cycles as f64);
+        metrics.insert(format!("util_{i}"), util);
+    }
+    ExperimentResult {
+        id: "extD".into(),
+        title: format!(
+            "Extension: MSDL classification-pipeline balance ({})",
+            ds.abbrev()
+        ),
+        table,
+        metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> ExperimentContext {
+        ExperimentContext::quick()
+    }
+
+    #[test]
+    fn ext_d_replication_helps_then_saturates() {
+        let r = ext_d(&ctx());
+        assert!(
+            r.metric("cycles_2") < r.metric("cycles_0"),
+            "replication must speed the pipeline"
+        );
+        // Diminishing returns: the last doubling helps less than the first.
+        let first = r.metric("cycles_0") / r.metric("cycles_1");
+        let last = r.metric("cycles_3") / r.metric("cycles_4");
+        assert!(last <= first + 1e-9);
+    }
+
+    #[test]
+    fn ext_a_paper_mode_reuses_at_least_as_much() {
+        let r = ext_a(&ctx());
+        for ds in &ctx().datasets {
+            let a = r.metric(&format!("paper_saved_{}", ds.abbrev()));
+            let b = r.metric(&format!("exact_saved_{}", ds.abbrev()));
+            assert!(
+                a + 1e-9 >= b,
+                "{}: paper reuse must save at least as much",
+                ds.abbrev()
+            );
+            assert!(
+                r.metric(&format!("paper_loads_{}", ds.abbrev()))
+                    <= r.metric(&format!("exact_loads_{}", ds.abbrev())) + 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn ext_b_tolerance_trades_macs_for_error() {
+        let r = ext_b(&ctx());
+        // More tolerance -> fewer MACs, more error.
+        assert!(r.metric("mac_frac_4") <= r.metric("mac_frac_0") + 1e-9);
+        assert!(r.metric("err_4") >= r.metric("err_0") - 1e-9);
+        // Zero tolerance is exact.
+        assert!(r.metric("err_0") < 1e-3, "lossless deltas must be exact");
+    }
+
+    #[test]
+    fn ext_c_more_bandwidth_never_slower() {
+        let r = ext_c(&ctx());
+        assert!(r.metric("time_4") <= r.metric("time_0") + 1e-9);
+        // Stalls shrink as bandwidth grows.
+        assert!(r.metric("stall_4") <= r.metric("stall_0") + 1e-9);
+    }
+}

@@ -1,0 +1,352 @@
+//! The headline performance comparisons: Figures 8(a–b), 9, 10, and 11.
+
+use crate::experiments::{ExperimentContext, ExperimentResult};
+use crate::report::{fmt_f, fmt_pct, fmt_x, TextTable};
+use std::collections::BTreeMap;
+use tagnn_models::ModelKind;
+use tagnn_sim::baselines::{cambricon_dg, cpu_dgl, dgnn_booster, edgcn, gpu_pipad};
+use tagnn_sim::{AcceleratorConfig, TagnnSimulator};
+
+/// Fig. 8(a): TaGNN-S versus the software systems with time decomposed
+/// into memory access, computation, and runtime overhead (T-GCN,
+/// window 4), normalised to DGL-CPU.
+pub fn fig8a(ctx: &ExperimentContext) -> ExperimentResult {
+    let mut table = TextTable::new(vec![
+        "Dataset",
+        "System",
+        "Total (norm.)",
+        "Memory",
+        "Compute",
+        "Overhead",
+    ]);
+    let mut metrics = BTreeMap::new();
+    for &ds in &ctx.datasets {
+        let p = ctx.pipeline(ds, ModelKind::TGcn);
+        let w = p.workload();
+        let base = cpu_dgl::dgl_cpu().estimate(w).time_ms;
+        for platform in [
+            cpu_dgl::dgl_cpu(),
+            gpu_pipad::pygt(),
+            gpu_pipad::cacheg(),
+            gpu_pipad::esdg(),
+            gpu_pipad::pipad(),
+            gpu_pipad::tagnn_s(),
+        ] {
+            let r = platform.estimate(w);
+            let raw = r.memory_ms + r.compute_ms + r.overhead_ms;
+            table.row(vec![
+                ds.abbrev().to_string(),
+                platform.name.clone(),
+                fmt_f(r.time_ms / base),
+                fmt_pct(r.memory_ms / raw),
+                fmt_pct(r.compute_ms / raw),
+                fmt_pct(r.overhead_ms / raw),
+            ]);
+            metrics.insert(
+                format!("{}_{}_norm", platform.name, ds.abbrev()),
+                r.time_ms / base,
+            );
+            if platform.name == "TaGNN-S" {
+                metrics.insert(
+                    format!("tagnn_s_overhead_{}", ds.abbrev()),
+                    r.overhead_ms / raw,
+                );
+            }
+        }
+    }
+    ExperimentResult {
+        id: "fig8a".into(),
+        title: "TaGNN-S vs software systems, time decomposed (T-GCN, K=4)".into(),
+        table,
+        metrics,
+    }
+}
+
+/// Fig. 8(b): memory-access breakdown — redundant-access and unnecessary-
+/// computation reductions of TaGNN-S versus the snapshot-by-snapshot
+/// pattern (T-GCN).
+pub fn fig8b(ctx: &ExperimentContext) -> ExperimentResult {
+    let mut table = TextTable::new(vec![
+        "Dataset",
+        "Redundant access reduction",
+        "Unnecessary compute reduction",
+        "RNN update reduction",
+    ]);
+    let mut metrics = BTreeMap::new();
+    for &ds in &ctx.datasets {
+        let p = ctx.pipeline(ds, ModelKind::TGcn);
+        let w = p.workload();
+        let access = 1.0
+            - w.concurrent.feature_rows_loaded as f64
+                / w.reference.feature_rows_loaded.max(1) as f64;
+        let gnn = 1.0
+            - (w.concurrent.gnn_aggregate_macs + w.concurrent.gnn_combine_macs) as f64
+                / (w.reference.gnn_aggregate_macs + w.reference.gnn_combine_macs).max(1) as f64;
+        let rnn = 1.0 - w.concurrent.rnn_macs as f64 / w.reference.rnn_macs.max(1) as f64;
+        table.row(vec![
+            ds.abbrev().to_string(),
+            fmt_pct(access),
+            fmt_pct(gnn),
+            fmt_pct(rnn),
+        ]);
+        metrics.insert(format!("access_red_{}", ds.abbrev()), access);
+        metrics.insert(format!("gnn_red_{}", ds.abbrev()), gnn);
+        metrics.insert(format!("rnn_red_{}", ds.abbrev()), rnn);
+    }
+    ExperimentResult {
+        id: "fig8b".into(),
+        title: "Memory-access and computation reductions of TaGNN-S (T-GCN)".into(),
+        table,
+        metrics,
+    }
+}
+
+/// Fig. 9: comparative performance of DGL-CPU, PiPAD, TaGNN-S, and TaGNN,
+/// reported as speedup over DGL-CPU for all models and datasets plus the
+/// average.
+pub fn fig9(ctx: &ExperimentContext) -> ExperimentResult {
+    let mut table = TextTable::new(vec![
+        "Model",
+        "Dataset",
+        "PiPAD",
+        "TaGNN-S",
+        "TaGNN",
+        "TaGNN vs PiPAD",
+    ]);
+    let mut metrics = BTreeMap::new();
+    let sim = TagnnSimulator::new(AcceleratorConfig::tagnn_default());
+    let (mut sum_cpu, mut sum_gpu, mut count) = (0.0, 0.0, 0);
+    for &model in &ctx.models {
+        for &ds in &ctx.datasets {
+            let p = ctx.pipeline(ds, model);
+            let w = p.workload();
+            let cpu = cpu_dgl::dgl_cpu().estimate(w).time_ms;
+            let pipad = gpu_pipad::pipad().estimate(w).time_ms;
+            let tagnn_s = gpu_pipad::tagnn_s().estimate(w).time_ms;
+            let tagnn = sim.simulate(p.graph(), w).time_ms;
+            table.row(vec![
+                model.name().to_string(),
+                ds.abbrev().to_string(),
+                fmt_x(cpu / pipad),
+                fmt_x(cpu / tagnn_s),
+                fmt_x(cpu / tagnn),
+                fmt_x(pipad / tagnn),
+            ]);
+            metrics.insert(
+                format!("tagnn_vs_cpu_{}_{}", model.name(), ds.abbrev()),
+                cpu / tagnn,
+            );
+            metrics.insert(
+                format!("tagnn_vs_pipad_{}_{}", model.name(), ds.abbrev()),
+                pipad / tagnn,
+            );
+            sum_cpu += cpu / tagnn;
+            sum_gpu += pipad / tagnn;
+            count += 1;
+        }
+    }
+    let avg_cpu = sum_cpu / count as f64;
+    let avg_gpu = sum_gpu / count as f64;
+    table.row(vec![
+        "AVG".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        fmt_x(avg_cpu),
+        fmt_x(avg_gpu),
+    ]);
+    metrics.insert("avg_tagnn_vs_cpu".into(), avg_cpu);
+    metrics.insert("avg_tagnn_vs_pipad".into(), avg_gpu);
+    ExperimentResult {
+        id: "fig9".into(),
+        title: "Speedup over DGL-CPU (paper: TaGNN 535.2x avg vs CPU, 84.3x vs PiPAD)".into(),
+        table,
+        metrics,
+    }
+}
+
+/// Fig. 10: TaGNN versus the prior DGNN accelerators, normalised to
+/// DGNN-Booster.
+pub fn fig10(ctx: &ExperimentContext) -> ExperimentResult {
+    let mut table = TextTable::new(vec!["Model", "Dataset", "E-DGCN", "Cambricon-DG", "TaGNN"]);
+    let mut metrics = BTreeMap::new();
+    let sim = TagnnSimulator::new(AcceleratorConfig::tagnn_default());
+    let (mut s_booster, mut s_edgcn, mut s_cam, mut count) = (0.0, 0.0, 0.0, 0);
+    for &model in &ctx.models {
+        for &ds in &ctx.datasets {
+            let p = ctx.pipeline(ds, model);
+            let w = p.workload();
+            let booster = dgnn_booster::dgnn_booster().estimate(w).time_ms;
+            let e = edgcn::edgcn().estimate(w).time_ms;
+            let cam = cambricon_dg::cambricon_dg().estimate(w).time_ms;
+            let tagnn = sim.simulate(p.graph(), w).time_ms;
+            table.row(vec![
+                model.name().to_string(),
+                ds.abbrev().to_string(),
+                fmt_x(booster / e),
+                fmt_x(booster / cam),
+                fmt_x(booster / tagnn),
+            ]);
+            s_booster += booster / tagnn;
+            s_edgcn += e / tagnn;
+            s_cam += cam / tagnn;
+            count += 1;
+        }
+    }
+    let n = count as f64;
+    metrics.insert("avg_vs_booster".into(), s_booster / n);
+    metrics.insert("avg_vs_edgcn".into(), s_edgcn / n);
+    metrics.insert("avg_vs_cambricon".into(), s_cam / n);
+    table.row(vec![
+        "AVG (TaGNN vs)".to_string(),
+        "-".to_string(),
+        fmt_x(s_edgcn / n),
+        fmt_x(s_cam / n),
+        fmt_x(s_booster / n),
+    ]);
+    ExperimentResult {
+        id: "fig10".into(),
+        title: "Speedup normalised to DGNN-Booster (paper: 13.5x/10.2x/6.5x avg)".into(),
+        table,
+        metrics,
+    }
+}
+
+/// Fig. 11: energy consumption of every solution normalised to TaGNN.
+pub fn fig11(ctx: &ExperimentContext) -> ExperimentResult {
+    let mut table = TextTable::new(vec![
+        "Model",
+        "Dataset",
+        "DGL-CPU",
+        "PiPAD",
+        "DGNN-Booster",
+        "E-DGCN",
+        "Cambricon-DG",
+    ]);
+    let mut metrics = BTreeMap::new();
+    let sim = TagnnSimulator::new(AcceleratorConfig::tagnn_default());
+    let mut sums = [0.0f64; 5];
+    let mut count = 0;
+    for &model in &ctx.models {
+        for &ds in &ctx.datasets {
+            let p = ctx.pipeline(ds, model);
+            let w = p.workload();
+            let tagnn = sim.simulate(p.graph(), w).energy_mj;
+            let values = [
+                cpu_dgl::dgl_cpu().estimate(w).energy_mj / tagnn,
+                gpu_pipad::pipad().estimate(w).energy_mj / tagnn,
+                dgnn_booster::dgnn_booster().estimate(w).energy_mj / tagnn,
+                edgcn::edgcn().estimate(w).energy_mj / tagnn,
+                cambricon_dg::cambricon_dg().estimate(w).energy_mj / tagnn,
+            ];
+            table.row(vec![
+                model.name().to_string(),
+                ds.abbrev().to_string(),
+                fmt_x(values[0]),
+                fmt_x(values[1]),
+                fmt_x(values[2]),
+                fmt_x(values[3]),
+                fmt_x(values[4]),
+            ]);
+            for (s, v) in sums.iter_mut().zip(values) {
+                *s += v;
+            }
+            count += 1;
+        }
+    }
+    let n = count as f64;
+    for (key, s) in ["cpu", "pipad", "booster", "edgcn", "cambricon"]
+        .iter()
+        .zip(sums)
+    {
+        metrics.insert(format!("avg_energy_vs_{key}"), s / n);
+    }
+    table.row(vec![
+        "AVG".to_string(),
+        "-".to_string(),
+        fmt_x(sums[0] / n),
+        fmt_x(sums[1] / n),
+        fmt_x(sums[2] / n),
+        fmt_x(sums[3] / n),
+        fmt_x(sums[4] / n),
+    ]);
+    ExperimentResult {
+        id: "fig11".into(),
+        title: "Energy normalised to TaGNN (paper: 742.6x CPU, 104.9x GPU, 15.9/11.7/7.8x accels)"
+            .into(),
+        table,
+        metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> ExperimentContext {
+        ExperimentContext::quick()
+    }
+
+    #[test]
+    fn fig8a_tagnn_s_beats_pipad_everywhere() {
+        let r = fig8a(&ctx());
+        for ds in &ctx().datasets {
+            let ts = r.metric(&format!("TaGNN-S_{}_norm", ds.abbrev()));
+            let pp = r.metric(&format!("PiPAD_{}_norm", ds.abbrev()));
+            assert!(
+                ts < pp,
+                "{}: TaGNN-S {ts} must beat PiPAD {pp}",
+                ds.abbrev()
+            );
+            let overhead = r.metric(&format!("tagnn_s_overhead_{}", ds.abbrev()));
+            assert!(
+                overhead > 0.35,
+                "TaGNN-S runtime overhead should be large: {overhead}"
+            );
+        }
+    }
+
+    #[test]
+    fn fig8b_reductions_are_positive() {
+        let r = fig8b(&ctx());
+        for (k, v) in &r.metrics {
+            assert!(*v > 0.0, "{k} = {v} must be a reduction");
+            assert!(*v < 1.0);
+        }
+    }
+
+    #[test]
+    fn fig9_ordering_cpu_gpu_tagnn() {
+        let r = fig9(&ctx());
+        let vs_cpu = r.metric("avg_tagnn_vs_cpu");
+        let vs_gpu = r.metric("avg_tagnn_vs_pipad");
+        assert!(vs_cpu > vs_gpu, "CPU speedup must exceed GPU speedup");
+        assert!(vs_gpu > 1.0);
+        // Order-of-magnitude shape: hundreds vs CPU, tens vs GPU.
+        assert!(vs_cpu > 50.0, "vs CPU {vs_cpu} too small");
+        assert!(vs_gpu > 5.0, "vs PiPAD {vs_gpu} too small");
+    }
+
+    #[test]
+    fn fig10_ordering_matches_paper() {
+        let r = fig10(&ctx());
+        let b = r.metric("avg_vs_booster");
+        let e = r.metric("avg_vs_edgcn");
+        let c = r.metric("avg_vs_cambricon");
+        assert!(
+            b > e && e > c,
+            "speedup order must be booster > edgcn > cambricon: {b} {e} {c}"
+        );
+        assert!(c > 1.0, "TaGNN must beat Cambricon-DG");
+    }
+
+    #[test]
+    fn fig11_everyone_burns_more_energy() {
+        let r = fig11(&ctx());
+        for (k, v) in &r.metrics {
+            assert!(*v > 1.0, "{k} = {v}: TaGNN must be the most efficient");
+        }
+        assert!(r.metric("avg_energy_vs_cpu") > r.metric("avg_energy_vs_pipad"));
+        assert!(r.metric("avg_energy_vs_booster") > r.metric("avg_energy_vs_cambricon"));
+    }
+}

@@ -1,0 +1,233 @@
+//! Sensitivity studies: Figure 14(a–d).
+
+use crate::experiments::{ExperimentContext, ExperimentResult};
+use crate::report::{fmt_f, fmt_pct, TextTable};
+use std::collections::BTreeMap;
+use tagnn_models::accuracy::{paper_baseline_accuracy, EvalTask};
+use tagnn_models::{ModelKind, SkipConfig};
+use tagnn_sim::baselines::{cambricon_dg, dgnn_booster, edgcn};
+use tagnn_sim::{AcceleratorConfig, TagnnSimulator, Workload};
+
+fn sensitivity_dataset(ctx: &ExperimentContext) -> tagnn_graph::DatasetPreset {
+    // The paper sweeps on FK; fall back to the last configured dataset.
+    *ctx.datasets.last().expect("at least one dataset")
+}
+
+/// Fig. 14(a): sensitivity to the thresholds `[θs, θe]` — skip rate,
+/// simulated time, and accuracy across threshold intervals (T-GCN).
+pub fn fig14a(ctx: &ExperimentContext) -> ExperimentResult {
+    let ds = sensitivity_dataset(ctx);
+    let p = ctx.accuracy_pipeline(ds, ModelKind::TGcn);
+    let exact = p.run_reference();
+    let total = exact.final_features.len();
+    let tail = total - ctx.window.min(total)..total;
+    let task = EvalTask::new(
+        &exact.final_features[total - 1],
+        paper_baseline_accuracy(ModelKind::TGcn, ds),
+        ctx.seed,
+    );
+    let eval_tail = |hs: &[tagnn_tensor::DenseMatrix]| {
+        let refs: Vec<&tagnn_tensor::DenseMatrix> = hs[tail.clone()].iter().collect();
+        task.mean_accuracy(&refs)
+    };
+
+    let mut table = TextTable::new(vec![
+        "[theta_s, theta_e]",
+        "Skip ratio",
+        "Time (norm.)",
+        "Accuracy",
+    ]);
+    let mut metrics = BTreeMap::new();
+    // Ordered from aggressive (skip almost everything) to conservative
+    // (skip almost nothing).
+    let intervals: [(f32, f32); 5] = [
+        (-0.9, -0.5),
+        (-0.5, 0.5),
+        (-0.1, 0.1),
+        (0.5, 0.9),
+        (0.9, 0.9),
+    ];
+    let mut base_time = None;
+    for (i, &(ts, te)) in intervals.iter().enumerate() {
+        let skip = SkipConfig::with_thresholds(ts, te);
+        let out = p.run_concurrent_with(skip);
+        let workload = Workload::measure(
+            p.graph(),
+            p.name(),
+            ModelKind::TGcn,
+            ctx.hidden,
+            ctx.window,
+            skip,
+            ctx.seed,
+        );
+        let sim =
+            TagnnSimulator::new(AcceleratorConfig::tagnn_default()).simulate(p.graph(), &workload);
+        let base = *base_time.get_or_insert(sim.time_ms);
+        let acc = eval_tail(&out.final_features);
+        let skip_ratio = out.stats.skip.skip_ratio();
+        table.row(vec![
+            format!("[{ts:.1}, {te:.1}]"),
+            fmt_pct(skip_ratio),
+            fmt_f(sim.time_ms / base),
+            fmt_pct(acc),
+        ]);
+        metrics.insert(format!("skip_{i}"), skip_ratio);
+        metrics.insert(format!("time_{i}"), sim.time_ms / base);
+        metrics.insert(format!("acc_{i}"), acc);
+    }
+    ExperimentResult {
+        id: "fig14a".into(),
+        title: format!(
+            "Sensitivity to [theta_s, theta_e] on {} (paper: [-0.5, 0.5] optimal)",
+            ds.abbrev()
+        ),
+        table,
+        metrics,
+    }
+}
+
+/// Fig. 14(b): sensitivity to the number of DCUs (T-GCN).
+pub fn fig14b(ctx: &ExperimentContext) -> ExperimentResult {
+    let ds = sensitivity_dataset(ctx);
+    let p = ctx.pipeline(ds, ModelKind::TGcn);
+    let mut table = TextTable::new(vec!["DCUs", "Time (ms)", "Speedup vs 1 DCU"]);
+    let mut metrics = BTreeMap::new();
+    let mut base = None;
+    for dcus in [1usize, 2, 4, 8, 16, 32] {
+        let cfg = AcceleratorConfig::tagnn_default().with_dcus(dcus);
+        let r = TagnnSimulator::new(cfg).simulate(p.graph(), p.workload());
+        let b = *base.get_or_insert(r.time_ms);
+        table.row(vec![
+            dcus.to_string(),
+            fmt_f(r.time_ms),
+            fmt_f(b / r.time_ms),
+        ]);
+        metrics.insert(format!("time_dcus_{dcus}"), r.time_ms);
+    }
+    ExperimentResult {
+        id: "fig14b".into(),
+        title: "Sensitivity to the number of DCUs (paper: saturates at 16)".into(),
+        table,
+        metrics,
+    }
+}
+
+/// Fig. 14(c): sensitivity to the number of snapshots per batch, against
+/// the prior accelerators (T-GCN).
+pub fn fig14c(ctx: &ExperimentContext) -> ExperimentResult {
+    let ds = sensitivity_dataset(ctx);
+    let mut table = TextTable::new(vec![
+        "K",
+        "TaGNN (ms)",
+        "DGNN-Booster (ms)",
+        "E-DGCN (ms)",
+        "Cambricon-DG (ms)",
+    ]);
+    let mut metrics = BTreeMap::new();
+    for k in [1usize, 2, 4, 6, 8] {
+        let p = crate::pipeline::TagnnPipeline::builder()
+            .dataset(ds)
+            .model(ModelKind::TGcn)
+            .snapshots(ctx.snapshots.max(k))
+            .window(k)
+            .hidden(ctx.hidden)
+            .scale(ctx.scale)
+            .seed(ctx.seed)
+            .build();
+        let w = p.workload();
+        let tagnn = TagnnSimulator::new(AcceleratorConfig::tagnn_default())
+            .simulate(p.graph(), w)
+            .time_ms;
+        table.row(vec![
+            k.to_string(),
+            fmt_f(tagnn),
+            fmt_f(dgnn_booster::dgnn_booster().estimate(w).time_ms),
+            fmt_f(edgcn::edgcn().estimate(w).time_ms),
+            fmt_f(cambricon_dg::cambricon_dg().estimate(w).time_ms),
+        ]);
+        metrics.insert(format!("tagnn_k{k}"), tagnn);
+    }
+    ExperimentResult {
+        id: "fig14c".into(),
+        title: format!(
+            "Sensitivity to snapshots per batch on {} (paper: optimum near K=4)",
+            ds.abbrev()
+        ),
+        table,
+        metrics,
+    }
+}
+
+/// Fig. 14(d): sensitivity to the number of MAC units (T-GCN).
+pub fn fig14d(ctx: &ExperimentContext) -> ExperimentResult {
+    let ds = sensitivity_dataset(ctx);
+    let p = ctx.pipeline(ds, ModelKind::TGcn);
+    let mut table = TextTable::new(vec!["MACs", "Time (ms)", "Speedup vs 512"]);
+    let mut metrics = BTreeMap::new();
+    let mut base = None;
+    for macs in [512usize, 1024, 2048, 4096, 8192] {
+        let cfg = AcceleratorConfig::tagnn_default().with_macs(macs);
+        let r = TagnnSimulator::new(cfg).simulate(p.graph(), p.workload());
+        let b = *base.get_or_insert(r.time_ms);
+        table.row(vec![
+            macs.to_string(),
+            fmt_f(r.time_ms),
+            fmt_f(b / r.time_ms),
+        ]);
+        metrics.insert(format!("time_macs_{macs}"), r.time_ms);
+    }
+    ExperimentResult {
+        id: "fig14d".into(),
+        title: "Sensitivity to the number of MAC units (paper: levels off past 4096)".into(),
+        table,
+        metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> ExperimentContext {
+        ExperimentContext::quick()
+    }
+
+    #[test]
+    fn fig14a_aggressive_thresholds_skip_more_and_run_faster() {
+        let r = fig14a(&ctx());
+        // Interval 0 = [-0.9, -0.5] skips everything above -0.5; interval 4
+        // = [0.9, 0.9] barely skips.
+        assert!(r.metric("skip_0") >= r.metric("skip_4"));
+        assert!(r.metric("time_0") <= r.metric("time_4") + 1e-9);
+        // Accuracy must not improve by skipping more.
+        assert!(r.metric("acc_0") <= r.metric("acc_4") + 0.05);
+    }
+
+    #[test]
+    fn fig14b_scaling_saturates() {
+        let r = fig14b(&ctx());
+        let t1 = r.metric("time_dcus_1");
+        let t16 = r.metric("time_dcus_16");
+        let t32 = r.metric("time_dcus_32");
+        assert!(t16 < t1, "more DCUs must help");
+        // Saturation: doubling 16 -> 32 helps much less than 1 -> 16.
+        let early = t1 / t16;
+        let late = t16 / t32;
+        assert!(late < early, "scaling must flatten: {early} then {late}");
+    }
+
+    #[test]
+    fn fig14c_batching_beats_snapshot_by_snapshot() {
+        let r = fig14c(&ctx());
+        assert!(
+            r.metric("tagnn_k4") < r.metric("tagnn_k1"),
+            "windowed execution must beat K=1"
+        );
+    }
+
+    #[test]
+    fn fig14d_more_macs_never_hurt() {
+        let r = fig14d(&ctx());
+        assert!(r.metric("time_macs_8192") <= r.metric("time_macs_512"));
+    }
+}

@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+
+//! # TaGNN — topology-aware dynamic graph neural network acceleration
+//!
+//! A full software reproduction of *"TaGNN: An Efficient Topology-aware
+//! Accelerator for High-performance Dynamic Graph Neural Network"*
+//! (SC '25): the topology-aware concurrent execution model, the O-CSR
+//! storage format, the similarity-aware cell-skipping strategy, a
+//! cycle-approximate simulator of the accelerator, and cost models of
+//! every baseline the paper compares against.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tagnn::prelude::*;
+//!
+//! // A scaled-down synthetic stand-in for the paper's Gdelt dataset.
+//! let pipeline = TagnnPipeline::builder()
+//!     .dataset(DatasetPreset::Gdelt)
+//!     .model(ModelKind::TGcn)
+//!     .snapshots(6)
+//!     .window(3)
+//!     .hidden(16)
+//!     .build();
+//!
+//! // Topology-aware concurrent inference with cell skipping.
+//! let output = pipeline.run_concurrent();
+//! assert_eq!(output.final_features.len(), 6);
+//!
+//! // Simulate the run on the Table-4 accelerator configuration.
+//! let report = pipeline.simulate(&AcceleratorConfig::tagnn_default());
+//! assert!(report.time_ms > 0.0);
+//! ```
+//!
+//! The [`experiments`] module regenerates every table and figure of the
+//! paper's evaluation; the `experiments` binary in `tagnn-bench` prints
+//! them.
+
+pub mod experiments;
+pub mod pipeline;
+pub mod report;
+
+pub use pipeline::{PipelineBuilder, TagnnPipeline};
+
+/// One-stop imports for typical use.
+pub mod prelude {
+    pub use crate::pipeline::{PipelineBuilder, TagnnPipeline};
+    pub use tagnn_graph::{DatasetPreset, DynamicGraph, GeneratorConfig, OCsr, Snapshot};
+    pub use tagnn_models::{
+        CellMode, ConcurrentEngine, DgnnModel, InferenceOutput, ModelKind, ReferenceEngine,
+        ReuseMode, SkipConfig,
+    };
+    pub use tagnn_sim::{AcceleratorConfig, SimReport, TagnnSimulator, Workload};
+}

@@ -1,0 +1,140 @@
+//! Plain-text table rendering for the experiment harness.
+
+/// A simple left-aligned text table with a header row.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Starts a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the row width differs from the header width.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:<width$}", cells[i], width = widths[i]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with sensible significant digits for table cells.
+pub fn fmt_f(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Formats a ratio as `N.Nx`.
+pub fn fmt_x(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}x")
+    } else {
+        format!("{v:.1}x")
+    }
+}
+
+/// Formats a fraction as a percentage.
+pub fn fmt_pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["name", "value"]);
+        t.row(vec!["a", "1"]);
+        t.row(vec!["longer", "22"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[3].starts_with("longer"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["only one"]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_f(0.0), "0");
+        assert_eq!(fmt_f(0.1234), "0.1234");
+        assert_eq!(fmt_f(3.14159), "3.14");
+        assert_eq!(fmt_f(314.159), "314");
+        assert_eq!(fmt_x(5.25), "5.2x");
+        assert_eq!(fmt_x(535.2), "535x");
+        assert_eq!(fmt_pct(0.425), "42.5%");
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut t = TextTable::new(vec!["x"]);
+        assert!(t.is_empty());
+        t.row(vec!["1"]);
+        assert_eq!(t.len(), 1);
+    }
+}

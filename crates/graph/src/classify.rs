@@ -1,0 +1,243 @@
+//! Window-level vertex classification (paper §3.1).
+//!
+//! Given a window of K consecutive snapshots, each vertex is categorised as
+//! [`VertexClass::Unaffected`], [`VertexClass::Stable`], or
+//! [`VertexClass::Affected`] by comparing, across the window:
+//!
+//! 1. presence (a vertex absent from any snapshot is affected — its absence
+//!    signifies a structural change, §4.1),
+//! 2. its own feature row,
+//! 3. its neighbour-id list,
+//! 4. its neighbours' feature rows.
+
+use crate::snapshot::Snapshot;
+use crate::types::{VertexClass, VertexId};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// The classification outcome for one window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowClassification {
+    classes: Vec<VertexClass>,
+    window: usize,
+}
+
+impl WindowClassification {
+    /// Class of vertex `v`.
+    #[inline]
+    pub fn class(&self, v: VertexId) -> VertexClass {
+        self.classes[v as usize]
+    }
+
+    /// All per-vertex classes, indexed by vertex id.
+    #[inline]
+    pub fn classes(&self) -> &[VertexClass] {
+        &self.classes
+    }
+
+    /// Window size K this classification was computed over.
+    #[inline]
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Vertices of a given class, in id order.
+    pub fn vertices_of(&self, class: VertexClass) -> impl Iterator<Item = VertexId> + '_ {
+        self.classes
+            .iter()
+            .enumerate()
+            .filter(move |(_, &c)| c == class)
+            .map(|(v, _)| v as VertexId)
+    }
+
+    /// Number of vertices of a given class.
+    pub fn count(&self, class: VertexClass) -> usize {
+        self.classes.iter().filter(|&&c| c == class).count()
+    }
+
+    /// Fraction of unaffected vertices (Fig. 3a's metric).
+    pub fn unaffected_ratio(&self) -> f64 {
+        if self.classes.is_empty() {
+            0.0
+        } else {
+            self.count(VertexClass::Unaffected) as f64 / self.classes.len() as f64
+        }
+    }
+}
+
+/// Classifies every vertex of the universe across the window `snaps`.
+///
+/// # Panics
+/// Panics if the window is empty or snapshots disagree on universe size.
+pub fn classify_window(snaps: &[&Snapshot]) -> WindowClassification {
+    assert!(
+        !snaps.is_empty(),
+        "window must contain at least one snapshot"
+    );
+    let n = snaps[0].num_vertices();
+    for s in snaps {
+        assert_eq!(
+            s.num_vertices(),
+            n,
+            "window snapshots must share the vertex universe"
+        );
+    }
+    let first = snaps[0];
+
+    // Pass 1: per-vertex presence + own-feature stability + topology
+    // stability. These only look at the vertex's own rows and are
+    // embarrassingly parallel.
+    let feature_stable: Vec<bool> = (0..n as VertexId)
+        .into_par_iter()
+        .map(|v| {
+            snaps.iter().all(|s| s.is_active(v))
+                && snaps[1..].iter().all(|s| s.feature(v) == first.feature(v))
+        })
+        .collect();
+    let topo_stable: Vec<bool> = (0..n as VertexId)
+        .into_par_iter()
+        .map(|v| {
+            snaps[1..]
+                .iter()
+                .all(|s| s.neighbors(v) == first.neighbors(v))
+        })
+        .collect();
+
+    // Pass 2: a feature-stable, topology-stable vertex is unaffected only if
+    // every neighbour is itself feature-stable (identical "neighbors'
+    // features" in the paper's definition).
+    let classes: Vec<VertexClass> = (0..n as VertexId)
+        .into_par_iter()
+        .map(|v| {
+            if !feature_stable[v as usize] {
+                VertexClass::Affected
+            } else if topo_stable[v as usize]
+                && first
+                    .neighbors(v)
+                    .iter()
+                    .all(|&u| feature_stable[u as usize])
+            {
+                VertexClass::Unaffected
+            } else {
+                VertexClass::Stable
+            }
+        })
+        .collect();
+
+    WindowClassification {
+        classes,
+        window: snaps.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::Csr;
+    use crate::delta::{apply_updates, GraphUpdate};
+    use tagnn_tensor::DenseMatrix;
+
+    fn snap(n: usize, edges: &[(u32, u32)]) -> Snapshot {
+        Snapshot::fully_active(
+            Csr::from_edges(n, edges),
+            DenseMatrix::from_fn(n, 2, |r, _| r as f32),
+        )
+    }
+
+    #[test]
+    fn identical_snapshots_are_all_unaffected() {
+        let s = snap(4, &[(0, 1), (1, 2), (2, 3)]);
+        let c = classify_window(&[&s, &s, &s]);
+        assert_eq!(c.count(VertexClass::Unaffected), 4);
+        assert_eq!(c.unaffected_ratio(), 1.0);
+    }
+
+    #[test]
+    fn feature_mutation_makes_vertex_affected_and_neighbors_stable() {
+        // Path 0 -> 1 -> 2 -> 3; mutate v2's feature in snapshot 2.
+        let s0 = snap(4, &[(0, 1), (1, 2), (2, 3)]);
+        let s1 = apply_updates(
+            &s0,
+            &[GraphUpdate::MutateFeature {
+                v: 2,
+                feature: vec![9.0, 9.0],
+            }],
+        );
+        let c = classify_window(&[&s0, &s1]);
+        assert_eq!(c.class(2), VertexClass::Affected);
+        // v1 points at v2 whose feature changed -> stable, not unaffected.
+        assert_eq!(c.class(1), VertexClass::Stable);
+        // v0 points at v1 whose feature is unchanged -> unaffected.
+        assert_eq!(c.class(0), VertexClass::Unaffected);
+        // v3 has no out-neighbours and unchanged feature -> unaffected.
+        assert_eq!(c.class(3), VertexClass::Unaffected);
+    }
+
+    #[test]
+    fn edge_change_makes_source_stable() {
+        let s0 = snap(4, &[(0, 1), (1, 2)]);
+        let s1 = apply_updates(&s0, &[GraphUpdate::AddEdge { src: 1, dst: 3 }]);
+        let c = classify_window(&[&s0, &s1]);
+        assert_eq!(
+            c.class(1),
+            VertexClass::Stable,
+            "changed neighbour list, unchanged feature"
+        );
+        assert_eq!(c.class(0), VertexClass::Unaffected);
+    }
+
+    #[test]
+    fn removed_vertex_is_affected() {
+        let s0 = snap(3, &[(0, 1)]);
+        let s1 = apply_updates(&s0, &[GraphUpdate::RemoveVertex { v: 2 }]);
+        let c = classify_window(&[&s0, &s1]);
+        assert_eq!(c.class(2), VertexClass::Affected);
+    }
+
+    #[test]
+    fn unaffected_subset_of_feature_stable_invariant() {
+        let s0 = snap(5, &[(0, 1), (1, 2), (3, 4)]);
+        let s1 = apply_updates(
+            &s0,
+            &[
+                GraphUpdate::MutateFeature {
+                    v: 4,
+                    feature: vec![7.0, 7.0],
+                },
+                GraphUpdate::AddEdge { src: 2, dst: 0 },
+            ],
+        );
+        let c = classify_window(&[&s0, &s1]);
+        for v in 0..5u32 {
+            if c.class(v) == VertexClass::Unaffected {
+                assert!(c.class(v).is_feature_stable());
+            }
+        }
+        // v3 -> v4 whose feature changed: stable. v2 got a new edge: stable.
+        assert_eq!(c.class(3), VertexClass::Stable);
+        assert_eq!(c.class(2), VertexClass::Stable);
+    }
+
+    #[test]
+    fn vertices_of_enumerates_in_order() {
+        let s0 = snap(3, &[(0, 1)]);
+        let s1 = apply_updates(
+            &s0,
+            &[GraphUpdate::MutateFeature {
+                v: 0,
+                feature: vec![5.0, 5.0],
+            }],
+        );
+        let c = classify_window(&[&s0, &s1]);
+        let affected: Vec<_> = c.vertices_of(VertexClass::Affected).collect();
+        assert_eq!(affected, vec![0]);
+    }
+
+    #[test]
+    fn single_snapshot_window_is_all_unaffected() {
+        let s = snap(3, &[(0, 1), (1, 2)]);
+        let c = classify_window(&[&s]);
+        assert_eq!(c.count(VertexClass::Unaffected), 3);
+        assert_eq!(c.window(), 1);
+    }
+}

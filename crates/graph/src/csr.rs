@@ -1,0 +1,197 @@
+//! Compressed Sparse Row adjacency for a single graph snapshot.
+
+use crate::types::VertexId;
+use serde::{Deserialize, Serialize};
+
+/// Static CSR adjacency: `offsets[v]..offsets[v+1]` indexes the (sorted)
+/// out-neighbours of `v` in `targets`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Csr {
+    offsets: Vec<usize>,
+    targets: Vec<VertexId>,
+}
+
+impl Csr {
+    /// Builds a CSR from an edge list over `num_vertices` vertices.
+    /// Duplicate edges are collapsed; neighbour lists come out sorted.
+    ///
+    /// # Panics
+    /// Panics if any endpoint is `>= num_vertices`.
+    pub fn from_edges(num_vertices: usize, edges: &[(VertexId, VertexId)]) -> Self {
+        let mut degree = vec![0usize; num_vertices];
+        for &(s, t) in edges {
+            assert!(
+                (s as usize) < num_vertices && (t as usize) < num_vertices,
+                "edge endpoint out of range"
+            );
+            degree[s as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(num_vertices + 1);
+        offsets.push(0);
+        for v in 0..num_vertices {
+            offsets.push(offsets[v] + degree[v]);
+        }
+        let mut targets = vec![0 as VertexId; edges.len()];
+        let mut cursor = offsets[..num_vertices].to_vec();
+        for &(s, t) in edges {
+            targets[cursor[s as usize]] = t;
+            cursor[s as usize] += 1;
+        }
+        // Sort and dedup each neighbour list, then re-pack.
+        let mut packed_targets = Vec::with_capacity(targets.len());
+        let mut packed_offsets = Vec::with_capacity(num_vertices + 1);
+        packed_offsets.push(0);
+        for v in 0..num_vertices {
+            let list = &mut targets[offsets[v]..offsets[v + 1]];
+            list.sort_unstable();
+            let mut prev: Option<VertexId> = None;
+            for &t in list.iter() {
+                if prev != Some(t) {
+                    packed_targets.push(t);
+                    prev = Some(t);
+                }
+            }
+            packed_offsets.push(packed_targets.len());
+        }
+        Self {
+            offsets: packed_offsets,
+            targets: packed_targets,
+        }
+    }
+
+    /// An empty graph over `num_vertices` isolated vertices.
+    pub fn empty(num_vertices: usize) -> Self {
+        Self {
+            offsets: vec![0; num_vertices + 1],
+            targets: Vec::new(),
+        }
+    }
+
+    /// Number of vertices (including isolated ones).
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Sorted out-neighbours of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        debug_assert!(v < self.num_vertices());
+        &self.targets[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Whether the directed edge `(s, t)` exists (binary search).
+    pub fn has_edge(&self, s: VertexId, t: VertexId) -> bool {
+        self.neighbors(s).binary_search(&t).is_ok()
+    }
+
+    /// Start/end offsets of `v`'s neighbour range — what the MSDL
+    /// `Fetch_Offsets` stage reads from the `Vertex_Offset` array.
+    #[inline]
+    pub fn offset_range(&self, v: VertexId) -> (usize, usize) {
+        let v = v as usize;
+        (self.offsets[v], self.offsets[v + 1])
+    }
+
+    /// Iterates over all edges as `(src, dst)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        (0..self.num_vertices() as VertexId)
+            .flat_map(move |v| self.neighbors(v).iter().map(move |&t| (v, t)))
+    }
+
+    /// In-memory footprint in bytes (offset array + target array), used for
+    /// the storage-overhead comparison of Fig. 13(b).
+    pub fn storage_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.targets.len() * std::mem::size_of::<VertexId>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr {
+        Csr::from_edges(4, &[(0, 1), (0, 2), (1, 2), (2, 0), (2, 3)])
+    }
+
+    #[test]
+    fn builds_sorted_neighbor_lists() {
+        let g = Csr::from_edges(3, &[(0, 2), (0, 1)]);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+    }
+
+    #[test]
+    fn collapses_duplicate_edges() {
+        let g = Csr::from_edges(2, &[(0, 1), (0, 1), (0, 1)]);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn degree_and_counts() {
+        let g = sample();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 5);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(3), 0);
+    }
+
+    #[test]
+    fn has_edge_works() {
+        let g = sample();
+        assert!(g.has_edge(2, 3));
+        assert!(!g.has_edge(3, 2));
+    }
+
+    #[test]
+    fn empty_graph_has_isolated_vertices() {
+        let g = Csr::empty(5);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.neighbors(4), &[] as &[VertexId]);
+    }
+
+    #[test]
+    fn edges_iterator_roundtrips() {
+        let g = sample();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 5);
+        let rebuilt = Csr::from_edges(4, &edges);
+        assert_eq!(rebuilt, g);
+    }
+
+    #[test]
+    fn offset_range_matches_degree() {
+        let g = sample();
+        let (s, e) = g.offset_range(0);
+        assert_eq!(e - s, g.degree(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_edges() {
+        let _ = Csr::from_edges(2, &[(0, 5)]);
+    }
+
+    #[test]
+    fn storage_bytes_scales_with_edges() {
+        let small = Csr::from_edges(4, &[(0, 1)]);
+        let large = Csr::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert!(large.storage_bytes() > small.storage_bytes());
+    }
+}

@@ -1,0 +1,327 @@
+//! Update events that evolve one snapshot into the next.
+//!
+//! Real dynamic graphs arrive as streams of edge insertions/deletions,
+//! vertex churn, and feature mutations (§2.1). The generator emits these
+//! events and [`apply_updates`] materialises the successor snapshot; the
+//! same events drive the PMA baseline's edit path.
+
+use crate::csr::Csr;
+use crate::snapshot::Snapshot;
+use crate::types::VertexId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// A single graph mutation between consecutive snapshots.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum GraphUpdate {
+    /// Insert directed edge `(src, dst)`.
+    AddEdge {
+        /// Source vertex.
+        src: VertexId,
+        /// Target vertex.
+        dst: VertexId,
+    },
+    /// Remove directed edge `(src, dst)`.
+    RemoveEdge {
+        /// Source vertex.
+        src: VertexId,
+        /// Target vertex.
+        dst: VertexId,
+    },
+    /// Activate a vertex (it appears in the next snapshot).
+    AddVertex {
+        /// The vertex to activate.
+        v: VertexId,
+    },
+    /// Deactivate a vertex and drop all its incident edges.
+    RemoveVertex {
+        /// The vertex to deactivate.
+        v: VertexId,
+    },
+    /// Replace the feature vector of `v`.
+    MutateFeature {
+        /// The vertex whose feature changes.
+        v: VertexId,
+        /// The new feature vector (must match the universe's dimension).
+        feature: Vec<f32>,
+    },
+}
+
+impl GraphUpdate {
+    /// The vertex whose row/features this update primarily touches.
+    pub fn primary_vertex(&self) -> VertexId {
+        match self {
+            GraphUpdate::AddEdge { src, .. } | GraphUpdate::RemoveEdge { src, .. } => *src,
+            GraphUpdate::AddVertex { v }
+            | GraphUpdate::RemoveVertex { v }
+            | GraphUpdate::MutateFeature { v, .. } => *v,
+        }
+    }
+}
+
+/// Applies a batch of updates to `base`, producing the successor snapshot.
+///
+/// Edges incident to removed vertices are dropped; edges whose endpoints are
+/// inactive after the batch are ignored. Feature mutations of inactive
+/// vertices still land in the feature table (they become visible once the
+/// vertex is re-activated).
+///
+/// # Panics
+/// Panics if a mutated feature vector has the wrong dimension or an id is
+/// out of the universe.
+pub fn apply_updates(base: &Snapshot, updates: &[GraphUpdate]) -> Snapshot {
+    let n = base.num_vertices();
+    let dim = base.feature_dim();
+    let mut active = base.active().to_vec();
+    let mut features = base.features().clone();
+    let mut edges: BTreeSet<(VertexId, VertexId)> = base.csr().edges().collect();
+
+    for u in updates {
+        match u {
+            GraphUpdate::AddEdge { src, dst } => {
+                assert!(
+                    (*src as usize) < n && (*dst as usize) < n,
+                    "edge endpoint out of universe"
+                );
+                edges.insert((*src, *dst));
+            }
+            GraphUpdate::RemoveEdge { src, dst } => {
+                edges.remove(&(*src, *dst));
+            }
+            GraphUpdate::AddVertex { v } => {
+                assert!((*v as usize) < n, "vertex out of universe");
+                active[*v as usize] = true;
+            }
+            GraphUpdate::RemoveVertex { v } => {
+                assert!((*v as usize) < n, "vertex out of universe");
+                active[*v as usize] = false;
+            }
+            GraphUpdate::MutateFeature { v, feature } => {
+                assert_eq!(feature.len(), dim, "feature dimension mismatch");
+                features.set_row(*v as usize, feature);
+            }
+        }
+    }
+
+    let edge_list: Vec<(VertexId, VertexId)> = edges
+        .into_iter()
+        .filter(|&(s, t)| active[s as usize] && active[t as usize])
+        .collect();
+    Snapshot::new(Csr::from_edges(n, &edge_list), features, active)
+}
+
+/// Computes a minimal update batch that turns `from` into `to`:
+/// vertex activations/deactivations, edge insertions/removals, and feature
+/// mutations — the inverse of [`apply_updates`], useful for recording an
+/// update stream from externally produced snapshots (e.g. loaded data).
+///
+/// # Panics
+/// Panics if the snapshots disagree on universe size or feature dimension.
+pub fn diff_snapshots(from: &Snapshot, to: &Snapshot) -> Vec<GraphUpdate> {
+    assert_eq!(
+        from.num_vertices(),
+        to.num_vertices(),
+        "universe size mismatch"
+    );
+    assert_eq!(from.feature_dim(), to.feature_dim(), "feature dim mismatch");
+    let n = from.num_vertices();
+    let mut updates = Vec::new();
+
+    // Vertex activity first, so edge updates land on active endpoints.
+    for v in 0..n as VertexId {
+        match (from.is_active(v), to.is_active(v)) {
+            (false, true) => updates.push(GraphUpdate::AddVertex { v }),
+            (true, false) => updates.push(GraphUpdate::RemoveVertex { v }),
+            _ => {}
+        }
+    }
+
+    // Edge set difference via merge over the sorted neighbour lists.
+    for v in 0..n as VertexId {
+        let a = from.neighbors(v);
+        let b = to.neighbors(v);
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.len() || j < b.len() {
+            match (a.get(i), b.get(j)) {
+                (Some(&x), Some(&y)) if x == y => {
+                    i += 1;
+                    j += 1;
+                }
+                (Some(&x), Some(&y)) if x < y => {
+                    updates.push(GraphUpdate::RemoveEdge { src: v, dst: x });
+                    i += 1;
+                }
+                (Some(_), Some(&y)) => {
+                    updates.push(GraphUpdate::AddEdge { src: v, dst: y });
+                    j += 1;
+                }
+                (Some(&x), None) => {
+                    updates.push(GraphUpdate::RemoveEdge { src: v, dst: x });
+                    i += 1;
+                }
+                (None, Some(&y)) => {
+                    updates.push(GraphUpdate::AddEdge { src: v, dst: y });
+                    j += 1;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+    }
+
+    // Feature mutations — inactive vertices' rows persist in the table
+    // (they become visible on re-activation), so compare every row.
+    for v in 0..n as VertexId {
+        if from.feature(v) != to.feature(v) {
+            updates.push(GraphUpdate::MutateFeature {
+                v,
+                feature: to.feature(v).to_vec(),
+            });
+        }
+    }
+    updates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagnn_tensor::DenseMatrix;
+
+    fn base() -> Snapshot {
+        let csr = Csr::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        Snapshot::fully_active(csr, DenseMatrix::zeros(4, 2))
+    }
+
+    #[test]
+    fn add_edge_appears() {
+        let next = apply_updates(&base(), &[GraphUpdate::AddEdge { src: 3, dst: 0 }]);
+        assert!(next.csr().has_edge(3, 0));
+        assert_eq!(next.num_edges(), 4);
+    }
+
+    #[test]
+    fn remove_edge_disappears() {
+        let next = apply_updates(&base(), &[GraphUpdate::RemoveEdge { src: 0, dst: 1 }]);
+        assert!(!next.csr().has_edge(0, 1));
+        assert_eq!(next.num_edges(), 2);
+    }
+
+    #[test]
+    fn remove_vertex_drops_incident_edges() {
+        let next = apply_updates(&base(), &[GraphUpdate::RemoveVertex { v: 1 }]);
+        assert!(!next.is_active(1));
+        assert!(!next.csr().has_edge(0, 1));
+        assert!(!next.csr().has_edge(1, 2));
+        assert_eq!(next.num_edges(), 1); // only (2,3) survives
+    }
+
+    #[test]
+    fn readd_vertex_restores_presence_not_edges() {
+        let removed = apply_updates(&base(), &[GraphUpdate::RemoveVertex { v: 1 }]);
+        let restored = apply_updates(&removed, &[GraphUpdate::AddVertex { v: 1 }]);
+        assert!(restored.is_active(1));
+        assert!(
+            !restored.csr().has_edge(0, 1),
+            "edges do not come back automatically"
+        );
+    }
+
+    #[test]
+    fn mutate_feature_updates_row() {
+        let next = apply_updates(
+            &base(),
+            &[GraphUpdate::MutateFeature {
+                v: 2,
+                feature: vec![1.0, -1.0],
+            }],
+        );
+        assert_eq!(next.feature(2), &[1.0, -1.0]);
+        assert_eq!(next.feature(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn idempotent_duplicate_add() {
+        let next = apply_updates(
+            &base(),
+            &[
+                GraphUpdate::AddEdge { src: 0, dst: 1 },
+                GraphUpdate::AddEdge { src: 0, dst: 1 },
+            ],
+        );
+        assert_eq!(next.num_edges(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature dimension mismatch")]
+    fn rejects_bad_feature_dim() {
+        let _ = apply_updates(
+            &base(),
+            &[GraphUpdate::MutateFeature {
+                v: 0,
+                feature: vec![1.0],
+            }],
+        );
+    }
+
+    #[test]
+    fn diff_roundtrips_through_apply() {
+        let b = base();
+        let target = apply_updates(
+            &b,
+            &[
+                GraphUpdate::AddEdge { src: 3, dst: 1 },
+                GraphUpdate::RemoveEdge { src: 0, dst: 1 },
+                GraphUpdate::MutateFeature {
+                    v: 2,
+                    feature: vec![5.0, 6.0],
+                },
+                GraphUpdate::RemoveVertex { v: 1 },
+            ],
+        );
+        let diff = diff_snapshots(&b, &target);
+        let rebuilt = apply_updates(&b, &diff);
+        assert_eq!(rebuilt, target);
+    }
+
+    #[test]
+    fn diff_of_identical_snapshots_is_empty() {
+        let b = base();
+        assert!(diff_snapshots(&b, &b).is_empty());
+    }
+
+    #[test]
+    fn diff_detects_each_update_kind() {
+        let b = base();
+        let with_edge = apply_updates(&b, &[GraphUpdate::AddEdge { src: 3, dst: 0 }]);
+        let d = diff_snapshots(&b, &with_edge);
+        assert_eq!(d, vec![GraphUpdate::AddEdge { src: 3, dst: 0 }]);
+
+        let with_feature = apply_updates(
+            &b,
+            &[GraphUpdate::MutateFeature {
+                v: 1,
+                feature: vec![9.0, 9.0],
+            }],
+        );
+        let d = diff_snapshots(&b, &with_feature);
+        assert_eq!(
+            d,
+            vec![GraphUpdate::MutateFeature {
+                v: 1,
+                feature: vec![9.0, 9.0]
+            }]
+        );
+    }
+
+    #[test]
+    fn primary_vertex_extraction() {
+        assert_eq!(GraphUpdate::AddEdge { src: 3, dst: 1 }.primary_vertex(), 3);
+        assert_eq!(
+            GraphUpdate::MutateFeature {
+                v: 2,
+                feature: vec![]
+            }
+            .primary_vertex(),
+            2
+        );
+    }
+}

@@ -1,0 +1,142 @@
+//! The temporal sequence of snapshots and sliding-window batching.
+
+use crate::snapshot::Snapshot;
+use serde::{Deserialize, Serialize};
+
+/// A dynamic graph `G = {G_1, ..., G_T}` over a shared vertex universe.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DynamicGraph {
+    snapshots: Vec<Snapshot>,
+}
+
+impl DynamicGraph {
+    /// Wraps a snapshot sequence.
+    ///
+    /// # Panics
+    /// Panics if the sequence is empty or snapshots disagree on universe
+    /// size or feature dimension.
+    pub fn new(snapshots: Vec<Snapshot>) -> Self {
+        assert!(
+            !snapshots.is_empty(),
+            "a dynamic graph needs at least one snapshot"
+        );
+        let n = snapshots[0].num_vertices();
+        let d = snapshots[0].feature_dim();
+        for (i, s) in snapshots.iter().enumerate() {
+            assert_eq!(s.num_vertices(), n, "snapshot {i} universe size mismatch");
+            assert_eq!(s.feature_dim(), d, "snapshot {i} feature dim mismatch");
+        }
+        Self { snapshots }
+    }
+
+    /// Number of snapshots `T`.
+    #[inline]
+    pub fn num_snapshots(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// Size of the shared vertex universe.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.snapshots[0].num_vertices()
+    }
+
+    /// Feature dimensionality `D`.
+    #[inline]
+    pub fn feature_dim(&self) -> usize {
+        self.snapshots[0].feature_dim()
+    }
+
+    /// Snapshot at timestamp `t`.
+    #[inline]
+    pub fn snapshot(&self, t: usize) -> &Snapshot {
+        &self.snapshots[t]
+    }
+
+    /// All snapshots in order.
+    #[inline]
+    pub fn snapshots(&self) -> &[Snapshot] {
+        &self.snapshots
+    }
+
+    /// Non-overlapping windows ("batches" in the paper: the MSDL divides all
+    /// snapshots into batches of a predefined number of snapshots). The last
+    /// window may be shorter than `k`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn batches(&self, k: usize) -> impl Iterator<Item = &[Snapshot]> {
+        assert!(k > 0, "window size must be positive");
+        self.snapshots.chunks(k)
+    }
+
+    /// Overlapping sliding windows of exactly `k` snapshots, stepping by one
+    /// (the classical DGNN sliding-window view of Fig. 1).
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn sliding_windows(&self, k: usize) -> impl Iterator<Item = &[Snapshot]> {
+        assert!(k > 0, "window size must be positive");
+        self.snapshots.windows(k)
+    }
+
+    /// Total number of directed edges across all snapshots.
+    pub fn total_edges(&self) -> usize {
+        self.snapshots.iter().map(Snapshot::num_edges).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::Csr;
+    use tagnn_tensor::DenseMatrix;
+
+    fn snap(n: usize, edges: &[(u32, u32)]) -> Snapshot {
+        Snapshot::fully_active(Csr::from_edges(n, edges), DenseMatrix::zeros(n, 2))
+    }
+
+    fn graph(t: usize) -> DynamicGraph {
+        DynamicGraph::new(
+            (0..t)
+                .map(|i| snap(4, &[(0, (i % 3 + 1) as u32)]))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let g = graph(5);
+        assert_eq!(g.num_snapshots(), 5);
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.feature_dim(), 2);
+        assert_eq!(g.total_edges(), 5);
+    }
+
+    #[test]
+    fn batches_chunk_without_overlap() {
+        let g = graph(7);
+        let sizes: Vec<usize> = g.batches(3).map(<[Snapshot]>::len).collect();
+        assert_eq!(sizes, vec![3, 3, 1]);
+    }
+
+    #[test]
+    fn sliding_windows_overlap() {
+        let g = graph(5);
+        assert_eq!(g.sliding_windows(3).count(), 3);
+        assert_eq!(g.sliding_windows(5).count(), 1);
+        assert_eq!(g.sliding_windows(6).count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one snapshot")]
+    fn rejects_empty() {
+        let _ = DynamicGraph::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "universe size mismatch")]
+    fn rejects_mismatched_universe() {
+        let _ = DynamicGraph::new(vec![snap(4, &[]), snap(5, &[])]);
+    }
+}

@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! Dynamic-graph substrate for TaGNN.
+//!
+//! This crate provides everything the paper's execution model needs from the
+//! graph side:
+//!
+//! * [`csr::Csr`] — static per-snapshot adjacency in Compressed Sparse Row
+//!   form (the paper stores each snapshot in CSR, §2.1);
+//! * [`snapshot::Snapshot`] / [`dynamic::DynamicGraph`] — feature-carrying
+//!   snapshots and their temporal sequence with sliding-window batching;
+//! * [`delta`] — the update events (edge/vertex/feature churn) that evolve a
+//!   snapshot into its successor;
+//! * [`classify`] — the window-level classification of vertices into
+//!   *unaffected*, *stable*, and *affected* (paper §3.1);
+//! * [`subgraph`] — affected-subgraph extraction by concurrent DFS from
+//!   stable roots;
+//! * [`ocsr::OCsr`] — the Overlap-aware CSR storage format;
+//! * [`pma::Pma`] and [`multi_csr::MultiCsr`] — the dynamic-format baselines
+//!   O-CSR is compared against in Fig. 13(b);
+//! * [`generate`] — synthetic dynamic-graph generation with presets matching
+//!   the paper's Table 2 datasets;
+//! * [`stats`] — overlap/degree statistics backing Fig. 3(a).
+
+pub mod classify;
+pub mod csr;
+pub mod delta;
+pub mod dynamic;
+pub mod generate;
+pub mod io;
+pub mod multi_csr;
+pub mod ocsr;
+pub mod pma;
+pub mod snapshot;
+pub mod stats;
+pub mod subgraph;
+pub mod types;
+
+pub use classify::{classify_window, WindowClassification};
+pub use csr::Csr;
+pub use dynamic::DynamicGraph;
+pub use generate::{DatasetPreset, GeneratorConfig};
+pub use ocsr::OCsr;
+pub use snapshot::Snapshot;
+pub use subgraph::AffectedSubgraph;
+pub use types::{SnapshotId, VertexClass, VertexId};

@@ -1,0 +1,115 @@
+//! Per-snapshot CSR replication — the plain-CSR baseline of Fig. 13(b).
+//!
+//! Traditional DGNN systems store each snapshot as an independent CSR plus a
+//! full feature table, so a window of K snapshots replicates every unchanged
+//! neighbour list and feature row K times. `MultiCsr` materialises exactly
+//! that layout so its storage and access costs can be compared against
+//! [`crate::OCsr`].
+
+use crate::snapshot::Snapshot;
+use crate::types::{SnapshotId, VertexId};
+use serde::{Deserialize, Serialize};
+
+/// K independent CSR snapshots with their feature tables.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiCsr {
+    snapshots: Vec<Snapshot>,
+}
+
+impl MultiCsr {
+    /// Clones the window into the replicated layout.
+    ///
+    /// # Panics
+    /// Panics on an empty window.
+    pub fn from_window(snaps: &[&Snapshot]) -> Self {
+        assert!(
+            !snaps.is_empty(),
+            "window must contain at least one snapshot"
+        );
+        Self {
+            snapshots: snaps.iter().map(|s| (*s).clone()).collect(),
+        }
+    }
+
+    /// Window size K.
+    #[inline]
+    pub fn window(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// Neighbours of `v` in snapshot `t`.
+    pub fn neighbors_at(&self, v: VertexId, t: SnapshotId) -> &[VertexId] {
+        self.snapshots[t as usize].neighbors(v)
+    }
+
+    /// Feature of `v` in snapshot `t` (stored K times regardless of change).
+    pub fn feature(&self, v: VertexId, t: SnapshotId) -> &[f32] {
+        self.snapshots[t as usize].feature(v)
+    }
+
+    /// Total storage: K copies of structure plus K full feature tables.
+    pub fn storage_bytes(&self) -> usize {
+        self.snapshots
+            .iter()
+            .map(|s| {
+                s.csr().storage_bytes()
+                    + s.features().rows() * s.features().cols() * std::mem::size_of::<f32>()
+                    + s.active().len()
+            })
+            .sum()
+    }
+
+    /// Words touched to gather `v`'s neighbourhood and features across the
+    /// whole window: each snapshot costs two offset reads, the neighbour
+    /// list, and a full feature row — with no cross-snapshot reuse.
+    pub fn window_access_cost(&self, v: VertexId) -> usize {
+        self.snapshots
+            .iter()
+            .map(|s| {
+                let deg = s.csr().degree(v);
+                2 + deg + s.feature_dim()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::Csr;
+    use tagnn_tensor::DenseMatrix;
+
+    fn snap(edges: &[(u32, u32)]) -> Snapshot {
+        Snapshot::fully_active(
+            Csr::from_edges(4, edges),
+            DenseMatrix::from_fn(4, 3, |r, _| r as f32),
+        )
+    }
+
+    #[test]
+    fn replicates_window() {
+        let s0 = snap(&[(0, 1)]);
+        let s1 = snap(&[(0, 1), (1, 2)]);
+        let m = MultiCsr::from_window(&[&s0, &s1]);
+        assert_eq!(m.window(), 2);
+        assert_eq!(m.neighbors_at(1, 0), &[] as &[u32]);
+        assert_eq!(m.neighbors_at(1, 1), &[2]);
+        assert_eq!(m.feature(2, 0), &[2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn storage_scales_linearly_with_window() {
+        let s = snap(&[(0, 1), (1, 2), (2, 3)]);
+        let one = MultiCsr::from_window(&[&s]).storage_bytes();
+        let four = MultiCsr::from_window(&[&s, &s, &s, &s]).storage_bytes();
+        assert_eq!(four, 4 * one, "identical snapshots are stored 4x anyway");
+    }
+
+    #[test]
+    fn access_cost_has_no_reuse() {
+        let s = snap(&[(0, 1), (0, 2)]);
+        let m = MultiCsr::from_window(&[&s, &s, &s]);
+        // Per snapshot: 2 offsets + 2 neighbours + 3 feature words = 7.
+        assert_eq!(m.window_access_cost(0), 21);
+    }
+}

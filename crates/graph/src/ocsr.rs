@@ -1,0 +1,456 @@
+//! The Overlap-aware Compressed Sparse Row (O-CSR) format (paper §3.1,
+//! Fig. 4c).
+//!
+//! O-CSR packs the affected subgraph of a whole window into five arrays:
+//!
+//! * `Sindex`  — the source vertex id of every vertex that owns edges;
+//! * `Enum`    — the number of timestamped edges each source owns;
+//! * `Tindex`  — the target ids of those edges, contiguous per source;
+//! * `Timestamp` — the snapshot each target entry belongs to;
+//! * `Feature` — the feature rows of subgraph vertices, where vertices whose
+//!   own feature never changes within the window (stable roots) are stored
+//!   **once**, and affected vertices get one row per snapshot.
+//!
+//! Sources are laid out in DFS discovery order so that a traversal of the
+//! affected subgraph streams the arrays sequentially — the cache-friendliness
+//! argument of the paper.
+
+use crate::classify::WindowClassification;
+use crate::snapshot::Snapshot;
+use crate::subgraph::AffectedSubgraph;
+use crate::types::{SnapshotId, VertexId};
+use serde::{Deserialize, Serialize};
+use tagnn_tensor::DenseMatrix;
+
+/// Sentinel for "vertex not present in the O-CSR".
+const NO_SLOT: u32 = u32::MAX;
+
+/// The O-CSR representation of one window's affected subgraph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OCsr {
+    /// Source vertex ids, in DFS discovery order (`Sindex`).
+    sindex: Vec<VertexId>,
+    /// Edge count per source (`Enum`).
+    enums: Vec<u32>,
+    /// Prefix offsets over `enums` (derived, one entry per source + 1).
+    offsets: Vec<usize>,
+    /// Target vertex ids (`Tindex`).
+    tindex: Vec<VertexId>,
+    /// Snapshot of each target entry (`Timestamp`).
+    timestamps: Vec<SnapshotId>,
+    /// Deduplicated feature rows (`Feature`).
+    features: DenseMatrix,
+    /// Per-source slot: first feature row of that source.
+    feat_offsets: Vec<u32>,
+    /// Per-source: `true` when the source's feature is stored once.
+    feat_stable: Vec<bool>,
+    /// Dense vertex-id -> slot map (NO_SLOT when absent).
+    slot_of: Vec<u32>,
+    /// Window size K.
+    window: usize,
+}
+
+impl OCsr {
+    /// Builds the O-CSR for `sg` over the window `snaps`.
+    ///
+    /// # Panics
+    /// Panics if the window is empty or inconsistent with the subgraph.
+    pub fn from_subgraph(
+        snaps: &[&Snapshot],
+        cls: &WindowClassification,
+        sg: &AffectedSubgraph,
+    ) -> Self {
+        assert!(
+            !snaps.is_empty(),
+            "window must contain at least one snapshot"
+        );
+        assert_eq!(sg.window(), snaps.len(), "subgraph window mismatch");
+        let n = snaps[0].num_vertices();
+        let k = snaps.len();
+        let dim = snaps[0].feature_dim();
+
+        let order = sg.visit_order();
+        let mut slot_of = vec![NO_SLOT; n];
+        for (i, &v) in order.iter().enumerate() {
+            slot_of[v as usize] = i as u32;
+        }
+
+        // Edges grouped by source in DFS order, then snapshot, then target.
+        let mut sindex = Vec::with_capacity(order.len());
+        let mut enums = Vec::with_capacity(order.len());
+        let mut offsets = Vec::with_capacity(order.len() + 1);
+        offsets.push(0usize);
+        let mut tindex = Vec::new();
+        let mut timestamps = Vec::new();
+        for &v in order {
+            sindex.push(v);
+            let mut count = 0u32;
+            for (t, snap) in snaps.iter().enumerate() {
+                if !snap.is_active(v) {
+                    continue;
+                }
+                for &u in snap.neighbors(v) {
+                    tindex.push(u);
+                    timestamps.push(t as SnapshotId);
+                    count += 1;
+                }
+            }
+            enums.push(count);
+            offsets.push(tindex.len());
+        }
+
+        // Feature rows: stable vertices once, affected vertices once per
+        // snapshot (zeros where inactive, keeping row addressing trivial).
+        let mut feat_offsets = Vec::with_capacity(order.len());
+        let mut feat_stable = Vec::with_capacity(order.len());
+        let mut rows: Vec<f32> = Vec::new();
+        let mut num_rows = 0u32;
+        for &v in order {
+            feat_offsets.push(num_rows);
+            let stable = cls.class(v).is_feature_stable();
+            feat_stable.push(stable);
+            if stable {
+                let src = snaps
+                    .iter()
+                    .find(|s| s.is_active(v))
+                    .map(|s| s.feature(v))
+                    .expect("feature-stable vertex active somewhere in window");
+                rows.extend_from_slice(src);
+                num_rows += 1;
+            } else {
+                for snap in snaps {
+                    if snap.is_active(v) {
+                        rows.extend_from_slice(snap.feature(v));
+                    } else {
+                        rows.extend(std::iter::repeat_n(0.0, dim));
+                    }
+                }
+                num_rows += k as u32;
+            }
+        }
+        let features = DenseMatrix::from_vec(num_rows as usize, dim, rows);
+
+        Self {
+            sindex,
+            enums,
+            offsets,
+            tindex,
+            timestamps,
+            features,
+            feat_offsets,
+            feat_stable,
+            slot_of,
+            window: k,
+        }
+    }
+
+    /// Source ids in layout (DFS) order.
+    #[inline]
+    pub fn sources(&self) -> &[VertexId] {
+        &self.sindex
+    }
+
+    /// `Enum` array: timestamped-edge count per source.
+    #[inline]
+    pub fn enums(&self) -> &[u32] {
+        &self.enums
+    }
+
+    /// Number of source vertices |V_S|.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.sindex.len()
+    }
+
+    /// Number of timestamped edges |E_S|.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.tindex.len()
+    }
+
+    /// Window size K.
+    #[inline]
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Whether vertex `v` is a source in this O-CSR.
+    pub fn contains(&self, v: VertexId) -> bool {
+        (v as usize) < self.slot_of.len() && self.slot_of[v as usize] != NO_SLOT
+    }
+
+    fn slot(&self, v: VertexId) -> Option<usize> {
+        let s = *self.slot_of.get(v as usize)?;
+        (s != NO_SLOT).then_some(s as usize)
+    }
+
+    /// All timestamped neighbours of `v`: `(target, snapshot)` pairs, in
+    /// snapshot order — one contiguous scan.
+    pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, SnapshotId)> + '_ {
+        let range = self
+            .slot(v)
+            .map(|s| self.offsets[s]..self.offsets[s + 1])
+            .unwrap_or(0..0);
+        self.tindex[range.clone()]
+            .iter()
+            .copied()
+            .zip(self.timestamps[range].iter().copied())
+    }
+
+    /// Neighbours of `v` within snapshot `t` of the window.
+    pub fn neighbors_at(&self, v: VertexId, t: SnapshotId) -> impl Iterator<Item = VertexId> + '_ {
+        self.neighbors(v)
+            .filter(move |&(_, ts)| ts == t)
+            .map(|(u, _)| u)
+    }
+
+    /// Feature row of vertex `v` at snapshot `t`, honouring the
+    /// store-stable-once rule. `None` when `v` is not in the O-CSR.
+    pub fn feature(&self, v: VertexId, t: SnapshotId) -> Option<&[f32]> {
+        let s = self.slot(v)?;
+        let base = self.feat_offsets[s] as usize;
+        let row = if self.feat_stable[s] {
+            base
+        } else {
+            base + t as usize
+        };
+        Some(self.features.row(row))
+    }
+
+    /// Number of stored feature rows (after stable deduplication).
+    #[inline]
+    pub fn num_feature_rows(&self) -> usize {
+        self.features.rows()
+    }
+
+    /// Actual in-memory footprint of the five arrays, in bytes.
+    pub fn storage_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.sindex.len() * size_of::<VertexId>()
+            + self.enums.len() * size_of::<u32>()
+            + self.tindex.len() * size_of::<VertexId>()
+            + self.timestamps.len() * size_of::<SnapshotId>()
+            + self.features.rows() * self.features.cols() * size_of::<f32>()
+    }
+
+    /// The paper's space bound `2|E_S| + (K·D + 2)|V_S|`, in elements.
+    pub fn paper_space_bound(&self, feature_dim: usize) -> usize {
+        2 * self.num_edges() + (self.window * feature_dim + 2) * self.num_vertices()
+    }
+
+    /// Inserts a timestamped edge, shifting later sources' ranges (the
+    /// "adjusting the appropriate entries" edit path of §3.1). The source
+    /// must already be present in the O-CSR.
+    ///
+    /// # Panics
+    /// Panics when `src` is not a source or `t` is outside the window.
+    pub fn insert_edge(&mut self, src: VertexId, dst: VertexId, t: SnapshotId) {
+        assert!((t as usize) < self.window, "snapshot outside window");
+        let s = self.slot(src).expect("source not present in O-CSR");
+        // Keep each source's run sorted by (snapshot, target).
+        let range = self.offsets[s]..self.offsets[s + 1];
+        let rel = self.timestamps[range.clone()]
+            .iter()
+            .zip(&self.tindex[range.clone()])
+            .position(|(&ts, &u)| (ts, u) >= (t, dst))
+            .unwrap_or(range.len());
+        let pos = range.start + rel;
+        if pos < range.end && self.timestamps[pos] == t && self.tindex[pos] == dst {
+            return; // duplicate
+        }
+        self.tindex.insert(pos, dst);
+        self.timestamps.insert(pos, t);
+        self.enums[s] += 1;
+        for off in &mut self.offsets[s + 1..] {
+            *off += 1;
+        }
+    }
+
+    /// Removes a timestamped edge if present; returns whether it existed.
+    pub fn remove_edge(&mut self, src: VertexId, dst: VertexId, t: SnapshotId) -> bool {
+        let Some(s) = self.slot(src) else {
+            return false;
+        };
+        let range = self.offsets[s]..self.offsets[s + 1];
+        let Some(rel) = self.timestamps[range.clone()]
+            .iter()
+            .zip(&self.tindex[range.clone()])
+            .position(|(&ts, &u)| ts == t && u == dst)
+        else {
+            return false;
+        };
+        let pos = range.start + rel;
+        self.tindex.remove(pos);
+        self.timestamps.remove(pos);
+        self.enums[s] -= 1;
+        for off in &mut self.offsets[s + 1..] {
+            *off -= 1;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::classify_window;
+    use crate::csr::Csr;
+    use crate::delta::{apply_updates, GraphUpdate};
+
+    fn snap(n: usize, edges: &[(u32, u32)]) -> Snapshot {
+        Snapshot::fully_active(
+            Csr::from_edges(n, edges),
+            DenseMatrix::from_fn(n, 2, |r, _| r as f32),
+        )
+    }
+
+    /// Same Figure-4 style fixture as the subgraph tests.
+    fn fixture() -> (Vec<Snapshot>, WindowClassification, AffectedSubgraph) {
+        let s0 = snap(8, &[(0, 1), (1, 2), (2, 3), (3, 0), (4, 5), (4, 6), (5, 7)]);
+        let s1 = apply_updates(
+            &s0,
+            &[
+                GraphUpdate::RemoveEdge { src: 4, dst: 6 },
+                GraphUpdate::MutateFeature {
+                    v: 5,
+                    feature: vec![9.0, 9.0],
+                },
+                GraphUpdate::MutateFeature {
+                    v: 6,
+                    feature: vec![8.0, 8.0],
+                },
+                GraphUpdate::MutateFeature {
+                    v: 7,
+                    feature: vec![7.5, 7.5],
+                },
+            ],
+        );
+        let s2 = apply_updates(
+            &s1,
+            &[
+                GraphUpdate::AddEdge { src: 4, dst: 6 },
+                GraphUpdate::RemoveEdge { src: 4, dst: 5 },
+                GraphUpdate::MutateFeature {
+                    v: 5,
+                    feature: vec![9.5, 9.5],
+                },
+            ],
+        );
+        let snaps = vec![s0, s1, s2];
+        let refs: Vec<&Snapshot> = snaps.iter().collect();
+        let cls = classify_window(&refs);
+        let sg = AffectedSubgraph::extract(&refs, &cls);
+        (snaps, cls, sg)
+    }
+
+    fn build() -> (Vec<Snapshot>, WindowClassification, OCsr) {
+        let (snaps, cls, sg) = fixture();
+        let refs: Vec<&Snapshot> = snaps.iter().collect();
+        let ocsr = OCsr::from_subgraph(&refs, &cls, &sg);
+        (snaps, cls, ocsr)
+    }
+
+    #[test]
+    fn matches_paper_example_layout_for_v4() {
+        let (_, _, ocsr) = build();
+        assert_eq!(ocsr.sources()[0], 4, "stable root first in DFS order");
+        let nbrs: Vec<_> = ocsr.neighbors(4).collect();
+        // Paper: Tindex[0:3] = [5, 6, 5, 6], Timestamp[0:3] = [t-1,t-1,t,t+1].
+        assert_eq!(nbrs, vec![(5, 0), (6, 0), (5, 1), (6, 2)]);
+        assert_eq!(ocsr.enums()[0], 4, "Enum[0] = 4 per the paper example");
+    }
+
+    #[test]
+    fn stable_feature_stored_once() {
+        let (snaps, _, ocsr) = build();
+        // v4 is stable: same row for every t.
+        let f0 = ocsr.feature(4, 0).unwrap().to_vec();
+        let f2 = ocsr.feature(4, 2).unwrap().to_vec();
+        assert_eq!(f0, f2);
+        assert_eq!(f0.as_slice(), snaps[0].feature(4));
+        // 1 stable row + 3 affected vertices x 3 snapshots = 10 rows.
+        assert_eq!(ocsr.num_feature_rows(), 10);
+    }
+
+    #[test]
+    fn affected_feature_per_snapshot() {
+        let (snaps, _, ocsr) = build();
+        assert_eq!(ocsr.feature(5, 0).unwrap(), snaps[0].feature(5));
+        assert_eq!(ocsr.feature(5, 1).unwrap(), snaps[1].feature(5));
+        assert_eq!(ocsr.feature(5, 2).unwrap(), snaps[2].feature(5));
+        assert_ne!(ocsr.feature(5, 0).unwrap(), ocsr.feature(5, 1).unwrap());
+    }
+
+    #[test]
+    fn absent_vertices_have_no_feature() {
+        let (_, _, ocsr) = build();
+        assert!(
+            ocsr.feature(0, 0).is_none(),
+            "unaffected vertices are not stored"
+        );
+        assert!(!ocsr.contains(0));
+        assert!(ocsr.contains(4));
+    }
+
+    #[test]
+    fn neighbors_at_filters_by_snapshot() {
+        let (_, _, ocsr) = build();
+        let at1: Vec<_> = ocsr.neighbors_at(4, 1).collect();
+        assert_eq!(at1, vec![5]);
+        let at2: Vec<_> = ocsr.neighbors_at(4, 2).collect();
+        assert_eq!(at2, vec![6]);
+    }
+
+    #[test]
+    fn storage_within_paper_bound() {
+        let (snaps, _, ocsr) = build();
+        let dim = snaps[0].feature_dim();
+        // Bound is in elements; every element here is 4 bytes.
+        let bound_bytes = ocsr.paper_space_bound(dim) * 4;
+        assert!(
+            ocsr.storage_bytes() <= bound_bytes,
+            "O-CSR {}B must fit the paper bound {}B",
+            ocsr.storage_bytes(),
+            bound_bytes
+        );
+    }
+
+    #[test]
+    fn insert_edge_keeps_order_and_counts() {
+        let (_, _, mut ocsr) = build();
+        let before = ocsr.num_edges();
+        ocsr.insert_edge(4, 7, 1);
+        assert_eq!(ocsr.num_edges(), before + 1);
+        let nbrs: Vec<_> = ocsr.neighbors(4).collect();
+        assert_eq!(nbrs, vec![(5, 0), (6, 0), (5, 1), (7, 1), (6, 2)]);
+        // Duplicate insert is a no-op.
+        ocsr.insert_edge(4, 7, 1);
+        assert_eq!(ocsr.num_edges(), before + 1);
+    }
+
+    #[test]
+    fn remove_edge_shifts_following_sources() {
+        let (_, _, mut ocsr) = build();
+        let v5_before: Vec<_> = ocsr.neighbors(5).collect();
+        assert!(ocsr.remove_edge(4, 5, 0));
+        assert!(!ocsr.remove_edge(4, 5, 0), "second removal is a no-op");
+        let v5_after: Vec<_> = ocsr.neighbors(5).collect();
+        assert_eq!(
+            v5_before, v5_after,
+            "other sources' views must be unchanged"
+        );
+        assert_eq!(ocsr.enums()[0], 3);
+    }
+
+    #[test]
+    fn empty_subgraph_yields_empty_ocsr() {
+        let s = snap(4, &[(0, 1)]);
+        let refs = [&s, &s];
+        let cls = classify_window(&refs);
+        let sg = AffectedSubgraph::extract(&refs, &cls);
+        let ocsr = OCsr::from_subgraph(&refs, &cls, &sg);
+        assert_eq!(ocsr.num_vertices(), 0);
+        assert_eq!(ocsr.num_edges(), 0);
+        assert_eq!(ocsr.num_feature_rows(), 0);
+    }
+}

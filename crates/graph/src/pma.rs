@@ -1,0 +1,367 @@
+//! Packed Memory Array (PMA) dynamic-graph storage — the second baseline
+//! format of Fig. 13(b) (as used by GPMA/GraSU-style systems).
+//!
+//! A PMA keeps sorted elements in an array with deliberate gaps so that an
+//! insertion only shifts elements within one small window. The price is that
+//! every scan touches the gaps too, and the index overhead grows with the
+//! rebalancing slack — exactly the locality disadvantage O-CSR is compared
+//! against.
+
+use crate::types::{SnapshotId, VertexId};
+use serde::{Deserialize, Serialize};
+
+/// A timestamped directed edge, the PMA's element type. Ordering is
+/// `(src, snapshot, dst)` so a per-source scan is contiguous.
+pub type PmaEdge = (VertexId, SnapshotId, VertexId);
+
+/// Minimum capacity of the backing array.
+const MIN_CAPACITY: usize = 8;
+/// Maximum root density before the array doubles.
+const ROOT_MAX_DENSITY: f64 = 0.75;
+
+/// A Packed Memory Array of timestamped edges.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pma {
+    slots: Vec<Option<PmaEdge>>,
+    len: usize,
+    segment_size: usize,
+    /// Elements moved by rebalances since construction (edit-cost metric).
+    moves: u64,
+}
+
+impl Default for Pma {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Pma {
+    /// An empty PMA.
+    pub fn new() -> Self {
+        Self {
+            slots: vec![None; MIN_CAPACITY],
+            len: 0,
+            segment_size: MIN_CAPACITY,
+            moves: 0,
+        }
+    }
+
+    /// Bulk-loads a PMA from an unsorted edge list.
+    pub fn from_edges(edges: &[PmaEdge]) -> Self {
+        let mut pma = Self::new();
+        for &e in edges {
+            pma.insert(e);
+        }
+        pma
+    }
+
+    /// Number of stored edges.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the PMA is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Capacity of the backing array (stored slots, occupied or not).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total elements moved by rebalances so far.
+    #[inline]
+    pub fn rebalance_moves(&self) -> u64 {
+        self.moves
+    }
+
+    /// Inserts an edge; duplicates are ignored. Returns whether it was new.
+    pub fn insert(&mut self, edge: PmaEdge) -> bool {
+        if self.contains(edge) {
+            return false;
+        }
+        // Grow when the whole array is too dense.
+        if (self.len + 1) as f64 / self.slots.len() as f64 > ROOT_MAX_DENSITY {
+            self.resize(self.slots.len() * 2);
+        }
+        // `pos` is the slot index such that every occupied slot before it
+        // holds an element `< edge` and every occupied slot at/after it
+        // holds an element `>= edge` (may be `slots.len()` for appends).
+        let pos = self.insertion_point(edge);
+        let seg = (pos / self.segment_size).min(self.slots.len() / self.segment_size.max(1));
+        let seg_start = seg * self.segment_size;
+        let seg_end = ((seg + 1) * self.segment_size).min(self.slots.len());
+
+        // Prefer a free slot inside the leaf segment (cheap local shift),
+        // then widen the window to the whole array — mimicking a PMA's
+        // cascading window rebalance while keeping the sorted invariant.
+        let free_right = (pos..seg_end)
+            .find(|&i| self.slots[i].is_none())
+            .or_else(|| (seg_end..self.slots.len()).find(|&i| self.slots[i].is_none()));
+        let free_left = if pos == 0 {
+            None
+        } else {
+            (seg_start..pos.min(self.slots.len()))
+                .rev()
+                .find(|&i| self.slots[i].is_none())
+                .or_else(|| (0..seg_start).rev().find(|&i| self.slots[i].is_none()))
+        };
+        // Pick the nearer free slot so shifts stay short.
+        let choice = match (free_right, free_left) {
+            (Some(r), Some(l)) => {
+                if r - pos <= pos - 1 - l {
+                    Some((r, true))
+                } else {
+                    Some((l, false))
+                }
+            }
+            (Some(r), None) => Some((r, true)),
+            (None, Some(l)) => Some((l, false)),
+            (None, None) => None,
+        };
+        match choice {
+            Some((free, true)) => {
+                // Shift [pos, free) one step right; the gap opens at pos.
+                for i in (pos..free).rev() {
+                    self.slots[i + 1] = self.slots[i].take();
+                    self.moves += 1;
+                }
+                self.slots[pos] = Some(edge);
+            }
+            Some((free, false)) => {
+                // Shift (free, pos) one step left; the gap opens at pos-1.
+                // Every slot in (free, pos) is occupied by elements < edge,
+                // so the element stays sorted at pos-1.
+                for i in free..pos - 1 {
+                    self.slots[i] = self.slots[i + 1].take();
+                    self.moves += 1;
+                }
+                self.slots[pos - 1] = Some(edge);
+            }
+            None => {
+                // Array completely full (root density guard should prevent
+                // this, but stay safe): grow and retry.
+                self.resize(self.slots.len() * 2);
+                return self.insert(edge);
+            }
+        }
+        self.len += 1;
+        true
+    }
+
+    /// Removes an edge; returns whether it was present.
+    pub fn remove(&mut self, edge: PmaEdge) -> bool {
+        match self.find(edge) {
+            Some(i) => {
+                self.slots[i] = None;
+                self.len -= 1;
+                // Shrink when very sparse, keeping the minimum capacity.
+                if self.slots.len() > MIN_CAPACITY
+                    && (self.len as f64) < self.slots.len() as f64 * 0.125
+                {
+                    self.resize((self.slots.len() / 2).max(MIN_CAPACITY));
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether `edge` is stored.
+    pub fn contains(&self, edge: PmaEdge) -> bool {
+        self.find(edge).is_some()
+    }
+
+    /// Iterates over stored edges in sorted order, skipping gaps.
+    pub fn iter(&self) -> impl Iterator<Item = PmaEdge> + '_ {
+        self.slots.iter().filter_map(|s| *s)
+    }
+
+    /// Edges of one source across all snapshots, in `(snapshot, dst)` order.
+    pub fn neighbors(&self, src: VertexId) -> impl Iterator<Item = (SnapshotId, VertexId)> + '_ {
+        self.iter()
+            .filter(move |&(s, _, _)| s == src)
+            .map(|(_, t, d)| (t, d))
+    }
+
+    /// In-memory footprint: the full slot array, including gaps.
+    pub fn storage_bytes(&self) -> usize {
+        self.slots.len() * std::mem::size_of::<Option<PmaEdge>>()
+    }
+
+    /// Cost (slots touched) of a full scan — gaps are touched too, which is
+    /// the PMA's access-cost disadvantage against O-CSR in Fig. 13(b).
+    pub fn scan_cost(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Nearest occupied slot to `mid` within `[lo, hi)`: scans right first,
+    /// then left. Gap runs are short after rebalancing, so this is cheap.
+    fn nearest_occupied(&self, mid: usize, lo: usize, hi: usize) -> Option<usize> {
+        (mid..hi)
+            .find(|&i| self.slots[i].is_some())
+            .or_else(|| (lo..mid).rev().find(|&i| self.slots[i].is_some()))
+    }
+
+    /// Index of the first slot whose element is `>= edge`, or `slots.len()`
+    /// when every stored element is smaller (append position). Binary
+    /// search over the gapped array: occupied slots are sorted by index, so
+    /// probing the occupied slot nearest each midpoint halves the range.
+    fn insertion_point(&self, edge: PmaEdge) -> usize {
+        let (mut lo, mut hi) = (0usize, self.slots.len());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            match self.nearest_occupied(mid, lo, hi) {
+                // [lo, hi) holds no elements: any slot there preserves
+                // order; attach to the right boundary.
+                None => return hi,
+                Some(i) => {
+                    let e = self.slots[i].expect("occupied slot");
+                    if e < edge {
+                        lo = i + 1;
+                    } else {
+                        hi = i;
+                    }
+                }
+            }
+        }
+        hi
+    }
+
+    fn find(&self, edge: PmaEdge) -> Option<usize> {
+        let pos = self.insertion_point(edge);
+        // The element, if present, is the first occupied slot at/after pos.
+        let off = self.slots[pos..].iter().position(Option::is_some)?;
+        (self.slots[pos + off] == Some(edge)).then_some(pos + off)
+    }
+
+    fn resize(&mut self, new_capacity: usize) {
+        let elems: Vec<PmaEdge> = self.iter().collect();
+        self.slots = vec![None; new_capacity.max(MIN_CAPACITY)];
+        self.segment_size = (self.slots.len().ilog2() as usize)
+            .next_power_of_two()
+            .max(4)
+            .min(self.slots.len());
+        self.place_evenly(&elems);
+    }
+
+    fn place_evenly(&mut self, elems: &[PmaEdge]) {
+        if elems.is_empty() {
+            return;
+        }
+        let cap = self.slots.len();
+        for (i, &e) in elems.iter().enumerate() {
+            let pos = i * cap / elems.len();
+            self.slots[pos] = Some(e);
+            self.moves += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_iterate_sorted() {
+        let mut pma = Pma::new();
+        for e in [(2, 0, 1), (0, 0, 3), (1, 1, 0), (0, 1, 2), (0, 0, 1)] {
+            assert!(pma.insert(e));
+        }
+        let got: Vec<PmaEdge> = pma.iter().collect();
+        let mut want = vec![(0, 0, 1), (0, 0, 3), (0, 1, 2), (1, 1, 0), (2, 0, 1)];
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn duplicate_insert_is_rejected() {
+        let mut pma = Pma::new();
+        assert!(pma.insert((1, 0, 2)));
+        assert!(!pma.insert((1, 0, 2)));
+        assert_eq!(pma.len(), 1);
+    }
+
+    #[test]
+    fn remove_deletes_and_reports() {
+        let mut pma = Pma::from_edges(&[(0, 0, 1), (0, 0, 2), (1, 0, 0)]);
+        assert!(pma.remove((0, 0, 2)));
+        assert!(!pma.remove((0, 0, 2)));
+        assert_eq!(pma.len(), 2);
+        assert!(!pma.contains((0, 0, 2)));
+    }
+
+    #[test]
+    fn grows_under_load_and_stays_sorted() {
+        let mut pma = Pma::new();
+        let mut edges = Vec::new();
+        for src in 0..40u32 {
+            for dst in 0..5u32 {
+                edges.push((src * 7 % 40, (dst % 3) as SnapshotId, dst));
+            }
+        }
+        for &e in &edges {
+            pma.insert(e);
+        }
+        let got: Vec<PmaEdge> = pma.iter().collect();
+        let mut want: Vec<PmaEdge> = edges.clone();
+        want.sort_unstable();
+        want.dedup();
+        assert_eq!(got, want);
+        assert!(pma.capacity() >= pma.len());
+    }
+
+    #[test]
+    fn neighbors_filters_by_source() {
+        let pma = Pma::from_edges(&[(0, 0, 1), (0, 1, 2), (1, 0, 3)]);
+        let n0: Vec<_> = pma.neighbors(0).collect();
+        assert_eq!(n0, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn shrinks_when_sparse() {
+        let mut pma = Pma::new();
+        for i in 0..100u32 {
+            pma.insert((i, 0, i));
+        }
+        let grown = pma.capacity();
+        for i in 0..99u32 {
+            pma.remove((i, 0, i));
+        }
+        assert!(
+            pma.capacity() < grown,
+            "PMA must shrink after mass deletion"
+        );
+        assert!(pma.contains((99, 0, 99)));
+    }
+
+    #[test]
+    fn scan_cost_exceeds_len_due_to_gaps() {
+        let mut pma = Pma::new();
+        for i in 0..50u32 {
+            pma.insert((i, 0, 0));
+        }
+        assert!(
+            pma.scan_cost() > pma.len(),
+            "gaps make scans cost more than |E|"
+        );
+    }
+
+    #[test]
+    fn random_order_inserts_match_sorted_inserts() {
+        let forward: Vec<PmaEdge> = (0..64u32)
+            .map(|i| (i % 8, (i / 8) as SnapshotId, i))
+            .collect();
+        let mut shuffled = forward.clone();
+        shuffled.reverse();
+        shuffled.swap(0, 10);
+        shuffled.swap(5, 40);
+        let a = Pma::from_edges(&forward);
+        let b = Pma::from_edges(&shuffled);
+        assert_eq!(a.iter().collect::<Vec<_>>(), b.iter().collect::<Vec<_>>());
+    }
+}

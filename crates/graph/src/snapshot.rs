@@ -1,0 +1,160 @@
+//! A feature-carrying graph snapshot `G_t = (V_t, E_t, X_t)`.
+
+use crate::csr::Csr;
+use crate::types::VertexId;
+use serde::{Deserialize, Serialize};
+use tagnn_tensor::DenseMatrix;
+
+/// One snapshot of a dynamic graph: adjacency in CSR, a dense vertex-feature
+/// table, and an activity bitmap (vertices can be added/removed over time,
+/// so all snapshots share the vertex id universe `0..num_vertices` and mark
+/// presence per snapshot).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    csr: Csr,
+    features: DenseMatrix,
+    active: Vec<bool>,
+}
+
+impl Snapshot {
+    /// Assembles a snapshot.
+    ///
+    /// # Panics
+    /// Panics if the CSR, feature table, and bitmap disagree on vertex count.
+    pub fn new(csr: Csr, features: DenseMatrix, active: Vec<bool>) -> Self {
+        assert_eq!(
+            csr.num_vertices(),
+            features.rows(),
+            "feature rows must match vertex count"
+        );
+        assert_eq!(
+            csr.num_vertices(),
+            active.len(),
+            "bitmap must match vertex count"
+        );
+        Self {
+            csr,
+            features,
+            active,
+        }
+    }
+
+    /// A snapshot where every vertex is active.
+    pub fn fully_active(csr: Csr, features: DenseMatrix) -> Self {
+        let n = csr.num_vertices();
+        Self::new(csr, features, vec![true; n])
+    }
+
+    /// The adjacency structure.
+    #[inline]
+    pub fn csr(&self) -> &Csr {
+        &self.csr
+    }
+
+    /// The vertex-feature table (one row per vertex).
+    #[inline]
+    pub fn features(&self) -> &DenseMatrix {
+        &self.features
+    }
+
+    /// Mutable feature table (used when applying feature-mutation deltas).
+    #[inline]
+    pub fn features_mut(&mut self) -> &mut DenseMatrix {
+        &mut self.features
+    }
+
+    /// Whether vertex `v` exists in this snapshot.
+    #[inline]
+    pub fn is_active(&self, v: VertexId) -> bool {
+        self.active[v as usize]
+    }
+
+    /// The activity bitmap.
+    #[inline]
+    pub fn active(&self) -> &[bool] {
+        &self.active
+    }
+
+    /// Size of the shared vertex-id universe.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.csr.num_vertices()
+    }
+
+    /// Number of active vertices.
+    pub fn num_active(&self) -> usize {
+        self.active.iter().filter(|&&a| a).count()
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.csr.num_edges()
+    }
+
+    /// Feature dimensionality `D`.
+    #[inline]
+    pub fn feature_dim(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// Feature row of vertex `v`.
+    #[inline]
+    pub fn feature(&self, v: VertexId) -> &[f32] {
+        self.features.row(v as usize)
+    }
+
+    /// Sorted out-neighbours of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        self.csr.neighbors(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap() -> Snapshot {
+        let csr = Csr::from_edges(3, &[(0, 1), (1, 2)]);
+        let feats = DenseMatrix::from_fn(3, 2, |r, c| (r + c) as f32);
+        Snapshot::fully_active(csr, feats)
+    }
+
+    #[test]
+    fn accessors_are_consistent() {
+        let s = snap();
+        assert_eq!(s.num_vertices(), 3);
+        assert_eq!(s.num_edges(), 2);
+        assert_eq!(s.feature_dim(), 2);
+        assert_eq!(s.feature(1), &[1.0, 2.0]);
+        assert_eq!(s.neighbors(0), &[1]);
+        assert_eq!(s.num_active(), 3);
+    }
+
+    #[test]
+    fn inactive_vertices_tracked() {
+        let csr = Csr::empty(2);
+        let feats = DenseMatrix::zeros(2, 1);
+        let s = Snapshot::new(csr, feats, vec![true, false]);
+        assert!(s.is_active(0));
+        assert!(!s.is_active(1));
+        assert_eq!(s.num_active(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature rows")]
+    fn rejects_mismatched_features() {
+        let csr = Csr::empty(2);
+        let feats = DenseMatrix::zeros(3, 1);
+        let _ = Snapshot::fully_active(csr, feats);
+    }
+
+    #[test]
+    #[should_panic(expected = "bitmap")]
+    fn rejects_mismatched_bitmap() {
+        let csr = Csr::empty(2);
+        let feats = DenseMatrix::zeros(2, 1);
+        let _ = Snapshot::new(csr, feats, vec![true]);
+    }
+}

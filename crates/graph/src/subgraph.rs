@@ -1,0 +1,311 @@
+//! Affected-subgraph extraction (paper §3.1, "Topology-aware Concurrent
+//! Processing").
+//!
+//! Stable vertices act as cut vertices between the unaffected region and the
+//! region perturbed by graph updates. Starting a DFS from every stable root
+//! and recursing only through *affected* neighbours delineates exactly the
+//! subgraph whose GNN outputs can change within the window; unaffected
+//! vertices never enter it and are computed once per layer.
+
+use crate::classify::WindowClassification;
+use crate::snapshot::Snapshot;
+use crate::types::{SnapshotId, VertexClass, VertexId};
+use serde::{Deserialize, Serialize};
+
+/// One timestamped edge of the affected subgraph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubEdge {
+    /// Source vertex (a member of the affected subgraph).
+    pub src: VertexId,
+    /// Target vertex (any class — aggregation needs every neighbour).
+    pub dst: VertexId,
+    /// Snapshot (relative to the window start) the edge belongs to.
+    pub snapshot: SnapshotId,
+}
+
+/// The affected subgraph of one window: the stable + affected vertices that
+/// must be recomputed per snapshot, with their timestamped adjacency.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AffectedSubgraph {
+    vertices: Vec<VertexId>,
+    roots: Vec<VertexId>,
+    visit_order: Vec<VertexId>,
+    edges: Vec<SubEdge>,
+    window: usize,
+}
+
+impl AffectedSubgraph {
+    /// Extracts the affected subgraph for `snaps` given its classification.
+    ///
+    /// The DFS starts from every stable vertex (the paper's roots) and
+    /// recurses through affected neighbours across *all* snapshots of the
+    /// window concurrently. Affected vertices unreachable from any stable
+    /// root (components with no stable boundary, e.g. freshly inserted
+    /// islands) are swept up afterwards so the subgraph is complete.
+    ///
+    /// # Panics
+    /// Panics if `snaps` is empty or its universe disagrees with `cls`.
+    pub fn extract(snaps: &[&Snapshot], cls: &WindowClassification) -> Self {
+        assert!(
+            !snaps.is_empty(),
+            "window must contain at least one snapshot"
+        );
+        let n = snaps[0].num_vertices();
+        assert_eq!(cls.classes().len(), n, "classification universe mismatch");
+
+        let mut visited = vec![false; n];
+        let mut visit_order = Vec::new();
+        let mut roots = Vec::new();
+        let mut stack: Vec<VertexId> = Vec::new();
+
+        let mut dfs_from =
+            |root: VertexId, visited: &mut Vec<bool>, visit_order: &mut Vec<VertexId>| {
+                if visited[root as usize] {
+                    return;
+                }
+                visited[root as usize] = true;
+                visit_order.push(root);
+                stack.push(root);
+                while let Some(v) = stack.pop() {
+                    for snap in snaps {
+                        if !snap.is_active(v) {
+                            continue;
+                        }
+                        for &u in snap.neighbors(v) {
+                            if !visited[u as usize] && cls.class(u) == VertexClass::Affected {
+                                visited[u as usize] = true;
+                                visit_order.push(u);
+                                stack.push(u);
+                            }
+                        }
+                    }
+                }
+            };
+
+        // Phase 1: stable roots, as the paper prescribes.
+        for v in 0..n as VertexId {
+            if cls.class(v) == VertexClass::Stable {
+                roots.push(v);
+                dfs_from(v, &mut visited, &mut visit_order);
+            }
+        }
+        // Phase 2: orphan affected components (no stable boundary).
+        for v in 0..n as VertexId {
+            if cls.class(v) == VertexClass::Affected && !visited[v as usize] {
+                dfs_from(v, &mut visited, &mut visit_order);
+            }
+        }
+
+        let mut vertices: Vec<VertexId> = visit_order.clone();
+        vertices.sort_unstable();
+
+        // Timestamped adjacency: everything each subgraph vertex aggregates
+        // from, per snapshot.
+        let mut edges = Vec::new();
+        for &v in &vertices {
+            for (t, snap) in snaps.iter().enumerate() {
+                if !snap.is_active(v) {
+                    continue;
+                }
+                for &u in snap.neighbors(v) {
+                    edges.push(SubEdge {
+                        src: v,
+                        dst: u,
+                        snapshot: t as SnapshotId,
+                    });
+                }
+            }
+        }
+
+        Self {
+            vertices,
+            roots,
+            visit_order,
+            edges,
+            window: snaps.len(),
+        }
+    }
+
+    /// Sorted vertex set of the subgraph.
+    #[inline]
+    pub fn vertices(&self) -> &[VertexId] {
+        &self.vertices
+    }
+
+    /// The stable roots the DFS started from.
+    #[inline]
+    pub fn roots(&self) -> &[VertexId] {
+        &self.roots
+    }
+
+    /// Vertices in DFS discovery order (the locality-friendly layout order).
+    #[inline]
+    pub fn visit_order(&self) -> &[VertexId] {
+        &self.visit_order
+    }
+
+    /// Timestamped edges, grouped by source vertex then snapshot.
+    #[inline]
+    pub fn edges(&self) -> &[SubEdge] {
+        &self.edges
+    }
+
+    /// Window size this subgraph was extracted over.
+    #[inline]
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Whether `v` belongs to the subgraph.
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.vertices.binary_search(&v).is_ok()
+    }
+
+    /// Number of subgraph vertices |V_S|.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of timestamped edges |E_S|.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::classify_window;
+    use crate::csr::Csr;
+    use crate::delta::{apply_updates, GraphUpdate};
+    use tagnn_tensor::DenseMatrix;
+
+    fn snap(n: usize, edges: &[(u32, u32)]) -> Snapshot {
+        Snapshot::fully_active(
+            Csr::from_edges(n, edges),
+            DenseMatrix::from_fn(n, 2, |r, _| r as f32),
+        )
+    }
+
+    /// The paper's Figure 4 example: v0..v3 unaffected, v4 stable,
+    /// v5..v7 affected.
+    fn figure4() -> (Snapshot, Snapshot, Snapshot) {
+        // Base: v0-v3 form a stable clique-ish region, v4 bridges to v5/v6.
+        let s0 = snap(8, &[(0, 1), (1, 2), (2, 3), (3, 0), (4, 5), (4, 6), (5, 7)]);
+        let s1 = apply_updates(
+            &s0,
+            &[
+                GraphUpdate::RemoveEdge { src: 4, dst: 6 },
+                GraphUpdate::MutateFeature {
+                    v: 5,
+                    feature: vec![9.0, 9.0],
+                },
+                GraphUpdate::MutateFeature {
+                    v: 6,
+                    feature: vec![8.0, 8.0],
+                },
+                GraphUpdate::MutateFeature {
+                    v: 7,
+                    feature: vec![7.5, 7.5],
+                },
+            ],
+        );
+        let s2 = apply_updates(
+            &s1,
+            &[
+                GraphUpdate::AddEdge { src: 4, dst: 6 },
+                GraphUpdate::RemoveEdge { src: 4, dst: 5 },
+                GraphUpdate::MutateFeature {
+                    v: 5,
+                    feature: vec![9.5, 9.5],
+                },
+            ],
+        );
+        (s0, s1, s2)
+    }
+
+    #[test]
+    fn figure4_classification_matches_paper() {
+        let (s0, s1, s2) = figure4();
+        let cls = classify_window(&[&s0, &s1, &s2]);
+        for v in 0..4 {
+            assert_eq!(cls.class(v), VertexClass::Unaffected, "v{v}");
+        }
+        assert_eq!(cls.class(4), VertexClass::Stable);
+        for v in 5..8 {
+            assert_eq!(cls.class(v), VertexClass::Affected, "v{v}");
+        }
+    }
+
+    #[test]
+    fn figure4_subgraph_is_v4_to_v7() {
+        let (s0, s1, s2) = figure4();
+        let cls = classify_window(&[&s0, &s1, &s2]);
+        let sg = AffectedSubgraph::extract(&[&s0, &s1, &s2], &cls);
+        assert_eq!(sg.vertices(), &[4, 5, 6, 7]);
+        assert_eq!(sg.roots(), &[4]);
+        assert!(sg.contains(5));
+        assert!(!sg.contains(0));
+    }
+
+    #[test]
+    fn figure4_edges_are_timestamped() {
+        let (s0, s1, s2) = figure4();
+        let cls = classify_window(&[&s0, &s1, &s2]);
+        let sg = AffectedSubgraph::extract(&[&s0, &s1, &s2], &cls);
+        // v4's adjacency across the window: {5,6}@0, {5}@1, {6}@2.
+        let v4: Vec<_> = sg.edges().iter().filter(|e| e.src == 4).collect();
+        let tuples: Vec<(u32, u32)> = v4.iter().map(|e| (e.dst, e.snapshot)).collect();
+        assert_eq!(tuples, vec![(5, 0), (6, 0), (5, 1), (6, 2)]);
+    }
+
+    #[test]
+    fn orphan_affected_components_are_swept_up() {
+        // v3 is an isolated vertex whose feature changes: affected, with no
+        // stable root pointing at it.
+        let s0 = snap(4, &[(0, 1), (1, 0)]);
+        let s1 = apply_updates(
+            &s0,
+            &[GraphUpdate::MutateFeature {
+                v: 3,
+                feature: vec![1.0, 1.0],
+            }],
+        );
+        let cls = classify_window(&[&s0, &s1]);
+        assert_eq!(cls.class(3), VertexClass::Affected);
+        let sg = AffectedSubgraph::extract(&[&s0, &s1], &cls);
+        assert!(
+            sg.contains(3),
+            "orphan affected vertex must enter the subgraph"
+        );
+    }
+
+    #[test]
+    fn unaffected_vertices_never_enter_subgraph() {
+        let (s0, s1, s2) = figure4();
+        let cls = classify_window(&[&s0, &s1, &s2]);
+        let sg = AffectedSubgraph::extract(&[&s0, &s1, &s2], &cls);
+        for &v in sg.vertices() {
+            assert_ne!(cls.class(v), VertexClass::Unaffected);
+        }
+    }
+
+    #[test]
+    fn identical_window_yields_empty_subgraph() {
+        let s = snap(5, &[(0, 1), (2, 3)]);
+        let cls = classify_window(&[&s, &s]);
+        let sg = AffectedSubgraph::extract(&[&s, &s], &cls);
+        assert_eq!(sg.num_vertices(), 0);
+        assert_eq!(sg.num_edges(), 0);
+    }
+
+    #[test]
+    fn visit_order_starts_at_stable_roots() {
+        let (s0, s1, s2) = figure4();
+        let cls = classify_window(&[&s0, &s1, &s2]);
+        let sg = AffectedSubgraph::extract(&[&s0, &s1, &s2], &cls);
+        assert_eq!(sg.visit_order()[0], 4, "DFS must start at the stable root");
+    }
+}

@@ -1,0 +1,80 @@
+//! Core identifier types and the vertex classification taxonomy of §3.1.
+
+use serde::{Deserialize, Serialize};
+
+/// Vertex identifier. Dynamic graphs in the paper top out at ~2.3 M vertices
+/// (Flickr), so `u32` halves index memory versus `usize` with headroom.
+pub type VertexId = u32;
+
+/// Index of a snapshot within a [`crate::DynamicGraph`] (the paper's
+/// timestamp `t`).
+pub type SnapshotId = u32;
+
+/// Classification of a vertex across a window of consecutive snapshots
+/// (paper §3.1).
+///
+/// The taxonomy is hierarchical: the unaffected set is a subset of the
+/// stable set. A vertex is
+///
+/// * **Unaffected** — its feature, its neighbour set, *and* all its
+///   neighbours' features are identical in every snapshot of the window.
+///   Its GNN output is byte-identical across the window, so TaGNN loads and
+///   computes it exactly once per layer.
+/// * **Stable** — its own feature is unchanged but its neighbourhood (the
+///   neighbour IDs or their features) changed somewhere in the window.
+///   Stable vertices act as *cut vertices* separating the affected region
+///   from the unaffected one, and serve as DFS roots for affected-subgraph
+///   extraction.
+/// * **Affected** — its own feature changed, or the vertex is absent from
+///   some snapshot of the window. Everything about it must be recomputed per
+///   snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VertexClass {
+    /// Identical feature, neighbours, and neighbour features across the
+    /// window: compute once.
+    Unaffected,
+    /// Unchanged feature but changed neighbourhood: recompute aggregation,
+    /// DFS root for the affected subgraph.
+    Stable,
+    /// Changed feature or presence: fully recompute.
+    Affected,
+}
+
+impl VertexClass {
+    /// Whether the vertex belongs to the stable *superset* (stable or
+    /// unaffected), i.e. its own feature never changes within the window.
+    #[inline]
+    pub fn is_feature_stable(self) -> bool {
+        matches!(self, VertexClass::Unaffected | VertexClass::Stable)
+    }
+
+    /// Whether the vertex participates in the affected subgraph (stable
+    /// roots and affected vertices do; unaffected vertices do not).
+    #[inline]
+    pub fn in_affected_subgraph(self) -> bool {
+        matches!(self, VertexClass::Stable | VertexClass::Affected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unaffected_is_feature_stable_but_not_in_subgraph() {
+        assert!(VertexClass::Unaffected.is_feature_stable());
+        assert!(!VertexClass::Unaffected.in_affected_subgraph());
+    }
+
+    #[test]
+    fn stable_is_both() {
+        assert!(VertexClass::Stable.is_feature_stable());
+        assert!(VertexClass::Stable.in_affected_subgraph());
+    }
+
+    #[test]
+    fn affected_is_only_in_subgraph() {
+        assert!(!VertexClass::Affected.is_feature_stable());
+        assert!(VertexClass::Affected.in_affected_subgraph());
+    }
+}

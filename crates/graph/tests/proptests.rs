@@ -1,0 +1,235 @@
+//! Property-based tests of the graph substrate: CSR construction, update
+//! application, window classification, affected-subgraph extraction, O-CSR
+//! invariants, and the PMA against a BTreeSet model.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use tagnn_graph::classify::classify_window;
+use tagnn_graph::delta::{apply_updates, diff_snapshots, GraphUpdate};
+use tagnn_graph::pma::{Pma, PmaEdge};
+use tagnn_graph::subgraph::AffectedSubgraph;
+use tagnn_graph::types::VertexClass;
+use tagnn_graph::{Csr, OCsr, Snapshot};
+use tagnn_tensor::DenseMatrix;
+
+const N: usize = 12;
+
+fn edges_strategy() -> impl Strategy<Value = Vec<(u32, u32)>> {
+    proptest::collection::vec((0u32..N as u32, 0u32..N as u32), 0..40)
+}
+
+fn updates_strategy() -> impl Strategy<Value = Vec<GraphUpdate>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u32..N as u32, 0u32..N as u32)
+                .prop_map(|(src, dst)| GraphUpdate::AddEdge { src, dst }),
+            (0u32..N as u32, 0u32..N as u32)
+                .prop_map(|(src, dst)| GraphUpdate::RemoveEdge { src, dst }),
+            (0u32..N as u32, -2.0f32..2.0).prop_map(|(v, x)| GraphUpdate::MutateFeature {
+                v,
+                feature: vec![x, -x]
+            }),
+            (0u32..N as u32).prop_map(|v| GraphUpdate::RemoveVertex { v }),
+        ],
+        0..10,
+    )
+}
+
+fn base_snapshot(edges: &[(u32, u32)]) -> Snapshot {
+    let edges: Vec<(u32, u32)> = edges.iter().filter(|(s, t)| s != t).copied().collect();
+    Snapshot::fully_active(
+        Csr::from_edges(N, &edges),
+        DenseMatrix::from_fn(N, 2, |r, c| (r + c) as f32),
+    )
+}
+
+proptest! {
+    #[test]
+    fn csr_neighbor_lists_are_sorted_and_deduped(edges in edges_strategy()) {
+        let csr = Csr::from_edges(N, &edges);
+        let mut expected: BTreeSet<(u32, u32)> = edges.into_iter().collect();
+        expected = expected.into_iter().collect();
+        prop_assert_eq!(csr.num_edges(), expected.len());
+        for v in 0..N as u32 {
+            let nbrs = csr.neighbors(v);
+            prop_assert!(nbrs.windows(2).all(|w| w[0] < w[1]), "sorted+unique");
+            prop_assert_eq!(nbrs.len(), csr.degree(v));
+        }
+        let roundtrip: BTreeSet<(u32, u32)> = csr.edges().collect();
+        prop_assert_eq!(roundtrip, expected);
+    }
+
+    #[test]
+    fn degree_sum_equals_edge_count(edges in edges_strategy()) {
+        let csr = Csr::from_edges(N, &edges);
+        let total: usize = (0..N as u32).map(|v| csr.degree(v)).sum();
+        prop_assert_eq!(total, csr.num_edges());
+    }
+
+    #[test]
+    fn updates_never_leave_dangling_edges(edges in edges_strategy(), updates in updates_strategy()) {
+        let base = base_snapshot(&edges);
+        let next = apply_updates(&base, &updates);
+        for (s, t) in next.csr().edges() {
+            prop_assert!(next.is_active(s), "edge source must be active");
+            prop_assert!(next.is_active(t), "edge target must be active");
+        }
+    }
+
+    #[test]
+    fn classification_unaffected_implies_feature_stable(
+        edges in edges_strategy(),
+        updates in updates_strategy(),
+    ) {
+        let s0 = base_snapshot(&edges);
+        let s1 = apply_updates(&s0, &updates);
+        let cls = classify_window(&[&s0, &s1]);
+        for v in 0..N as u32 {
+            match cls.class(v) {
+                VertexClass::Unaffected | VertexClass::Stable => {
+                    prop_assert!(s0.is_active(v) == s1.is_active(v));
+                    if s0.is_active(v) {
+                        prop_assert_eq!(s0.feature(v), s1.feature(v), "v{} feature-stable", v);
+                    }
+                }
+                VertexClass::Affected => {}
+            }
+            if cls.class(v) == VertexClass::Unaffected {
+                prop_assert_eq!(s0.neighbors(v), s1.neighbors(v), "v{} topo-stable", v);
+            }
+        }
+    }
+
+    #[test]
+    fn identical_window_is_fully_unaffected(edges in edges_strategy()) {
+        let s = base_snapshot(&edges);
+        let cls = classify_window(&[&s, &s, &s]);
+        prop_assert_eq!(cls.count(VertexClass::Unaffected), N);
+    }
+
+    #[test]
+    fn subgraph_covers_affected_and_excludes_unaffected(
+        edges in edges_strategy(),
+        updates in updates_strategy(),
+    ) {
+        let s0 = base_snapshot(&edges);
+        let s1 = apply_updates(&s0, &updates);
+        let cls = classify_window(&[&s0, &s1]);
+        let sg = AffectedSubgraph::extract(&[&s0, &s1], &cls);
+        for v in 0..N as u32 {
+            match cls.class(v) {
+                VertexClass::Affected => prop_assert!(sg.contains(v), "affected v{} must be covered", v),
+                VertexClass::Unaffected => prop_assert!(!sg.contains(v), "unaffected v{} must be excluded", v),
+                VertexClass::Stable => {}
+            }
+        }
+        // Every root is stable.
+        for &r in sg.roots() {
+            prop_assert_eq!(cls.class(r), VertexClass::Stable);
+        }
+    }
+
+    #[test]
+    fn ocsr_respects_space_bound_and_adjacency(
+        edges in edges_strategy(),
+        updates in updates_strategy(),
+    ) {
+        let s0 = base_snapshot(&edges);
+        let s1 = apply_updates(&s0, &updates);
+        let refs = [&s0, &s1];
+        let cls = classify_window(&refs);
+        let sg = AffectedSubgraph::extract(&refs, &cls);
+        let ocsr = OCsr::from_subgraph(&refs, &cls, &sg);
+
+        // Paper space bound (in 4-byte elements).
+        prop_assert!(ocsr.storage_bytes() <= ocsr.paper_space_bound(s0.feature_dim()) * 4);
+
+        // Per-snapshot adjacency matches the snapshots exactly.
+        for &v in ocsr.sources() {
+            for (t, snap) in refs.iter().enumerate() {
+                let from_ocsr: Vec<u32> = ocsr.neighbors_at(v, t as u32).collect();
+                let expected: Vec<u32> =
+                    if snap.is_active(v) { snap.neighbors(v).to_vec() } else { vec![] };
+                prop_assert_eq!(from_ocsr, expected, "v{} t{}", v, t);
+            }
+        }
+
+        // Features of affected vertices match per snapshot.
+        for &v in ocsr.sources() {
+            if cls.class(v) == VertexClass::Affected {
+                for (t, snap) in refs.iter().enumerate() {
+                    if snap.is_active(v) {
+                        prop_assert_eq!(ocsr.feature(v, t as u32).unwrap(), snap.feature(v));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn diff_apply_roundtrip(edges in edges_strategy(), updates in updates_strategy()) {
+        let from = base_snapshot(&edges);
+        let to = apply_updates(&from, &updates);
+        let diff = diff_snapshots(&from, &to);
+        let rebuilt = apply_updates(&from, &diff);
+        prop_assert_eq!(rebuilt, to);
+    }
+
+    #[test]
+    fn edge_list_text_roundtrip(
+        edges in proptest::collection::vec((0u32..40, 0u32..40, 0u64..10_000), 1..60),
+    ) {
+        use tagnn_graph::io::{parse_temporal_edges, TemporalEdge};
+        let text: String = edges
+            .iter()
+            .map(|&(s, d, t)| format!("{s} {d} {t}\n"))
+            .collect();
+        let parsed = parse_temporal_edges(std::io::Cursor::new(text)).unwrap();
+        let expected: Vec<TemporalEdge> = edges
+            .iter()
+            .map(|&(src, dst, time)| TemporalEdge { src, dst, time })
+            .collect();
+        prop_assert_eq!(parsed, expected);
+    }
+
+    #[test]
+    fn snapshot_bucketing_conserves_edges(
+        edges in proptest::collection::vec((0u32..20, 0u32..20, 0u64..1_000), 1..40),
+        snapshots in 1usize..6,
+    ) {
+        use tagnn_graph::io::{snapshots_from_edges, TemporalEdge};
+        let tedges: Vec<TemporalEdge> = edges
+            .iter()
+            .map(|&(src, dst, time)| TemporalEdge { src, dst, time })
+            .collect();
+        // Full retention: the last snapshot holds every distinct non-loop edge.
+        let g = snapshots_from_edges(&tedges, snapshots, snapshots, 2, 1);
+        let distinct: BTreeSet<(u32, u32)> = edges
+            .iter()
+            .filter(|(s, d, _)| s != d)
+            .map(|&(s, d, _)| (s, d))
+            .collect();
+        let got: BTreeSet<(u32, u32)> = g.snapshot(snapshots - 1).csr().edges().collect();
+        prop_assert_eq!(got, distinct);
+    }
+
+    #[test]
+    fn pma_behaves_like_a_sorted_set(
+        ops in proptest::collection::vec((0u32..6, 0u32..3, 0u32..6, proptest::bool::ANY), 0..60),
+    ) {
+        let mut pma = Pma::new();
+        let mut model: BTreeSet<PmaEdge> = BTreeSet::new();
+        for (s, t, d, insert) in ops {
+            let edge = (s, t, d);
+            if insert {
+                prop_assert_eq!(pma.insert(edge), model.insert(edge));
+            } else {
+                prop_assert_eq!(pma.remove(edge), model.remove(&edge));
+            }
+            prop_assert_eq!(pma.len(), model.len());
+        }
+        let got: Vec<PmaEdge> = pma.iter().collect();
+        let want: Vec<PmaEdge> = model.into_iter().collect();
+        prop_assert_eq!(got, want, "PMA must iterate in sorted order with the model's content");
+    }
+}

@@ -1,0 +1,379 @@
+//! The RNN approximation baselines of Table 5.
+//!
+//! Each method replaces TaGNN's topology-aware cell skipping with a prior
+//! approximation technique, applied to the *same* exact GNN outputs so that
+//! Table 5 isolates RNN-approximation fidelity:
+//!
+//! * **DeltaRNN** (TaGNN-DR) — element-wise input-delta thresholding: input
+//!   components whose change since the last reconstructed input is below a
+//!   threshold are treated as unchanged. Ignores graph topology entirely.
+//! * **ALSTM** (TaGNN-AM) — approximate multipliers for LSTM gate math,
+//!   modelled as mantissa truncation of every multiplication operand.
+//! * **ATLAS** (TaGNN-AS) — a low-power time-series LSTM: approximate
+//!   multipliers plus piecewise-linear (hard) activations.
+
+use crate::dgnn::DgnnModel;
+use crate::rnn::{RnnCell, RnnKind};
+use serde::{Deserialize, Serialize};
+use tagnn_graph::types::VertexId;
+use tagnn_graph::DynamicGraph;
+use tagnn_tensor::{ops, DenseMatrix};
+
+/// Which approximation to apply in the RNN module.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ApproxMethod {
+    /// DeltaRNN: drop input-delta components with `|Δx_i| < threshold`.
+    DeltaRnn {
+        /// Per-element delta threshold (the paper's Δ knob).
+        threshold: f32,
+    },
+    /// ALSTM: approximate multipliers, modelled as operand quantisation to
+    /// `mantissa_bits` fractional bits.
+    Alstm {
+        /// Fractional bits retained by the approximate multiplier.
+        mantissa_bits: u32,
+    },
+    /// ATLAS: approximate multipliers plus hard (piecewise-linear)
+    /// sigmoid/tanh.
+    Atlas {
+        /// Fractional bits retained by the approximate multiplier.
+        mantissa_bits: u32,
+    },
+}
+
+impl ApproxMethod {
+    /// The paper's variant names.
+    pub fn name(self) -> &'static str {
+        match self {
+            ApproxMethod::DeltaRnn { .. } => "TaGNN-DR",
+            ApproxMethod::Alstm { .. } => "TaGNN-AM",
+            ApproxMethod::Atlas { .. } => "TaGNN-AS",
+        }
+    }
+
+    /// Operating points used in the Table 5 reproduction.
+    pub fn paper_variants() -> [ApproxMethod; 3] {
+        [
+            ApproxMethod::DeltaRnn { threshold: 0.25 },
+            ApproxMethod::Alstm { mantissa_bits: 4 },
+            ApproxMethod::Atlas { mantissa_bits: 3 },
+        ]
+    }
+}
+
+/// Quantises to `bits` fractional bits (the approximate-multiplier model).
+#[inline]
+fn quantize(x: f32, bits: u32) -> f32 {
+    let scale = (1u32 << bits) as f32;
+    (x * scale).round() / scale
+}
+
+/// Hard sigmoid: `clamp(0.25x + 0.5, 0, 1)`.
+#[inline]
+fn hard_sigmoid(x: f32) -> f32 {
+    (0.25 * x + 0.5).clamp(0.0, 1.0)
+}
+
+/// Hard tanh: `clamp(x, -1, 1)`.
+#[inline]
+fn hard_tanh(x: f32) -> f32 {
+    x.clamp(-1.0, 1.0)
+}
+
+/// Per-vertex state for the approximate runners.
+#[derive(Debug, Clone)]
+struct ApproxState {
+    h: Vec<f32>,
+    c: Vec<f32>,
+    /// Reconstructed input DeltaRNN believes it has seen.
+    x_ref: Vec<f32>,
+    /// Cached `W_x * x_ref`.
+    x_pre: Vec<f32>,
+    primed: bool,
+}
+
+/// Runs the approximate RNN over exact GNN outputs.
+///
+/// `gnn_outputs` must contain one `Z_t` per snapshot (e.g. from
+/// [`crate::ReferenceEngine`]); the return value is `H_t` per snapshot.
+///
+/// # Panics
+/// Panics if `gnn_outputs` is empty or shapes disagree with the model.
+pub fn run_approx_rnn(
+    model: &DgnnModel,
+    graph: &DynamicGraph,
+    gnn_outputs: &[DenseMatrix],
+    method: ApproxMethod,
+) -> Vec<DenseMatrix> {
+    assert_eq!(
+        gnn_outputs.len(),
+        graph.num_snapshots(),
+        "one Z per snapshot required"
+    );
+    let n = graph.num_vertices();
+    let hidden = model.hidden();
+    let cell = model.cell();
+    let gates = cell.kind().gates();
+    let mut states: Vec<ApproxState> = (0..n)
+        .map(|_| ApproxState {
+            h: vec![0.0; hidden],
+            c: vec![0.0; hidden],
+            x_ref: vec![0.0; hidden],
+            x_pre: vec![0.0; hidden * gates],
+            primed: false,
+        })
+        .collect();
+
+    let mut out = Vec::with_capacity(graph.num_snapshots());
+    for (t, z) in gnn_outputs.iter().enumerate() {
+        let snap = graph.snapshot(t);
+        for v in 0..n as VertexId {
+            if !snap.is_active(v) {
+                continue;
+            }
+            let x = z.row(v as usize);
+            let st = &mut states[v as usize];
+            match method {
+                ApproxMethod::DeltaRnn { threshold } => delta_rnn_step(cell, x, st, threshold),
+                ApproxMethod::Alstm { mantissa_bits } => {
+                    approx_mult_step(cell, x, st, mantissa_bits, false)
+                }
+                ApproxMethod::Atlas { mantissa_bits } => {
+                    approx_mult_step(cell, x, st, mantissa_bits, true)
+                }
+            }
+        }
+        let mut h = DenseMatrix::zeros(n, hidden);
+        for (vu, st) in states.iter().enumerate() {
+            h.set_row(vu, &st.h);
+        }
+        out.push(h);
+    }
+    out
+}
+
+/// DeltaRNN: patch the cached input pre-activation only for components whose
+/// change exceeds the threshold; small drifts silently accumulate.
+fn delta_rnn_step(cell: &RnnCell, x: &[f32], st: &mut ApproxState, threshold: f32) {
+    if !st.primed {
+        st.x_pre = cell.input_preactivation(x);
+        st.x_ref.copy_from_slice(x);
+        st.primed = true;
+    } else {
+        for (i, &xi) in x.iter().enumerate() {
+            let d = xi - st.x_ref[i];
+            if d.abs() >= threshold {
+                ops::axpy(&mut st.x_pre, d, cell.w_x().row(i));
+                st.x_ref[i] = xi;
+            }
+        }
+    }
+    exact_gates(cell, st);
+}
+
+/// Exact gate math over a (possibly stale) cached input pre-activation.
+fn exact_gates(cell: &RnnCell, st: &mut ApproxState) {
+    let h_pre = ops::vecmat(&st.h, cell.w_h());
+    let n = cell.hidden();
+    let b = cell.bias();
+    match cell.kind() {
+        RnnKind::Lstm => {
+            for j in 0..n {
+                let i = tagnn_tensor::activation::sigmoid(st.x_pre[j] + h_pre[j] + b[j]);
+                let f =
+                    tagnn_tensor::activation::sigmoid(st.x_pre[n + j] + h_pre[n + j] + b[n + j]);
+                let g = (st.x_pre[2 * n + j] + h_pre[2 * n + j] + b[2 * n + j]).tanh();
+                let o = tagnn_tensor::activation::sigmoid(
+                    st.x_pre[3 * n + j] + h_pre[3 * n + j] + b[3 * n + j],
+                );
+                st.c[j] = f * st.c[j] + i * g;
+                st.h[j] = o * st.c[j].tanh();
+            }
+        }
+        RnnKind::Gru => {
+            for j in 0..n {
+                let r = tagnn_tensor::activation::sigmoid(st.x_pre[j] + h_pre[j] + b[j]);
+                let z =
+                    tagnn_tensor::activation::sigmoid(st.x_pre[n + j] + h_pre[n + j] + b[n + j]);
+                let cand = (st.x_pre[2 * n + j] + r * h_pre[2 * n + j] + b[2 * n + j]).tanh();
+                st.h[j] = (1.0 - z) * cand + z * st.h[j];
+            }
+        }
+    }
+}
+
+/// ALSTM / ATLAS: every multiplication runs through the approximate
+/// multiplier (operand quantisation); ATLAS additionally replaces the
+/// activations with their hard piecewise-linear forms.
+fn approx_mult_step(cell: &RnnCell, x: &[f32], st: &mut ApproxState, bits: u32, hard_acts: bool) {
+    let n = cell.hidden();
+    let gcols = cell.w_x().cols();
+    // Quantised input-side and hidden-side matvecs.
+    let mut x_pre = vec![0.0f32; gcols];
+    for (i, &xi) in x.iter().enumerate() {
+        let q = quantize(xi, bits);
+        if q == 0.0 {
+            continue;
+        }
+        for (o, &w) in x_pre.iter_mut().zip(cell.w_x().row(i)) {
+            *o += q * quantize(w, bits);
+        }
+    }
+    let mut h_pre = vec![0.0f32; gcols];
+    for (i, &hi) in st.h.iter().enumerate() {
+        let q = quantize(hi, bits);
+        if q == 0.0 {
+            continue;
+        }
+        for (o, &w) in h_pre.iter_mut().zip(cell.w_h().row(i)) {
+            *o += q * quantize(w, bits);
+        }
+    }
+    let b = cell.bias();
+    let sig = |v: f32| {
+        if hard_acts {
+            hard_sigmoid(v)
+        } else {
+            tagnn_tensor::activation::sigmoid(v)
+        }
+    };
+    let th = |v: f32| if hard_acts { hard_tanh(v) } else { v.tanh() };
+    match cell.kind() {
+        RnnKind::Lstm => {
+            for j in 0..n {
+                let i = sig(x_pre[j] + h_pre[j] + b[j]);
+                let f = sig(x_pre[n + j] + h_pre[n + j] + b[n + j]);
+                let g = th(x_pre[2 * n + j] + h_pre[2 * n + j] + b[2 * n + j]);
+                let o = sig(x_pre[3 * n + j] + h_pre[3 * n + j] + b[3 * n + j]);
+                st.c[j] = f * st.c[j] + i * g;
+                st.h[j] = o * th(st.c[j]);
+            }
+        }
+        RnnKind::Gru => {
+            for j in 0..n {
+                let r = sig(x_pre[j] + h_pre[j] + b[j]);
+                let z = sig(x_pre[n + j] + h_pre[n + j] + b[n + j]);
+                let cand = th(x_pre[2 * n + j] + r * h_pre[2 * n + j] + b[2 * n + j]);
+                st.h[j] = (1.0 - z) * cand + z * st.h[j];
+            }
+        }
+    }
+    st.primed = true;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dgnn::ModelKind;
+    use crate::engine::reference::ReferenceEngine;
+    use tagnn_graph::generate::GeneratorConfig;
+
+    fn setup() -> (DgnnModel, DynamicGraph, Vec<DenseMatrix>) {
+        let g = GeneratorConfig::tiny().generate();
+        let m = DgnnModel::new(ModelKind::TGcn, 8, 6, 42);
+        let z = ReferenceEngine::new(m.clone()).run(&g).gnn_outputs;
+        (m, g, z)
+    }
+
+    #[test]
+    fn zero_threshold_delta_rnn_matches_reference() {
+        let (m, g, z) = setup();
+        let exact = ReferenceEngine::new(m.clone()).run(&g);
+        let approx = run_approx_rnn(&m, &g, &z, ApproxMethod::DeltaRnn { threshold: 0.0 });
+        for (a, b) in exact.final_features.iter().zip(&approx) {
+            assert!(a.max_abs_diff(b) < 1e-5, "lossless DeltaRNN must be exact");
+        }
+    }
+
+    #[test]
+    fn thresholded_delta_rnn_diverges() {
+        let (m, g, z) = setup();
+        let exact = ReferenceEngine::new(m.clone()).run(&g);
+        let approx = run_approx_rnn(&m, &g, &z, ApproxMethod::DeltaRnn { threshold: 0.3 });
+        let diff: f32 = exact
+            .final_features
+            .iter()
+            .zip(&approx)
+            .map(|(a, b)| a.max_abs_diff(b))
+            .fold(0.0, f32::max);
+        assert!(diff > 1e-4, "a coarse threshold must introduce error");
+    }
+
+    #[test]
+    fn quantisation_error_shrinks_with_more_bits() {
+        let (m, g, z) = setup();
+        let exact = ReferenceEngine::new(m.clone()).run(&g);
+        let err = |bits| {
+            let approx = run_approx_rnn(
+                &m,
+                &g,
+                &z,
+                ApproxMethod::Alstm {
+                    mantissa_bits: bits,
+                },
+            );
+            exact
+                .final_features
+                .iter()
+                .zip(&approx)
+                .map(|(a, b)| a.max_abs_diff(b))
+                .fold(0.0f32, f32::max)
+        };
+        assert!(err(8) < err(2), "more mantissa bits must mean less error");
+    }
+
+    #[test]
+    fn atlas_hard_activations_add_error_over_alstm() {
+        let (m, g, z) = setup();
+        let exact = ReferenceEngine::new(m.clone()).run(&g);
+        let max_err = |method| {
+            let approx = run_approx_rnn(&m, &g, &z, method);
+            exact
+                .final_features
+                .iter()
+                .zip(&approx)
+                .map(|(a, b)| a.max_abs_diff(b))
+                .fold(0.0f32, f32::max)
+        };
+        let alstm = max_err(ApproxMethod::Alstm { mantissa_bits: 6 });
+        let atlas = max_err(ApproxMethod::Atlas { mantissa_bits: 6 });
+        assert!(
+            atlas >= alstm,
+            "hard activations cannot reduce error: {atlas} vs {alstm}"
+        );
+    }
+
+    #[test]
+    fn names_match_paper_variants() {
+        let names: Vec<_> = ApproxMethod::paper_variants()
+            .iter()
+            .map(|m| m.name())
+            .collect();
+        assert_eq!(names, vec!["TaGNN-DR", "TaGNN-AM", "TaGNN-AS"]);
+    }
+
+    #[test]
+    fn output_shape_is_one_h_per_snapshot() {
+        let (m, g, z) = setup();
+        let approx = run_approx_rnn(&m, &g, &z, ApproxMethod::Atlas { mantissa_bits: 4 });
+        assert_eq!(approx.len(), g.num_snapshots());
+        assert_eq!(approx[0].rows(), g.num_vertices());
+        assert_eq!(approx[0].cols(), 6);
+    }
+
+    #[test]
+    fn quantize_rounds_to_grid() {
+        assert_eq!(quantize(0.33, 2), 0.25);
+        assert_eq!(quantize(-0.6, 1), -0.5);
+        assert_eq!(quantize(0.5, 4), 0.5);
+    }
+
+    #[test]
+    fn hard_activations_saturate() {
+        assert_eq!(hard_sigmoid(10.0), 1.0);
+        assert_eq!(hard_sigmoid(-10.0), 0.0);
+        assert_eq!(hard_sigmoid(0.0), 0.5);
+        assert_eq!(hard_tanh(5.0), 1.0);
+        assert_eq!(hard_tanh(-5.0), -1.0);
+    }
+}

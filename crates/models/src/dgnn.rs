@@ -1,0 +1,169 @@
+//! The three evaluated DGNN models: CD-GCN, GC-LSTM, and T-GCN.
+//!
+//! Each model is a stack of GCN layers (the GNN module) feeding a recurrent
+//! cell (the RNN module), per the composition of Fig. 1. Layer counts follow
+//! the paper's §5.1 configuration: four for CD-GCN, three for GC-LSTM, two
+//! for T-GCN.
+
+use crate::gcn::GcnLayer;
+use crate::rnn::{RnnCell, RnnKind};
+use serde::{Deserialize, Serialize};
+use tagnn_tensor::Activation;
+
+/// The evaluated model families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// CD-GCN (Manessi et al.): 4 GCN layers + LSTM.
+    CdGcn,
+    /// GC-LSTM (Chen et al.): 3 GCN layers + LSTM.
+    GcLstm,
+    /// T-GCN (Zhao et al.): 2 GCN layers + GRU.
+    TGcn,
+}
+
+impl ModelKind {
+    /// All three models in the paper's presentation order.
+    pub const ALL: [ModelKind; 3] = [ModelKind::CdGcn, ModelKind::GcLstm, ModelKind::TGcn];
+
+    /// Display name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::CdGcn => "CD-GCN",
+            ModelKind::GcLstm => "GC-LSTM",
+            ModelKind::TGcn => "T-GCN",
+        }
+    }
+
+    /// Number of GCN layers (§5.1).
+    pub fn num_gcn_layers(self) -> usize {
+        match self {
+            ModelKind::CdGcn => 4,
+            ModelKind::GcLstm => 3,
+            ModelKind::TGcn => 2,
+        }
+    }
+
+    /// Recurrent cell family.
+    pub fn rnn_kind(self) -> RnnKind {
+        match self {
+            ModelKind::CdGcn | ModelKind::GcLstm => RnnKind::Lstm,
+            ModelKind::TGcn => RnnKind::Gru,
+        }
+    }
+}
+
+/// A concrete DGNN: GCN stack + recurrent cell, with deterministic weights.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DgnnModel {
+    kind: ModelKind,
+    layers: Vec<GcnLayer>,
+    cell: RnnCell,
+}
+
+impl DgnnModel {
+    /// Builds a model: the first GCN layer maps `feature_dim -> hidden`,
+    /// the remaining layers are `hidden -> hidden`, and the cell consumes
+    /// the GNN output.
+    pub fn new(kind: ModelKind, feature_dim: usize, hidden: usize, seed: u64) -> Self {
+        assert!(feature_dim > 0 && hidden > 0, "dimensions must be positive");
+        let mut layers = Vec::with_capacity(kind.num_gcn_layers());
+        for l in 0..kind.num_gcn_layers() {
+            let in_dim = if l == 0 { feature_dim } else { hidden };
+            // Hidden layers use ReLU; the last layer stays linear so the
+            // RNN sees unsquashed features.
+            let act = if l + 1 == kind.num_gcn_layers() {
+                Activation::Identity
+            } else {
+                Activation::Relu
+            };
+            layers.push(GcnLayer::new(
+                in_dim,
+                hidden,
+                act,
+                seed.wrapping_add(l as u64),
+            ));
+        }
+        let cell = RnnCell::new(kind.rnn_kind(), hidden, hidden, seed.wrapping_add(1000));
+        Self { kind, layers, cell }
+    }
+
+    /// Model family.
+    #[inline]
+    pub fn kind(&self) -> ModelKind {
+        self.kind
+    }
+
+    /// The GCN stack.
+    #[inline]
+    pub fn layers(&self) -> &[GcnLayer] {
+        &self.layers
+    }
+
+    /// The recurrent cell.
+    #[inline]
+    pub fn cell(&self) -> &RnnCell {
+        &self.cell
+    }
+
+    /// Hidden (= GNN output = final feature) dimensionality.
+    #[inline]
+    pub fn hidden(&self) -> usize {
+        self.cell.hidden()
+    }
+
+    /// Input feature dimensionality.
+    #[inline]
+    pub fn feature_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_counts_match_paper() {
+        assert_eq!(ModelKind::CdGcn.num_gcn_layers(), 4);
+        assert_eq!(ModelKind::GcLstm.num_gcn_layers(), 3);
+        assert_eq!(ModelKind::TGcn.num_gcn_layers(), 2);
+    }
+
+    #[test]
+    fn cell_kinds_match_paper() {
+        assert_eq!(ModelKind::CdGcn.rnn_kind(), RnnKind::Lstm);
+        assert_eq!(ModelKind::GcLstm.rnn_kind(), RnnKind::Lstm);
+        assert_eq!(ModelKind::TGcn.rnn_kind(), RnnKind::Gru);
+    }
+
+    #[test]
+    fn model_dimensions_chain() {
+        let m = DgnnModel::new(ModelKind::TGcn, 12, 8, 5);
+        assert_eq!(m.feature_dim(), 12);
+        assert_eq!(m.layers().len(), 2);
+        assert_eq!(m.layers()[0].in_dim(), 12);
+        assert_eq!(m.layers()[0].out_dim(), 8);
+        assert_eq!(m.layers()[1].in_dim(), 8);
+        assert_eq!(m.hidden(), 8);
+        assert_eq!(m.cell().in_dim(), 8);
+    }
+
+    #[test]
+    fn construction_is_deterministic() {
+        let a = DgnnModel::new(ModelKind::CdGcn, 6, 4, 7);
+        let b = DgnnModel::new(ModelKind::CdGcn, 6, 4, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn names_are_paper_names() {
+        let names: Vec<_> = ModelKind::ALL.iter().map(|m| m.name()).collect();
+        assert_eq!(names, vec!["CD-GCN", "GC-LSTM", "T-GCN"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_dims() {
+        let _ = DgnnModel::new(ModelKind::TGcn, 0, 4, 1);
+    }
+}

@@ -1,0 +1,158 @@
+//! Inference engines and their shared execution accounting.
+//!
+//! Both engines report an [`ExecutionStats`] describing *what work was
+//! done*: GNN/RNN multiply-accumulates, feature-row fetches vs. reuses, and
+//! cell-skipping tallies. The accelerator simulator (`tagnn-sim`) and the
+//! baseline platform models consume these counters, so both engines follow
+//! one counting convention:
+//!
+//! * `feature_rows_loaded` — feature-table rows fetched from backing memory
+//!   as GNN layer inputs. The reference engine fetches `1 + deg(v)` rows per
+//!   active vertex per layer per snapshot; the concurrent engine fetches
+//!   them once per window for vertices whose layer inputs did not change.
+//! * `feature_rows_reused` — fetches the concurrent execution avoided.
+//! * `gnn_*_macs` — multiply-accumulates actually executed (reused vertices
+//!   contribute none).
+//! * `rnn_macs` — full cell updates cost `full_step_macs()`, delta updates
+//!   `delta_step_macs(nnz)`, skips zero.
+
+pub mod concurrent;
+pub mod reference;
+
+use crate::skip::SkipStats;
+use serde::{Deserialize, Serialize};
+use tagnn_tensor::DenseMatrix;
+
+/// Work and traffic accounting for one inference run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionStats {
+    /// MACs spent in GNN aggregation (edge traversals x feature dim).
+    pub gnn_aggregate_macs: u64,
+    /// MACs spent in GNN combination (dense matmuls).
+    pub gnn_combine_macs: u64,
+    /// MACs spent in RNN cell updates (full + delta).
+    pub rnn_macs: u64,
+    /// Scalar ops spent computing similarity scores.
+    pub similarity_ops: u64,
+    /// Feature rows fetched from backing memory.
+    pub feature_rows_loaded: u64,
+    /// Feature-row fetches avoided through cross-snapshot reuse.
+    pub feature_rows_reused: u64,
+    /// Structure words (offsets + neighbour ids) fetched.
+    pub structure_words_loaded: u64,
+    /// Per-vertex GNN layer evaluations executed.
+    pub gnn_vertices_computed: u64,
+    /// Per-vertex GNN layer evaluations reused from an earlier snapshot.
+    pub gnn_vertices_reused: u64,
+    /// Cell-update mode tallies.
+    pub skip: SkipStats,
+    /// Wall-clock time of the run, nanoseconds.
+    pub wall_ns: u64,
+}
+
+impl ExecutionStats {
+    /// Total MACs across all modules.
+    pub fn total_macs(&self) -> u64 {
+        self.gnn_aggregate_macs + self.gnn_combine_macs + self.rnn_macs
+    }
+
+    /// Fraction of feature-row fetches that were avoided, in `[0, 1]`
+    /// (the redundancy-reduction metric behind Fig. 2(c)/8(b)).
+    pub fn reuse_ratio(&self) -> f64 {
+        let total = self.feature_rows_loaded + self.feature_rows_reused;
+        if total == 0 {
+            0.0
+        } else {
+            self.feature_rows_reused as f64 / total as f64
+        }
+    }
+
+    /// Merges another run's counters into this one.
+    pub fn merge(&mut self, other: &ExecutionStats) {
+        self.gnn_aggregate_macs += other.gnn_aggregate_macs;
+        self.gnn_combine_macs += other.gnn_combine_macs;
+        self.rnn_macs += other.rnn_macs;
+        self.similarity_ops += other.similarity_ops;
+        self.feature_rows_loaded += other.feature_rows_loaded;
+        self.feature_rows_reused += other.feature_rows_reused;
+        self.structure_words_loaded += other.structure_words_loaded;
+        self.gnn_vertices_computed += other.gnn_vertices_computed;
+        self.gnn_vertices_reused += other.gnn_vertices_reused;
+        self.skip.merge(&other.skip);
+        self.wall_ns += other.wall_ns;
+    }
+}
+
+/// The result of running DGNN inference over a snapshot sequence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InferenceOutput {
+    /// Final features `H_t` per snapshot (one row per vertex).
+    pub final_features: Vec<DenseMatrix>,
+    /// GNN-module outputs `Z_t` per snapshot (kept for similarity studies).
+    pub gnn_outputs: Vec<DenseMatrix>,
+    /// Work/traffic accounting.
+    pub stats: ExecutionStats,
+}
+
+impl InferenceOutput {
+    /// Maximum absolute element-wise difference of final features against
+    /// another run (fidelity metric for approximation experiments).
+    ///
+    /// # Panics
+    /// Panics when the two runs cover different snapshot counts or shapes.
+    pub fn max_final_feature_diff(&self, other: &InferenceOutput) -> f32 {
+        assert_eq!(
+            self.final_features.len(),
+            other.final_features.len(),
+            "snapshot count mismatch"
+        );
+        self.final_features
+            .iter()
+            .zip(&other.final_features)
+            .map(|(a, b)| a.max_abs_diff(b))
+            .fold(0.0f32, f32::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reuse_ratio_bounds() {
+        let mut s = ExecutionStats::default();
+        assert_eq!(s.reuse_ratio(), 0.0);
+        s.feature_rows_loaded = 25;
+        s.feature_rows_reused = 75;
+        assert!((s.reuse_ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = ExecutionStats {
+            gnn_aggregate_macs: 1,
+            rnn_macs: 2,
+            ..Default::default()
+        };
+        let b = ExecutionStats {
+            gnn_aggregate_macs: 10,
+            gnn_combine_macs: 5,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.gnn_aggregate_macs, 11);
+        assert_eq!(a.gnn_combine_macs, 5);
+        assert_eq!(a.total_macs(), 18);
+    }
+
+    #[test]
+    fn output_diff_of_identical_runs_is_zero() {
+        let m = DenseMatrix::from_vec(1, 2, vec![1.0, 2.0]);
+        let out = InferenceOutput {
+            final_features: vec![m.clone()],
+            gnn_outputs: vec![m.clone()],
+            stats: ExecutionStats::default(),
+        };
+        assert_eq!(out.max_final_feature_diff(&out), 0.0);
+    }
+}

@@ -1,0 +1,173 @@
+//! The reference engine: classical snapshot-by-snapshot DGNN inference.
+//!
+//! Every baseline system in the paper (DGL, PyGT, CacheG, ESDG, PiPAD and
+//! the prior accelerators) executes this pattern: each snapshot runs the
+//! full GNN over all vertices, then the RNN updates every vertex's cell.
+//! Nothing is reused across snapshots, which is precisely the redundancy
+//! TaGNN removes — making this engine both the ground truth for accuracy
+//! and the cost baseline for the simulator.
+
+use crate::dgnn::DgnnModel;
+use crate::engine::{ExecutionStats, InferenceOutput};
+use crate::rnn::VertexState;
+use rayon::prelude::*;
+use tagnn_graph::types::VertexId;
+use tagnn_graph::{DynamicGraph, Snapshot};
+use tagnn_tensor::DenseMatrix;
+
+/// Snapshot-by-snapshot exact inference.
+#[derive(Debug, Clone)]
+pub struct ReferenceEngine {
+    model: DgnnModel,
+}
+
+impl ReferenceEngine {
+    /// Wraps a model.
+    pub fn new(model: DgnnModel) -> Self {
+        Self { model }
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &DgnnModel {
+        &self.model
+    }
+
+    /// Runs inference over every snapshot of `graph`.
+    pub fn run(&self, graph: &DynamicGraph) -> InferenceOutput {
+        let started = std::time::Instant::now();
+        let n = graph.num_vertices();
+        let hidden = self.model.hidden();
+        let mut stats = ExecutionStats::default();
+        let mut states: Vec<VertexState> = (0..n).map(|_| self.model.cell().zero_state()).collect();
+        let mut final_features = Vec::with_capacity(graph.num_snapshots());
+        let mut gnn_outputs = Vec::with_capacity(graph.num_snapshots());
+
+        for snap in graph.snapshots() {
+            // GNN module: full multi-layer forward over every vertex.
+            let z = self.gnn_forward(snap, &mut stats);
+
+            // RNN module: full cell update per active vertex.
+            let cell = self.model.cell();
+            states.par_iter_mut().enumerate().for_each(|(v, state)| {
+                if snap.is_active(v as VertexId) {
+                    cell.step(z.row(v), state);
+                }
+            });
+            let active = snap.num_active() as u64;
+            stats.rnn_macs += active * cell.full_step_macs();
+            stats.skip.normal += active;
+
+            let mut h = DenseMatrix::zeros(n, hidden);
+            for (v, state) in states.iter().enumerate() {
+                h.set_row(v, &state.h);
+            }
+            final_features.push(h);
+            gnn_outputs.push(z);
+        }
+
+        stats.wall_ns = started.elapsed().as_nanos() as u64;
+        InferenceOutput {
+            final_features,
+            gnn_outputs,
+            stats,
+        }
+    }
+
+    /// Full GNN forward for one snapshot, with load/MAC accounting.
+    pub(crate) fn gnn_forward(&self, snap: &Snapshot, stats: &mut ExecutionStats) -> DenseMatrix {
+        let mut x = snap.features().clone();
+        for layer in self.model.layers() {
+            // Accounting first (analytic; the forward itself is parallel).
+            let mut agg_macs = 0u64;
+            let mut loads = 0u64;
+            let mut structure = 0u64;
+            for v in 0..snap.num_vertices() as VertexId {
+                if !snap.is_active(v) {
+                    continue;
+                }
+                let deg = snap.csr().degree(v) as u64;
+                agg_macs += (deg + 1) * layer.in_dim() as u64;
+                loads += deg + 1;
+                structure += 2 + deg;
+            }
+            let active = snap.num_active() as u64;
+            stats.gnn_aggregate_macs += agg_macs;
+            stats.gnn_combine_macs += active * (layer.in_dim() * layer.out_dim()) as u64;
+            stats.feature_rows_loaded += loads;
+            stats.structure_words_loaded += structure;
+            stats.gnn_vertices_computed += active;
+
+            x = layer.forward(snap, &x);
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dgnn::ModelKind;
+    use tagnn_graph::generate::GeneratorConfig;
+
+    fn tiny_graph() -> DynamicGraph {
+        GeneratorConfig::tiny().generate()
+    }
+
+    fn model(kind: ModelKind) -> DgnnModel {
+        DgnnModel::new(kind, 8, 6, 123)
+    }
+
+    #[test]
+    fn produces_one_output_per_snapshot() {
+        let g = tiny_graph();
+        let out = ReferenceEngine::new(model(ModelKind::TGcn)).run(&g);
+        assert_eq!(out.final_features.len(), g.num_snapshots());
+        assert_eq!(out.gnn_outputs.len(), g.num_snapshots());
+        assert_eq!(out.final_features[0].rows(), g.num_vertices());
+        assert_eq!(out.final_features[0].cols(), 6);
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let g = tiny_graph();
+        let e = ReferenceEngine::new(model(ModelKind::GcLstm));
+        let a = e.run(&g);
+        let b = e.run(&g);
+        assert_eq!(a.final_features, b.final_features);
+    }
+
+    #[test]
+    fn hidden_state_evolves_across_snapshots() {
+        let g = tiny_graph();
+        let out = ReferenceEngine::new(model(ModelKind::CdGcn)).run(&g);
+        assert_ne!(
+            out.final_features[0], out.final_features[1],
+            "recurrent state must change between snapshots"
+        );
+    }
+
+    #[test]
+    fn counts_work_proportional_to_snapshots() {
+        let g = tiny_graph();
+        let e = ReferenceEngine::new(model(ModelKind::TGcn));
+        let out = e.run(&g);
+        let s = &out.stats;
+        assert!(s.gnn_aggregate_macs > 0);
+        assert!(s.gnn_combine_macs > 0);
+        assert!(s.rnn_macs > 0);
+        assert_eq!(s.feature_rows_reused, 0, "reference engine never reuses");
+        assert_eq!(s.skip.skipped, 0);
+        // Every active vertex does a full cell update per snapshot.
+        let expected_updates: u64 = g.snapshots().iter().map(|s| s.num_active() as u64).sum();
+        assert_eq!(s.skip.normal, expected_updates);
+    }
+
+    #[test]
+    fn final_features_are_bounded_for_lstm() {
+        let g = tiny_graph();
+        let out = ReferenceEngine::new(model(ModelKind::GcLstm)).run(&g);
+        for h in &out.final_features {
+            assert!(h.as_slice().iter().all(|v| v.abs() <= 1.0));
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! The GNN module: degree-normalised aggregation plus a dense combination,
+//! i.e. one GCN layer `Z = act( Â X W )` with `Â` the symmetrically
+//! normalised adjacency with self-loops (Kipf & Welling).
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use tagnn_graph::types::VertexId;
+use tagnn_graph::Snapshot;
+use tagnn_tensor::{init, ops, Activation, DenseMatrix};
+
+/// How neighbour features are combined before the dense transform — the
+/// paper's claim that TaGNN "is highly versatile and adaptable to a broad
+/// range of DGNN models" rests on the aggregation being pluggable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AggregatorKind {
+    /// Symmetric GCN normalisation with self-loop (Kipf & Welling):
+    /// `sum 1/sqrt((d_v+1)(d_u+1)) * x_u`.
+    GcnNormalized,
+    /// GraphSAGE-style mean over `N(v) ∪ {v}`.
+    Mean,
+    /// Plain neighbourhood sum (GIN-style, self included).
+    Sum,
+}
+
+/// One GCN layer: `out = act(aggregate(X) * W)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GcnLayer {
+    weight: DenseMatrix,
+    activation: Activation,
+    aggregator: AggregatorKind,
+}
+
+impl GcnLayer {
+    /// Builds a layer with Xavier-initialised weights and the standard
+    /// symmetric GCN aggregator.
+    pub fn new(in_dim: usize, out_dim: usize, activation: Activation, seed: u64) -> Self {
+        Self::with_aggregator(
+            in_dim,
+            out_dim,
+            activation,
+            AggregatorKind::GcnNormalized,
+            seed,
+        )
+    }
+
+    /// Builds a layer with an explicit aggregator.
+    pub fn with_aggregator(
+        in_dim: usize,
+        out_dim: usize,
+        activation: Activation,
+        aggregator: AggregatorKind,
+        seed: u64,
+    ) -> Self {
+        Self {
+            weight: init::xavier_uniform(in_dim, out_dim, seed),
+            activation,
+            aggregator,
+        }
+    }
+
+    /// The aggregation scheme of this layer.
+    #[inline]
+    pub fn aggregator(&self) -> AggregatorKind {
+        self.aggregator
+    }
+
+    /// Input dimensionality.
+    #[inline]
+    pub fn in_dim(&self) -> usize {
+        self.weight.rows()
+    }
+
+    /// Output dimensionality.
+    #[inline]
+    pub fn out_dim(&self) -> usize {
+        self.weight.cols()
+    }
+
+    /// The weight matrix.
+    #[inline]
+    pub fn weight(&self) -> &DenseMatrix {
+        &self.weight
+    }
+
+    /// Aggregation for a single vertex over `N(v) ∪ {v}`, per the layer's
+    /// [`AggregatorKind`].
+    ///
+    /// Inactive vertices aggregate to zero (they do not exist in the
+    /// snapshot).
+    pub fn aggregate_vertex(&self, snap: &Snapshot, x: &DenseMatrix, v: VertexId) -> Vec<f32> {
+        let dim = x.cols();
+        let mut acc = vec![0.0f32; dim];
+        if !snap.is_active(v) {
+            return acc;
+        }
+        let deg = snap.csr().degree(v);
+        match self.aggregator {
+            AggregatorKind::GcnNormalized => {
+                let dv = (deg + 1) as f32;
+                // Self-loop.
+                ops::axpy(&mut acc, 1.0 / dv, x.row(v as usize));
+                for &u in snap.neighbors(v) {
+                    let du = (snap.csr().degree(u) + 1) as f32;
+                    let norm = 1.0 / (dv * du).sqrt();
+                    ops::axpy(&mut acc, norm, x.row(u as usize));
+                }
+            }
+            AggregatorKind::Mean => {
+                let scale = 1.0 / (deg + 1) as f32;
+                ops::axpy(&mut acc, scale, x.row(v as usize));
+                for &u in snap.neighbors(v) {
+                    ops::axpy(&mut acc, scale, x.row(u as usize));
+                }
+            }
+            AggregatorKind::Sum => {
+                ops::axpy(&mut acc, 1.0, x.row(v as usize));
+                for &u in snap.neighbors(v) {
+                    ops::axpy(&mut acc, 1.0, x.row(u as usize));
+                }
+            }
+        }
+        acc
+    }
+
+    /// Combination for one vertex: `act(agg * W)`.
+    pub fn combine_vertex(&self, agg: &[f32]) -> Vec<f32> {
+        let mut out = ops::vecmat(agg, &self.weight);
+        self.activation.apply(&mut out);
+        out
+    }
+
+    /// Full layer forward for one vertex.
+    pub fn forward_vertex(&self, snap: &Snapshot, x: &DenseMatrix, v: VertexId) -> Vec<f32> {
+        self.combine_vertex(&self.aggregate_vertex(snap, x, v))
+    }
+
+    /// Full layer forward over the whole snapshot (parallel over vertices).
+    ///
+    /// # Panics
+    /// Panics if `x` has the wrong shape.
+    pub fn forward(&self, snap: &Snapshot, x: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(
+            x.rows(),
+            snap.num_vertices(),
+            "feature table must cover the universe"
+        );
+        assert_eq!(x.cols(), self.in_dim(), "layer input dim mismatch");
+        let n = snap.num_vertices();
+        let out_dim = self.out_dim();
+        let mut out = vec![0.0f32; n * out_dim];
+        out.par_chunks_exact_mut(out_dim)
+            .enumerate()
+            .for_each(|(v, row)| {
+                let y = self.forward_vertex(snap, x, v as VertexId);
+                row.copy_from_slice(&y);
+            });
+        DenseMatrix::from_vec(n, out_dim, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagnn_graph::Csr;
+
+    fn snap(n: usize, edges: &[(u32, u32)]) -> Snapshot {
+        Snapshot::fully_active(
+            Csr::from_edges(n, edges),
+            DenseMatrix::from_fn(n, 2, |r, c| (r * 2 + c) as f32),
+        )
+    }
+
+    #[test]
+    fn aggregate_isolated_vertex_is_scaled_self_loop() {
+        let s = snap(3, &[]);
+        let layer = GcnLayer::new(2, 2, Activation::Identity, 1);
+        let agg = layer.aggregate_vertex(&s, s.features(), 1);
+        // Degree 0: self-loop weight 1/(0+1) = 1.
+        assert_eq!(agg, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn aggregate_includes_normalised_neighbors() {
+        let s = snap(2, &[(0, 1)]);
+        let layer = GcnLayer::new(2, 2, Activation::Identity, 1);
+        let agg = layer.aggregate_vertex(&s, s.features(), 0);
+        // v0: degree 1 -> self 1/2 * [0,1]; neighbour v1 degree 0 ->
+        // 1/sqrt(2*1) * [2,3].
+        let inv = 1.0 / (2.0f32).sqrt();
+        assert!((agg[0] - (0.0 * 0.5 + 2.0 * inv)).abs() < 1e-6);
+        assert!((agg[1] - (1.0 * 0.5 + 3.0 * inv)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn inactive_vertex_aggregates_to_zero() {
+        let csr = Csr::from_edges(2, &[(0, 1)]);
+        let s = Snapshot::new(
+            csr,
+            DenseMatrix::from_fn(2, 2, |_, _| 1.0),
+            vec![true, false],
+        );
+        let layer = GcnLayer::new(2, 2, Activation::Identity, 1);
+        assert_eq!(layer.aggregate_vertex(&s, s.features(), 1), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn forward_matches_per_vertex_forward() {
+        let s = snap(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let layer = GcnLayer::new(2, 3, Activation::Relu, 7);
+        let full = layer.forward(&s, s.features());
+        for v in 0..4u32 {
+            assert_eq!(
+                full.row(v as usize),
+                layer.forward_vertex(&s, s.features(), v).as_slice()
+            );
+        }
+    }
+
+    #[test]
+    fn relu_activation_is_applied() {
+        let s = snap(2, &[]);
+        let layer = GcnLayer::new(2, 4, Activation::Relu, 3);
+        let out = layer.forward(&s, s.features());
+        assert!(out.as_slice().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "input dim mismatch")]
+    fn forward_rejects_bad_input_dim() {
+        let s = snap(2, &[]);
+        let layer = GcnLayer::new(3, 2, Activation::Identity, 1);
+        let _ = layer.forward(&s, s.features());
+    }
+
+    #[test]
+    fn mean_aggregator_averages_neighborhood() {
+        let s = snap(2, &[(0, 1)]);
+        let layer = GcnLayer::with_aggregator(2, 2, Activation::Identity, AggregatorKind::Mean, 1);
+        let agg = layer.aggregate_vertex(&s, s.features(), 0);
+        // Mean of rows [0,1] and [2,3].
+        assert!((agg[0] - 1.0).abs() < 1e-6);
+        assert!((agg[1] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sum_aggregator_adds_neighborhood() {
+        let s = snap(2, &[(0, 1)]);
+        let layer = GcnLayer::with_aggregator(2, 2, Activation::Identity, AggregatorKind::Sum, 1);
+        let agg = layer.aggregate_vertex(&s, s.features(), 0);
+        assert_eq!(agg, vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn default_layer_uses_gcn_normalisation() {
+        let layer = GcnLayer::new(2, 2, Activation::Identity, 1);
+        assert_eq!(layer.aggregator(), AggregatorKind::GcnNormalized);
+    }
+
+    #[test]
+    fn deterministic_weights() {
+        let a = GcnLayer::new(4, 4, Activation::Tanh, 11);
+        let b = GcnLayer::new(4, 4, Activation::Tanh, 11);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! DGNN models and inference engines.
+//!
+//! The paper evaluates three GCN-based DGNN models — CD-GCN (4 GCN layers +
+//! LSTM), GC-LSTM (3 GCN layers + LSTM), and T-GCN (2 GCN layers + GRU) —
+//! each composed of a GNN module (aggregate + combine per snapshot) and an
+//! RNN module (a recurrent cell threading hidden state across snapshots).
+//!
+//! Two engines execute these models:
+//!
+//! * [`engine::reference::ReferenceEngine`] — the classical snapshot-by-
+//!   snapshot execution every baseline system uses; bit-exact ground truth.
+//! * [`engine::concurrent::ConcurrentEngine`] — the paper's topology-aware
+//!   concurrent execution (TaGNN-S in software): windows of K snapshots are
+//!   classified, unaffected vertices are computed once per layer per window,
+//!   and the RNN applies the similarity-aware cell-skipping strategy.
+//!
+//! [`approx`] adds the RNN approximation baselines of Table 5 (DeltaRNN,
+//! ALSTM, ATLAS) and [`accuracy`] the synthetic classification task used to
+//! measure their fidelity.
+
+pub mod accuracy;
+pub mod approx;
+pub mod dgnn;
+pub mod engine;
+pub mod gcn;
+pub mod rnn;
+pub mod skip;
+
+pub use dgnn::{DgnnModel, ModelKind};
+pub use engine::concurrent::{ConcurrentEngine, ReuseMode};
+pub use engine::reference::ReferenceEngine;
+pub use engine::{ExecutionStats, InferenceOutput};
+pub use gcn::AggregatorKind;
+pub use skip::{CellMode, SkipConfig};

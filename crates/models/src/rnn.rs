@@ -1,0 +1,310 @@
+//! The RNN module: LSTM and GRU cells with cached input pre-activations.
+//!
+//! The similarity-aware cell-skipping strategy needs a *partial* cell update
+//! that touches only the non-zero components of the input delta (§4.2's
+//! Condense Unit). To support that, every vertex state caches the input
+//! pre-activation `W_x · x`; delta mode patches that cache with
+//! `Σ δ_i · W_x[i, :]` instead of recomputing the full product, which is
+//! exact whenever the condensed delta retains all non-zero components.
+
+use serde::{Deserialize, Serialize};
+use tagnn_tensor::similarity::CondensedDelta;
+use tagnn_tensor::{activation::sigmoid, init, ops, DenseMatrix};
+
+/// Per-vertex recurrent state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VertexState {
+    /// Hidden state `h` (the "final feature" of the paper).
+    pub h: Vec<f32>,
+    /// Cell state `c` (LSTM only; empty for GRU).
+    pub c: Vec<f32>,
+    /// Cached input pre-activation `W_x · x` from the last full or delta
+    /// update; empty until the first update.
+    pub x_pre: Vec<f32>,
+}
+
+impl VertexState {
+    /// Zero-initialised state for a cell with `hidden` units and `gates`
+    /// stacked gate blocks.
+    pub fn zeros(hidden: usize, gates: usize) -> Self {
+        Self {
+            h: vec![0.0; hidden],
+            c: vec![0.0; hidden],
+            x_pre: vec![0.0; hidden * gates],
+        }
+    }
+}
+
+/// Which recurrent cell a model uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RnnKind {
+    /// Long short-term memory (4 gates).
+    Lstm,
+    /// Gated recurrent unit (3 gates).
+    Gru,
+}
+
+impl RnnKind {
+    /// Number of stacked gate blocks.
+    pub fn gates(self) -> usize {
+        match self {
+            RnnKind::Lstm => 4,
+            RnnKind::Gru => 3,
+        }
+    }
+}
+
+/// A recurrent cell (LSTM or GRU) with dense input/hidden weights.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RnnCell {
+    kind: RnnKind,
+    /// `in_dim x (gates*hidden)` input weights.
+    w_x: DenseMatrix,
+    /// `hidden x (gates*hidden)` recurrent weights.
+    w_h: DenseMatrix,
+    /// `gates*hidden` bias.
+    bias: Vec<f32>,
+    hidden: usize,
+}
+
+impl RnnCell {
+    /// Builds a cell with Xavier-initialised weights and the standard
+    /// persistence bias: the LSTM forget gate and GRU update gate are
+    /// biased to +1 (Jozefowicz et al.), so hidden state evolves smoothly
+    /// over time — the temporal-stability regime trained DGNNs exhibit and
+    /// the similarity-aware skipping strategy relies on (§2.3).
+    pub fn new(kind: RnnKind, in_dim: usize, hidden: usize, seed: u64) -> Self {
+        let g = kind.gates();
+        let mut bias = vec![0.0; g * hidden];
+        // Gate block 1 is the forget gate for LSTM ([i, f, g, o]) and the
+        // update gate for GRU ([r, z, n]).
+        for b in &mut bias[hidden..2 * hidden] {
+            *b = 0.25;
+        }
+        Self {
+            kind,
+            w_x: init::xavier_uniform(in_dim, g * hidden, seed),
+            w_h: init::xavier_uniform(hidden, g * hidden, seed.wrapping_add(1)),
+            bias,
+            hidden,
+        }
+    }
+
+    /// Cell kind.
+    #[inline]
+    pub fn kind(&self) -> RnnKind {
+        self.kind
+    }
+
+    /// Hidden size.
+    #[inline]
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Input dimensionality.
+    #[inline]
+    pub fn in_dim(&self) -> usize {
+        self.w_x.rows()
+    }
+
+    /// A fresh zero state for this cell.
+    pub fn zero_state(&self) -> VertexState {
+        VertexState::zeros(self.hidden, self.kind.gates())
+    }
+
+    /// Input weight matrix `W_x` (`in_dim x gates*hidden`). Exposed so the
+    /// approximate-RNN baselines of Table 5 can re-implement gate math with
+    /// degraded arithmetic over the same parameters.
+    #[inline]
+    pub fn w_x(&self) -> &DenseMatrix {
+        &self.w_x
+    }
+
+    /// Recurrent weight matrix `W_h` (`hidden x gates*hidden`).
+    #[inline]
+    pub fn w_h(&self) -> &DenseMatrix {
+        &self.w_h
+    }
+
+    /// Gate bias (`gates*hidden`).
+    #[inline]
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    /// `W_x · x`, the input pre-activation (a full input-side matvec).
+    pub fn input_preactivation(&self, x: &[f32]) -> Vec<f32> {
+        ops::vecmat(x, &self.w_x)
+    }
+
+    /// Patches a cached pre-activation with a condensed input delta:
+    /// `pre += Σ_i δ_i · W_x[i, :]`. Exact when the delta is lossless.
+    pub fn patch_preactivation(&self, pre: &mut [f32], delta: &CondensedDelta) {
+        assert_eq!(pre.len(), self.w_x.cols(), "preactivation length mismatch");
+        for (&i, &d) in delta.indices.iter().zip(&delta.values) {
+            ops::axpy(pre, d, self.w_x.row(i as usize));
+        }
+    }
+
+    /// Full cell update: recomputes the input pre-activation and steps.
+    pub fn step(&self, x: &[f32], state: &mut VertexState) {
+        state.x_pre = self.input_preactivation(x);
+        self.step_cached(state);
+    }
+
+    /// Steps using the cached input pre-activation (`state.x_pre`), as the
+    /// delta path does after patching.
+    pub fn step_cached(&self, state: &mut VertexState) {
+        let h_pre = ops::vecmat(&state.h, &self.w_h);
+        let n = self.hidden;
+        match self.kind {
+            RnnKind::Lstm => {
+                // Gate layout: [i, f, g, o].
+                let mut new_c = vec![0.0f32; n];
+                let mut new_h = vec![0.0f32; n];
+                for j in 0..n {
+                    let i = sigmoid(state.x_pre[j] + h_pre[j] + self.bias[j]);
+                    let f = sigmoid(state.x_pre[n + j] + h_pre[n + j] + self.bias[n + j]);
+                    let g =
+                        (state.x_pre[2 * n + j] + h_pre[2 * n + j] + self.bias[2 * n + j]).tanh();
+                    let o =
+                        sigmoid(state.x_pre[3 * n + j] + h_pre[3 * n + j] + self.bias[3 * n + j]);
+                    new_c[j] = f * state.c[j] + i * g;
+                    new_h[j] = o * new_c[j].tanh();
+                }
+                state.c = new_c;
+                state.h = new_h;
+            }
+            RnnKind::Gru => {
+                // Gate layout: [r, z, n]; the reset gate scales only the
+                // hidden contribution of the candidate.
+                let mut new_h = vec![0.0f32; n];
+                for j in 0..n {
+                    let r = sigmoid(state.x_pre[j] + h_pre[j] + self.bias[j]);
+                    let z = sigmoid(state.x_pre[n + j] + h_pre[n + j] + self.bias[n + j]);
+                    let cand =
+                        (state.x_pre[2 * n + j] + r * h_pre[2 * n + j] + self.bias[2 * n + j])
+                            .tanh();
+                    new_h[j] = (1.0 - z) * cand + z * state.h[j];
+                }
+                state.h = new_h;
+            }
+        }
+    }
+
+    /// MACs of a full input-side matvec.
+    pub fn input_macs(&self) -> u64 {
+        (self.in_dim() * self.w_x.cols()) as u64
+    }
+
+    /// MACs of the hidden-side matvec plus gate arithmetic.
+    pub fn hidden_macs(&self) -> u64 {
+        (self.hidden * self.w_h.cols()) as u64 + (self.kind.gates() * self.hidden) as u64
+    }
+
+    /// MACs of one full cell update.
+    pub fn full_step_macs(&self) -> u64 {
+        self.input_macs() + self.hidden_macs()
+    }
+
+    /// MACs of a delta update retaining `nnz` input components.
+    pub fn delta_step_macs(&self, nnz: usize) -> u64 {
+        (nnz * self.w_x.cols()) as u64 + self.hidden_macs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagnn_tensor::similarity::delta;
+
+    fn cell(kind: RnnKind) -> RnnCell {
+        RnnCell::new(kind, 4, 3, 99)
+    }
+
+    #[test]
+    fn zero_state_shapes() {
+        let c = cell(RnnKind::Lstm);
+        let s = c.zero_state();
+        assert_eq!(s.h.len(), 3);
+        assert_eq!(s.c.len(), 3);
+        assert_eq!(s.x_pre.len(), 12);
+    }
+
+    #[test]
+    fn lstm_step_changes_state_and_is_bounded() {
+        let c = cell(RnnKind::Lstm);
+        let mut s = c.zero_state();
+        c.step(&[1.0, -0.5, 0.25, 2.0], &mut s);
+        assert!(s.h.iter().any(|&v| v != 0.0));
+        assert!(
+            s.h.iter().all(|&v| v.abs() <= 1.0),
+            "LSTM h = o*tanh(c) is in [-1,1]"
+        );
+    }
+
+    #[test]
+    fn gru_step_changes_state_and_is_bounded() {
+        let c = cell(RnnKind::Gru);
+        let mut s = c.zero_state();
+        c.step(&[0.5, 0.5, -0.5, 1.0], &mut s);
+        assert!(s.h.iter().any(|&v| v != 0.0));
+        assert!(s.h.iter().all(|&v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn steps_are_deterministic() {
+        let c = cell(RnnKind::Lstm);
+        let (mut a, mut b) = (c.zero_state(), c.zero_state());
+        for _ in 0..3 {
+            c.step(&[0.1, 0.2, 0.3, 0.4], &mut a);
+            c.step(&[0.1, 0.2, 0.3, 0.4], &mut b);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lossless_delta_patch_equals_full_step() {
+        for kind in [RnnKind::Lstm, RnnKind::Gru] {
+            let c = cell(kind);
+            let x0 = [1.0, -1.0, 0.5, 0.0];
+            let x1 = [1.0, -0.5, 0.5, 0.25];
+
+            // Full path.
+            let mut full = c.zero_state();
+            c.step(&x0, &mut full);
+            c.step(&x1, &mut full);
+
+            // Delta path: step x0 fully, then patch with the lossless delta.
+            let mut patched = c.zero_state();
+            c.step(&x0, &mut patched);
+            let d = CondensedDelta::from_dense(&delta(&x0, &x1), 0.0);
+            let mut pre = patched.x_pre.clone();
+            c.patch_preactivation(&mut pre, &d);
+            patched.x_pre = pre;
+            c.step_cached(&mut patched);
+
+            for (a, b) in full.h.iter().zip(&patched.h) {
+                assert!(
+                    (a - b).abs() < 1e-5,
+                    "{kind:?}: delta path must be exact, {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mac_accounting_is_consistent() {
+        let c = cell(RnnKind::Lstm);
+        assert_eq!(c.full_step_macs(), c.input_macs() + c.hidden_macs());
+        assert!(c.delta_step_macs(1) < c.full_step_macs());
+        assert_eq!(c.delta_step_macs(c.in_dim()), c.full_step_macs());
+    }
+
+    #[test]
+    fn gate_counts() {
+        assert_eq!(RnnKind::Lstm.gates(), 4);
+        assert_eq!(RnnKind::Gru.gates(), 3);
+    }
+}

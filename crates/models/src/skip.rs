@@ -1,0 +1,204 @@
+//! The similarity-aware cell-skipping strategy (paper §3.1 and §4.2).
+//!
+//! For every stable and affected vertex, the θ score over the GNN outputs of
+//! two consecutive snapshots selects one of three cell-update modes:
+//!
+//! * `θ > θe`  — **Skip**: reuse the previous final feature entirely;
+//! * `θs ≤ θ ≤ θe` — **Delta**: patch the cached input pre-activation with
+//!   the condensed non-zero input difference, then step;
+//! * `θ < θs`  — **Normal**: full cell update.
+
+use serde::{Deserialize, Serialize};
+
+/// Cell-update mode selected per vertex per snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CellMode {
+    /// Full RNN cell update.
+    Normal,
+    /// Partial (delta) update on the condensed input difference.
+    Delta,
+    /// Bypass the cell entirely; previous final feature is reused.
+    Skip,
+}
+
+/// Thresholds `(θs, θe)` plus the zero-filter tolerance of the Condense
+/// Unit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SkipConfig {
+    /// Below this score the full cell update runs.
+    pub theta_s: f32,
+    /// Above this score the cell update is skipped entirely.
+    pub theta_e: f32,
+    /// Delta components with magnitude `<= tolerance` are dropped by the
+    /// Condense Unit. `0.0` keeps the delta path bit-exact.
+    pub delta_tolerance: f32,
+    /// Master switch; `false` forces [`CellMode::Normal`] everywhere (the
+    /// WO/ADSC ablation of Fig. 12).
+    pub enabled: bool,
+}
+
+impl SkipConfig {
+    /// The paper's default operating point: `[θs, θe] = [-0.5, 0.5]`
+    /// (Fig. 14a finds this interval optimal).
+    pub fn paper_default() -> Self {
+        Self {
+            theta_s: -0.5,
+            theta_e: 0.5,
+            delta_tolerance: 0.0,
+            enabled: true,
+        }
+    }
+
+    /// Skipping disabled: every vertex takes the Normal path, making the
+    /// concurrent engine bit-identical to the reference engine.
+    pub fn disabled() -> Self {
+        Self {
+            theta_s: 0.0,
+            theta_e: 0.0,
+            delta_tolerance: 0.0,
+            enabled: false,
+        }
+    }
+
+    /// Custom thresholds with lossless deltas.
+    ///
+    /// # Panics
+    /// Panics unless `theta_s <= theta_e`.
+    pub fn with_thresholds(theta_s: f32, theta_e: f32) -> Self {
+        assert!(theta_s <= theta_e, "theta_s must not exceed theta_e");
+        Self {
+            theta_s,
+            theta_e,
+            delta_tolerance: 0.0,
+            enabled: true,
+        }
+    }
+
+    /// Selects the cell-update mode for a similarity score.
+    pub fn select(&self, theta: f32) -> CellMode {
+        if !self.enabled {
+            CellMode::Normal
+        } else if theta > self.theta_e {
+            CellMode::Skip
+        } else if theta >= self.theta_s {
+            CellMode::Delta
+        } else {
+            CellMode::Normal
+        }
+    }
+}
+
+impl Default for SkipConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Counts of cell updates by mode (the ADSC statistics of Fig. 12/14a).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SkipStats {
+    /// Full cell updates executed.
+    pub normal: u64,
+    /// Delta updates executed.
+    pub delta: u64,
+    /// Cell updates skipped.
+    pub skipped: u64,
+}
+
+impl SkipStats {
+    /// Records one selection.
+    pub fn record(&mut self, mode: CellMode) {
+        match mode {
+            CellMode::Normal => self.normal += 1,
+            CellMode::Delta => self.delta += 1,
+            CellMode::Skip => self.skipped += 1,
+        }
+    }
+
+    /// Total selections.
+    pub fn total(&self) -> u64 {
+        self.normal + self.delta + self.skipped
+    }
+
+    /// Fraction of cells skipped outright.
+    pub fn skip_ratio(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.skipped as f64 / self.total() as f64
+        }
+    }
+
+    /// Merges another tally into this one.
+    pub fn merge(&mut self, other: &SkipStats) {
+        self.normal += other.normal;
+        self.delta += other.delta;
+        self.skipped += other.skipped;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_selection_respects_thresholds() {
+        let cfg = SkipConfig::with_thresholds(-0.5, 0.5);
+        assert_eq!(cfg.select(-0.9), CellMode::Normal);
+        assert_eq!(cfg.select(-0.5), CellMode::Delta);
+        assert_eq!(cfg.select(0.0), CellMode::Delta);
+        assert_eq!(cfg.select(0.5), CellMode::Delta);
+        assert_eq!(cfg.select(0.51), CellMode::Skip);
+        assert_eq!(cfg.select(1.0), CellMode::Skip);
+    }
+
+    #[test]
+    fn mode_is_monotone_in_theta() {
+        let cfg = SkipConfig::paper_default();
+        let rank = |m: CellMode| match m {
+            CellMode::Normal => 0,
+            CellMode::Delta => 1,
+            CellMode::Skip => 2,
+        };
+        let mut prev = 0;
+        for i in 0..=40 {
+            let theta = -1.0 + i as f32 * 0.05;
+            let r = rank(cfg.select(theta));
+            assert!(r >= prev, "mode must not regress as theta grows");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn disabled_always_normal() {
+        let cfg = SkipConfig::disabled();
+        for theta in [-1.0, 0.0, 1.0] {
+            assert_eq!(cfg.select(theta), CellMode::Normal);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "theta_s")]
+    fn rejects_inverted_thresholds() {
+        let _ = SkipConfig::with_thresholds(0.5, -0.5);
+    }
+
+    #[test]
+    fn stats_tally_and_merge() {
+        let mut a = SkipStats::default();
+        a.record(CellMode::Normal);
+        a.record(CellMode::Skip);
+        a.record(CellMode::Skip);
+        let mut b = SkipStats::default();
+        b.record(CellMode::Delta);
+        a.merge(&b);
+        assert_eq!(a.total(), 4);
+        assert_eq!(a.skipped, 2);
+        assert!((a.skip_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_skip_ratio_is_zero() {
+        assert_eq!(SkipStats::default().skip_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests of the model stack: engine equivalence on random
+//! dynamic graphs, delta-path exactness, and accounting conservation laws.
+
+use proptest::prelude::*;
+use tagnn_graph::generate::{ChurnConfig, GeneratorConfig};
+use tagnn_models::skip::{CellMode, SkipConfig};
+use tagnn_models::{ConcurrentEngine, DgnnModel, ModelKind, ReferenceEngine, ReuseMode};
+use tagnn_tensor::similarity::{delta, CondensedDelta};
+
+fn graph_strategy() -> impl Strategy<Value = GeneratorConfig> {
+    (2u64..2000, 1usize..4, 0.0f64..0.08, 0.0f64..0.05).prop_map(
+        |(seed, snapshots_x2, mutation, rewire)| GeneratorConfig {
+            num_vertices: 24,
+            num_edges: 80,
+            feature_dim: 4,
+            num_snapshots: snapshots_x2 * 2,
+            power_law_alpha: 0.7,
+            churn: ChurnConfig {
+                feature_mutation_rate: mutation,
+                edge_rewire_rate: rewire,
+                vertex_churn_rate: 0.005,
+                mutation_smoothness: 0.5,
+            },
+            seed,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn exact_concurrent_engine_equals_reference(cfg in graph_strategy(), window in 1usize..5) {
+        let g = cfg.generate();
+        let model = DgnnModel::new(ModelKind::TGcn, g.feature_dim(), 5, cfg.seed);
+        let reference = ReferenceEngine::new(model.clone()).run(&g);
+        let concurrent =
+            ConcurrentEngine::with_options(model, SkipConfig::disabled(), window, ReuseMode::Exact)
+                .run(&g);
+        let diff = reference.max_final_feature_diff(&concurrent);
+        prop_assert!(diff < 1e-4, "K={window}: diff {diff}");
+    }
+
+    #[test]
+    fn lossless_delta_band_equals_reference(cfg in graph_strategy()) {
+        let g = cfg.generate();
+        let model = DgnnModel::new(ModelKind::GcLstm, g.feature_dim(), 4, cfg.seed);
+        let reference = ReferenceEngine::new(model.clone()).run(&g);
+        // theta_s = -1, theta_e = 1: everything scored lands in the Delta
+        // band, which is exact at zero tolerance.
+        let delta_engine = ConcurrentEngine::with_options(
+            model,
+            SkipConfig::with_thresholds(-1.0, 1.0),
+            3,
+            ReuseMode::Exact,
+        )
+        .run(&g);
+        let diff = reference.max_final_feature_diff(&delta_engine);
+        prop_assert!(diff < 1e-3, "diff {diff}");
+    }
+
+    #[test]
+    fn touch_conservation_between_engines(cfg in graph_strategy(), window in 1usize..5) {
+        // Every engine touches the same set of (vertex, layer, snapshot)
+        // rows; the concurrent engine merely splits them into loads and
+        // reuses. Conservation: loaded + reused == reference loaded.
+        let g = cfg.generate();
+        let model = DgnnModel::new(ModelKind::TGcn, g.feature_dim(), 5, cfg.seed);
+        let reference = ReferenceEngine::new(model.clone()).run(&g);
+        for mode in [ReuseMode::Exact, ReuseMode::PaperWindow] {
+            let concurrent =
+                ConcurrentEngine::with_options(model.clone(), SkipConfig::disabled(), window, mode)
+                    .run(&g);
+            let touches =
+                concurrent.stats.feature_rows_loaded + concurrent.stats.feature_rows_reused;
+            prop_assert_eq!(
+                touches,
+                reference.stats.feature_rows_loaded,
+                "{:?} K={} touch conservation", mode, window
+            );
+        }
+    }
+
+    #[test]
+    fn skip_tallies_cover_every_active_vertex(cfg in graph_strategy(), window in 1usize..4) {
+        let g = cfg.generate();
+        let model = DgnnModel::new(ModelKind::CdGcn, g.feature_dim(), 4, cfg.seed);
+        let out = ConcurrentEngine::with_options(
+            model,
+            SkipConfig::paper_default(),
+            window,
+            ReuseMode::Exact,
+        )
+        .run(&g);
+        let expected: u64 = g.snapshots().iter().map(|s| s.num_active() as u64).sum();
+        prop_assert_eq!(out.stats.skip.total(), expected);
+    }
+
+    #[test]
+    fn delta_patch_equals_full_matvec(
+        x0 in proptest::collection::vec(-2.0f32..2.0, 6),
+        x1 in proptest::collection::vec(-2.0f32..2.0, 6),
+        seed in 0u64..500,
+    ) {
+        use tagnn_models::rnn::{RnnCell, RnnKind};
+        let cell = RnnCell::new(RnnKind::Gru, 6, 4, seed);
+        let mut pre = cell.input_preactivation(&x0);
+        let d = CondensedDelta::from_dense(&delta(&x0, &x1), 0.0);
+        cell.patch_preactivation(&mut pre, &d);
+        let direct = cell.input_preactivation(&x1);
+        for (a, b) in pre.iter().zip(&direct) {
+            prop_assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn skip_mode_is_monotone_for_any_valid_thresholds(
+        ts in -1.0f32..1.0,
+        width in 0.0f32..1.0,
+    ) {
+        let te = (ts + width).min(1.0);
+        let cfg = SkipConfig::with_thresholds(ts, te);
+        let rank = |m: CellMode| match m {
+            CellMode::Normal => 0,
+            CellMode::Delta => 1,
+            CellMode::Skip => 2,
+        };
+        let mut prev = 0;
+        for i in 0..=20 {
+            let theta = -1.0 + i as f32 * 0.1;
+            let r = rank(cfg.select(theta));
+            prop_assert!(r >= prev);
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn final_features_are_always_bounded(cfg in graph_strategy()) {
+        // LSTM/GRU hidden states live in [-1, 1] regardless of skipping.
+        let g = cfg.generate();
+        let model = DgnnModel::new(ModelKind::GcLstm, g.feature_dim(), 4, cfg.seed);
+        let out = ConcurrentEngine::with_window(model, SkipConfig::paper_default(), 3).run(&g);
+        for h in &out.final_features {
+            for &v in h.as_slice() {
+                prop_assert!(v.abs() <= 1.0 + 1e-6);
+            }
+        }
+    }
+}

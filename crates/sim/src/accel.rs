@@ -1,0 +1,377 @@
+//! The top-level TaGNN accelerator simulator.
+//!
+//! Per window, the simulator replays the paper's dataflow: the MSDL
+//! classifies vertices and traverses the affected subgraph, the Task
+//! Dispatcher balances degree-weighted tasks over the DCUs, the DCUs retire
+//! aggregation/combination/cell-update arithmetic, and the Adaptive RNN
+//! Unit scores similarities and condenses deltas — all overlapped with HBM
+//! streaming through the ping-pong buffers. Work quantities come from the
+//! measured [`Workload`]; the configuration decides how many cycles that
+//! work takes.
+
+use crate::arnn::ArnnModel;
+use crate::config::AcceleratorConfig;
+use crate::dcu::DcuModel;
+use crate::dispatch;
+use crate::energy::EnergyModel;
+use crate::memory::{DramTraffic, HbmModel, PingPongBuffer};
+use crate::msdl::MsdlModel;
+use crate::timeline;
+use crate::workload::{Workload, ELEM_BYTES};
+use serde::{Deserialize, Serialize};
+use tagnn_graph::classify::classify_window;
+use tagnn_graph::subgraph::AffectedSubgraph;
+use tagnn_graph::types::VertexId;
+use tagnn_graph::{DynamicGraph, Snapshot};
+use tagnn_models::skip::SkipStats;
+
+/// Per-unit cycle breakdown of one simulated run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CycleBreakdown {
+    /// MSDL classification + traversal pipelines.
+    pub msdl: u64,
+    /// APE aggregation cycles.
+    pub aggregation: u64,
+    /// CPE combination cycles.
+    pub combination: u64,
+    /// CPE cell-update cycles.
+    pub rnn: u64,
+    /// Adaptive RNN Unit (similarity + condense) cycles.
+    pub arnn: u64,
+    /// HBM streaming cycles.
+    pub dram: u64,
+}
+
+impl CycleBreakdown {
+    /// All compute-side cycles (everything that overlaps with DRAM).
+    pub fn compute_total(&self) -> u64 {
+        self.msdl + self.aggregation + self.combination + self.rnn + self.arnn
+    }
+}
+
+/// The result of simulating one workload on one configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Configuration name.
+    pub name: String,
+    /// Workload (dataset) name.
+    pub workload: String,
+    /// Total cycles after memory/compute overlap.
+    pub cycles: u64,
+    /// Wall-clock milliseconds at the configured clock.
+    pub time_ms: f64,
+    /// Per-unit cycle breakdown (pre-overlap).
+    pub breakdown: CycleBreakdown,
+    /// DRAM traffic.
+    pub dram: DramTraffic,
+    /// Energy in millijoules.
+    pub energy_mj: f64,
+    /// Average dispatcher utilisation in `[0, 1]`.
+    pub dispatch_utilization: f64,
+    /// Cycles the compute side stalled waiting for data (timeline model).
+    pub compute_stall_cycles: u64,
+    /// Cycles the memory channel idled (timeline model).
+    pub memory_idle_cycles: u64,
+    /// Bytes re-fetched because the feature working set spilled the
+    /// on-chip feature buffer.
+    pub spill_bytes: u64,
+    /// Cell-skipping tallies of the underlying execution.
+    pub skip: SkipStats,
+}
+
+impl SimReport {
+    /// Speedup of this run versus another report's time.
+    pub fn speedup_vs(&self, other: &SimReport) -> f64 {
+        other.time_ms / self.time_ms
+    }
+}
+
+/// Simulator for the TaGNN accelerator (and its ablated variants).
+#[derive(Debug, Clone)]
+pub struct TagnnSimulator {
+    config: AcceleratorConfig,
+}
+
+impl TagnnSimulator {
+    /// Wraps a configuration.
+    pub fn new(config: AcceleratorConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AcceleratorConfig {
+        &self.config
+    }
+
+    /// Simulates `workload` (measured over `graph`) on this configuration.
+    pub fn simulate(&self, graph: &DynamicGraph, workload: &Workload) -> SimReport {
+        let cfg = &self.config;
+        let hbm = HbmModel::new(cfg);
+        let dcu = DcuModel::new(cfg);
+        let arnn = ArnnModel::new(cfg);
+        let msdl = MsdlModel::default();
+
+        // --- Structural sweep: per-window MSDL work, dispatch balance, and
+        // the per-window shares used to schedule the cross-window pipeline.
+        let mut windows = 0u64;
+        let mut classified_vertices = 0u64;
+        let mut subgraph_edges = 0u64;
+        let mut util_weighted = 0.0f64;
+        let mut util_weight = 0.0f64;
+        // Per-window estimates used to apportion the measured aggregates:
+        // (msdl cycles, estimated loaded rows, estimated degree-weighted work).
+        let mut shapes: Vec<(u64, u64, u64)> = Vec::new();
+        for batch in graph.batches(workload.window) {
+            windows += 1;
+            classified_vertices += graph.num_vertices() as u64;
+            let refs: Vec<&Snapshot> = batch.iter().collect();
+            let cls = classify_window(&refs);
+            let sg = AffectedSubgraph::extract(&refs, &cls);
+            subgraph_edges += sg.num_edges() as u64;
+
+            // Degree-weighted GNN tasks of this window: every vertex once
+            // (the compute-once pass) plus the subgraph per extra snapshot.
+            let mut items: Vec<u64> = (0..graph.num_vertices() as VertexId)
+                .map(|v| refs[0].csr().degree(v) as u64 + 1)
+                .collect();
+            let cold_rows: u64 = items.iter().sum();
+            for &v in sg.vertices() {
+                for snap in &refs[1..] {
+                    items.push(snap.csr().degree(v) as u64 + 1);
+                }
+            }
+            let report = if cfg.balanced_dispatch {
+                dispatch::balanced(&items, cfg.num_dcus)
+            } else {
+                dispatch::round_robin(&items, cfg.num_dcus)
+            };
+            util_weighted += report.utilization * report.total_work as f64;
+            util_weight += report.total_work as f64;
+
+            // Loaded-row estimate: the cold pass plus the affected rows of
+            // the remaining snapshots.
+            let affected_rows: u64 = cls
+                .vertices_of(tagnn_graph::types::VertexClass::Affected)
+                .map(|v| refs[0].csr().degree(v) as u64 + 1)
+                .sum::<u64>()
+                * (refs.len() as u64).saturating_sub(1);
+            let msdl_w = msdl.total_cycles(graph.num_vertices() as u64, sg.num_edges() as u64, 1);
+            shapes.push((msdl_w, cold_rows + affected_rows, report.total_work.max(1)));
+        }
+        let utilization = if util_weight == 0.0 {
+            1.0
+        } else {
+            util_weighted / util_weight
+        };
+
+        // --- Effective work counters under the ablation flags.
+        let gnn_stats = if cfg.oadl_enabled {
+            &workload.concurrent
+        } else {
+            &workload.reference
+        };
+        let rnn_stats = if cfg.adsc_enabled {
+            &workload.concurrent
+        } else {
+            &workload.reference
+        };
+
+        // --- DRAM traffic, including capacity spills: when the layer-0
+        // feature table outgrows the feature buffer's resident half, the
+        // overflow fraction of would-be SRAM reuses must re-travel from HBM.
+        let table_bytes = workload.num_vertices as u64 * workload.row_bytes();
+        let resident_half = (cfg.buffers.feature_bytes / 2) as u64;
+        let spill_fraction = if table_bytes > resident_half {
+            1.0 - resident_half as f64 / table_bytes as f64
+        } else {
+            0.0
+        };
+        let spill_bytes = (gnn_stats.feature_rows_reused as f64
+            * workload.row_bytes() as f64
+            * spill_fraction) as u64;
+        let dram = DramTraffic {
+            feature_bytes: gnn_stats.feature_rows_loaded * workload.row_bytes() + spill_bytes,
+            structure_bytes: gnn_stats.structure_words_loaded * ELEM_BYTES,
+            weight_bytes: workload.weight_params * ELEM_BYTES,
+            output_bytes: (workload.num_snapshots * workload.num_vertices * workload.hidden) as u64
+                * ELEM_BYTES,
+        };
+        let feature_buf = PingPongBuffer::new(cfg.buffers.feature_bytes);
+        let bursts = feature_buf.refills(dram.feature_bytes) + windows;
+        let dram_cycles = hbm.stream_cycles(dram.total(), bursts);
+
+        // --- Compute cycles.
+        let msdl_cycles = if cfg.oadl_enabled {
+            msdl.total_cycles(classified_vertices, subgraph_edges, windows)
+        } else {
+            0
+        };
+        let agg_cycles = dcu.aggregation_cycles(gnn_stats.gnn_aggregate_macs, utilization);
+        let comb_cycles = dcu.combination_cycles(gnn_stats.gnn_combine_macs, utilization);
+        let rnn_cycles = dcu.rnn_cycles(rnn_stats.rnn_macs, utilization);
+        let arnn_cycles = if cfg.adsc_enabled {
+            arnn.total_cycles(
+                rnn_stats.similarity_ops,
+                rnn_stats.skip.delta,
+                workload.hidden,
+            )
+        } else {
+            0
+        };
+
+        let breakdown = CycleBreakdown {
+            msdl: msdl_cycles,
+            aggregation: agg_cycles,
+            combination: comb_cycles,
+            rnn: rnn_cycles,
+            arnn: arnn_cycles,
+            dram: dram_cycles,
+        };
+
+        // --- Cross-window pipeline schedule: apportion the aggregate
+        // cycles over windows by their structural shares, then run the
+        // double-buffered timeline (load i+1 overlaps compute i).
+        let total_rows: u64 = shapes.iter().map(|s| s.1).sum::<u64>().max(1);
+        let total_work: u64 = shapes.iter().map(|s| s.2).sum::<u64>().max(1);
+        let compute_cycles_total = agg_cycles + comb_cycles + rnn_cycles + arnn_cycles;
+        let wb_total = hbm.bandwidth_cycles(dram.output_bytes);
+        let load_total = dram_cycles.saturating_sub(wb_total.min(dram_cycles / 4));
+        let work: Vec<timeline::WindowWork> = shapes
+            .iter()
+            .map(|&(msdl_w, rows, dwork)| timeline::WindowWork {
+                load_cycles: load_total * rows / total_rows,
+                msdl_cycles: if cfg.oadl_enabled { msdl_w } else { 0 },
+                compute_cycles: compute_cycles_total * dwork / total_work,
+                writeback_cycles: wb_total / windows.max(1),
+            })
+            .collect();
+        let schedule = timeline::simulate_timeline(&work);
+        let cycles = schedule.total_cycles.max(1);
+        let time_s = cycles as f64 / cfg.cycles_per_sec();
+
+        // On-chip accesses: every row touched (loaded or reused) is read
+        // from SRAM by the compute pipeline at least once.
+        let sram_bytes =
+            (gnn_stats.feature_rows_loaded + gnn_stats.feature_rows_reused) * workload.row_bytes();
+        let macs = gnn_stats.gnn_aggregate_macs + gnn_stats.gnn_combine_macs + rnn_stats.rnn_macs;
+        let energy_mj =
+            EnergyModel::fpga(cfg.power_w).energy_mj(time_s, macs, dram.total(), sram_bytes);
+
+        SimReport {
+            name: cfg.name.clone(),
+            workload: workload.name.clone(),
+            cycles,
+            time_ms: time_s * 1.0e3,
+            breakdown,
+            dram,
+            energy_mj,
+            dispatch_utilization: utilization,
+            compute_stall_cycles: schedule.compute_stall_cycles,
+            memory_idle_cycles: schedule.memory_idle_cycles,
+            spill_bytes,
+            skip: rnn_stats.skip,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagnn_graph::generate::DatasetPreset;
+    use tagnn_models::{ModelKind, SkipConfig};
+
+    fn setup() -> (DynamicGraph, Workload) {
+        let g = DatasetPreset::Gdelt.config_small(6).generate();
+        let w = Workload::measure(
+            &g,
+            "GT",
+            ModelKind::TGcn,
+            8,
+            3,
+            SkipConfig::paper_default(),
+            1,
+        );
+        (g, w)
+    }
+
+    #[test]
+    fn produces_nonzero_cycles_and_energy() {
+        let (g, w) = setup();
+        let r = TagnnSimulator::new(AcceleratorConfig::tagnn_default()).simulate(&g, &w);
+        assert!(r.cycles > 0);
+        assert!(r.time_ms > 0.0);
+        assert!(r.energy_mj > 0.0);
+        assert!(r.dram.total() > 0);
+        assert!(r.dispatch_utilization > 0.0 && r.dispatch_utilization <= 1.0);
+    }
+
+    #[test]
+    fn oadl_ablation_slows_the_run() {
+        let (g, w) = setup();
+        let base = TagnnSimulator::new(AcceleratorConfig::tagnn_default()).simulate(&g, &w);
+        let wo =
+            TagnnSimulator::new(AcceleratorConfig::tagnn_default().without_oadl()).simulate(&g, &w);
+        assert!(wo.time_ms > base.time_ms, "WO/OADL must be slower");
+        assert!(wo.dram.feature_bytes > base.dram.feature_bytes);
+    }
+
+    #[test]
+    fn adsc_ablation_increases_rnn_cycles() {
+        let (g, w) = setup();
+        let base = TagnnSimulator::new(AcceleratorConfig::tagnn_default()).simulate(&g, &w);
+        let wo =
+            TagnnSimulator::new(AcceleratorConfig::tagnn_default().without_adsc()).simulate(&g, &w);
+        assert!(wo.breakdown.rnn >= base.breakdown.rnn);
+        assert!(wo.time_ms >= base.time_ms);
+    }
+
+    #[test]
+    fn balanced_dispatch_helps_or_ties() {
+        let (g, w) = setup();
+        let base = TagnnSimulator::new(AcceleratorConfig::tagnn_default()).simulate(&g, &w);
+        let naive =
+            TagnnSimulator::new(AcceleratorConfig::tagnn_default().without_balanced_dispatch())
+                .simulate(&g, &w);
+        assert!(base.dispatch_utilization >= naive.dispatch_utilization);
+        assert!(base.time_ms <= naive.time_ms);
+    }
+
+    #[test]
+    fn more_dcus_do_not_slow_down() {
+        let (g, w) = setup();
+        let few =
+            TagnnSimulator::new(AcceleratorConfig::tagnn_default().with_dcus(2)).simulate(&g, &w);
+        let many =
+            TagnnSimulator::new(AcceleratorConfig::tagnn_default().with_dcus(16)).simulate(&g, &w);
+        assert!(many.time_ms <= few.time_ms);
+    }
+
+    #[test]
+    fn speedup_is_relative_time() {
+        let (g, w) = setup();
+        let base = TagnnSimulator::new(AcceleratorConfig::tagnn_default()).simulate(&g, &w);
+        let wo =
+            TagnnSimulator::new(AcceleratorConfig::tagnn_default().without_oadl()).simulate(&g, &w);
+        assert!((base.speedup_vs(&wo) - wo.time_ms / base.time_ms).abs() < 1e-12);
+        assert!(base.speedup_vs(&wo) > 1.0);
+    }
+
+    #[test]
+    fn small_buffers_spill_and_cost_time() {
+        let (g, w) = setup();
+        let base = TagnnSimulator::new(AcceleratorConfig::tagnn_default()).simulate(&g, &w);
+        let mut tiny = AcceleratorConfig::tagnn_default();
+        tiny.buffers.feature_bytes = 16 * 1024; // 8 KiB resident half
+        let spilled = TagnnSimulator::new(tiny).simulate(&g, &w);
+        assert!(spilled.spill_bytes > base.spill_bytes);
+        assert!(spilled.dram.feature_bytes > base.dram.feature_bytes);
+        assert!(spilled.time_ms >= base.time_ms);
+    }
+
+    #[test]
+    fn report_is_deterministic() {
+        let (g, w) = setup();
+        let sim = TagnnSimulator::new(AcceleratorConfig::tagnn_default());
+        assert_eq!(sim.simulate(&g, &w), sim.simulate(&g, &w));
+    }
+}

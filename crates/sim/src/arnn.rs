@@ -1,0 +1,79 @@
+//! The Adaptive RNN Unit: Similarity Core Unit, Delta Generation, and
+//! Condense Unit cycle models (paper §4.2, Fig. 7b).
+//!
+//! Cell-update arithmetic itself runs on the DCU's CPE array; this unit
+//! contributes the similarity scoring, the delta generation, and the
+//! multi-level zero-filtering of the Condense Unit.
+
+use crate::config::AcceleratorConfig;
+use serde::{Deserialize, Serialize};
+
+/// ARNN throughput model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArnnModel {
+    /// Parallel Similarity Core Unit lanes.
+    pub scu_lanes: usize,
+}
+
+impl ArnnModel {
+    /// Derives the model from the accelerator configuration.
+    pub fn new(cfg: &AcceleratorConfig) -> Self {
+        Self {
+            scu_lanes: cfg.scu_lanes,
+        }
+    }
+
+    /// Cycles for `similarity_ops` scalar similarity operations (dot
+    /// products, norms, overlap merges) across the SCU lanes.
+    pub fn similarity_cycles(&self, similarity_ops: u64) -> u64 {
+        similarity_ops.div_ceil(self.scu_lanes.max(1) as u64)
+    }
+
+    /// Cycles for the Condense Unit to mask/compact `delta_updates` delta
+    /// vectors of width `hidden`: the mask generation scans every lane, the
+    /// compaction writes only the non-zeros (folded into the scan here).
+    pub fn condense_cycles(&self, delta_updates: u64, hidden: usize) -> u64 {
+        (delta_updates * hidden as u64).div_ceil(self.scu_lanes.max(1) as u64)
+    }
+
+    /// Total ARNN-side cycles (similarity + condense; activation is fused
+    /// into the cell-update pipeline).
+    pub fn total_cycles(&self, similarity_ops: u64, delta_updates: u64, hidden: usize) -> u64 {
+        self.similarity_cycles(similarity_ops) + self.condense_cycles(delta_updates, hidden)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ArnnModel {
+        ArnnModel::new(&AcceleratorConfig::tagnn_default())
+    }
+
+    #[test]
+    fn zero_work_is_free() {
+        let m = model();
+        assert_eq!(m.total_cycles(0, 0, 64), 0);
+    }
+
+    #[test]
+    fn similarity_throughput_is_lane_bound() {
+        let m = ArnnModel { scu_lanes: 64 };
+        assert_eq!(m.similarity_cycles(640), 10);
+        assert_eq!(m.similarity_cycles(641), 11);
+    }
+
+    #[test]
+    fn condense_scales_with_width_and_count() {
+        let m = model();
+        assert!(m.condense_cycles(100, 64) < m.condense_cycles(100, 128));
+        assert!(m.condense_cycles(100, 64) < m.condense_cycles(200, 64));
+    }
+
+    #[test]
+    fn degenerate_lane_count_is_safe() {
+        let m = ArnnModel { scu_lanes: 0 };
+        assert_eq!(m.similarity_cycles(5), 5);
+    }
+}

@@ -1,0 +1,119 @@
+//! GPU software systems on the NVIDIA A100: PyGT, CacheG, ESDG, PiPAD, and
+//! the software port of our approach (TaGNN-S).
+//!
+//! All five share the A100's raw capabilities (§5.1: 6,912 cores, 80 GB
+//! HBM); they differ in achieved utilisation (Fig. 2d caps PiPAD below
+//! 22.3 % SM utilisation), useful-data ratio (Fig. 2c), and runtime
+//! overhead. TaGNN-S follows the concurrent execution pattern but pays the
+//! large runtime overhead the paper measures for it (40.1–62.3 % of total
+//! time, Fig. 8a) — the gap a bespoke accelerator closes.
+
+use crate::baselines::{ExecPattern, PlatformModel};
+use crate::energy::EnergyModel;
+
+/// A100 memory bandwidth achieved on irregular DGNN gathers (bytes/s) —
+/// a small fraction of the 1.55 TB/s STREAM peak, consistent with the
+/// sub-22.3 % SM utilisation of Fig. 2d.
+const A100_BW: f64 = 0.15e12;
+/// A100 board power (W).
+const A100_POWER: f64 = 300.0;
+
+fn a100(name: &str) -> PlatformModel {
+    PlatformModel {
+        name: name.to_string(),
+        effective_macs_per_sec: 0.2e12,
+        mem_bandwidth: A100_BW,
+        useful_data_ratio: 0.15,
+        runtime_overhead: 0.35,
+        overlap: 0.5,
+        aggregation_reuse: 0.0,
+        power_w: A100_POWER,
+        energy: EnergyModel::processor(A100_POWER),
+        pattern: ExecPattern::SnapshotBySnapshot,
+    }
+}
+
+/// PyTorch Geometric Temporal — the slowest GPU framework (Fig. 2b's
+/// normalisation base).
+pub fn pygt() -> PlatformModel {
+    let mut p = a100("PyGT");
+    p.effective_macs_per_sec = 0.08e12;
+    p.mem_bandwidth = 0.10e12;
+    p.useful_data_ratio = 0.10;
+    p.runtime_overhead = 0.45;
+    p
+}
+
+/// CacheG: caching reduces some redundant transfers.
+pub fn cacheg() -> PlatformModel {
+    let mut p = a100("CacheG");
+    p.effective_macs_per_sec = 0.10e12;
+    p.mem_bandwidth = 0.11e12;
+    p.useful_data_ratio = 0.13;
+    p.runtime_overhead = 0.40;
+    p
+}
+
+/// ESDG: graph-difference transfers cut traffic further.
+pub fn esdg() -> PlatformModel {
+    let mut p = a100("ESDG");
+    p.effective_macs_per_sec = 0.12e12;
+    p.mem_bandwidth = 0.12e12;
+    p.useful_data_ratio = 0.15;
+    p.runtime_overhead = 0.38;
+    p
+}
+
+/// PiPAD — the state-of-the-art GPU DGNN framework (pipelined transfers,
+/// overlap-aware batching), yet still >81.7 % redundant accesses (Fig. 2c).
+pub fn pipad() -> PlatformModel {
+    let mut p = a100("PiPAD");
+    p.effective_macs_per_sec = 0.20e12;
+    p.useful_data_ratio = 0.18;
+    p.runtime_overhead = 0.30;
+    p.overlap = 0.6;
+    p
+}
+
+/// TaGNN-S: our topology-aware concurrent approach implemented in software
+/// on the same A100 (§5.1). Reuse slashes traffic and the similarity check
+/// skips cells, but the irregular multi-graph traversal and the adaptive
+/// mode switching cost 40–62 % runtime overhead on a general-purpose
+/// processor (§3.2) — the motivation for the accelerator.
+pub fn tagnn_s() -> PlatformModel {
+    let mut p = a100("TaGNN-S");
+    p.pattern = ExecPattern::Concurrent;
+    p.effective_macs_per_sec = 0.18e12;
+    p.useful_data_ratio = 0.55;
+    p.runtime_overhead = 0.52;
+    p.overlap = 0.6;
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipad_is_fastest_snapshot_by_snapshot_gpu_system() {
+        // Effective throughput and data efficiency must rank PiPAD first
+        // among the snapshot-by-snapshot systems (Fig. 2b).
+        for other in [pygt(), cacheg(), esdg()] {
+            assert!(pipad().effective_macs_per_sec >= other.effective_macs_per_sec);
+            assert!(pipad().useful_data_ratio >= other.useful_data_ratio);
+        }
+    }
+
+    #[test]
+    fn tagnn_s_uses_concurrent_pattern() {
+        assert_eq!(tagnn_s().pattern, ExecPattern::Concurrent);
+        assert_eq!(pipad().pattern, ExecPattern::SnapshotBySnapshot);
+    }
+
+    #[test]
+    fn tagnn_s_overhead_matches_paper_band() {
+        // Fig. 8a: runtime overhead is 40.1%-62.3% of TaGNN-S's time.
+        let o = tagnn_s().runtime_overhead;
+        assert!((0.40..=0.62).contains(&o));
+    }
+}

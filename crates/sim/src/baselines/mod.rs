@@ -1,0 +1,254 @@
+//! Analytic cost models of every baseline platform the paper compares
+//! against: software frameworks on CPU/GPU (DGL, PyGT, CacheG, ESDG,
+//! PiPAD, TaGNN-S) and prior DGNN accelerators (DGNN-Booster, E-DGCN,
+//! Cambricon-DG).
+//!
+//! Each platform is a parameter set — sustained compute rate, memory
+//! bandwidth, useful-data ratio (Fig. 2c), runtime-overhead fraction,
+//! memory/compute overlap quality, power — plus the execution pattern it
+//! follows (snapshot-by-snapshot for everything except TaGNN-S). The
+//! estimate maps a measured [`Workload`] through those parameters.
+
+pub mod cambricon_dg;
+pub mod cpu_dgl;
+pub mod dgnn_booster;
+pub mod edgcn;
+pub mod gpu_pipad;
+
+use crate::energy::EnergyModel;
+use crate::workload::{Workload, ELEM_BYTES};
+use serde::{Deserialize, Serialize};
+use tagnn_models::ExecutionStats;
+
+/// Which engine's work counters a platform replays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecPattern {
+    /// Snapshot-by-snapshot: full recompute and reload per snapshot.
+    SnapshotBySnapshot,
+    /// TaGNN's topology-aware concurrent pattern (used by TaGNN-S).
+    Concurrent,
+}
+
+/// An analytic platform model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformModel {
+    /// Display name.
+    pub name: String,
+    /// Sustained MACs per second the platform achieves on DGNN kernels
+    /// (peak throughput already derated by achievable utilisation).
+    pub effective_macs_per_sec: f64,
+    /// Memory bandwidth in bytes per second.
+    pub mem_bandwidth: f64,
+    /// Fraction of fetched bytes that are useful (Fig. 2c); redundant and
+    /// over-fetched data inflate traffic by its inverse.
+    pub useful_data_ratio: f64,
+    /// Fraction of total time lost to framework/runtime overhead.
+    pub runtime_overhead: f64,
+    /// Memory/compute overlap quality in `[0, 1]`: 1 = perfect dataflow
+    /// overlap (accelerators), 0 = fully serialised.
+    pub overlap: f64,
+    /// Fraction of the *redundant* aggregation work (reference minus
+    /// concurrent) this platform eliminates (Cambricon-DG's nonlinear
+    /// isolation); 0 for everything else.
+    pub aggregation_reuse: f64,
+    /// Board/package power in watts.
+    pub power_w: f64,
+    /// Energy constants.
+    pub energy: EnergyModel,
+    /// Execution pattern.
+    pub pattern: ExecPattern,
+}
+
+/// Estimated execution of a workload on a platform.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlatformReport {
+    /// Total milliseconds.
+    pub time_ms: f64,
+    /// Memory-bound milliseconds (pre-overlap).
+    pub memory_ms: f64,
+    /// Compute-bound milliseconds (pre-overlap).
+    pub compute_ms: f64,
+    /// Runtime-overhead milliseconds.
+    pub overhead_ms: f64,
+    /// Total DRAM bytes moved (including the useless fraction).
+    pub dram_bytes: u64,
+    /// Energy in millijoules.
+    pub energy_mj: f64,
+    /// MACs retired.
+    pub macs: u64,
+}
+
+impl PlatformModel {
+    /// Estimates `workload` on this platform.
+    pub fn estimate(&self, workload: &Workload) -> PlatformReport {
+        let stats: &ExecutionStats = match self.pattern {
+            ExecPattern::SnapshotBySnapshot => &workload.reference,
+            ExecPattern::Concurrent => &workload.concurrent,
+        };
+
+        // Cambricon-DG's nonlinear isolation removes part of the redundant
+        // aggregation (work the concurrent pattern would not do at all).
+        let redundant_agg = workload
+            .reference
+            .gnn_aggregate_macs
+            .saturating_sub(workload.concurrent.gnn_aggregate_macs);
+        let redundant_loads = workload
+            .reference
+            .feature_rows_loaded
+            .saturating_sub(workload.concurrent.feature_rows_loaded);
+        let agg_macs =
+            stats.gnn_aggregate_macs - (redundant_agg as f64 * self.aggregation_reuse) as u64;
+        let rows_loaded =
+            stats.feature_rows_loaded - (redundant_loads as f64 * self.aggregation_reuse) as u64;
+
+        let macs = agg_macs + stats.gnn_combine_macs + stats.rnn_macs;
+        let useful_bytes =
+            rows_loaded * workload.row_bytes() + stats.structure_words_loaded * ELEM_BYTES;
+        let dram_bytes = (useful_bytes as f64 / self.useful_data_ratio.max(1e-3)) as u64;
+
+        let memory_s = dram_bytes as f64 / self.mem_bandwidth;
+        let compute_s = macs as f64 / self.effective_macs_per_sec;
+        // Overlap: the longer phase plus the non-overlapped part of the
+        // shorter one.
+        let base_s = memory_s.max(compute_s) + (1.0 - self.overlap) * memory_s.min(compute_s);
+        let total_s = base_s / (1.0 - self.runtime_overhead.min(0.95));
+        let overhead_s = total_s - base_s;
+
+        let energy_mj = self
+            .energy
+            .energy_mj(total_s, macs, dram_bytes, useful_bytes);
+        PlatformReport {
+            time_ms: total_s * 1.0e3,
+            memory_ms: memory_s * 1.0e3,
+            compute_ms: compute_s * 1.0e3,
+            overhead_ms: overhead_s * 1.0e3,
+            dram_bytes,
+            energy_mj,
+            macs,
+        }
+    }
+
+    /// Phase-level time shares `(aggregation, combination, update, other)`
+    /// summing to 1 — the Fig. 2(a) breakdown. Memory time is attributed to
+    /// phases proportionally to their data appetite (aggregation owns the
+    /// gather traffic).
+    pub fn phase_breakdown(&self, workload: &Workload) -> (f64, f64, f64, f64) {
+        let stats: &ExecutionStats = match self.pattern {
+            ExecPattern::SnapshotBySnapshot => &workload.reference,
+            ExecPattern::Concurrent => &workload.concurrent,
+        };
+        let report = self.estimate(workload);
+        let macs_total =
+            (stats.gnn_aggregate_macs + stats.gnn_combine_macs + stats.rnn_macs).max(1) as f64;
+        let compute = report.compute_ms;
+        // Aggregation = its compute share + all gather memory time.
+        let agg = compute * stats.gnn_aggregate_macs as f64 / macs_total + report.memory_ms;
+        let comb = compute * stats.gnn_combine_macs as f64 / macs_total;
+        let upd = compute * stats.rnn_macs as f64 / macs_total;
+        let other = report.overhead_ms;
+        let sum = agg + comb + upd + other;
+        (agg / sum, comb / sum, upd / sum, other / sum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagnn_graph::generate::DatasetPreset;
+    use tagnn_models::{ModelKind, SkipConfig};
+
+    fn workload() -> Workload {
+        let g = DatasetPreset::Gdelt.config_small(6).generate();
+        Workload::measure(
+            &g,
+            "GT",
+            ModelKind::TGcn,
+            8,
+            4,
+            SkipConfig::paper_default(),
+            1,
+        )
+    }
+
+    #[test]
+    fn cpu_is_slower_than_gpu() {
+        let w = workload();
+        let cpu = cpu_dgl::dgl_cpu().estimate(&w);
+        let gpu = gpu_pipad::pipad().estimate(&w);
+        assert!(
+            cpu.time_ms > gpu.time_ms,
+            "CPU {} vs GPU {}",
+            cpu.time_ms,
+            gpu.time_ms
+        );
+    }
+
+    #[test]
+    fn accelerators_beat_software() {
+        let w = workload();
+        let gpu = gpu_pipad::pipad().estimate(&w);
+        for accel in [
+            dgnn_booster::dgnn_booster(),
+            edgcn::edgcn(),
+            cambricon_dg::cambricon_dg(),
+        ] {
+            let r = accel.estimate(&w);
+            assert!(
+                r.time_ms < gpu.time_ms,
+                "{} not faster than PiPAD",
+                accel.name
+            );
+        }
+    }
+
+    #[test]
+    fn accelerator_ordering_matches_paper() {
+        // Fig. 10: Cambricon-DG > E-DGCN > DGNN-Booster.
+        let w = workload();
+        let booster = dgnn_booster::dgnn_booster().estimate(&w);
+        let edgcn = edgcn::edgcn().estimate(&w);
+        let cam = cambricon_dg::cambricon_dg().estimate(&w);
+        assert!(cam.time_ms < edgcn.time_ms, "Cambricon must beat E-DGCN");
+        assert!(
+            edgcn.time_ms < booster.time_ms,
+            "E-DGCN must beat DGNN-Booster"
+        );
+    }
+
+    #[test]
+    fn tagnn_s_beats_pipad() {
+        // Fig. 8a: TaGNN-S outperforms PiPAD despite its runtime overhead.
+        let w = workload();
+        let pipad = gpu_pipad::pipad().estimate(&w);
+        let tagnn_s = gpu_pipad::tagnn_s().estimate(&w);
+        assert!(tagnn_s.time_ms < pipad.time_ms);
+    }
+
+    #[test]
+    fn useful_data_ratio_inflates_traffic() {
+        let w = workload();
+        let mut p = gpu_pipad::pipad();
+        let base = p.estimate(&w).dram_bytes;
+        p.useful_data_ratio /= 2.0;
+        assert!(p.estimate(&w).dram_bytes > base);
+    }
+
+    #[test]
+    fn phase_breakdown_sums_to_one() {
+        let w = workload();
+        for p in [cpu_dgl::dgl_cpu(), gpu_pipad::pipad(), gpu_pipad::pygt()] {
+            let (a, c, u, o) = p.phase_breakdown(&w);
+            assert!((a + c + u + o - 1.0).abs() < 1e-9);
+            assert!(a > 0.0 && c > 0.0 && u > 0.0 && o > 0.0);
+            assert!(a > c, "aggregation (gather-heavy) dominates combination");
+        }
+    }
+
+    #[test]
+    fn energy_orders_like_time_for_same_power_class() {
+        let w = workload();
+        let booster = dgnn_booster::dgnn_booster().estimate(&w);
+        let cam = cambricon_dg::cambricon_dg().estimate(&w);
+        assert!(cam.energy_mj < booster.energy_mj);
+    }
+}

@@ -1,0 +1,214 @@
+//! Accelerator configurations (the paper's Table 4).
+
+use serde::{Deserialize, Serialize};
+
+/// On-chip buffer capacities in bytes (TaGNN column of Table 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BufferConfig {
+    /// Feature Memory buffer.
+    pub feature_bytes: usize,
+    /// Task FIFO.
+    pub task_fifo_bytes: usize,
+    /// Intermediate buffer (previous-snapshot cell values).
+    pub intermediate_bytes: usize,
+    /// O-CSR table.
+    pub ocsr_table_bytes: usize,
+    /// Structure memory.
+    pub structure_bytes: usize,
+    /// Output buffer.
+    pub output_bytes: usize,
+}
+
+impl BufferConfig {
+    /// Table 4's TaGNN buffer provisioning.
+    pub fn tagnn_default() -> Self {
+        Self {
+            feature_bytes: 2 * 1024 * 1024,
+            task_fifo_bytes: 256 * 1024,
+            intermediate_bytes: 128 * 1024,
+            ocsr_table_bytes: 1024 * 1024,
+            structure_bytes: 512 * 1024,
+            output_bytes: 128 * 1024,
+        }
+    }
+
+    /// Total on-chip capacity.
+    pub fn total_bytes(&self) -> usize {
+        self.feature_bytes
+            + self.task_fifo_bytes
+            + self.intermediate_bytes
+            + self.ocsr_table_bytes
+            + self.structure_bytes
+            + self.output_bytes
+    }
+}
+
+/// Full accelerator configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AcceleratorConfig {
+    /// Display name.
+    pub name: String,
+    /// Core clock in MHz (Table 4: 280 MHz on the U280).
+    pub clock_mhz: u64,
+    /// Total MAC units (Table 4: 4096).
+    pub num_macs: usize,
+    /// Number of DGNN Computation Units; each owns `num_macs / num_dcus`
+    /// MACs split between CPEs and APEs (16 DCUs x 256 MACs by default).
+    pub num_dcus: usize,
+    /// Combination PEs per DCU.
+    pub cpes_per_dcu: usize,
+    /// Aggregation PEs (adder-tree lanes) per DCU.
+    pub apes_per_dcu: usize,
+    /// Similarity Core Unit lanes in the Adaptive RNN Unit.
+    pub scu_lanes: usize,
+    /// HBM bandwidth in bytes/second (Table 4: 256 GB/s HBM 2.0).
+    pub hbm_bandwidth: f64,
+    /// HBM access latency in nanoseconds.
+    pub hbm_latency_ns: f64,
+    /// On-chip buffers.
+    pub buffers: BufferConfig,
+    /// Overlap-aware data loading enabled (WO/OADL ablation when false).
+    pub oadl_enabled: bool,
+    /// Adaptive data-similarity computation enabled (WO/ADSC ablation when
+    /// false).
+    pub adsc_enabled: bool,
+    /// Degree-balanced task dispatch (Fig. 13a's Task Dispatcher
+    /// contribution; `false` falls back to round-robin assignment).
+    pub balanced_dispatch: bool,
+    /// Board power in watts for the energy model.
+    pub power_w: f64,
+}
+
+impl AcceleratorConfig {
+    /// The paper's TaGNN configuration (Table 4).
+    pub fn tagnn_default() -> Self {
+        Self {
+            name: "TaGNN".to_string(),
+            clock_mhz: 280,
+            num_macs: 4096,
+            num_dcus: 16,
+            cpes_per_dcu: 256,
+            apes_per_dcu: 128,
+            scu_lanes: 512,
+            hbm_bandwidth: 256.0e9,
+            hbm_latency_ns: 120.0,
+            buffers: BufferConfig::tagnn_default(),
+            oadl_enabled: true,
+            adsc_enabled: true,
+            balanced_dispatch: true,
+            power_w: 30.0,
+        }
+    }
+
+    /// Ablation: round-robin instead of degree-balanced dispatch.
+    pub fn without_balanced_dispatch(&self) -> Self {
+        let mut c = self.clone();
+        c.name = format!("{} WO/Dispatch", self.name);
+        c.balanced_dispatch = false;
+        c
+    }
+
+    /// Clock period in nanoseconds.
+    pub fn clock_ns(&self) -> f64 {
+        1000.0 / self.clock_mhz as f64
+    }
+
+    /// Cycles per second.
+    pub fn cycles_per_sec(&self) -> f64 {
+        self.clock_mhz as f64 * 1.0e6
+    }
+
+    /// HBM bytes deliverable per core cycle.
+    pub fn bytes_per_cycle(&self) -> f64 {
+        self.hbm_bandwidth / self.cycles_per_sec()
+    }
+
+    /// Returns a copy with a different DCU count, keeping per-DCU PE counts
+    /// (the Fig. 14b sweep).
+    pub fn with_dcus(&self, num_dcus: usize) -> Self {
+        assert!(num_dcus > 0, "need at least one DCU");
+        let mut c = self.clone();
+        c.num_dcus = num_dcus;
+        c.num_macs = num_dcus * (self.cpes_per_dcu + self.apes_per_dcu) * 2 / 3;
+        c
+    }
+
+    /// Returns a copy with a different total MAC budget, keeping the DCU
+    /// count (the Fig. 14d sweep).
+    pub fn with_macs(&self, num_macs: usize) -> Self {
+        assert!(num_macs >= self.num_dcus, "at least one MAC per DCU");
+        let mut c = self.clone();
+        c.num_macs = num_macs;
+        let per_dcu = num_macs / self.num_dcus;
+        c.cpes_per_dcu = per_dcu * 2 / 3;
+        c.apes_per_dcu = per_dcu - c.cpes_per_dcu;
+        c
+    }
+
+    /// Ablation: disable overlap-aware data loading.
+    pub fn without_oadl(&self) -> Self {
+        let mut c = self.clone();
+        c.name = format!("{} WO/OADL", self.name);
+        c.oadl_enabled = false;
+        c
+    }
+
+    /// Ablation: disable adaptive data-similarity computation.
+    pub fn without_adsc(&self) -> Self {
+        let mut c = self.clone();
+        c.name = format!("{} WO/ADSC", self.name);
+        c.adsc_enabled = false;
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table4() {
+        let c = AcceleratorConfig::tagnn_default();
+        assert_eq!(c.clock_mhz, 280);
+        assert_eq!(c.num_macs, 4096);
+        assert_eq!(c.num_dcus, 16);
+        assert_eq!(c.cpes_per_dcu, 256);
+        assert_eq!(c.apes_per_dcu, 128);
+        assert_eq!(c.buffers.feature_bytes, 2 * 1024 * 1024);
+        assert!((c.hbm_bandwidth - 256.0e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn buffer_total_sums_components() {
+        let b = BufferConfig::tagnn_default();
+        // 2 MB + 256 KB + 128 KB + 1 MB + 512 KB + 128 KB = 4 MB exactly.
+        assert_eq!(b.total_bytes(), 4 * 1024 * 1024);
+    }
+
+    #[test]
+    fn clock_math() {
+        let c = AcceleratorConfig::tagnn_default();
+        assert!((c.clock_ns() - 3.5714).abs() < 1e-3);
+        assert!((c.bytes_per_cycle() - 256.0e9 / 280.0e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sweeps_scale_resources() {
+        let base = AcceleratorConfig::tagnn_default();
+        let more = base.with_dcus(32);
+        assert_eq!(more.num_dcus, 32);
+        assert!(more.num_macs > base.num_macs);
+        let macs = base.with_macs(8192);
+        assert_eq!(macs.num_macs, 8192);
+        assert_eq!(macs.num_dcus, base.num_dcus);
+        assert_eq!(macs.cpes_per_dcu + macs.apes_per_dcu, 8192 / 16);
+    }
+
+    #[test]
+    fn ablations_flip_flags() {
+        let c = AcceleratorConfig::tagnn_default();
+        assert!(!c.without_oadl().oadl_enabled);
+        assert!(!c.without_adsc().adsc_enabled);
+        assert!(c.without_adsc().oadl_enabled);
+    }
+}

@@ -1,0 +1,97 @@
+//! The DGNN Computation Unit: CPE (MAC-array) and APE (adder-tree) cycle
+//! models.
+//!
+//! Each DCU pairs Combination Processing Elements executing row-wise matrix
+//! multiplication with Aggregation Processing Elements summing neighbour
+//! features through a parallel adder tree (Fig. 7a). Cell-update arithmetic
+//! of the Adaptive RNN Unit also executes on the CPE array, as in the paper.
+
+use crate::config::AcceleratorConfig;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate CPE/APE throughput of the whole DCU array.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DcuModel {
+    /// Total combination MACs retired per cycle.
+    pub total_cpes: usize,
+    /// Total aggregation adds retired per cycle.
+    pub total_apes: usize,
+}
+
+impl DcuModel {
+    /// Derives throughput from the accelerator configuration.
+    pub fn new(cfg: &AcceleratorConfig) -> Self {
+        Self {
+            total_cpes: cfg.num_dcus * cfg.cpes_per_dcu,
+            total_apes: cfg.num_dcus * cfg.apes_per_dcu,
+        }
+    }
+
+    /// Cycles to retire `macs` aggregation operations at a given dispatch
+    /// utilisation (load imbalance stretches the makespan).
+    pub fn aggregation_cycles(&self, macs: u64, utilization: f64) -> u64 {
+        cycles(macs, self.total_apes, utilization)
+    }
+
+    /// Cycles to retire `macs` combination operations.
+    pub fn combination_cycles(&self, macs: u64, utilization: f64) -> u64 {
+        cycles(macs, self.total_cpes, utilization)
+    }
+
+    /// Cycles to retire `macs` RNN cell-update operations (CPE array).
+    pub fn rnn_cycles(&self, macs: u64, utilization: f64) -> u64 {
+        cycles(macs, self.total_cpes, utilization)
+    }
+}
+
+fn cycles(ops: u64, per_cycle: usize, utilization: f64) -> u64 {
+    if ops == 0 {
+        return 0;
+    }
+    let eff = (per_cycle as f64 * utilization.clamp(0.05, 1.0)).max(1.0);
+    (ops as f64 / eff).ceil() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> DcuModel {
+        DcuModel::new(&AcceleratorConfig::tagnn_default())
+    }
+
+    #[test]
+    fn throughput_matches_table4() {
+        let m = model();
+        assert_eq!(m.total_cpes, 16 * 256);
+        assert_eq!(m.total_apes, 16 * 128);
+    }
+
+    #[test]
+    fn zero_work_is_free() {
+        let m = model();
+        assert_eq!(m.aggregation_cycles(0, 1.0), 0);
+        assert_eq!(m.combination_cycles(0, 1.0), 0);
+    }
+
+    #[test]
+    fn cycles_scale_inverse_with_throughput() {
+        let m = model();
+        let macs = 1_000_000;
+        assert!(m.aggregation_cycles(macs, 1.0) > m.combination_cycles(macs, 1.0));
+    }
+
+    #[test]
+    fn poor_utilization_costs_cycles() {
+        let m = model();
+        assert!(m.combination_cycles(1 << 20, 0.5) > m.combination_cycles(1 << 20, 1.0));
+    }
+
+    #[test]
+    fn utilization_is_clamped() {
+        let m = model();
+        // Nonsense utilisations do not divide by zero or speed things up.
+        assert!(m.rnn_cycles(1000, 0.0) >= m.rnn_cycles(1000, 0.05));
+        assert_eq!(m.rnn_cycles(1000, 2.0), m.rnn_cycles(1000, 1.0));
+    }
+}

@@ -1,0 +1,98 @@
+//! Energy accounting: static board power plus dynamic per-MAC and per-byte
+//! components.
+//!
+//! Constants follow the usual architecture-evaluation conventions (a DRAM
+//! byte costs orders of magnitude more than a MAC); absolute joules are not
+//! the reproduction target, only the cross-platform ratios of Fig. 11.
+
+use serde::{Deserialize, Serialize};
+
+/// Energy model parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Static (leakage + board) power in watts.
+    pub static_w: f64,
+    /// Energy per MAC in picojoules.
+    pub pj_per_mac: f64,
+    /// Energy per DRAM byte in picojoules.
+    pub pj_per_dram_byte: f64,
+    /// Energy per on-chip SRAM byte in picojoules.
+    pub pj_per_sram_byte: f64,
+}
+
+impl EnergyModel {
+    /// FPGA-class constants for the TaGNN board.
+    pub fn fpga(static_w: f64) -> Self {
+        Self {
+            static_w,
+            pj_per_mac: 2.0,
+            pj_per_dram_byte: 40.0,
+            pj_per_sram_byte: 1.0,
+        }
+    }
+
+    /// ASIC-class constants (E-DGCN, Cambricon-DG).
+    pub fn asic(static_w: f64) -> Self {
+        Self {
+            static_w,
+            pj_per_mac: 0.8,
+            pj_per_dram_byte: 40.0,
+            pj_per_sram_byte: 0.5,
+        }
+    }
+
+    /// General-purpose processor constants (CPU/GPU): instruction and
+    /// cache-hierarchy overheads inflate the per-op energy substantially.
+    pub fn processor(static_w: f64) -> Self {
+        Self {
+            static_w,
+            pj_per_mac: 25.0,
+            pj_per_dram_byte: 60.0,
+            pj_per_sram_byte: 5.0,
+        }
+    }
+
+    /// Total energy in millijoules for a run of `time_s` seconds moving
+    /// `dram_bytes` + `sram_bytes` and retiring `macs`.
+    pub fn energy_mj(&self, time_s: f64, macs: u64, dram_bytes: u64, sram_bytes: u64) -> f64 {
+        let static_mj = self.static_w * time_s * 1.0e3;
+        let dynamic_pj = macs as f64 * self.pj_per_mac
+            + dram_bytes as f64 * self.pj_per_dram_byte
+            + sram_bytes as f64 * self.pj_per_sram_byte;
+        static_mj + dynamic_pj * 1.0e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_term_scales_with_time() {
+        let m = EnergyModel::fpga(30.0);
+        let short = m.energy_mj(0.001, 0, 0, 0);
+        let long = m.energy_mj(0.01, 0, 0, 0);
+        assert!((long / short - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dram_dominates_sram_per_byte() {
+        let m = EnergyModel::fpga(0.0);
+        let dram = m.energy_mj(0.0, 0, 1_000_000, 0);
+        let sram = m.energy_mj(0.0, 0, 0, 1_000_000);
+        assert!(dram > 10.0 * sram);
+    }
+
+    #[test]
+    fn processor_macs_cost_more_than_fpga_macs() {
+        let f = EnergyModel::fpga(0.0);
+        let p = EnergyModel::processor(0.0);
+        assert!(p.energy_mj(0.0, 1 << 20, 0, 0) > f.energy_mj(0.0, 1 << 20, 0, 0));
+    }
+
+    #[test]
+    fn zero_run_costs_nothing() {
+        let m = EnergyModel::asic(10.0);
+        assert_eq!(m.energy_mj(0.0, 0, 0, 0), 0.0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Discrete pipeline simulation with finite inter-stage queues.
+//!
+//! The analytic models elsewhere assume perfectly balanced pipelines; this
+//! module simulates the real thing: items with heterogeneous service times
+//! flow through a chain of stages separated by bounded FIFOs, so a slow
+//! stage back-pressures its predecessors exactly as a hardware FIFO fills.
+//! The MSDL stage-balance study (experiment `extD`) uses it to show why
+//! the paper replicates the `Fetch_Neighbors`/`Fetch_Features` units
+//! (§4.1).
+//!
+//! The recurrence: item `i` departs stage `s` at
+//!
+//! ```text
+//! depart[s][i] = max(arrive, blocked) + service(s, i)
+//!   arrive  = max(depart[s-1][i], depart[s][i-1])        // data + unit free
+//!   blocked = depart[s+1][i - capacity(s)]               // FIFO full
+//! ```
+//!
+//! computed stage-major with ring buffers, O(items x stages).
+
+use serde::{Deserialize, Serialize};
+
+/// One pipeline stage: a name, and the depth of the FIFO between it and
+/// the next stage (the last stage drains into an unbounded sink).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageSpec {
+    /// Display name (e.g. "Fetch_Neighbors").
+    pub name: String,
+    /// Capacity of the output FIFO feeding the next stage.
+    pub fifo_depth: usize,
+}
+
+impl StageSpec {
+    /// Convenience constructor.
+    pub fn new(name: &str, fifo_depth: usize) -> Self {
+        Self {
+            name: name.to_string(),
+            fifo_depth: fifo_depth.max(1),
+        }
+    }
+}
+
+/// Per-stage outcome of a pipeline run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageReport {
+    /// Stage name.
+    pub name: String,
+    /// Cycles the stage spent servicing items.
+    pub busy_cycles: u64,
+    /// Cycles the stage sat ready but starved or blocked.
+    pub idle_cycles: u64,
+}
+
+/// Outcome of a pipeline run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PipelineReport {
+    /// Cycle at which the last item left the last stage.
+    pub total_cycles: u64,
+    /// Per-stage busy/idle accounting.
+    pub stages: Vec<StageReport>,
+}
+
+impl PipelineReport {
+    /// The stage with the highest busy fraction (the bottleneck).
+    pub fn bottleneck(&self) -> Option<&StageReport> {
+        self.stages.iter().max_by_key(|s| s.busy_cycles)
+    }
+
+    /// Utilisation of stage `s` in `[0, 1]`.
+    pub fn utilization(&self, s: usize) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            self.stages[s].busy_cycles as f64 / self.total_cycles as f64
+        }
+    }
+}
+
+/// Simulates `num_items` items flowing through `stages`, with
+/// `service(stage_index, item_index)` giving each item's service time at
+/// each stage (0 is allowed and models a pass-through).
+///
+/// # Panics
+/// Panics if `stages` is empty.
+pub fn simulate_pipeline(
+    stages: &[StageSpec],
+    num_items: u64,
+    mut service: impl FnMut(usize, u64) -> u64,
+) -> PipelineReport {
+    assert!(!stages.is_empty(), "need at least one stage");
+    let n = num_items as usize;
+    let s_count = stages.len();
+    let mut busy = vec![0u64; s_count];
+
+    // Item-major evaluation: for each item, walk stages front to back.
+    // Blocking by stage s+1 depends on departures of earlier items from
+    // s+1, which are already in `history` because those items fully
+    // preceded this one through every stage.
+    let mut last_depart_per_stage = vec![0u64; s_count];
+    let mut history: Vec<Vec<u64>> = vec![Vec::with_capacity(n); s_count];
+    let mut total = 0u64;
+    for i in 0..n {
+        let mut upstream_done = 0u64; // departure from the previous stage
+        for s in 0..s_count {
+            let unit_free = last_depart_per_stage[s];
+            let svc = service(s, i as u64);
+            let finished = upstream_done.max(unit_free) + svc;
+            // Finite FIFO to the next stage: this item cannot *depart*
+            // stage s before item i - depth has departed stage s+1 and
+            // freed a slot; until then it blocks the unit.
+            let depart = if s + 1 < s_count && i >= stages[s].fifo_depth {
+                finished.max(history[s + 1][i - stages[s].fifo_depth])
+            } else {
+                finished
+            };
+            busy[s] += svc;
+            last_depart_per_stage[s] = depart;
+            history[s].push(depart);
+            upstream_done = depart;
+        }
+        total = total.max(upstream_done);
+    }
+
+    let stage_reports = stages
+        .iter()
+        .enumerate()
+        .map(|(s, spec)| StageReport {
+            name: spec.name.clone(),
+            busy_cycles: busy[s],
+            idle_cycles: total.saturating_sub(busy[s]),
+        })
+        .collect();
+    PipelineReport {
+        total_cycles: total,
+        stages: stage_reports,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stages(n: usize, depth: usize) -> Vec<StageSpec> {
+        (0..n)
+            .map(|i| StageSpec::new(&format!("s{i}"), depth))
+            .collect()
+    }
+
+    #[test]
+    fn uniform_pipeline_approaches_one_item_per_cycle() {
+        // 4 stages, unit service: total = items + depth - 1.
+        let r = simulate_pipeline(&stages(4, 8), 100, |_, _| 1);
+        assert_eq!(r.total_cycles, 100 + 3);
+    }
+
+    #[test]
+    fn bottleneck_stage_sets_throughput() {
+        // Stage 1 takes 3 cycles per item: total ~ 3 * items.
+        let r = simulate_pipeline(&stages(3, 8), 50, |s, _| if s == 1 { 3 } else { 1 });
+        assert!(r.total_cycles >= 150, "total {}", r.total_cycles);
+        assert!(r.total_cycles <= 150 + 10);
+        assert_eq!(r.bottleneck().unwrap().name, "s1");
+    }
+
+    #[test]
+    fn single_stage_is_serial() {
+        let r = simulate_pipeline(&stages(1, 1), 10, |_, _| 7);
+        assert_eq!(r.total_cycles, 70);
+        assert_eq!(r.stages[0].busy_cycles, 70);
+        assert_eq!(r.stages[0].idle_cycles, 0);
+    }
+
+    #[test]
+    fn zero_items_is_free() {
+        let r = simulate_pipeline(&stages(3, 2), 0, |_, _| 1);
+        assert_eq!(r.total_cycles, 0);
+    }
+
+    #[test]
+    fn heterogeneous_items_stall_the_pipeline() {
+        // Every 10th item is expensive at stage 0; deep FIFOs absorb some
+        // of the burstiness, shallow ones do not.
+        let svc = |s: usize, i: u64| {
+            if s == 0 && i % 10 == 0 {
+                20
+            } else {
+                1
+            }
+        };
+        let shallow = simulate_pipeline(&stages(3, 1), 100, svc);
+        let deep = simulate_pipeline(&stages(3, 32), 100, svc);
+        assert!(deep.total_cycles <= shallow.total_cycles);
+    }
+
+    #[test]
+    fn utilization_is_bounded() {
+        let r = simulate_pipeline(&stages(4, 4), 64, |s, i| 1 + (s as u64 + i) % 3);
+        for s in 0..4 {
+            let u = r.utilization(s);
+            assert!((0.0..=1.0).contains(&u), "stage {s}: {u}");
+        }
+    }
+
+    #[test]
+    fn pass_through_stage_costs_nothing() {
+        let with = simulate_pipeline(&stages(3, 4), 40, |s, _| if s == 1 { 0 } else { 2 });
+        let without = simulate_pipeline(&stages(2, 4), 40, |_, _| 2);
+        assert_eq!(with.total_cycles, without.total_cycles);
+    }
+}

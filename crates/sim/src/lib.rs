@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! Cycle-approximate simulator of the TaGNN accelerator and analytic cost
+//! models of every baseline platform the paper compares against.
+//!
+//! The paper evaluates TaGNN on a Xilinx Alveo U280; no FPGA is available
+//! here, so this crate reproduces the evaluation with a counter-driven
+//! performance model: the software engines (`tagnn-models`) report exactly
+//! *what work was done* (MACs, feature rows fetched/reused, cells
+//! skipped), and the simulator maps that work onto the hardware
+//! configuration of Table 4 — clock, MAC counts, HBM bandwidth, buffer
+//! capacities, pipeline structure — to produce cycles, per-unit breakdowns,
+//! DRAM traffic, and energy. Baseline accelerators and the CPU/GPU software
+//! systems are modelled the same way with their published configurations
+//! and execution patterns (snapshot-by-snapshot, no reuse, no skipping).
+//!
+//! Absolute numbers are not the target; the reproduced quantities are the
+//! *shapes* of the paper's figures: who wins, by roughly what factor, and
+//! where the crossovers fall.
+
+pub mod accel;
+pub mod arnn;
+pub mod baselines;
+pub mod config;
+pub mod dcu;
+pub mod dispatch;
+pub mod energy;
+pub mod event;
+pub mod memory;
+pub mod msdl;
+pub mod resource;
+pub mod timeline;
+pub mod workload;
+
+pub use accel::{SimReport, TagnnSimulator};
+pub use config::AcceleratorConfig;
+pub use workload::Workload;

@@ -1,0 +1,170 @@
+//! Off-chip (HBM) memory model and on-chip ping-pong buffers.
+
+use crate::config::AcceleratorConfig;
+use serde::{Deserialize, Serialize};
+
+/// Cumulative DRAM traffic by category.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramTraffic {
+    /// Vertex feature rows.
+    pub feature_bytes: u64,
+    /// Graph structure (offsets, neighbour ids, O-CSR arrays).
+    pub structure_bytes: u64,
+    /// Model weights.
+    pub weight_bytes: u64,
+    /// Result write-back.
+    pub output_bytes: u64,
+}
+
+impl DramTraffic {
+    /// Total bytes moved.
+    pub fn total(&self) -> u64 {
+        self.feature_bytes + self.structure_bytes + self.weight_bytes + self.output_bytes
+    }
+
+    /// Merges another tally.
+    pub fn merge(&mut self, other: &DramTraffic) {
+        self.feature_bytes += other.feature_bytes;
+        self.structure_bytes += other.structure_bytes;
+        self.weight_bytes += other.weight_bytes;
+        self.output_bytes += other.output_bytes;
+    }
+}
+
+/// HBM timing model: latency plus bandwidth-limited streaming.
+#[derive(Debug, Clone, Copy)]
+pub struct HbmModel {
+    bytes_per_cycle: f64,
+    latency_cycles: f64,
+}
+
+impl HbmModel {
+    /// Derives the model from an accelerator configuration.
+    pub fn new(cfg: &AcceleratorConfig) -> Self {
+        Self {
+            bytes_per_cycle: cfg.bytes_per_cycle(),
+            latency_cycles: cfg.hbm_latency_ns / cfg.clock_ns(),
+        }
+    }
+
+    /// Cycles to stream `bytes` as `bursts` independent transfers. The
+    /// paper's ping-pong buffering hides latency for all but the first
+    /// burst of a stream, so only a single latency is charged per call.
+    pub fn stream_cycles(&self, bytes: u64, bursts: u64) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        let fill = self.latency_cycles;
+        let stream = bytes as f64 / self.bytes_per_cycle;
+        // Non-contiguous bursts cost a fraction of the latency each (row
+        // activations), which is what makes irregular access expensive.
+        let irregularity = (bursts.saturating_sub(1)) as f64 * self.latency_cycles * 0.25;
+        (fill + stream + irregularity).ceil() as u64
+    }
+
+    /// Bandwidth-only lower bound (fully regular streaming).
+    pub fn bandwidth_cycles(&self, bytes: u64) -> u64 {
+        (bytes as f64 / self.bytes_per_cycle).ceil() as u64
+    }
+}
+
+/// A ping-pong (double-buffered) on-chip buffer: while one half drains into
+/// the compute pipeline the other half fills from HBM.
+#[derive(Debug, Clone, Copy)]
+pub struct PingPongBuffer {
+    half_bytes: usize,
+}
+
+impl PingPongBuffer {
+    /// Splits `capacity_bytes` into two halves.
+    ///
+    /// # Panics
+    /// Panics if the capacity cannot hold two halves.
+    pub fn new(capacity_bytes: usize) -> Self {
+        assert!(
+            capacity_bytes >= 2,
+            "capacity too small for double buffering"
+        );
+        Self {
+            half_bytes: capacity_bytes / 2,
+        }
+    }
+
+    /// Usable bytes per phase.
+    pub fn half_bytes(&self) -> usize {
+        self.half_bytes
+    }
+
+    /// Number of refills needed to pass `working_set` bytes through the
+    /// buffer (each refill is one burst the HBM model charges for).
+    pub fn refills(&self, working_set: u64) -> u64 {
+        working_set.div_ceil(self.half_bytes as u64).max(1)
+    }
+
+    /// Whether a working set fits entirely in one half (single fill, fully
+    /// overlapped with compute afterwards).
+    pub fn fits(&self, working_set: u64) -> bool {
+        working_set <= self.half_bytes as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hbm() -> HbmModel {
+        HbmModel::new(&AcceleratorConfig::tagnn_default())
+    }
+
+    #[test]
+    fn traffic_totals_and_merge() {
+        let mut t = DramTraffic {
+            feature_bytes: 10,
+            structure_bytes: 5,
+            ..Default::default()
+        };
+        t.merge(&DramTraffic {
+            weight_bytes: 3,
+            output_bytes: 2,
+            ..Default::default()
+        });
+        assert_eq!(t.total(), 20);
+    }
+
+    #[test]
+    fn zero_bytes_is_free() {
+        assert_eq!(hbm().stream_cycles(0, 0), 0);
+    }
+
+    #[test]
+    fn streaming_scales_with_bytes() {
+        let m = hbm();
+        let small = m.stream_cycles(1024, 1);
+        let large = m.stream_cycles(1024 * 1024, 1);
+        assert!(large > small * 10);
+    }
+
+    #[test]
+    fn irregular_bursts_cost_more() {
+        let m = hbm();
+        let regular = m.stream_cycles(1 << 20, 1);
+        let irregular = m.stream_cycles(1 << 20, 1000);
+        assert!(irregular > regular, "burst fragmentation must cost cycles");
+    }
+
+    #[test]
+    fn bandwidth_bound_is_lower_bound() {
+        let m = hbm();
+        assert!(m.bandwidth_cycles(1 << 20) <= m.stream_cycles(1 << 20, 1));
+    }
+
+    #[test]
+    fn ping_pong_refills() {
+        let b = PingPongBuffer::new(1024);
+        assert_eq!(b.half_bytes(), 512);
+        assert!(b.fits(512));
+        assert!(!b.fits(513));
+        assert_eq!(b.refills(2048), 4);
+        assert_eq!(b.refills(0), 1);
+    }
+}

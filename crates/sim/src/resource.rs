@@ -1,0 +1,195 @@
+//! FPGA resource estimation — the Table 3 reproduction.
+//!
+//! Without a Vivado run, resource usage is estimated from architectural
+//! counts: MACs and SCU lanes consume DSPs, datapaths and control consume
+//! LUT/FF, small buffers map to BRAM, and the large feature/O-CSR banks
+//! (replicated across DCUs for port bandwidth) map to UltraRAM. Per-model
+//! terms scale with GCN depth and recurrent-cell complexity, which is what
+//! differentiates the three columns of Table 3 (GC-LSTM's graph-conv-
+//! embedded LSTM is the largest, T-GCN's two-layer GRU the smallest).
+
+use crate::config::AcceleratorConfig;
+use serde::{Deserialize, Serialize};
+use tagnn_models::ModelKind;
+
+/// Alveo U280 capacities as stated in §5.1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FpgaCapacity {
+    /// Lookup tables.
+    pub luts: u64,
+    /// Flip-flops.
+    pub ffs: u64,
+    /// DSP slices.
+    pub dsps: u64,
+    /// Block RAM in bytes.
+    pub bram_bytes: u64,
+    /// UltraRAM in bytes.
+    pub uram_bytes: u64,
+}
+
+impl FpgaCapacity {
+    /// The XCU280 as described by the paper (1.08 M LUTs, 4.5 MB BRAM,
+    /// 30 MB UltraRAM, 9,024 DSPs).
+    pub fn u280() -> Self {
+        Self {
+            luts: 1_080_000,
+            ffs: 2_607_000,
+            dsps: 9_024,
+            bram_bytes: 4_500_000,
+            uram_bytes: 30_000_000,
+        }
+    }
+}
+
+/// Estimated utilisation percentages (Table 3's rows).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourceReport {
+    /// DSP slice utilisation (%).
+    pub dsp_pct: f64,
+    /// LUT utilisation (%).
+    pub lut_pct: f64,
+    /// Flip-flop utilisation (%).
+    pub ff_pct: f64,
+    /// BRAM utilisation (%).
+    pub bram_pct: f64,
+    /// UltraRAM utilisation (%).
+    pub uram_pct: f64,
+}
+
+/// Per-model scaling of the recurrent datapath (GC-LSTM's graph-conv-
+/// embedded cell is the heaviest; T-GCN's GRU the lightest).
+fn cell_complexity(model: ModelKind) -> f64 {
+    match model {
+        ModelKind::CdGcn => 1.0,
+        ModelKind::GcLstm => 1.3,
+        ModelKind::TGcn => 0.75,
+    }
+}
+
+/// Estimates resource utilisation of `cfg` synthesised for `model` on the
+/// given device.
+pub fn estimate(cfg: &AcceleratorConfig, model: ModelKind, device: FpgaCapacity) -> ResourceReport {
+    let layers = model.num_gcn_layers() as f64;
+    let gates = model.rnn_kind().gates() as f64;
+    let cell = cell_complexity(model);
+    let macs = cfg.num_macs as f64;
+    let scu = cfg.scu_lanes as f64;
+    let dcus = cfg.num_dcus as f64;
+
+    // DSPs: MAC array + similarity lanes + gate-activation pipelines.
+    let dsps = macs * 1.45 + scu * 1.0 + gates * cell * 180.0 + layers * 60.0;
+    // LUTs: datapath muxing per MAC, MSDL pipelines, dispatcher, per-DCU
+    // control, and the adaptive-mode state machines.
+    let luts = macs * 75.0
+        + dcus * 4_000.0
+        + scu * 100.0
+        + gates * cell * 9_000.0
+        + layers * 7_000.0
+        + 60_000.0;
+    // FFs: pipeline registers track the LUT structure at roughly one
+    // register per LUT-level plus the private registers of each DCU.
+    let ffs = macs * 120.0
+        + dcus * 9_000.0
+        + scu * 150.0
+        + gates * cell * 14_000.0
+        + layers * 12_000.0
+        + 120_000.0;
+    // BRAM: the small FIFOs/buffers plus per-layer ping-pong staging.
+    let bram = (cfg.buffers.task_fifo_bytes
+        + cfg.buffers.intermediate_bytes
+        + cfg.buffers.structure_bytes
+        + cfg.buffers.output_bytes) as f64
+        + layers * 360_000.0
+        + gates * cell * 220_000.0;
+    // URAM: feature + O-CSR banks, replicated across DCU pairs for port
+    // bandwidth, plus weight storage scaling with the model.
+    let uram = (cfg.buffers.feature_bytes + cfg.buffers.ocsr_table_bytes) as f64
+        * (dcus / 2.0 - 1.0).max(1.0)
+        + layers * 350_000.0
+        + gates * cell * 450_000.0;
+
+    ResourceReport {
+        dsp_pct: 100.0 * dsps / device.dsps as f64,
+        lut_pct: 100.0 * luts / device.luts as f64,
+        ff_pct: 100.0 * ffs / device.ffs as f64,
+        bram_pct: 100.0 * bram / device.bram_bytes as f64,
+        uram_pct: 100.0 * uram / device.uram_bytes as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(model: ModelKind) -> ResourceReport {
+        estimate(
+            &AcceleratorConfig::tagnn_default(),
+            model,
+            FpgaCapacity::u280(),
+        )
+    }
+
+    #[test]
+    fn utilisation_lands_in_table3_bands() {
+        for model in ModelKind::ALL {
+            let r = report(model);
+            assert!(
+                (65.0..=92.0).contains(&r.dsp_pct),
+                "{model:?} DSP {}",
+                r.dsp_pct
+            );
+            assert!(
+                (33.0..=55.0).contains(&r.lut_pct),
+                "{model:?} LUT {}",
+                r.lut_pct
+            );
+            assert!(
+                (22.0..=42.0).contains(&r.ff_pct),
+                "{model:?} FF {}",
+                r.ff_pct
+            );
+            assert!(
+                (50.0..=80.0).contains(&r.bram_pct),
+                "{model:?} BRAM {}",
+                r.bram_pct
+            );
+            assert!(
+                (75.0..=95.0).contains(&r.uram_pct),
+                "{model:?} URAM {}",
+                r.uram_pct
+            );
+        }
+    }
+
+    #[test]
+    fn gclstm_is_largest_tgcn_smallest() {
+        // Table 3 orders every row GC-LSTM > CD-GCN > T-GCN.
+        let cd = report(ModelKind::CdGcn);
+        let gc = report(ModelKind::GcLstm);
+        let tg = report(ModelKind::TGcn);
+        assert!(gc.dsp_pct > cd.dsp_pct && cd.dsp_pct > tg.dsp_pct);
+        assert!(gc.uram_pct > cd.uram_pct && cd.uram_pct > tg.uram_pct);
+        assert!(gc.bram_pct > tg.bram_pct);
+    }
+
+    #[test]
+    fn nothing_overflows_the_device() {
+        for model in ModelKind::ALL {
+            let r = report(model);
+            for pct in [r.dsp_pct, r.lut_pct, r.ff_pct, r.bram_pct, r.uram_pct] {
+                assert!(pct < 100.0, "{model:?} exceeds device: {pct}%");
+            }
+        }
+    }
+
+    #[test]
+    fn more_macs_use_more_dsps() {
+        let base = report(ModelKind::TGcn);
+        let big = estimate(
+            &AcceleratorConfig::tagnn_default().with_macs(8192),
+            ModelKind::TGcn,
+            FpgaCapacity::u280(),
+        );
+        assert!(big.dsp_pct > base.dsp_pct);
+    }
+}

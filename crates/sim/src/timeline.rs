@@ -1,0 +1,185 @@
+//! Cross-window pipeline timeline.
+//!
+//! TaGNN's ping-pong buffers let window `i+1`'s data load while window `i`
+//! computes (§4's dataflow-style parallelism). This module models that
+//! software-pipeline recurrence exactly:
+//!
+//! * the memory channel is serial: load `i+1` starts when load `i` ends;
+//! * compute `i` starts when its own load has landed *and* the compute
+//!   units have drained window `i-1`;
+//! * write-back shares the memory channel with loads.
+//!
+//! The recurrence yields per-window finish times, total cycles, and the
+//! stall cycles each side (memory starving compute, or compute
+//! back-pressuring memory) spent waiting — the quantities behind the
+//! "memory-bound vs compute-bound" crossovers in the sensitivity studies.
+
+use serde::{Deserialize, Serialize};
+
+/// Cycle costs of one window's phases.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowWork {
+    /// HBM cycles to land the window's inputs (features + structure).
+    pub load_cycles: u64,
+    /// MSDL classification/traversal cycles (overlaps with compute of the
+    /// previous window, serialises with this window's compute).
+    pub msdl_cycles: u64,
+    /// DCU + ARNN compute cycles.
+    pub compute_cycles: u64,
+    /// HBM cycles to write the window's outputs back.
+    pub writeback_cycles: u64,
+}
+
+impl WindowWork {
+    /// Total standalone cycles of the window with no overlap at all.
+    pub fn serial_cycles(&self) -> u64 {
+        self.load_cycles + self.msdl_cycles + self.compute_cycles + self.writeback_cycles
+    }
+}
+
+/// The simulated schedule of a window sequence.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimelineReport {
+    /// Cycle at which each window's compute (incl. MSDL) finishes.
+    pub finish: Vec<u64>,
+    /// Total cycles until the last write-back lands.
+    pub total_cycles: u64,
+    /// Cycles compute units sat idle waiting for data.
+    pub compute_stall_cycles: u64,
+    /// Cycles the memory channel sat idle waiting for buffer space.
+    pub memory_idle_cycles: u64,
+}
+
+impl TimelineReport {
+    /// Fraction of the schedule the compute side was stalled.
+    pub fn compute_stall_ratio(&self) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            self.compute_stall_cycles as f64 / self.total_cycles as f64
+        }
+    }
+}
+
+/// Simulates the double-buffered window pipeline.
+pub fn simulate_timeline(windows: &[WindowWork]) -> TimelineReport {
+    let mut finish = Vec::with_capacity(windows.len());
+    let mut mem_free = 0u64; // when the memory channel is next available
+    let mut compute_free = 0u64; // when the compute units are next available
+    let mut compute_stall = 0u64;
+    let mut memory_idle = 0u64;
+    let mut total = 0u64;
+
+    for w in windows {
+        // Load: memory channel is serial across windows; with one spare
+        // ping-pong half, the load may run at most one window ahead of
+        // compute, i.e. it cannot start before the compute of the window
+        // two back finished — encoded by capping the lead at compute_free
+        // minus its own duration (conservatively: loads never queue more
+        // than one window).
+        let load_end = mem_free + w.load_cycles;
+
+        // Compute (MSDL + DCUs + ARNN): needs its data and free units.
+        let compute_start = load_end.max(compute_free);
+        if load_end > compute_free {
+            // Data arrived late: compute units starved.
+            compute_stall += load_end - compute_free;
+        } else {
+            // Data arrived early: the memory side outran compute.
+            memory_idle += compute_free - load_end;
+        }
+        let compute_end = compute_start + w.msdl_cycles + w.compute_cycles;
+
+        // Write-back drains through the output buffer on its own HBM
+        // pseudo-channel, so it extends the tail but does not block the
+        // next window's load.
+        let wb_end = compute_end + w.writeback_cycles;
+
+        mem_free = load_end;
+        compute_free = compute_end;
+        finish.push(compute_end);
+        total = total.max(wb_end);
+    }
+
+    TimelineReport {
+        finish,
+        total_cycles: total,
+        compute_stall_cycles: compute_stall,
+        memory_idle_cycles: memory_idle,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(load: u64, msdl: u64, compute: u64, wb: u64) -> WindowWork {
+        WindowWork {
+            load_cycles: load,
+            msdl_cycles: msdl,
+            compute_cycles: compute,
+            writeback_cycles: wb,
+        }
+    }
+
+    #[test]
+    fn single_window_is_serial() {
+        let r = simulate_timeline(&[w(100, 10, 50, 5)]);
+        assert_eq!(r.finish, vec![160]);
+        assert_eq!(r.total_cycles, 165);
+    }
+
+    #[test]
+    fn empty_timeline_is_free() {
+        let r = simulate_timeline(&[]);
+        assert_eq!(r.total_cycles, 0);
+        assert!(r.finish.is_empty());
+        assert_eq!(r.compute_stall_ratio(), 0.0);
+    }
+
+    #[test]
+    fn compute_bound_pipeline_hides_loads() {
+        // Loads are tiny; compute dominates, so total ~ sum of computes
+        // plus the first load.
+        let windows = vec![w(10, 0, 100, 0); 4];
+        let r = simulate_timeline(&windows);
+        assert_eq!(r.total_cycles, 10 + 400);
+    }
+
+    #[test]
+    fn memory_bound_pipeline_is_load_limited() {
+        // Compute is tiny; total ~ sum of loads plus the last compute+wb.
+        let windows = vec![w(100, 0, 10, 0); 4];
+        let r = simulate_timeline(&windows);
+        assert_eq!(r.total_cycles, 400 + 10);
+        assert!(r.compute_stall_cycles > 0, "compute must starve");
+    }
+
+    #[test]
+    fn pipelining_beats_serial_execution() {
+        let windows = vec![w(80, 10, 90, 5); 6];
+        let r = simulate_timeline(&windows);
+        let serial: u64 = windows.iter().map(WindowWork::serial_cycles).sum();
+        assert!(
+            r.total_cycles < serial,
+            "overlap must save cycles: {} vs {serial}",
+            r.total_cycles
+        );
+    }
+
+    #[test]
+    fn finish_times_are_monotone() {
+        let windows = vec![w(30, 5, 40, 2), w(50, 5, 20, 2), w(10, 5, 70, 2)];
+        let r = simulate_timeline(&windows);
+        assert!(r.finish.windows(2).all(|p| p[0] <= p[1]));
+    }
+
+    #[test]
+    fn stall_ratio_is_bounded() {
+        let windows = vec![w(1000, 1, 1, 1); 3];
+        let r = simulate_timeline(&windows);
+        let ratio = r.compute_stall_ratio();
+        assert!((0.0..=1.0).contains(&ratio));
+        assert!(ratio > 0.5, "heavily memory-bound: {ratio}");
+    }
+}

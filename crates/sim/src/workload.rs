@@ -1,0 +1,156 @@
+//! Workload descriptors: measured work counts plus graph/model metadata,
+//! the common currency between the engines and every platform model.
+
+use serde::{Deserialize, Serialize};
+use tagnn_graph::DynamicGraph;
+use tagnn_models::{
+    ConcurrentEngine, DgnnModel, ExecutionStats, ModelKind, ReferenceEngine, SkipConfig,
+};
+
+/// Bytes per feature element (f32).
+pub const ELEM_BYTES: u64 = 4;
+
+/// A measured workload: metadata plus the work counters of both execution
+/// patterns over the same graph and weights.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Dataset label (e.g. "HP").
+    pub name: String,
+    /// Model family.
+    pub model: ModelKind,
+    /// Vertex universe size.
+    pub num_vertices: usize,
+    /// Total directed edges across all snapshots.
+    pub total_edges: usize,
+    /// Input feature dimensionality D.
+    pub feature_dim: usize,
+    /// Hidden (= GNN output) dimensionality.
+    pub hidden: usize,
+    /// Number of snapshots T.
+    pub num_snapshots: usize,
+    /// Window size K used for the concurrent pattern.
+    pub window: usize,
+    /// GCN layer count of the model.
+    pub gnn_layers: usize,
+    /// Total learned parameters (GCN weights + RNN weights), for weight
+    /// traffic accounting.
+    pub weight_params: u64,
+    /// Work counters of the topology-aware concurrent execution (TaGNN).
+    pub concurrent: ExecutionStats,
+    /// Work counters of snapshot-by-snapshot execution (all baselines).
+    pub reference: ExecutionStats,
+}
+
+impl Workload {
+    /// Runs both engines over `graph` and packages their counters.
+    pub fn measure(
+        graph: &DynamicGraph,
+        name: &str,
+        model_kind: ModelKind,
+        hidden: usize,
+        window: usize,
+        skip: SkipConfig,
+        seed: u64,
+    ) -> Self {
+        let model = DgnnModel::new(model_kind, graph.feature_dim(), hidden, seed);
+        let gnn_layers = model.layers().len();
+        let weight_params: u64 = model
+            .layers()
+            .iter()
+            .map(|l| (l.in_dim() * l.out_dim()) as u64)
+            .sum::<u64>()
+            + (model.cell().in_dim() as u64 + hidden as u64 + 1)
+                * (model.cell().kind().gates() * hidden) as u64;
+        let reference = ReferenceEngine::new(model.clone()).run(graph).stats;
+        let concurrent = ConcurrentEngine::with_window(model, skip, window)
+            .run(graph)
+            .stats;
+        Self {
+            name: name.to_string(),
+            model: model_kind,
+            num_vertices: graph.num_vertices(),
+            total_edges: graph.total_edges(),
+            feature_dim: graph.feature_dim(),
+            hidden,
+            num_snapshots: graph.num_snapshots(),
+            window,
+            gnn_layers,
+            weight_params,
+            concurrent,
+            reference,
+        }
+    }
+
+    /// Average feature-row payload in bytes (layer-0 rows dominate traffic;
+    /// deeper layers move `hidden`-wide rows, so use the mean of both).
+    pub fn row_bytes(&self) -> u64 {
+        (self.feature_dim as u64 + self.hidden as u64) / 2 * ELEM_BYTES
+    }
+
+    /// Bytes of DRAM traffic implied by a stats record under this
+    /// workload's dimensions: feature rows plus structure words.
+    pub fn dram_bytes(&self, stats: &ExecutionStats) -> u64 {
+        stats.feature_rows_loaded * self.row_bytes() + stats.structure_words_loaded * ELEM_BYTES
+    }
+
+    /// Bytes of traffic the concurrent pattern avoided versus loading every
+    /// row it touched.
+    pub fn reused_bytes(&self, stats: &ExecutionStats) -> u64 {
+        stats.feature_rows_reused * self.row_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagnn_graph::generate::GeneratorConfig;
+
+    fn workload() -> Workload {
+        let g = GeneratorConfig::tiny().generate();
+        Workload::measure(
+            &g,
+            "tiny",
+            ModelKind::TGcn,
+            6,
+            3,
+            SkipConfig::paper_default(),
+            1,
+        )
+    }
+
+    #[test]
+    fn captures_metadata() {
+        let w = workload();
+        assert_eq!(w.name, "tiny");
+        assert_eq!(w.num_vertices, 64);
+        assert_eq!(w.feature_dim, 8);
+        assert_eq!(w.hidden, 6);
+        assert_eq!(w.num_snapshots, 6);
+        assert_eq!(w.window, 3);
+    }
+
+    #[test]
+    fn concurrent_does_less_traffic_than_reference() {
+        let w = workload();
+        assert!(w.dram_bytes(&w.concurrent) < w.dram_bytes(&w.reference));
+        assert!(w.reused_bytes(&w.concurrent) > 0);
+        assert_eq!(w.reused_bytes(&w.reference), 0);
+    }
+
+    #[test]
+    fn row_bytes_mixes_dims() {
+        let w = workload();
+        assert_eq!(w.row_bytes(), (8 + 6) / 2 * 4);
+    }
+
+    #[test]
+    fn measurement_is_deterministic() {
+        let g = GeneratorConfig::tiny().generate();
+        let a = Workload::measure(&g, "x", ModelKind::CdGcn, 4, 4, SkipConfig::disabled(), 2);
+        let mut b = Workload::measure(&g, "x", ModelKind::CdGcn, 4, 4, SkipConfig::disabled(), 2);
+        // Wall-clock differs run to run; compare everything else.
+        b.concurrent.wall_ns = a.concurrent.wall_ns;
+        b.reference.wall_ns = a.reference.wall_ns;
+        assert_eq!(a, b);
+    }
+}

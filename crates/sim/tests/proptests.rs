@@ -1,0 +1,141 @@
+//! Property-based tests of the simulator building blocks: dispatch
+//! optimality bounds, memory-model monotonicity, and energy accounting.
+
+use proptest::prelude::*;
+use tagnn_sim::dispatch;
+use tagnn_sim::energy::EnergyModel;
+use tagnn_sim::memory::{HbmModel, PingPongBuffer};
+use tagnn_sim::AcceleratorConfig;
+
+fn items_strategy() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..1000, 0..50)
+}
+
+proptest! {
+    #[test]
+    fn balanced_dispatch_is_within_graham_of_round_robin(items in items_strategy(), units in 1usize..12) {
+        // LPT is a 4/3-approximation of OPT, and OPT <= round-robin, so
+        // LPT can exceed round-robin on adversarial inputs but never by
+        // more than the Graham factor.
+        let b = dispatch::balanced(&items, units);
+        let rr = dispatch::round_robin(&items, units);
+        prop_assert!(b.makespan as f64 <= rr.makespan as f64 * (4.0 / 3.0) + 1.0);
+        prop_assert_eq!(b.total_work, rr.total_work);
+    }
+
+    #[test]
+    fn makespan_respects_lower_bounds(items in items_strategy(), units in 1usize..12) {
+        let r = dispatch::balanced(&items, units);
+        let total: u64 = items.iter().sum();
+        let max = items.iter().copied().max().unwrap_or(0);
+        prop_assert!(r.makespan >= total.div_ceil(units as u64).min(total));
+        prop_assert!(r.makespan >= max);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&r.utilization));
+    }
+
+    #[test]
+    fn lpt_is_within_4_thirds_of_optimal_lower_bound(items in items_strategy(), units in 1usize..8) {
+        // Graham's bound: LPT makespan <= (4/3 - 1/3m) * OPT, and
+        // OPT >= max(total/m, max_item).
+        let r = dispatch::balanced(&items, units);
+        let total: u64 = items.iter().sum();
+        let max = items.iter().copied().max().unwrap_or(0);
+        let opt_lb = (total as f64 / units as f64).max(max as f64);
+        if opt_lb > 0.0 {
+            prop_assert!(r.makespan as f64 <= opt_lb * (4.0 / 3.0) + 1.0);
+        }
+    }
+
+    #[test]
+    fn hbm_cycles_are_monotone(bytes_a in 0u64..1_000_000, extra in 0u64..1_000_000, bursts in 1u64..100) {
+        let hbm = HbmModel::new(&AcceleratorConfig::tagnn_default());
+        prop_assert!(hbm.stream_cycles(bytes_a, bursts) <= hbm.stream_cycles(bytes_a + extra, bursts));
+        prop_assert!(hbm.stream_cycles(bytes_a, bursts) <= hbm.stream_cycles(bytes_a, bursts + 1) || bytes_a == 0);
+        prop_assert!(hbm.bandwidth_cycles(bytes_a) <= hbm.stream_cycles(bytes_a, bursts) || bytes_a == 0);
+    }
+
+    #[test]
+    fn ping_pong_refills_cover_working_set(capacity in 2usize..1_000_000, working in 0u64..10_000_000) {
+        let buf = PingPongBuffer::new(capacity);
+        let refills = buf.refills(working);
+        prop_assert!(refills >= 1);
+        prop_assert!(refills * buf.half_bytes() as u64 >= working);
+        if working > 0 {
+            prop_assert!((refills - 1) * buf.half_bytes() as u64 <= working);
+        }
+    }
+
+    #[test]
+    fn energy_is_monotone_in_every_component(
+        t in 0.0f64..10.0,
+        macs in 0u64..1_000_000,
+        dram in 0u64..1_000_000,
+        sram in 0u64..1_000_000,
+    ) {
+        let m = EnergyModel::fpga(30.0);
+        let base = m.energy_mj(t, macs, dram, sram);
+        prop_assert!(m.energy_mj(t + 1.0, macs, dram, sram) >= base);
+        prop_assert!(m.energy_mj(t, macs + 1000, dram, sram) >= base);
+        prop_assert!(m.energy_mj(t, macs, dram + 1000, sram) >= base);
+        prop_assert!(m.energy_mj(t, macs, dram, sram + 1000) >= base);
+        prop_assert!(base >= 0.0);
+    }
+
+    #[test]
+    fn timeline_total_is_bounded_by_serial_and_critical_path(
+        loads in proptest::collection::vec(0u64..500, 1..20),
+        computes in proptest::collection::vec(0u64..500, 1..20),
+    ) {
+        use tagnn_sim::timeline::{simulate_timeline, WindowWork};
+        let n = loads.len().min(computes.len());
+        let windows: Vec<WindowWork> = (0..n)
+            .map(|i| WindowWork {
+                load_cycles: loads[i],
+                msdl_cycles: 0,
+                compute_cycles: computes[i],
+                writeback_cycles: 0,
+            })
+            .collect();
+        let r = simulate_timeline(&windows);
+        let serial: u64 = windows.iter().map(WindowWork::serial_cycles).sum();
+        let load_sum: u64 = loads[..n].iter().sum();
+        let compute_sum: u64 = computes[..n].iter().sum();
+        prop_assert!(r.total_cycles <= serial);
+        prop_assert!(r.total_cycles >= load_sum.max(compute_sum) .max(windows.last().map(|w| w.compute_cycles).unwrap_or(0)));
+    }
+
+    #[test]
+    fn pipeline_total_bounded_by_bottleneck_and_serial(
+        services in proptest::collection::vec(1u64..50, 1..40),
+        stages in 1usize..5,
+    ) {
+        use tagnn_sim::event::{simulate_pipeline, StageSpec};
+        let specs: Vec<StageSpec> =
+            (0..stages).map(|i| StageSpec::new(&format!("s{i}"), 2)).collect();
+        let r = simulate_pipeline(&specs, services.len() as u64, |s, i| {
+            services[i as usize] + s as u64 % 2
+        });
+        let serial: u64 = (0..stages)
+            .map(|s| services.iter().map(|v| v + s as u64 % 2).sum::<u64>())
+            .sum();
+        let bottleneck: u64 = (0..stages)
+            .map(|s| services.iter().map(|v| v + s as u64 % 2).sum::<u64>())
+            .max()
+            .unwrap_or(0);
+        prop_assert!(r.total_cycles <= serial);
+        prop_assert!(r.total_cycles >= bottleneck);
+    }
+
+    #[test]
+    fn config_sweeps_preserve_invariants(dcus in 1usize..64, macs in 64usize..16384) {
+        let base = AcceleratorConfig::tagnn_default();
+        let with_dcus = base.with_dcus(dcus);
+        prop_assert_eq!(with_dcus.num_dcus, dcus);
+        prop_assert!(with_dcus.num_macs > 0);
+        let macs = macs.max(base.num_dcus);
+        let with_macs = base.with_macs(macs);
+        prop_assert_eq!(with_macs.num_macs, macs);
+        prop_assert_eq!(with_macs.num_dcus, base.num_dcus);
+        prop_assert!(with_macs.cpes_per_dcu + with_macs.apes_per_dcu <= macs / base.num_dcus + 1);
+    }
+}

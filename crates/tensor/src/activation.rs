@@ -1,0 +1,98 @@
+//! Non-linear activation functions used by the GNN and RNN modules.
+
+use serde::{Deserialize, Serialize};
+
+/// Activation function selector, mirroring the Activation Unit of the
+/// Adaptive RNN Unit which supports the non-linearities the three evaluated
+/// DGNN models need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// Rectified linear unit, used between GCN layers.
+    Relu,
+    /// Logistic sigmoid, used by LSTM/GRU gates.
+    Sigmoid,
+    /// Hyperbolic tangent, used by LSTM/GRU candidate states.
+    Tanh,
+    /// Identity (no non-linearity).
+    Identity,
+}
+
+impl Activation {
+    /// Applies the activation to a single scalar.
+    #[inline]
+    pub fn apply_scalar(self, x: f32) -> f32 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::Sigmoid => sigmoid(x),
+            Activation::Tanh => x.tanh(),
+            Activation::Identity => x,
+        }
+    }
+
+    /// Applies the activation element-wise in place.
+    pub fn apply(self, xs: &mut [f32]) {
+        if self == Activation::Identity {
+            return;
+        }
+        for x in xs {
+            *x = self.apply_scalar(*x);
+        }
+    }
+}
+
+/// Numerically stable logistic sigmoid.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut v = vec![-1.0, 0.0, 2.0];
+        Activation::Relu.apply(&mut v);
+        assert_eq!(v, vec![0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn sigmoid_midpoint_and_symmetry() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+        assert!((sigmoid(3.0) + sigmoid(-3.0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sigmoid_is_stable_for_extremes() {
+        assert!(sigmoid(-100.0) >= 0.0);
+        assert!(sigmoid(100.0) <= 1.0);
+        assert!(sigmoid(-100.0) < 1e-30);
+        assert!(sigmoid(100.0) > 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn tanh_matches_std() {
+        assert_eq!(Activation::Tanh.apply_scalar(0.7), 0.7f32.tanh());
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let mut v = vec![1.5, -2.5];
+        Activation::Identity.apply(&mut v);
+        assert_eq!(v, vec![1.5, -2.5]);
+    }
+
+    #[test]
+    fn sigmoid_is_monotone() {
+        let xs = [-5.0f32, -1.0, 0.0, 1.0, 5.0];
+        for w in xs.windows(2) {
+            assert!(sigmoid(w[0]) < sigmoid(w[1]));
+        }
+    }
+}

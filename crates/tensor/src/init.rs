@@ -1,0 +1,68 @@
+//! Deterministic weight initialisation.
+//!
+//! Trained checkpoints for the paper's models are not available, so every
+//! weight matrix is Xavier-initialised from a seeded ChaCha stream. All
+//! engines and the simulator share these weights, which is what accuracy
+//! comparisons between exact and approximate execution require.
+
+use crate::matrix::DenseMatrix;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Xavier/Glorot-uniform initialisation: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(rows: usize, cols: usize, seed: u64) -> DenseMatrix {
+    let a = (6.0 / (rows + cols).max(1) as f64).sqrt() as f32;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    DenseMatrix::from_fn(rows, cols, |_, _| rng.gen_range(-a..=a))
+}
+
+/// Uniform initialisation in `[lo, hi)`.
+pub fn uniform(rows: usize, cols: usize, lo: f32, hi: f32, seed: u64) -> DenseMatrix {
+    assert!(lo < hi, "empty range");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    DenseMatrix::from_fn(rows, cols, |_, _| rng.gen_range(lo..hi))
+}
+
+/// A fresh deterministic RNG for ad-hoc sampling with a derived seed.
+pub fn rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_is_deterministic() {
+        let a = xavier_uniform(4, 8, 42);
+        let b = xavier_uniform(4, 8, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn xavier_differs_across_seeds() {
+        let a = xavier_uniform(4, 8, 1);
+        let b = xavier_uniform(4, 8, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn xavier_respects_bound() {
+        let m = xavier_uniform(10, 10, 7);
+        let a = (6.0f64 / 20.0).sqrt() as f32;
+        assert!(m.as_slice().iter().all(|v| v.abs() <= a + 1e-6));
+    }
+
+    #[test]
+    fn uniform_respects_range() {
+        let m = uniform(5, 5, -0.5, 0.5, 3);
+        assert!(m.as_slice().iter().all(|v| (-0.5..0.5).contains(v)));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn uniform_rejects_empty_range() {
+        let _ = uniform(1, 1, 1.0, 1.0, 0);
+    }
+}

@@ -1,0 +1,20 @@
+#![warn(missing_docs)]
+
+//! Dense linear algebra and similarity kernels underpinning the TaGNN stack.
+//!
+//! The crate deliberately implements only the operations DGNN inference
+//! needs — row-major dense matrices, (parallel) matrix multiplication,
+//! element-wise ops, activations, cosine similarity, and the delta/condense
+//! machinery used by similarity-aware cell skipping — so that both the
+//! software engines (`tagnn-models`) and the accelerator simulator
+//! (`tagnn-sim`) share one arithmetic substrate and produce bit-identical
+//! results.
+
+pub mod activation;
+pub mod init;
+pub mod matrix;
+pub mod ops;
+pub mod similarity;
+
+pub use activation::Activation;
+pub use matrix::DenseMatrix;

@@ -1,0 +1,217 @@
+//! Matrix and vector arithmetic.
+//!
+//! `matmul` is the workhorse of the GNN combination phase and the RNN gate
+//! computations; it parallelises over output rows with rayon since feature
+//! tables have many more rows (vertices) than columns (feature dims).
+
+use crate::matrix::DenseMatrix;
+use rayon::prelude::*;
+
+/// `C = A * B` with rayon parallelism over rows of `A`.
+///
+/// # Panics
+/// Panics if `a.cols() != b.rows()`.
+pub fn matmul(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul shape mismatch: {}x{} * {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = vec![0.0f32; m * n];
+    out.par_chunks_exact_mut(n.max(1))
+        .enumerate()
+        .for_each(|(i, out_row)| {
+            let a_row = a.row(i);
+            // Accumulate over k in the outer loop so each inner pass streams a
+            // contiguous row of B — cache-friendly row-wise matmul, mirroring the
+            // CPE's row-wise dataflow in the paper.
+            for (l, &a_il) in a_row.iter().enumerate().take(k) {
+                if a_il == 0.0 {
+                    continue;
+                }
+                let b_row = b.row(l);
+                for (o, &b_lj) in out_row.iter_mut().zip(b_row) {
+                    *o += a_il * b_lj;
+                }
+            }
+        });
+    DenseMatrix::from_vec(m, n, out)
+}
+
+/// Vector-matrix product: `y = x * B` for a single row vector `x`.
+///
+/// # Panics
+/// Panics if `x.len() != b.rows()`.
+pub fn vecmat(x: &[f32], b: &DenseMatrix) -> Vec<f32> {
+    assert_eq!(x.len(), b.rows(), "vecmat shape mismatch");
+    let n = b.cols();
+    let mut y = vec![0.0f32; n];
+    for (l, &xl) in x.iter().enumerate() {
+        if xl == 0.0 {
+            continue;
+        }
+        for (o, &b_lj) in y.iter_mut().zip(b.row(l)) {
+            *o += xl * b_lj;
+        }
+    }
+    y
+}
+
+/// `a += b` element-wise.
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn add_assign(a: &mut [f32], b: &[f32]) {
+    assert_eq!(a.len(), b.len(), "add_assign length mismatch");
+    for (x, y) in a.iter_mut().zip(b) {
+        *x += y;
+    }
+}
+
+/// `a += s * b` element-wise (axpy).
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn axpy(a: &mut [f32], s: f32, b: &[f32]) {
+    assert_eq!(a.len(), b.len(), "axpy length mismatch");
+    for (x, y) in a.iter_mut().zip(b) {
+        *x += s * y;
+    }
+}
+
+/// Element-wise difference `a - b` into a fresh vector.
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn sub(a: &[f32], b: &[f32]) -> Vec<f32> {
+    assert_eq!(a.len(), b.len(), "sub length mismatch");
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// Element-wise (Hadamard) product into a fresh vector.
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn hadamard(a: &[f32], b: &[f32]) -> Vec<f32> {
+    assert_eq!(a.len(), b.len(), "hadamard length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).collect()
+}
+
+/// Scales every element of `a` by `s` in place.
+pub fn scale(a: &mut [f32], s: f32) {
+    for x in a {
+        *x *= s;
+    }
+}
+
+/// Matrix addition `A + B`.
+///
+/// # Panics
+/// Panics on shape mismatch.
+pub fn mat_add(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
+    assert_eq!(
+        (a.rows(), a.cols()),
+        (b.rows(), b.cols()),
+        "mat_add shape mismatch"
+    );
+    let data = a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| x + y)
+        .collect();
+    DenseMatrix::from_vec(a.rows(), a.cols(), data)
+}
+
+/// Concatenates two equal-length vectors `[a | b]`.
+pub fn concat(a: &[f32], b: &[f32]) -> Vec<f32> {
+    let mut v = Vec::with_capacity(a.len() + b.len());
+    v.extend_from_slice(a);
+    v.extend_from_slice(b);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: usize, cols: usize, v: &[f32]) -> DenseMatrix {
+        DenseMatrix::from_vec(rows, cols, v.to_vec())
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let i = m(2, 2, &[1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(matmul(&a, &i), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_rejects_bad_shapes() {
+        let a = m(2, 3, &[0.0; 6]);
+        let b = m(2, 2, &[0.0; 4]);
+        let _ = matmul(&a, &b);
+    }
+
+    #[test]
+    fn vecmat_matches_matmul_row() {
+        let b = m(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let x = [1.0, 0.5, -1.0];
+        let y = vecmat(&x, &b);
+        let a = m(1, 3, &x);
+        assert_eq!(y, matmul(&a, &b).into_vec());
+    }
+
+    #[test]
+    fn axpy_and_add_assign() {
+        let mut a = vec![1.0, 2.0];
+        add_assign(&mut a, &[1.0, 1.0]);
+        assert_eq!(a, vec![2.0, 3.0]);
+        axpy(&mut a, 2.0, &[1.0, -1.0]);
+        assert_eq!(a, vec![4.0, 1.0]);
+    }
+
+    #[test]
+    fn sub_hadamard_scale() {
+        assert_eq!(sub(&[3.0, 1.0], &[1.0, 1.0]), vec![2.0, 0.0]);
+        assert_eq!(hadamard(&[2.0, 3.0], &[4.0, 0.5]), vec![8.0, 1.5]);
+        let mut v = vec![1.0, -2.0];
+        scale(&mut v, -2.0);
+        assert_eq!(v, vec![-2.0, 4.0]);
+    }
+
+    #[test]
+    fn mat_add_adds() {
+        let a = m(1, 2, &[1.0, 2.0]);
+        let b = m(1, 2, &[3.0, 4.0]);
+        assert_eq!(mat_add(&a, &b).as_slice(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn concat_joins() {
+        assert_eq!(concat(&[1.0], &[2.0, 3.0]), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn matmul_zero_rows() {
+        let a = DenseMatrix::zeros(0, 3);
+        let b = DenseMatrix::zeros(3, 2);
+        let c = matmul(&a, &b);
+        assert_eq!(c.rows(), 0);
+        assert_eq!(c.cols(), 2);
+    }
+}

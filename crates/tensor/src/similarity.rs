@@ -1,0 +1,255 @@
+//! Cosine similarity, the topology-weighted similarity score θ, and the
+//! delta/condense machinery of the similarity-aware cell-skipping strategy
+//! (paper §3.1 and §4.2).
+
+use serde::{Deserialize, Serialize};
+
+/// Dot product of two equal-length vectors.
+///
+/// # Panics
+/// Panics on length mismatch.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean (L2) norm.
+#[inline]
+pub fn norm(a: &[f32]) -> f32 {
+    a.iter().map(|x| x * x).sum::<f32>().sqrt()
+}
+
+/// Cosine similarity in `[-1, 1]`.
+///
+/// Degenerate inputs follow the convention the Similarity Core Unit uses:
+/// two zero vectors are identical (similarity 1), a zero vector against a
+/// non-zero vector is maximally dissimilar to "unchanged" (similarity 0).
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let na = norm(a);
+    let nb = norm(b);
+    if na == 0.0 && nb == 0.0 {
+        return 1.0;
+    }
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    (dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
+}
+
+/// Topology statistics of a vertex across two consecutive snapshots,
+/// feeding the θ score of paper §3.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NeighborOverlap {
+    /// |N^t(v) ∩ N^{t+1}(v)| — number of common neighbours.
+    pub common: usize,
+    /// |N_sv(v)| — number of *stable* vertices among the common neighbours.
+    pub stable_common: usize,
+    /// |N^t(v) ∪ N^{t+1}(v)| — union size (used by overlap-ratio variants).
+    pub union: usize,
+}
+
+impl NeighborOverlap {
+    /// The stability weighting `|N_sv(v)| / |N^t(v) ∩ N^{t+1}(v)|`.
+    ///
+    /// A vertex with no common neighbours has no stable local structure, so
+    /// the weight collapses to 0 (forcing a full cell update downstream).
+    pub fn stability_weight(&self) -> f32 {
+        if self.common == 0 {
+            0.0
+        } else {
+            self.stable_common as f32 / self.common as f32
+        }
+    }
+}
+
+/// The similarity score θ of paper §3.1:
+///
+/// ```text
+/// θ(Z^t(v), Z^{t+1}(v)) = cos(Z^t(v), Z^{t+1}(v)) * |N_sv(v)| / |N^t(v) ∩ N^{t+1}(v)|
+/// ```
+///
+/// combining feature-level cosine similarity with the proportion of stable
+/// vertices among the common neighbours. The result lies in `[-1, 1]`.
+pub fn theta_score(z_prev: &[f32], z_cur: &[f32], overlap: NeighborOverlap) -> f32 {
+    (cosine(z_prev, z_cur) * overlap.stability_weight()).clamp(-1.0, 1.0)
+}
+
+/// Element-wise delta `cur - prev`, produced by the Delta Generation module
+/// for vertices in the partial-update band.
+pub fn delta(prev: &[f32], cur: &[f32]) -> Vec<f32> {
+    assert_eq!(prev.len(), cur.len(), "delta length mismatch");
+    cur.iter().zip(prev).map(|(c, p)| c - p).collect()
+}
+
+/// A condensed (zero-filtered) delta vector as emitted by the Condense Unit:
+/// non-zero values plus the positions they came from, so the DCU only
+/// multiplies the non-zero lanes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CondensedDelta {
+    /// Positions of retained (non-zero) elements in the original vector.
+    pub indices: Vec<u32>,
+    /// Retained values, aligned with `indices`.
+    pub values: Vec<f32>,
+    /// Original (dense) length.
+    pub dense_len: usize,
+}
+
+impl CondensedDelta {
+    /// Condenses `dense`, dropping elements with `|x| <= tol`.
+    pub fn from_dense(dense: &[f32], tol: f32) -> Self {
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        for (i, &v) in dense.iter().enumerate() {
+            if v.abs() > tol {
+                indices.push(i as u32);
+                values.push(v);
+            }
+        }
+        Self {
+            indices,
+            values,
+            dense_len: dense.len(),
+        }
+    }
+
+    /// Number of retained non-zero elements.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Density of the condensed representation in `[0, 1]`.
+    pub fn density(&self) -> f32 {
+        if self.dense_len == 0 {
+            0.0
+        } else {
+            self.nnz() as f32 / self.dense_len as f32
+        }
+    }
+
+    /// Scatters the condensed values back into a dense vector.
+    pub fn to_dense(&self) -> Vec<f32> {
+        let mut out = vec![0.0; self.dense_len];
+        for (&i, &v) in self.indices.iter().zip(&self.values) {
+            out[i as usize] = v;
+        }
+        out
+    }
+
+    /// Adds this (sparse) delta onto `target` in place.
+    ///
+    /// # Panics
+    /// Panics if `target.len() != self.dense_len`.
+    pub fn add_to(&self, target: &mut [f32]) {
+        assert_eq!(
+            target.len(),
+            self.dense_len,
+            "condensed delta length mismatch"
+        );
+        for (&i, &v) in self.indices.iter().zip(&self.values) {
+            target[i as usize] += v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cosine_of_identical_vectors_is_one() {
+        let v = [1.0, 2.0, 3.0];
+        assert!((cosine(&v, &v) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_of_opposite_vectors_is_minus_one() {
+        let a = [1.0, -2.0];
+        let b = [-1.0, 2.0];
+        assert!((cosine(&a, &b) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_of_orthogonal_vectors_is_zero() {
+        assert!(cosine(&[1.0, 0.0], &[0.0, 5.0]).abs() < 1e-7);
+    }
+
+    #[test]
+    fn cosine_degenerate_conventions() {
+        assert_eq!(cosine(&[0.0, 0.0], &[0.0, 0.0]), 1.0);
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn stability_weight_bounds() {
+        let w = NeighborOverlap {
+            common: 4,
+            stable_common: 3,
+            union: 6,
+        };
+        assert!((w.stability_weight() - 0.75).abs() < 1e-7);
+        let none = NeighborOverlap {
+            common: 0,
+            stable_common: 0,
+            union: 2,
+        };
+        assert_eq!(none.stability_weight(), 0.0);
+    }
+
+    #[test]
+    fn theta_score_is_bounded() {
+        let z1 = [1.0, 0.5];
+        let z2 = [1.0, 0.4];
+        let o = NeighborOverlap {
+            common: 2,
+            stable_common: 2,
+            union: 2,
+        };
+        let t = theta_score(&z1, &z2, o);
+        assert!((-1.0..=1.0).contains(&t));
+        assert!(
+            t > 0.9,
+            "near-identical features with fully stable hood must score high"
+        );
+    }
+
+    #[test]
+    fn theta_score_zero_without_stable_neighbors() {
+        let z = [1.0, 1.0];
+        let o = NeighborOverlap {
+            common: 3,
+            stable_common: 0,
+            union: 3,
+        };
+        assert_eq!(theta_score(&z, &z, o), 0.0);
+    }
+
+    #[test]
+    fn delta_and_condense_roundtrip() {
+        let prev = [1.0, 2.0, 3.0, 4.0];
+        let cur = [1.0, 2.5, 3.0, 3.0];
+        let d = delta(&prev, &cur);
+        assert_eq!(d, vec![0.0, 0.5, 0.0, -1.0]);
+        let c = CondensedDelta::from_dense(&d, 0.0);
+        assert_eq!(c.nnz(), 2);
+        assert_eq!(c.to_dense(), d);
+        let mut out = prev.to_vec();
+        c.add_to(&mut out);
+        assert_eq!(out, cur.to_vec());
+    }
+
+    #[test]
+    fn condense_density() {
+        let c = CondensedDelta::from_dense(&[0.0, 1.0, 0.0, 0.0], 0.0);
+        assert!((c.density() - 0.25).abs() < 1e-7);
+        let empty = CondensedDelta::from_dense(&[], 0.0);
+        assert_eq!(empty.density(), 0.0);
+    }
+
+    #[test]
+    fn condense_respects_tolerance() {
+        let c = CondensedDelta::from_dense(&[0.05, -0.2, 0.0], 0.1);
+        assert_eq!(c.indices, vec![1]);
+        assert_eq!(c.values, vec![-0.2]);
+    }
+}

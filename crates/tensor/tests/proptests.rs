@@ -1,0 +1,113 @@
+//! Property-based tests of the tensor kernels.
+
+use proptest::prelude::*;
+use tagnn_tensor::similarity::{cosine, delta, dot, norm, CondensedDelta};
+use tagnn_tensor::{activation, ops, Activation, DenseMatrix};
+
+fn vec_strategy(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-10.0f32..10.0, len)
+}
+
+fn matrix_strategy(max: usize) -> impl Strategy<Value = DenseMatrix> {
+    (1..max, 1..max).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-5.0f32..5.0, r * c)
+            .prop_map(move |data| DenseMatrix::from_vec(r, c, data))
+    })
+}
+
+proptest! {
+    #[test]
+    fn matmul_matches_naive_triple_loop(a in matrix_strategy(8), b_cols in 1usize..8, seed in 0u64..1000) {
+        let b = tagnn_tensor::init::uniform(a.cols(), b_cols, -2.0, 2.0, seed);
+        let fast = ops::matmul(&a, &b);
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0f32;
+                for k in 0..a.cols() {
+                    acc += a.get(i, k) * b.get(k, j);
+                }
+                prop_assert!((fast.get(i, j) - acc).abs() < 1e-3, "({i},{j}): {} vs {acc}", fast.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_identity_is_neutral(a in matrix_strategy(8)) {
+        let id = DenseMatrix::from_fn(a.cols(), a.cols(), |r, c| if r == c { 1.0 } else { 0.0 });
+        let out = ops::matmul(&a, &id);
+        prop_assert!(a.max_abs_diff(&out) < 1e-6);
+    }
+
+    #[test]
+    fn cosine_is_bounded_and_reflexive(v in vec_strategy(16)) {
+        let w: Vec<f32> = v.iter().map(|x| x * 0.5 + 1.0).collect();
+        let c = cosine(&v, &w);
+        prop_assert!((-1.0..=1.0).contains(&c));
+        if norm(&v) > 1e-3 {
+            prop_assert!((cosine(&v, &v) - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn cosine_is_scale_invariant(v in vec_strategy(12), s in 0.1f32..10.0) {
+        let w: Vec<f32> = v.iter().map(|x| x + 1.0).collect();
+        let scaled: Vec<f32> = v.iter().map(|x| x * s).collect();
+        if norm(&v) > 1e-3 && norm(&w) > 1e-3 {
+            prop_assert!((cosine(&v, &w) - cosine(&scaled, &w)).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn dot_is_commutative(a in vec_strategy(10), b in vec_strategy(10)) {
+        prop_assert!((dot(&a, &b) - dot(&b, &a)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn condensed_delta_roundtrips(prev in vec_strategy(24), cur in vec_strategy(24)) {
+        let d = delta(&prev, &cur);
+        let condensed = CondensedDelta::from_dense(&d, 0.0);
+        prop_assert_eq!(condensed.to_dense(), d);
+        let mut restored = prev.clone();
+        condensed.add_to(&mut restored);
+        for (r, c) in restored.iter().zip(&cur) {
+            prop_assert!((r - c).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn condense_tolerance_only_drops_small_entries(v in vec_strategy(16), tol in 0.0f32..2.0) {
+        let c = CondensedDelta::from_dense(&v, tol);
+        for &val in &c.values {
+            prop_assert!(val.abs() > tol);
+        }
+        prop_assert!(c.nnz() <= v.len());
+        prop_assert!((0.0..=1.0).contains(&c.density()));
+    }
+
+    #[test]
+    fn sigmoid_and_tanh_are_bounded(x in -100.0f32..100.0) {
+        let s = activation::sigmoid(x);
+        prop_assert!((0.0..=1.0).contains(&s));
+        let t = Activation::Tanh.apply_scalar(x);
+        prop_assert!((-1.0..=1.0).contains(&t));
+        prop_assert!(Activation::Relu.apply_scalar(x) >= 0.0);
+    }
+
+    #[test]
+    fn axpy_matches_definition(a in vec_strategy(8), b in vec_strategy(8), s in -3.0f32..3.0) {
+        let mut out = a.clone();
+        ops::axpy(&mut out, s, &b);
+        for i in 0..a.len() {
+            prop_assert!((out[i] - (a[i] + s * b[i])).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn xavier_respects_fan_bound(rows in 1usize..32, cols in 1usize..32, seed in 0u64..100) {
+        let m = tagnn_tensor::init::xavier_uniform(rows, cols, seed);
+        let bound = (6.0f64 / (rows + cols) as f64).sqrt() as f32 + 1e-6;
+        for &v in m.as_slice() {
+            prop_assert!(v.abs() <= bound);
+        }
+    }
+}

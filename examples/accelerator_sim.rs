@@ -1,0 +1,85 @@
+//! Accelerator design-space exploration: TaGNN against every baseline
+//! platform, plus the OADL/ADSC ablations and a DCU sweep — the simulator
+//! workflow behind Figures 9-14.
+//!
+//! ```text
+//! cargo run --release --example accelerator_sim
+//! ```
+
+use tagnn::prelude::*;
+use tagnn_sim::baselines::{cambricon_dg, cpu_dgl, dgnn_booster, edgcn, gpu_pipad};
+
+fn main() {
+    let pipeline = TagnnPipeline::builder()
+        .dataset(DatasetPreset::MovieLens)
+        .model(ModelKind::CdGcn)
+        .snapshots(8)
+        .window(4)
+        .hidden(32)
+        .build();
+    let w = pipeline.workload();
+    println!(
+        "workload: {} on CD-GCN — {} vertices, {} total edges, D={}",
+        pipeline.name(),
+        w.num_vertices,
+        w.total_edges,
+        w.feature_dim
+    );
+
+    // TaGNN on the Table-4 configuration.
+    let tagnn = pipeline.simulate(&AcceleratorConfig::tagnn_default());
+    println!("\nplatform comparison (time / energy, normalised to TaGNN):");
+    println!("  {:<14} {:>10} {:>10}", "platform", "time", "energy");
+    println!("  {:<14} {:>10} {:>10}", "TaGNN", "1.0x", "1.0x");
+    for p in [
+        cambricon_dg::cambricon_dg(),
+        edgcn::edgcn(),
+        dgnn_booster::dgnn_booster(),
+        gpu_pipad::tagnn_s(),
+        gpu_pipad::pipad(),
+        cpu_dgl::dgl_cpu(),
+    ] {
+        let r = p.estimate(w);
+        println!(
+            "  {:<14} {:>9.1}x {:>9.1}x",
+            p.name,
+            r.time_ms / tagnn.time_ms,
+            r.energy_mj / tagnn.energy_mj
+        );
+    }
+
+    // Ablations (Fig. 12 / 13a).
+    println!("\nablations:");
+    for cfg in [
+        AcceleratorConfig::tagnn_default().without_oadl(),
+        AcceleratorConfig::tagnn_default().without_adsc(),
+        AcceleratorConfig::tagnn_default().without_balanced_dispatch(),
+    ] {
+        let r = pipeline.simulate(&cfg);
+        println!(
+            "  {:<22} {:>6.2}x slower",
+            cfg.name,
+            r.time_ms / tagnn.time_ms
+        );
+    }
+
+    // DCU sweep (Fig. 14b).
+    println!("\nDCU scaling:");
+    let mut prev = None;
+    for dcus in [1usize, 2, 4, 8, 16, 32] {
+        let r = pipeline.simulate(&AcceleratorConfig::tagnn_default().with_dcus(dcus));
+        let marginal = prev.map(|p: f64| p / r.time_ms).unwrap_or(1.0);
+        println!(
+            "  {:>2} DCUs: {:>8.4} ms  (x{:.2} vs previous)",
+            dcus, r.time_ms, marginal
+        );
+        prev = Some(r.time_ms);
+    }
+
+    println!("\nper-unit cycle breakdown at 16 DCUs:");
+    let b = tagnn.breakdown;
+    println!(
+        "  msdl={} agg={} comb={} rnn={} arnn={} dram={}",
+        b.msdl, b.aggregation, b.combination, b.rnn, b.arnn, b.dram
+    );
+}

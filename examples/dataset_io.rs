@@ -1,0 +1,73 @@
+//! Working with real-world temporal edge lists: export a generated graph
+//! to the standard `src dst time` format, load it back with a snapshot
+//! bucketing policy, and run the full TaGNN pipeline on the result — the
+//! exact workflow for dropping in the paper's actual datasets (HepPh,
+//! Gdelt, ... are distributed in this format).
+//!
+//! ```text
+//! cargo run --release --example dataset_io
+//! ```
+
+use tagnn::prelude::*;
+use tagnn_graph::io::{load_temporal_edge_list, write_temporal_edge_list};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join("tagnn_dataset_io");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("hepph_scaled.txt");
+
+    // 1. Export: generate a scaled HepPh equivalent and write it out.
+    let source = TagnnPipeline::builder()
+        .dataset(DatasetPreset::HepPh)
+        .snapshots(8)
+        .window(4)
+        .hidden(16)
+        .build();
+    let file = std::fs::File::create(&path)?;
+    let written = write_temporal_edge_list(source.graph(), std::io::BufWriter::new(file))?;
+    println!("exported {written} temporal edges to {}", path.display());
+
+    // 2. Load: bucket the stream into 8 snapshots, each retaining 4
+    //    buckets of history (a sliding activity window, like Table 2's
+    //    per-dataset granularities), with 16-dimensional features derived
+    //    from per-vertex activity.
+    let graph = load_temporal_edge_list(&path, 8, 4, 16, 7)?;
+    println!(
+        "loaded: {} vertices, {} snapshots, {} edges in the last snapshot",
+        graph.num_vertices(),
+        graph.num_snapshots(),
+        graph.snapshot(graph.num_snapshots() - 1).num_edges()
+    );
+
+    // 3. Run the full pipeline on the loaded data.
+    let pipeline = TagnnPipeline::from_graph(
+        graph,
+        "hepph-loaded",
+        ModelKind::TGcn,
+        16,
+        4,
+        SkipConfig::paper_default(),
+        ReuseMode::PaperWindow,
+        7,
+    );
+    let out = pipeline.run_concurrent();
+    let w = pipeline.workload();
+    println!(
+        "\ninference over loaded data: {:.1}% of feature-row fetches eliminated, skip ratio {:.1}%",
+        100.0
+            * (1.0
+                - w.concurrent.feature_rows_loaded as f64 / w.reference.feature_rows_loaded as f64),
+        100.0 * out.stats.skip.skip_ratio()
+    );
+
+    let report = pipeline.simulate(&AcceleratorConfig::tagnn_default());
+    println!(
+        "simulated accelerator: {:.4} ms, {:.3} mJ, {:.1}% DCU utilisation",
+        report.time_ms,
+        report.energy_mj,
+        100.0 * report.dispatch_utilization
+    );
+
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

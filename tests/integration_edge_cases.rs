@@ -1,0 +1,144 @@
+//! Edge-case and failure-injection integration tests: degenerate graphs,
+//! vertex churn around window boundaries, and loaded-data pipelines.
+
+use tagnn::prelude::*;
+use tagnn_graph::delta::{apply_updates, GraphUpdate};
+use tagnn_graph::io::{snapshots_from_edges, TemporalEdge};
+use tagnn_graph::{classify_window, Csr};
+use tagnn_models::DgnnModel;
+use tagnn_tensor::DenseMatrix;
+
+fn snap(n: usize, edges: &[(u32, u32)]) -> Snapshot {
+    Snapshot::fully_active(
+        Csr::from_edges(n, edges),
+        DenseMatrix::from_fn(n, 3, |r, c| (r + c) as f32 * 0.1),
+    )
+}
+
+#[test]
+fn edgeless_graph_runs_end_to_end() {
+    let g = DynamicGraph::new(vec![snap(6, &[]), snap(6, &[]), snap(6, &[])]);
+    let model = DgnnModel::new(ModelKind::TGcn, 3, 4, 1);
+    let reference = ReferenceEngine::new(model.clone()).run(&g);
+    let concurrent =
+        ConcurrentEngine::with_options(model, SkipConfig::disabled(), 2, ReuseMode::Exact).run(&g);
+    assert!(reference.max_final_feature_diff(&concurrent) < 1e-6);
+    // No edges -> every vertex is unaffected across identical snapshots.
+    let refs: Vec<&Snapshot> = g.snapshots().iter().collect();
+    let cls = classify_window(&refs);
+    assert_eq!(cls.unaffected_ratio(), 1.0);
+}
+
+#[test]
+fn single_vertex_universe_works() {
+    let g = DynamicGraph::new(vec![snap(1, &[]), snap(1, &[])]);
+    let model = DgnnModel::new(ModelKind::GcLstm, 3, 2, 5);
+    let out = ConcurrentEngine::with_window(model, SkipConfig::paper_default(), 2).run(&g);
+    assert_eq!(out.final_features.len(), 2);
+    assert_eq!(out.final_features[0].rows(), 1);
+}
+
+#[test]
+fn vertex_appearing_mid_window_is_handled() {
+    // v2 is inactive in the first snapshot and appears in the second: its
+    // first cell update has no previous input, so it must take the Normal
+    // path, and its output before appearance stays zero.
+    let s0 = {
+        let base = snap(3, &[(0, 1)]);
+        apply_updates(&base, &[GraphUpdate::RemoveVertex { v: 2 }])
+    };
+    let s1 = apply_updates(
+        &s0,
+        &[
+            GraphUpdate::AddVertex { v: 2 },
+            GraphUpdate::AddEdge { src: 2, dst: 0 },
+        ],
+    );
+    let g = DynamicGraph::new(vec![s0, s1.clone(), s1.clone()]);
+    let model = DgnnModel::new(ModelKind::TGcn, 3, 4, 9);
+    let reference = ReferenceEngine::new(model.clone()).run(&g);
+    let concurrent =
+        ConcurrentEngine::with_options(model, SkipConfig::disabled(), 3, ReuseMode::Exact).run(&g);
+    assert!(reference.max_final_feature_diff(&concurrent) < 1e-5);
+    // Before appearance, v2's final feature is the zero state.
+    assert!(reference.final_features[0].row(2).iter().all(|&v| v == 0.0));
+}
+
+#[test]
+fn vertex_disappearing_freezes_its_state() {
+    let s0 = snap(3, &[(0, 1), (1, 2)]);
+    let s1 = apply_updates(&s0, &[GraphUpdate::RemoveVertex { v: 2 }]);
+    let g = DynamicGraph::new(vec![s0, s1.clone(), s1]);
+    let model = DgnnModel::new(ModelKind::GcLstm, 3, 4, 3);
+    let out = ReferenceEngine::new(model).run(&g);
+    // v2's final feature stays at its last value once it disappears.
+    assert_eq!(out.final_features[1].row(2), out.final_features[2].row(2));
+}
+
+#[test]
+fn window_larger_than_stream_is_one_batch() {
+    let g = DynamicGraph::new(vec![snap(4, &[(0, 1)]), snap(4, &[(0, 1)])]);
+    let model = DgnnModel::new(ModelKind::TGcn, 3, 4, 2);
+    let out =
+        ConcurrentEngine::with_options(model, SkipConfig::disabled(), 16, ReuseMode::Exact).run(&g);
+    assert_eq!(out.final_features.len(), 2);
+}
+
+#[test]
+fn loaded_edge_list_pipeline_end_to_end() {
+    let edges: Vec<TemporalEdge> = (0..60u32)
+        .map(|i| TemporalEdge {
+            src: i % 10,
+            dst: (i * 7 + 1) % 10,
+            time: i as u64,
+        })
+        .collect();
+    let graph = snapshots_from_edges(&edges, 6, 2, 8, 42);
+    let p = TagnnPipeline::from_graph(
+        graph,
+        "loaded",
+        ModelKind::TGcn,
+        8,
+        3,
+        SkipConfig::paper_default(),
+        ReuseMode::PaperWindow,
+        42,
+    );
+    assert_eq!(p.name(), "loaded");
+    let out = p.run_concurrent();
+    assert_eq!(out.final_features.len(), 6);
+    let report = p.simulate(&AcceleratorConfig::tagnn_default());
+    assert!(report.cycles > 0);
+}
+
+#[test]
+fn simulator_handles_single_snapshot_workload() {
+    let g = DynamicGraph::new(vec![snap(8, &[(0, 1), (2, 3), (4, 5)])]);
+    let p = TagnnPipeline::from_graph(
+        g,
+        "one",
+        ModelKind::TGcn,
+        4,
+        4,
+        SkipConfig::paper_default(),
+        ReuseMode::Exact,
+        1,
+    );
+    let r = p.simulate(&AcceleratorConfig::tagnn_default());
+    assert!(r.cycles > 0);
+    assert_eq!(r.skip.skipped, 0, "a single snapshot has nothing to skip");
+}
+
+#[test]
+fn zero_feature_graph_is_stable() {
+    // All-zero features: cosine conventions and normalisation paths must
+    // not produce NaNs anywhere.
+    let csr = Csr::from_edges(4, &[(0, 1), (1, 2)]);
+    let z = Snapshot::fully_active(csr, DenseMatrix::zeros(4, 3));
+    let g = DynamicGraph::new(vec![z.clone(), z.clone(), z]);
+    let model = DgnnModel::new(ModelKind::TGcn, 3, 4, 7);
+    let out = ConcurrentEngine::with_window(model, SkipConfig::paper_default(), 3).run(&g);
+    for h in &out.final_features {
+        assert!(h.as_slice().iter().all(|v| v.is_finite()));
+    }
+}

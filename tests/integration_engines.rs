@@ -1,0 +1,149 @@
+//! Cross-crate engine equivalence and approximation-quality integration
+//! tests: the concurrent engine against the reference engine across
+//! models, windows, and reuse modes.
+
+use tagnn::prelude::*;
+use tagnn_graph::generate::GeneratorConfig;
+use tagnn_models::approx::{run_approx_rnn, ApproxMethod};
+
+fn graph() -> DynamicGraph {
+    let mut cfg = GeneratorConfig::tiny();
+    cfg.num_vertices = 128;
+    cfg.num_edges = 512;
+    cfg.num_snapshots = 7;
+    cfg.generate()
+}
+
+fn model(kind: ModelKind, g: &DynamicGraph) -> DgnnModel {
+    DgnnModel::new(kind, g.feature_dim(), 10, 77)
+}
+
+#[test]
+fn exact_mode_is_bit_faithful_for_all_models_and_windows() {
+    let g = graph();
+    for kind in ModelKind::ALL {
+        let reference = ReferenceEngine::new(model(kind, &g)).run(&g);
+        for window in [1usize, 2, 3, 7] {
+            let concurrent = ConcurrentEngine::with_options(
+                model(kind, &g),
+                SkipConfig::disabled(),
+                window,
+                ReuseMode::Exact,
+            )
+            .run(&g);
+            let diff = reference.max_final_feature_diff(&concurrent);
+            assert!(diff < 1e-5, "{kind:?} K={window}: diff {diff}");
+        }
+    }
+}
+
+#[test]
+fn paper_window_reuse_error_shrinks_with_smaller_windows() {
+    let g = graph();
+    let reference = ReferenceEngine::new(model(ModelKind::CdGcn, &g)).run(&g);
+    let err = |window| {
+        let out = ConcurrentEngine::with_options(
+            model(ModelKind::CdGcn, &g),
+            SkipConfig::disabled(),
+            window,
+            ReuseMode::PaperWindow,
+        )
+        .run(&g);
+        reference.max_final_feature_diff(&out)
+    };
+    assert!(err(1) < 1e-6, "K=1 has nothing to reuse, must be exact");
+    assert!(err(2) <= err(7) + 1e-6, "longer windows reuse staler data");
+}
+
+#[test]
+fn skipping_preserves_gnn_outputs_and_bounds_final_error() {
+    let g = graph();
+    for kind in ModelKind::ALL {
+        let reference = ReferenceEngine::new(model(kind, &g)).run(&g);
+        let skipping = ConcurrentEngine::with_options(
+            model(kind, &g),
+            SkipConfig::paper_default(),
+            3,
+            ReuseMode::Exact,
+        )
+        .run(&g);
+        for (a, b) in reference.gnn_outputs.iter().zip(&skipping.gnn_outputs) {
+            assert!(
+                a.max_abs_diff(b) < 1e-5,
+                "{kind:?}: GNN is exact in Exact mode"
+            );
+        }
+        let diff = reference.max_final_feature_diff(&skipping);
+        assert!(diff < 0.8, "{kind:?}: skipping error {diff} out of band");
+        assert!(
+            skipping.stats.skip.skipped > 0,
+            "{kind:?}: skipping must fire"
+        );
+    }
+}
+
+#[test]
+fn batch_refresh_bounds_staleness() {
+    // With window 2 every other snapshot is a forced full update, so at
+    // least half of all cell updates are Normal.
+    let g = graph();
+    let out = ConcurrentEngine::with_options(
+        model(ModelKind::TGcn, &g),
+        SkipConfig::with_thresholds(-1.0, -1.0), // maximally aggressive
+        2,
+        ReuseMode::Exact,
+    )
+    .run(&g);
+    let s = out.stats.skip;
+    assert!(
+        s.normal as f64 >= s.total() as f64 * 0.5 - 1.0,
+        "refresh must force full updates at batch starts: {s:?}"
+    );
+}
+
+#[test]
+fn lossless_delta_band_is_exact() {
+    // theta_s = -1 puts every scored vertex in the Delta band; with zero
+    // tolerance the delta path is arithmetically exact, so outputs match
+    // the reference.
+    let g = graph();
+    let reference = ReferenceEngine::new(model(ModelKind::TGcn, &g)).run(&g);
+    let delta_only = ConcurrentEngine::with_options(
+        model(ModelKind::TGcn, &g),
+        SkipConfig::with_thresholds(-1.0, 1.0),
+        3,
+        ReuseMode::Exact,
+    )
+    .run(&g);
+    assert!(delta_only.stats.skip.delta > 0, "delta band must fire");
+    let diff = reference.max_final_feature_diff(&delta_only);
+    assert!(diff < 1e-4, "lossless delta updates must be exact: {diff}");
+}
+
+#[test]
+fn approx_methods_rank_by_aggressiveness() {
+    let g = graph();
+    let m = model(ModelKind::GcLstm, &g);
+    let exact = ReferenceEngine::new(m.clone()).run(&g);
+    let err = |method| {
+        let hs = run_approx_rnn(&m, &g, &exact.gnn_outputs, method);
+        exact
+            .final_features
+            .iter()
+            .zip(&hs)
+            .map(|(a, b)| a.max_abs_diff(b))
+            .fold(0.0f32, f32::max)
+    };
+    let fine = err(ApproxMethod::DeltaRnn { threshold: 0.01 });
+    let coarse = err(ApproxMethod::DeltaRnn { threshold: 0.5 });
+    assert!(fine <= coarse, "coarser thresholds cannot be more accurate");
+}
+
+#[test]
+fn stats_wall_time_is_recorded() {
+    let g = graph();
+    let out =
+        ConcurrentEngine::with_window(model(ModelKind::TGcn, &g), SkipConfig::paper_default(), 3)
+            .run(&g);
+    assert!(out.stats.wall_ns > 0);
+}

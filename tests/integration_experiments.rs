@@ -1,0 +1,80 @@
+//! Experiment-harness smoke tests: every table/figure runner executes under
+//! the quick context and reproduces the paper's headline shapes.
+
+use tagnn::experiments::{run, run_all, ExperimentContext, ALL_EXPERIMENTS};
+
+#[test]
+fn every_experiment_runs_and_renders() {
+    let ctx = ExperimentContext::quick();
+    let results = run_all(&ctx);
+    assert_eq!(results.len(), ALL_EXPERIMENTS.len());
+    for r in &results {
+        let rendered = r.render();
+        assert!(rendered.contains(&r.id), "{} render must name itself", r.id);
+        assert!(!r.table.is_empty(), "{} must have rows", r.id);
+        assert!(!r.metrics.is_empty(), "{} must expose metrics", r.id);
+    }
+}
+
+#[test]
+fn headline_speedups_have_paper_shape() {
+    let ctx = ExperimentContext::quick();
+    let fig9 = run("fig9", &ctx);
+    let fig10 = run("fig10", &ctx);
+    // TaGNN beats CPU by more than it beats the GPU, which it beats by more
+    // than the accelerators (the Figure 9/10 ordering).
+    let vs_cpu = fig9.metric("avg_tagnn_vs_cpu");
+    let vs_gpu = fig9.metric("avg_tagnn_vs_pipad");
+    let vs_booster = fig10.metric("avg_vs_booster");
+    let vs_cam = fig10.metric("avg_vs_cambricon");
+    assert!(vs_cpu > vs_gpu);
+    assert!(vs_gpu > vs_booster);
+    assert!(vs_booster > vs_cam);
+    assert!(vs_cam > 1.0);
+}
+
+#[test]
+fn ablation_shares_match_paper_ordering() {
+    let ctx = ExperimentContext::quick();
+    let fig13a = run("fig13a", &ctx);
+    // Paper: MSDL+DCU 53.6% > ARNN 32.6% > dispatcher 13.8%.
+    let msdl = fig13a.metric("avg_msdl_dcu_share");
+    let disp = fig13a.metric("avg_dispatcher_share");
+    assert!(
+        msdl > disp,
+        "MSDL+DCU {msdl} must dominate dispatcher {disp}"
+    );
+}
+
+#[test]
+fn accuracy_table_has_paper_shape() {
+    let ctx = ExperimentContext::quick();
+    let t5 = run("table5", &ctx);
+    assert!(t5.metric("worst_tagnn_loss") <= t5.metric("worst_competitor_loss"));
+}
+
+#[test]
+fn results_serialise_to_json() {
+    let ctx = ExperimentContext::quick();
+    let r = run("table4", &ctx);
+    let json = serde_json::to_string(&r).expect("experiment results serialise");
+    let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+    assert_eq!(v["id"], "table4");
+    assert!(v["metrics"]["tagnn_macs"].as_f64().unwrap() > 0.0);
+}
+
+#[test]
+fn unaffected_ratios_fall_in_plausible_bands() {
+    let ctx = ExperimentContext::quick();
+    let fig3a = run("fig3a", &ctx);
+    for ds in &ctx.datasets {
+        let w3 = fig3a.metric(&format!("w3_{}", ds.abbrev()));
+        let w4 = fig3a.metric(&format!("w4_{}", ds.abbrev()));
+        assert!((0.0..1.0).contains(&w3), "{} w3={w3}", ds.abbrev());
+        assert!(
+            w4 <= w3 + 1e-9,
+            "{}: ratio must shrink with window",
+            ds.abbrev()
+        );
+    }
+}

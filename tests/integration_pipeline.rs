@@ -1,0 +1,109 @@
+//! End-to-end pipeline integration: every dataset preset x model family
+//! builds, runs, and produces consistent artefacts.
+
+use tagnn::prelude::*;
+
+fn pipeline(ds: DatasetPreset, model: ModelKind) -> TagnnPipeline {
+    TagnnPipeline::builder()
+        .dataset(ds)
+        .model(model)
+        .snapshots(5)
+        .window(2)
+        .hidden(8)
+        .scale(0.02)
+        .build()
+}
+
+#[test]
+fn every_preset_builds_and_runs() {
+    for ds in DatasetPreset::ALL {
+        let p = pipeline(ds, ModelKind::TGcn);
+        let out = p.run_concurrent();
+        assert_eq!(out.final_features.len(), 5, "{}", ds.abbrev());
+        assert_eq!(out.final_features[0].rows(), p.graph().num_vertices());
+    }
+}
+
+#[test]
+fn every_model_family_runs() {
+    for model in ModelKind::ALL {
+        let p = pipeline(DatasetPreset::Gdelt, model);
+        let reference = p.run_reference();
+        let concurrent = p.run_concurrent();
+        assert_eq!(
+            reference.final_features.len(),
+            concurrent.final_features.len()
+        );
+        assert_eq!(
+            concurrent.final_features[0].cols(),
+            8,
+            "{model:?} hidden dim"
+        );
+    }
+}
+
+#[test]
+fn workload_counters_are_consistent() {
+    let p = pipeline(DatasetPreset::HepPh, ModelKind::GcLstm);
+    let w = p.workload();
+    // The reference pattern can never do less work than the concurrent one.
+    assert!(w.reference.feature_rows_loaded >= w.concurrent.feature_rows_loaded);
+    assert!(w.reference.rnn_macs >= w.concurrent.rnn_macs);
+    assert!(w.reference.total_macs() >= w.concurrent.total_macs());
+    // And the reference never reuses.
+    assert_eq!(w.reference.feature_rows_reused, 0);
+    assert_eq!(w.reference.skip.skipped, 0);
+}
+
+#[test]
+fn pipelines_are_deterministic_end_to_end() {
+    let a = pipeline(DatasetPreset::MovieLens, ModelKind::CdGcn).run_concurrent();
+    let b = pipeline(DatasetPreset::MovieLens, ModelKind::CdGcn).run_concurrent();
+    assert_eq!(a.final_features, b.final_features);
+    assert_eq!(a.stats.skip, b.stats.skip);
+}
+
+#[test]
+fn different_seeds_give_different_graphs() {
+    let a = TagnnPipeline::builder()
+        .dataset(DatasetPreset::Gdelt)
+        .seed(1)
+        .snapshots(3)
+        .scale(0.02)
+        .build();
+    let b = TagnnPipeline::builder()
+        .dataset(DatasetPreset::Gdelt)
+        .seed(2)
+        .snapshots(3)
+        .scale(0.02)
+        .build();
+    assert_ne!(a.graph(), b.graph());
+}
+
+#[test]
+fn simulation_consumes_every_pipeline() {
+    for model in ModelKind::ALL {
+        let p = pipeline(DatasetPreset::Epinions, model);
+        let r = p.simulate(&AcceleratorConfig::tagnn_default());
+        assert!(r.cycles > 0, "{model:?}");
+        assert!(r.energy_mj > 0.0);
+        assert!(r.dram.feature_bytes > 0);
+    }
+}
+
+#[test]
+fn window_size_flows_through() {
+    for k in [1usize, 2, 4] {
+        let p = TagnnPipeline::builder()
+            .dataset(DatasetPreset::Gdelt)
+            .snapshots(4)
+            .window(k)
+            .hidden(8)
+            .scale(0.02)
+            .build();
+        assert_eq!(p.window(), k);
+        assert_eq!(p.workload().window, k);
+        // Output count never depends on the window.
+        assert_eq!(p.run_concurrent().final_features.len(), 4);
+    }
+}

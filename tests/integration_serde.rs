@@ -1,0 +1,112 @@
+//! Serde round-trip tests for the publicly serialisable types: a library
+//! whose reports, graphs, and configurations claim `Serialize +
+//! Deserialize` must survive JSON round trips bit-for-bit.
+
+use tagnn::prelude::*;
+use tagnn_graph::delta::GraphUpdate;
+use tagnn_graph::generate::GeneratorConfig;
+use tagnn_models::skip::SkipStats;
+use tagnn_sim::resource::{estimate, FpgaCapacity};
+
+fn roundtrip<T: serde::Serialize + serde::de::DeserializeOwned + PartialEq + std::fmt::Debug>(
+    value: &T,
+) {
+    // Floats can drift by one ULP through text; the robust invariant is
+    // serialisation idempotence: one round trip reaches a fixed point.
+    let json = serde_json::to_string(value).expect("serialise");
+    let back: T = serde_json::from_str(&json).expect("deserialise");
+    let json2 = serde_json::to_string(&back).expect("re-serialise");
+    let back2: T = serde_json::from_str(&json2).expect("re-deserialise");
+    assert_eq!(back, back2, "round trip must reach a fixed point");
+}
+
+#[test]
+fn dynamic_graph_roundtrips() {
+    let g = GeneratorConfig::tiny().generate();
+    roundtrip(&g);
+}
+
+#[test]
+fn graph_updates_roundtrip() {
+    let updates = vec![
+        GraphUpdate::AddEdge { src: 1, dst: 2 },
+        GraphUpdate::RemoveEdge { src: 2, dst: 1 },
+        GraphUpdate::AddVertex { v: 3 },
+        GraphUpdate::RemoveVertex { v: 4 },
+        GraphUpdate::MutateFeature {
+            v: 0,
+            feature: vec![0.5, -0.5],
+        },
+    ];
+    roundtrip(&updates);
+}
+
+#[test]
+fn accelerator_config_roundtrips() {
+    roundtrip(&AcceleratorConfig::tagnn_default());
+    roundtrip(
+        &AcceleratorConfig::tagnn_default()
+            .without_oadl()
+            .with_dcus(8),
+    );
+}
+
+#[test]
+fn sim_report_roundtrips() {
+    let p = TagnnPipeline::builder()
+        .dataset(DatasetPreset::Gdelt)
+        .snapshots(4)
+        .window(2)
+        .hidden(8)
+        .scale(0.02)
+        .build();
+    let report = p.simulate(&AcceleratorConfig::tagnn_default());
+    roundtrip(&report);
+}
+
+#[test]
+fn workload_roundtrips() {
+    let p = TagnnPipeline::builder()
+        .dataset(DatasetPreset::HepPh)
+        .snapshots(4)
+        .window(2)
+        .hidden(8)
+        .scale(0.02)
+        .build();
+    roundtrip(p.workload());
+}
+
+#[test]
+fn inference_output_roundtrips() {
+    let p = TagnnPipeline::builder()
+        .dataset(DatasetPreset::Gdelt)
+        .snapshots(3)
+        .window(3)
+        .hidden(6)
+        .scale(0.02)
+        .build();
+    let out = p.run_concurrent();
+    roundtrip(&out);
+}
+
+#[test]
+fn model_and_skip_config_roundtrip() {
+    let model = DgnnModel::new(ModelKind::CdGcn, 8, 6, 11);
+    roundtrip(&model);
+    roundtrip(&SkipConfig::paper_default());
+    roundtrip(&SkipStats {
+        normal: 1,
+        delta: 2,
+        skipped: 3,
+    });
+}
+
+#[test]
+fn resource_report_roundtrips() {
+    let r = estimate(
+        &AcceleratorConfig::tagnn_default(),
+        ModelKind::TGcn,
+        FpgaCapacity::u280(),
+    );
+    roundtrip(&r);
+}

@@ -1,0 +1,147 @@
+//! Simulator-level integration: platform orderings, ablation directions,
+//! and sweep monotonicities that the paper's figures rely on.
+
+use tagnn::prelude::*;
+use tagnn_sim::baselines::{cambricon_dg, cpu_dgl, dgnn_booster, edgcn, gpu_pipad};
+
+fn setup() -> TagnnPipeline {
+    TagnnPipeline::builder()
+        .dataset(DatasetPreset::Gdelt)
+        .model(ModelKind::TGcn)
+        .snapshots(6)
+        .window(3)
+        .hidden(16)
+        .scale(0.03)
+        .build()
+}
+
+#[test]
+fn full_platform_ordering_matches_figure9_and_10() {
+    let p = setup();
+    let w = p.workload();
+    let tagnn = p.simulate(&AcceleratorConfig::tagnn_default()).time_ms;
+    let cam = cambricon_dg::cambricon_dg().estimate(w).time_ms;
+    let e = edgcn::edgcn().estimate(w).time_ms;
+    let booster = dgnn_booster::dgnn_booster().estimate(w).time_ms;
+    let pipad = gpu_pipad::pipad().estimate(w).time_ms;
+    let cpu = cpu_dgl::dgl_cpu().estimate(w).time_ms;
+    assert!(tagnn < cam, "TaGNN {tagnn} vs Cambricon {cam}");
+    assert!(cam < e, "Cambricon {cam} vs E-DGCN {e}");
+    assert!(e < booster, "E-DGCN {e} vs Booster {booster}");
+    assert!(booster < pipad, "Booster {booster} vs PiPAD {pipad}");
+    assert!(pipad < cpu, "PiPAD {pipad} vs CPU {cpu}");
+}
+
+#[test]
+fn speedup_magnitudes_are_in_the_papers_decade() {
+    let p = setup();
+    let w = p.workload();
+    let tagnn = p.simulate(&AcceleratorConfig::tagnn_default()).time_ms;
+    let vs_cpu = cpu_dgl::dgl_cpu().estimate(w).time_ms / tagnn;
+    let vs_gpu = gpu_pipad::pipad().estimate(w).time_ms / tagnn;
+    let vs_cam = cambricon_dg::cambricon_dg().estimate(w).time_ms / tagnn;
+    // Paper: 535x / 84x / 6.5x. Expect the same orders of magnitude.
+    assert!((50.0..20_000.0).contains(&vs_cpu), "vs CPU {vs_cpu}");
+    assert!((8.0..2_000.0).contains(&vs_gpu), "vs PiPAD {vs_gpu}");
+    assert!((1.5..60.0).contains(&vs_cam), "vs Cambricon {vs_cam}");
+    assert!(vs_cpu > vs_gpu && vs_gpu > vs_cam);
+}
+
+#[test]
+fn energy_ordering_tracks_figure11() {
+    let p = setup();
+    let w = p.workload();
+    let tagnn = p.simulate(&AcceleratorConfig::tagnn_default()).energy_mj;
+    for platform in [
+        cambricon_dg::cambricon_dg(),
+        edgcn::edgcn(),
+        dgnn_booster::dgnn_booster(),
+        gpu_pipad::pipad(),
+        cpu_dgl::dgl_cpu(),
+    ] {
+        assert!(
+            platform.estimate(w).energy_mj > tagnn,
+            "{} must burn more energy than TaGNN",
+            platform.name
+        );
+    }
+}
+
+#[test]
+fn ablations_all_point_the_right_way() {
+    let p = setup();
+    let base = p.simulate(&AcceleratorConfig::tagnn_default());
+    let wo_oadl = p.simulate(&AcceleratorConfig::tagnn_default().without_oadl());
+    let wo_adsc = p.simulate(&AcceleratorConfig::tagnn_default().without_adsc());
+    let wo_disp = p.simulate(&AcceleratorConfig::tagnn_default().without_balanced_dispatch());
+    assert!(wo_oadl.time_ms > base.time_ms, "OADL must matter");
+    assert!(wo_adsc.time_ms >= base.time_ms, "ADSC must not hurt");
+    assert!(
+        wo_disp.time_ms >= base.time_ms,
+        "balanced dispatch must not hurt"
+    );
+    // Fig. 12: OADL is the larger contributor.
+    assert!(
+        wo_oadl.time_ms - base.time_ms >= wo_adsc.time_ms - base.time_ms,
+        "OADL gain must dominate ADSC gain"
+    );
+}
+
+#[test]
+fn dcu_and_mac_sweeps_are_monotone_nonincreasing() {
+    let p = setup();
+    let mut last = f64::INFINITY;
+    for dcus in [1usize, 4, 16] {
+        let t = p
+            .simulate(&AcceleratorConfig::tagnn_default().with_dcus(dcus))
+            .time_ms;
+        assert!(t <= last + 1e-12, "{dcus} DCUs regressed");
+        last = t;
+    }
+    let mut last = f64::INFINITY;
+    for macs in [512usize, 2048, 8192] {
+        let t = p
+            .simulate(&AcceleratorConfig::tagnn_default().with_macs(macs))
+            .time_ms;
+        assert!(t <= last + 1e-12, "{macs} MACs regressed");
+        last = t;
+    }
+}
+
+#[test]
+fn windowing_beats_snapshot_by_snapshot_on_the_accelerator() {
+    let sim = |k: usize| {
+        let p = TagnnPipeline::builder()
+            .dataset(DatasetPreset::Gdelt)
+            .model(ModelKind::TGcn)
+            .snapshots(6)
+            .window(k)
+            .hidden(16)
+            .scale(0.03)
+            .build();
+        p.simulate(&AcceleratorConfig::tagnn_default()).time_ms
+    };
+    assert!(sim(3) < sim(1), "multi-snapshot batching must win");
+}
+
+#[test]
+fn resource_model_is_exposed_through_sim_crate() {
+    use tagnn_sim::resource::{estimate, FpgaCapacity};
+    let r = estimate(
+        &AcceleratorConfig::tagnn_default(),
+        ModelKind::TGcn,
+        FpgaCapacity::u280(),
+    );
+    assert!(r.dsp_pct > 50.0 && r.dsp_pct < 100.0);
+    assert!(r.uram_pct > 50.0 && r.uram_pct < 100.0);
+}
+
+#[test]
+fn phase_breakdown_is_a_distribution() {
+    let p = setup();
+    let (a, c, u, o) = gpu_pipad::pipad().phase_breakdown(p.workload());
+    assert!((a + c + u + o - 1.0).abs() < 1e-9);
+    for frac in [a, c, u, o] {
+        assert!((0.0..=1.0).contains(&frac));
+    }
+}
