@@ -1,0 +1,73 @@
+//! Window-planning cost: building a window's plan once versus the old
+//! path where every consumer (engine, simulator structural sweep, traffic
+//! accounting) re-ran the classify → extract → pack triple itself.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+use tagnn_graph::classify::classify_window;
+use tagnn_graph::plan::{PlanCache, WindowPlanner};
+use tagnn_graph::subgraph::AffectedSubgraph;
+use tagnn_graph::{DatasetPreset, DynamicGraph, OCsr, Snapshot};
+
+/// Number of production consumers that used to recompute the frontend
+/// triple independently before plans existed.
+const CONSUMERS: usize = 3;
+
+fn graph() -> DynamicGraph {
+    DatasetPreset::HepPh.config_small(8).generate()
+}
+
+/// The pre-plan world: each consumer runs the full triple per window.
+fn triple_recompute(g: &DynamicGraph, k: usize, consumers: usize) -> usize {
+    let mut edges = 0;
+    for _ in 0..consumers {
+        for batch in g.batches(k) {
+            let refs: Vec<&Snapshot> = batch.iter().collect();
+            let cls = classify_window(&refs);
+            let sg = AffectedSubgraph::extract(&refs, &cls);
+            let ocsr = OCsr::from_subgraph(&refs, &cls, &sg);
+            edges += ocsr.num_edges();
+        }
+    }
+    edges
+}
+
+fn bench_plan_vs_triple(c: &mut Criterion) {
+    let g = graph();
+    let mut group = c.benchmark_group("planning");
+    group.sample_size(20);
+    for k in [2usize, 4] {
+        group.bench_with_input(BenchmarkId::new("plan_once", k), &k, |b, &k| {
+            b.iter(|| WindowPlanner::new(k).plan_graph(black_box(&g)));
+        });
+        group.bench_with_input(BenchmarkId::new("triple_recompute_x3", k), &k, |b, &k| {
+            b.iter(|| triple_recompute(black_box(&g), k, CONSUMERS));
+        });
+        group.bench_with_input(BenchmarkId::new("cached_warm", k), &k, |b, &k| {
+            let cache = PlanCache::new();
+            let planner = WindowPlanner::new(k);
+            // Warm the cache so the measured loop is pure hits.
+            let _ = planner.plan_graph_cached(&g, &cache);
+            b.iter(|| planner.plan_graph_cached(black_box(&g), &cache));
+        });
+    }
+    group.finish();
+
+    // One-shot headline: how much frontend work the planning layer saves
+    // the three consumers at the paper's default K=4.
+    let t0 = Instant::now();
+    let plans = WindowPlanner::new(4).plan_graph(&g);
+    let plan_once = t0.elapsed();
+    let t1 = Instant::now();
+    let edges = triple_recompute(&g, 4, CONSUMERS);
+    let triple = t1.elapsed();
+    eprintln!(
+        "planning speedup (K=4, {CONSUMERS} consumers): {:.2}x \
+         (plan_once {plan_once:?} vs triple {triple:?}; {} plans, {edges} edges packed)",
+        triple.as_secs_f64() / plan_once.as_secs_f64().max(1e-12),
+        plans.len(),
+    );
+}
+
+criterion_group!(benches, bench_plan_vs_triple);
+criterion_main!(benches);

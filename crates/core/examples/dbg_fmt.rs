@@ -1,7 +1,5 @@
 use tagnn::prelude::*;
-use tagnn_graph::classify::classify_window;
 use tagnn_graph::multi_csr::MultiCsr;
-use tagnn_graph::subgraph::AffectedSubgraph;
 use tagnn_graph::types::VertexClass;
 fn main() {
     let p = TagnnPipeline::builder()
@@ -19,11 +17,11 @@ fn main() {
         g.snapshot(0).num_edges(),
         g.feature_dim()
     );
-    for batch in g.batches(3) {
+    for (batch, plan) in g.batches(3).zip(p.plans()) {
         let refs: Vec<&Snapshot> = batch.iter().collect();
-        let cls = classify_window(&refs);
-        let sg = AffectedSubgraph::extract(&refs, &cls);
-        let ocsr = OCsr::from_subgraph(&refs, &cls, &sg);
+        let cls = plan.classification();
+        let sg = plan.subgraph();
+        let ocsr = plan.ocsr();
         let csr = MultiCsr::from_window(&refs);
         let un = cls.count(VertexClass::Unaffected);
         let st = cls.count(VertexClass::Stable);

@@ -3,11 +3,9 @@
 use crate::experiments::{ExperimentContext, ExperimentResult};
 use crate::report::{fmt_pct, fmt_x, TextTable};
 use std::collections::BTreeMap;
-use tagnn_graph::classify::classify_window;
 use tagnn_graph::multi_csr::MultiCsr;
 use tagnn_graph::pma::Pma;
-use tagnn_graph::subgraph::AffectedSubgraph;
-use tagnn_graph::{OCsr, Snapshot};
+use tagnn_graph::Snapshot;
 use tagnn_models::ModelKind;
 use tagnn_sim::{AcceleratorConfig, TagnnSimulator};
 
@@ -120,11 +118,12 @@ pub fn fig13b(ctx: &ExperimentContext) -> ExperimentResult {
         let graph = p.graph();
         let (mut ocsr_bytes, mut csr_bytes, mut pma_bytes) = (0u64, 0u64, 0u64);
         let (mut ocsr_cost, mut csr_cost, mut pma_cost) = (0u64, 0u64, 0u64);
-        for batch in graph.batches(ctx.window) {
+        // The pipeline already planned these exact windows (same graph,
+        // same K) — reuse its O-CSR packings instead of re-running the
+        // frontend.
+        for (batch, plan) in graph.batches(ctx.window).zip(p.plans()) {
             let refs: Vec<&Snapshot> = batch.iter().collect();
-            let cls = classify_window(&refs);
-            let sg = AffectedSubgraph::extract(&refs, &cls);
-            let ocsr = OCsr::from_subgraph(&refs, &cls, &sg);
+            let ocsr = plan.ocsr();
             let csr = MultiCsr::from_window(&refs);
             // A PMA-based dynamic format (GPMA/GraSU style) holds the whole
             // window's timestamped edge set in one gapped array plus one

@@ -1,5 +1,11 @@
-//! The high-level pipeline API: dataset → model → engine/simulator.
+//! The high-level pipeline API: dataset → model → window plans →
+//! engine/simulator. The builder plans every window once (optionally
+//! through a shared [`PlanCache`]) and threads the prebuilt
+//! [`WindowPlan`]s into workload measurement, the concurrent engine, and
+//! the simulator.
 
+use std::sync::Arc;
+use tagnn_graph::plan::{CacheStats, PlanCache, WindowPlan, WindowPlanner};
 use tagnn_graph::{DatasetPreset, DynamicGraph, GeneratorConfig};
 use tagnn_models::{
     ConcurrentEngine, DgnnModel, InferenceOutput, ModelKind, ReferenceEngine, ReuseMode, SkipConfig,
@@ -19,6 +25,7 @@ pub struct PipelineBuilder {
     skip: SkipConfig,
     reuse: ReuseMode,
     seed: u64,
+    plan_cache: Option<Arc<PlanCache>>,
 }
 
 impl Default for PipelineBuilder {
@@ -34,6 +41,7 @@ impl Default for PipelineBuilder {
             skip: SkipConfig::paper_default(),
             reuse: ReuseMode::PaperWindow,
             seed: 0xD6,
+            plan_cache: None,
         }
     }
 }
@@ -99,8 +107,16 @@ impl PipelineBuilder {
         self
     }
 
-    /// Generates the graph, initialises the model, and measures the
-    /// workload.
+    /// Shares a window-plan cache: pipelines over the same graph content
+    /// and window size reuse each other's plans instead of re-running the
+    /// MSDL frontend.
+    pub fn plan_cache(mut self, cache: Arc<PlanCache>) -> Self {
+        self.plan_cache = Some(cache);
+        self
+    }
+
+    /// Generates the graph, plans its windows, initialises the model, and
+    /// measures the workload.
     pub fn build(self) -> TagnnPipeline {
         let (config, name) = match (&self.generator, self.dataset) {
             (Some(g), _) => (g.clone(), "custom".to_string()),
@@ -118,8 +134,10 @@ impl PipelineBuilder {
             (None, None) => (GeneratorConfig::tiny(), "tiny".to_string()),
         };
         let graph = config.generate();
+        let (plans, plan_cache_delta) =
+            plan_windows(&graph, self.window, self.plan_cache.as_deref());
         let model = DgnnModel::new(self.model, graph.feature_dim(), self.hidden, self.seed);
-        let workload = Workload::measure(
+        let workload = Workload::measure_with_plans(
             &graph,
             &name,
             self.model,
@@ -127,12 +145,15 @@ impl PipelineBuilder {
             self.window,
             self.skip,
             self.seed,
+            &plans,
         );
         TagnnPipeline {
             name,
             graph,
             model,
             workload,
+            plans,
+            plan_cache_delta,
             window: self.window,
             skip: self.skip,
             reuse: self.reuse,
@@ -140,14 +161,35 @@ impl PipelineBuilder {
     }
 }
 
-/// A ready-to-run pipeline: generated graph, initialised model, measured
-/// workload.
+/// Plans every window of `graph`, through `cache` when one is shared,
+/// returning the plans plus the cache hit/miss delta this planning pass
+/// produced (zero when uncached).
+fn plan_windows(
+    graph: &DynamicGraph,
+    window: usize,
+    cache: Option<&PlanCache>,
+) -> (Vec<Arc<WindowPlan>>, CacheStats) {
+    let planner = WindowPlanner::new(window);
+    match cache {
+        Some(cache) => {
+            let before = cache.stats();
+            let plans = planner.plan_graph_cached(graph, cache);
+            (plans, cache.stats().since(before))
+        }
+        None => (planner.plan_graph(graph), CacheStats::default()),
+    }
+}
+
+/// A ready-to-run pipeline: generated graph, prebuilt window plans,
+/// initialised model, measured workload.
 #[derive(Debug, Clone)]
 pub struct TagnnPipeline {
     name: String,
     graph: DynamicGraph,
     model: DgnnModel,
     workload: Workload,
+    plans: Vec<Arc<WindowPlan>>,
+    plan_cache_delta: CacheStats,
     window: usize,
     skip: SkipConfig,
     reuse: ReuseMode,
@@ -173,12 +215,17 @@ impl TagnnPipeline {
         seed: u64,
     ) -> Self {
         let model = DgnnModel::new(model_kind, graph.feature_dim(), hidden, seed);
-        let workload = Workload::measure(&graph, name, model_kind, hidden, window, skip, seed);
+        let (plans, plan_cache_delta) = plan_windows(&graph, window, None);
+        let workload = Workload::measure_with_plans(
+            &graph, name, model_kind, hidden, window, skip, seed, &plans,
+        );
         Self {
             name: name.to_string(),
             graph,
             model,
             workload,
+            plans,
+            plan_cache_delta,
             window,
             skip,
             reuse,
@@ -210,26 +257,47 @@ impl TagnnPipeline {
         self.window
     }
 
+    /// The prebuilt window plans (one per non-overlapping window).
+    pub fn plans(&self) -> &[Arc<WindowPlan>] {
+        &self.plans
+    }
+
+    /// Plan-cache hits/misses this pipeline's planning pass produced
+    /// (all-zero when no cache was shared).
+    pub fn plan_cache_delta(&self) -> CacheStats {
+        self.plan_cache_delta
+    }
+
     /// Runs exact snapshot-by-snapshot inference.
     pub fn run_reference(&self) -> InferenceOutput {
         ReferenceEngine::new(self.model.clone()).run(&self.graph)
     }
 
-    /// Runs topology-aware concurrent inference (TaGNN's execution model).
+    /// Runs topology-aware concurrent inference (TaGNN's execution model)
+    /// over the prebuilt plans.
     pub fn run_concurrent(&self) -> InferenceOutput {
         ConcurrentEngine::with_options(self.model.clone(), self.skip, self.window, self.reuse)
-            .run(&self.graph)
+            .run_with_plans(&self.graph, &self.plans)
     }
 
-    /// Runs the concurrent engine with a different skipping configuration.
+    /// Runs the concurrent engine with a different skipping configuration
+    /// (the plans are skip-independent and reused as-is).
     pub fn run_concurrent_with(&self, skip: SkipConfig) -> InferenceOutput {
         ConcurrentEngine::with_options(self.model.clone(), skip, self.window, self.reuse)
-            .run(&self.graph)
+            .run_with_plans(&self.graph, &self.plans)
     }
 
-    /// Simulates the measured workload on an accelerator configuration.
+    /// Simulates the measured workload on an accelerator configuration,
+    /// reusing the prebuilt plans and stamping the planning cache delta
+    /// into the report's instrumentation.
     pub fn simulate(&self, config: &AcceleratorConfig) -> SimReport {
-        TagnnSimulator::new(config.clone()).simulate(&self.graph, &self.workload)
+        let mut report = TagnnSimulator::new(config.clone()).simulate_with_plans(
+            &self.graph,
+            &self.workload,
+            &self.plans,
+        );
+        report.plan = report.plan.with_cache(self.plan_cache_delta);
+        report
     }
 }
 
@@ -288,5 +356,40 @@ mod tests {
     fn default_builder_builds_tiny() {
         let p = TagnnPipeline::builder().build();
         assert_eq!(p.name(), "tiny");
+    }
+
+    #[test]
+    fn pipeline_plans_every_window_once() {
+        let p = pipeline();
+        assert_eq!(p.plans().len(), 2, "6 snapshots / K=3");
+        assert_eq!(p.plan_cache_delta(), CacheStats::default());
+    }
+
+    #[test]
+    fn shared_plan_cache_hits_across_pipelines() {
+        let cache = Arc::new(PlanCache::new());
+        let mk = |model| {
+            TagnnPipeline::builder()
+                .dataset(DatasetPreset::Gdelt)
+                .model(model)
+                .snapshots(6)
+                .window(3)
+                .hidden(8)
+                .plan_cache(Arc::clone(&cache))
+                .build()
+        };
+        let a = mk(ModelKind::TGcn);
+        assert_eq!(a.plan_cache_delta().hits, 0);
+        assert_eq!(a.plan_cache_delta().misses, 2);
+        // Same dataset/scale/snapshots/seed ⇒ identical graph content, so
+        // a different model must find every plan already cached.
+        let b = mk(ModelKind::CdGcn);
+        assert_eq!(b.plan_cache_delta().misses, 0);
+        assert_eq!(b.plan_cache_delta().hits, 2);
+        assert!(Arc::ptr_eq(&a.plans()[0], &b.plans()[0]));
+
+        let report = b.simulate(&AcceleratorConfig::tagnn_default());
+        assert_eq!(report.plan.cache_hits, 2);
+        assert_eq!(report.plan.cache_misses, 0);
     }
 }

@@ -123,8 +123,8 @@ mod tests {
     fn formatters() {
         assert_eq!(fmt_f(0.0), "0");
         assert_eq!(fmt_f(0.1234), "0.1234");
-        assert_eq!(fmt_f(3.14159), "3.14");
-        assert_eq!(fmt_f(314.159), "314");
+        assert_eq!(fmt_f(3.24159), "3.24");
+        assert_eq!(fmt_f(324.159), "324");
         assert_eq!(fmt_x(5.25), "5.2x");
         assert_eq!(fmt_x(535.2), "535x");
         assert_eq!(fmt_pct(0.425), "42.5%");

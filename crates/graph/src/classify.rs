@@ -65,22 +65,68 @@ impl WindowClassification {
     }
 }
 
+/// Why a window cannot be classified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WindowError {
+    /// The window holds no snapshots.
+    EmptyWindow,
+    /// A snapshot's vertex universe disagrees with the window's first.
+    UniverseMismatch {
+        /// Universe size of the window's first snapshot.
+        expected: usize,
+        /// Universe size of the offending snapshot.
+        found: usize,
+        /// Index of the offending snapshot within the window.
+        snapshot: usize,
+    },
+}
+
+impl std::fmt::Display for WindowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WindowError::EmptyWindow => write!(f, "window must contain at least one snapshot"),
+            WindowError::UniverseMismatch {
+                expected,
+                found,
+                snapshot,
+            } => write!(
+                f,
+                "window snapshots must share the vertex universe: \
+                 snapshot {snapshot} has {found} vertices, expected {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WindowError {}
+
 /// Classifies every vertex of the universe across the window `snaps`.
 ///
 /// # Panics
 /// Panics if the window is empty or snapshots disagree on universe size.
+/// Use [`try_classify_window`] for a fallible variant.
 pub fn classify_window(snaps: &[&Snapshot]) -> WindowClassification {
-    assert!(
-        !snaps.is_empty(),
-        "window must contain at least one snapshot"
-    );
+    match try_classify_window(snaps) {
+        Ok(cls) => cls,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Classifies every vertex of the universe across the window `snaps`,
+/// returning a typed [`WindowError`] on malformed input.
+pub fn try_classify_window(snaps: &[&Snapshot]) -> Result<WindowClassification, WindowError> {
+    if snaps.is_empty() {
+        return Err(WindowError::EmptyWindow);
+    }
     let n = snaps[0].num_vertices();
-    for s in snaps {
-        assert_eq!(
-            s.num_vertices(),
-            n,
-            "window snapshots must share the vertex universe"
-        );
+    for (i, s) in snaps.iter().enumerate() {
+        if s.num_vertices() != n {
+            return Err(WindowError::UniverseMismatch {
+                expected: n,
+                found: s.num_vertices(),
+                snapshot: i,
+            });
+        }
     }
     let first = snaps[0];
 
@@ -124,10 +170,10 @@ pub fn classify_window(snaps: &[&Snapshot]) -> WindowClassification {
         })
         .collect();
 
-    WindowClassification {
+    Ok(WindowClassification {
         classes,
         window: snaps.len(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -239,5 +285,30 @@ mod tests {
         let c = classify_window(&[&s]);
         assert_eq!(c.count(VertexClass::Unaffected), 3);
         assert_eq!(c.window(), 1);
+    }
+
+    #[test]
+    fn try_classify_rejects_empty_window() {
+        assert_eq!(try_classify_window(&[]), Err(WindowError::EmptyWindow));
+    }
+
+    #[test]
+    fn try_classify_rejects_mismatched_universe() {
+        let a = snap(3, &[(0, 1)]);
+        let b = snap(4, &[(0, 1)]);
+        assert_eq!(
+            try_classify_window(&[&a, &b]),
+            Err(WindowError::UniverseMismatch {
+                expected: 3,
+                found: 4,
+                snapshot: 1,
+            })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "window must contain at least one snapshot")]
+    fn panicking_wrapper_keeps_the_message() {
+        let _ = classify_window(&[]);
     }
 }

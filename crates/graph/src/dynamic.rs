@@ -1,7 +1,17 @@
 //! The temporal sequence of snapshots and sliding-window batching.
 
 use crate::snapshot::Snapshot;
+use crate::types::VertexId;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+#[inline]
+fn mix(h: u64, x: u64) -> u64 {
+    (h ^ x).wrapping_mul(FNV_PRIME)
+}
 
 /// A dynamic graph `G = {G_1, ..., G_T}` over a shared vertex universe.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -83,6 +93,37 @@ impl DynamicGraph {
     /// Total number of directed edges across all snapshots.
     pub fn total_edges(&self) -> usize {
         self.snapshots.iter().map(Snapshot::num_edges).sum()
+    }
+
+    /// A content-based fingerprint over structure, activity, and features
+    /// of every snapshot — the dataset half of a
+    /// [`crate::plan::PlanKey`]. Two graphs with identical content hash
+    /// identically regardless of how they were produced.
+    pub fn fingerprint(&self) -> u64 {
+        let per_snapshot: Vec<u64> = self
+            .snapshots
+            .par_iter()
+            .map(|s| {
+                let mut h = FNV_OFFSET;
+                h = mix(h, s.num_vertices() as u64);
+                for v in 0..s.num_vertices() as VertexId {
+                    h = mix(h, u64::from(s.is_active(v)));
+                    h = mix(h, s.neighbors(v).len() as u64);
+                    for &u in s.neighbors(v) {
+                        h = mix(h, u64::from(u));
+                    }
+                    for &x in s.feature(v) {
+                        h = mix(h, u64::from(x.to_bits()));
+                    }
+                }
+                h
+            })
+            .collect();
+        let mut h = mix(FNV_OFFSET, self.snapshots.len() as u64);
+        for p in per_snapshot {
+            h = mix(h, p);
+        }
+        h
     }
 }
 

@@ -16,6 +16,10 @@
 //! * [`subgraph`] — affected-subgraph extraction by concurrent DFS from
 //!   stable roots;
 //! * [`ocsr::OCsr`] — the Overlap-aware CSR storage format;
+//! * [`plan`] — the window-planning layer: one [`plan::WindowPlan`] per
+//!   window bundling classification, affected subgraph, O-CSR, and
+//!   dispatch statistics, built once by [`plan::WindowPlanner`] and shared
+//!   (via [`plan::PlanCache`]) by the engine, simulator, and experiments;
 //! * [`pma::Pma`] and [`multi_csr::MultiCsr`] — the dynamic-format baselines
 //!   O-CSR is compared against in Fig. 13(b);
 //! * [`generate`] — synthetic dynamic-graph generation with presets matching
@@ -30,17 +34,19 @@ pub mod generate;
 pub mod io;
 pub mod multi_csr;
 pub mod ocsr;
+pub mod plan;
 pub mod pma;
 pub mod snapshot;
 pub mod stats;
 pub mod subgraph;
 pub mod types;
 
-pub use classify::{classify_window, WindowClassification};
+pub use classify::{classify_window, try_classify_window, WindowClassification, WindowError};
 pub use csr::Csr;
 pub use dynamic::DynamicGraph;
 pub use generate::{DatasetPreset, GeneratorConfig};
 pub use ocsr::OCsr;
+pub use plan::{CacheStats, PlanCache, PlanInstrumentation, WindowPlan, WindowPlanner};
 pub use snapshot::Snapshot;
 pub use subgraph::AffectedSubgraph;
 pub use types::{SnapshotId, VertexClass, VertexId};

@@ -1,0 +1,519 @@
+//! The window-planning layer: one frontend pass per window, shared by
+//! every consumer.
+//!
+//! The MSDL frontend (classification → affected-subgraph extraction →
+//! O-CSR packing, §3.1) used to be recomputed independently by the
+//! concurrent engine, the accelerator simulator, and the format
+//! experiments — three identical sweeps over the same windows. A
+//! [`WindowPlan`] bundles the three artefacts plus the degree/dispatch
+//! statistics the Task Dispatcher and traffic accounting need, built once
+//! by the [`WindowPlanner`] and handed to every consumer. A [`PlanCache`]
+//! keyed by `(dataset fingerprint, window index, K)` lets separate
+//! pipelines over the same graph reuse plans across experiment runs.
+
+use crate::classify::{try_classify_window, WindowClassification, WindowError};
+use crate::dynamic::DynamicGraph;
+use crate::ocsr::OCsr;
+use crate::snapshot::Snapshot;
+use crate::stats::ClassCounts;
+use crate::subgraph::AffectedSubgraph;
+use crate::types::{VertexClass, VertexId};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Cache key: `(graph fingerprint, window index, window size K)`.
+pub type PlanKey = (u64, usize, usize);
+
+/// Per-window statistics derived while planning — everything downstream
+/// cost models read without touching the raw snapshots again.
+///
+/// `build_ns` is wall-clock instrumentation and deliberately excluded
+/// from equality: two plans of the same window are equal however long
+/// they took to build.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlanStats {
+    /// Vertices classified (= universe size).
+    pub classified_vertices: u64,
+    /// Per-class vertex counts.
+    pub counts: ClassCounts,
+    /// Affected-subgraph vertex count |V_S|.
+    pub subgraph_vertices: u64,
+    /// Affected-subgraph timestamped edge count |E_S|.
+    pub subgraph_edges: u64,
+    /// Degree-weighted dispatch items: every vertex once (the
+    /// compute-once pass over the window's first snapshot) followed by
+    /// each subgraph vertex's degree per later snapshot — the task list
+    /// the Task Dispatcher balances over DCUs.
+    pub degree_items: Vec<u64>,
+    /// Feature rows travelling in the cold pass (sum of the first
+    /// `classified_vertices` dispatch items).
+    pub cold_rows: u64,
+    /// Estimated re-fetched rows for affected vertices over the window's
+    /// remaining snapshots.
+    pub affected_rows: u64,
+    /// Wall-clock nanoseconds spent building this plan (excluded from
+    /// equality).
+    pub build_ns: u64,
+}
+
+impl PartialEq for PlanStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.classified_vertices == other.classified_vertices
+            && self.counts == other.counts
+            && self.subgraph_vertices == other.subgraph_vertices
+            && self.subgraph_edges == other.subgraph_edges
+            && self.degree_items == other.degree_items
+            && self.cold_rows == other.cold_rows
+            && self.affected_rows == other.affected_rows
+    }
+}
+
+/// The frontend artefacts of one window, built once and shared by the
+/// engine, the simulator, and the experiments.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowPlan {
+    index: usize,
+    window_len: usize,
+    classification: WindowClassification,
+    subgraph: AffectedSubgraph,
+    ocsr: OCsr,
+    stats: PlanStats,
+}
+
+impl WindowPlan {
+    /// Window index in batch order.
+    #[inline]
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Number of snapshots in this window (the tail window may be shorter
+    /// than K).
+    #[inline]
+    pub fn window_len(&self) -> usize {
+        self.window_len
+    }
+
+    /// The window's vertex classification.
+    #[inline]
+    pub fn classification(&self) -> &WindowClassification {
+        &self.classification
+    }
+
+    /// The extracted affected subgraph.
+    #[inline]
+    pub fn subgraph(&self) -> &AffectedSubgraph {
+        &self.subgraph
+    }
+
+    /// The O-CSR packing of the affected subgraph.
+    #[inline]
+    pub fn ocsr(&self) -> &OCsr {
+        &self.ocsr
+    }
+
+    /// Derived statistics.
+    #[inline]
+    pub fn stats(&self) -> &PlanStats {
+        &self.stats
+    }
+}
+
+/// Aggregate planning instrumentation, surfaced in simulator reports and
+/// experiment JSON.
+///
+/// Equality covers only the structural counters — `build_ns` and the
+/// cache tallies vary run to run and between cached and uncached paths
+/// producing otherwise identical results.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct PlanInstrumentation {
+    /// Windows planned (or fetched from cache).
+    pub windows_planned: u64,
+    /// Total vertices classified across windows.
+    pub vertices_classified: u64,
+    /// Total affected-subgraph edges across windows.
+    pub subgraph_edges: u64,
+    /// Total nanoseconds spent building the plans (excluded from
+    /// equality).
+    pub build_ns: u64,
+    /// Plan-cache hits observed when the plans were obtained (excluded
+    /// from equality).
+    pub cache_hits: u64,
+    /// Plan-cache misses observed when the plans were obtained (excluded
+    /// from equality).
+    pub cache_misses: u64,
+}
+
+impl PartialEq for PlanInstrumentation {
+    fn eq(&self, other: &Self) -> bool {
+        self.windows_planned == other.windows_planned
+            && self.vertices_classified == other.vertices_classified
+            && self.subgraph_edges == other.subgraph_edges
+    }
+}
+
+impl PlanInstrumentation {
+    /// Aggregates the instrumentation of a plan set.
+    pub fn from_plans(plans: &[Arc<WindowPlan>]) -> Self {
+        let mut agg = Self {
+            windows_planned: plans.len() as u64,
+            ..Self::default()
+        };
+        for p in plans {
+            agg.vertices_classified += p.stats.classified_vertices;
+            agg.subgraph_edges += p.stats.subgraph_edges;
+            agg.build_ns += p.stats.build_ns;
+        }
+        agg
+    }
+
+    /// Stamps the cache-delta observed while obtaining the plans.
+    pub fn with_cache(mut self, stats: CacheStats) -> Self {
+        self.cache_hits = stats.hits;
+        self.cache_misses = stats.misses;
+        self
+    }
+}
+
+/// Hit/miss tallies of a [`PlanCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Plans served from the cache.
+    pub hits: u64,
+    /// Plans built because the cache had no entry.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Tallies accumulated since `earlier` was sampled.
+    pub fn since(self, earlier: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+        }
+    }
+}
+
+/// A concurrent plan cache keyed by [`PlanKey`]. Cheap to share: clone an
+/// `Arc<PlanCache>` into every pipeline that should reuse plans.
+#[derive(Default)]
+pub struct PlanCache {
+    map: Mutex<HashMap<PlanKey, Arc<WindowPlan>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl std::fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("PlanCache")
+            .field("entries", &self.len())
+            .field("hits", &stats.hits)
+            .field("misses", &stats.misses)
+            .finish()
+    }
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cumulative hit/miss tallies.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Fetches the plan under `key`, if cached.
+    pub fn get(&self, key: &PlanKey) -> Option<Arc<WindowPlan>> {
+        let hit = self.map.lock().unwrap().get(key).cloned();
+        match hit {
+            Some(p) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(p)
+            }
+            None => None,
+        }
+    }
+
+    /// Inserts a freshly built plan, counting the miss that caused it.
+    pub fn insert(&self, key: PlanKey, plan: Arc<WindowPlan>) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.map.lock().unwrap().insert(key, plan);
+    }
+}
+
+/// Builds [`WindowPlan`]s for the non-overlapping windows of a dynamic
+/// graph, in parallel across windows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowPlanner {
+    k: usize,
+}
+
+impl WindowPlanner {
+    /// A planner for windows of `k` snapshots.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "window size must be positive");
+        Self { k }
+    }
+
+    /// Window size K.
+    #[inline]
+    pub fn window(&self) -> usize {
+        self.k
+    }
+
+    /// Plans one window of snapshot refs.
+    pub fn try_plan_window(
+        &self,
+        snaps: &[&Snapshot],
+        index: usize,
+    ) -> Result<WindowPlan, WindowError> {
+        let started = std::time::Instant::now();
+        let classification = try_classify_window(snaps)?;
+        let subgraph = AffectedSubgraph::extract(snaps, &classification);
+        let ocsr = OCsr::from_subgraph(snaps, &classification, &subgraph);
+
+        let n = snaps[0].num_vertices();
+        // Degree-weighted GNN tasks: every vertex once (the compute-once
+        // pass) plus the subgraph per extra snapshot — the exact item
+        // order matters for round-robin dispatch reproducibility.
+        let mut degree_items: Vec<u64> = (0..n as VertexId)
+            .map(|v| snaps[0].csr().degree(v) as u64 + 1)
+            .collect();
+        let cold_rows: u64 = degree_items.iter().sum();
+        for &v in subgraph.vertices() {
+            for snap in &snaps[1..] {
+                degree_items.push(snap.csr().degree(v) as u64 + 1);
+            }
+        }
+        let affected_rows: u64 = classification
+            .vertices_of(VertexClass::Affected)
+            .map(|v| snaps[0].csr().degree(v) as u64 + 1)
+            .sum::<u64>()
+            * (snaps.len() as u64).saturating_sub(1);
+
+        let stats = PlanStats {
+            classified_vertices: n as u64,
+            counts: ClassCounts::from_classification(&classification),
+            subgraph_vertices: subgraph.num_vertices() as u64,
+            subgraph_edges: subgraph.num_edges() as u64,
+            degree_items,
+            cold_rows,
+            affected_rows,
+            build_ns: started.elapsed().as_nanos() as u64,
+        };
+        Ok(WindowPlan {
+            index,
+            window_len: snaps.len(),
+            classification,
+            subgraph,
+            ocsr,
+            stats,
+        })
+    }
+
+    /// Plans one window, panicking on malformed input (test/bench
+    /// convenience mirroring [`crate::classify::classify_window`]).
+    ///
+    /// # Panics
+    /// Panics if the window is empty or snapshots disagree on universe
+    /// size.
+    pub fn plan_window(&self, snaps: &[&Snapshot], index: usize) -> WindowPlan {
+        match self.try_plan_window(snaps, index) {
+            Ok(plan) => plan,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Plans every window of `graph`, in parallel across windows.
+    pub fn plan_graph(&self, graph: &DynamicGraph) -> Vec<Arc<WindowPlan>> {
+        self.try_plan_graph(graph)
+            .expect("snapshots of one DynamicGraph share the vertex universe")
+    }
+
+    /// Fallible variant of [`Self::plan_graph`].
+    pub fn try_plan_graph(
+        &self,
+        graph: &DynamicGraph,
+    ) -> Result<Vec<Arc<WindowPlan>>, WindowError> {
+        let windows: Vec<&[Snapshot]> = graph.batches(self.k).collect();
+        windows
+            .into_par_iter()
+            .enumerate()
+            .map(|(i, batch)| {
+                let refs: Vec<&Snapshot> = batch.iter().collect();
+                self.try_plan_window(&refs, i).map(Arc::new)
+            })
+            .collect()
+    }
+
+    /// Plans every window of `graph`, serving cached plans where the
+    /// cache already holds `(graph.fingerprint(), index, K)` and building
+    /// (then inserting) the rest in parallel.
+    pub fn plan_graph_cached(
+        &self,
+        graph: &DynamicGraph,
+        cache: &PlanCache,
+    ) -> Vec<Arc<WindowPlan>> {
+        let fp = graph.fingerprint();
+        let windows: Vec<&[Snapshot]> = graph.batches(self.k).collect();
+        let mut plans: Vec<Option<Arc<WindowPlan>>> = windows
+            .iter()
+            .enumerate()
+            .map(|(i, _)| cache.get(&(fp, i, self.k)))
+            .collect();
+        let missing: Vec<usize> = plans
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.is_none())
+            .map(|(i, _)| i)
+            .collect();
+        let built: Vec<(usize, Arc<WindowPlan>)> = missing
+            .into_par_iter()
+            .map(|i| {
+                let refs: Vec<&Snapshot> = windows[i].iter().collect();
+                (i, Arc::new(self.plan_window(&refs, i)))
+            })
+            .collect();
+        for (i, plan) in built {
+            cache.insert((fp, i, self.k), Arc::clone(&plan));
+            plans[i] = Some(plan);
+        }
+        plans.into_iter().map(Option::unwrap).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::classify_window;
+    use crate::generate::{DatasetPreset, GeneratorConfig};
+
+    fn graph() -> DynamicGraph {
+        DatasetPreset::Gdelt.config_small(6).generate()
+    }
+
+    #[test]
+    fn plan_matches_direct_kernel_calls() {
+        let g = graph();
+        let plans = WindowPlanner::new(3).plan_graph(&g);
+        assert_eq!(plans.len(), 2);
+        for (i, batch) in g.batches(3).enumerate() {
+            let refs: Vec<&Snapshot> = batch.iter().collect();
+            let cls = classify_window(&refs);
+            let sg = AffectedSubgraph::extract(&refs, &cls);
+            let ocsr = OCsr::from_subgraph(&refs, &cls, &sg);
+            assert_eq!(plans[i].classification(), &cls);
+            assert_eq!(plans[i].subgraph(), &sg);
+            assert_eq!(plans[i].ocsr(), &ocsr);
+            assert_eq!(plans[i].index(), i);
+            assert_eq!(plans[i].window_len(), batch.len());
+        }
+    }
+
+    #[test]
+    fn plan_stats_mirror_the_dispatch_sweep() {
+        let g = graph();
+        let plans = WindowPlanner::new(4).plan_graph(&g);
+        for (plan, batch) in plans.iter().zip(g.batches(4)) {
+            let refs: Vec<&Snapshot> = batch.iter().collect();
+            let s = plan.stats();
+            assert_eq!(s.classified_vertices, g.num_vertices() as u64);
+            assert_eq!(s.subgraph_edges, plan.subgraph().num_edges() as u64);
+            let expect_items = g.num_vertices() + plan.subgraph().num_vertices() * (refs.len() - 1);
+            assert_eq!(s.degree_items.len(), expect_items);
+            let cold: u64 = s.degree_items[..g.num_vertices()].iter().sum();
+            assert_eq!(s.cold_rows, cold);
+            assert_eq!(s.counts.total(), g.num_vertices());
+        }
+    }
+
+    #[test]
+    fn tail_window_is_planned_short() {
+        let g = graph(); // 6 snapshots
+        let plans = WindowPlanner::new(4).plan_graph(&g);
+        assert_eq!(plans.len(), 2);
+        assert_eq!(plans[0].window_len(), 4);
+        assert_eq!(plans[1].window_len(), 2);
+    }
+
+    #[test]
+    fn cache_hits_on_second_plan_and_misses_on_first() {
+        let g = graph();
+        let cache = PlanCache::new();
+        let planner = WindowPlanner::new(3);
+        let first = planner.plan_graph_cached(&g, &cache);
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 2 });
+        let second = planner.plan_graph_cached(&g, &cache);
+        assert_eq!(cache.stats(), CacheStats { hits: 2, misses: 2 });
+        for (a, b) in first.iter().zip(&second) {
+            assert!(Arc::ptr_eq(a, b), "cached plans are shared, not rebuilt");
+        }
+    }
+
+    #[test]
+    fn cache_distinguishes_window_sizes_and_graphs() {
+        let g = graph();
+        let cache = PlanCache::new();
+        WindowPlanner::new(3).plan_graph_cached(&g, &cache);
+        WindowPlanner::new(4).plan_graph_cached(&g, &cache);
+        assert_eq!(cache.stats().hits, 0, "different K must not collide");
+        let other = GeneratorConfig::tiny().generate();
+        WindowPlanner::new(3).plan_graph_cached(&other, &cache);
+        assert_eq!(cache.stats().hits, 0, "different graphs must not collide");
+        assert_eq!(cache.len(), 2 + 2 + 2);
+    }
+
+    #[test]
+    fn fingerprint_is_content_sensitive() {
+        let a = GeneratorConfig::tiny().generate();
+        let b = GeneratorConfig::tiny().generate();
+        assert_eq!(a.fingerprint(), b.fingerprint(), "same content, same print");
+        let mut cfg = GeneratorConfig::tiny();
+        cfg.seed ^= 1;
+        let c = cfg.generate();
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn planner_rejects_empty_window() {
+        let err = WindowPlanner::new(2).try_plan_window(&[], 0).unwrap_err();
+        assert_eq!(err, WindowError::EmptyWindow);
+    }
+
+    #[test]
+    fn instrumentation_equality_ignores_timing_and_cache() {
+        let g = graph();
+        let plans = WindowPlanner::new(3).plan_graph(&g);
+        let a = PlanInstrumentation::from_plans(&plans);
+        let mut b = a;
+        b.build_ns = a.build_ns.wrapping_add(999);
+        b.cache_hits = 7;
+        b.cache_misses = 3;
+        assert_eq!(a, b);
+        let mut c = a;
+        c.subgraph_edges += 1;
+        assert_ne!(a, c);
+    }
+}

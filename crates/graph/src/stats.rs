@@ -1,30 +1,28 @@
 //! Overlap and degree statistics over dynamic graphs — the measurements
 //! behind Fig. 3(a) and the neighbour-overlap factors of the θ score.
 
-use crate::classify::{classify_window, WindowClassification};
+use crate::classify::WindowClassification;
 use crate::dynamic::DynamicGraph;
+use crate::plan::WindowPlanner;
 use crate::snapshot::Snapshot;
 use crate::types::{VertexClass, VertexId};
 use serde::{Deserialize, Serialize};
 use tagnn_tensor::similarity::NeighborOverlap;
 
 /// Average unaffected-vertex ratio across all non-overlapping windows of
-/// size `k` (the Fig. 3(a) statistic).
+/// size `k` (the Fig. 3(a) statistic). Short tail windows are excluded —
+/// the ratio is only comparable across full-size windows.
 pub fn unaffected_ratio(graph: &DynamicGraph, k: usize) -> f64 {
-    let mut total = 0.0;
-    let mut count = 0usize;
-    for window in graph.batches(k) {
-        if window.len() < k {
-            continue;
-        }
-        let refs: Vec<&Snapshot> = window.iter().collect();
-        total += classify_window(&refs).unaffected_ratio();
-        count += 1;
-    }
-    if count == 0 {
+    let full: Vec<f64> = WindowPlanner::new(k)
+        .plan_graph(graph)
+        .iter()
+        .filter(|p| p.window_len() == k)
+        .map(|p| p.classification().unaffected_ratio())
+        .collect();
+    if full.is_empty() {
         0.0
     } else {
-        total / count as f64
+        full.iter().sum::<f64>() / full.len() as f64
     }
 }
 
@@ -134,6 +132,7 @@ pub fn degree_stats(snap: &Snapshot) -> DegreeStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::classify::classify_window;
     use crate::csr::Csr;
     use crate::delta::{apply_updates, GraphUpdate};
     use crate::generate::{DatasetPreset, GeneratorConfig};

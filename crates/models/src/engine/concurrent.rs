@@ -23,11 +23,12 @@ use crate::engine::{ExecutionStats, InferenceOutput};
 use crate::rnn::VertexState;
 use crate::skip::{CellMode, SkipConfig};
 use rayon::prelude::*;
-use tagnn_graph::classify::{classify_window, WindowClassification};
+use std::sync::Arc;
+use tagnn_graph::classify::WindowClassification;
+use tagnn_graph::plan::{WindowPlan, WindowPlanner};
 use tagnn_graph::stats::neighbor_overlap;
-use tagnn_graph::subgraph::AffectedSubgraph;
 use tagnn_graph::types::{VertexClass, VertexId};
-use tagnn_graph::{DynamicGraph, OCsr, Snapshot};
+use tagnn_graph::{DynamicGraph, Snapshot};
 use tagnn_tensor::similarity::{theta_score, CondensedDelta};
 use tagnn_tensor::{ops, DenseMatrix};
 
@@ -120,8 +121,26 @@ impl ConcurrentEngine {
         self.skip
     }
 
-    /// Runs inference over every snapshot of `graph`.
+    /// Runs inference over every snapshot of `graph`, planning windows on
+    /// the fly. Callers that already hold plans (a pipeline with a shared
+    /// [`tagnn_graph::plan::PlanCache`]) should use
+    /// [`Self::run_with_plans`] instead.
     pub fn run(&self, graph: &DynamicGraph) -> InferenceOutput {
+        let plans = WindowPlanner::new(self.window).plan_graph(graph);
+        self.run_with_plans(graph, &plans)
+    }
+
+    /// Runs inference over every snapshot of `graph` using prebuilt
+    /// window plans (one per `graph.batches(self.window())` window, in
+    /// order).
+    ///
+    /// # Panics
+    /// Panics if `plans` does not line up with the graph's windows.
+    pub fn run_with_plans(
+        &self,
+        graph: &DynamicGraph,
+        plans: &[Arc<WindowPlan>],
+    ) -> InferenceOutput {
         let started = std::time::Instant::now();
         let n = graph.num_vertices();
         let hidden = self.model.hidden();
@@ -136,18 +155,28 @@ impl ConcurrentEngine {
         let mut final_features = Vec::with_capacity(graph.num_snapshots());
         let mut gnn_outputs: Vec<DenseMatrix> = Vec::with_capacity(graph.num_snapshots());
 
-        for batch in graph.batches(self.window) {
+        assert_eq!(
+            plans.len(),
+            graph.num_snapshots().div_ceil(self.window),
+            "one plan per window expected"
+        );
+        for (batch, plan) in graph.batches(self.window).zip(plans) {
+            assert_eq!(
+                plan.window_len(),
+                batch.len(),
+                "plan window {} does not match this graph/window-size",
+                plan.index()
+            );
             let refs: Vec<&Snapshot> = batch.iter().collect();
-            let cls = classify_window(&refs);
-            // The MSDL path: extract the affected subgraph and pack it into
-            // O-CSR; its footprint is what actually travels off-chip for
-            // the recomputed part of the window.
-            let sg = AffectedSubgraph::extract(&refs, &cls);
-            let ocsr = OCsr::from_subgraph(&refs, &cls, &sg);
+            let cls = plan.classification();
+            // The MSDL path (now precomputed by the planner): the O-CSR
+            // footprint is what actually travels off-chip for the
+            // recomputed part of the window.
+            let ocsr = plan.ocsr();
             stats.structure_words_loaded += (2 * ocsr.num_edges() + 2 * ocsr.num_vertices()) as u64;
 
             // GNN phase with cross-snapshot reuse.
-            let zs = self.gnn_window(&refs, &cls, &mut stats);
+            let zs = self.gnn_window(&refs, cls, &mut stats);
 
             // RNN phase with similarity-aware cell skipping. The first
             // snapshot of every batch runs full cell updates: the paper
@@ -162,7 +191,7 @@ impl ConcurrentEngine {
 
                 let cell = self.model.cell();
                 let skip_cfg = self.skip;
-                let cls_ref = &cls;
+                let cls_ref = cls;
                 let results: Vec<(Option<CellMode>, u32, u64)> = ctxs
                     .par_iter_mut()
                     .enumerate()
@@ -559,5 +588,26 @@ mod tests {
         let e =
             ConcurrentEngine::with_window(model(ModelKind::CdGcn), SkipConfig::paper_default(), 4);
         assert_eq!(e.run(&g).final_features, e.run(&g).final_features);
+    }
+
+    #[test]
+    fn prebuilt_plans_match_on_the_fly_planning() {
+        let g = tiny_graph();
+        let e =
+            ConcurrentEngine::with_window(model(ModelKind::TGcn), SkipConfig::paper_default(), 3);
+        let plans = WindowPlanner::new(3).plan_graph(&g);
+        let fly = e.run(&g);
+        let shared = e.run_with_plans(&g, &plans);
+        assert_eq!(fly.final_features, shared.final_features);
+        assert_eq!(fly.gnn_outputs, shared.gnn_outputs);
+    }
+
+    #[test]
+    #[should_panic(expected = "one plan per window")]
+    fn mismatched_plan_count_panics() {
+        let g = tiny_graph();
+        let e = ConcurrentEngine::with_window(model(ModelKind::TGcn), SkipConfig::disabled(), 3);
+        let plans = WindowPlanner::new(2).plan_graph(&g);
+        let _ = e.run_with_plans(&g, &plans);
     }
 }

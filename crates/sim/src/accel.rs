@@ -19,10 +19,9 @@ use crate::msdl::MsdlModel;
 use crate::timeline;
 use crate::workload::{Workload, ELEM_BYTES};
 use serde::{Deserialize, Serialize};
-use tagnn_graph::classify::classify_window;
-use tagnn_graph::subgraph::AffectedSubgraph;
-use tagnn_graph::types::VertexId;
-use tagnn_graph::{DynamicGraph, Snapshot};
+use std::sync::Arc;
+use tagnn_graph::plan::{PlanInstrumentation, WindowPlan, WindowPlanner};
+use tagnn_graph::DynamicGraph;
 use tagnn_models::skip::SkipStats;
 
 /// Per-unit cycle breakdown of one simulated run.
@@ -77,6 +76,10 @@ pub struct SimReport {
     pub spill_bytes: u64,
     /// Cell-skipping tallies of the underlying execution.
     pub skip: SkipStats,
+    /// Window-planning instrumentation: plan build time and cache
+    /// hit/miss tallies (timing and cache fields are excluded from
+    /// report equality).
+    pub plan: PlanInstrumentation,
 }
 
 impl SimReport {
@@ -103,16 +106,41 @@ impl TagnnSimulator {
         &self.config
     }
 
-    /// Simulates `workload` (measured over `graph`) on this configuration.
+    /// Simulates `workload` (measured over `graph`) on this configuration,
+    /// planning windows on the fly. Callers holding prebuilt plans (e.g. a
+    /// pipeline with a shared [`tagnn_graph::plan::PlanCache`]) should use
+    /// [`Self::simulate_with_plans`].
     pub fn simulate(&self, graph: &DynamicGraph, workload: &Workload) -> SimReport {
+        let plans = WindowPlanner::new(workload.window).plan_graph(graph);
+        self.simulate_with_plans(graph, workload, &plans)
+    }
+
+    /// Simulates `workload` on this configuration using prebuilt window
+    /// plans (one per `graph.batches(workload.window)` window, in order).
+    ///
+    /// # Panics
+    /// Panics if `plans` does not line up with the graph's windows.
+    pub fn simulate_with_plans(
+        &self,
+        graph: &DynamicGraph,
+        workload: &Workload,
+        plans: &[Arc<WindowPlan>],
+    ) -> SimReport {
         let cfg = &self.config;
         let hbm = HbmModel::new(cfg);
         let dcu = DcuModel::new(cfg);
         let arnn = ArnnModel::new(cfg);
         let msdl = MsdlModel::default();
 
-        // --- Structural sweep: per-window MSDL work, dispatch balance, and
-        // the per-window shares used to schedule the cross-window pipeline.
+        assert_eq!(
+            plans.len(),
+            graph.num_snapshots().div_ceil(workload.window),
+            "one plan per window expected"
+        );
+
+        // --- Structural sweep over the prebuilt plans: per-window MSDL
+        // work, dispatch balance, and the per-window shares used to
+        // schedule the cross-window pipeline.
         let mut windows = 0u64;
         let mut classified_vertices = 0u64;
         let mut subgraph_edges = 0u64;
@@ -121,42 +149,28 @@ impl TagnnSimulator {
         // Per-window estimates used to apportion the measured aggregates:
         // (msdl cycles, estimated loaded rows, estimated degree-weighted work).
         let mut shapes: Vec<(u64, u64, u64)> = Vec::new();
-        for batch in graph.batches(workload.window) {
+        for plan in plans {
+            let s = plan.stats();
             windows += 1;
-            classified_vertices += graph.num_vertices() as u64;
-            let refs: Vec<&Snapshot> = batch.iter().collect();
-            let cls = classify_window(&refs);
-            let sg = AffectedSubgraph::extract(&refs, &cls);
-            subgraph_edges += sg.num_edges() as u64;
+            classified_vertices += s.classified_vertices;
+            subgraph_edges += s.subgraph_edges;
 
-            // Degree-weighted GNN tasks of this window: every vertex once
-            // (the compute-once pass) plus the subgraph per extra snapshot.
-            let mut items: Vec<u64> = (0..graph.num_vertices() as VertexId)
-                .map(|v| refs[0].csr().degree(v) as u64 + 1)
-                .collect();
-            let cold_rows: u64 = items.iter().sum();
-            for &v in sg.vertices() {
-                for snap in &refs[1..] {
-                    items.push(snap.csr().degree(v) as u64 + 1);
-                }
-            }
             let report = if cfg.balanced_dispatch {
-                dispatch::balanced(&items, cfg.num_dcus)
+                dispatch::balanced(&s.degree_items, cfg.num_dcus)
             } else {
-                dispatch::round_robin(&items, cfg.num_dcus)
+                dispatch::round_robin(&s.degree_items, cfg.num_dcus)
             };
             util_weighted += report.utilization * report.total_work as f64;
             util_weight += report.total_work as f64;
 
             // Loaded-row estimate: the cold pass plus the affected rows of
             // the remaining snapshots.
-            let affected_rows: u64 = cls
-                .vertices_of(tagnn_graph::types::VertexClass::Affected)
-                .map(|v| refs[0].csr().degree(v) as u64 + 1)
-                .sum::<u64>()
-                * (refs.len() as u64).saturating_sub(1);
-            let msdl_w = msdl.total_cycles(graph.num_vertices() as u64, sg.num_edges() as u64, 1);
-            shapes.push((msdl_w, cold_rows + affected_rows, report.total_work.max(1)));
+            let msdl_w = msdl.total_cycles(s.classified_vertices, s.subgraph_edges, 1);
+            shapes.push((
+                msdl_w,
+                s.cold_rows + s.affected_rows,
+                report.total_work.max(1),
+            ));
         }
         let utilization = if util_weight == 0.0 {
             1.0
@@ -270,6 +284,7 @@ impl TagnnSimulator {
             memory_idle_cycles: schedule.memory_idle_cycles,
             spill_bytes,
             skip: rnn_stats.skip,
+            plan: PlanInstrumentation::from_plans(plans),
         }
     }
 }
@@ -373,5 +388,17 @@ mod tests {
         let (g, w) = setup();
         let sim = TagnnSimulator::new(AcceleratorConfig::tagnn_default());
         assert_eq!(sim.simulate(&g, &w), sim.simulate(&g, &w));
+    }
+
+    #[test]
+    fn prebuilt_plans_match_on_the_fly_planning() {
+        let (g, w) = setup();
+        let sim = TagnnSimulator::new(AcceleratorConfig::tagnn_default());
+        let plans = WindowPlanner::new(w.window).plan_graph(&g);
+        let fly = sim.simulate(&g, &w);
+        let shared = sim.simulate_with_plans(&g, &w, &plans);
+        assert_eq!(fly, shared);
+        assert!(shared.plan.windows_planned > 0);
+        assert!(shared.plan.vertices_classified > 0);
     }
 }

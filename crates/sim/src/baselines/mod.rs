@@ -8,6 +8,13 @@
 //! memory/compute overlap quality, power — plus the execution pattern it
 //! follows (snapshot-by-snapshot for everything except TaGNN-S). The
 //! estimate maps a measured [`Workload`] through those parameters.
+//!
+//! Baselines never touch the MSDL frontend themselves: the window plans
+//! flow in through [`Workload::measure_with_plans`], whose concurrent
+//! counters were produced against the prebuilt
+//! [`tagnn_graph::plan::WindowPlan`]s — so an experiment that measures
+//! one workload from a shared plan set prices every platform without a
+//! single extra classification, extraction, or packing pass.
 
 pub mod cambricon_dg;
 pub mod cpu_dgl;

@@ -82,7 +82,7 @@ mod tests {
         // One hub with most of the work followed by many small tasks —
         // round-robin keeps stacking onto unit 0's lane.
         let mut items = vec![1000u64];
-        items.extend(std::iter::repeat(10).take(99));
+        items.extend(std::iter::repeat_n(10, 99));
         let b = balanced(&items, 4);
         let rr = round_robin(&items, 4);
         assert!(b.makespan <= rr.makespan);

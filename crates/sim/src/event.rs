@@ -181,7 +181,7 @@ mod tests {
         // Every 10th item is expensive at stage 0; deep FIFOs absorb some
         // of the burstiness, shallow ones do not.
         let svc = |s: usize, i: u64| {
-            if s == 0 && i % 10 == 0 {
+            if s == 0 && i.is_multiple_of(10) {
                 20
             } else {
                 1

@@ -2,6 +2,8 @@
 //! the common currency between the engines and every platform model.
 
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use tagnn_graph::plan::{WindowPlan, WindowPlanner};
 use tagnn_graph::DynamicGraph;
 use tagnn_models::{
     ConcurrentEngine, DgnnModel, ExecutionStats, ModelKind, ReferenceEngine, SkipConfig,
@@ -42,7 +44,9 @@ pub struct Workload {
 }
 
 impl Workload {
-    /// Runs both engines over `graph` and packages their counters.
+    /// Runs both engines over `graph` and packages their counters,
+    /// planning windows on the fly. Callers holding prebuilt plans should
+    /// use [`Self::measure_with_plans`].
     pub fn measure(
         graph: &DynamicGraph,
         name: &str,
@@ -51,6 +55,27 @@ impl Workload {
         window: usize,
         skip: SkipConfig,
         seed: u64,
+    ) -> Self {
+        let plans = WindowPlanner::new(window).plan_graph(graph);
+        Self::measure_with_plans(graph, name, model_kind, hidden, window, skip, seed, &plans)
+    }
+
+    /// Runs both engines over `graph` and packages their counters, feeding
+    /// the concurrent engine prebuilt window plans (the reference engine
+    /// is snapshot-by-snapshot and takes no plans).
+    ///
+    /// # Panics
+    /// Panics if `plans` does not line up with `graph.batches(window)`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn measure_with_plans(
+        graph: &DynamicGraph,
+        name: &str,
+        model_kind: ModelKind,
+        hidden: usize,
+        window: usize,
+        skip: SkipConfig,
+        seed: u64,
+        plans: &[Arc<WindowPlan>],
     ) -> Self {
         let model = DgnnModel::new(model_kind, graph.feature_dim(), hidden, seed);
         let gnn_layers = model.layers().len();
@@ -63,7 +88,7 @@ impl Workload {
                 * (model.cell().kind().gates() * hidden) as u64;
         let reference = ReferenceEngine::new(model.clone()).run(graph).stats;
         let concurrent = ConcurrentEngine::with_window(model, skip, window)
-            .run(graph)
+            .run_with_plans(graph, plans)
             .stats;
         Self {
             name: name.to_string(),
@@ -149,6 +174,26 @@ mod tests {
         let a = Workload::measure(&g, "x", ModelKind::CdGcn, 4, 4, SkipConfig::disabled(), 2);
         let mut b = Workload::measure(&g, "x", ModelKind::CdGcn, 4, 4, SkipConfig::disabled(), 2);
         // Wall-clock differs run to run; compare everything else.
+        b.concurrent.wall_ns = a.concurrent.wall_ns;
+        b.reference.wall_ns = a.reference.wall_ns;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn measure_with_plans_matches_measure() {
+        let g = GeneratorConfig::tiny().generate();
+        let plans = WindowPlanner::new(3).plan_graph(&g);
+        let a = Workload::measure(&g, "tiny", ModelKind::TGcn, 6, 3, SkipConfig::disabled(), 1);
+        let mut b = Workload::measure_with_plans(
+            &g,
+            "tiny",
+            ModelKind::TGcn,
+            6,
+            3,
+            SkipConfig::disabled(),
+            1,
+            &plans,
+        );
         b.concurrent.wall_ns = a.concurrent.wall_ns;
         b.reference.wall_ns = a.reference.wall_ns;
         assert_eq!(a, b);

@@ -1,0 +1,136 @@
+//! Plan-sharing integration: prebuilt window plans must be observationally
+//! identical to planning on the fly — through the concurrent engine, the
+//! workload measurement, and the simulator — and a `PlanCache` shared
+//! across pipelines must produce real hits.
+
+use std::sync::Arc;
+use tagnn::prelude::*;
+use tagnn_graph::plan::{PlanCache, WindowPlanner};
+
+const SNAPSHOTS: usize = 6;
+const WINDOW: usize = 3;
+const HIDDEN: usize = 8;
+
+fn graph() -> DynamicGraph {
+    DatasetPreset::Gdelt.config_small(SNAPSHOTS).generate()
+}
+
+#[test]
+fn engine_outputs_are_bit_identical_with_shared_plans() {
+    let g = graph();
+    let plans = WindowPlanner::new(WINDOW).plan_graph(&g);
+    let engine = ConcurrentEngine::with_window(
+        DgnnModel::new(ModelKind::TGcn, g.feature_dim(), HIDDEN, 7),
+        SkipConfig::paper_default(),
+        WINDOW,
+    );
+    let fly = engine.run(&g);
+    let shared = engine.run_with_plans(&g, &plans);
+    assert_eq!(fly.final_features, shared.final_features);
+    assert_eq!(fly.gnn_outputs, shared.gnn_outputs);
+    assert_eq!(fly.stats.skip, shared.stats.skip);
+}
+
+#[test]
+fn sim_reports_are_identical_with_shared_plans() {
+    let g = graph();
+    let plans = WindowPlanner::new(WINDOW).plan_graph(&g);
+    let fly_w = Workload::measure(
+        &g,
+        "GT",
+        ModelKind::TGcn,
+        HIDDEN,
+        WINDOW,
+        SkipConfig::paper_default(),
+        7,
+    );
+    let mut shared_w = Workload::measure_with_plans(
+        &g,
+        "GT",
+        ModelKind::TGcn,
+        HIDDEN,
+        WINDOW,
+        SkipConfig::paper_default(),
+        7,
+        &plans,
+    );
+    // Wall-clock is the only run-to-run nondeterminism in a workload.
+    shared_w.concurrent.wall_ns = fly_w.concurrent.wall_ns;
+    shared_w.reference.wall_ns = fly_w.reference.wall_ns;
+    assert_eq!(fly_w, shared_w);
+
+    let sim = TagnnSimulator::new(AcceleratorConfig::tagnn_default());
+    let fly_r = sim.simulate(&g, &fly_w);
+    let shared_r = sim.simulate_with_plans(&g, &shared_w, &plans);
+    // SimReport equality already ignores plan build time and cache tallies.
+    assert_eq!(fly_r, shared_r);
+    assert_eq!(shared_r.plan.windows_planned, (SNAPSHOTS / WINDOW) as u64);
+    assert!(shared_r.plan.vertices_classified > 0);
+}
+
+#[test]
+fn shared_cache_hits_across_pipelines_and_misses_once() {
+    let cache = Arc::new(PlanCache::new());
+    let build = |model: ModelKind| {
+        TagnnPipeline::builder()
+            .dataset(DatasetPreset::Gdelt)
+            .model(model)
+            .snapshots(SNAPSHOTS)
+            .window(WINDOW)
+            .hidden(HIDDEN)
+            .scale(0.02)
+            .plan_cache(Arc::clone(&cache))
+            .build()
+    };
+    let windows = SNAPSHOTS / WINDOW;
+
+    // First pipeline plans every window from scratch.
+    let first = build(ModelKind::TGcn);
+    assert_eq!(first.plan_cache_delta().misses, windows as u64);
+    assert_eq!(first.plan_cache_delta().hits, 0);
+
+    // A second pipeline over the same graph (different model) reuses every
+    // plan: all hits, zero misses, and the plans are the same allocations.
+    let second = build(ModelKind::GcLstm);
+    assert_eq!(second.plan_cache_delta().hits, windows as u64);
+    assert_eq!(second.plan_cache_delta().misses, 0);
+    for (a, b) in first.plans().iter().zip(second.plans()) {
+        assert!(Arc::ptr_eq(a, b), "cached plans must be shared, not cloned");
+    }
+
+    // The cumulative cache tallies agree, and the simulator report of the
+    // cache-fed pipeline surfaces them.
+    let totals = cache.stats();
+    assert_eq!(totals.hits, windows as u64);
+    assert_eq!(totals.misses, windows as u64);
+    let report = second.simulate(&AcceleratorConfig::tagnn_default());
+    assert_eq!(report.plan.cache_hits, windows as u64);
+    assert_eq!(report.plan.cache_misses, 0);
+}
+
+#[test]
+fn cached_pipeline_matches_uncached_pipeline() {
+    let build = |cache: Option<Arc<PlanCache>>| {
+        let mut b = TagnnPipeline::builder()
+            .dataset(DatasetPreset::HepPh)
+            .model(ModelKind::CdGcn)
+            .snapshots(SNAPSHOTS)
+            .window(WINDOW)
+            .hidden(HIDDEN)
+            .scale(0.02);
+        if let Some(c) = cache {
+            b = b.plan_cache(c);
+        }
+        b.build()
+    };
+    let uncached = build(None);
+    let cached = build(Some(Arc::new(PlanCache::new())));
+
+    let a = uncached.run_concurrent();
+    let b = cached.run_concurrent();
+    assert_eq!(a.final_features, b.final_features);
+
+    let ra = uncached.simulate(&AcceleratorConfig::tagnn_default());
+    let rb = cached.simulate(&AcceleratorConfig::tagnn_default());
+    assert_eq!(ra, rb);
+}
