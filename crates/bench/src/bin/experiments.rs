@@ -1,23 +1,41 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! experiments [all | <id>...] [--quick] [--json]
+//! experiments [all | <id>...] [--quick] [--json] [--trace PATH]
 //!
-//!   all       run every experiment (default)
-//!   <id>      e.g. fig9, table5, fig14a
-//!   --quick   reduced context (2 datasets, 1 model) for smoke runs
-//!   --json    emit one JSON object per experiment instead of text tables
+//!   all           run every experiment (default)
+//!   <id>          e.g. fig9, table5, fig14a
+//!   --quick       reduced context (2 datasets, 1 model) for smoke runs
+//!   --json        emit one JSON object per experiment instead of text tables
+//!   --trace PATH  record a tagnn-obs trace of the whole run (spans per
+//!                 pipeline stage plus every published counter) to PATH
+//!                 as JSON, and print its summary table afterwards
 //! ```
 
 use std::io::Write;
+use std::sync::Arc;
+use tagnn_obs::Recorder;
 
 fn main() {
-    let (ids, ctx, json) = tagnn_bench::parse_args(std::env::args().skip(1));
+    let mut opts = tagnn_bench::parse_args(std::env::args().skip(1));
+    let recorder = opts.trace.as_ref().map(|_| Arc::new(Recorder::new()));
+    if let Some(rec) = &recorder {
+        opts.ctx = opts.ctx.with_recorder(Arc::clone(rec));
+    }
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
-    for id in &ids {
-        let result = tagnn::experiments::run(id, &ctx);
-        let rendered = tagnn_bench::render_results(std::slice::from_ref(&result), json);
+    for id in &opts.ids {
+        let result = tagnn::experiments::run(id, &opts.ctx);
+        let rendered = tagnn_bench::render_results(std::slice::from_ref(&result), opts.json);
         writeln!(out, "{rendered}").expect("stdout");
+    }
+    if let (Some(path), Some(rec)) = (&opts.trace, &recorder) {
+        let trace = rec.snapshot();
+        std::fs::write(path, trace.to_json()).unwrap_or_else(|e| {
+            eprintln!("error: cannot write trace to {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        writeln!(out, "\n{}", trace.summary()).expect("stdout");
+        writeln!(out, "trace written to {}", path.display()).expect("stdout");
     }
 }

@@ -9,23 +9,46 @@
 
 pub mod cli;
 
+use std::path::PathBuf;
 use tagnn::experiments::{ExperimentContext, ExperimentResult};
 
-/// Parses harness CLI arguments into (experiment ids, context, json flag).
+/// Resolved harness CLI options.
+#[derive(Debug)]
+pub struct CliOptions {
+    /// Experiment ids to run, in order.
+    pub ids: Vec<String>,
+    /// The (possibly overridden) experiment context.
+    pub ctx: ExperimentContext,
+    /// Emit JSON lines instead of text tables.
+    pub json: bool,
+    /// Write a tagnn-obs trace of the whole run to this path (and print
+    /// its summary table to stdout afterwards).
+    pub trace: Option<PathBuf>,
+}
+
+/// Parses harness CLI arguments.
 ///
 /// Grammar:
-/// `experiments [all | <id>...] [--quick] [--json] [--scale F] [--hidden N]
-/// [--window K] [--snapshots N] [--seed N]`.
-pub fn parse_args<I: Iterator<Item = String>>(args: I) -> (Vec<String>, ExperimentContext, bool) {
+/// `experiments [all | <id>...] [--quick] [--json] [--trace PATH]
+/// [--scale F] [--hidden N] [--window K] [--snapshots N] [--seed N]`.
+pub fn parse_args<I: Iterator<Item = String>>(args: I) -> CliOptions {
     let mut ids: Vec<String> = Vec::new();
     let mut quick = false;
     let mut json = false;
+    let mut trace: Option<PathBuf> = None;
     let mut overrides: Vec<(String, String)> = Vec::new();
     let mut iter = args.peekable();
     while let Some(a) = iter.next() {
         match a.as_str() {
             "--quick" => quick = true,
             "--json" => json = true,
+            "--trace" => {
+                let value = iter.next().unwrap_or_else(|| {
+                    eprintln!("error: --trace needs a path");
+                    std::process::exit(2);
+                });
+                trace = Some(PathBuf::from(value));
+            }
             key @ ("--scale" | "--hidden" | "--window" | "--snapshots" | "--seed") => {
                 let value = iter.next().unwrap_or_else(|| {
                     eprintln!("error: {key} needs a value");
@@ -69,7 +92,12 @@ pub fn parse_args<I: Iterator<Item = String>>(args: I) -> (Vec<String>, Experime
             _ => unreachable!(),
         }
     }
-    (ids, ctx, json)
+    CliOptions {
+        ids,
+        ctx,
+        json,
+        trace,
+    }
 }
 
 /// Renders a batch of results, as text or JSON lines.
@@ -95,36 +123,50 @@ mod tests {
 
     #[test]
     fn default_args_select_all() {
-        let (ids, _, json) = parse_args(std::iter::empty());
-        assert_eq!(ids.len(), tagnn::experiments::ALL_EXPERIMENTS.len());
-        assert!(!json);
+        let opts = parse_args(std::iter::empty());
+        assert_eq!(opts.ids.len(), tagnn::experiments::ALL_EXPERIMENTS.len());
+        assert!(!opts.json);
+        assert!(opts.trace.is_none());
     }
 
     #[test]
     fn quick_flag_shrinks_context() {
-        let (_, ctx, _) = parse_args(vec!["--quick".to_string()].into_iter());
-        assert_eq!(ctx.models.len(), 1);
+        let opts = parse_args(vec!["--quick".to_string()].into_iter());
+        assert_eq!(opts.ctx.models.len(), 1);
     }
 
     #[test]
     fn explicit_ids_pass_through() {
-        let (ids, _, json) = parse_args(vec!["fig9".to_string(), "--json".to_string()].into_iter());
-        assert_eq!(ids, vec!["fig9"]);
-        assert!(json);
+        let opts = parse_args(vec!["fig9".to_string(), "--json".to_string()].into_iter());
+        assert_eq!(opts.ids, vec!["fig9"]);
+        assert!(opts.json);
     }
 
     #[test]
     fn context_overrides_apply() {
-        let (_, ctx, _) = parse_args(
+        let opts = parse_args(
             vec![
                 "--quick", "--scale", "0.1", "--hidden", "24", "--window", "2",
             ]
             .into_iter()
             .map(String::from),
         );
-        assert_eq!(ctx.scale, 0.1);
-        assert_eq!(ctx.hidden, 24);
-        assert_eq!(ctx.window, 2);
+        assert_eq!(opts.ctx.scale, 0.1);
+        assert_eq!(opts.ctx.hidden, 24);
+        assert_eq!(opts.ctx.window, 2);
+    }
+
+    #[test]
+    fn trace_flag_captures_the_path() {
+        let opts = parse_args(
+            vec!["fig8a", "--trace", "out/trace.json"]
+                .into_iter()
+                .map(String::from),
+        );
+        assert_eq!(
+            opts.trace.as_deref(),
+            Some(std::path::Path::new("out/trace.json"))
+        );
     }
 
     #[test]

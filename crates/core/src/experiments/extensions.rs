@@ -141,7 +141,15 @@ pub fn ext_c(ctx: &ExperimentContext) -> ExperimentResult {
         let r = TagnnSimulator::new(cfg).simulate(p.graph(), p.workload());
         let stall = r.compute_stall_cycles as f64 / r.cycles.max(1) as f64;
         let idle = r.memory_idle_cycles as f64 / r.cycles.max(1) as f64;
-        let bound = if stall > idle { "memory" } else { "compute" };
+        // Boundedness from the pre-overlap cycle demand: the timeline's
+        // idle counter only measures buffer back-pressure (waiting for
+        // ping-pong space), so it cannot signal compute-boundedness on
+        // its own.
+        let bound = if r.breakdown.dram > r.breakdown.compute_total() {
+            "memory"
+        } else {
+            "compute"
+        };
         table.row(vec![
             format!("{scale}x"),
             fmt_f(r.time_ms),

@@ -27,6 +27,7 @@ use std::sync::Arc;
 use tagnn_graph::plan::PlanCache;
 use tagnn_graph::DatasetPreset;
 use tagnn_models::ModelKind;
+use tagnn_obs::{span as obs_span, Recorder};
 
 /// Shared configuration for all experiment runners.
 #[derive(Debug, Clone)]
@@ -51,6 +52,12 @@ pub struct ExperimentContext {
     /// dataset once instead of once per model. Cloning the context shares
     /// the cache.
     pub plan_cache: Arc<PlanCache>,
+    /// Optional tagnn-obs recorder threaded into every pipeline this
+    /// context builds: each [`run`] opens an `experiment.<id>` span and
+    /// the stages underneath record their phase spans and publish their
+    /// counters. `None` (the default) leaves every run untraced and
+    /// byte-identical to the pre-observability behaviour.
+    pub recorder: Option<Arc<Recorder>>,
 }
 
 impl Default for ExperimentContext {
@@ -64,6 +71,7 @@ impl Default for ExperimentContext {
             datasets: DatasetPreset::ALL.to_vec(),
             models: ModelKind::ALL.to_vec(),
             plan_cache: Arc::new(PlanCache::new()),
+            recorder: None,
         }
     }
 }
@@ -81,13 +89,21 @@ impl ExperimentContext {
             datasets: vec![DatasetPreset::Gdelt, DatasetPreset::HepPh],
             models: vec![ModelKind::TGcn],
             plan_cache: Arc::new(PlanCache::new()),
+            recorder: None,
         }
+    }
+
+    /// Attaches a tagnn-obs recorder to every pipeline and experiment run
+    /// built from this context.
+    pub fn with_recorder(mut self, recorder: Arc<Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
     }
 
     /// Builds (and measures) a pipeline for one dataset/model pair,
     /// sharing this context's plan cache.
     pub fn pipeline(&self, dataset: DatasetPreset, model: ModelKind) -> TagnnPipeline {
-        TagnnPipeline::builder()
+        let mut builder = TagnnPipeline::builder()
             .dataset(dataset)
             .model(model)
             .snapshots(self.snapshots)
@@ -95,8 +111,11 @@ impl ExperimentContext {
             .hidden(self.hidden)
             .scale(self.scale)
             .seed(self.seed)
-            .plan_cache(Arc::clone(&self.plan_cache))
-            .build()
+            .plan_cache(Arc::clone(&self.plan_cache));
+        if let Some(rec) = &self.recorder {
+            builder = builder.recorder(Arc::clone(rec));
+        }
+        builder.build()
     }
 
     /// Builds a pipeline with a doubled snapshot stream for accuracy
@@ -104,7 +123,7 @@ impl ExperimentContext {
     /// in), where the recurrent state has left its cold-start transient —
     /// cell skipping is only meaningful in that converged regime.
     pub fn accuracy_pipeline(&self, dataset: DatasetPreset, model: ModelKind) -> TagnnPipeline {
-        TagnnPipeline::builder()
+        let mut builder = TagnnPipeline::builder()
             .dataset(dataset)
             .model(model)
             .snapshots(self.snapshots * 2)
@@ -116,8 +135,11 @@ impl ExperimentContext {
             // Table 5 isolates *RNN* approximation fidelity: every
             // competitor consumes exact GNN outputs, so TaGNN's row runs
             // the GNN in exact reuse mode too.
-            .reuse(tagnn_models::ReuseMode::Exact)
-            .build()
+            .reuse(tagnn_models::ReuseMode::Exact);
+        if let Some(rec) = &self.recorder {
+            builder = builder.recorder(Arc::clone(rec));
+        }
+        builder.build()
     }
 }
 
@@ -174,6 +196,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
 /// # Panics
 /// Panics on an unknown id.
 pub fn run(id: &str, ctx: &ExperimentContext) -> ExperimentResult {
+    let _span = obs_span(ctx.recorder.as_deref(), &format!("experiment.{id}"));
     let mut result = run_inner(id, ctx);
     let cache = ctx.plan_cache.stats();
     result

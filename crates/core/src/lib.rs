@@ -42,6 +42,13 @@ pub mod report;
 
 pub use pipeline::{PipelineBuilder, TagnnPipeline};
 
+/// Structured observability (re-exported `tagnn-obs`): attach a
+/// [`obs::Recorder`] via [`PipelineBuilder::recorder`] or
+/// [`experiments::ExperimentContext::with_recorder`] to collect phase
+/// spans and work counters, then export them with
+/// [`obs::Trace::to_json`].
+pub use tagnn_obs as obs;
+
 /// One-stop imports for typical use.
 pub mod prelude {
     pub use crate::pipeline::{PipelineBuilder, TagnnPipeline};
@@ -50,5 +57,6 @@ pub mod prelude {
         CellMode, ConcurrentEngine, DgnnModel, InferenceOutput, ModelKind, ReferenceEngine,
         ReuseMode, SkipConfig,
     };
+    pub use tagnn_obs::Recorder;
     pub use tagnn_sim::{AcceleratorConfig, SimReport, TagnnSimulator, Workload};
 }

@@ -10,6 +10,7 @@ use tagnn_graph::{DatasetPreset, DynamicGraph, GeneratorConfig};
 use tagnn_models::{
     ConcurrentEngine, DgnnModel, InferenceOutput, ModelKind, ReferenceEngine, ReuseMode, SkipConfig,
 };
+use tagnn_obs::{span as obs_span, Recorder};
 use tagnn_sim::{AcceleratorConfig, SimReport, TagnnSimulator, Workload};
 
 /// Builder for a [`TagnnPipeline`].
@@ -26,6 +27,7 @@ pub struct PipelineBuilder {
     reuse: ReuseMode,
     seed: u64,
     plan_cache: Option<Arc<PlanCache>>,
+    recorder: Option<Arc<Recorder>>,
 }
 
 impl Default for PipelineBuilder {
@@ -42,6 +44,7 @@ impl Default for PipelineBuilder {
             reuse: ReuseMode::PaperWindow,
             seed: 0xD6,
             plan_cache: None,
+            recorder: None,
         }
     }
 }
@@ -115,6 +118,15 @@ impl PipelineBuilder {
         self
     }
 
+    /// Attaches a tagnn-obs recorder: the build (generation, planning,
+    /// workload measurement) and every later engine/simulator run on the
+    /// built pipeline record phase spans and publish their counters.
+    /// Without one, the pipeline behaves exactly as before.
+    pub fn recorder(mut self, recorder: Arc<Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
     /// Generates the graph, plans its windows, initialises the model, and
     /// measures the workload.
     pub fn build(self) -> TagnnPipeline {
@@ -133,20 +145,28 @@ impl PipelineBuilder {
             }
             (None, None) => (GeneratorConfig::tiny(), "tiny".to_string()),
         };
-        let graph = config.generate();
+        let rec = self.recorder.as_deref();
+        let graph = {
+            let _span = obs_span(rec, "generate");
+            config.generate()
+        };
         let (plans, plan_cache_delta) =
-            plan_windows(&graph, self.window, self.plan_cache.as_deref());
+            plan_windows(&graph, self.window, self.plan_cache.as_deref(), rec);
         let model = DgnnModel::new(self.model, graph.feature_dim(), self.hidden, self.seed);
-        let workload = Workload::measure_with_plans(
-            &graph,
-            &name,
-            self.model,
-            self.hidden,
-            self.window,
-            self.skip,
-            self.seed,
-            &plans,
-        );
+        let workload = {
+            let _span = obs_span(rec, "measure");
+            Workload::measure_with_plans_traced(
+                &graph,
+                &name,
+                self.model,
+                self.hidden,
+                self.window,
+                self.skip,
+                self.seed,
+                &plans,
+                rec,
+            )
+        };
         TagnnPipeline {
             name,
             graph,
@@ -157,6 +177,7 @@ impl PipelineBuilder {
             window: self.window,
             skip: self.skip,
             reuse: self.reuse,
+            recorder: self.recorder,
         }
     }
 }
@@ -168,15 +189,16 @@ fn plan_windows(
     graph: &DynamicGraph,
     window: usize,
     cache: Option<&PlanCache>,
+    rec: Option<&Recorder>,
 ) -> (Vec<Arc<WindowPlan>>, CacheStats) {
     let planner = WindowPlanner::new(window);
     match cache {
         Some(cache) => {
             let before = cache.stats();
-            let plans = planner.plan_graph_cached(graph, cache);
+            let plans = planner.plan_graph_cached_traced(graph, cache, rec);
             (plans, cache.stats().since(before))
         }
-        None => (planner.plan_graph(graph), CacheStats::default()),
+        None => (planner.plan_graph_traced(graph, rec), CacheStats::default()),
     }
 }
 
@@ -193,6 +215,7 @@ pub struct TagnnPipeline {
     window: usize,
     skip: SkipConfig,
     reuse: ReuseMode,
+    recorder: Option<Arc<Recorder>>,
 }
 
 impl TagnnPipeline {
@@ -215,7 +238,7 @@ impl TagnnPipeline {
         seed: u64,
     ) -> Self {
         let model = DgnnModel::new(model_kind, graph.feature_dim(), hidden, seed);
-        let (plans, plan_cache_delta) = plan_windows(&graph, window, None);
+        let (plans, plan_cache_delta) = plan_windows(&graph, window, None, None);
         let workload = Workload::measure_with_plans(
             &graph, name, model_kind, hidden, window, skip, seed, &plans,
         );
@@ -229,7 +252,20 @@ impl TagnnPipeline {
             window,
             skip,
             reuse,
+            recorder: None,
         }
+    }
+
+    /// Attaches (or replaces) the tagnn-obs recorder used by later
+    /// engine/simulator runs on this pipeline.
+    pub fn with_recorder(mut self, recorder: Arc<Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// The attached recorder, if any.
+    pub fn recorder(&self) -> Option<&Arc<Recorder>> {
+        self.recorder.as_ref()
     }
 
     /// Dataset label.
@@ -270,31 +306,32 @@ impl TagnnPipeline {
 
     /// Runs exact snapshot-by-snapshot inference.
     pub fn run_reference(&self) -> InferenceOutput {
-        ReferenceEngine::new(self.model.clone()).run(&self.graph)
+        ReferenceEngine::new(self.model.clone()).run_traced(&self.graph, self.recorder.as_deref())
     }
 
     /// Runs topology-aware concurrent inference (TaGNN's execution model)
     /// over the prebuilt plans.
     pub fn run_concurrent(&self) -> InferenceOutput {
         ConcurrentEngine::with_options(self.model.clone(), self.skip, self.window, self.reuse)
-            .run_with_plans(&self.graph, &self.plans)
+            .run_with_plans_traced(&self.graph, &self.plans, self.recorder.as_deref())
     }
 
     /// Runs the concurrent engine with a different skipping configuration
     /// (the plans are skip-independent and reused as-is).
     pub fn run_concurrent_with(&self, skip: SkipConfig) -> InferenceOutput {
         ConcurrentEngine::with_options(self.model.clone(), skip, self.window, self.reuse)
-            .run_with_plans(&self.graph, &self.plans)
+            .run_with_plans_traced(&self.graph, &self.plans, self.recorder.as_deref())
     }
 
     /// Simulates the measured workload on an accelerator configuration,
     /// reusing the prebuilt plans and stamping the planning cache delta
     /// into the report's instrumentation.
     pub fn simulate(&self, config: &AcceleratorConfig) -> SimReport {
-        let mut report = TagnnSimulator::new(config.clone()).simulate_with_plans(
+        let mut report = TagnnSimulator::new(config.clone()).simulate_with_plans_traced(
             &self.graph,
             &self.workload,
             &self.plans,
+            self.recorder.as_deref(),
         );
         report.plan = report.plan.with_cache(self.plan_cache_delta);
         report

@@ -23,6 +23,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use tagnn_obs::{span as obs_span, Recorder};
 
 /// Cache key: `(graph fingerprint, window index, window size K)`.
 pub type PlanKey = (u64, usize, usize);
@@ -175,6 +176,19 @@ impl PlanInstrumentation {
         self.cache_hits = stats.hits;
         self.cache_misses = stats.misses;
         self
+    }
+
+    /// Publishes every field as `{prefix}.{field}` counters on `rec`.
+    pub fn publish(&self, rec: &Recorder, prefix: &str) {
+        rec.incr(&format!("{prefix}.windows_planned"), self.windows_planned);
+        rec.incr(
+            &format!("{prefix}.vertices_classified"),
+            self.vertices_classified,
+        );
+        rec.incr(&format!("{prefix}.subgraph_edges"), self.subgraph_edges);
+        rec.incr(&format!("{prefix}.build_ns"), self.build_ns);
+        rec.incr(&format!("{prefix}.cache_hits"), self.cache_hits);
+        rec.incr(&format!("{prefix}.cache_misses"), self.cache_misses);
     }
 }
 
@@ -348,8 +362,25 @@ impl WindowPlanner {
 
     /// Plans every window of `graph`, in parallel across windows.
     pub fn plan_graph(&self, graph: &DynamicGraph) -> Vec<Arc<WindowPlan>> {
-        self.try_plan_graph(graph)
-            .expect("snapshots of one DynamicGraph share the vertex universe")
+        self.plan_graph_traced(graph, None)
+    }
+
+    /// [`Self::plan_graph`] under a `plan` span, publishing the aggregate
+    /// [`PlanInstrumentation`] as `plan.*` counters when a recorder is
+    /// attached. With `None` this is exactly `plan_graph`.
+    pub fn plan_graph_traced(
+        &self,
+        graph: &DynamicGraph,
+        rec: Option<&Recorder>,
+    ) -> Vec<Arc<WindowPlan>> {
+        let _span = obs_span(rec, "plan");
+        let plans = self
+            .try_plan_graph(graph)
+            .expect("snapshots of one DynamicGraph share the vertex universe");
+        if let Some(rec) = rec {
+            PlanInstrumentation::from_plans(&plans).publish(rec, "plan");
+        }
+        plans
     }
 
     /// Fallible variant of [`Self::plan_graph`].
@@ -372,6 +403,34 @@ impl WindowPlanner {
     /// cache already holds `(graph.fingerprint(), index, K)` and building
     /// (then inserting) the rest in parallel.
     pub fn plan_graph_cached(
+        &self,
+        graph: &DynamicGraph,
+        cache: &PlanCache,
+    ) -> Vec<Arc<WindowPlan>> {
+        self.plan_graph_cached_traced(graph, cache, None)
+    }
+
+    /// [`Self::plan_graph_cached`] under a `plan` span, publishing the
+    /// aggregate instrumentation (including the cache-delta of this call)
+    /// as `plan.*` counters when a recorder is attached.
+    pub fn plan_graph_cached_traced(
+        &self,
+        graph: &DynamicGraph,
+        cache: &PlanCache,
+        rec: Option<&Recorder>,
+    ) -> Vec<Arc<WindowPlan>> {
+        let _span = obs_span(rec, "plan");
+        let before = cache.stats();
+        let plans = self.plan_graph_cached_inner(graph, cache);
+        if let Some(rec) = rec {
+            PlanInstrumentation::from_plans(&plans)
+                .with_cache(cache.stats().since(before))
+                .publish(rec, "plan");
+        }
+        plans
+    }
+
+    fn plan_graph_cached_inner(
         &self,
         graph: &DynamicGraph,
         cache: &PlanCache,

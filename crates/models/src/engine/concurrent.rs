@@ -29,6 +29,7 @@ use tagnn_graph::plan::{WindowPlan, WindowPlanner};
 use tagnn_graph::stats::neighbor_overlap;
 use tagnn_graph::types::{VertexClass, VertexId};
 use tagnn_graph::{DynamicGraph, Snapshot};
+use tagnn_obs::{span as obs_span, Recorder};
 use tagnn_tensor::similarity::{theta_score, CondensedDelta};
 use tagnn_tensor::{ops, DenseMatrix};
 
@@ -126,8 +127,14 @@ impl ConcurrentEngine {
     /// [`tagnn_graph::plan::PlanCache`]) should use
     /// [`Self::run_with_plans`] instead.
     pub fn run(&self, graph: &DynamicGraph) -> InferenceOutput {
-        let plans = WindowPlanner::new(self.window).plan_graph(graph);
-        self.run_with_plans(graph, &plans)
+        self.run_traced(graph, None)
+    }
+
+    /// [`Self::run`] with an optional recorder: plans under a `plan` span,
+    /// then executes under [`Self::run_with_plans_traced`].
+    pub fn run_traced(&self, graph: &DynamicGraph, rec: Option<&Recorder>) -> InferenceOutput {
+        let plans = WindowPlanner::new(self.window).plan_graph_traced(graph, rec);
+        self.run_with_plans_traced(graph, &plans, rec)
     }
 
     /// Runs inference over every snapshot of `graph` using prebuilt
@@ -140,6 +147,25 @@ impl ConcurrentEngine {
         &self,
         graph: &DynamicGraph,
         plans: &[Arc<WindowPlan>],
+    ) -> InferenceOutput {
+        self.run_with_plans_traced(graph, plans, None)
+    }
+
+    /// [`Self::run_with_plans`] with an optional recorder. When attached,
+    /// every window opens `classify_reuse` / `gnn_window` / `rnn` phase
+    /// spans (the GNN span nests `gnn_layer` and `gnn_incremental`
+    /// children, the RNN span covers one snapshot each), and the final
+    /// [`ExecutionStats`] are published as `engine.concurrent.*`
+    /// counters. With `None` the run is byte-identical to the untraced
+    /// path.
+    ///
+    /// # Panics
+    /// Panics if `plans` does not line up with the graph's windows.
+    pub fn run_with_plans_traced(
+        &self,
+        graph: &DynamicGraph,
+        plans: &[Arc<WindowPlan>],
+        rec: Option<&Recorder>,
     ) -> InferenceOutput {
         let started = std::time::Instant::now();
         let n = graph.num_vertices();
@@ -172,11 +198,18 @@ impl ConcurrentEngine {
             // The MSDL path (now precomputed by the planner): the O-CSR
             // footprint is what actually travels off-chip for the
             // recomputed part of the window.
-            let ocsr = plan.ocsr();
-            stats.structure_words_loaded += (2 * ocsr.num_edges() + 2 * ocsr.num_vertices()) as u64;
+            {
+                let _span = obs_span(rec, "classify_reuse");
+                let ocsr = plan.ocsr();
+                stats.structure_words_loaded +=
+                    (2 * ocsr.num_edges() + 2 * ocsr.num_vertices()) as u64;
+            }
 
             // GNN phase with cross-snapshot reuse.
-            let zs = self.gnn_window(&refs, cls, &mut stats);
+            let zs = {
+                let _span = obs_span(rec, "gnn_window");
+                self.gnn_window(&refs, cls, &mut stats, rec)
+            };
 
             // RNN phase with similarity-aware cell skipping. The first
             // snapshot of every batch runs full cell updates: the paper
@@ -185,6 +218,7 @@ impl ConcurrentEngine {
             // across prolonged skipping — the refresh bounds a vertex's
             // staleness to K-1 snapshots.
             for (i, snap) in refs.iter().enumerate() {
+                let _span = obs_span(rec, "rnn");
                 let z = &zs[i];
                 let prev_pair: Option<(&Snapshot, &DenseMatrix)> =
                     (i > 0).then(|| (refs[i - 1], &zs[i - 1]));
@@ -208,22 +242,24 @@ impl ConcurrentEngine {
                         // reused was computed from), so drift cannot
                         // silently accumulate across consecutive skips; the
                         // topology side compares consecutive snapshots.
-                        let mode = match prev_pair {
+                        // Similarity op cost: dot + 2 norms over hidden dims
+                        // plus the neighbour merge — charged exactly when
+                        // the SCU runs, i.e. under the same guard that
+                        // selects the mode (a vertex inactive in the
+                        // previous snapshot, or without a cached input, is
+                        // never scored and must not be billed).
+                        let (mode, sim_ops) = match prev_pair {
                             Some((prev_snap, _))
                                 if skip_cfg.enabled && prev_snap.is_active(v) && ctx.has_input =>
                             {
                                 let overlap = neighbor_overlap(prev_snap, snap, cls_ref, v);
                                 let theta = theta_score(&ctx.last_input, z_cur, overlap);
-                                skip_cfg.select(theta)
+                                (
+                                    skip_cfg.select(theta),
+                                    (3 * z_cur.len() + snap.csr().degree(v)) as u64,
+                                )
                             }
-                            _ => CellMode::Normal,
-                        };
-                        // Similarity op cost: dot + 2 norms over hidden dims
-                        // plus the neighbour merge.
-                        let sim_ops = if prev_pair.is_some() && skip_cfg.enabled {
-                            (3 * z_cur.len() + snap.csr().degree(v)) as u64
-                        } else {
-                            0
+                            _ => (CellMode::Normal, 0),
                         };
                         match mode {
                             CellMode::Normal => {
@@ -275,12 +311,16 @@ impl ConcurrentEngine {
             }
 
             // Reuse accounting for the unaffected region: their feature rows
-            // travel once per window instead of once per snapshot.
-            let unaffected = cls.count(VertexClass::Unaffected) as u64;
-            let _ = unaffected; // folded into gnn_window's per-layer numbers
+            // travel once per window instead of once per snapshot, saving
+            // one fetch per vertex per remaining snapshot.
+            stats.unaffected_row_hoists +=
+                cls.count(VertexClass::Unaffected) as u64 * (refs.len() as u64 - 1);
         }
 
         stats.wall_ns = started.elapsed().as_nanos() as u64;
+        if let Some(rec) = rec {
+            stats.publish(rec, "engine.concurrent");
+        }
         InferenceOutput {
             final_features,
             gnn_outputs,
@@ -303,6 +343,7 @@ impl ConcurrentEngine {
         refs: &[&Snapshot],
         cls: &WindowClassification,
         stats: &mut ExecutionStats,
+        rec: Option<&Recorder>,
     ) -> Vec<DenseMatrix> {
         let first = refs[0];
         let n = first.num_vertices();
@@ -312,6 +353,7 @@ impl ConcurrentEngine {
         let mut outputs0: Vec<DenseMatrix> = Vec::with_capacity(layers.len() + 1);
         outputs0.push(first.features().clone());
         for (l, layer) in layers.iter().enumerate() {
+            let _span = obs_span(rec, "gnn_layer");
             let x = outputs0.last().unwrap();
             for v in 0..n as VertexId {
                 if !first.is_active(v) {
@@ -337,6 +379,7 @@ impl ConcurrentEngine {
         zs.push(outputs0.last().unwrap().clone());
 
         for snap in &refs[1..] {
+            let _span = obs_span(rec, "gnn_incremental");
             // Layer-0 change set versus snapshot 0 (content-level, used for
             // traffic accounting in both modes).
             let changed0: Vec<bool> = (0..n as VertexId)
@@ -580,6 +623,54 @@ mod tests {
         // total tallies must cover every active vertex of every snapshot.
         let expected: u64 = g.snapshots().iter().map(|s| s.num_active() as u64).sum();
         assert_eq!(out.stats.skip.total(), expected);
+    }
+
+    #[test]
+    fn similarity_ops_are_charged_only_for_scored_vertices() {
+        // Vertex 2 is inactive in snapshot 0 and appears at snapshot 1:
+        // at snapshot 1 the SCU must not score it (inactive in the
+        // previous snapshot, no cached input), so no similarity ops may
+        // be billed for it there. Thresholds of (10, 10) keep every
+        // scored vertex on the Normal path, so the expected op count is
+        // recomputable from graph structure alone.
+        use tagnn_graph::Csr;
+        let n = 3;
+        let feats = |seed: f32| {
+            DenseMatrix::from_vec(n, 2, (0..2 * n).map(|i| seed + i as f32 * 0.1).collect())
+        };
+        let edges = vec![(0, 1), (1, 0), (1, 2), (2, 1)];
+        let snap = |active: Vec<bool>, seed: f32| {
+            Snapshot::new(Csr::from_edges(n, &edges), feats(seed), active)
+        };
+        let g = DynamicGraph::new(vec![
+            snap(vec![true, true, false], 0.0),
+            snap(vec![true, true, true], 0.5),
+            snap(vec![true, true, true], 1.0),
+        ]);
+        let m = DgnnModel::new(ModelKind::TGcn, 2, 4, 7);
+        let hidden = m.hidden();
+        let skip = SkipConfig::with_thresholds(10.0, 10.0);
+        let out = ConcurrentEngine::with_window(m, skip, 3).run(&g);
+
+        // Scored vertices: active now, active in the previous snapshot of
+        // the same window, and updated at least once before (has_input).
+        let mut expected = 0u64;
+        let mut has_input = vec![false; n];
+        for (i, s) in g.snapshots().iter().enumerate() {
+            for v in 0..n as VertexId {
+                if !s.is_active(v) {
+                    continue;
+                }
+                if i > 0 && g.snapshot(i - 1).is_active(v) && has_input[v as usize] {
+                    expected += (3 * hidden + s.csr().degree(v)) as u64;
+                }
+                has_input[v as usize] = true; // Normal update ran
+            }
+        }
+        assert_eq!(
+            out.stats.similarity_ops, expected,
+            "similarity ops must match the SCU guard exactly"
+        );
     }
 
     #[test]

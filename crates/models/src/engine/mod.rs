@@ -44,6 +44,10 @@ pub struct ExecutionStats {
     pub gnn_vertices_computed: u64,
     /// Per-vertex GNN layer evaluations reused from an earlier snapshot.
     pub gnn_vertices_reused: u64,
+    /// Feature-row fetches the unaffected region avoided by travelling
+    /// once per window instead of once per snapshot (one per unaffected
+    /// vertex per non-first snapshot of its window).
+    pub unaffected_row_hoists: u64,
     /// Cell-update mode tallies.
     pub skip: SkipStats,
     /// Wall-clock time of the run, nanoseconds.
@@ -67,6 +71,27 @@ impl ExecutionStats {
         }
     }
 
+    /// Publishes every counter as `{prefix}.{field}` on `rec` (the
+    /// tagnn-obs publication convention: work counters become recorder
+    /// counters, ratios stay derivable downstream).
+    pub fn publish(&self, rec: &tagnn_obs::Recorder, prefix: &str) {
+        let c = |name: &str, v: u64| rec.incr(&format!("{prefix}.{name}"), v);
+        c("gnn_aggregate_macs", self.gnn_aggregate_macs);
+        c("gnn_combine_macs", self.gnn_combine_macs);
+        c("rnn_macs", self.rnn_macs);
+        c("similarity_ops", self.similarity_ops);
+        c("feature_rows_loaded", self.feature_rows_loaded);
+        c("feature_rows_reused", self.feature_rows_reused);
+        c("structure_words_loaded", self.structure_words_loaded);
+        c("gnn_vertices_computed", self.gnn_vertices_computed);
+        c("gnn_vertices_reused", self.gnn_vertices_reused);
+        c("unaffected_row_hoists", self.unaffected_row_hoists);
+        c("skip.normal", self.skip.normal);
+        c("skip.delta", self.skip.delta);
+        c("skip.skipped", self.skip.skipped);
+        c("wall_ns", self.wall_ns);
+    }
+
     /// Merges another run's counters into this one.
     pub fn merge(&mut self, other: &ExecutionStats) {
         self.gnn_aggregate_macs += other.gnn_aggregate_macs;
@@ -78,6 +103,7 @@ impl ExecutionStats {
         self.structure_words_loaded += other.structure_words_loaded;
         self.gnn_vertices_computed += other.gnn_vertices_computed;
         self.gnn_vertices_reused += other.gnn_vertices_reused;
+        self.unaffected_row_hoists += other.unaffected_row_hoists;
         self.skip.merge(&other.skip);
         self.wall_ns += other.wall_ns;
     }

@@ -13,6 +13,7 @@ use crate::rnn::VertexState;
 use rayon::prelude::*;
 use tagnn_graph::types::VertexId;
 use tagnn_graph::{DynamicGraph, Snapshot};
+use tagnn_obs::{span as obs_span, Recorder};
 use tagnn_tensor::DenseMatrix;
 
 /// Snapshot-by-snapshot exact inference.
@@ -34,6 +35,14 @@ impl ReferenceEngine {
 
     /// Runs inference over every snapshot of `graph`.
     pub fn run(&self, graph: &DynamicGraph) -> InferenceOutput {
+        self.run_traced(graph, None)
+    }
+
+    /// [`Self::run`] with an optional recorder: each snapshot opens
+    /// `gnn_snapshot` and `rnn` phase spans, and the final stats are
+    /// published as `engine.reference.*` counters. With `None` this is
+    /// exactly `run`.
+    pub fn run_traced(&self, graph: &DynamicGraph, rec: Option<&Recorder>) -> InferenceOutput {
         let started = std::time::Instant::now();
         let n = graph.num_vertices();
         let hidden = self.model.hidden();
@@ -44,9 +53,13 @@ impl ReferenceEngine {
 
         for snap in graph.snapshots() {
             // GNN module: full multi-layer forward over every vertex.
-            let z = self.gnn_forward(snap, &mut stats);
+            let z = {
+                let _span = obs_span(rec, "gnn_snapshot");
+                self.gnn_forward(snap, &mut stats)
+            };
 
             // RNN module: full cell update per active vertex.
+            let _span = obs_span(rec, "rnn");
             let cell = self.model.cell();
             states.par_iter_mut().enumerate().for_each(|(v, state)| {
                 if snap.is_active(v as VertexId) {
@@ -66,6 +79,9 @@ impl ReferenceEngine {
         }
 
         stats.wall_ns = started.elapsed().as_nanos() as u64;
+        if let Some(rec) = rec {
+            stats.publish(rec, "engine.reference");
+        }
         InferenceOutput {
             final_features,
             gnn_outputs,

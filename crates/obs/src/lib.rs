@@ -1,0 +1,477 @@
+#![warn(missing_docs)]
+
+//! Structured observability for the TaGNN stack (`tagnn-obs`).
+//!
+//! Every layer of the reproduction — window planning, the software
+//! engines, the accelerator simulator, the experiment harness — already
+//! counts its work (`ExecutionStats`, `PlanInstrumentation`, `SimReport`),
+//! but until this crate there was no timing hierarchy tying the counters
+//! together and no export path. A [`Recorder`] holds:
+//!
+//! * **spans** — hierarchical wall-clock timers opened with
+//!   [`Recorder::span`] (RAII) or [`Recorder::enter`]/[`Recorder::exit`],
+//!   each carrying a parent chain back to the pipeline stage that opened
+//!   it;
+//! * **counters** — named monotone `u64` tallies ([`Recorder::incr`]),
+//!   the publication target for the existing work counters;
+//! * **gauges** — named `f64` readings ([`Recorder::gauge`]) for derived
+//!   quantities (utilisation, cycle shares, stall cycles).
+//!
+//! Everything is threaded through the stack as an `Option<&Recorder>`:
+//! with `None` the instrumented code paths do exactly what they did
+//! before (report equality is untouched), with `Some` the recorder
+//! accumulates a [`Trace`] that [`Trace::to_json`] exports as one JSON
+//! artifact (hand-rolled writer — no third-party JSON dependency, so the
+//! export works even where `serde_json` is unavailable).
+//!
+//! The recorder is `Sync`: counters and gauges may be bumped from worker
+//! threads. The span *tree*, however, assumes enter/exit happen on the
+//! orchestration thread — spans opened concurrently would race for the
+//! same parent stack, so parallel inner loops publish counters instead.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Handle to an open span, returned by [`Recorder::enter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanId(usize);
+
+/// One finished (or still-open) span in a [`Trace`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceSpan {
+    /// Index of this span in [`Trace::spans`] (stable across export).
+    pub id: usize,
+    /// Span name, e.g. `plan` or `gnn_window`.
+    pub name: String,
+    /// Index of the enclosing span, if any.
+    pub parent: Option<usize>,
+    /// Nanoseconds from recorder creation to span entry.
+    pub start_ns: u64,
+    /// Span duration in nanoseconds (`None` while still open).
+    pub dur_ns: Option<u64>,
+}
+
+/// An exported snapshot of everything a [`Recorder`] accumulated.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// All spans, in entry order; parents always precede children.
+    pub spans: Vec<TraceSpan>,
+    /// Named monotone tallies.
+    pub counters: BTreeMap<String, u64>,
+    /// Named instantaneous readings.
+    pub gauges: BTreeMap<String, f64>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    spans: Vec<TraceSpan>,
+    open: Vec<usize>,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+}
+
+/// Collects spans, counters, and gauges for one traced run.
+#[derive(Debug)]
+pub struct Recorder {
+    epoch: Instant,
+    inner: Mutex<Inner>,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Recorder {
+    /// An empty recorder; all span times are relative to this call.
+    pub fn new() -> Self {
+        Self {
+            epoch: Instant::now(),
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Opens a span named `name` under the innermost open span.
+    pub fn enter(&self, name: &str) -> SpanId {
+        let start_ns = self.now_ns();
+        let mut inner = self.inner.lock().unwrap();
+        let id = inner.spans.len();
+        let parent = inner.open.last().copied();
+        inner.spans.push(TraceSpan {
+            id,
+            name: name.to_string(),
+            parent,
+            start_ns,
+            dur_ns: None,
+        });
+        inner.open.push(id);
+        SpanId(id)
+    }
+
+    /// Closes `span` (and any forgotten children still open inside it).
+    /// Exiting a span that is not on the open stack is a no-op.
+    pub fn exit(&self, span: SpanId) {
+        let end_ns = self.now_ns();
+        let mut inner = self.inner.lock().unwrap();
+        let Some(pos) = inner.open.iter().rposition(|&id| id == span.0) else {
+            return;
+        };
+        let closing: Vec<usize> = inner.open.split_off(pos);
+        for id in closing {
+            let s = &mut inner.spans[id];
+            if s.dur_ns.is_none() {
+                s.dur_ns = Some(end_ns.saturating_sub(s.start_ns));
+            }
+        }
+    }
+
+    /// RAII variant of [`Self::enter`]: the span closes when the guard
+    /// drops.
+    pub fn span(&self, name: &str) -> SpanGuard<'_> {
+        SpanGuard {
+            rec: Some(self),
+            id: self.enter(name),
+        }
+    }
+
+    /// Adds `by` to the counter `name` (creating it at zero).
+    pub fn incr(&self, name: &str, by: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        *inner.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Sets the gauge `name` to `value` (overwriting earlier readings).
+    pub fn gauge(&self, name: &str, value: f64) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.gauges.insert(name.to_string(), value);
+    }
+
+    /// Snapshots everything recorded so far.
+    pub fn snapshot(&self) -> Trace {
+        let inner = self.inner.lock().unwrap();
+        Trace {
+            spans: inner.spans.clone(),
+            counters: inner.counters.clone(),
+            gauges: inner.gauges.clone(),
+        }
+    }
+
+    /// Writes the current snapshot to `path` as JSON.
+    pub fn save_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.snapshot().to_json())
+    }
+}
+
+/// Opens a span on `rec` when a recorder is attached; otherwise returns
+/// an inert guard. The idiom for optionally-traced code paths:
+///
+/// ```
+/// # use tagnn_obs::{span, Recorder};
+/// fn work(rec: Option<&Recorder>) {
+///     let _g = span(rec, "work");
+///     // ... traced when rec is Some, free when None ...
+/// }
+/// work(None);
+/// let r = Recorder::new();
+/// work(Some(&r));
+/// assert_eq!(r.snapshot().spans.len(), 1);
+/// ```
+pub fn span<'a>(rec: Option<&'a Recorder>, name: &str) -> SpanGuard<'a> {
+    match rec {
+        Some(r) => r.span(name),
+        None => SpanGuard {
+            rec: None,
+            id: SpanId(usize::MAX),
+        },
+    }
+}
+
+/// RAII guard closing its span on drop. Obtained from [`Recorder::span`]
+/// or the free [`span`] helper.
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    rec: Option<&'a Recorder>,
+    id: SpanId,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(rec) = self.rec {
+            rec.exit(self.id);
+        }
+    }
+}
+
+impl Trace {
+    /// Serialises the trace to a JSON string (stable key order: spans in
+    /// entry order, counters and gauges sorted by name).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.spans.len() * 96);
+        out.push_str("{\n  \"spans\": [");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"id\": ");
+            out.push_str(&s.id.to_string());
+            out.push_str(", \"name\": ");
+            push_json_str(&mut out, &s.name);
+            out.push_str(", \"parent\": ");
+            match s.parent {
+                Some(p) => out.push_str(&p.to_string()),
+                None => out.push_str("null"),
+            }
+            out.push_str(", \"start_ns\": ");
+            out.push_str(&s.start_ns.to_string());
+            out.push_str(", \"dur_ns\": ");
+            match s.dur_ns {
+                Some(d) => out.push_str(&d.to_string()),
+                None => out.push_str("null"),
+            }
+            out.push('}');
+        }
+        if !self.spans.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"counters\": {");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            push_json_str(&mut out, k);
+            out.push_str(": ");
+            out.push_str(&v.to_string());
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"gauges\": {");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            push_json_str(&mut out, k);
+            out.push_str(": ");
+            push_json_f64(&mut out, *v);
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// Renders a stdout-friendly summary: spans aggregated by name
+    /// (count, total milliseconds, share of the root span) followed by
+    /// every counter and gauge.
+    pub fn summary(&self) -> String {
+        let mut agg: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
+        for s in &self.spans {
+            let e = agg.entry(&s.name).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += s.dur_ns.unwrap_or(0);
+        }
+        let mut rows: Vec<(&str, u64, u64)> =
+            agg.into_iter().map(|(n, (c, t))| (n, c, t)).collect();
+        rows.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(b.0)));
+
+        let name_w = rows
+            .iter()
+            .map(|r| r.0.len())
+            .chain(["span".len()])
+            .max()
+            .unwrap_or(4);
+        let mut out = String::new();
+        out.push_str("trace summary\n");
+        out.push_str(&format!(
+            "{:<name_w$}  {:>7}  {:>12}\n",
+            "span", "count", "total ms"
+        ));
+        for (name, count, total_ns) in &rows {
+            out.push_str(&format!(
+                "{:<name_w$}  {:>7}  {:>12.3}\n",
+                name,
+                count,
+                *total_ns as f64 / 1e6
+            ));
+        }
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (k, v) in &self.counters {
+                out.push_str(&format!("  {k} = {v}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (k, v) in &self.gauges {
+                out.push_str(&format!("  {k} = {v}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// Appends `s` as a JSON string literal (quotes, escapes).
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends `v` as a JSON number (`null` for non-finite values, which JSON
+/// cannot represent).
+fn push_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_under_the_innermost_open_span() {
+        let r = Recorder::new();
+        {
+            let _outer = r.span("outer");
+            let _inner = r.span("inner");
+        }
+        let t = r.snapshot();
+        assert_eq!(t.spans.len(), 2);
+        assert_eq!(t.spans[0].name, "outer");
+        assert_eq!(t.spans[0].parent, None);
+        assert_eq!(t.spans[1].name, "inner");
+        assert_eq!(t.spans[1].parent, Some(0));
+        assert!(t.spans.iter().all(|s| s.dur_ns.is_some()));
+    }
+
+    #[test]
+    fn sibling_spans_share_a_parent() {
+        let r = Recorder::new();
+        let outer = r.enter("outer");
+        drop(r.span("a"));
+        drop(r.span("b"));
+        r.exit(outer);
+        let t = r.snapshot();
+        assert_eq!(t.spans[1].parent, Some(0));
+        assert_eq!(t.spans[2].parent, Some(0));
+    }
+
+    #[test]
+    fn exiting_a_parent_closes_forgotten_children() {
+        let r = Recorder::new();
+        let outer = r.enter("outer");
+        let _leaked = r.enter("leaked");
+        r.exit(outer);
+        let t = r.snapshot();
+        assert!(t.spans.iter().all(|s| s.dur_ns.is_some()));
+        // A second exit of the same span is a no-op.
+        r.exit(outer);
+        assert_eq!(r.snapshot(), t);
+    }
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let r = Recorder::new();
+        r.incr("work", 3);
+        r.incr("work", 4);
+        r.gauge("util", 0.5);
+        r.gauge("util", 0.75);
+        let t = r.snapshot();
+        assert_eq!(t.counters["work"], 7);
+        assert_eq!(t.gauges["util"], 0.75);
+    }
+
+    #[test]
+    fn optional_span_helper_is_inert_without_a_recorder() {
+        let g = span(None, "ghost");
+        drop(g);
+        let r = Recorder::new();
+        drop(span(Some(&r), "real"));
+        assert_eq!(r.snapshot().spans.len(), 1);
+    }
+
+    #[test]
+    fn json_export_contains_every_section() {
+        let r = Recorder::new();
+        drop(r.span("plan"));
+        r.incr("models.rnn_macs", 42);
+        r.gauge("sim.util", 0.93);
+        let json = r.snapshot().to_json();
+        assert!(json.contains("\"spans\""));
+        assert!(json.contains("\"name\": \"plan\""));
+        assert!(json.contains("\"models.rnn_macs\": 42"));
+        assert!(json.contains("\"sim.util\": 0.93"));
+        assert!(json.contains("\"parent\": null"));
+    }
+
+    #[test]
+    fn json_escapes_awkward_names() {
+        let r = Recorder::new();
+        r.incr("quote\"back\\slash\nnewline", 1);
+        let json = r.snapshot().to_json();
+        assert!(json.contains("quote\\\"back\\\\slash\\nnewline"));
+    }
+
+    #[test]
+    fn json_renders_non_finite_gauges_as_null() {
+        let r = Recorder::new();
+        r.gauge("bad", f64::NAN);
+        assert!(r.snapshot().to_json().contains("\"bad\": null"));
+    }
+
+    #[test]
+    fn empty_trace_is_valid_json_shape() {
+        let json = Trace::default().to_json();
+        assert!(json.contains("\"spans\": []"));
+        assert!(json.contains("\"counters\": {}"));
+        assert!(json.contains("\"gauges\": {}"));
+    }
+
+    #[test]
+    fn summary_lists_spans_counters_and_gauges() {
+        let r = Recorder::new();
+        drop(r.span("plan"));
+        drop(r.span("plan"));
+        r.incr("c", 5);
+        r.gauge("g", 1.5);
+        let s = r.snapshot().summary();
+        assert!(s.contains("trace summary"));
+        assert!(s.contains("plan"));
+        assert!(s.contains("c = 5"));
+        assert!(s.contains("g = 1.5"));
+    }
+
+    #[test]
+    fn save_json_writes_the_file() {
+        let r = Recorder::new();
+        drop(r.span("io"));
+        let path = std::env::temp_dir().join("tagnn-obs-test-trace.json");
+        r.save_json(&path).unwrap();
+        let read = std::fs::read_to_string(&path).unwrap();
+        assert!(read.contains("\"io\""));
+        let _ = std::fs::remove_file(&path);
+    }
+}

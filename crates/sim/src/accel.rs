@@ -23,6 +23,7 @@ use std::sync::Arc;
 use tagnn_graph::plan::{PlanInstrumentation, WindowPlan, WindowPlanner};
 use tagnn_graph::DynamicGraph;
 use tagnn_models::skip::SkipStats;
+use tagnn_obs::{span as obs_span, Recorder};
 
 /// Per-unit cycle breakdown of one simulated run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -87,6 +88,34 @@ impl SimReport {
     pub fn speedup_vs(&self, other: &SimReport) -> f64 {
         other.time_ms / self.time_ms
     }
+
+    /// Publishes the report on `rec`: cycle totals and traffic as
+    /// `{prefix}.{field}` counters, per-unit cycle shares and derived
+    /// rates (time, energy, utilisation, stall/idle cycles) as gauges.
+    pub fn publish(&self, rec: &Recorder, prefix: &str) {
+        let c = |name: &str, v: u64| rec.incr(&format!("{prefix}.{name}"), v);
+        let g = |name: &str, v: f64| rec.gauge(&format!("{prefix}.{name}"), v);
+        c("cycles", self.cycles);
+        g("time_ms", self.time_ms);
+        g("energy_mj", self.energy_mj);
+        g("dispatch_utilization", self.dispatch_utilization);
+        g("cycles.msdl", self.breakdown.msdl as f64);
+        g("cycles.aggregation", self.breakdown.aggregation as f64);
+        g("cycles.combination", self.breakdown.combination as f64);
+        g("cycles.rnn", self.breakdown.rnn as f64);
+        g("cycles.arnn", self.breakdown.arnn as f64);
+        g("cycles.dram", self.breakdown.dram as f64);
+        g("compute_stall_cycles", self.compute_stall_cycles as f64);
+        g("memory_idle_cycles", self.memory_idle_cycles as f64);
+        c("dram.feature_bytes", self.dram.feature_bytes);
+        c("dram.structure_bytes", self.dram.structure_bytes);
+        c("dram.weight_bytes", self.dram.weight_bytes);
+        c("dram.output_bytes", self.dram.output_bytes);
+        c("spill_bytes", self.spill_bytes);
+        c("skip.normal", self.skip.normal);
+        c("skip.delta", self.skip.delta);
+        c("skip.skipped", self.skip.skipped);
+    }
 }
 
 /// Simulator for the TaGNN accelerator (and its ablated variants).
@@ -111,8 +140,19 @@ impl TagnnSimulator {
     /// pipeline with a shared [`tagnn_graph::plan::PlanCache`]) should use
     /// [`Self::simulate_with_plans`].
     pub fn simulate(&self, graph: &DynamicGraph, workload: &Workload) -> SimReport {
-        let plans = WindowPlanner::new(workload.window).plan_graph(graph);
-        self.simulate_with_plans(graph, workload, &plans)
+        self.simulate_traced(graph, workload, None)
+    }
+
+    /// [`Self::simulate`] with an optional recorder: plans under a `plan`
+    /// span, then simulates under [`Self::simulate_with_plans_traced`].
+    pub fn simulate_traced(
+        &self,
+        graph: &DynamicGraph,
+        workload: &Workload,
+        rec: Option<&Recorder>,
+    ) -> SimReport {
+        let plans = WindowPlanner::new(workload.window).plan_graph_traced(graph, rec);
+        self.simulate_with_plans_traced(graph, workload, &plans, rec)
     }
 
     /// Simulates `workload` on this configuration using prebuilt window
@@ -125,6 +165,25 @@ impl TagnnSimulator {
         graph: &DynamicGraph,
         workload: &Workload,
         plans: &[Arc<WindowPlan>],
+    ) -> SimReport {
+        self.simulate_with_plans_traced(graph, workload, plans, None)
+    }
+
+    /// [`Self::simulate_with_plans`] with an optional recorder. When
+    /// attached, the dispatch sweep, traffic model, compute model, and
+    /// pipeline schedule run under `dispatch` / `traffic` /
+    /// `compute_model` / `timeline` spans, and the finished report is
+    /// published as `sim.*` counters and gauges. With `None` the report
+    /// is identical to the untraced path.
+    ///
+    /// # Panics
+    /// Panics if `plans` does not line up with the graph's windows.
+    pub fn simulate_with_plans_traced(
+        &self,
+        graph: &DynamicGraph,
+        workload: &Workload,
+        plans: &[Arc<WindowPlan>],
+        rec: Option<&Recorder>,
     ) -> SimReport {
         let cfg = &self.config;
         let hbm = HbmModel::new(cfg);
@@ -141,6 +200,7 @@ impl TagnnSimulator {
         // --- Structural sweep over the prebuilt plans: per-window MSDL
         // work, dispatch balance, and the per-window shares used to
         // schedule the cross-window pipeline.
+        let dispatch_span = obs_span(rec, "dispatch");
         let mut windows = 0u64;
         let mut classified_vertices = 0u64;
         let mut subgraph_edges = 0u64;
@@ -177,6 +237,7 @@ impl TagnnSimulator {
         } else {
             util_weighted / util_weight
         };
+        drop(dispatch_span);
 
         // --- Effective work counters under the ablation flags.
         let gnn_stats = if cfg.oadl_enabled {
@@ -193,6 +254,7 @@ impl TagnnSimulator {
         // --- DRAM traffic, including capacity spills: when the layer-0
         // feature table outgrows the feature buffer's resident half, the
         // overflow fraction of would-be SRAM reuses must re-travel from HBM.
+        let traffic_span = obs_span(rec, "traffic");
         let table_bytes = workload.num_vertices as u64 * workload.row_bytes();
         let resident_half = (cfg.buffers.feature_bytes / 2) as u64;
         let spill_fraction = if table_bytes > resident_half {
@@ -213,8 +275,10 @@ impl TagnnSimulator {
         let feature_buf = PingPongBuffer::new(cfg.buffers.feature_bytes);
         let bursts = feature_buf.refills(dram.feature_bytes) + windows;
         let dram_cycles = hbm.stream_cycles(dram.total(), bursts);
+        drop(traffic_span);
 
         // --- Compute cycles.
+        let compute_span = obs_span(rec, "compute_model");
         let msdl_cycles = if cfg.oadl_enabled {
             msdl.total_cycles(classified_vertices, subgraph_edges, windows)
         } else {
@@ -241,10 +305,12 @@ impl TagnnSimulator {
             arnn: arnn_cycles,
             dram: dram_cycles,
         };
+        drop(compute_span);
 
         // --- Cross-window pipeline schedule: apportion the aggregate
         // cycles over windows by their structural shares, then run the
         // double-buffered timeline (load i+1 overlaps compute i).
+        let timeline_span = obs_span(rec, "timeline");
         let total_rows: u64 = shapes.iter().map(|s| s.1).sum::<u64>().max(1);
         let total_work: u64 = shapes.iter().map(|s| s.2).sum::<u64>().max(1);
         let compute_cycles_total = agg_cycles + comb_cycles + rnn_cycles + arnn_cycles;
@@ -260,6 +326,7 @@ impl TagnnSimulator {
             })
             .collect();
         let schedule = timeline::simulate_timeline(&work);
+        drop(timeline_span);
         let cycles = schedule.total_cycles.max(1);
         let time_s = cycles as f64 / cfg.cycles_per_sec();
 
@@ -271,7 +338,7 @@ impl TagnnSimulator {
         let energy_mj =
             EnergyModel::fpga(cfg.power_w).energy_mj(time_s, macs, dram.total(), sram_bytes);
 
-        SimReport {
+        let report = SimReport {
             name: cfg.name.clone(),
             workload: workload.name.clone(),
             cycles,
@@ -285,7 +352,11 @@ impl TagnnSimulator {
             spill_bytes,
             skip: rnn_stats.skip,
             plan: PlanInstrumentation::from_plans(plans),
+        };
+        if let Some(rec) = rec {
+            report.publish(rec, "sim");
         }
+        report
     }
 }
 

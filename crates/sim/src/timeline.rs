@@ -70,23 +70,24 @@ pub fn simulate_timeline(windows: &[WindowWork]) -> TimelineReport {
     let mut memory_idle = 0u64;
     let mut total = 0u64;
 
-    for w in windows {
+    for (i, w) in windows.iter().enumerate() {
         // Load: memory channel is serial across windows; with one spare
         // ping-pong half, the load may run at most one window ahead of
-        // compute, i.e. it cannot start before the compute of the window
-        // two back finished — encoded by capping the lead at compute_free
-        // minus its own duration (conservatively: loads never queue more
-        // than one window).
-        let load_end = mem_free + w.load_cycles;
+        // compute. Window i's load lands in the half that window i-2's
+        // data occupied, so it cannot start before the compute of the
+        // window two back finished.
+        let buffer_free = if i >= 2 { finish[i - 2] } else { 0 };
+        let load_start = mem_free.max(buffer_free);
+        // Waiting for a ping-pong half to drain is memory-channel idle
+        // time: the channel is ready but has nowhere to put the data.
+        memory_idle += load_start - mem_free;
+        let load_end = load_start + w.load_cycles;
 
         // Compute (MSDL + DCUs + ARNN): needs its data and free units.
         let compute_start = load_end.max(compute_free);
         if load_end > compute_free {
             // Data arrived late: compute units starved.
             compute_stall += load_end - compute_free;
-        } else {
-            // Data arrived early: the memory side outran compute.
-            memory_idle += compute_free - load_end;
         }
         let compute_end = compute_start + w.msdl_cycles + w.compute_cycles;
 
@@ -172,6 +173,38 @@ mod tests {
         let windows = vec![w(30, 5, 40, 2), w(50, 5, 20, 2), w(10, 5, 70, 2)];
         let r = simulate_timeline(&windows);
         assert!(r.finish.windows(2).all(|p| p[0] <= p[1]));
+    }
+
+    #[test]
+    fn prefetch_cannot_run_more_than_one_window_ahead() {
+        // Two compute-heavy windows followed by load-heavy ones. An
+        // uncapped memory channel would stream every later load during the
+        // long computes (loads done by cycle 420) and finish at 2050; with
+        // the one-window ping-pong cap, load i waits for compute i-2, so
+        // the tail loads serialise against compute and the schedule ends
+        // at 2320.
+        let mut windows = vec![w(10, 0, 1000, 0); 2];
+        windows.extend(vec![w(100, 0, 10, 0); 4]);
+        let r = simulate_timeline(&windows);
+        assert!(
+            r.total_cycles > 2050,
+            "uncapped prefetch hides the tail loads: {}",
+            r.total_cycles
+        );
+        assert_eq!(r.total_cycles, 2320);
+        assert!(
+            r.memory_idle_cycles > 0,
+            "the channel must wait for buffer space"
+        );
+    }
+
+    #[test]
+    fn capped_prefetch_matches_unbounded_when_memory_bound() {
+        // When loads dominate, mem_free always exceeds the buffer gate and
+        // the cap never binds: the schedule equals the serial-load bound.
+        let windows = vec![w(100, 0, 10, 0); 5];
+        let r = simulate_timeline(&windows);
+        assert_eq!(r.total_cycles, 500 + 10);
     }
 
     #[test]

@@ -8,6 +8,7 @@ use tagnn_graph::DynamicGraph;
 use tagnn_models::{
     ConcurrentEngine, DgnnModel, ExecutionStats, ModelKind, ReferenceEngine, SkipConfig,
 };
+use tagnn_obs::{span as obs_span, Recorder};
 
 /// Bytes per feature element (f32).
 pub const ELEM_BYTES: u64 = 4;
@@ -77,6 +78,30 @@ impl Workload {
         seed: u64,
         plans: &[Arc<WindowPlan>],
     ) -> Self {
+        Self::measure_with_plans_traced(
+            graph, name, model_kind, hidden, window, skip, seed, plans, None,
+        )
+    }
+
+    /// [`Self::measure_with_plans`] with an optional recorder: the two
+    /// engine runs execute under `engine_reference` / `engine_concurrent`
+    /// spans (each engine publishes its own stats and phase spans). With
+    /// `None` this is exactly `measure_with_plans`.
+    ///
+    /// # Panics
+    /// Panics if `plans` does not line up with `graph.batches(window)`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn measure_with_plans_traced(
+        graph: &DynamicGraph,
+        name: &str,
+        model_kind: ModelKind,
+        hidden: usize,
+        window: usize,
+        skip: SkipConfig,
+        seed: u64,
+        plans: &[Arc<WindowPlan>],
+        rec: Option<&Recorder>,
+    ) -> Self {
         let model = DgnnModel::new(model_kind, graph.feature_dim(), hidden, seed);
         let gnn_layers = model.layers().len();
         let weight_params: u64 = model
@@ -86,10 +111,18 @@ impl Workload {
             .sum::<u64>()
             + (model.cell().in_dim() as u64 + hidden as u64 + 1)
                 * (model.cell().kind().gates() * hidden) as u64;
-        let reference = ReferenceEngine::new(model.clone()).run(graph).stats;
-        let concurrent = ConcurrentEngine::with_window(model, skip, window)
-            .run_with_plans(graph, plans)
-            .stats;
+        let reference = {
+            let _span = obs_span(rec, "engine_reference");
+            ReferenceEngine::new(model.clone())
+                .run_traced(graph, rec)
+                .stats
+        };
+        let concurrent = {
+            let _span = obs_span(rec, "engine_concurrent");
+            ConcurrentEngine::with_window(model, skip, window)
+                .run_with_plans_traced(graph, plans, rec)
+                .stats
+        };
         Self {
             name: name.to_string(),
             model: model_kind,
@@ -108,8 +141,10 @@ impl Workload {
 
     /// Average feature-row payload in bytes (layer-0 rows dominate traffic;
     /// deeper layers move `hidden`-wide rows, so use the mean of both).
+    /// Multiplying by `ELEM_BYTES` before halving keeps the half-element
+    /// that an odd dimension sum would otherwise truncate away.
     pub fn row_bytes(&self) -> u64 {
-        (self.feature_dim as u64 + self.hidden as u64) / 2 * ELEM_BYTES
+        (self.feature_dim as u64 + self.hidden as u64) * ELEM_BYTES / 2
     }
 
     /// Bytes of DRAM traffic implied by a stats record under this
@@ -166,6 +201,17 @@ mod tests {
     fn row_bytes_mixes_dims() {
         let w = workload();
         assert_eq!(w.row_bytes(), (8 + 6) / 2 * 4);
+    }
+
+    #[test]
+    fn row_bytes_keeps_the_half_element_of_odd_dimension_sums() {
+        let g = GeneratorConfig::tiny().generate(); // feature_dim = 8
+        let w = Workload::measure(&g, "odd", ModelKind::TGcn, 7, 3, SkipConfig::disabled(), 1);
+        // (8 + 7) elements averaged over two layers is 7.5 elements =
+        // 30 bytes; integer-dividing the element count first would drop
+        // half an element and report 28.
+        assert_eq!(w.row_bytes(), (8 + 7) * 4 / 2);
+        assert_eq!(w.row_bytes(), 30);
     }
 
     #[test]

@@ -1,0 +1,108 @@
+//! Cross-checks the engines' work counters against the skip-mode tallies
+//! and the graph structure: `rnn_macs` and `similarity_ops` must be
+//! recomputable from `SkipStats` and the snapshots, not just plausible.
+
+use tagnn::prelude::*;
+use tagnn_graph::generate::GeneratorConfig;
+use tagnn_graph::types::VertexId;
+
+fn graph() -> DynamicGraph {
+    let mut cfg = GeneratorConfig::tiny();
+    cfg.num_vertices = 96;
+    cfg.num_edges = 400;
+    cfg.num_snapshots = 7;
+    cfg.generate()
+}
+
+const WINDOW: usize = 3;
+const HIDDEN: usize = 10;
+
+fn run(skip: SkipConfig) -> InferenceOutput {
+    let g = graph();
+    let model = DgnnModel::new(ModelKind::TGcn, g.feature_dim(), HIDDEN, 77);
+    ConcurrentEngine::with_window(model, skip, WINDOW).run(&g)
+}
+
+/// Scored vertices per the SCU guard (skipping enabled, vertex active in
+/// the current *and* previous snapshot of the same window, with a cached
+/// input from an earlier update), each billed `3*hidden + degree`.
+fn expected_similarity_ops(g: &DynamicGraph, all_normal: bool) -> u64 {
+    assert!(
+        all_normal,
+        "structural recomputation of has_input assumes every scored or \
+         unscored active vertex runs a Normal update"
+    );
+    let n = g.num_vertices();
+    let mut has_input = vec![false; n];
+    let mut ops = 0u64;
+    for (t, snap) in g.snapshots().iter().enumerate() {
+        let in_window = t % WINDOW; // 0 ⇒ first snapshot of its window
+        for v in 0..n as VertexId {
+            if !snap.is_active(v) {
+                continue;
+            }
+            if in_window > 0 && g.snapshot(t - 1).is_active(v) && has_input[v as usize] {
+                ops += (3 * HIDDEN + snap.csr().degree(v)) as u64;
+            }
+            has_input[v as usize] = true;
+        }
+    }
+    ops
+}
+
+#[test]
+fn similarity_ops_match_structural_recomputation() {
+    // Thresholds of (10, 10) force every scored vertex onto the Normal
+    // path (θ is bounded by ~[-1, 1]), so `has_input` evolves exactly as
+    // the structural sweep predicts.
+    let out = run(SkipConfig::with_thresholds(10.0, 10.0));
+    let expected = expected_similarity_ops(&graph(), true);
+    assert!(expected > 0, "test graph must actually score vertices");
+    assert_eq!(out.stats.similarity_ops, expected);
+}
+
+#[test]
+fn rnn_macs_match_skip_tallies_when_nothing_skips() {
+    let g = graph();
+    let out = run(SkipConfig::with_thresholds(10.0, 10.0));
+    let cell_macs = DgnnModel::new(ModelKind::TGcn, g.feature_dim(), HIDDEN, 77)
+        .cell()
+        .full_step_macs();
+    assert_eq!(out.stats.skip.delta, 0);
+    assert_eq!(out.stats.skip.skipped, 0);
+    assert_eq!(out.stats.rnn_macs, out.stats.skip.normal * cell_macs);
+    // Every active vertex of every snapshot takes exactly one cell update.
+    let active: u64 = g.snapshots().iter().map(|s| s.num_active() as u64).sum();
+    assert_eq!(out.stats.skip.total(), active);
+}
+
+#[test]
+fn rnn_macs_are_bounded_by_skip_tallies_under_paper_skipping() {
+    let g = graph();
+    let out = run(SkipConfig::paper_default());
+    let cell = DgnnModel::new(ModelKind::TGcn, g.feature_dim(), HIDDEN, 77);
+    let full = cell.cell().full_step_macs();
+    let s = &out.stats.skip;
+    // Skipped cells cost nothing; delta cells cost between the empty and
+    // the full patch; normal cells cost exactly one full step.
+    let lo = s.normal * full + s.delta * cell.cell().delta_step_macs(0);
+    let hi = s.normal * full + s.delta * cell.cell().delta_step_macs(cell.cell().in_dim());
+    assert!(
+        (lo..=hi).contains(&out.stats.rnn_macs),
+        "rnn_macs {} outside [{lo}, {hi}]",
+        out.stats.rnn_macs
+    );
+    let active: u64 = g.snapshots().iter().map(|sn| sn.num_active() as u64).sum();
+    assert_eq!(s.total(), active);
+}
+
+#[test]
+fn reference_engine_rnn_macs_are_exactly_normal_updates() {
+    let g = graph();
+    let model = DgnnModel::new(ModelKind::TGcn, g.feature_dim(), HIDDEN, 77);
+    let full = model.cell().full_step_macs();
+    let out = ReferenceEngine::new(model).run(&g);
+    assert_eq!(out.stats.similarity_ops, 0, "no SCU in the baseline");
+    assert_eq!(out.stats.skip.delta + out.stats.skip.skipped, 0);
+    assert_eq!(out.stats.rnn_macs, out.stats.skip.normal * full);
+}

@@ -1,0 +1,175 @@
+//! End-to-end checks of the tagnn-obs observability layer: traced runs
+//! record a span per pipeline stage and publish the work counters, while
+//! untraced runs stay byte-identical to the pre-observability behaviour.
+
+use std::sync::Arc;
+use tagnn::prelude::*;
+use tagnn_obs::Recorder;
+
+fn traced_pipeline(rec: &Arc<Recorder>) -> TagnnPipeline {
+    TagnnPipeline::builder()
+        .dataset(DatasetPreset::Gdelt)
+        .model(ModelKind::TGcn)
+        .snapshots(6)
+        .window(3)
+        .hidden(8)
+        .recorder(Arc::clone(rec))
+        .build()
+}
+
+fn plain_pipeline() -> TagnnPipeline {
+    TagnnPipeline::builder()
+        .dataset(DatasetPreset::Gdelt)
+        .model(ModelKind::TGcn)
+        .snapshots(6)
+        .window(3)
+        .hidden(8)
+        .build()
+}
+
+#[test]
+fn traced_run_records_a_span_per_pipeline_stage() {
+    let rec = Arc::new(Recorder::new());
+    let p = traced_pipeline(&rec);
+    p.run_concurrent();
+    p.run_reference();
+    p.simulate(&AcceleratorConfig::tagnn_default());
+
+    let trace = rec.snapshot();
+    let spans: Vec<&str> = trace.spans.iter().map(|s| s.name.as_str()).collect();
+    for stage in [
+        "generate",
+        "plan",
+        "measure",
+        "classify_reuse",
+        "gnn_window",
+        "gnn_layer",
+        "rnn",
+        "dispatch",
+        "traffic",
+        "compute_model",
+        "timeline",
+    ] {
+        assert!(
+            spans.contains(&stage),
+            "missing `{stage}` span in {spans:?}"
+        );
+    }
+    assert!(
+        trace.spans.iter().all(|s| s.dur_ns.is_some()),
+        "every span must have closed"
+    );
+    // Phase spans opened inside the measurement nest under it.
+    let measure = trace.spans.iter().find(|s| s.name == "measure").unwrap();
+    let nested = trace
+        .spans
+        .iter()
+        .filter(|s| s.parent == Some(measure.id))
+        .count();
+    assert!(nested >= 2, "engine spans must nest under `measure`");
+}
+
+#[test]
+fn traced_run_publishes_engine_and_sim_counters() {
+    let rec = Arc::new(Recorder::new());
+    let p = traced_pipeline(&rec);
+    p.simulate(&AcceleratorConfig::tagnn_default());
+
+    let trace = rec.snapshot();
+    for counter in [
+        "plan.windows_planned",
+        "engine.concurrent.rnn_macs",
+        "engine.concurrent.similarity_ops",
+        "engine.concurrent.feature_rows_reused",
+        "engine.reference.rnn_macs",
+        "sim.cycles",
+    ] {
+        assert!(
+            trace.counters.get(counter).copied().unwrap_or(0) > 0,
+            "counter `{counter}` missing or zero"
+        );
+    }
+    for gauge in [
+        "sim.dispatch_utilization",
+        "sim.cycles.dram",
+        "sim.compute_stall_cycles",
+        "sim.memory_idle_cycles",
+    ] {
+        assert!(trace.gauges.contains_key(gauge), "gauge `{gauge}` missing");
+    }
+    // Published counters mirror the measured workload exactly.
+    assert_eq!(
+        trace.counters["engine.concurrent.rnn_macs"],
+        p.workload().concurrent.rnn_macs
+    );
+    assert_eq!(
+        trace.counters["engine.reference.rnn_macs"],
+        p.workload().reference.rnn_macs
+    );
+
+    // The JSON export is self-contained: spans, counters, and gauges all
+    // appear (substring checks — the export is hand-rolled, no parser
+    // needed to validate presence).
+    let json = trace.to_json();
+    for needle in [
+        "\"spans\"",
+        "\"name\": \"plan\"",
+        "\"name\": \"dispatch\"",
+        "\"name\": \"timeline\"",
+        "\"engine.concurrent.rnn_macs\"",
+        "\"sim.dispatch_utilization\"",
+    ] {
+        assert!(json.contains(needle), "JSON export missing {needle}");
+    }
+}
+
+#[test]
+fn attaching_a_recorder_does_not_change_any_result() {
+    let rec = Arc::new(Recorder::new());
+    let traced = traced_pipeline(&rec);
+    let plain = plain_pipeline();
+
+    // Workload equality modulo wall-clock.
+    let mut tw = traced.workload().clone();
+    let pw = plain.workload().clone();
+    tw.concurrent.wall_ns = pw.concurrent.wall_ns;
+    tw.reference.wall_ns = pw.reference.wall_ns;
+    assert_eq!(tw, pw, "tracing must not perturb the measured workload");
+
+    // Engine outputs bit-identical.
+    let a = traced.run_concurrent();
+    let b = plain.run_concurrent();
+    assert_eq!(a.final_features, b.final_features);
+    assert_eq!(a.gnn_outputs, b.gnn_outputs);
+
+    // Simulator reports equal under report equality (which already
+    // excludes wall-clock instrumentation).
+    assert_eq!(
+        traced.simulate(&AcceleratorConfig::tagnn_default()),
+        plain.simulate(&AcceleratorConfig::tagnn_default())
+    );
+}
+
+#[test]
+fn experiment_context_records_experiment_spans() {
+    let rec = Arc::new(Recorder::new());
+    let ctx = tagnn::experiments::ExperimentContext::quick().with_recorder(Arc::clone(&rec));
+    let traced = tagnn::experiments::run("fig8a", &ctx);
+    let trace = rec.snapshot();
+    assert!(
+        trace.spans.iter().any(|s| s.name == "experiment.fig8a"),
+        "experiment span missing"
+    );
+    // The experiment span is the root of everything recorded under it.
+    let root = trace
+        .spans
+        .iter()
+        .find(|s| s.name == "experiment.fig8a")
+        .unwrap();
+    assert_eq!(root.parent, None);
+    assert!(trace.spans.iter().any(|s| s.parent == Some(root.id)));
+
+    // And recording does not change the experiment's numbers.
+    let plain = tagnn::experiments::run("fig8a", &tagnn::experiments::ExperimentContext::quick());
+    assert_eq!(traced.metrics, plain.metrics);
+}
