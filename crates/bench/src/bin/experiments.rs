@@ -1,15 +1,20 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! experiments [all | <id>...] [--quick] [--json] [--trace PATH]
+//! experiments [all | <id>... | bench-json PATH] [--quick] [--json]
+//!             [--trace PATH] [--threads N]
 //!
-//!   all           run every experiment (default)
-//!   <id>          e.g. fig9, table5, fig14a
-//!   --quick       reduced context (2 datasets, 1 model) for smoke runs
-//!   --json        emit one JSON object per experiment instead of text tables
-//!   --trace PATH  record a tagnn-obs trace of the whole run (spans per
-//!                 pipeline stage plus every published counter) to PATH
-//!                 as JSON, and print its summary table afterwards
+//!   all             run every experiment (default)
+//!   <id>            e.g. fig9, table5, fig14a
+//!   bench-json PATH run the engine/kernel perf suite on the ML-scale
+//!                   preset and write its JSON report to PATH
+//!   --quick         reduced context (2 datasets, 1 model) for smoke runs
+//!   --json          emit one JSON object per experiment instead of text tables
+//!   --trace PATH    record a tagnn-obs trace of the whole run (spans per
+//!                   pipeline stage plus every published counter) to PATH
+//!                   as JSON, and print its summary table afterwards
+//!   --threads N     pin the rayon pool to N workers (TAGNN_THREADS env
+//!                   var is the fallback) for reproducible numbers
 //! ```
 
 use std::io::Write;
@@ -18,6 +23,23 @@ use tagnn_obs::Recorder;
 
 fn main() {
     let mut opts = tagnn_bench::parse_args(std::env::args().skip(1));
+    let threads = tagnn_bench::init_thread_pool(opts.threads);
+    if let Some(path) = &opts.bench_json {
+        let mut params = tagnn_bench::perf::SuiteParams::ml_default();
+        params.scale = opts.ctx.scale;
+        params.hidden = opts.ctx.hidden;
+        params.window = opts.ctx.window;
+        params.snapshots = opts.ctx.snapshots;
+        params.seed = opts.ctx.seed;
+        let report = tagnn_bench::perf::run_suite(&params, threads);
+        std::fs::write(path, report.to_json()).unwrap_or_else(|e| {
+            eprintln!("error: cannot write report to {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        print!("{}", report.summary());
+        println!("report written to {}", path.display());
+        return;
+    }
     let recorder = opts.trace.as_ref().map(|_| Arc::new(Recorder::new()));
     if let Some(rec) = &recorder {
         opts.ctx = opts.ctx.with_recorder(Arc::clone(rec));

@@ -8,6 +8,7 @@
 //! engines, simulator).
 
 pub mod cli;
+pub mod perf;
 
 use std::path::PathBuf;
 use tagnn::experiments::{ExperimentContext, ExperimentResult};
@@ -24,18 +25,31 @@ pub struct CliOptions {
     /// Write a tagnn-obs trace of the whole run to this path (and print
     /// its summary table to stdout afterwards).
     pub trace: Option<PathBuf>,
+    /// Pin the global rayon pool to this many threads (`--threads N`,
+    /// falling back to the `TAGNN_THREADS` env var) for reproducible
+    /// bench numbers. `None` keeps rayon's default.
+    pub threads: Option<usize>,
+    /// `bench-json PATH`: run the perf suite (see [`perf`]) instead of
+    /// the paper experiments and write its JSON report to PATH.
+    pub bench_json: Option<PathBuf>,
 }
 
 /// Parses harness CLI arguments.
 ///
 /// Grammar:
-/// `experiments [all | <id>...] [--quick] [--json] [--trace PATH]
-/// [--scale F] [--hidden N] [--window K] [--snapshots N] [--seed N]`.
+/// `experiments [all | <id>... | bench-json PATH] [--quick] [--json]
+/// [--trace PATH] [--threads N] [--scale F] [--hidden N] [--window K]
+/// [--snapshots N] [--seed N]`.
+///
+/// `--threads` falls back to the `TAGNN_THREADS` environment variable
+/// when the flag is absent.
 pub fn parse_args<I: Iterator<Item = String>>(args: I) -> CliOptions {
     let mut ids: Vec<String> = Vec::new();
     let mut quick = false;
     let mut json = false;
     let mut trace: Option<PathBuf> = None;
+    let mut threads: Option<usize> = None;
+    let mut bench_json: Option<PathBuf> = None;
     let mut overrides: Vec<(String, String)> = Vec::new();
     let mut iter = args.peekable();
     while let Some(a) = iter.next() {
@@ -48,6 +62,26 @@ pub fn parse_args<I: Iterator<Item = String>>(args: I) -> CliOptions {
                     std::process::exit(2);
                 });
                 trace = Some(PathBuf::from(value));
+            }
+            "--threads" => {
+                let value = iter.next().unwrap_or_else(|| {
+                    eprintln!("error: --threads needs a count");
+                    std::process::exit(2);
+                });
+                threads = Some(value.parse().unwrap_or_else(|_| {
+                    eprintln!("error: --threads: cannot parse `{value}`");
+                    std::process::exit(2);
+                }));
+            }
+            "bench-json" => {
+                let value = iter
+                    .next()
+                    .filter(|v| !v.starts_with("--"))
+                    .unwrap_or_else(|| {
+                        eprintln!("error: bench-json needs an output path");
+                        std::process::exit(2);
+                    });
+                bench_json = Some(PathBuf::from(value));
             }
             key @ ("--scale" | "--hidden" | "--window" | "--snapshots" | "--seed") => {
                 let value = iter.next().unwrap_or_else(|| {
@@ -92,12 +126,38 @@ pub fn parse_args<I: Iterator<Item = String>>(args: I) -> CliOptions {
             _ => unreachable!(),
         }
     }
+    if threads.is_none() {
+        if let Ok(env) = std::env::var("TAGNN_THREADS") {
+            threads = Some(env.parse().unwrap_or_else(|_| {
+                eprintln!("error: TAGNN_THREADS: cannot parse `{env}`");
+                std::process::exit(2);
+            }));
+        }
+    }
     CliOptions {
         ids,
         ctx,
         json,
         trace,
+        threads,
+        bench_json,
     }
+}
+
+/// Pins the global rayon pool to `threads` workers (when given) and
+/// returns the effective pool width. Call once, before any parallel
+/// work; a second build attempt on an already-initialised pool is
+/// reported but non-fatal.
+pub fn init_thread_pool(threads: Option<usize>) -> usize {
+    if let Some(n) = threads {
+        if let Err(e) = rayon::ThreadPoolBuilder::new()
+            .num_threads(n.max(1))
+            .build_global()
+        {
+            eprintln!("warning: rayon pool already initialised: {e:?}");
+        }
+    }
+    rayon::current_num_threads()
 }
 
 /// Renders a batch of results, as text or JSON lines.
@@ -167,6 +227,27 @@ mod tests {
             opts.trace.as_deref(),
             Some(std::path::Path::new("out/trace.json"))
         );
+    }
+
+    #[test]
+    fn threads_flag_is_parsed() {
+        let opts = parse_args(vec!["fig9", "--threads", "3"].into_iter().map(String::from));
+        assert_eq!(opts.threads, Some(3));
+        assert!(opts.bench_json.is_none());
+    }
+
+    #[test]
+    fn bench_json_subcommand_captures_the_path() {
+        let opts = parse_args(
+            vec!["bench-json", "BENCH_4.json", "--threads", "1"]
+                .into_iter()
+                .map(String::from),
+        );
+        assert_eq!(
+            opts.bench_json.as_deref(),
+            Some(std::path::Path::new("BENCH_4.json"))
+        );
+        assert_eq!(opts.threads, Some(1));
     }
 
     #[test]

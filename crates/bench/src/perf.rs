@@ -1,0 +1,416 @@
+//! The `experiments bench-json` performance suite.
+//!
+//! Runs a fixed set of engine and kernel stages on an ML-scale
+//! (MovieLens preset) pipeline and serialises wall-times plus the
+//! engines' work counters to a small hand-rolled JSON report
+//! (`BENCH_4.json` in the repo root records the committed numbers).
+//! Stage names are stable across PRs so before/after comparisons are a
+//! field-by-field diff.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use tagnn::TagnnPipeline;
+use tagnn_graph::DatasetPreset;
+use tagnn_models::{ExecutionStats, ModelKind, ReuseMode, SkipConfig};
+use tagnn_tensor::{init, ops};
+
+/// One timed stage of the suite.
+#[derive(Debug, Clone)]
+pub struct BenchStage {
+    /// Stable stage name (used as the comparison key across reports).
+    pub name: String,
+    /// Timed iterations (after one untimed warm-up).
+    pub iters: u32,
+    /// Sum of all timed iterations, milliseconds.
+    pub total_ms: f64,
+    /// Fastest single iteration, milliseconds.
+    pub best_ms: f64,
+    /// Work counters for the stage (ops / bytes from the engines'
+    /// existing accounting; empty for raw kernel stages).
+    pub metrics: Vec<(String, f64)>,
+}
+
+/// A full suite run: configuration echo plus every stage.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Dataset preset abbreviation (always "ML" for the committed report).
+    pub preset: String,
+    /// Rayon threads the run was pinned to.
+    pub threads: usize,
+    /// Dataset scale fraction.
+    pub scale: f64,
+    /// Hidden dimension.
+    pub hidden: usize,
+    /// Window size K.
+    pub window: usize,
+    /// Snapshot count.
+    pub snapshots: usize,
+    /// The timed stages, in execution order.
+    pub stages: Vec<BenchStage>,
+}
+
+/// Suite configuration; [`SuiteParams::ml_default`] is what the
+/// committed `BENCH_4.json` uses.
+#[derive(Debug, Clone)]
+pub struct SuiteParams {
+    /// Dataset preset to scale.
+    pub preset: DatasetPreset,
+    /// Scale fraction in `(0, 1]`.
+    pub scale: f64,
+    /// Hidden dimension.
+    pub hidden: usize,
+    /// Window size K.
+    pub window: usize,
+    /// Snapshot count.
+    pub snapshots: usize,
+    /// Weight / generator seed.
+    pub seed: u64,
+    /// Timed iterations for raw kernel stages.
+    pub kernel_iters: u32,
+    /// Timed iterations for end-to-end engine stages.
+    pub engine_iters: u32,
+}
+
+impl SuiteParams {
+    /// The ML-scale default the committed report uses.
+    pub fn ml_default() -> Self {
+        Self {
+            preset: DatasetPreset::MovieLens,
+            scale: 0.05,
+            hidden: 48,
+            window: 4,
+            snapshots: 8,
+            seed: 0xD6,
+            kernel_iters: 8,
+            engine_iters: 3,
+        }
+    }
+}
+
+fn time_stage<F: FnMut()>(
+    name: &str,
+    iters: u32,
+    metrics: Vec<(String, f64)>,
+    mut f: F,
+) -> BenchStage {
+    f(); // warm-up, untimed
+    let mut total_ms = 0.0f64;
+    let mut best_ms = f64::INFINITY;
+    for _ in 0..iters.max(1) {
+        let t = Instant::now();
+        f();
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        total_ms += ms;
+        best_ms = best_ms.min(ms);
+    }
+    BenchStage {
+        name: name.to_string(),
+        iters: iters.max(1),
+        total_ms,
+        best_ms,
+        metrics,
+    }
+}
+
+fn stat_metrics(stats: &ExecutionStats) -> Vec<(String, f64)> {
+    vec![
+        ("total_macs".into(), stats.total_macs() as f64),
+        ("rnn_macs".into(), stats.rnn_macs as f64),
+        ("gnn_aggregate_macs".into(), stats.gnn_aggregate_macs as f64),
+        ("gnn_combine_macs".into(), stats.gnn_combine_macs as f64),
+        ("similarity_ops".into(), stats.similarity_ops as f64),
+        (
+            "feature_rows_loaded".into(),
+            stats.feature_rows_loaded as f64,
+        ),
+        (
+            "feature_rows_reused".into(),
+            stats.feature_rows_reused as f64,
+        ),
+        (
+            "structure_words_loaded".into(),
+            stats.structure_words_loaded as f64,
+        ),
+    ]
+}
+
+/// Runs the suite and returns the report. `threads` is only echoed into
+/// the report — pin the pool with [`crate::init_thread_pool`] first.
+pub fn run_suite(params: &SuiteParams, threads: usize) -> BenchReport {
+    let build = |reuse: ReuseMode, skip: SkipConfig| {
+        TagnnPipeline::builder()
+            .dataset(params.preset)
+            .model(ModelKind::TGcn)
+            .hidden(params.hidden)
+            .window(params.window)
+            .snapshots(params.snapshots)
+            .scale(params.scale)
+            .seed(params.seed)
+            .reuse(reuse)
+            .skip(skip)
+            .build()
+    };
+    let exact = build(ReuseMode::Exact, SkipConfig::disabled());
+    let paper = build(ReuseMode::PaperWindow, SkipConfig::paper_default());
+
+    let mut stages = Vec::new();
+
+    // --- raw kernel stages -------------------------------------------------
+    let a = init::xavier_uniform(256, 256, 0xB0);
+    let b = init::xavier_uniform(256, 256, 0xB1);
+    stages.push(time_stage(
+        "gemm_256",
+        params.kernel_iters,
+        vec![("flops".into(), 2.0 * 256.0 * 256.0 * 256.0)],
+        || {
+            std::hint::black_box(ops::matmul(&a, &b));
+        },
+    ));
+
+    let snap0 = exact.graph().snapshot(0);
+    let feat = snap0.features();
+    let w0 = init::xavier_uniform(feat.cols(), params.hidden, 0xB2);
+    stages.push(time_stage(
+        "gemm_feat_hidden",
+        params.kernel_iters,
+        vec![(
+            "flops".into(),
+            2.0 * feat.rows() as f64 * feat.cols() as f64 * params.hidden as f64,
+        )],
+        || {
+            std::hint::black_box(ops::matmul(feat, &w0));
+        },
+    ));
+
+    // --- model-layer stages ------------------------------------------------
+    let layer0 = &exact.model().layers()[0];
+    stages.push(time_stage(
+        "gcn_layer0_forward",
+        params.kernel_iters,
+        vec![
+            ("vertices".into(), snap0.num_vertices() as f64),
+            ("edges".into(), snap0.num_edges() as f64),
+        ],
+        || {
+            std::hint::black_box(layer0.forward(snap0, feat));
+        },
+    ));
+
+    let cell = exact.model().cell();
+    let n = snap0.num_vertices();
+    let (in_dim, hidden) = (cell.in_dim(), cell.hidden());
+    let gh = cell.kind().gates() * hidden;
+    let z = init::xavier_uniform(n, in_dim, 0xB3);
+    let mut states: Vec<_> = (0..n)
+        .map(|_| tagnn_models::rnn::VertexState::zeros(hidden, cell.kind().gates()))
+        .collect();
+    // Batched gate path, as both engines now run it: gather, two GEMMs,
+    // scatter + in-place gates. Buffers are hoisted so the timed body is
+    // allocation-free like the engines' steady state.
+    let mut h_batch = vec![0.0f32; n * hidden];
+    let mut x_pre = vec![0.0f32; n * gh];
+    let mut h_pre = vec![0.0f32; n * gh];
+    stages.push(time_stage(
+        "rnn_step_all",
+        params.kernel_iters,
+        vec![("vertices".into(), n as f64)],
+        || {
+            for (v, state) in states.iter().enumerate() {
+                h_batch[v * hidden..][..hidden].copy_from_slice(&state.h);
+            }
+            cell.batch_preactivations(n, z.as_slice(), &h_batch, &mut x_pre, &mut h_pre);
+            for (v, state) in states.iter_mut().enumerate() {
+                state.x_pre.copy_from_slice(&x_pre[v * gh..][..gh]);
+                let tagnn_models::rnn::VertexState { h, c, x_pre } = state;
+                cell.apply_gates(x_pre, &h_pre[v * gh..][..gh], h, c);
+            }
+        },
+    ));
+
+    // --- end-to-end engine stages ------------------------------------------
+    let mut ref_stats = None;
+    stages.push(time_stage(
+        "engine_reference",
+        params.engine_iters,
+        vec![],
+        || {
+            let out = exact.run_reference();
+            ref_stats.get_or_insert(out.stats);
+        },
+    ));
+    if let Some(stats) = &ref_stats {
+        let last = stages.last_mut().expect("stage pushed");
+        last.metrics = stat_metrics(stats);
+    }
+
+    let mut exact_stats = None;
+    stages.push(time_stage(
+        "engine_concurrent_exact",
+        params.engine_iters,
+        vec![],
+        || {
+            let out = exact.run_concurrent();
+            exact_stats.get_or_insert(out.stats);
+        },
+    ));
+    if let Some(stats) = &exact_stats {
+        let last = stages.last_mut().expect("stage pushed");
+        last.metrics = stat_metrics(stats);
+    }
+
+    let mut paper_stats = None;
+    stages.push(time_stage(
+        "engine_concurrent_paper",
+        params.engine_iters,
+        vec![],
+        || {
+            let out = paper.run_concurrent();
+            paper_stats.get_or_insert(out.stats);
+        },
+    ));
+    if let Some(stats) = &paper_stats {
+        let last = stages.last_mut().expect("stage pushed");
+        last.metrics = stat_metrics(stats);
+    }
+
+    BenchReport {
+        preset: params.preset.abbrev().to_string(),
+        threads,
+        scale: params.scale,
+        hidden: params.hidden,
+        window: params.window,
+        snapshots: params.snapshots,
+        stages,
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        if x == x.trunc() && x.abs() < 1e15 {
+            format!("{}", x as i64)
+        } else {
+            format!("{x}")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+impl BenchReport {
+    /// Serialises the report as pretty-printed JSON (hand-rolled, in the
+    /// same spirit as `tagnn_obs::Trace::to_json`).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"schema\": \"tagnn-bench/1\",");
+        let _ = writeln!(s, "  \"preset\": \"{}\",", json_escape(&self.preset));
+        let _ = writeln!(s, "  \"threads\": {},", self.threads);
+        let _ = writeln!(s, "  \"scale\": {},", json_f64(self.scale));
+        let _ = writeln!(s, "  \"hidden\": {},", self.hidden);
+        let _ = writeln!(s, "  \"window\": {},", self.window);
+        let _ = writeln!(s, "  \"snapshots\": {},", self.snapshots);
+        s.push_str("  \"stages\": [\n");
+        for (i, st) in self.stages.iter().enumerate() {
+            s.push_str("    {\n");
+            let _ = writeln!(s, "      \"name\": \"{}\",", json_escape(&st.name));
+            let _ = writeln!(s, "      \"iters\": {},", st.iters);
+            let _ = writeln!(s, "      \"total_ms\": {},", json_f64(st.total_ms));
+            let _ = writeln!(s, "      \"best_ms\": {},", json_f64(st.best_ms));
+            s.push_str("      \"metrics\": {");
+            for (j, (k, v)) in st.metrics.iter().enumerate() {
+                if j > 0 {
+                    s.push_str(", ");
+                }
+                let _ = write!(s, "\"{}\": {}", json_escape(k), json_f64(*v));
+            }
+            s.push_str("}\n");
+            s.push_str(if i + 1 == self.stages.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// One-line-per-stage summary for stdout.
+    pub fn summary(&self) -> String {
+        let mut s = format!(
+            "bench-json: preset={} threads={} scale={} hidden={} window={} snapshots={}\n",
+            self.preset, self.threads, self.scale, self.hidden, self.window, self.snapshots
+        );
+        for st in &self.stages {
+            let _ = writeln!(
+                s,
+                "  {:<26} best {:>10.3} ms   mean {:>10.3} ms   ({} iters)",
+                st.name,
+                st.best_ms,
+                st.total_ms / st.iters as f64,
+                st.iters
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_params() -> SuiteParams {
+        SuiteParams {
+            preset: DatasetPreset::Gdelt,
+            scale: 0.01,
+            hidden: 8,
+            window: 2,
+            snapshots: 4,
+            seed: 7,
+            kernel_iters: 1,
+            engine_iters: 1,
+        }
+    }
+
+    #[test]
+    fn suite_runs_and_serialises() {
+        let report = run_suite(&tiny_params(), 1);
+        assert_eq!(report.stages.len(), 7);
+        let names: Vec<_> = report.stages.iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"engine_reference"));
+        assert!(names.contains(&"engine_concurrent_exact"));
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"tagnn-bench/1\""));
+        assert!(json.contains("\"engine_concurrent_paper\""));
+        // Every engine stage carries the work counters.
+        for st in &report.stages {
+            if st.name.starts_with("engine_") {
+                assert!(st.metrics.iter().any(|(k, _)| k == "rnn_macs"));
+            }
+            assert!(st.best_ms <= st.total_ms + 1e-9);
+        }
+    }
+
+    #[test]
+    fn json_escaping_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_f64(2.0), "2");
+        assert_eq!(json_f64(2.5), "2.5");
+    }
+}

@@ -4,7 +4,7 @@
 //! [`WindowPlan`]s into workload measurement, the concurrent engine, and
 //! the simulator.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use tagnn_graph::plan::{CacheStats, PlanCache, WindowPlan, WindowPlanner};
 use tagnn_graph::{DatasetPreset, DynamicGraph, GeneratorConfig};
 use tagnn_models::{
@@ -12,6 +12,7 @@ use tagnn_models::{
 };
 use tagnn_obs::{span as obs_span, Recorder};
 use tagnn_sim::{AcceleratorConfig, SimReport, TagnnSimulator, Workload};
+use tagnn_tensor::Scratch;
 
 /// Builder for a [`TagnnPipeline`].
 #[derive(Debug, Clone)]
@@ -178,6 +179,7 @@ impl PipelineBuilder {
             skip: self.skip,
             reuse: self.reuse,
             recorder: self.recorder,
+            scratch: Arc::new(Mutex::new(Scratch::new())),
         }
     }
 }
@@ -216,6 +218,7 @@ pub struct TagnnPipeline {
     skip: SkipConfig,
     reuse: ReuseMode,
     recorder: Option<Arc<Recorder>>,
+    scratch: Arc<Mutex<Scratch>>,
 }
 
 impl TagnnPipeline {
@@ -253,6 +256,7 @@ impl TagnnPipeline {
             skip,
             reuse,
             recorder: None,
+            scratch: Arc::new(Mutex::new(Scratch::new())),
         }
     }
 
@@ -304,23 +308,35 @@ impl TagnnPipeline {
         self.plan_cache_delta
     }
 
-    /// Runs exact snapshot-by-snapshot inference.
+    /// Runs exact snapshot-by-snapshot inference. Repeated runs on the
+    /// same pipeline reuse one scratch arena, so only the first run pays
+    /// the workspace allocations.
     pub fn run_reference(&self) -> InferenceOutput {
-        ReferenceEngine::new(self.model.clone()).run_traced(&self.graph, self.recorder.as_deref())
+        let mut scratch = self.scratch.lock().expect("scratch arena poisoned");
+        ReferenceEngine::new(self.model.clone()).run_traced_scratch(
+            &self.graph,
+            self.recorder.as_deref(),
+            &mut scratch,
+        )
     }
 
     /// Runs topology-aware concurrent inference (TaGNN's execution model)
-    /// over the prebuilt plans.
+    /// over the prebuilt plans, reusing the pipeline's scratch arena.
     pub fn run_concurrent(&self) -> InferenceOutput {
-        ConcurrentEngine::with_options(self.model.clone(), self.skip, self.window, self.reuse)
-            .run_with_plans_traced(&self.graph, &self.plans, self.recorder.as_deref())
+        self.run_concurrent_with(self.skip)
     }
 
     /// Runs the concurrent engine with a different skipping configuration
     /// (the plans are skip-independent and reused as-is).
     pub fn run_concurrent_with(&self, skip: SkipConfig) -> InferenceOutput {
+        let mut scratch = self.scratch.lock().expect("scratch arena poisoned");
         ConcurrentEngine::with_options(self.model.clone(), skip, self.window, self.reuse)
-            .run_with_plans_traced(&self.graph, &self.plans, self.recorder.as_deref())
+            .run_with_plans_scratch(
+                &self.graph,
+                &self.plans,
+                self.recorder.as_deref(),
+                &mut scratch,
+            )
     }
 
     /// Simulates the measured workload on an accelerator configuration,

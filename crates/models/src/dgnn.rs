@@ -116,6 +116,17 @@ impl DgnnModel {
     pub fn feature_dim(&self) -> usize {
         self.layers[0].in_dim()
     }
+
+    /// Widest per-vertex row any GCN layer reads or writes — the sizing
+    /// bound for per-layer scratch tables.
+    #[inline]
+    pub fn max_layer_dim(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.in_dim().max(l.out_dim()))
+            .max()
+            .unwrap_or(0)
+    }
 }
 
 #[cfg(test)]

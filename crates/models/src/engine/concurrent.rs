@@ -20,6 +20,7 @@
 
 use crate::dgnn::DgnnModel;
 use crate::engine::{ExecutionStats, InferenceOutput};
+use crate::gcn;
 use crate::rnn::VertexState;
 use crate::skip::{CellMode, SkipConfig};
 use rayon::prelude::*;
@@ -30,8 +31,9 @@ use tagnn_graph::stats::neighbor_overlap;
 use tagnn_graph::types::{VertexClass, VertexId};
 use tagnn_graph::{DynamicGraph, Snapshot};
 use tagnn_obs::{span as obs_span, Recorder};
+use tagnn_tensor::kernels;
 use tagnn_tensor::similarity::{theta_score, CondensedDelta};
-use tagnn_tensor::{ops, DenseMatrix};
+use tagnn_tensor::{ops, DenseMatrix, Scratch};
 
 /// Per-vertex recurrent context: cell state plus the last input the cached
 /// pre-activation corresponds to.
@@ -41,6 +43,13 @@ struct VertexCtx {
     last_input: Vec<f32>,
     has_input: bool,
 }
+
+// Per-vertex cell outcome codes stored in the scratch arena between the
+// decision pass and the update/accounting passes.
+const MODE_NONE: u8 = 0;
+const MODE_NORMAL: u8 = 1;
+const MODE_DELTA: u8 = 2;
+const MODE_SKIP: u8 = 3;
 
 /// Cross-snapshot GNN reuse granularity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -167,19 +176,69 @@ impl ConcurrentEngine {
         plans: &[Arc<WindowPlan>],
         rec: Option<&Recorder>,
     ) -> InferenceOutput {
+        let mut scratch = Scratch::new();
+        self.run_with_plans_scratch(graph, plans, rec, &mut scratch)
+    }
+
+    /// [`Self::run_with_plans_traced`] with a caller-provided scratch
+    /// arena so repeated runs reuse one set of workspaces. After the
+    /// warm-up reservation, the steady-state per-snapshot loop grows no
+    /// scratch buffer; the only remaining allocations are per-window
+    /// setup (cached layer tables) and the deliverable output matrices.
+    ///
+    /// # Panics
+    /// Panics if `plans` does not line up with the graph's windows.
+    pub fn run_with_plans_scratch(
+        &self,
+        graph: &DynamicGraph,
+        plans: &[Arc<WindowPlan>],
+        rec: Option<&Recorder>,
+        scratch: &mut Scratch,
+    ) -> InferenceOutput {
         let started = std::time::Instant::now();
         let n = graph.num_vertices();
         let hidden = self.model.hidden();
+        let cell = self.model.cell();
+        let gh = cell.kind().gates() * hidden;
+        let cell_in = cell.in_dim();
         let mut stats = ExecutionStats::default();
         let mut ctxs: Vec<VertexCtx> = (0..n)
             .map(|_| VertexCtx {
-                state: self.model.cell().zero_state(),
+                state: cell.zero_state(),
                 last_input: vec![0.0; hidden],
                 has_input: false,
             })
             .collect();
         let mut final_features = Vec::with_capacity(graph.num_snapshots());
         let mut gnn_outputs: Vec<DenseMatrix> = Vec::with_capacity(graph.num_snapshots());
+
+        // Warm-up: reserve every workspace at its maximum size so the
+        // steady-state loop below never grows a scratch buffer.
+        let max_dim = self
+            .model
+            .layers()
+            .iter()
+            .map(|l| l.in_dim().max(l.out_dim()))
+            .max()
+            .unwrap_or(0);
+        scratch.degp1.reserve(n);
+        scratch.agg.reserve(n * max_dim);
+        scratch.xw.reserve(n * max_dim);
+        scratch.layer_a.reserve(n * max_dim);
+        scratch.layer_b.reserve(n * max_dim);
+        scratch.mask_a.reserve(n);
+        scratch.mask_b.reserve(n);
+        scratch.mask_changed0.reserve(n);
+        scratch.mask_topo.reserve(n);
+        scratch.batch_pos.reserve(n);
+        scratch.x_batch.reserve(n * cell_in);
+        scratch.h_batch.reserve(n * hidden);
+        scratch.x_pre.reserve(n * gh);
+        scratch.h_pre.reserve(n * gh);
+        scratch.cell_mode.reserve(n);
+        scratch.cell_nnz.reserve(n);
+        scratch.cell_sim.reserve(n);
+        scratch.mark_steady();
 
         assert_eq!(
             plans.len(),
@@ -208,7 +267,7 @@ impl ConcurrentEngine {
             // GNN phase with cross-snapshot reuse.
             let zs = {
                 let _span = obs_span(rec, "gnn_window");
-                self.gnn_window(&refs, cls, &mut stats, rec)
+                self.gnn_window(&refs, cls, &mut stats, rec, scratch)
             };
 
             // RNN phase with similarity-aware cell skipping. The first
@@ -217,88 +276,159 @@ impl ConcurrentEngine {
             // skip decisions over, precisely to stop error accumulating
             // across prolonged skipping — the refresh bounds a vertex's
             // staleness to K-1 snapshots.
+            //
+            // Execution is split into a read-only decision pass and an
+            // update pass so that every Normal-mode vertex can run through
+            // the batched gate GEMMs. A vertex's decision depends only on
+            // its own pre-step context, so the split selects exactly the
+            // modes the historical single-pass loop did.
             for (i, snap) in refs.iter().enumerate() {
                 let _span = obs_span(rec, "rnn");
                 let z = &zs[i];
                 let prev_pair: Option<(&Snapshot, &DenseMatrix)> =
                     (i > 0).then(|| (refs[i - 1], &zs[i - 1]));
 
-                let cell = self.model.cell();
                 let skip_cfg = self.skip;
                 let cls_ref = cls;
-                let results: Vec<(Option<CellMode>, u32, u64)> = ctxs
-                    .par_iter_mut()
-                    .enumerate()
-                    .map(|(vu, ctx)| {
-                        let v = vu as VertexId;
-                        if !snap.is_active(v) {
-                            return (None, 0, 0);
-                        }
-                        let z_cur = z.row(vu);
-                        // Similarity scoring (the SCU): needs a previous
-                        // snapshot in which the vertex existed. The feature
-                        // side compares against the input of the vertex's
-                        // *last actual update* (what the cached state being
-                        // reused was computed from), so drift cannot
-                        // silently accumulate across consecutive skips; the
-                        // topology side compares consecutive snapshots.
-                        // Similarity op cost: dot + 2 norms over hidden dims
-                        // plus the neighbour merge — charged exactly when
-                        // the SCU runs, i.e. under the same guard that
-                        // selects the mode (a vertex inactive in the
-                        // previous snapshot, or without a cached input, is
-                        // never scored and must not be billed).
-                        let (mode, sim_ops) = match prev_pair {
-                            Some((prev_snap, _))
-                                if skip_cfg.enabled && prev_snap.is_active(v) && ctx.has_input =>
-                            {
-                                let overlap = neighbor_overlap(prev_snap, snap, cls_ref, v);
-                                let theta = theta_score(&ctx.last_input, z_cur, overlap);
-                                (
-                                    skip_cfg.select(theta),
-                                    (3 * z_cur.len() + snap.csr().degree(v)) as u64,
-                                )
-                            }
-                            _ => (CellMode::Normal, 0),
-                        };
-                        match mode {
-                            CellMode::Normal => {
-                                cell.step(z_cur, &mut ctx.state);
-                                ctx.last_input.copy_from_slice(z_cur);
-                                ctx.has_input = true;
-                                (Some(CellMode::Normal), 0, sim_ops)
-                            }
-                            CellMode::Delta => {
-                                let dense = ops::sub(z_cur, &ctx.last_input);
-                                let delta =
-                                    CondensedDelta::from_dense(&dense, skip_cfg.delta_tolerance);
-                                let nnz = delta.nnz() as u32;
-                                cell.patch_preactivation(&mut ctx.state.x_pre, &delta);
-                                // Track the reconstructed input so lossy
-                                // deltas accumulate like DeltaRNN's.
-                                delta.add_to(&mut ctx.last_input);
-                                cell.step_cached(&mut ctx.state);
-                                (Some(CellMode::Delta), nnz, sim_ops)
-                            }
-                            CellMode::Skip => (Some(CellMode::Skip), 0, sim_ops),
-                        }
-                    })
-                    .collect();
 
-                let cell = self.model.cell();
-                for &(mode, nnz, sim_ops) in &results {
-                    stats.similarity_ops += sim_ops;
-                    match mode {
-                        Some(CellMode::Normal) => {
+                // Pass 1 (decide): score every vertex, record its mode and
+                // similarity-op charge. Reads contexts immutably.
+                let cell_mode = scratch.cell_mode.take_uninit(n);
+                let cell_sim = scratch.cell_sim.take_uninit(n);
+                {
+                    let ctxs = &ctxs;
+                    cell_mode
+                        .par_iter_mut()
+                        .zip(cell_sim.par_iter_mut())
+                        .enumerate()
+                        .for_each(|(vu, (mode_slot, sim_slot))| {
+                            let v = vu as VertexId;
+                            *mode_slot = MODE_NONE;
+                            *sim_slot = 0;
+                            if !snap.is_active(v) {
+                                return;
+                            }
+                            let ctx = &ctxs[vu];
+                            let z_cur = z.row(vu);
+                            // Similarity scoring (the SCU): needs a previous
+                            // snapshot in which the vertex existed. The feature
+                            // side compares against the input of the vertex's
+                            // *last actual update* (what the cached state being
+                            // reused was computed from), so drift cannot
+                            // silently accumulate across consecutive skips; the
+                            // topology side compares consecutive snapshots.
+                            // Similarity op cost: dot + 2 norms over hidden dims
+                            // plus the neighbour merge — charged exactly when
+                            // the SCU runs, i.e. under the same guard that
+                            // selects the mode (a vertex inactive in the
+                            // previous snapshot, or without a cached input, is
+                            // never scored and must not be billed).
+                            let (mode, sim_ops) = match prev_pair {
+                                Some((prev_snap, _))
+                                    if skip_cfg.enabled
+                                        && prev_snap.is_active(v)
+                                        && ctx.has_input =>
+                                {
+                                    let overlap = neighbor_overlap(prev_snap, snap, cls_ref, v);
+                                    let theta = theta_score(&ctx.last_input, z_cur, overlap);
+                                    (
+                                        skip_cfg.select(theta),
+                                        (3 * z_cur.len() + snap.csr().degree(v)) as u64,
+                                    )
+                                }
+                                _ => (CellMode::Normal, 0),
+                            };
+                            *sim_slot = sim_ops;
+                            *mode_slot = match mode {
+                                CellMode::Normal => MODE_NORMAL,
+                                CellMode::Delta => MODE_DELTA,
+                                CellMode::Skip => MODE_SKIP,
+                            };
+                        });
+                }
+
+                // Batch every Normal vertex: gather its GNN output row and
+                // hidden state, compute both gate pre-activations with two
+                // GEMMs instead of one matvec pair per vertex.
+                let pos = scratch.batch_pos.take_uninit(n);
+                let mut batch = 0usize;
+                for vu in 0..n {
+                    if cell_mode[vu] == MODE_NORMAL {
+                        pos[vu] = batch as u32;
+                        batch += 1;
+                    } else {
+                        pos[vu] = u32::MAX;
+                    }
+                }
+                let x_batch = scratch.x_batch.take_uninit(batch * cell_in);
+                let h_batch = scratch.h_batch.take_uninit(batch * hidden);
+                for vu in 0..n {
+                    if pos[vu] != u32::MAX {
+                        let p = pos[vu] as usize;
+                        x_batch[p * cell_in..][..cell_in].copy_from_slice(z.row(vu));
+                        h_batch[p * hidden..][..hidden].copy_from_slice(&ctxs[vu].state.h);
+                    }
+                }
+                let x_pre = scratch.x_pre.take_uninit(batch * gh);
+                let h_pre = scratch.h_pre.take_uninit(batch * gh);
+                cell.batch_preactivations(batch, x_batch, h_batch, x_pre, h_pre);
+
+                // Pass 2 (update): Normal vertices scatter their batched
+                // pre-activations and apply gates in place; Delta vertices
+                // run the condensed-patch path exactly as before; Skip
+                // vertices are untouched.
+                let cell_nnz = scratch.cell_nnz.take_uninit(n);
+                {
+                    let (pos, x_pre, h_pre, cell_mode) = (&*pos, &*x_pre, &*h_pre, &*cell_mode);
+                    ctxs.par_iter_mut()
+                        .zip(cell_nnz.par_iter_mut())
+                        .enumerate()
+                        .for_each(|(vu, (ctx, nnz_slot))| {
+                            *nnz_slot = 0;
+                            match cell_mode[vu] {
+                                MODE_NORMAL => {
+                                    let p = pos[vu] as usize;
+                                    let z_cur = z.row(vu);
+                                    ctx.state
+                                        .x_pre
+                                        .copy_from_slice(&x_pre[p * gh..(p + 1) * gh]);
+                                    let VertexState { h, c, x_pre } = &mut ctx.state;
+                                    cell.apply_gates(x_pre, &h_pre[p * gh..(p + 1) * gh], h, c);
+                                    ctx.last_input.copy_from_slice(z_cur);
+                                    ctx.has_input = true;
+                                }
+                                MODE_DELTA => {
+                                    let z_cur = z.row(vu);
+                                    let dense = ops::sub(z_cur, &ctx.last_input);
+                                    let delta = CondensedDelta::from_dense(
+                                        &dense,
+                                        skip_cfg.delta_tolerance,
+                                    );
+                                    *nnz_slot = delta.nnz() as u32;
+                                    cell.patch_preactivation(&mut ctx.state.x_pre, &delta);
+                                    // Track the reconstructed input so lossy
+                                    // deltas accumulate like DeltaRNN's.
+                                    delta.add_to(&mut ctx.last_input);
+                                    cell.step_cached(&mut ctx.state);
+                                }
+                                _ => {}
+                            }
+                        });
+                }
+
+                for vu in 0..n {
+                    stats.similarity_ops += cell_sim[vu];
+                    match cell_mode[vu] {
+                        MODE_NORMAL => {
                             stats.skip.normal += 1;
                             stats.rnn_macs += cell.full_step_macs();
                         }
-                        Some(CellMode::Delta) => {
+                        MODE_DELTA => {
                             stats.skip.delta += 1;
-                            stats.rnn_macs += cell.delta_step_macs(nnz as usize);
+                            stats.rnn_macs += cell.delta_step_macs(cell_nnz[vu] as usize);
                         }
-                        Some(CellMode::Skip) => stats.skip.skipped += 1,
-                        None => {}
+                        MODE_SKIP => stats.skip.skipped += 1,
+                        _ => {}
                     }
                 }
 
@@ -317,6 +447,7 @@ impl ConcurrentEngine {
                 cls.count(VertexClass::Unaffected) as u64 * (refs.len() as u64 - 1);
         }
 
+        scratch.debug_assert_steady();
         stats.wall_ns = started.elapsed().as_nanos() as u64;
         if let Some(rec) = rec {
             stats.publish(rec, "engine.concurrent");
@@ -344,35 +475,79 @@ impl ConcurrentEngine {
         cls: &WindowClassification,
         stats: &mut ExecutionStats,
         rec: Option<&Recorder>,
+        scratch: &mut Scratch,
     ) -> Vec<DenseMatrix> {
         let first = refs[0];
         let n = first.num_vertices();
         let layers = self.model.layers();
 
-        // Snapshot 0: full forward, keeping every layer's output for reuse.
+        // Snapshot 0: full fused forward, keeping every layer's output for
+        // reuse. Transform-first layers additionally pin their `X·W` table
+        // for the window, so later snapshots can patch individual rows
+        // (bit-compatible with the full GEMM) instead of redoing it.
         let mut outputs0: Vec<DenseMatrix> = Vec::with_capacity(layers.len() + 1);
+        let mut xw0s: Vec<Option<DenseMatrix>> = Vec::with_capacity(layers.len());
         outputs0.push(first.features().clone());
-        for (l, layer) in layers.iter().enumerate() {
-            let _span = obs_span(rec, "gnn_layer");
-            let x = outputs0.last().unwrap();
-            for v in 0..n as VertexId {
-                if !first.is_active(v) {
-                    continue;
+        {
+            let degp1 = scratch.degp1.take_uninit(n);
+            gcn::fill_degp1(first, degp1);
+            for (l, layer) in layers.iter().enumerate() {
+                let _span = obs_span(rec, "gnn_layer");
+                let x = outputs0.last().unwrap();
+                for v in 0..n as VertexId {
+                    if !first.is_active(v) {
+                        continue;
+                    }
+                    let deg = first.csr().degree(v) as u64;
+                    stats.gnn_aggregate_macs += (deg + 1) * layer.in_dim() as u64;
+                    if l == 0 {
+                        // Cold pass: every feature row travels once.
+                        stats.feature_rows_loaded += deg + 1;
+                        stats.structure_words_loaded += 2 + deg;
+                    } else {
+                        stats.feature_rows_reused += deg + 1;
+                    }
                 }
-                let deg = first.csr().degree(v) as u64;
-                stats.gnn_aggregate_macs += (deg + 1) * layer.in_dim() as u64;
-                if l == 0 {
-                    // Cold pass: every feature row travels once.
-                    stats.feature_rows_loaded += deg + 1;
-                    stats.structure_words_loaded += 2 + deg;
+                let active = first.num_active() as u64;
+                stats.gnn_combine_macs += active * (layer.in_dim() * layer.out_dim()) as u64;
+                stats.gnn_vertices_computed += active;
+
+                let out_dim = layer.out_dim();
+                let mut out = DenseMatrix::zeros(n, out_dim);
+                if layer.transform_first() {
+                    // Same operation sequence as `forward_into`'s
+                    // transform-first arm, but the X·W table outlives the
+                    // call (window-pinned).
+                    let mut xw = DenseMatrix::zeros(n, out_dim);
+                    kernels::gemm_into(
+                        n,
+                        layer.in_dim(),
+                        out_dim,
+                        x.as_slice(),
+                        layer.weight().as_slice(),
+                        xw.as_mut_slice(),
+                    );
+                    layer.aggregate_rows_into(
+                        first,
+                        xw.as_slice(),
+                        out_dim,
+                        degp1,
+                        out.as_mut_slice(),
+                    );
+                    layer.activation().apply(out.as_mut_slice());
+                    xw0s.push(Some(xw));
                 } else {
-                    stats.feature_rows_reused += deg + 1;
+                    layer.forward_into(
+                        first,
+                        x.as_slice(),
+                        degp1,
+                        &mut scratch.agg,
+                        out.as_mut_slice(),
+                    );
+                    xw0s.push(None);
                 }
+                outputs0.push(out);
             }
-            let active = first.num_active() as u64;
-            stats.gnn_combine_macs += active * (layer.in_dim() * layer.out_dim()) as u64;
-            stats.gnn_vertices_computed += active;
-            outputs0.push(layer.forward(first, x));
         }
 
         let mut zs = Vec::with_capacity(refs.len());
@@ -380,60 +555,153 @@ impl ConcurrentEngine {
 
         for snap in &refs[1..] {
             let _span = obs_span(rec, "gnn_incremental");
+            let degp1 = scratch.degp1.take_uninit(n);
+            gcn::fill_degp1(snap, degp1);
             // Layer-0 change set versus snapshot 0 (content-level, used for
             // traffic accounting in both modes).
-            let changed0: Vec<bool> = (0..n as VertexId)
-                .into_par_iter()
-                .map(|v| {
-                    snap.is_active(v) != first.is_active(v)
-                        || (snap.is_active(v) && snap.feature(v) != first.feature(v))
-                })
-                .collect();
-            let topo_changed: Vec<bool> = (0..n as VertexId)
-                .into_par_iter()
-                .map(|v| snap.neighbors(v) != first.neighbors(v))
-                .collect();
+            let changed0 = scratch.mask_changed0.take_uninit(n);
+            changed0.par_iter_mut().enumerate().for_each(|(vu, c)| {
+                let v = vu as VertexId;
+                *c = snap.is_active(v) != first.is_active(v)
+                    || (snap.is_active(v) && snap.feature(v) != first.feature(v));
+            });
+            let topo_changed = scratch.mask_topo.take_uninit(n);
+            topo_changed.par_iter_mut().enumerate().for_each(|(vu, t)| {
+                let v = vu as VertexId;
+                *t = snap.neighbors(v) != first.neighbors(v);
+            });
 
-            let mut changed_in = changed0.clone();
-            let mut x = snap.features().clone();
+            let mut changed_in = scratch.mask_a.take_uninit(n);
+            changed_in.copy_from_slice(changed0);
+            let mut changed_out = scratch.mask_b.take_uninit(n);
+            let mut cur = scratch.layer_a.take_uninit(n * self.model.max_layer_dim());
+            let mut next = scratch.layer_b.take_uninit(n * self.model.max_layer_dim());
+            let last_dim = layers.last().map_or(0, |l| l.out_dim());
+            let mut z = DenseMatrix::zeros(n, last_dim);
             for (l, layer) in layers.iter().enumerate() {
-                let changed_out: Vec<bool> = match self.reuse {
-                    // A vertex's layer output changes when its own input or
-                    // neighbour list changed, or any neighbour's input or
-                    // neighbour list changed — the latter because the
-                    // symmetric GCN normalisation reads neighbour degrees.
-                    ReuseMode::Exact => (0..n as VertexId)
-                        .into_par_iter()
-                        .map(|v| {
-                            topo_changed[v as usize]
-                                || changed_in[v as usize]
-                                || snap
-                                    .neighbors(v)
-                                    .iter()
-                                    .any(|&u| changed_in[u as usize] || topo_changed[u as usize])
-                        })
-                        .collect(),
-                    // The paper recomputes exactly the affected subgraph
-                    // (stable + affected vertices) at every layer.
-                    ReuseMode::PaperWindow => (0..n as VertexId)
-                        .into_par_iter()
-                        .map(|v| cls.class(v).in_affected_subgraph() || changed0[v as usize])
-                        .collect(),
-                };
+                {
+                    let (changed0, topo_changed, changed_in) =
+                        (&*changed0, &*topo_changed, &*changed_in);
+                    let reuse = self.reuse;
+                    changed_out
+                        .par_iter_mut()
+                        .enumerate()
+                        .for_each(|(vu, out)| {
+                            let v = vu as VertexId;
+                            *out = match reuse {
+                                // A vertex's layer output changes when its own
+                                // input or neighbour list changed, or any
+                                // neighbour's input or neighbour list changed —
+                                // the latter because the symmetric GCN
+                                // normalisation reads neighbour degrees.
+                                ReuseMode::Exact => {
+                                    topo_changed[vu]
+                                        || changed_in[vu]
+                                        || snap.neighbors(v).iter().any(|&u| {
+                                            changed_in[u as usize] || topo_changed[u as usize]
+                                        })
+                                }
+                                // The paper recomputes exactly the affected
+                                // subgraph (stable + affected vertices) at every
+                                // layer.
+                                ReuseMode::PaperWindow => {
+                                    cls.class(v).in_affected_subgraph() || changed0[vu]
+                                }
+                            };
+                        });
+                }
 
-                let out_dim = layer.out_dim();
+                let (in_dim, out_dim) = (layer.in_dim(), layer.out_dim());
+                let input: &[f32] = if l == 0 {
+                    snap.features().as_slice()
+                } else {
+                    &cur[..n * in_dim]
+                };
                 let reused = &outputs0[l + 1];
-                let mut out = vec![0.0f32; n * out_dim];
-                out.par_chunks_exact_mut(out_dim)
-                    .enumerate()
-                    .for_each(|(vu, row)| {
-                        if changed_out[vu] {
-                            let y = layer.forward_vertex(snap, &x, vu as VertexId);
-                            row.copy_from_slice(&y);
-                        } else {
-                            row.copy_from_slice(reused.row(vu));
-                        }
-                    });
+                let last = l + 1 == layers.len();
+                let out: &mut [f32] = if last {
+                    z.as_mut_slice()
+                } else {
+                    &mut next[..n * out_dim]
+                };
+                let recompute: &[bool] = &*changed_out;
+
+                if let Some(xw0) = &xw0s[l] {
+                    // Transform-first: refresh the window-pinned X·W table
+                    // row-wise (recomputed rows are bit-identical to the
+                    // full GEMM; rows with unchanged input content need no
+                    // recompute because X·W rows depend only on their own
+                    // input row), then aggregate only the changed vertices.
+                    let xw_cur = scratch.xw.take_uninit(n * out_dim);
+                    xw_cur
+                        .par_chunks_exact_mut(out_dim)
+                        .enumerate()
+                        .for_each(|(vu, row)| {
+                            let v = vu as VertexId;
+                            let content_changed = if l == 0 {
+                                snap.feature(v) != first.feature(v)
+                            } else {
+                                changed_in[vu]
+                            };
+                            if content_changed {
+                                let x_row = &input[vu * in_dim..][..in_dim];
+                                layer.transform_row_into(x_row, row);
+                            } else {
+                                row.copy_from_slice(xw0.row(vu));
+                            }
+                        });
+                    let xw_cur = &*xw_cur;
+                    let degp1 = &*degp1;
+                    out.par_chunks_exact_mut(out_dim)
+                        .enumerate()
+                        .for_each(|(vu, row)| {
+                            if recompute[vu] {
+                                layer.aggregate_row_into(
+                                    snap,
+                                    xw_cur,
+                                    out_dim,
+                                    degp1,
+                                    vu as VertexId,
+                                    row,
+                                );
+                                layer.activation().apply(row);
+                            } else {
+                                row.copy_from_slice(reused.row(vu));
+                            }
+                        });
+                } else {
+                    // Aggregate-first: stage the changed vertices'
+                    // aggregates, then combine them row-wise — the same
+                    // additions in the same order as the fused full pass.
+                    let agg = scratch.agg.take_uninit(n * in_dim);
+                    {
+                        let degp1 = &*degp1;
+                        agg.par_chunks_exact_mut(in_dim)
+                            .enumerate()
+                            .for_each(|(vu, row)| {
+                                if recompute[vu] {
+                                    layer.aggregate_row_into(
+                                        snap,
+                                        input,
+                                        in_dim,
+                                        degp1,
+                                        vu as VertexId,
+                                        row,
+                                    );
+                                }
+                            });
+                    }
+                    let agg = &*agg;
+                    out.par_chunks_exact_mut(out_dim)
+                        .enumerate()
+                        .for_each(|(vu, row)| {
+                            if recompute[vu] {
+                                layer.combine_row_into(&agg[vu * in_dim..][..in_dim], row);
+                            } else {
+                                row.copy_from_slice(reused.row(vu));
+                            }
+                        });
+                }
 
                 // Work and traffic accounting.
                 for v in 0..n as VertexId {
@@ -441,7 +709,7 @@ impl ConcurrentEngine {
                         continue;
                     }
                     let deg = snap.csr().degree(v) as u64;
-                    if changed_out[v as usize] {
+                    if recompute[v as usize] {
                         stats.gnn_aggregate_macs += (deg + 1) * layer.in_dim() as u64;
                         stats.gnn_combine_macs += (layer.in_dim() * layer.out_dim()) as u64;
                         stats.gnn_vertices_computed += 1;
@@ -466,10 +734,12 @@ impl ConcurrentEngine {
                     }
                 }
 
-                x = DenseMatrix::from_vec(n, out_dim, out);
-                changed_in = changed_out;
+                if !last {
+                    std::mem::swap(&mut cur, &mut next);
+                }
+                std::mem::swap(&mut changed_in, &mut changed_out);
             }
-            zs.push(x);
+            zs.push(z);
         }
         zs
     }

@@ -9,12 +9,13 @@
 
 use crate::dgnn::DgnnModel;
 use crate::engine::{ExecutionStats, InferenceOutput};
+use crate::gcn;
 use crate::rnn::VertexState;
 use rayon::prelude::*;
 use tagnn_graph::types::VertexId;
 use tagnn_graph::{DynamicGraph, Snapshot};
 use tagnn_obs::{span as obs_span, Recorder};
-use tagnn_tensor::DenseMatrix;
+use tagnn_tensor::{DenseMatrix, Scratch};
 
 /// Snapshot-by-snapshot exact inference.
 #[derive(Debug, Clone)]
@@ -43,27 +44,85 @@ impl ReferenceEngine {
     /// published as `engine.reference.*` counters. With `None` this is
     /// exactly `run`.
     pub fn run_traced(&self, graph: &DynamicGraph, rec: Option<&Recorder>) -> InferenceOutput {
+        let mut scratch = Scratch::new();
+        self.run_traced_scratch(graph, rec, &mut scratch)
+    }
+
+    /// [`Self::run_traced`] with a caller-provided scratch arena, so
+    /// repeated runs (pipelines, benches) reuse one set of workspaces.
+    /// After warm-up reservation the per-snapshot loop performs no heap
+    /// allocation beyond the deliverable output matrices.
+    pub fn run_traced_scratch(
+        &self,
+        graph: &DynamicGraph,
+        rec: Option<&Recorder>,
+        scratch: &mut Scratch,
+    ) -> InferenceOutput {
         let started = std::time::Instant::now();
         let n = graph.num_vertices();
         let hidden = self.model.hidden();
+        let cell = self.model.cell();
+        let gh = cell.kind().gates() * hidden;
+        let in_dim = cell.in_dim();
         let mut stats = ExecutionStats::default();
-        let mut states: Vec<VertexState> = (0..n).map(|_| self.model.cell().zero_state()).collect();
+        let mut states: Vec<VertexState> = (0..n).map(|_| cell.zero_state()).collect();
         let mut final_features = Vec::with_capacity(graph.num_snapshots());
         let mut gnn_outputs = Vec::with_capacity(graph.num_snapshots());
+
+        // Warm-up: reserve every workspace at its maximum size so the
+        // per-snapshot loop below never allocates.
+        let max_dim = self.model.max_layer_dim();
+        scratch.degp1.reserve(n);
+        scratch.agg.reserve(n * max_dim);
+        scratch.layer_a.reserve(n * max_dim);
+        scratch.layer_b.reserve(n * max_dim);
+        scratch.batch_pos.reserve(n);
+        scratch.x_batch.reserve(n * in_dim);
+        scratch.h_batch.reserve(n * hidden);
+        scratch.x_pre.reserve(n * gh);
+        scratch.h_pre.reserve(n * gh);
+        scratch.mark_steady();
 
         for snap in graph.snapshots() {
             // GNN module: full multi-layer forward over every vertex.
             let z = {
                 let _span = obs_span(rec, "gnn_snapshot");
-                self.gnn_forward(snap, &mut stats)
+                self.gnn_forward(snap, &mut stats, scratch)
             };
 
-            // RNN module: full cell update per active vertex.
+            // RNN module: full cell update per active vertex, batched —
+            // gather active rows, two GEMMs for both gate
+            // pre-activations, scatter back through the position map.
             let _span = obs_span(rec, "rnn");
-            let cell = self.model.cell();
-            states.par_iter_mut().enumerate().for_each(|(v, state)| {
+            let pos = scratch.batch_pos.take_uninit(n);
+            let mut batch = 0usize;
+            for (v, p) in pos.iter_mut().enumerate() {
                 if snap.is_active(v as VertexId) {
-                    cell.step(z.row(v), state);
+                    *p = batch as u32;
+                    batch += 1;
+                } else {
+                    *p = u32::MAX;
+                }
+            }
+            let x_batch = scratch.x_batch.take_uninit(batch * in_dim);
+            let h_batch = scratch.h_batch.take_uninit(batch * hidden);
+            for v in 0..n {
+                if pos[v] != u32::MAX {
+                    let p = pos[v] as usize;
+                    x_batch[p * in_dim..][..in_dim].copy_from_slice(z.row(v));
+                    h_batch[p * hidden..][..hidden].copy_from_slice(&states[v].h);
+                }
+            }
+            let x_pre = scratch.x_pre.take_uninit(batch * gh);
+            let h_pre = scratch.h_pre.take_uninit(batch * gh);
+            cell.batch_preactivations(batch, x_batch, h_batch, x_pre, h_pre);
+            let (pos, x_pre, h_pre) = (&*pos, &*x_pre, &*h_pre);
+            states.par_iter_mut().enumerate().for_each(|(v, state)| {
+                if pos[v] != u32::MAX {
+                    let p = pos[v] as usize;
+                    state.x_pre.copy_from_slice(&x_pre[p * gh..(p + 1) * gh]);
+                    let VertexState { h, c, x_pre } = state;
+                    cell.apply_gates(x_pre, &h_pre[p * gh..(p + 1) * gh], h, c);
                 }
             });
             let active = snap.num_active() as u64;
@@ -78,6 +137,7 @@ impl ReferenceEngine {
             gnn_outputs.push(z);
         }
 
+        scratch.debug_assert_steady();
         stats.wall_ns = started.elapsed().as_nanos() as u64;
         if let Some(rec) = rec {
             stats.publish(rec, "engine.reference");
@@ -90,9 +150,30 @@ impl ReferenceEngine {
     }
 
     /// Full GNN forward for one snapshot, with load/MAC accounting.
-    pub(crate) fn gnn_forward(&self, snap: &Snapshot, stats: &mut ExecutionStats) -> DenseMatrix {
-        let mut x = snap.features().clone();
-        for layer in self.model.layers() {
+    ///
+    /// Runs the fused [`crate::gcn::GcnLayer::forward_into`] per layer,
+    /// ping-ponging intermediate tables between two scratch buffers;
+    /// only the final layer writes a deliverable matrix.
+    pub(crate) fn gnn_forward(
+        &self,
+        snap: &Snapshot,
+        stats: &mut ExecutionStats,
+        scratch: &mut Scratch,
+    ) -> DenseMatrix {
+        let n = snap.num_vertices();
+        let layers = self.model.layers();
+        let max_dim = self.model.max_layer_dim();
+        let degp1 = scratch.degp1.take_uninit(n);
+        gcn::fill_degp1(snap, degp1);
+        // Ping-pong pair for intermediate layer tables: `cur` holds the
+        // running input (layer 0 reads the snapshot features directly),
+        // `next` receives the output, then the two swap.
+        let mut cur = scratch.layer_a.take_uninit(n * max_dim);
+        let mut next = scratch.layer_b.take_uninit(n * max_dim);
+        let work = &mut scratch.agg;
+        let last_dim = layers.last().map_or(0, |l| l.out_dim());
+        let mut z = DenseMatrix::zeros(n, last_dim);
+        for (i, layer) in layers.iter().enumerate() {
             // Accounting first (analytic; the forward itself is parallel).
             let mut agg_macs = 0u64;
             let mut loads = 0u64;
@@ -113,9 +194,20 @@ impl ReferenceEngine {
             stats.structure_words_loaded += structure;
             stats.gnn_vertices_computed += active;
 
-            x = layer.forward(snap, &x);
+            let (in_len, out_len) = (n * layer.in_dim(), n * layer.out_dim());
+            let input: &[f32] = if i == 0 {
+                snap.features().as_slice()
+            } else {
+                &cur[..in_len]
+            };
+            if i + 1 == layers.len() {
+                layer.forward_into(snap, input, degp1, work, z.as_mut_slice());
+            } else {
+                layer.forward_into(snap, input, degp1, work, &mut next[..out_len]);
+                std::mem::swap(&mut cur, &mut next);
+            }
         }
-        x
+        z
     }
 }
 

@@ -6,7 +6,21 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use tagnn_graph::types::VertexId;
 use tagnn_graph::Snapshot;
+use tagnn_tensor::kernels::{self, ScratchBuf};
 use tagnn_tensor::{init, ops, Activation, DenseMatrix};
+
+/// Fills `out[v] = (deg(v) + 1) as f32` — the per-snapshot
+/// normalisation table every fused layer forward shares, so degrees are
+/// converted once per snapshot instead of once per vertex per layer.
+///
+/// # Panics
+/// Panics if `out.len() != snap.num_vertices()`.
+pub fn fill_degp1(snap: &Snapshot, out: &mut [f32]) {
+    assert_eq!(out.len(), snap.num_vertices(), "degp1 length mismatch");
+    out.par_iter_mut().enumerate().for_each(|(v, d)| {
+        *d = (snap.csr().degree(v as VertexId) + 1) as f32;
+    });
+}
 
 /// How neighbour features are combined before the dense transform — the
 /// paper's claim that TaGNN "is highly versatile and adaptable to a broad
@@ -82,6 +96,23 @@ impl GcnLayer {
         &self.weight
     }
 
+    /// The activation applied after combination.
+    #[inline]
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Whether the fused forward multiplies by `W` *before* aggregating.
+    ///
+    /// `Â·(X·W)` and `(Â·X)·W` are mathematically identical; the fused
+    /// forward picks whichever moves fewer floats through the
+    /// aggregation: transform first exactly when the layer shrinks its
+    /// input (`out_dim < in_dim`), aggregate first otherwise.
+    #[inline]
+    pub fn transform_first(&self) -> bool {
+        self.out_dim() < self.in_dim()
+    }
+
     /// Aggregation for a single vertex over `N(v) ∪ {v}`, per the layer's
     /// [`AggregatorKind`].
     ///
@@ -134,7 +165,133 @@ impl GcnLayer {
         self.combine_vertex(&self.aggregate_vertex(snap, x, v))
     }
 
-    /// Full layer forward over the whole snapshot (parallel over vertices).
+    /// Aggregation for one vertex over a flat row-major table `x`
+    /// (`num_vertices · dim`), written into `out` (length `dim`).
+    ///
+    /// Same math as [`Self::aggregate_vertex`] — inactive vertices
+    /// aggregate to zero, self-loop first, then sorted neighbours — but
+    /// normalisation weights come from the precomputed `degp1` table
+    /// (see [`fill_degp1`]) and no allocation happens.
+    pub fn aggregate_row_into(
+        &self,
+        snap: &Snapshot,
+        x: &[f32],
+        dim: usize,
+        degp1: &[f32],
+        v: VertexId,
+        out: &mut [f32],
+    ) {
+        out.fill(0.0);
+        if !snap.is_active(v) {
+            return;
+        }
+        let dv = degp1[v as usize];
+        match self.aggregator {
+            AggregatorKind::GcnNormalized => {
+                // Self-loop.
+                ops::axpy(out, 1.0 / dv, &x[v as usize * dim..][..dim]);
+                for &u in snap.neighbors(v) {
+                    let norm = 1.0 / (dv * degp1[u as usize]).sqrt();
+                    ops::axpy(out, norm, &x[u as usize * dim..][..dim]);
+                }
+            }
+            AggregatorKind::Mean => {
+                let scale = 1.0 / dv;
+                ops::axpy(out, scale, &x[v as usize * dim..][..dim]);
+                for &u in snap.neighbors(v) {
+                    ops::axpy(out, scale, &x[u as usize * dim..][..dim]);
+                }
+            }
+            AggregatorKind::Sum => {
+                ops::axpy(out, 1.0, &x[v as usize * dim..][..dim]);
+                for &u in snap.neighbors(v) {
+                    ops::axpy(out, 1.0, &x[u as usize * dim..][..dim]);
+                }
+            }
+        }
+    }
+
+    /// [`Self::aggregate_row_into`] for every vertex, parallel over
+    /// rows. `x` and `out` are both `num_vertices · dim` flat tables.
+    pub fn aggregate_rows_into(
+        &self,
+        snap: &Snapshot,
+        x: &[f32],
+        dim: usize,
+        degp1: &[f32],
+        out: &mut [f32],
+    ) {
+        if dim == 0 {
+            return;
+        }
+        out.par_chunks_exact_mut(dim)
+            .enumerate()
+            .for_each(|(v, row)| {
+                self.aggregate_row_into(snap, x, dim, degp1, v as VertexId, row);
+            });
+    }
+
+    /// Allocation-free combination for one vertex: `out = act(agg · W)`
+    /// via the row kernel — bit-compatible with one row of the fused
+    /// GEMM over the same aggregate table.
+    pub fn combine_row_into(&self, agg: &[f32], out: &mut [f32]) {
+        kernels::rowmat_into(agg, self.weight.as_slice(), self.out_dim(), out);
+        self.activation.apply(out);
+    }
+
+    /// Recomputes one row of the layer's `X·W` product (no activation,
+    /// no aggregation) — bit-compatible with the same row of the fused
+    /// transform-first GEMM, which is what makes per-row patching of a
+    /// cached `X·W` table legal.
+    pub fn transform_row_into(&self, x_row: &[f32], out: &mut [f32]) {
+        kernels::rowmat_into(x_row, self.weight.as_slice(), self.out_dim(), out);
+    }
+
+    /// Fused full-snapshot forward into a caller-provided buffer.
+    ///
+    /// Picks the cheaper associativity per layer: `Â·(X·W)` when the
+    /// layer shrinks its input ([`Self::transform_first`]), `(Â·X)·W`
+    /// otherwise. The aggregate-first path performs exactly the same
+    /// additions in the same order as the per-vertex
+    /// [`Self::forward_vertex`]; the transform-first path reassociates
+    /// the product and may differ in the last float bits.
+    ///
+    /// `work` is the layer's intermediate workspace (grown on first
+    /// use, reused afterwards); `x` is the `num_vertices · in_dim`
+    /// input table and `out` the `num_vertices · out_dim` output.
+    ///
+    /// # Panics
+    /// Panics on any shape mismatch.
+    pub fn forward_into(
+        &self,
+        snap: &Snapshot,
+        x: &[f32],
+        degp1: &[f32],
+        work: &mut ScratchBuf<f32>,
+        out: &mut [f32],
+    ) {
+        let n = snap.num_vertices();
+        assert_eq!(x.len(), n * self.in_dim(), "layer input dim mismatch");
+        assert_eq!(out.len(), n * self.out_dim(), "layer output shape mismatch");
+        assert_eq!(degp1.len(), n, "degp1 length mismatch");
+        let (in_dim, out_dim) = (self.in_dim(), self.out_dim());
+        if self.transform_first() {
+            let xw = work.take_uninit(n * out_dim);
+            kernels::gemm_into(n, in_dim, out_dim, x, self.weight.as_slice(), xw);
+            self.aggregate_rows_into(snap, xw, out_dim, degp1, out);
+        } else {
+            let agg = work.take_uninit(n * in_dim);
+            self.aggregate_rows_into(snap, x, in_dim, degp1, agg);
+            kernels::gemm_into(n, in_dim, out_dim, agg, self.weight.as_slice(), out);
+        }
+        self.activation.apply(out);
+    }
+
+    /// Full layer forward over the whole snapshot.
+    ///
+    /// Thin wrapper over [`Self::forward_into`] with a throwaway
+    /// scratch — engines that run many snapshots should call
+    /// `forward_into` with a persistent [`ScratchBuf`] instead.
     ///
     /// # Panics
     /// Panics if `x` has the wrong shape.
@@ -146,15 +303,12 @@ impl GcnLayer {
         );
         assert_eq!(x.cols(), self.in_dim(), "layer input dim mismatch");
         let n = snap.num_vertices();
-        let out_dim = self.out_dim();
-        let mut out = vec![0.0f32; n * out_dim];
-        out.par_chunks_exact_mut(out_dim)
-            .enumerate()
-            .for_each(|(v, row)| {
-                let y = self.forward_vertex(snap, x, v as VertexId);
-                row.copy_from_slice(&y);
-            });
-        DenseMatrix::from_vec(n, out_dim, out)
+        let mut degp1 = vec![0.0f32; n];
+        fill_degp1(snap, &mut degp1);
+        let mut work = ScratchBuf::default();
+        let mut out = vec![0.0f32; n * self.out_dim()];
+        self.forward_into(snap, x.as_slice(), &degp1, &mut work, &mut out);
+        DenseMatrix::from_vec(n, self.out_dim(), out)
     }
 }
 
@@ -214,6 +368,77 @@ mod tests {
                 layer.forward_vertex(&s, s.features(), v).as_slice()
             );
         }
+    }
+
+    #[test]
+    fn transform_first_triggers_only_on_shrinking_layers() {
+        assert!(GcnLayer::new(4, 2, Activation::Identity, 1).transform_first());
+        assert!(!GcnLayer::new(2, 4, Activation::Identity, 1).transform_first());
+        assert!(!GcnLayer::new(3, 3, Activation::Identity, 1).transform_first());
+    }
+
+    #[test]
+    fn transform_first_forward_matches_per_vertex_within_tolerance() {
+        // A shrinking layer takes the Â·(X·W) path, which reassociates
+        // the product relative to forward_vertex's (Â·X)·W — equality
+        // only up to float reassociation.
+        let n = 6;
+        let s = Snapshot::fully_active(
+            Csr::from_edges(n, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)]),
+            DenseMatrix::from_fn(n, 5, |r, c| ((r * 5 + c) as f32).sin()),
+        );
+        for agg in [
+            AggregatorKind::GcnNormalized,
+            AggregatorKind::Mean,
+            AggregatorKind::Sum,
+        ] {
+            let layer = GcnLayer::with_aggregator(5, 2, Activation::Relu, agg, 9);
+            assert!(layer.transform_first());
+            let full = layer.forward(&s, s.features());
+            for v in 0..n as u32 {
+                let want = layer.forward_vertex(&s, s.features(), v);
+                for (a, b) in full.row(v as usize).iter().zip(&want) {
+                    assert!((a - b).abs() < 1e-5, "v{v}: {a} vs {b} ({agg:?})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn aggregate_row_into_matches_aggregate_vertex() {
+        let csr = Csr::from_edges(4, &[(0, 1), (1, 2), (0, 2)]);
+        let s = Snapshot::new(
+            csr,
+            DenseMatrix::from_fn(4, 3, |r, c| (r as f32) - (c as f32) * 0.5),
+            vec![true, true, false, true],
+        );
+        let mut degp1 = vec![0.0f32; 4];
+        fill_degp1(&s, &mut degp1);
+        for agg in [
+            AggregatorKind::GcnNormalized,
+            AggregatorKind::Mean,
+            AggregatorKind::Sum,
+        ] {
+            let layer = GcnLayer::with_aggregator(3, 3, Activation::Identity, agg, 5);
+            let mut row = vec![0.0f32; 3];
+            for v in 0..4u32 {
+                layer.aggregate_row_into(&s, s.features().as_slice(), 3, &degp1, v, &mut row);
+                assert_eq!(
+                    row,
+                    layer.aggregate_vertex(&s, s.features(), v),
+                    "{agg:?} v{v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn combine_row_into_matches_combine_vertex() {
+        let layer = GcnLayer::new(3, 4, Activation::Relu, 13);
+        let agg = [0.3f32, -1.2, 0.0];
+        let mut out = vec![0.0f32; 4];
+        layer.combine_row_into(&agg, &mut out);
+        assert_eq!(out, layer.combine_vertex(&agg));
     }
 
     #[test]

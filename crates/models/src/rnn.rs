@@ -9,7 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 use tagnn_tensor::similarity::CondensedDelta;
-use tagnn_tensor::{activation::sigmoid, init, ops, DenseMatrix};
+use tagnn_tensor::{init, kernels, ops, DenseMatrix};
 
 /// Per-vertex recurrent state.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -157,40 +157,59 @@ impl RnnCell {
     /// delta path does after patching.
     pub fn step_cached(&self, state: &mut VertexState) {
         let h_pre = ops::vecmat(&state.h, &self.w_h);
+        let VertexState { h, c, x_pre } = state;
+        self.apply_gates(x_pre, &h_pre, h, c);
+    }
+
+    /// In-place gate arithmetic shared by the per-vertex and batched
+    /// paths: given the two pre-activations, updates `h` (and, for
+    /// LSTM, `c`) to the post-step state. Every gate reads only index
+    /// `j` of `h`/`c`, so updating in place computes exactly the values
+    /// the historical copy-out loop did. `c` is ignored for GRU.
+    ///
+    /// # Panics
+    /// Panics (via indexing) if a slice is shorter than its gate layout
+    /// requires.
+    pub fn apply_gates(&self, x_pre: &[f32], h_pre: &[f32], h: &mut [f32], c: &mut [f32]) {
         let n = self.hidden;
         match self.kind {
-            RnnKind::Lstm => {
-                // Gate layout: [i, f, g, o].
-                let mut new_c = vec![0.0f32; n];
-                let mut new_h = vec![0.0f32; n];
-                for j in 0..n {
-                    let i = sigmoid(state.x_pre[j] + h_pre[j] + self.bias[j]);
-                    let f = sigmoid(state.x_pre[n + j] + h_pre[n + j] + self.bias[n + j]);
-                    let g =
-                        (state.x_pre[2 * n + j] + h_pre[2 * n + j] + self.bias[2 * n + j]).tanh();
-                    let o =
-                        sigmoid(state.x_pre[3 * n + j] + h_pre[3 * n + j] + self.bias[3 * n + j]);
-                    new_c[j] = f * state.c[j] + i * g;
-                    new_h[j] = o * new_c[j].tanh();
-                }
-                state.c = new_c;
-                state.h = new_h;
-            }
-            RnnKind::Gru => {
-                // Gate layout: [r, z, n]; the reset gate scales only the
-                // hidden contribution of the candidate.
-                let mut new_h = vec![0.0f32; n];
-                for j in 0..n {
-                    let r = sigmoid(state.x_pre[j] + h_pre[j] + self.bias[j]);
-                    let z = sigmoid(state.x_pre[n + j] + h_pre[n + j] + self.bias[n + j]);
-                    let cand =
-                        (state.x_pre[2 * n + j] + r * h_pre[2 * n + j] + self.bias[2 * n + j])
-                            .tanh();
-                    new_h[j] = (1.0 - z) * cand + z * state.h[j];
-                }
-                state.h = new_h;
-            }
+            // Gate layout: [i, f, g, o].
+            RnnKind::Lstm => kernels::lstm_gates(n, x_pre, h_pre, &self.bias, h, c),
+            // Gate layout: [r, z, n]; the reset gate scales only the
+            // hidden contribution of the candidate.
+            RnnKind::Gru => kernels::gru_gates(n, x_pre, h_pre, &self.bias, h),
         }
+    }
+
+    /// Batched pre-activations: two GEMMs computing `X·W_x` and `H·W_h`
+    /// for a whole batch of stacked vertex rows, replacing `2·batch`
+    /// vector-matrix products. Each output row is bit-compatible with
+    /// the per-vertex [`Self::input_preactivation`] / hidden matvec up
+    /// to the sign of exact zeros.
+    ///
+    /// `x_batch` is `batch · in_dim`, `h_batch` is `batch · hidden`,
+    /// and both outputs are `batch · gates·hidden`.
+    ///
+    /// # Panics
+    /// Panics on any shape mismatch.
+    pub fn batch_preactivations(
+        &self,
+        batch: usize,
+        x_batch: &[f32],
+        h_batch: &[f32],
+        x_pre: &mut [f32],
+        h_pre: &mut [f32],
+    ) {
+        let gh = self.w_x.cols();
+        kernels::gemm_into(
+            batch,
+            self.in_dim(),
+            gh,
+            x_batch,
+            self.w_x.as_slice(),
+            x_pre,
+        );
+        kernels::gemm_into(batch, self.hidden, gh, h_batch, self.w_h.as_slice(), h_pre);
     }
 
     /// MACs of a full input-side matvec.
@@ -291,6 +310,49 @@ mod tests {
                     "{kind:?}: delta path must be exact, {a} vs {b}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn batched_path_matches_per_vertex_steps_exactly() {
+        for kind in [RnnKind::Lstm, RnnKind::Gru] {
+            let c = cell(kind);
+            let inputs = [
+                [0.6f32, -0.3, 0.0, 1.1],
+                [-1.0, 0.4, 0.8, 0.0],
+                [0.0, 0.0, -0.2, 0.5],
+            ];
+            // Warm each per-vertex state with two steps so h is nonzero.
+            let mut states: Vec<VertexState> = inputs
+                .iter()
+                .map(|x| {
+                    let mut s = c.zero_state();
+                    c.step(x, &mut s);
+                    c.step(x, &mut s);
+                    s
+                })
+                .collect();
+            let mut batched = states.clone();
+
+            // Per-vertex third step.
+            for (s, x) in states.iter_mut().zip(&inputs) {
+                c.step(x, s);
+            }
+
+            // Batched third step: gather, two GEMMs, scatter + gates.
+            let (b, gh) = (inputs.len(), c.kind().gates() * c.hidden());
+            let x_batch: Vec<f32> = inputs.iter().flatten().copied().collect();
+            let h_batch: Vec<f32> = batched.iter().flat_map(|s| s.h.clone()).collect();
+            let mut x_pre = vec![0.0f32; b * gh];
+            let mut h_pre = vec![0.0f32; b * gh];
+            c.batch_preactivations(b, &x_batch, &h_batch, &mut x_pre, &mut h_pre);
+            for (r, s) in batched.iter_mut().enumerate() {
+                s.x_pre.copy_from_slice(&x_pre[r * gh..(r + 1) * gh]);
+                let VertexState { h, c: cc, x_pre } = s;
+                c.apply_gates(x_pre, &h_pre[r * gh..(r + 1) * gh], h, cc);
+            }
+
+            assert_eq!(states, batched, "{kind:?}");
         }
     }
 

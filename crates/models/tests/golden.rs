@@ -1,0 +1,155 @@
+//! Golden equivalence tests for the fused kernel layer.
+//!
+//! The golden model is the pre-kernel per-vertex algorithm, re-derived at
+//! runtime from the building blocks that never changed semantics:
+//! [`GcnLayer::forward_vertex`] (aggregate one vertex, then a single
+//! vector-matrix combine) and [`RnnCell::step`] (two vector-matrix gate
+//! pre-activations, then the non-linearities). Both engines now run fused
+//! batched kernels instead, and must still produce the same numbers.
+
+use tagnn_graph::generate::{ChurnConfig, GeneratorConfig};
+use tagnn_graph::types::VertexId;
+use tagnn_graph::DynamicGraph;
+use tagnn_models::{
+    ConcurrentEngine, DgnnModel, ModelKind, ReferenceEngine, ReuseMode, SkipConfig,
+};
+use tagnn_tensor::{DenseMatrix, Scratch};
+
+fn churny_graph(seed: u64) -> DynamicGraph {
+    GeneratorConfig {
+        num_vertices: 40,
+        num_edges: 140,
+        feature_dim: 6,
+        num_snapshots: 6,
+        power_law_alpha: 0.8,
+        churn: ChurnConfig {
+            feature_mutation_rate: 0.06,
+            edge_rewire_rate: 0.04,
+            vertex_churn_rate: 0.02,
+            mutation_smoothness: 0.5,
+        },
+        seed,
+    }
+    .generate()
+}
+
+/// Snapshot-by-snapshot inference the way the engines computed it before
+/// the kernel layer existed: every vertex through `forward_vertex` per
+/// layer, every active vertex through a full `step`.
+fn golden_final_features(graph: &DynamicGraph, model: &DgnnModel) -> Vec<DenseMatrix> {
+    let n = graph.num_vertices();
+    let cell = model.cell();
+    let mut states: Vec<_> = (0..n).map(|_| cell.zero_state()).collect();
+    let mut finals = Vec::new();
+    for snap in graph.snapshots() {
+        let mut x = snap.features().clone();
+        for layer in model.layers() {
+            let mut out = DenseMatrix::zeros(n, layer.out_dim());
+            for v in 0..n as VertexId {
+                out.set_row(v as usize, &layer.forward_vertex(snap, &x, v));
+            }
+            x = out;
+        }
+        for (v, state) in states.iter_mut().enumerate() {
+            if snap.is_active(v as VertexId) {
+                cell.step(x.row(v), state);
+            }
+        }
+        let mut h = DenseMatrix::zeros(n, cell.hidden());
+        for (v, state) in states.iter().enumerate() {
+            h.set_row(v, &state.h);
+        }
+        finals.push(h);
+    }
+    finals
+}
+
+fn max_diff(a: &[DenseMatrix], b: &[DenseMatrix]) -> f32 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| x.max_abs_diff(y))
+        .fold(0.0, f32::max)
+}
+
+/// Every model family, with a hidden dim that makes layer 0 shrink
+/// (6 → 5) so the transform-first (`Â·(X·W)`) arm is exercised, and the
+/// reference engine must match the per-vertex golden model.
+#[test]
+fn reference_engine_matches_pre_kernel_golden() {
+    for (kind, seed) in [
+        (ModelKind::TGcn, 11u64),
+        (ModelKind::GcLstm, 12),
+        (ModelKind::CdGcn, 13),
+    ] {
+        let g = churny_graph(seed);
+        let model = DgnnModel::new(kind, g.feature_dim(), 5, seed);
+        let golden = golden_final_features(&g, &model);
+        let out = ReferenceEngine::new(model).run(&g);
+        let diff = max_diff(&golden, &out.final_features);
+        assert!(diff < 1e-5, "{kind:?}: reference diff {diff}");
+    }
+}
+
+/// The concurrent engine in `Exact` mode with skipping disabled reuses
+/// across the window but must still land on the golden numbers.
+#[test]
+fn exact_concurrent_engine_matches_pre_kernel_golden() {
+    for (kind, window) in [(ModelKind::TGcn, 3usize), (ModelKind::GcLstm, 4)] {
+        let g = churny_graph(21);
+        let model = DgnnModel::new(kind, g.feature_dim(), 5, 21);
+        let golden = golden_final_features(&g, &model);
+        let out =
+            ConcurrentEngine::with_options(model, SkipConfig::disabled(), window, ReuseMode::Exact)
+                .run(&g);
+        let diff = max_diff(&golden, &out.final_features);
+        assert!(diff < 1e-5, "{kind:?} K={window}: concurrent diff {diff}");
+    }
+}
+
+/// A hidden dim wider than the features (6 → 8) keeps every layer on the
+/// aggregate-first arm, whose fused path is bit-compatible with the
+/// golden model: the match must be exact, not approximate.
+#[test]
+fn aggregate_first_arm_is_bit_identical_to_golden() {
+    let g = churny_graph(31);
+    let model = DgnnModel::new(ModelKind::TGcn, g.feature_dim(), 8, 31);
+    let golden = golden_final_features(&g, &model);
+    let reference = ReferenceEngine::new(model.clone()).run(&g);
+    assert_eq!(golden, reference.final_features);
+    let concurrent =
+        ConcurrentEngine::with_options(model, SkipConfig::disabled(), 3, ReuseMode::Exact).run(&g);
+    assert_eq!(golden, concurrent.final_features);
+}
+
+/// After the first run reserves the workspaces, repeated runs through a
+/// shared scratch arena must not allocate inside the steady-state loop —
+/// and must keep producing identical outputs.
+#[test]
+fn shared_scratch_is_allocation_free_after_warm_up() {
+    let g = churny_graph(41);
+    let model = DgnnModel::new(ModelKind::GcLstm, g.feature_dim(), 5, 41);
+
+    let mut scratch = Scratch::new();
+    let reference = ReferenceEngine::new(model.clone());
+    let first = reference.run_traced_scratch(&g, None, &mut scratch);
+    for _ in 0..2 {
+        let again = reference.run_traced_scratch(&g, None, &mut scratch);
+        assert_eq!(first.final_features, again.final_features);
+    }
+    assert_eq!(scratch.steady_growth(), 0, "reference engine grew scratch");
+
+    let mut scratch = Scratch::new();
+    let concurrent = ConcurrentEngine::with_options(
+        model,
+        SkipConfig::paper_default(),
+        3,
+        ReuseMode::PaperWindow,
+    );
+    let plans = tagnn_graph::plan::WindowPlanner::new(3).plan_graph(&g);
+    let first = concurrent.run_with_plans_scratch(&g, &plans, None, &mut scratch);
+    for _ in 0..2 {
+        let again = concurrent.run_with_plans_scratch(&g, &plans, None, &mut scratch);
+        assert_eq!(first.final_features, again.final_features);
+    }
+    assert_eq!(scratch.steady_growth(), 0, "concurrent engine grew scratch");
+}

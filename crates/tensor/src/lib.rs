@@ -12,9 +12,11 @@
 
 pub mod activation;
 pub mod init;
+pub mod kernels;
 pub mod matrix;
 pub mod ops;
 pub mod similarity;
 
 pub use activation::Activation;
+pub use kernels::{Scratch, ScratchBuf};
 pub use matrix::DenseMatrix;

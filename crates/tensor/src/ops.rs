@@ -4,14 +4,50 @@
 //! computations; it parallelises over output rows with rayon since feature
 //! tables have many more rows (vertices) than columns (feature dims).
 
+use crate::kernels;
 use crate::matrix::DenseMatrix;
 use rayon::prelude::*;
 
 /// `C = A * B` with rayon parallelism over rows of `A`.
 ///
+/// The dense path is branch-free: it delegates to the tiled
+/// [`kernels::gemm_into`] kernel, which accumulates each output element
+/// over `k` in ascending order just like the historical triple loop
+/// (fused to one rounding per multiply-add on FMA hardware). When the
+/// left-hand side is known to be mostly zeros, use
+/// [`matmul_sparse_lhs`] instead to get the per-element zero skip back.
+///
 /// # Panics
 /// Panics if `a.cols() != b.rows()`.
 pub fn matmul(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul shape mismatch: {}x{} * {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = vec![0.0f32; m * n];
+    kernels::gemm_into(m, k, n, a.as_slice(), b.as_slice(), &mut out);
+    DenseMatrix::from_vec(m, n, out)
+}
+
+/// `C = A * B` skipping zero elements of `A`.
+///
+/// Same contract as [`matmul`], and the same ascending-`k` accumulation
+/// order — but with separate multiply and add roundings, so on FMA
+/// hardware the two can differ in low-order bits. The per-element
+/// `a[i, l] == 0.0` test is a win exactly when `A` is sparse enough
+/// (empirically ≳ half zeros) to pay for the branch on every dense
+/// element — e.g. one-hot feature tables — and a loss on dense inputs,
+/// which is why the dense [`matmul`] no longer performs it.
+///
+/// # Panics
+/// Panics if `a.cols() != b.rows()`.
+pub fn matmul_sparse_lhs(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
     assert_eq!(
         a.cols(),
         b.rows(),
@@ -45,20 +81,18 @@ pub fn matmul(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
 
 /// Vector-matrix product: `y = x * B` for a single row vector `x`.
 ///
+/// Shares the row kernel of [`matmul`] (via [`kernels::rowmat_into`]),
+/// so a row computed here is bit-identical to the corresponding row of
+/// the full matrix product — the property the engines' per-vertex
+/// fallback paths rely on to agree with the batched kernels.
+///
 /// # Panics
 /// Panics if `x.len() != b.rows()`.
 pub fn vecmat(x: &[f32], b: &DenseMatrix) -> Vec<f32> {
     assert_eq!(x.len(), b.rows(), "vecmat shape mismatch");
     let n = b.cols();
     let mut y = vec![0.0f32; n];
-    for (l, &xl) in x.iter().enumerate() {
-        if xl == 0.0 {
-            continue;
-        }
-        for (o, &b_lj) in y.iter_mut().zip(b.row(l)) {
-            *o += xl * b_lj;
-        }
-    }
+    kernels::rowmat_into(x, b.as_slice(), n, &mut y);
     y
 }
 
@@ -73,15 +107,13 @@ pub fn add_assign(a: &mut [f32], b: &[f32]) {
     }
 }
 
-/// `a += s * b` element-wise (axpy).
+/// `a += s * b` element-wise (axpy), via [`kernels::axpy_into`] so every
+/// caller shares one (possibly fused) rounding behaviour.
 ///
 /// # Panics
 /// Panics on length mismatch.
 pub fn axpy(a: &mut [f32], s: f32, b: &[f32]) {
-    assert_eq!(a.len(), b.len(), "axpy length mismatch");
-    for (x, y) in a.iter_mut().zip(b) {
-        *x += s * y;
-    }
+    kernels::axpy_into(a, s, b);
 }
 
 /// Element-wise difference `a - b` into a fresh vector.
@@ -204,6 +236,25 @@ mod tests {
     #[test]
     fn concat_joins() {
         assert_eq!(concat(&[1.0], &[2.0, 3.0]), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn sparse_lhs_matmul_matches_dense_matmul() {
+        let a = m(
+            3,
+            4,
+            &[0.0, 2.0, 0.0, -1.0, 0.0, 0.0, 0.0, 0.0, 1.5, 0.0, 3.0, 0.5],
+        );
+        let b = crate::init::xavier_uniform(4, 5, 42);
+        // Separate-rounding loop vs the (possibly fused) dense kernel:
+        // agreement to a few ulps, not necessarily bit equality.
+        for (x, y) in matmul_sparse_lhs(&a, &b)
+            .as_slice()
+            .iter()
+            .zip(matmul(&a, &b).as_slice())
+        {
+            assert!((x - y).abs() <= 1e-5 * y.abs().max(1.0), "{x} vs {y}");
+        }
     }
 
     #[test]
