@@ -1,13 +1,19 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! experiments [all | <id>... | bench-json PATH] [--quick] [--json]
-//!             [--trace PATH] [--threads N]
+//! experiments [all | <id>... | bench-json PATH | serve ... | serve-bench ...]
+//!             [--quick] [--json] [--trace PATH] [--threads N]
 //!
 //!   all             run every experiment (default)
 //!   <id>            e.g. fig9, table5, fig14a
 //!   bench-json PATH run the engine/kernel perf suite on the ML-scale
 //!                   preset and write its JSON report to PATH
+//!   serve           boot the tagnn-serve JSON-lines TCP frontend
+//!                   (--addr HOST:PORT, --dataset, --window, --workers, ...;
+//!                   --duration-s 0 serves until killed)
+//!   serve-bench     boot an in-process server on loopback, replay the
+//!                   trace through the load generator, and write the
+//!                   latency/throughput report (--out, default BENCH_5.json)
 //!   --quick         reduced context (2 datasets, 1 model) for smoke runs
 //!   --json          emit one JSON object per experiment instead of text tables
 //!   --trace PATH    record a tagnn-obs trace of the whole run (spans per
@@ -22,7 +28,25 @@ use std::sync::Arc;
 use tagnn_obs::Recorder;
 
 fn main() {
-    let mut opts = tagnn_bench::parse_args(std::env::args().skip(1));
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    match raw.first().map(String::as_str) {
+        Some("serve") => {
+            if let Err(e) = tagnn_bench::serve::run_serve(&raw[1..]) {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+            return;
+        }
+        Some("serve-bench") => {
+            if let Err(e) = tagnn_bench::serve::run_serve_bench(&raw[1..]) {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+            return;
+        }
+        _ => {}
+    }
+    let mut opts = tagnn_bench::parse_args(raw.into_iter());
     let threads = tagnn_bench::init_thread_pool(opts.threads);
     if let Some(path) = &opts.bench_json {
         let mut params = tagnn_bench::perf::SuiteParams::ml_default();

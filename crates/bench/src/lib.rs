@@ -9,6 +9,7 @@
 
 pub mod cli;
 pub mod perf;
+pub mod serve;
 
 use std::path::PathBuf;
 use tagnn::experiments::{ExperimentContext, ExperimentResult};

@@ -1,0 +1,387 @@
+//! `experiments serve` / `experiments serve-bench`: boot the JSON-lines
+//! TCP frontend from `tagnn-serve` and (for the bench) drive it with the
+//! built-in load generator, emitting a `BENCH_5.json` report with latency
+//! quantiles, throughput, shed counts, and plan-cache behaviour.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use tagnn_graph::generate::GeneratorConfig;
+use tagnn_serve::json;
+use tagnn_serve::loadgen::{self, LoadgenConfig, LoadgenSummary};
+use tagnn_serve::server::stats_view;
+use tagnn_serve::{ServeConfig, ServeCore, Server};
+
+use crate::cli::{dataset_of, model_of, num, parse_flags};
+
+/// Everything both subcommands share: the trace graph, the serving
+/// envelope, and (for the bench) the load shape.
+struct ServeArgs {
+    addr: String,
+    dataset: String,
+    graph: GeneratorConfig,
+    serve: ServeConfig,
+    connections: usize,
+    rate: f64,
+    duration: Duration,
+    out: String,
+}
+
+fn parse(args: &[String], default_duration_s: f64) -> Result<ServeArgs, String> {
+    let flags: HashMap<String, String> = parse_flags(args)?;
+    for key in flags.keys() {
+        const KNOWN: [&str; 15] = [
+            "addr",
+            "dataset",
+            "snapshots",
+            "seed",
+            "window",
+            "model",
+            "hidden",
+            "workers",
+            "queue-capacity",
+            "max-batch",
+            "max-delay-us",
+            "connections",
+            "rate",
+            "duration-s",
+            "out",
+        ];
+        if !KNOWN.contains(&key.as_str()) {
+            return Err(format!("unknown flag --{key}"));
+        }
+    }
+
+    let snapshots: usize = num(&flags, "snapshots", 8)?;
+    let dataset = flags
+        .get("dataset")
+        .cloned()
+        .unwrap_or_else(|| "tiny".to_string());
+    let mut graph = if dataset == "tiny" {
+        let mut g = GeneratorConfig::tiny();
+        g.num_snapshots = snapshots;
+        g
+    } else {
+        dataset_of(&flags)?.config_small(snapshots)
+    };
+    graph.seed = num(&flags, "seed", graph.seed)?;
+
+    let serve = ServeConfig {
+        universe: graph.num_vertices,
+        feature_dim: graph.feature_dim,
+        window: num(&flags, "window", 4)?,
+        model: model_of(&flags)?,
+        hidden: num(&flags, "hidden", 16)?,
+        workers: num(&flags, "workers", 2)?,
+        queue_capacity: num(&flags, "queue-capacity", 256)?,
+        max_batch: num(&flags, "max-batch", 8)?,
+        max_delay_us: num(&flags, "max-delay-us", 500)?,
+        ..ServeConfig::default()
+    };
+
+    Ok(ServeArgs {
+        addr: flags
+            .get("addr")
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:7433".to_string()),
+        dataset,
+        graph,
+        serve,
+        connections: num(&flags, "connections", 4)?,
+        rate: num(&flags, "rate", 0.0)?,
+        duration: Duration::from_secs_f64(num(&flags, "duration-s", default_duration_s)?),
+        out: flags
+            .get("out")
+            .cloned()
+            .unwrap_or_else(|| "BENCH_5.json".to_string()),
+    })
+}
+
+fn describe(a: &ServeArgs) -> String {
+    format!(
+        "{} ({} vertices, D={}, {} snapshots) model={} hidden={} K={} workers={} queue={}",
+        a.dataset,
+        a.graph.num_vertices,
+        a.graph.feature_dim,
+        a.graph.num_snapshots,
+        a.serve.model.name(),
+        a.serve.hidden,
+        a.serve.window,
+        a.serve.workers,
+        a.serve.queue_capacity,
+    )
+}
+
+/// `experiments serve`: boot the TCP frontend and block. `--duration-s 0`
+/// (the default here) serves until the process is killed; a positive
+/// duration serves that long, prints the core's counters, and exits —
+/// which is what the CI smoke job uses.
+pub fn run_serve(args: &[String]) -> Result<(), String> {
+    let a = parse(args, 0.0)?;
+    let core = ServeCore::start(a.serve.clone());
+    let server = Server::bind(core, &a.addr).map_err(|e| format!("bind {}: {e}", a.addr))?;
+    println!("tagnn-serve listening on {}", server.local_addr());
+    println!("  {}", describe(&a));
+    if a.duration.is_zero() {
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+    }
+    std::thread::sleep(a.duration);
+    let stats = stats_view(server.core());
+    println!(
+        "served for {:?}: shed={} degrade_level={} (max {}) cache hits={} misses={} evictions={}",
+        a.duration,
+        stats.shed,
+        stats.degrade_level,
+        stats.max_degrade_level,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.cache_evictions,
+    );
+    server.shutdown();
+    Ok(())
+}
+
+/// `experiments serve-bench`: boot an in-process server on an ephemeral
+/// loopback port, replay the trace through the load generator, and write
+/// the combined client/server report to `--out` (default `BENCH_5.json`).
+pub fn run_serve_bench(args: &[String]) -> Result<(), String> {
+    let a = parse(args, 10.0)?;
+    let core = ServeCore::start(a.serve.clone());
+    let server = Server::bind(core, "127.0.0.1:0").map_err(|e| format!("bind loopback: {e}"))?;
+    eprintln!(
+        "serve-bench: {} connections ({} loop) for {:?} against {}",
+        a.connections,
+        if a.rate > 0.0 { "open" } else { "closed" },
+        a.duration,
+        describe(&a),
+    );
+
+    let load = LoadgenConfig {
+        addr: server.local_addr().to_string(),
+        connections: a.connections,
+        rate: a.rate,
+        duration: a.duration,
+        graph: a.graph.clone(),
+    };
+    let summary = loadgen::run(&load).map_err(|e| format!("loadgen: {e}"))?;
+    let stats = stats_view(server.core());
+    server.shutdown();
+
+    let report = render_report(&a, &summary, &stats);
+    std::fs::write(&a.out, &report).map_err(|e| format!("cannot write {}: {e}", a.out))?;
+
+    println!(
+        "serve-bench: {} requests, {} replies ({:.1}/s), {} shed, {} errors, {} windows",
+        summary.requests,
+        summary.replies,
+        summary.replies_per_sec(),
+        summary.shed,
+        summary.errors,
+        summary.windows,
+    );
+    println!(
+        "  latency p50={}us p95={}us p99={}us max={}us | plan cache {}h/{}m/{}e | max degrade level {}",
+        summary.latency_us.quantile(0.50),
+        summary.latency_us.quantile(0.95),
+        summary.latency_us.quantile(0.99),
+        summary.latency_us.max(),
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.cache_evictions,
+        stats.max_degrade_level,
+    );
+    println!("report written to {}", a.out);
+    if summary.replies == 0 && summary.requests > 0 {
+        return Err("no request got a reply".to_string());
+    }
+    Ok(())
+}
+
+fn render_report(
+    a: &ServeArgs,
+    summary: &LoadgenSummary,
+    stats: &tagnn_serve::wire::StatsView,
+) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\n  \"bench\": \"serve\",\n  \"config\": {");
+    let _ = write!(out, "\"dataset\": ");
+    json::write_string(&mut out, &a.dataset);
+    let _ = write!(
+        out,
+        concat!(
+            r#", "vertices": {}, "edges": {}, "feature_dim": {}, "snapshots": {}, "#,
+            r#""graph_seed": {}, "model": "{}", "hidden": {}, "window": {}, "#,
+            r#""workers": {}, "queue_capacity": {}, "max_batch": {}, "max_delay_us": {}, "#,
+            r#""connections": {}, "rate": "#
+        ),
+        a.graph.num_vertices,
+        a.graph.num_edges,
+        a.graph.feature_dim,
+        a.graph.num_snapshots,
+        a.graph.seed,
+        a.serve.model.name(),
+        a.serve.hidden,
+        a.serve.window,
+        a.serve.workers,
+        a.serve.queue_capacity,
+        a.serve.max_batch,
+        a.serve.max_delay_us,
+        a.connections,
+    );
+    json::write_f64(&mut out, a.rate);
+    out.push_str(", \"duration_s\": ");
+    json::write_f64(&mut out, a.duration.as_secs_f64());
+    out.push_str("},\n  \"load\": ");
+    out.push_str(&summary.to_json());
+    let _ = write!(
+        out,
+        concat!(
+            ",\n  \"server\": {{\"shed\": {}, \"max_degrade_level\": {}, ",
+            "\"plan_cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}}}}}\n}}\n"
+        ),
+        stats.shed,
+        stats.max_degrade_level,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.cache_evictions,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagnn_models::ModelKind;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_defaults_to_tiny_graph_and_matching_universe() {
+        let a = parse(&args(&[]), 10.0).unwrap();
+        assert_eq!(a.dataset, "tiny");
+        assert_eq!(a.serve.universe, a.graph.num_vertices);
+        assert_eq!(a.serve.feature_dim, a.graph.feature_dim);
+        assert_eq!(a.duration, Duration::from_secs(10));
+        assert_eq!(a.out, "BENCH_5.json");
+    }
+
+    #[test]
+    fn parse_threads_flags_through() {
+        let a = parse(
+            &args(&[
+                "--dataset",
+                "GT",
+                "--snapshots",
+                "6",
+                "--window",
+                "3",
+                "--model",
+                "gclstm",
+                "--workers",
+                "3",
+                "--rate",
+                "50",
+                "--duration-s",
+                "0.5",
+                "--out",
+                "/tmp/x.json",
+            ]),
+            10.0,
+        )
+        .unwrap();
+        assert_eq!(a.graph.num_snapshots, 6);
+        assert_eq!(a.serve.window, 3);
+        assert_eq!(a.serve.model, ModelKind::GcLstm);
+        assert_eq!(a.serve.workers, 3);
+        assert!((a.rate - 50.0).abs() < 1e-9);
+        assert_eq!(a.out, "/tmp/x.json");
+    }
+
+    #[test]
+    fn parse_rejects_unknown_flags() {
+        assert!(parse(&args(&["--bogus", "1"]), 10.0).is_err());
+    }
+
+    #[test]
+    fn serve_bench_report_is_valid_json() {
+        let a = parse(&args(&[]), 10.0).unwrap();
+        let mut summary = LoadgenSummary {
+            requests: 4,
+            replies: 4,
+            shed: 0,
+            errors: 0,
+            events: 12,
+            windows: 2,
+            elapsed: Duration::from_millis(250),
+            latency_us: tagnn_obs::Histogram::new(),
+        };
+        summary.latency_us.record(120);
+        summary.latency_us.record(480);
+        let stats = tagnn_serve::wire::StatsView {
+            queue_depth: 0,
+            shed: 0,
+            degrade_level: 0,
+            max_degrade_level: 1,
+            cache_hits: 7,
+            cache_misses: 2,
+            cache_evictions: 0,
+        };
+        let report = render_report(&a, &summary, &stats);
+        let doc = json::parse(&report).expect("report must parse");
+        assert_eq!(
+            doc.get("bench").and_then(json::Value::as_str),
+            Some("serve")
+        );
+        assert_eq!(
+            doc.get("config")
+                .and_then(|c| c.get("vertices"))
+                .and_then(json::Value::as_u64),
+            Some(a.graph.num_vertices as u64)
+        );
+        assert_eq!(
+            doc.get("load")
+                .and_then(|l| l.get("replies"))
+                .and_then(json::Value::as_u64),
+            Some(4)
+        );
+        assert_eq!(
+            doc.get("server")
+                .and_then(|s| s.get("max_degrade_level"))
+                .and_then(json::Value::as_u64),
+            Some(1)
+        );
+    }
+
+    /// End-to-end: the bench harness boots a real server, drives it, and
+    /// writes a parseable report.
+    #[test]
+    fn serve_bench_end_to_end_smoke() {
+        let out = std::env::temp_dir().join("tagnn_serve_bench_smoke.json");
+        let out_s = out.to_string_lossy().to_string();
+        run_serve_bench(&args(&[
+            "--connections",
+            "2",
+            "--duration-s",
+            "0.4",
+            "--snapshots",
+            "4",
+            "--out",
+            &out_s,
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&out).unwrap();
+        let doc = json::parse(&text).unwrap();
+        let replies = doc
+            .get("load")
+            .and_then(|l| l.get("replies"))
+            .and_then(json::Value::as_u64)
+            .unwrap();
+        assert!(replies > 0, "smoke run must complete requests");
+        let _ = std::fs::remove_file(&out);
+    }
+}

@@ -6,6 +6,7 @@
 //! same events drive the PMA baseline's edit path.
 
 use crate::csr::Csr;
+use crate::error::GraphError;
 use crate::snapshot::Snapshot;
 use crate::types::VertexId;
 use serde::{Deserialize, Serialize};
@@ -70,6 +71,16 @@ impl GraphUpdate {
 /// Panics if a mutated feature vector has the wrong dimension or an id is
 /// out of the universe.
 pub fn apply_updates(base: &Snapshot, updates: &[GraphUpdate]) -> Snapshot {
+    match try_apply_updates(base, updates) {
+        Ok(s) => s,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible variant of [`apply_updates`], returning a typed
+/// [`GraphError`] instead of panicking. On error no snapshot is produced;
+/// the base is untouched either way (updates apply to a copy).
+pub fn try_apply_updates(base: &Snapshot, updates: &[GraphUpdate]) -> Result<Snapshot, GraphError> {
     let n = base.num_vertices();
     let dim = base.feature_dim();
     let mut active = base.active().to_vec();
@@ -79,25 +90,35 @@ pub fn apply_updates(base: &Snapshot, updates: &[GraphUpdate]) -> Snapshot {
     for u in updates {
         match u {
             GraphUpdate::AddEdge { src, dst } => {
-                assert!(
-                    (*src as usize) < n && (*dst as usize) < n,
-                    "edge endpoint out of universe"
-                );
+                if (*src as usize) >= n || (*dst as usize) >= n {
+                    return Err(GraphError::EdgeEndpointOutOfUniverse {
+                        src: *src,
+                        dst: *dst,
+                        universe: n,
+                    });
+                }
                 edges.insert((*src, *dst));
             }
             GraphUpdate::RemoveEdge { src, dst } => {
                 edges.remove(&(*src, *dst));
             }
-            GraphUpdate::AddVertex { v } => {
-                assert!((*v as usize) < n, "vertex out of universe");
-                active[*v as usize] = true;
-            }
-            GraphUpdate::RemoveVertex { v } => {
-                assert!((*v as usize) < n, "vertex out of universe");
-                active[*v as usize] = false;
+            GraphUpdate::AddVertex { v } | GraphUpdate::RemoveVertex { v } => {
+                if (*v as usize) >= n {
+                    return Err(GraphError::VertexOutOfUniverse { v: *v, universe: n });
+                }
+                active[*v as usize] = matches!(u, GraphUpdate::AddVertex { .. });
             }
             GraphUpdate::MutateFeature { v, feature } => {
-                assert_eq!(feature.len(), dim, "feature dimension mismatch");
+                if (*v as usize) >= n {
+                    return Err(GraphError::VertexOutOfUniverse { v: *v, universe: n });
+                }
+                if feature.len() != dim {
+                    return Err(GraphError::FeatureLenMismatch {
+                        v: *v,
+                        expected: dim,
+                        found: feature.len(),
+                    });
+                }
                 features.set_row(*v as usize, feature);
             }
         }
@@ -107,7 +128,7 @@ pub fn apply_updates(base: &Snapshot, updates: &[GraphUpdate]) -> Snapshot {
         .into_iter()
         .filter(|&(s, t)| active[s as usize] && active[t as usize])
         .collect();
-    Snapshot::new(Csr::from_edges(n, &edge_list), features, active)
+    Snapshot::try_new(Csr::from_edges(n, &edge_list), features, active)
 }
 
 /// Computes a minimal update batch that turns `from` into `to`:
@@ -259,6 +280,51 @@ mod tests {
                 v: 0,
                 feature: vec![1.0],
             }],
+        );
+    }
+
+    #[test]
+    fn try_apply_rejects_out_of_universe_ids_with_typed_errors() {
+        use crate::error::GraphError;
+        let b = base();
+        assert_eq!(
+            try_apply_updates(&b, &[GraphUpdate::AddEdge { src: 0, dst: 9 }]),
+            Err(GraphError::EdgeEndpointOutOfUniverse {
+                src: 0,
+                dst: 9,
+                universe: 4
+            })
+        );
+        assert_eq!(
+            try_apply_updates(&b, &[GraphUpdate::AddVertex { v: 4 }]),
+            Err(GraphError::VertexOutOfUniverse { v: 4, universe: 4 })
+        );
+        assert_eq!(
+            try_apply_updates(
+                &b,
+                &[GraphUpdate::MutateFeature {
+                    v: 0,
+                    feature: vec![1.0]
+                }]
+            ),
+            Err(GraphError::FeatureLenMismatch {
+                v: 0,
+                expected: 2,
+                found: 1
+            })
+        );
+    }
+
+    #[test]
+    fn try_apply_matches_panicking_apply_on_valid_input() {
+        let b = base();
+        let updates = [
+            GraphUpdate::AddEdge { src: 3, dst: 0 },
+            GraphUpdate::RemoveVertex { v: 2 },
+        ];
+        assert_eq!(
+            try_apply_updates(&b, &updates).unwrap(),
+            apply_updates(&b, &updates)
         );
     }
 

@@ -1,5 +1,6 @@
 //! The temporal sequence of snapshots and sliding-window batching.
 
+use crate::error::GraphError;
 use crate::snapshot::Snapshot;
 use crate::types::VertexId;
 use rayon::prelude::*;
@@ -26,17 +27,38 @@ impl DynamicGraph {
     /// Panics if the sequence is empty or snapshots disagree on universe
     /// size or feature dimension.
     pub fn new(snapshots: Vec<Snapshot>) -> Self {
-        assert!(
-            !snapshots.is_empty(),
-            "a dynamic graph needs at least one snapshot"
-        );
-        let n = snapshots[0].num_vertices();
-        let d = snapshots[0].feature_dim();
-        for (i, s) in snapshots.iter().enumerate() {
-            assert_eq!(s.num_vertices(), n, "snapshot {i} universe size mismatch");
-            assert_eq!(s.feature_dim(), d, "snapshot {i} feature dim mismatch");
+        match Self::try_new(snapshots) {
+            Ok(g) => g,
+            Err(e) => panic!("{e}"),
         }
-        Self { snapshots }
+    }
+
+    /// Fallible variant of [`Self::new`], returning a typed
+    /// [`GraphError`] instead of panicking — the ingestion-safe path for
+    /// windows rolled from untrusted event streams.
+    pub fn try_new(snapshots: Vec<Snapshot>) -> Result<Self, GraphError> {
+        let Some(first) = snapshots.first() else {
+            return Err(GraphError::EmptyGraph);
+        };
+        let n = first.num_vertices();
+        let d = first.feature_dim();
+        for (i, s) in snapshots.iter().enumerate() {
+            if s.num_vertices() != n {
+                return Err(GraphError::UniverseMismatch {
+                    expected: n,
+                    found: s.num_vertices(),
+                    snapshot: i,
+                });
+            }
+            if s.feature_dim() != d {
+                return Err(GraphError::FeatureDimMismatch {
+                    expected: d,
+                    found: s.feature_dim(),
+                    snapshot: i,
+                });
+            }
+        }
+        Ok(Self { snapshots })
     }
 
     /// Number of snapshots `T`.
@@ -179,5 +201,20 @@ mod tests {
     #[should_panic(expected = "universe size mismatch")]
     fn rejects_mismatched_universe() {
         let _ = DynamicGraph::new(vec![snap(4, &[]), snap(5, &[])]);
+    }
+
+    #[test]
+    fn try_new_returns_typed_errors() {
+        use crate::error::GraphError;
+        assert_eq!(DynamicGraph::try_new(vec![]), Err(GraphError::EmptyGraph));
+        assert_eq!(
+            DynamicGraph::try_new(vec![snap(4, &[]), snap(5, &[])]),
+            Err(GraphError::UniverseMismatch {
+                expected: 4,
+                found: 5,
+                snapshot: 1
+            })
+        );
+        assert!(DynamicGraph::try_new(vec![snap(4, &[])]).is_ok());
     }
 }

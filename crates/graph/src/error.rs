@@ -1,0 +1,216 @@
+//! Typed validation errors for graph construction and event ingestion.
+//!
+//! The offline pipeline asserts its invariants — a malformed dataset is a
+//! bug and aborting is the right call. A long-running server cannot
+//! afford that: one bad event over the wire must become a rejected
+//! request, not a process abort. [`GraphError`] is the typed form of
+//! every construction/update invariant; the panicking constructors
+//! (`Snapshot::new`, `DynamicGraph::new`, `apply_updates`) now delegate
+//! to the `try_*` variants so both paths enforce exactly the same checks
+//! with exactly the same messages.
+
+use crate::classify::WindowError;
+use crate::types::VertexId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why a snapshot, dynamic graph, or update batch is invalid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum GraphError {
+    /// A dynamic graph was built from zero snapshots.
+    EmptyGraph,
+    /// A snapshot's vertex universe disagrees with the sequence's first.
+    UniverseMismatch {
+        /// Universe size of the first snapshot.
+        expected: usize,
+        /// Universe size of the offending snapshot.
+        found: usize,
+        /// Index of the offending snapshot.
+        snapshot: usize,
+    },
+    /// A snapshot's feature dimension disagrees with the sequence's first.
+    FeatureDimMismatch {
+        /// Feature dimension of the first snapshot.
+        expected: usize,
+        /// Feature dimension of the offending snapshot.
+        found: usize,
+        /// Index of the offending snapshot.
+        snapshot: usize,
+    },
+    /// The feature table's row count disagrees with the CSR vertex count.
+    FeatureRowsMismatch {
+        /// Vertex count of the CSR.
+        vertices: usize,
+        /// Row count of the feature table.
+        rows: usize,
+    },
+    /// The activity bitmap's length disagrees with the CSR vertex count.
+    ActivityLenMismatch {
+        /// Vertex count of the CSR.
+        vertices: usize,
+        /// Length of the bitmap.
+        len: usize,
+    },
+    /// An edge update names an endpoint outside the vertex universe.
+    EdgeEndpointOutOfUniverse {
+        /// Source vertex of the offending edge.
+        src: VertexId,
+        /// Target vertex of the offending edge.
+        dst: VertexId,
+        /// Size of the vertex universe.
+        universe: usize,
+    },
+    /// A vertex update names a vertex outside the universe.
+    VertexOutOfUniverse {
+        /// The offending vertex.
+        v: VertexId,
+        /// Size of the vertex universe.
+        universe: usize,
+    },
+    /// A feature mutation carries a vector of the wrong dimension.
+    FeatureLenMismatch {
+        /// The vertex whose feature was mutated.
+        v: VertexId,
+        /// The universe's feature dimension.
+        expected: usize,
+        /// Length of the offending vector.
+        found: usize,
+    },
+    /// A window-classification error, forwarded from [`WindowError`].
+    Window(WindowError),
+}
+
+impl fmt::Display for GraphError {
+    // The messages deliberately contain the historical panic strings
+    // (`should_panic(expected = ...)` tests and downstream log scrapers
+    // match on those substrings).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::EmptyGraph => {
+                write!(f, "a dynamic graph needs at least one snapshot")
+            }
+            GraphError::UniverseMismatch {
+                expected,
+                found,
+                snapshot,
+            } => write!(
+                f,
+                "snapshot {snapshot} universe size mismatch (expected {expected}, found {found})"
+            ),
+            GraphError::FeatureDimMismatch {
+                expected,
+                found,
+                snapshot,
+            } => write!(
+                f,
+                "snapshot {snapshot} feature dim mismatch (expected {expected}, found {found})"
+            ),
+            GraphError::FeatureRowsMismatch { vertices, rows } => write!(
+                f,
+                "feature rows must match vertex count ({rows} rows for {vertices} vertices)"
+            ),
+            GraphError::ActivityLenMismatch { vertices, len } => write!(
+                f,
+                "bitmap must match vertex count ({len} flags for {vertices} vertices)"
+            ),
+            GraphError::EdgeEndpointOutOfUniverse { src, dst, universe } => write!(
+                f,
+                "edge endpoint out of universe (edge ({src}, {dst}), universe {universe})"
+            ),
+            GraphError::VertexOutOfUniverse { v, universe } => {
+                write!(
+                    f,
+                    "vertex out of universe (vertex {v}, universe {universe})"
+                )
+            }
+            GraphError::FeatureLenMismatch { v, expected, found } => write!(
+                f,
+                "feature dimension mismatch for vertex {v} (expected {expected}, found {found})"
+            ),
+            GraphError::Window(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<WindowError> for GraphError {
+    fn from(e: WindowError) -> Self {
+        GraphError::Window(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_preserves_historical_panic_substrings() {
+        let cases: Vec<(GraphError, &str)> = vec![
+            (GraphError::EmptyGraph, "at least one snapshot"),
+            (
+                GraphError::UniverseMismatch {
+                    expected: 4,
+                    found: 5,
+                    snapshot: 1,
+                },
+                "snapshot 1 universe size mismatch",
+            ),
+            (
+                GraphError::FeatureDimMismatch {
+                    expected: 2,
+                    found: 3,
+                    snapshot: 2,
+                },
+                "snapshot 2 feature dim mismatch",
+            ),
+            (
+                GraphError::FeatureRowsMismatch {
+                    vertices: 2,
+                    rows: 3,
+                },
+                "feature rows must match vertex count",
+            ),
+            (
+                GraphError::ActivityLenMismatch {
+                    vertices: 2,
+                    len: 1,
+                },
+                "bitmap must match vertex count",
+            ),
+            (
+                GraphError::EdgeEndpointOutOfUniverse {
+                    src: 9,
+                    dst: 0,
+                    universe: 4,
+                },
+                "edge endpoint out of universe",
+            ),
+            (
+                GraphError::VertexOutOfUniverse { v: 9, universe: 4 },
+                "vertex out of universe",
+            ),
+            (
+                GraphError::FeatureLenMismatch {
+                    v: 0,
+                    expected: 2,
+                    found: 1,
+                },
+                "feature dimension mismatch",
+            ),
+        ];
+        for (err, needle) in cases {
+            assert!(
+                err.to_string().contains(needle),
+                "{err} missing substring {needle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn window_errors_convert() {
+        let e: GraphError = WindowError::EmptyWindow.into();
+        assert_eq!(e, GraphError::Window(WindowError::EmptyWindow));
+        assert!(!e.to_string().is_empty());
+    }
+}

@@ -11,6 +11,9 @@
 //!   snapshots and their temporal sequence with sliding-window batching;
 //! * [`delta`] — the update events (edge/vertex/feature churn) that evolve a
 //!   snapshot into its successor;
+//! * [`error::GraphError`] — typed validation errors behind the fallible
+//!   `try_new`/`try_apply_updates` constructors (the ingestion-safe path
+//!   for servers that must reject malformed events instead of aborting);
 //! * [`classify`] — the window-level classification of vertices into
 //!   *unaffected*, *stable*, and *affected* (paper §3.1);
 //! * [`subgraph`] — affected-subgraph extraction by concurrent DFS from
@@ -30,6 +33,7 @@ pub mod classify;
 pub mod csr;
 pub mod delta;
 pub mod dynamic;
+pub mod error;
 pub mod generate;
 pub mod io;
 pub mod multi_csr;
@@ -44,6 +48,7 @@ pub mod types;
 pub use classify::{classify_window, try_classify_window, WindowClassification, WindowError};
 pub use csr::Csr;
 pub use dynamic::DynamicGraph;
+pub use error::GraphError;
 pub use generate::{DatasetPreset, GeneratorConfig};
 pub use ocsr::OCsr;
 pub use plan::{CacheStats, PlanCache, PlanInstrumentation, WindowPlan, WindowPlanner};

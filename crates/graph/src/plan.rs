@@ -146,6 +146,10 @@ pub struct PlanInstrumentation {
     /// Plan-cache misses observed when the plans were obtained (excluded
     /// from equality).
     pub cache_misses: u64,
+    /// Plan-cache evictions observed when the plans were obtained
+    /// (excluded from equality).
+    #[serde(default)]
+    pub cache_evictions: u64,
 }
 
 impl PartialEq for PlanInstrumentation {
@@ -175,6 +179,7 @@ impl PlanInstrumentation {
     pub fn with_cache(mut self, stats: CacheStats) -> Self {
         self.cache_hits = stats.hits;
         self.cache_misses = stats.misses;
+        self.cache_evictions = stats.evictions;
         self
     }
 
@@ -189,16 +194,20 @@ impl PlanInstrumentation {
         rec.incr(&format!("{prefix}.build_ns"), self.build_ns);
         rec.incr(&format!("{prefix}.cache_hits"), self.cache_hits);
         rec.incr(&format!("{prefix}.cache_misses"), self.cache_misses);
+        rec.incr(&format!("{prefix}.cache_evictions"), self.cache_evictions);
     }
 }
 
-/// Hit/miss tallies of a [`PlanCache`].
+/// Hit/miss/eviction tallies of a [`PlanCache`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheStats {
     /// Plans served from the cache.
     pub hits: u64,
     /// Plans built because the cache had no entry.
     pub misses: u64,
+    /// Plans dropped to keep the cache within its LRU capacity.
+    #[serde(default)]
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -207,17 +216,47 @@ impl CacheStats {
         CacheStats {
             hits: self.hits - earlier.hits,
             misses: self.misses - earlier.misses,
+            evictions: self.evictions - earlier.evictions,
         }
     }
+
+    /// Publishes the tallies as `{prefix}.hits` / `.misses` /
+    /// `.evictions` counters on `rec`. Counters are additive, so publish
+    /// deltas (see [`Self::since`]) or publish a cumulative snapshot
+    /// exactly once.
+    pub fn publish(&self, rec: &Recorder, prefix: &str) {
+        rec.incr(&format!("{prefix}.hits"), self.hits);
+        rec.incr(&format!("{prefix}.misses"), self.misses);
+        rec.incr(&format!("{prefix}.evictions"), self.evictions);
+    }
+}
+
+#[derive(Default)]
+struct CacheMap {
+    entries: HashMap<PlanKey, CacheEntry>,
+    tick: u64,
+}
+
+struct CacheEntry {
+    plan: Arc<WindowPlan>,
+    last_used: u64,
 }
 
 /// A concurrent plan cache keyed by [`PlanKey`]. Cheap to share: clone an
 /// `Arc<PlanCache>` into every pipeline that should reuse plans.
+///
+/// By default the cache is unbounded (the offline pipelines plan a fixed
+/// number of windows). Long-running services should bound it with
+/// [`Self::with_capacity`]: once full, inserting a new plan evicts the
+/// least-recently-used entry and counts it in
+/// [`CacheStats::evictions`].
 #[derive(Default)]
 pub struct PlanCache {
-    map: Mutex<HashMap<PlanKey, Arc<WindowPlan>>>,
+    map: Mutex<CacheMap>,
+    capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl std::fmt::Debug for PlanCache {
@@ -225,21 +264,37 @@ impl std::fmt::Debug for PlanCache {
         let stats = self.stats();
         f.debug_struct("PlanCache")
             .field("entries", &self.len())
+            .field("capacity", &self.capacity)
             .field("hits", &stats.hits)
             .field("misses", &stats.misses)
+            .field("evictions", &stats.evictions)
             .finish()
     }
 }
 
 impl PlanCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// An empty cache holding at most `capacity` plans (LRU eviction).
+    /// A capacity of `0` means unbounded.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            capacity,
+            ..Self::default()
+        }
+    }
+
+    /// The configured capacity (`0` = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Number of cached plans.
     pub fn len(&self) -> usize {
-        self.map.lock().unwrap().len()
+        self.map.lock().unwrap().entries.len()
     }
 
     /// Whether the cache is empty.
@@ -247,17 +302,26 @@ impl PlanCache {
         self.len() == 0
     }
 
-    /// Cumulative hit/miss tallies.
+    /// Cumulative hit/miss/eviction tallies.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 
-    /// Fetches the plan under `key`, if cached.
+    /// Fetches the plan under `key`, if cached, marking it most recently
+    /// used.
     pub fn get(&self, key: &PlanKey) -> Option<Arc<WindowPlan>> {
-        let hit = self.map.lock().unwrap().get(key).cloned();
+        let mut map = self.map.lock().unwrap();
+        map.tick += 1;
+        let tick = map.tick;
+        let hit = map.entries.get_mut(key).map(|e| {
+            e.last_used = tick;
+            Arc::clone(&e.plan)
+        });
+        drop(map);
         match hit {
             Some(p) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -268,9 +332,31 @@ impl PlanCache {
     }
 
     /// Inserts a freshly built plan, counting the miss that caused it.
+    /// Evicts least-recently-used entries while over capacity.
     pub fn insert(&self, key: PlanKey, plan: Arc<WindowPlan>) {
         self.misses.fetch_add(1, Ordering::Relaxed);
-        self.map.lock().unwrap().insert(key, plan);
+        let mut map = self.map.lock().unwrap();
+        map.tick += 1;
+        let tick = map.tick;
+        map.entries.insert(
+            key,
+            CacheEntry {
+                plan,
+                last_used: tick,
+            },
+        );
+        while self.capacity > 0 && map.entries.len() > self.capacity {
+            // O(n) min-scan: capacities are small (hundreds of plans) and
+            // insert is already off the hot engine path.
+            let oldest = map
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+                .expect("cache over capacity implies at least one entry");
+            map.entries.remove(&oldest);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -523,9 +609,23 @@ mod tests {
         let cache = PlanCache::new();
         let planner = WindowPlanner::new(3);
         let first = planner.plan_graph_cached(&g, &cache);
-        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 2 });
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 0,
+                misses: 2,
+                evictions: 0
+            }
+        );
         let second = planner.plan_graph_cached(&g, &cache);
-        assert_eq!(cache.stats(), CacheStats { hits: 2, misses: 2 });
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 2,
+                misses: 2,
+                evictions: 0
+            }
+        );
         for (a, b) in first.iter().zip(&second) {
             assert!(Arc::ptr_eq(a, b), "cached plans are shared, not rebuilt");
         }
@@ -542,6 +642,45 @@ mod tests {
         WindowPlanner::new(3).plan_graph_cached(&other, &cache);
         assert_eq!(cache.stats().hits, 0, "different graphs must not collide");
         assert_eq!(cache.len(), 2 + 2 + 2);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_least_recently_used() {
+        let g = graph();
+        let planner = WindowPlanner::new(3);
+        let plans = planner.plan_graph(&g); // 2 windows
+        let cache = PlanCache::with_capacity(2);
+        assert_eq!(cache.capacity(), 2);
+        cache.insert((1, 0, 3), Arc::clone(&plans[0]));
+        cache.insert((2, 0, 3), Arc::clone(&plans[0]));
+        // Touch key 1 so key 2 becomes the LRU victim.
+        assert!(cache.get(&(1, 0, 3)).is_some());
+        cache.insert((3, 0, 3), Arc::clone(&plans[1]));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&(2, 0, 3)).is_none(), "LRU entry was evicted");
+        assert!(cache.get(&(1, 0, 3)).is_some());
+        assert!(cache.get(&(3, 0, 3)).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn bounded_cache_stays_within_capacity_under_churn() {
+        let g = graph();
+        let planner = WindowPlanner::new(3);
+        let plan = Arc::clone(&planner.plan_graph(&g)[0]);
+        let cache = PlanCache::with_capacity(4);
+        for i in 0..32usize {
+            cache.insert((i as u64, 0, 3), Arc::clone(&plan));
+        }
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.stats().evictions, 28);
+        // An unbounded cache never evicts.
+        let unbounded = PlanCache::new();
+        for i in 0..32usize {
+            unbounded.insert((i as u64, 0, 3), Arc::clone(&plan));
+        }
+        assert_eq!(unbounded.len(), 32);
+        assert_eq!(unbounded.stats().evictions, 0);
     }
 
     #[test]

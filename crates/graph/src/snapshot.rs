@@ -1,6 +1,7 @@
 //! A feature-carrying graph snapshot `G_t = (V_t, E_t, X_t)`.
 
 use crate::csr::Csr;
+use crate::error::GraphError;
 use crate::types::VertexId;
 use serde::{Deserialize, Serialize};
 use tagnn_tensor::DenseMatrix;
@@ -22,21 +23,34 @@ impl Snapshot {
     /// # Panics
     /// Panics if the CSR, feature table, and bitmap disagree on vertex count.
     pub fn new(csr: Csr, features: DenseMatrix, active: Vec<bool>) -> Self {
-        assert_eq!(
-            csr.num_vertices(),
-            features.rows(),
-            "feature rows must match vertex count"
-        );
-        assert_eq!(
-            csr.num_vertices(),
-            active.len(),
-            "bitmap must match vertex count"
-        );
-        Self {
+        match Self::try_new(csr, features, active) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`Self::new`]: validates that the CSR, feature
+    /// table, and bitmap agree on vertex count, returning a typed
+    /// [`GraphError`] instead of panicking — the ingestion-safe path for
+    /// snapshots assembled from untrusted events.
+    pub fn try_new(csr: Csr, features: DenseMatrix, active: Vec<bool>) -> Result<Self, GraphError> {
+        if csr.num_vertices() != features.rows() {
+            return Err(GraphError::FeatureRowsMismatch {
+                vertices: csr.num_vertices(),
+                rows: features.rows(),
+            });
+        }
+        if csr.num_vertices() != active.len() {
+            return Err(GraphError::ActivityLenMismatch {
+                vertices: csr.num_vertices(),
+                len: active.len(),
+            });
+        }
+        Ok(Self {
             csr,
             features,
             active,
-        }
+        })
     }
 
     /// A snapshot where every vertex is active.
@@ -156,5 +170,25 @@ mod tests {
         let csr = Csr::empty(2);
         let feats = DenseMatrix::zeros(2, 1);
         let _ = Snapshot::new(csr, feats, vec![true]);
+    }
+
+    #[test]
+    fn try_new_returns_typed_errors() {
+        use crate::error::GraphError;
+        assert_eq!(
+            Snapshot::try_new(Csr::empty(2), DenseMatrix::zeros(3, 1), vec![true; 2]),
+            Err(GraphError::FeatureRowsMismatch {
+                vertices: 2,
+                rows: 3
+            })
+        );
+        assert_eq!(
+            Snapshot::try_new(Csr::empty(2), DenseMatrix::zeros(2, 1), vec![true]),
+            Err(GraphError::ActivityLenMismatch {
+                vertices: 2,
+                len: 1
+            })
+        );
+        assert!(Snapshot::try_new(Csr::empty(2), DenseMatrix::zeros(2, 1), vec![true; 2]).is_ok());
     }
 }

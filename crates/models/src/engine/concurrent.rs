@@ -197,23 +197,65 @@ impl ConcurrentEngine {
     ) -> InferenceOutput {
         let started = std::time::Instant::now();
         let n = graph.num_vertices();
-        let hidden = self.model.hidden();
-        let cell = self.model.cell();
-        let gh = cell.kind().gates() * hidden;
-        let cell_in = cell.in_dim();
         let mut stats = ExecutionStats::default();
-        let mut ctxs: Vec<VertexCtx> = (0..n)
+        let mut ctxs = self.fresh_ctxs(n);
+        let mut final_features = Vec::with_capacity(graph.num_snapshots());
+        let mut gnn_outputs: Vec<DenseMatrix> = Vec::with_capacity(graph.num_snapshots());
+        self.reserve_scratch(scratch, n);
+
+        assert_eq!(
+            plans.len(),
+            graph.num_snapshots().div_ceil(self.window),
+            "one plan per window expected"
+        );
+        for (batch, plan) in graph.batches(self.window).zip(plans) {
+            let refs: Vec<&Snapshot> = batch.iter().collect();
+            self.window_pass(
+                &refs,
+                plan,
+                self.skip,
+                &mut ctxs,
+                scratch,
+                &mut stats,
+                rec,
+                &mut final_features,
+                &mut gnn_outputs,
+            );
+        }
+
+        scratch.debug_assert_steady();
+        stats.wall_ns = started.elapsed().as_nanos() as u64;
+        if let Some(rec) = rec {
+            stats.publish(rec, "engine.concurrent");
+        }
+        InferenceOutput {
+            final_features,
+            gnn_outputs,
+            stats,
+        }
+    }
+
+    /// Fresh per-vertex recurrent contexts (zero state, no cached input).
+    fn fresh_ctxs(&self, n: usize) -> Vec<VertexCtx> {
+        let cell = self.model.cell();
+        let hidden = self.model.hidden();
+        (0..n)
             .map(|_| VertexCtx {
                 state: cell.zero_state(),
                 last_input: vec![0.0; hidden],
                 has_input: false,
             })
-            .collect();
-        let mut final_features = Vec::with_capacity(graph.num_snapshots());
-        let mut gnn_outputs: Vec<DenseMatrix> = Vec::with_capacity(graph.num_snapshots());
+            .collect()
+    }
 
-        // Warm-up: reserve every workspace at its maximum size so the
-        // steady-state loop below never grows a scratch buffer.
+    /// Warm-up: reserves every workspace at its maximum size so the
+    /// steady-state window loop never grows a scratch buffer, then marks
+    /// the arena steady.
+    fn reserve_scratch(&self, scratch: &mut Scratch, n: usize) {
+        let hidden = self.model.hidden();
+        let cell = self.model.cell();
+        let gh = cell.kind().gates() * hidden;
+        let cell_in = cell.in_dim();
         let max_dim = self
             .model
             .layers()
@@ -239,20 +281,45 @@ impl ConcurrentEngine {
         scratch.cell_nnz.reserve(n);
         scratch.cell_sim.reserve(n);
         scratch.mark_steady();
+    }
 
+    /// Executes one window — the classify/GNN/RNN body shared by the
+    /// offline batch loop and [`EngineSession`]'s streaming path. Appends
+    /// one final-feature and one GNN-output matrix per snapshot and
+    /// accumulates work counters into `stats`. Recurrent state threads
+    /// through `ctxs`, so consecutive calls over consecutive windows are
+    /// bit-identical to one offline run over their concatenation.
+    #[allow(clippy::too_many_arguments)]
+    fn window_pass(
+        &self,
+        refs: &[&Snapshot],
+        plan: &WindowPlan,
+        skip_cfg: SkipConfig,
+        ctxs: &mut [VertexCtx],
+        scratch: &mut Scratch,
+        stats: &mut ExecutionStats,
+        rec: Option<&Recorder>,
+        final_features: &mut Vec<DenseMatrix>,
+        gnn_outputs: &mut Vec<DenseMatrix>,
+    ) {
+        assert!(!refs.is_empty(), "a window needs at least one snapshot");
         assert_eq!(
-            plans.len(),
-            graph.num_snapshots().div_ceil(self.window),
-            "one plan per window expected"
+            refs[0].num_vertices(),
+            ctxs.len(),
+            "snapshot universe must match the engine contexts"
         );
-        for (batch, plan) in graph.batches(self.window).zip(plans) {
+        let n = refs[0].num_vertices();
+        let hidden = self.model.hidden();
+        let cell = self.model.cell();
+        let gh = cell.kind().gates() * hidden;
+        let cell_in = cell.in_dim();
+        {
             assert_eq!(
                 plan.window_len(),
-                batch.len(),
+                refs.len(),
                 "plan window {} does not match this graph/window-size",
                 plan.index()
             );
-            let refs: Vec<&Snapshot> = batch.iter().collect();
             let cls = plan.classification();
             // The MSDL path (now precomputed by the planner): the O-CSR
             // footprint is what actually travels off-chip for the
@@ -267,7 +334,7 @@ impl ConcurrentEngine {
             // GNN phase with cross-snapshot reuse.
             let zs = {
                 let _span = obs_span(rec, "gnn_window");
-                self.gnn_window(&refs, cls, &mut stats, rec, scratch)
+                self.gnn_window(refs, cls, stats, rec, scratch)
             };
 
             // RNN phase with similarity-aware cell skipping. The first
@@ -288,7 +355,6 @@ impl ConcurrentEngine {
                 let prev_pair: Option<(&Snapshot, &DenseMatrix)> =
                     (i > 0).then(|| (refs[i - 1], &zs[i - 1]));
 
-                let skip_cfg = self.skip;
                 let cls_ref = cls;
 
                 // Pass 1 (decide): score every vertex, record its mode and
@@ -296,7 +362,7 @@ impl ConcurrentEngine {
                 let cell_mode = scratch.cell_mode.take_uninit(n);
                 let cell_sim = scratch.cell_sim.take_uninit(n);
                 {
-                    let ctxs = &ctxs;
+                    let ctxs = &*ctxs;
                     cell_mode
                         .par_iter_mut()
                         .zip(cell_sim.par_iter_mut())
@@ -445,17 +511,6 @@ impl ConcurrentEngine {
             // one fetch per vertex per remaining snapshot.
             stats.unaffected_row_hoists +=
                 cls.count(VertexClass::Unaffected) as u64 * (refs.len() as u64 - 1);
-        }
-
-        scratch.debug_assert_steady();
-        stats.wall_ns = started.elapsed().as_nanos() as u64;
-        if let Some(rec) = rec {
-            stats.publish(rec, "engine.concurrent");
-        }
-        InferenceOutput {
-            final_features,
-            gnn_outputs,
-            stats,
         }
     }
 
@@ -743,6 +798,125 @@ impl ConcurrentEngine {
         }
         zs
     }
+
+    /// Opens a stateful streaming session over a vertex universe of
+    /// `num_vertices`. The session owns its recurrent contexts and
+    /// scratch arena, so windows can be fed one at a time (as a streaming
+    /// roller produces them) with outputs bit-identical to one offline
+    /// [`Self::run`] over the concatenated windows.
+    pub fn session(&self, num_vertices: usize) -> EngineSession {
+        let mut scratch = Scratch::new();
+        self.reserve_scratch(&mut scratch, num_vertices);
+        EngineSession {
+            ctxs: self.fresh_ctxs(num_vertices),
+            engine: self.clone(),
+            scratch,
+            stats: ExecutionStats::default(),
+            windows: 0,
+        }
+    }
+}
+
+/// The engine-side state of one logical inference stream: per-vertex
+/// recurrent contexts threading across windows, a warm scratch arena, and
+/// cumulative work counters. Produced by [`ConcurrentEngine::session`];
+/// feed it consecutive windows via [`Self::process_window`].
+///
+/// Windows of one session are sequentially dependent (the RNN state
+/// carries over), so a serving layer must keep each stream's windows in
+/// order on one worker; distinct sessions are independent.
+#[derive(Debug)]
+pub struct EngineSession {
+    engine: ConcurrentEngine,
+    ctxs: Vec<VertexCtx>,
+    scratch: Scratch,
+    stats: ExecutionStats,
+    windows: u64,
+}
+
+/// Per-window output of an [`EngineSession`]: one final-feature and one
+/// GNN-output matrix per snapshot, plus this window's work-counter delta
+/// (`stats.wall_ns` is the window's wall time).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowOutput {
+    /// Final features `H_t`, one matrix per snapshot of the window.
+    pub final_features: Vec<DenseMatrix>,
+    /// GNN-module outputs `Z_t`, one matrix per snapshot of the window.
+    pub gnn_outputs: Vec<DenseMatrix>,
+    /// Work/traffic accounting for this window only.
+    pub stats: ExecutionStats,
+}
+
+impl EngineSession {
+    /// The engine configuration this session runs.
+    pub fn engine(&self) -> &ConcurrentEngine {
+        &self.engine
+    }
+
+    /// Size of the vertex universe this session was opened over.
+    pub fn num_vertices(&self) -> usize {
+        self.ctxs.len()
+    }
+
+    /// Number of windows processed so far.
+    pub fn windows_processed(&self) -> u64 {
+        self.windows
+    }
+
+    /// Cumulative work counters across all processed windows.
+    pub fn stats(&self) -> &ExecutionStats {
+        &self.stats
+    }
+
+    /// Processes one window with the engine's configured skip thresholds.
+    pub fn process_window(&mut self, snaps: &[&Snapshot], plan: &WindowPlan) -> WindowOutput {
+        self.process_window_with(snaps, plan, self.engine.skip)
+    }
+
+    /// Processes one window under an explicit [`SkipConfig`] — the hook a
+    /// serving layer uses to widen the skip band under backlog without
+    /// rebuilding the session. Passing the engine's own config makes this
+    /// identical to [`Self::process_window`].
+    ///
+    /// # Panics
+    /// Panics if the window is empty, the universe does not match the
+    /// session, or `plan` does not describe `snaps`.
+    pub fn process_window_with(
+        &mut self,
+        snaps: &[&Snapshot],
+        plan: &WindowPlan,
+        skip: SkipConfig,
+    ) -> WindowOutput {
+        let started = std::time::Instant::now();
+        let before = self.stats;
+        let mut final_features = Vec::with_capacity(snaps.len());
+        let mut gnn_outputs = Vec::with_capacity(snaps.len());
+        self.engine.window_pass(
+            snaps,
+            plan,
+            skip,
+            &mut self.ctxs,
+            &mut self.scratch,
+            &mut self.stats,
+            None,
+            &mut final_features,
+            &mut gnn_outputs,
+        );
+        self.scratch.debug_assert_steady();
+        self.stats.wall_ns += started.elapsed().as_nanos() as u64;
+        self.windows += 1;
+        WindowOutput {
+            final_features,
+            gnn_outputs,
+            stats: self.stats.delta_since(&before),
+        }
+    }
+
+    /// Resets the recurrent state to a fresh stream (cumulative stats and
+    /// the warm scratch arena are kept).
+    pub fn reset(&mut self) {
+        self.ctxs = self.engine.fresh_ctxs(self.ctxs.len());
+    }
 }
 
 #[cfg(test)]
@@ -961,6 +1135,87 @@ mod tests {
         let shared = e.run_with_plans(&g, &plans);
         assert_eq!(fly.final_features, shared.final_features);
         assert_eq!(fly.gnn_outputs, shared.gnn_outputs);
+    }
+
+    #[test]
+    fn session_streaming_is_bit_identical_to_offline_run() {
+        let g = tiny_graph();
+        let e =
+            ConcurrentEngine::with_window(model(ModelKind::TGcn), SkipConfig::paper_default(), 3);
+        let offline = e.run(&g);
+        let plans = WindowPlanner::new(3).plan_graph(&g);
+        let mut session = e.session(g.num_vertices());
+        let mut finals = Vec::new();
+        let mut gnns = Vec::new();
+        let mut summed = ExecutionStats::default();
+        for (batch, plan) in g.batches(3).zip(&plans) {
+            let refs: Vec<&Snapshot> = batch.iter().collect();
+            let out = session.process_window(&refs, plan);
+            assert_eq!(out.final_features.len(), batch.len());
+            summed.merge(&out.stats);
+            finals.extend(out.final_features);
+            gnns.extend(out.gnn_outputs);
+        }
+        assert_eq!(finals, offline.final_features);
+        assert_eq!(gnns, offline.gnn_outputs);
+        let mut offline_stats = offline.stats;
+        summed.wall_ns = 0;
+        offline_stats.wall_ns = 0;
+        assert_eq!(summed, offline_stats, "work counters must match exactly");
+        assert_eq!(session.windows_processed(), plans.len() as u64);
+        assert_eq!(session.stats().skip, offline.stats.skip);
+    }
+
+    #[test]
+    fn session_reset_restarts_the_stream() {
+        let g = tiny_graph();
+        let e = ConcurrentEngine::with_window(model(ModelKind::GcLstm), SkipConfig::disabled(), 4);
+        let plans = WindowPlanner::new(4).plan_graph(&g);
+        let refs: Vec<&Snapshot> = g.batches(4).next().unwrap().iter().collect();
+        let mut session = e.session(g.num_vertices());
+        let first = session.process_window(&refs, &plans[0]);
+        let carried = session.process_window(&refs, &plans[0]);
+        assert_ne!(
+            first.final_features, carried.final_features,
+            "recurrent state must thread across windows"
+        );
+        session.reset();
+        let fresh = session.process_window(&refs, &plans[0]);
+        assert_eq!(first.final_features, fresh.final_features);
+    }
+
+    #[test]
+    fn session_accepts_per_window_skip_overrides() {
+        let g = DatasetPreset::HepPh.config_small(6).generate();
+        let m = || DgnnModel::new(ModelKind::TGcn, g.feature_dim(), 8, 1);
+        let e = ConcurrentEngine::with_window(m(), SkipConfig::paper_default(), 3);
+        let plans = WindowPlanner::new(3).plan_graph(&g);
+        let run = |skip: SkipConfig| {
+            let mut s = e.session(g.num_vertices());
+            let mut skipped = 0;
+            for (batch, plan) in g.batches(3).zip(&plans) {
+                let refs: Vec<&Snapshot> = batch.iter().collect();
+                skipped += s.process_window_with(&refs, plan, skip).stats.skip.skipped;
+            }
+            skipped
+        };
+        let normal = run(SkipConfig::paper_default());
+        let widened = run(SkipConfig::with_thresholds(-2.0, -2.0));
+        assert!(
+            widened >= normal,
+            "a wider skip band must not skip fewer cells ({widened} < {normal})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "universe must match")]
+    fn session_rejects_mismatched_universe() {
+        let g = tiny_graph();
+        let e = ConcurrentEngine::with_window(model(ModelKind::TGcn), SkipConfig::disabled(), 3);
+        let plans = WindowPlanner::new(3).plan_graph(&g);
+        let refs: Vec<&Snapshot> = g.batches(3).next().unwrap().iter().collect();
+        let mut session = e.session(g.num_vertices() + 1);
+        let _ = session.process_window(&refs, &plans[0]);
     }
 
     #[test]

@@ -92,6 +92,30 @@ impl ExecutionStats {
         c("wall_ns", self.wall_ns);
     }
 
+    /// Counters accumulated since `earlier` was sampled (field-wise
+    /// difference; `earlier` must be an earlier sample of this same
+    /// accumulation).
+    pub fn delta_since(&self, earlier: &ExecutionStats) -> ExecutionStats {
+        ExecutionStats {
+            gnn_aggregate_macs: self.gnn_aggregate_macs - earlier.gnn_aggregate_macs,
+            gnn_combine_macs: self.gnn_combine_macs - earlier.gnn_combine_macs,
+            rnn_macs: self.rnn_macs - earlier.rnn_macs,
+            similarity_ops: self.similarity_ops - earlier.similarity_ops,
+            feature_rows_loaded: self.feature_rows_loaded - earlier.feature_rows_loaded,
+            feature_rows_reused: self.feature_rows_reused - earlier.feature_rows_reused,
+            structure_words_loaded: self.structure_words_loaded - earlier.structure_words_loaded,
+            gnn_vertices_computed: self.gnn_vertices_computed - earlier.gnn_vertices_computed,
+            gnn_vertices_reused: self.gnn_vertices_reused - earlier.gnn_vertices_reused,
+            unaffected_row_hoists: self.unaffected_row_hoists - earlier.unaffected_row_hoists,
+            skip: SkipStats {
+                normal: self.skip.normal - earlier.skip.normal,
+                delta: self.skip.delta - earlier.skip.delta,
+                skipped: self.skip.skipped - earlier.skip.skipped,
+            },
+            wall_ns: self.wall_ns - earlier.wall_ns,
+        }
+    }
+
     /// Merges another run's counters into this one.
     pub fn merge(&mut self, other: &ExecutionStats) {
         self.gnn_aggregate_macs += other.gnn_aggregate_macs;
@@ -169,6 +193,29 @@ mod tests {
         assert_eq!(a.gnn_aggregate_macs, 11);
         assert_eq!(a.gnn_combine_macs, 5);
         assert_eq!(a.total_macs(), 18);
+    }
+
+    #[test]
+    fn delta_since_inverts_merge() {
+        let a = ExecutionStats {
+            gnn_aggregate_macs: 5,
+            rnn_macs: 7,
+            wall_ns: 100,
+            ..Default::default()
+        };
+        let mut cumulative = a;
+        let b = ExecutionStats {
+            gnn_aggregate_macs: 3,
+            gnn_combine_macs: 9,
+            wall_ns: 50,
+            ..Default::default()
+        };
+        cumulative.merge(&b);
+        assert_eq!(cumulative.delta_since(&a), b);
+        assert_eq!(
+            cumulative.delta_since(&cumulative),
+            ExecutionStats::default()
+        );
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub mod rnn;
 pub mod skip;
 
 pub use dgnn::{DgnnModel, ModelKind};
-pub use engine::concurrent::{ConcurrentEngine, ReuseMode};
+pub use engine::concurrent::{ConcurrentEngine, EngineSession, ReuseMode, WindowOutput};
 pub use engine::reference::ReferenceEngine;
 pub use engine::{ExecutionStats, InferenceOutput};
 pub use gcn::AggregatorKind;

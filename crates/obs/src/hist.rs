@@ -1,0 +1,245 @@
+//! Log-linear histograms for latency-style metrics.
+//!
+//! A [`Histogram`] buckets `u64` samples (typically nanoseconds or
+//! microseconds) into a fixed HDR-style log-linear layout: each power of
+//! two is split into [`SUB_BUCKETS`] linear sub-buckets, bounding the
+//! relative quantile error at `1 / SUB_BUCKETS` (6.25%) while keeping the
+//! whole histogram a flat 960-slot array — no allocation per sample, no
+//! configuration, and merging two histograms is element-wise addition.
+//! Values below [`SUB_BUCKETS`] are recorded exactly.
+
+use serde::{Deserialize, Serialize};
+
+/// log2 of the number of linear sub-buckets per power of two.
+const SUB_BITS: u32 = 4;
+/// Linear sub-buckets per power of two (= 16).
+pub const SUB_BUCKETS: usize = 1 << SUB_BITS;
+/// Total bucket count covering the full `u64` range.
+const NUM_BUCKETS: usize = (64 - SUB_BITS as usize) * SUB_BUCKETS;
+
+/// A fixed-layout log-linear histogram of `u64` samples.
+///
+/// Records are O(1), quantiles are a linear walk over 960 buckets, and
+/// the reported quantile is the *upper bound* of the bucket the rank
+/// falls in (conservative for latency: p99 is never under-reported by
+/// more than the bucket width, ~6.25% relative).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let sub = ((v >> (msb - SUB_BITS)) & (SUB_BUCKETS as u64 - 1)) as usize;
+    (msb - SUB_BITS + 1) as usize * SUB_BUCKETS + sub
+}
+
+/// Largest value that maps to bucket `idx` (inclusive upper bound).
+fn bucket_upper(idx: usize) -> u64 {
+    if idx < SUB_BUCKETS {
+        return idx as u64;
+    }
+    let octave = (idx / SUB_BUCKETS) as u32;
+    let sub = (idx % SUB_BUCKETS) as u64;
+    let msb = octave + SUB_BITS - 1;
+    let lower = (1u64 << msb) + (sub << (msb - SUB_BITS));
+    lower + (1u64 << (msb - SUB_BITS)) - 1
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Folds `other` into `self` (element-wise bucket addition).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of the recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Value at quantile `q` in `[0, 1]`: the upper bound of the bucket
+    /// holding the `ceil(q * count)`-th smallest sample, clamped to the
+    /// exact observed min/max. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Convenience percentile accessor (`p` in `[0, 100]`).
+    pub fn percentile(&self, p: f64) -> u64 {
+        self.quantile(p / 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..SUB_BUCKETS as u64 {
+            h.record(v);
+        }
+        for v in 0..SUB_BUCKETS as u64 {
+            // Each small value sits alone in its own bucket.
+            assert_eq!(bucket_upper(bucket_index(v)), v);
+        }
+        assert_eq!(h.count(), SUB_BUCKETS as u64);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), SUB_BUCKETS as u64 - 1);
+    }
+
+    #[test]
+    fn bucket_bounds_are_consistent() {
+        // Every bucket's upper bound must map back into that bucket, and
+        // the next value must map strictly beyond it.
+        for v in [
+            1u64,
+            15,
+            16,
+            17,
+            100,
+            1000,
+            123_456,
+            u32::MAX as u64,
+            1 << 60,
+        ] {
+            let idx = bucket_index(v);
+            let upper = bucket_upper(idx);
+            assert!(upper >= v, "upper {upper} < value {v}");
+            assert_eq!(bucket_index(upper), idx);
+            assert!(bucket_index(upper + 1) > idx);
+        }
+    }
+
+    #[test]
+    fn quantile_error_is_bounded() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        for (q, exact) in [(0.5, 5_000u64), (0.95, 9_500), (0.99, 9_900)] {
+            let got = h.quantile(q);
+            assert!(got >= exact, "q{q}: {got} < exact {exact}");
+            let err = (got - exact) as f64 / exact as f64;
+            assert!(err <= 1.0 / SUB_BUCKETS as f64, "q{q}: err {err}");
+        }
+        assert_eq!(h.quantile(0.0), 1);
+        assert_eq!(h.quantile(1.0), 10_000);
+    }
+
+    #[test]
+    fn merge_matches_recording_everything_in_one() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut both = Histogram::new();
+        for v in [3u64, 70, 900, 12_345] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [1u64, 50_000, 7] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.99), 0);
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = Histogram::new();
+        h.record(10);
+        h.record(20);
+        h.record(60);
+        assert_eq!(h.mean(), 30.0);
+    }
+}

@@ -15,7 +15,10 @@
 //! * **counters** — named monotone `u64` tallies ([`Recorder::incr`]),
 //!   the publication target for the existing work counters;
 //! * **gauges** — named `f64` readings ([`Recorder::gauge`]) for derived
-//!   quantities (utilisation, cycle shares, stall cycles).
+//!   quantities (utilisation, cycle shares, stall cycles);
+//! * **histograms** — named log-linear value distributions
+//!   ([`Recorder::record`]) for latency-style metrics where percentiles
+//!   (p50/p95/p99) matter and a single counter would hide the tail.
 //!
 //! Everything is threaded through the stack as an `Option<&Recorder>`:
 //! with `None` the instrumented code paths do exactly what they did
@@ -33,6 +36,9 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 use std::time::Instant;
+
+mod hist;
+pub use hist::Histogram;
 
 /// Handle to an open span, returned by [`Recorder::enter`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,6 +68,9 @@ pub struct Trace {
     pub counters: BTreeMap<String, u64>,
     /// Named instantaneous readings.
     pub gauges: BTreeMap<String, f64>,
+    /// Named sample distributions.
+    #[serde(default)]
+    pub hists: BTreeMap<String, Histogram>,
 }
 
 #[derive(Debug, Default)]
@@ -70,6 +79,7 @@ struct Inner {
     open: Vec<usize>,
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
+    hists: BTreeMap<String, Histogram>,
 }
 
 /// Collects spans, counters, and gauges for one traced run.
@@ -153,6 +163,23 @@ impl Recorder {
         inner.gauges.insert(name.to_string(), value);
     }
 
+    /// Records one sample into the histogram `name` (creating it empty).
+    /// Like counters, histograms may be fed from worker threads.
+    pub fn record(&self, name: &str, value: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        inner
+            .hists
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    /// Snapshots a single histogram by name, if it exists.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        let inner = self.inner.lock().unwrap();
+        inner.hists.get(name).cloned()
+    }
+
     /// Snapshots everything recorded so far.
     pub fn snapshot(&self) -> Trace {
         let inner = self.inner.lock().unwrap();
@@ -160,6 +187,7 @@ impl Recorder {
             spans: inner.spans.clone(),
             counters: inner.counters.clone(),
             gauges: inner.gauges.clone(),
+            hists: inner.hists.clone(),
         }
     }
 
@@ -266,6 +294,34 @@ impl Trace {
         if !self.gauges.is_empty() {
             out.push_str("\n  ");
         }
+        out.push_str("},\n  \"hists\": {");
+        for (i, (k, h)) in self.hists.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            push_json_str(&mut out, k);
+            out.push_str(": {\"count\": ");
+            out.push_str(&h.count().to_string());
+            out.push_str(", \"sum\": ");
+            out.push_str(&h.sum().to_string());
+            out.push_str(", \"min\": ");
+            out.push_str(&h.min().to_string());
+            out.push_str(", \"max\": ");
+            out.push_str(&h.max().to_string());
+            out.push_str(", \"mean\": ");
+            push_json_f64(&mut out, h.mean());
+            for (label, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+                out.push_str(", \"");
+                out.push_str(label);
+                out.push_str("\": ");
+                out.push_str(&h.quantile(q).to_string());
+            }
+            out.push('}');
+        }
+        if !self.hists.is_empty() {
+            out.push_str("\n  ");
+        }
         out.push_str("}\n}\n");
         out
     }
@@ -314,6 +370,20 @@ impl Trace {
             out.push_str("gauges:\n");
             for (k, v) in &self.gauges {
                 out.push_str(&format!("  {k} = {v}\n"));
+            }
+        }
+        if !self.hists.is_empty() {
+            out.push_str("histograms:\n");
+            for (k, h) in &self.hists {
+                out.push_str(&format!(
+                    "  {k}: n={} mean={:.1} p50={} p95={} p99={} max={}\n",
+                    h.count(),
+                    h.mean(),
+                    h.quantile(0.50),
+                    h.quantile(0.95),
+                    h.quantile(0.99),
+                    h.max()
+                ));
             }
         }
         out
@@ -462,6 +532,32 @@ mod tests {
         assert!(s.contains("plan"));
         assert!(s.contains("c = 5"));
         assert!(s.contains("g = 1.5"));
+    }
+
+    #[test]
+    fn histograms_record_and_export() {
+        let r = Recorder::new();
+        for v in [100u64, 200, 300, 40_000] {
+            r.record("serve.latency_us", v);
+        }
+        let h = r.histogram("serve.latency_us").unwrap();
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.max(), 40_000);
+        let t = r.snapshot();
+        assert_eq!(t.hists["serve.latency_us"].count(), 4);
+        let json = t.to_json();
+        assert!(json.contains("\"hists\""));
+        assert!(json.contains("\"serve.latency_us\": {\"count\": 4"));
+        assert!(json.contains("\"p99\":"));
+        let summary = t.summary();
+        assert!(summary.contains("histograms:"));
+        assert!(summary.contains("serve.latency_us"));
+    }
+
+    #[test]
+    fn empty_trace_has_empty_hists_section() {
+        assert!(Trace::default().to_json().contains("\"hists\": {}"));
+        assert!(Recorder::new().histogram("missing").is_none());
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! Open/closed-loop load generator for a running `tagnn-serve` frontend.
+//!
+//! ```text
+//! tagnn-loadgen --addr 127.0.0.1:7433 --connections 4 --rate 200 \
+//!               --duration-s 30 --dataset gdelt --snapshots 8 --json
+//! ```
+//!
+//! `--rate 0` (the default) selects closed-loop mode: each connection
+//! keeps one request in flight. A positive rate paces requests at the
+//! aggregate rate across connections (open loop), the discipline that
+//! exposes queueing and shedding.
+
+use std::time::Duration;
+
+use tagnn_graph::generate::{DatasetPreset, GeneratorConfig};
+use tagnn_serve::loadgen::{run, LoadgenConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tagnn-loadgen [--addr HOST:PORT] [--connections N] [--rate REQ_PER_S] \
+         [--duration-s S] [--dataset hepph|gdelt|movielens|epinions|flickr] \
+         [--snapshots N] [--seed N] [--json]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_dataset(name: &str) -> Option<DatasetPreset> {
+    match name.to_ascii_lowercase().as_str() {
+        "hepph" | "hp" => Some(DatasetPreset::HepPh),
+        "gdelt" | "gt" => Some(DatasetPreset::Gdelt),
+        "movielens" | "ml" => Some(DatasetPreset::MovieLens),
+        "epinions" | "ep" => Some(DatasetPreset::Epinions),
+        "flickr" | "fk" => Some(DatasetPreset::Flickr),
+        _ => None,
+    }
+}
+
+fn main() {
+    let mut cfg = LoadgenConfig::default();
+    let mut dataset: Option<DatasetPreset> = None;
+    let mut snapshots = 8usize;
+    let mut seed: Option<u64> = None;
+    let mut emit_json = false;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => cfg.addr = value(&mut i),
+            "--connections" => cfg.connections = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--rate" => cfg.rate = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--duration-s" => {
+                cfg.duration =
+                    Duration::from_secs_f64(value(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--dataset" => dataset = Some(parse_dataset(&value(&mut i)).unwrap_or_else(|| usage())),
+            "--snapshots" => snapshots = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--seed" => seed = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
+            "--json" => emit_json = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+
+    cfg.graph = match dataset {
+        Some(preset) => preset.config_small(snapshots),
+        None => {
+            let mut g = GeneratorConfig::tiny();
+            g.num_snapshots = snapshots;
+            g
+        }
+    };
+    if let Some(seed) = seed {
+        cfg.graph.seed = seed;
+    }
+
+    eprintln!(
+        "tagnn-loadgen: {} connections -> {} ({} loop, {:?})",
+        cfg.connections,
+        cfg.addr,
+        if cfg.rate > 0.0 { "open" } else { "closed" },
+        cfg.duration
+    );
+    match run(&cfg) {
+        Ok(summary) => {
+            if emit_json {
+                println!("{}", summary.to_json());
+            } else {
+                println!(
+                    "requests={} replies={} shed={} errors={} windows={} \
+                     rps={:.1} p50={}us p95={}us p99={}us max={}us",
+                    summary.requests,
+                    summary.replies,
+                    summary.shed,
+                    summary.errors,
+                    summary.windows,
+                    summary.replies_per_sec(),
+                    summary.latency_us.quantile(0.50),
+                    summary.latency_us.quantile(0.95),
+                    summary.latency_us.quantile(0.99),
+                    summary.latency_us.max(),
+                );
+            }
+            if summary.replies == 0 && summary.requests > 0 {
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("tagnn-loadgen: {e}");
+            std::process::exit(1);
+        }
+    }
+}

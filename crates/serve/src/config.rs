@@ -1,0 +1,110 @@
+//! Server configuration.
+
+use tagnn_models::{ModelKind, ReuseMode, SkipConfig};
+
+use crate::degrade::DegradationPolicy;
+
+/// Everything a [`crate::core::ServeCore`] needs to boot: the vertex
+/// universe it serves, the model it runs, and the batching/backpressure
+/// envelope.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Vertex universe size every stream shares.
+    pub universe: usize,
+    /// Feature dimensionality D.
+    pub feature_dim: usize,
+    /// Window size K (snapshots per rolled window).
+    pub window: usize,
+    /// Which DGNN model to serve.
+    pub model: ModelKind,
+    /// Hidden dimensionality of the model.
+    pub hidden: usize,
+    /// Weight-initialisation seed (deterministic weights).
+    pub seed: u64,
+    /// Similarity-aware skipping thresholds at zero backlog.
+    pub skip: SkipConfig,
+    /// Cross-snapshot reuse mode of the engine.
+    pub reuse: ReuseMode,
+    /// Worker threads executing windows (streams shard across workers).
+    pub workers: usize,
+    /// Admission-queue capacity; requests beyond it are shed.
+    pub queue_capacity: usize,
+    /// Per-worker window-queue capacity.
+    pub worker_queue_capacity: usize,
+    /// Micro-batch size the batcher aims for.
+    pub max_batch: usize,
+    /// Micro-batch deadline in microseconds: a partial batch is released
+    /// once the oldest request has waited this long.
+    pub max_delay_us: u64,
+    /// LRU capacity of the shared [`tagnn_graph::PlanCache`]
+    /// (0 = unbounded).
+    pub plan_cache_capacity: usize,
+    /// Backlog-driven graceful degradation.
+    pub degradation: DegradationPolicy,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            universe: 64,
+            feature_dim: 8,
+            window: 4,
+            model: ModelKind::TGcn,
+            hidden: 16,
+            seed: 7,
+            skip: SkipConfig::paper_default(),
+            reuse: ReuseMode::PaperWindow,
+            workers: 2,
+            queue_capacity: 256,
+            worker_queue_capacity: 64,
+            max_batch: 8,
+            max_delay_us: 500,
+            plan_cache_capacity: 128,
+            degradation: DegradationPolicy::default(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Validates the envelope, panicking on nonsensical values (these are
+    /// operator errors at boot, not runtime conditions).
+    ///
+    /// # Panics
+    /// Panics if any sizing field is zero (except `plan_cache_capacity`,
+    /// where 0 means unbounded).
+    pub fn validated(self) -> Self {
+        assert!(self.universe > 0, "universe must be positive");
+        assert!(self.feature_dim > 0, "feature_dim must be positive");
+        assert!(self.window > 0, "window must be positive");
+        assert!(self.hidden > 0, "hidden must be positive");
+        assert!(self.workers > 0, "workers must be positive");
+        assert!(self.queue_capacity > 0, "queue_capacity must be positive");
+        assert!(
+            self.worker_queue_capacity > 0,
+            "worker_queue_capacity must be positive"
+        );
+        assert!(self.max_batch > 0, "max_batch must be positive");
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_validates() {
+        let cfg = ServeConfig::default().validated();
+        assert_eq!(cfg.window, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "workers must be positive")]
+    fn zero_workers_is_rejected() {
+        let _ = ServeConfig {
+            workers: 0,
+            ..ServeConfig::default()
+        }
+        .validated();
+    }
+}

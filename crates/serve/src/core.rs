@@ -1,0 +1,600 @@
+//! The serving core: admission control, micro-batching, and the worker
+//! pool.
+//!
+//! Requests enter through [`ServeCore::submit`], which performs
+//! non-blocking admission into a bounded queue (full queue ⇒ typed
+//! [`ServeError::Overloaded`], never unbounded memory). A single batcher
+//! thread pops deadline-based micro-batches, feeds each stream's events
+//! through its [`WindowRoller`], and fans completed windows out to the
+//! worker pool. Streams shard to workers by `stream % workers` because a
+//! stream's windows are sequentially dependent (the RNN state threads
+//! through its [`EngineSession`]); distinct streams run concurrently.
+//!
+//! The batcher also runs the graceful-degradation controller: sustained
+//! admission backlog widens the similarity-aware skip band (see
+//! [`crate::degrade`]), trading fidelity for throughput, and unwinds when
+//! the backlog clears. At zero backlog the served results are
+//! bit-identical to an offline [`ConcurrentEngine::run`] over the same
+//! stream — the property the integration suite pins down.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use tagnn_graph::{CacheStats, PlanCache, WindowPlanner};
+use tagnn_models::{ConcurrentEngine, DgnnModel, EngineSession, SkipConfig};
+use tagnn_obs::Recorder;
+use tagnn_tensor::DenseMatrix;
+
+use crate::config::ServeConfig;
+use crate::degrade::DegradationState;
+use crate::error::ServeError;
+use crate::event::EdgeEvent;
+use crate::queue::{BoundedQueue, PushOutcome};
+use crate::roller::{RolledWindow, WindowRoller};
+
+/// One inference request: a slice of a stream's event sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferRequest {
+    /// Logical stream the events belong to.
+    pub stream: u64,
+    /// Events, in stream order.
+    pub events: Vec<EdgeEvent>,
+    /// Flush sealed-but-unrolled snapshots as a short tail window after
+    /// applying the events (stream end).
+    pub flush: bool,
+}
+
+/// The outcome of one executed window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowResult {
+    /// The stream the window belongs to.
+    pub stream: u64,
+    /// 0-based window index within the stream.
+    pub seq: u64,
+    /// Snapshots in the window (== K except for a flushed tail).
+    pub snapshots: usize,
+    /// FNV-1a digest over the final-feature matrices (bit-exact
+    /// comparison handle for replay tests).
+    pub digest: u64,
+    /// Total MACs executed for the window.
+    pub macs: u64,
+    /// RNN cells skipped by the similarity filter.
+    pub skipped_cells: u64,
+    /// Request-to-completion latency of this window in microseconds.
+    pub latency_us: u64,
+}
+
+/// Reply to one [`InferRequest`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reply {
+    /// Events admitted into the stream.
+    pub accepted_events: usize,
+    /// Windows the request completed, in roll order (often empty — most
+    /// events just accumulate).
+    pub windows: Vec<WindowResult>,
+}
+
+/// A claim on a future [`Reply`].
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<Reply, ServeError>>,
+}
+
+impl Ticket {
+    /// Blocks until the reply arrives ([`ServeError::Closed`] if the
+    /// server shut down first).
+    pub fn wait(self) -> Result<Reply, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::Closed))
+    }
+
+    /// Like [`Self::wait`], bounded by `timeout`.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<Reply, ServeError>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(r) => Some(r),
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            Err(mpsc::RecvTimeoutError::Disconnected) => Some(Err(ServeError::Closed)),
+        }
+    }
+}
+
+/// FNV-1a over the raw f32 bits of `matrices` — the bit-exactness digest
+/// used by replies, benches, and the replay tests.
+pub fn digest_matrices<'a>(matrices: impl IntoIterator<Item = &'a DenseMatrix>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for m in matrices {
+        for &x in m.as_slice() {
+            for b in x.to_bits().to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+    }
+    h
+}
+
+struct Job {
+    req: InferRequest,
+    enqueued_at: Instant,
+    reply: mpsc::Sender<Result<Reply, ServeError>>,
+}
+
+/// Book-keeping for a request whose windows are in flight: the reply is
+/// sent by whichever worker completes the last window.
+struct Pending {
+    remaining: AtomicUsize,
+    results: Mutex<Vec<Option<WindowResult>>>,
+    reply: mpsc::Sender<Result<Reply, ServeError>>,
+    accepted_events: usize,
+}
+
+struct WorkItem {
+    stream: u64,
+    window: RolledWindow,
+    skip: SkipConfig,
+    slot: usize,
+    enqueued_at: Instant,
+    pending: Arc<Pending>,
+}
+
+/// The in-process serving engine (the TCP frontend in [`crate::server`]
+/// is a thin wire adapter over this).
+pub struct ServeCore {
+    cfg: ServeConfig,
+    admission: Arc<BoundedQueue<Job>>,
+    worker_queues: Vec<Arc<BoundedQueue<WorkItem>>>,
+    recorder: Arc<Recorder>,
+    cache: Arc<PlanCache>,
+    shed: Arc<AtomicU64>,
+    degrade_level: Arc<AtomicU32>,
+    max_degrade_level: Arc<AtomicU32>,
+    batcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServeCore {
+    /// Boots the core: model weights, plan cache, batcher, and worker
+    /// pool. Returns once every thread is running.
+    pub fn start(cfg: ServeConfig) -> Self {
+        let cfg = cfg.validated();
+        let recorder = Arc::new(Recorder::new());
+        let cache = Arc::new(PlanCache::with_capacity(cfg.plan_cache_capacity));
+        let admission = Arc::new(BoundedQueue::<Job>::new(cfg.queue_capacity));
+        let shed = Arc::new(AtomicU64::new(0));
+        let degrade_level = Arc::new(AtomicU32::new(0));
+        let max_degrade_level = Arc::new(AtomicU32::new(0));
+
+        let model = DgnnModel::new(cfg.model, cfg.feature_dim, cfg.hidden, cfg.seed);
+        let engine = ConcurrentEngine::with_options(model, cfg.skip, cfg.window, cfg.reuse);
+
+        let worker_queues: Vec<Arc<BoundedQueue<WorkItem>>> = (0..cfg.workers)
+            .map(|_| Arc::new(BoundedQueue::new(cfg.worker_queue_capacity)))
+            .collect();
+
+        let workers: Vec<JoinHandle<()>> = worker_queues
+            .iter()
+            .enumerate()
+            .map(|(i, q)| {
+                let q = Arc::clone(q);
+                let engine = engine.clone();
+                let cache = Arc::clone(&cache);
+                let recorder = Arc::clone(&recorder);
+                let universe = cfg.universe;
+                let window = cfg.window;
+                std::thread::Builder::new()
+                    .name(format!("tagnn-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&q, &engine, &cache, &recorder, universe, window))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let batcher = {
+            let admission = Arc::clone(&admission);
+            let queues = worker_queues.clone();
+            let recorder = Arc::clone(&recorder);
+            let cfg2 = cfg.clone();
+            let degrade_level = Arc::clone(&degrade_level);
+            let max_degrade_level = Arc::clone(&max_degrade_level);
+            std::thread::Builder::new()
+                .name("tagnn-serve-batcher".into())
+                .spawn(move || {
+                    batcher_loop(
+                        &admission,
+                        &queues,
+                        &recorder,
+                        &cfg2,
+                        &degrade_level,
+                        &max_degrade_level,
+                    )
+                })
+                .expect("spawn batcher")
+        };
+
+        Self {
+            cfg,
+            admission,
+            worker_queues,
+            recorder,
+            cache,
+            shed,
+            degrade_level,
+            max_degrade_level,
+            batcher: Some(batcher),
+            workers,
+        }
+    }
+
+    /// The configuration the core was booted with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// The recorder collecting `serve.*` counters and latency histograms.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Plan-cache counters (hits/misses/evictions) since boot.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Requests shed at admission since boot.
+    pub fn shed_count(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Current depth of the admission queue.
+    pub fn queue_depth(&self) -> usize {
+        self.admission.depth()
+    }
+
+    /// The degradation level the batcher is currently applying.
+    pub fn degrade_level(&self) -> u32 {
+        self.degrade_level.load(Ordering::Relaxed)
+    }
+
+    /// The highest degradation level reached since boot.
+    pub fn max_degrade_level(&self) -> u32 {
+        self.max_degrade_level.load(Ordering::Relaxed)
+    }
+
+    /// Non-blocking admission. `Err(Overloaded)` when the queue is full;
+    /// the caller decides whether to retry, backpressure, or drop.
+    pub fn submit(&self, req: InferRequest) -> Result<Ticket, ServeError> {
+        let (tx, rx) = mpsc::channel();
+        let job = Job {
+            req,
+            enqueued_at: Instant::now(),
+            reply: tx,
+        };
+        match self.admission.try_push(job) {
+            (PushOutcome::Queued { .. }, None) => {
+                self.recorder.incr("serve.requests", 1);
+                Ok(Ticket { rx })
+            }
+            (PushOutcome::Full, Some(_)) => {
+                self.shed.fetch_add(1, Ordering::Relaxed);
+                self.recorder.incr("serve.shed", 1);
+                Err(ServeError::Overloaded {
+                    depth: self.admission.depth(),
+                    capacity: self.admission.capacity(),
+                })
+            }
+            _ => Err(ServeError::Closed),
+        }
+    }
+
+    /// Graceful shutdown: stops admission, drains every queue, and joins
+    /// all threads. In-flight requests complete; late `submit`s get
+    /// [`ServeError::Closed`].
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.admission.close();
+        if let Some(h) = self.batcher.take() {
+            let _ = h.join();
+        }
+        for q in &self.worker_queues {
+            q.close();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServeCore {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn batcher_loop(
+    admission: &BoundedQueue<Job>,
+    queues: &[Arc<BoundedQueue<WorkItem>>],
+    recorder: &Recorder,
+    cfg: &ServeConfig,
+    degrade_level: &AtomicU32,
+    max_degrade_level: &AtomicU32,
+) {
+    let mut rollers: HashMap<u64, WindowRoller> = HashMap::new();
+    let mut degrade = DegradationState::default();
+    let max_delay = Duration::from_micros(cfg.max_delay_us);
+    loop {
+        let batch = admission.pop_batch(cfg.max_batch, max_delay);
+        if batch.is_empty() {
+            // pop_batch returns empty only when closed and drained.
+            return;
+        }
+        recorder.record("serve.batch_size", batch.len() as u64);
+
+        // The backlog left AFTER taking this batch is the overload
+        // signal: it stays high only when arrivals outpace service.
+        let level = degrade.observe(admission.depth(), &cfg.degradation);
+        degrade_level.store(level, Ordering::Relaxed);
+        max_degrade_level.store(degrade.max_level_seen(), Ordering::Relaxed);
+        recorder.gauge("serve.degrade_level", level as f64);
+        let skip = degrade.skip_config(cfg.skip, &cfg.degradation);
+
+        for job in batch {
+            dispatch_job(job, &mut rollers, queues, recorder, cfg, skip);
+        }
+    }
+}
+
+/// Runs one job's events through its stream roller and fans the rolled
+/// windows out to the workers.
+fn dispatch_job(
+    job: Job,
+    rollers: &mut HashMap<u64, WindowRoller>,
+    queues: &[Arc<BoundedQueue<WorkItem>>],
+    recorder: &Recorder,
+    cfg: &ServeConfig,
+    skip: SkipConfig,
+) {
+    // Atomic rejection: a request with any invalid event is refused as a
+    // unit, before the stream state is touched.
+    for event in &job.req.events {
+        if let Err(e) = event.validate(cfg.universe, cfg.feature_dim) {
+            recorder.incr("serve.rejected", 1);
+            let _ = job.reply.send(Err(ServeError::Rejected(e)));
+            return;
+        }
+    }
+
+    let roller = rollers
+        .entry(job.req.stream)
+        .or_insert_with(|| WindowRoller::new(cfg.universe, cfg.feature_dim, cfg.window));
+    let mut windows = Vec::new();
+    for event in &job.req.events {
+        match roller.apply(event) {
+            Ok(Some(w)) => windows.push(w),
+            Ok(None) => {}
+            Err(e) => {
+                // Unreachable after pre-validation, but a tick error must
+                // still produce a typed reply rather than a dead ticket.
+                recorder.incr("serve.rejected", 1);
+                let _ = job.reply.send(Err(ServeError::Rejected(e)));
+                return;
+            }
+        }
+    }
+    if job.req.flush {
+        match roller.flush() {
+            Ok(Some(w)) => windows.push(w),
+            Ok(None) => {}
+            Err(e) => {
+                recorder.incr("serve.rejected", 1);
+                let _ = job.reply.send(Err(ServeError::Rejected(e)));
+                return;
+            }
+        }
+    }
+
+    let accepted_events = job.req.events.len();
+    if windows.is_empty() {
+        let _ = job.reply.send(Ok(Reply {
+            accepted_events,
+            windows: Vec::new(),
+        }));
+        return;
+    }
+
+    recorder.incr("serve.windows", windows.len() as u64);
+    let pending = Arc::new(Pending {
+        remaining: AtomicUsize::new(windows.len()),
+        results: Mutex::new(vec![None; windows.len()]),
+        reply: job.reply,
+        accepted_events,
+    });
+    let shard = (job.req.stream % queues.len() as u64) as usize;
+    for (slot, window) in windows.into_iter().enumerate() {
+        let item = WorkItem {
+            stream: job.req.stream,
+            window,
+            skip,
+            slot,
+            enqueued_at: job.enqueued_at,
+            pending: Arc::clone(&pending),
+        };
+        // Blocking push: worker backlog stalls the batcher, which fills
+        // the admission queue, which sheds — backpressure end to end.
+        if queues[shard].push(item).is_err() {
+            let _ = pending.reply.send(Err(ServeError::Closed));
+            return;
+        }
+    }
+}
+
+fn worker_loop(
+    queue: &BoundedQueue<WorkItem>,
+    engine: &ConcurrentEngine,
+    cache: &PlanCache,
+    recorder: &Recorder,
+    universe: usize,
+    window: usize,
+) {
+    let planner = WindowPlanner::new(window);
+    let mut sessions: HashMap<u64, EngineSession> = HashMap::new();
+    while let Some(item) = queue.pop() {
+        let session = sessions
+            .entry(item.stream)
+            .or_insert_with(|| engine.session(universe));
+        let plans = planner.plan_graph_cached(&item.window.graph, cache);
+        debug_assert_eq!(plans.len(), 1, "a rolled window plans as one window");
+        let refs: Vec<&_> = item.window.graph.snapshots().iter().collect();
+        let out = session.process_window_with(&refs, &plans[0], item.skip);
+
+        let latency_us = item.enqueued_at.elapsed().as_micros() as u64;
+        recorder.record("serve.window_latency_us", latency_us);
+        let result = WindowResult {
+            stream: item.stream,
+            seq: item.window.seq,
+            snapshots: item.window.graph.num_snapshots(),
+            digest: digest_matrices(&out.final_features),
+            macs: out.stats.gnn_aggregate_macs + out.stats.gnn_combine_macs + out.stats.rnn_macs,
+            skipped_cells: out.stats.skip.skipped,
+            latency_us,
+        };
+
+        let pending = item.pending;
+        pending.results.lock().unwrap()[item.slot] = Some(result);
+        if pending.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let results = std::mem::take(&mut *pending.results.lock().unwrap());
+            let windows: Vec<WindowResult> = results
+                .into_iter()
+                .map(|r| r.expect("every slot filled before the last decrement"))
+                .collect();
+            recorder.record("serve.request_latency_us", latency_us);
+            let _ = pending.reply.send(Ok(Reply {
+                accepted_events: pending.accepted_events,
+                windows,
+            }));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::events_from_graph;
+    use tagnn_graph::generate::GeneratorConfig;
+
+    fn tiny_core(cfg_mut: impl FnOnce(&mut ServeConfig)) -> (ServeCore, tagnn_graph::DynamicGraph) {
+        let g = GeneratorConfig::tiny().generate();
+        let mut cfg = ServeConfig {
+            universe: g.num_vertices(),
+            feature_dim: g.feature_dim(),
+            window: 3,
+            ..ServeConfig::default()
+        };
+        cfg_mut(&mut cfg);
+        (ServeCore::start(cfg), g)
+    }
+
+    fn replay(core: &ServeCore, g: &tagnn_graph::DynamicGraph, stream: u64) -> Vec<WindowResult> {
+        let per_snapshot = events_from_graph(g);
+        let total = per_snapshot.len();
+        let mut windows = Vec::new();
+        for (i, events) in per_snapshot.into_iter().enumerate() {
+            let ticket = core
+                .submit(InferRequest {
+                    stream,
+                    events,
+                    flush: i + 1 == total,
+                })
+                .expect("default queue is deep enough");
+            windows.extend(ticket.wait().expect("valid trace").windows);
+        }
+        windows
+    }
+
+    #[test]
+    fn serves_a_replayed_stream_end_to_end() {
+        let (core, g) = tiny_core(|_| {});
+        let windows = replay(&core, &g, 0);
+        // 6 snapshots, K=3 → two full windows.
+        assert_eq!(windows.len(), 2);
+        assert_eq!(windows[0].seq, 0);
+        assert_eq!(windows[1].seq, 1);
+        assert!(windows.iter().all(|w| w.snapshots == 3));
+        assert!(windows.iter().all(|w| w.macs > 0));
+        let hist = core.recorder().histogram("serve.window_latency_us");
+        assert_eq!(hist.expect("latency recorded").count(), 2);
+        core.shutdown();
+    }
+
+    #[test]
+    fn identical_streams_hit_the_plan_cache() {
+        let (core, g) = tiny_core(|c| c.workers = 2);
+        let strip = |ws: Vec<WindowResult>| {
+            ws.into_iter()
+                .map(|w| (w.seq, w.snapshots, w.digest, w.macs, w.skipped_cells))
+                .collect::<Vec<_>>()
+        };
+        let a = strip(replay(&core, &g, 0));
+        let b = strip(replay(&core, &g, 1));
+        assert_eq!(a, b, "same trace, same results (latency aside)");
+        let stats = core.cache_stats();
+        assert!(
+            stats.hits >= 2,
+            "second stream must reuse the first stream's plans, got {stats:?}"
+        );
+        core.shutdown();
+    }
+
+    #[test]
+    fn invalid_event_is_rejected_atomically() {
+        let (core, g) = tiny_core(|_| {});
+        let bad = InferRequest {
+            stream: 0,
+            events: vec![
+                EdgeEvent::AddEdge { src: 0, dst: 1 },
+                EdgeEvent::AddEdge {
+                    src: 0,
+                    dst: u32::MAX,
+                },
+            ],
+            flush: false,
+        };
+        match core.submit(bad).unwrap().wait() {
+            Err(ServeError::Rejected(_)) => {}
+            other => panic!("expected Rejected, got {other:?}"),
+        }
+        // The stream is untouched: a full replay still yields seq 0, 1.
+        let windows = replay(&core, &g, 0);
+        assert_eq!(windows.first().map(|w| w.seq), Some(0));
+        core.shutdown();
+    }
+
+    #[test]
+    fn empty_event_request_gets_an_empty_reply() {
+        let (core, _) = tiny_core(|_| {});
+        let reply = core
+            .submit(InferRequest {
+                stream: 7,
+                events: vec![],
+                flush: false,
+            })
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(reply.accepted_events, 0);
+        assert!(reply.windows.is_empty());
+        core.shutdown();
+    }
+
+    #[test]
+    fn digest_distinguishes_matrices() {
+        let a = DenseMatrix::zeros(2, 2);
+        let mut b = DenseMatrix::zeros(2, 2);
+        b.set(1, 1, 1.0);
+        assert_ne!(digest_matrices([&a]), digest_matrices([&b]));
+        assert_eq!(digest_matrices([&a]), digest_matrices([&a.clone()]));
+    }
+}

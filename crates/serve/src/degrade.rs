@@ -1,0 +1,206 @@
+//! Graceful degradation under sustained backlog.
+//!
+//! When the admission queue stays above a high watermark, the server
+//! trades a little fidelity for throughput by *widening* the
+//! similarity-aware skip band: `SkipConfig::select` skips a cell when
+//! `theta > theta_e` and takes the delta path when `theta >= theta_s`,
+//! so lowering both thresholds makes more cells skip (paper §3.3 — the
+//! thresholds trade accuracy against RNN compute). The policy is
+//! hysteretic: it widens one step after `patience` consecutive
+//! over-watermark observations, and unwinds a step after `patience`
+//! consecutive under-low-watermark observations, so a noisy queue depth
+//! never flaps the operating point.
+
+use tagnn_models::SkipConfig;
+
+/// Configuration of the backlog-driven degradation policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradationPolicy {
+    /// Master switch; when false the configured skip thresholds are used
+    /// verbatim and the server never degrades.
+    pub enabled: bool,
+    /// Queue depth (items) at or above which an observation counts as
+    /// overloaded.
+    pub high_watermark: usize,
+    /// Queue depth at or below which an observation counts as recovered.
+    pub low_watermark: usize,
+    /// Consecutive observations on one side required before moving a
+    /// step in that direction.
+    pub patience: u32,
+    /// How much both thresholds drop per widening step.
+    pub widen_step: f32,
+    /// Maximum number of widening steps.
+    pub max_widen: u32,
+}
+
+impl Default for DegradationPolicy {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            high_watermark: 8,
+            low_watermark: 2,
+            patience: 3,
+            widen_step: 0.25,
+            max_widen: 4,
+        }
+    }
+}
+
+impl DegradationPolicy {
+    /// A policy that never degrades.
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            ..Self::default()
+        }
+    }
+}
+
+/// Mutable state of the degradation controller (one per batcher thread).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DegradationState {
+    level: u32,
+    over_streak: u32,
+    under_streak: u32,
+    max_level_seen: u32,
+}
+
+impl DegradationState {
+    /// Current widening level (0 = configured thresholds).
+    pub fn level(&self) -> u32 {
+        self.level
+    }
+
+    /// Highest level reached since construction (reported by benches).
+    pub fn max_level_seen(&self) -> u32 {
+        self.max_level_seen
+    }
+
+    /// Feeds one queue-depth observation; returns the (possibly new)
+    /// level.
+    pub fn observe(&mut self, depth: usize, policy: &DegradationPolicy) -> u32 {
+        if !policy.enabled {
+            return 0;
+        }
+        if depth >= policy.high_watermark {
+            self.under_streak = 0;
+            self.over_streak += 1;
+            if self.over_streak >= policy.patience && self.level < policy.max_widen {
+                self.level += 1;
+                self.over_streak = 0;
+                self.max_level_seen = self.max_level_seen.max(self.level);
+            }
+        } else if depth <= policy.low_watermark {
+            self.over_streak = 0;
+            if self.level > 0 {
+                self.under_streak += 1;
+                if self.under_streak >= policy.patience {
+                    self.level -= 1;
+                    self.under_streak = 0;
+                }
+            }
+        } else {
+            // Between the watermarks: hold position, reset both streaks.
+            self.over_streak = 0;
+            self.under_streak = 0;
+        }
+        self.level
+    }
+
+    /// The skip configuration to run at the current level: `base` with
+    /// both thresholds lowered by `level * widen_step` (which preserves
+    /// `theta_s <= theta_e`). At level 0 this is exactly `base`, so an
+    /// unloaded server stays bit-identical to offline execution.
+    pub fn skip_config(&self, base: SkipConfig, policy: &DegradationPolicy) -> SkipConfig {
+        if self.level == 0 || !policy.enabled {
+            return base;
+        }
+        let widen = self.level as f32 * policy.widen_step;
+        SkipConfig {
+            theta_s: base.theta_s - widen,
+            theta_e: base.theta_e - widen,
+            ..base
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widens_after_patience_and_caps_at_max() {
+        let p = DegradationPolicy {
+            patience: 2,
+            max_widen: 2,
+            ..DegradationPolicy::default()
+        };
+        let mut st = DegradationState::default();
+        assert_eq!(st.observe(100, &p), 0);
+        assert_eq!(st.observe(100, &p), 1);
+        assert_eq!(st.observe(100, &p), 1);
+        assert_eq!(st.observe(100, &p), 2);
+        for _ in 0..10 {
+            st.observe(100, &p);
+        }
+        assert_eq!(st.level(), 2, "level must cap at max_widen");
+        assert_eq!(st.max_level_seen(), 2);
+    }
+
+    #[test]
+    fn recovers_with_hysteresis() {
+        let p = DegradationPolicy {
+            patience: 2,
+            ..DegradationPolicy::default()
+        };
+        let mut st = DegradationState::default();
+        for _ in 0..4 {
+            st.observe(p.high_watermark, &p);
+        }
+        assert_eq!(st.level(), 2);
+        // Mid-band observations hold the level.
+        let mid = (p.high_watermark + p.low_watermark) / 2;
+        st.observe(mid, &p);
+        assert_eq!(st.level(), 2);
+        // Two quiet observations per step unwind it.
+        for _ in 0..4 {
+            st.observe(0, &p);
+        }
+        assert_eq!(st.level(), 0);
+    }
+
+    #[test]
+    fn level_zero_returns_base_config_exactly() {
+        let p = DegradationPolicy::default();
+        let st = DegradationState::default();
+        let base = SkipConfig::paper_default();
+        assert_eq!(st.skip_config(base, &p), base);
+    }
+
+    #[test]
+    fn widened_config_lowers_both_thresholds() {
+        let p = DegradationPolicy {
+            patience: 1,
+            widen_step: 0.5,
+            ..DegradationPolicy::default()
+        };
+        let mut st = DegradationState::default();
+        st.observe(100, &p);
+        let base = SkipConfig::paper_default();
+        let widened = st.skip_config(base, &p);
+        assert_eq!(widened.theta_s, base.theta_s - 0.5);
+        assert_eq!(widened.theta_e, base.theta_e - 0.5);
+        assert!(widened.theta_s <= widened.theta_e);
+    }
+
+    #[test]
+    fn disabled_policy_never_moves() {
+        let p = DegradationPolicy::disabled();
+        let mut st = DegradationState::default();
+        for _ in 0..20 {
+            assert_eq!(st.observe(1_000, &p), 0);
+        }
+        let base = SkipConfig::paper_default();
+        assert_eq!(st.skip_config(base, &p), base);
+    }
+}

@@ -1,0 +1,90 @@
+//! Typed failures of the serving layer.
+//!
+//! Overload is a first-class outcome, not a panic: bounded queues shed
+//! with [`ServeError::Overloaded`] and malformed events are rejected with
+//! the underlying [`GraphError`], so a misbehaving client can never abort
+//! the server or grow its memory without bound.
+
+use std::fmt;
+
+use tagnn_graph::GraphError;
+
+/// An error returned by the serving core or the wire frontend.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The admission queue was full; the request was shed at the door.
+    Overloaded {
+        /// Requests queued when the request was shed.
+        depth: usize,
+        /// The configured queue capacity.
+        capacity: usize,
+    },
+    /// An event failed validation; the request was rejected untouched.
+    Rejected(GraphError),
+    /// The server is shutting down (or has shut down).
+    Closed,
+    /// The wire payload was not a well-formed request.
+    Protocol(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded { depth, capacity } => write!(
+                f,
+                "overloaded: admission queue at {depth}/{capacity}, request shed"
+            ),
+            ServeError::Rejected(e) => write!(f, "rejected: {e}"),
+            ServeError::Closed => write!(f, "server closed"),
+            ServeError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Rejected(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for ServeError {
+    fn from(e: GraphError) -> Self {
+        ServeError::Rejected(e)
+    }
+}
+
+/// A short machine-readable code for the wire protocol.
+impl ServeError {
+    /// Stable error code written into wire replies.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServeError::Overloaded { .. } => "overloaded",
+            ServeError::Rejected(_) => "rejected",
+            ServeError::Closed => "closed",
+            ServeError::Protocol(_) => "protocol",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_codes_are_stable() {
+        let e = ServeError::Overloaded {
+            depth: 8,
+            capacity: 8,
+        };
+        assert!(e.to_string().contains("8/8"));
+        assert_eq!(e.code(), "overloaded");
+        let r: ServeError = GraphError::VertexOutOfUniverse { v: 9, universe: 4 }.into();
+        assert_eq!(r.code(), "rejected");
+        assert!(r.to_string().contains("out of universe"));
+        assert_eq!(ServeError::Closed.code(), "closed");
+        assert_eq!(ServeError::Protocol("x".into()).code(), "protocol");
+    }
+}

@@ -1,0 +1,191 @@
+//! The typed event stream a TaGNN server ingests.
+//!
+//! Dynamic graphs arrive as edge insertions/deletions, vertex churn, and
+//! feature updates, punctuated by snapshot-boundary ticks (§2.1 — the
+//! stream is discretised into snapshots). [`EdgeEvent`] is the wire-level
+//! form of [`GraphUpdate`] plus the [`EdgeEvent::Tick`] boundary marker;
+//! [`events_from_graph`] derives the canonical replay trace of an offline
+//! graph, the bridge the bit-identity tests and the load generator use.
+
+use tagnn_graph::delta::{diff_snapshots, GraphUpdate};
+use tagnn_graph::error::GraphError;
+use tagnn_graph::types::VertexId;
+use tagnn_graph::{Csr, DynamicGraph, Snapshot};
+use tagnn_tensor::DenseMatrix;
+
+/// One ingestion event of a logical stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EdgeEvent {
+    /// Insert directed edge `(src, dst)` into the forming snapshot.
+    AddEdge {
+        /// Source vertex.
+        src: VertexId,
+        /// Target vertex.
+        dst: VertexId,
+    },
+    /// Remove directed edge `(src, dst)` from the forming snapshot.
+    RemoveEdge {
+        /// Source vertex.
+        src: VertexId,
+        /// Target vertex.
+        dst: VertexId,
+    },
+    /// Activate a vertex.
+    AddVertex {
+        /// The vertex to activate.
+        v: VertexId,
+    },
+    /// Deactivate a vertex (drops its incident edges at the next tick).
+    RemoveVertex {
+        /// The vertex to deactivate.
+        v: VertexId,
+    },
+    /// Replace the feature vector of `v`.
+    UpdateFeature {
+        /// The vertex whose feature changes.
+        v: VertexId,
+        /// The new feature vector.
+        feature: Vec<f32>,
+    },
+    /// Snapshot boundary: seal everything since the previous tick into
+    /// the next snapshot of the stream.
+    Tick,
+}
+
+impl EdgeEvent {
+    /// The graph mutation this event carries (`None` for [`Self::Tick`]).
+    pub fn as_update(&self) -> Option<GraphUpdate> {
+        match self {
+            EdgeEvent::AddEdge { src, dst } => Some(GraphUpdate::AddEdge {
+                src: *src,
+                dst: *dst,
+            }),
+            EdgeEvent::RemoveEdge { src, dst } => Some(GraphUpdate::RemoveEdge {
+                src: *src,
+                dst: *dst,
+            }),
+            EdgeEvent::AddVertex { v } => Some(GraphUpdate::AddVertex { v: *v }),
+            EdgeEvent::RemoveVertex { v } => Some(GraphUpdate::RemoveVertex { v: *v }),
+            EdgeEvent::UpdateFeature { v, feature } => Some(GraphUpdate::MutateFeature {
+                v: *v,
+                feature: feature.clone(),
+            }),
+            EdgeEvent::Tick => None,
+        }
+    }
+
+    /// Checks the event against a universe of `universe` vertices with
+    /// `feature_dim`-dimensional features, so malformed events are
+    /// rejected at admission rather than aborting a tick later.
+    pub fn validate(&self, universe: usize, feature_dim: usize) -> Result<(), GraphError> {
+        match self {
+            EdgeEvent::AddEdge { src, dst } | EdgeEvent::RemoveEdge { src, dst } => {
+                if (*src as usize) >= universe || (*dst as usize) >= universe {
+                    return Err(GraphError::EdgeEndpointOutOfUniverse {
+                        src: *src,
+                        dst: *dst,
+                        universe,
+                    });
+                }
+            }
+            EdgeEvent::AddVertex { v } | EdgeEvent::RemoveVertex { v } => {
+                if (*v as usize) >= universe {
+                    return Err(GraphError::VertexOutOfUniverse { v: *v, universe });
+                }
+            }
+            EdgeEvent::UpdateFeature { v, feature } => {
+                if (*v as usize) >= universe {
+                    return Err(GraphError::VertexOutOfUniverse { v: *v, universe });
+                }
+                if feature.len() != feature_dim {
+                    return Err(GraphError::FeatureLenMismatch {
+                        v: *v,
+                        expected: feature_dim,
+                        found: feature.len(),
+                    });
+                }
+            }
+            EdgeEvent::Tick => {}
+        }
+        Ok(())
+    }
+}
+
+/// The canonical pre-stream state every TaGNN stream starts from: no
+/// edges, every vertex active, all-zero features. Streams diff against
+/// this base, so replaying [`events_from_graph`] reconstructs the graph
+/// exactly.
+pub fn empty_base(universe: usize, feature_dim: usize) -> Snapshot {
+    Snapshot::fully_active(
+        Csr::empty(universe),
+        DenseMatrix::zeros(universe, feature_dim),
+    )
+}
+
+/// Derives the event trace that replays `graph` over a stream: one
+/// `Vec<EdgeEvent>` per snapshot, each the minimal diff from the previous
+/// snapshot (the first diffs from [`empty_base`]) sealed by a
+/// [`EdgeEvent::Tick`]. Feeding the concatenation through a window roller
+/// rebuilds bit-identical snapshots.
+pub fn events_from_graph(graph: &DynamicGraph) -> Vec<Vec<EdgeEvent>> {
+    let mut prev = empty_base(graph.num_vertices(), graph.feature_dim());
+    graph
+        .snapshots()
+        .iter()
+        .map(|snap| {
+            let mut events: Vec<EdgeEvent> = diff_snapshots(&prev, snap)
+                .into_iter()
+                .map(|u| match u {
+                    GraphUpdate::AddEdge { src, dst } => EdgeEvent::AddEdge { src, dst },
+                    GraphUpdate::RemoveEdge { src, dst } => EdgeEvent::RemoveEdge { src, dst },
+                    GraphUpdate::AddVertex { v } => EdgeEvent::AddVertex { v },
+                    GraphUpdate::RemoveVertex { v } => EdgeEvent::RemoveVertex { v },
+                    GraphUpdate::MutateFeature { v, feature } => {
+                        EdgeEvent::UpdateFeature { v, feature }
+                    }
+                })
+                .collect();
+            events.push(EdgeEvent::Tick);
+            prev = snap.clone();
+            events
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagnn_graph::generate::GeneratorConfig;
+
+    #[test]
+    fn validate_catches_each_malformation() {
+        let ok = EdgeEvent::AddEdge { src: 0, dst: 1 };
+        assert!(ok.validate(2, 3).is_ok());
+        assert!(EdgeEvent::AddEdge { src: 0, dst: 2 }
+            .validate(2, 3)
+            .is_err());
+        assert!(EdgeEvent::AddVertex { v: 5 }.validate(2, 3).is_err());
+        assert!(EdgeEvent::UpdateFeature {
+            v: 0,
+            feature: vec![1.0]
+        }
+        .validate(2, 3)
+        .is_err());
+        assert!(EdgeEvent::Tick.validate(0, 0).is_ok());
+    }
+
+    #[test]
+    fn trace_replays_to_the_original_graph() {
+        use tagnn_graph::delta::apply_updates;
+        let g = GeneratorConfig::tiny().generate();
+        let trace = events_from_graph(&g);
+        assert_eq!(trace.len(), g.num_snapshots());
+        let mut cur = empty_base(g.num_vertices(), g.feature_dim());
+        for (events, expect) in trace.iter().zip(g.snapshots()) {
+            assert_eq!(events.last(), Some(&EdgeEvent::Tick));
+            let updates: Vec<_> = events.iter().filter_map(EdgeEvent::as_update).collect();
+            cur = apply_updates(&cur, &updates);
+            assert_eq!(&cur, expect, "replay must be exact");
+        }
+    }
+}

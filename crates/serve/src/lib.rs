@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+
+//! Streaming edge ingestion and batched online inference serving for
+//! TaGNN.
+//!
+//! The paper's pipeline is offline: a full [`tagnn_graph::DynamicGraph`]
+//! is batched into windows of K snapshots, planned, and executed. This
+//! crate turns that into a service for the setting dynamic GNNs actually
+//! run in — a live edge stream with latency budgets:
+//!
+//! * [`event`] — the typed ingestion events ([`EdgeEvent`]: edge/vertex
+//!   churn, feature updates, snapshot-boundary ticks) and the canonical
+//!   trace derivation used by replay tests and the load generator;
+//! * [`roller`] — [`WindowRoller`], sealing events into snapshots and
+//!   snapshots into K-windows bit-identical to offline batching;
+//! * [`queue`] / [`core`] — bounded admission, deadline micro-batching,
+//!   and the worker pool running one [`tagnn_models::EngineSession`] per
+//!   stream (windows of a stream are sequentially dependent; streams
+//!   shard across workers);
+//! * [`degrade`] — the graceful-degradation policy that widens the
+//!   similarity-aware skip band under sustained backlog and unwinds it
+//!   with hysteresis when load clears;
+//! * [`json`] / [`wire`] / [`server`] — a dependency-free JSON-lines TCP
+//!   frontend;
+//! * [`loadgen`] — an open/closed-loop trace-replaying client feeding
+//!   the `tagnn-loadgen` binary and the `experiments serve-bench`
+//!   harness.
+//!
+//! The load-bearing invariant, pinned by `tests/integration_serve.rs`:
+//! at zero backlog, serving a replayed stream produces outputs and work
+//! counters bit-identical to the offline engine on the same graph.
+
+pub mod config;
+pub mod core;
+pub mod degrade;
+pub mod error;
+pub mod event;
+pub mod json;
+pub mod loadgen;
+pub mod queue;
+pub mod roller;
+pub mod server;
+pub mod wire;
+
+pub use config::ServeConfig;
+pub use core::{digest_matrices, InferRequest, Reply, ServeCore, Ticket, WindowResult};
+pub use degrade::{DegradationPolicy, DegradationState};
+pub use error::ServeError;
+pub use event::{empty_base, events_from_graph, EdgeEvent};
+pub use loadgen::{LoadgenConfig, LoadgenSummary};
+pub use queue::{BoundedQueue, PushOutcome};
+pub use roller::{RolledWindow, WindowRoller};
+pub use server::Server;

@@ -1,0 +1,402 @@
+//! Trace-replaying load generator for the TCP frontend.
+//!
+//! Replays the canonical event trace of a generated dynamic graph
+//! ([`crate::event::events_from_graph`]) against a server, one request
+//! per snapshot, in either of the two classical load-testing disciplines:
+//!
+//! * **closed loop** (`rate == 0`): each connection keeps exactly one
+//!   request in flight — send, wait, repeat — measuring the service's
+//!   best-case latency under `connections`-way concurrency;
+//! * **open loop** (`rate > 0`): requests are paced at a fixed aggregate
+//!   rate regardless of completions, so queueing (and shedding) shows up
+//!   in the tail latency instead of silently slowing the generator —
+//!   the discipline that actually exposes overload behaviour.
+//!
+//! Each trace pass runs on a fresh stream id, so the server's per-stream
+//! state stays canonical and repeated passes exercise the plan cache.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use tagnn_graph::generate::GeneratorConfig;
+use tagnn_obs::Histogram;
+
+use crate::event::{events_from_graph, EdgeEvent};
+use crate::json;
+use crate::wire;
+
+/// Load-generator configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadgenConfig {
+    /// Server address, e.g. `127.0.0.1:7433`.
+    pub addr: String,
+    /// Concurrent connections.
+    pub connections: usize,
+    /// Aggregate request rate across all connections (requests/s);
+    /// `0.0` selects closed-loop mode.
+    pub rate: f64,
+    /// How long to generate load.
+    pub duration: Duration,
+    /// Generator for the replayed dynamic graph (the trace).
+    pub graph: GeneratorConfig,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7433".into(),
+            connections: 2,
+            rate: 0.0,
+            duration: Duration::from_secs(5),
+            graph: GeneratorConfig::tiny(),
+        }
+    }
+}
+
+/// Aggregated outcome of one load-generation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadgenSummary {
+    /// Requests sent.
+    pub requests: u64,
+    /// Successful replies.
+    pub replies: u64,
+    /// Replies shed with the `overloaded` code.
+    pub shed: u64,
+    /// Other error replies (protocol/rejected/closed) and I/O failures.
+    pub errors: u64,
+    /// Events carried by successful replies.
+    pub events: u64,
+    /// Windows completed by successful replies.
+    pub windows: u64,
+    /// Wall time of the run.
+    pub elapsed: Duration,
+    /// Request latency distribution in microseconds (send → reply).
+    pub latency_us: Histogram,
+}
+
+impl LoadgenSummary {
+    fn empty() -> Self {
+        Self {
+            requests: 0,
+            replies: 0,
+            shed: 0,
+            errors: 0,
+            events: 0,
+            windows: 0,
+            elapsed: Duration::ZERO,
+            latency_us: Histogram::new(),
+        }
+    }
+
+    fn merge(&mut self, other: &Self) {
+        self.requests += other.requests;
+        self.replies += other.replies;
+        self.shed += other.shed;
+        self.errors += other.errors;
+        self.events += other.events;
+        self.windows += other.windows;
+        self.elapsed = self.elapsed.max(other.elapsed);
+        self.latency_us.merge(&other.latency_us);
+    }
+
+    /// Successful replies per second.
+    pub fn replies_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.replies as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Renders the summary as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        let _ = write!(
+            out,
+            concat!(
+                r#"{{"requests":{},"replies":{},"shed":{},"errors":{},"#,
+                r#""events":{},"windows":{},"elapsed_s":"#
+            ),
+            self.requests, self.replies, self.shed, self.errors, self.events, self.windows
+        );
+        json::write_f64(&mut out, self.elapsed.as_secs_f64());
+        out.push_str(",\"replies_per_sec\":");
+        json::write_f64(&mut out, self.replies_per_sec());
+        out.push_str(",\"latency_us\":{");
+        let h = &self.latency_us;
+        let _ = write!(out, r#""count":{}"#, h.count());
+        for (label, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+            let _ = write!(out, r#","{label}":{}"#, h.quantile(q));
+        }
+        out.push_str(",\"mean\":");
+        json::write_f64(&mut out, h.mean());
+        let _ = write!(out, r#","max":{}}}}}"#, h.max());
+        out
+    }
+}
+
+/// The per-request payloads of one trace pass: `(events, flush)` per
+/// snapshot.
+pub type Trace = Vec<(Vec<EdgeEvent>, bool)>;
+
+/// Builds the replay trace for `graph`'s generator config.
+pub fn build_trace(cfg: &GeneratorConfig) -> Trace {
+    let graph = cfg.generate();
+    let per_snapshot = events_from_graph(&graph);
+    let last = per_snapshot.len().saturating_sub(1);
+    per_snapshot
+        .into_iter()
+        .enumerate()
+        .map(|(i, events)| (events, i == last))
+        .collect()
+}
+
+/// Runs the configured load against the server and aggregates the
+/// outcome across connections. Connects eagerly; a connection failure is
+/// returned as an error rather than silently measured as zero load.
+pub fn run(cfg: &LoadgenConfig) -> std::io::Result<LoadgenSummary> {
+    let trace = Arc::new(build_trace(&cfg.graph));
+    let connections = cfg.connections.max(1);
+    let per_conn_rate = if cfg.rate > 0.0 {
+        cfg.rate / connections as f64
+    } else {
+        0.0
+    };
+
+    let mut streams = Vec::with_capacity(connections);
+    for _ in 0..connections {
+        streams.push(TcpStream::connect(&cfg.addr)?);
+    }
+
+    let started = Instant::now();
+    let deadline = started + cfg.duration;
+    let handles: Vec<_> = streams
+        .into_iter()
+        .enumerate()
+        .map(|(conn_id, stream)| {
+            let trace = Arc::clone(&trace);
+            std::thread::spawn(move || {
+                let mut summary = LoadgenSummary::empty();
+                let result = if per_conn_rate > 0.0 {
+                    open_loop(
+                        stream,
+                        conn_id,
+                        &trace,
+                        per_conn_rate,
+                        deadline,
+                        &mut summary,
+                    )
+                } else {
+                    closed_loop(stream, conn_id, &trace, deadline, &mut summary)
+                };
+                if result.is_err() {
+                    summary.errors += 1;
+                }
+                summary.elapsed = started.elapsed();
+                summary
+            })
+        })
+        .collect();
+
+    let mut total = LoadgenSummary::empty();
+    for h in handles {
+        let conn = h.join().expect("loadgen worker panicked");
+        total.merge(&conn);
+    }
+    Ok(total)
+}
+
+/// Accounts one reply line into the summary; returns whether it was ok.
+fn account_reply(line: &str, summary: &mut LoadgenSummary) {
+    match json::parse(line.trim()) {
+        Ok(doc) if doc.get("ok").and_then(json::Value::as_bool) == Some(true) => {
+            summary.replies += 1;
+            if let Some(n) = doc.get("accepted").and_then(json::Value::as_u64) {
+                summary.events += n;
+            }
+            if let Some(w) = doc.get("windows").and_then(json::Value::as_array) {
+                summary.windows += w.len() as u64;
+            }
+        }
+        Ok(doc) if doc.get("error").and_then(json::Value::as_str) == Some("overloaded") => {
+            summary.shed += 1;
+        }
+        _ => summary.errors += 1,
+    }
+}
+
+/// Stream ids never collide across connections or passes.
+fn stream_id(conn_id: usize, pass: u64) -> u64 {
+    (conn_id as u64) << 32 | pass
+}
+
+fn closed_loop(
+    mut stream: TcpStream,
+    conn_id: usize,
+    trace: &Trace,
+    deadline: Instant,
+    summary: &mut LoadgenSummary,
+) -> std::io::Result<()> {
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut id = 0u64;
+    let mut line = String::new();
+    'outer: for pass in 0.. {
+        let sid = stream_id(conn_id, pass);
+        for (events, flush) in trace {
+            if Instant::now() >= deadline {
+                break 'outer;
+            }
+            id += 1;
+            let req = wire::encode_infer(id, sid, events, *flush);
+            let sent = Instant::now();
+            stream.write_all(req.as_bytes())?;
+            stream.write_all(b"\n")?;
+            summary.requests += 1;
+            line.clear();
+            if reader.read_line(&mut line)? == 0 {
+                break 'outer; // server closed
+            }
+            summary.latency_us.record(sent.elapsed().as_micros() as u64);
+            account_reply(&line, summary);
+        }
+    }
+    Ok(())
+}
+
+fn open_loop(
+    mut stream: TcpStream,
+    conn_id: usize,
+    trace: &Trace,
+    rate: f64,
+    deadline: Instant,
+    summary: &mut LoadgenSummary,
+) -> std::io::Result<()> {
+    stream.set_nodelay(true)?;
+    let reader_stream = stream.try_clone()?;
+    // Replies come back in request order per connection, so a queue of
+    // send timestamps is enough to match latencies — no id map needed.
+    let in_flight: Arc<Mutex<VecDeque<Instant>>> = Arc::new(Mutex::new(VecDeque::new()));
+    let reader_summary: Arc<Mutex<LoadgenSummary>> = Arc::new(Mutex::new(LoadgenSummary::empty()));
+
+    let reader = {
+        let in_flight = Arc::clone(&in_flight);
+        let reader_summary = Arc::clone(&reader_summary);
+        std::thread::spawn(move || {
+            let mut reader = BufReader::new(reader_stream);
+            let mut line = String::new();
+            loop {
+                line.clear();
+                match reader.read_line(&mut line) {
+                    Ok(0) | Err(_) => return,
+                    Ok(_) => {
+                        let sent = in_flight.lock().unwrap().pop_front();
+                        let mut s = reader_summary.lock().unwrap();
+                        if let Some(sent) = sent {
+                            s.latency_us.record(sent.elapsed().as_micros() as u64);
+                        }
+                        account_reply(&line, &mut s);
+                    }
+                }
+            }
+        })
+    };
+
+    let interval = Duration::from_secs_f64(1.0 / rate.max(1e-9));
+    let mut next_send = Instant::now();
+    let mut id = 0u64;
+    'outer: for pass in 0.. {
+        let sid = stream_id(conn_id, pass);
+        for (events, flush) in trace {
+            let now = Instant::now();
+            if now >= deadline {
+                break 'outer;
+            }
+            if next_send > now {
+                std::thread::sleep(next_send - now);
+            }
+            next_send += interval;
+            id += 1;
+            let req = wire::encode_infer(id, sid, events, *flush);
+            in_flight.lock().unwrap().push_back(Instant::now());
+            stream.write_all(req.as_bytes())?;
+            stream.write_all(b"\n")?;
+            summary.requests += 1;
+        }
+    }
+
+    // Give in-flight requests a grace period to drain, then hang up (the
+    // reader exits on EOF once the socket drops).
+    let drain_deadline = Instant::now() + Duration::from_secs(5);
+    while !in_flight.lock().unwrap().is_empty() && Instant::now() < drain_deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+    let _ = reader.join();
+    summary.merge(&reader_summary.lock().unwrap());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ServeConfig;
+    use crate::core::ServeCore;
+    use crate::server::Server;
+
+    fn test_server() -> Server {
+        let cfg = ServeConfig {
+            window: 3,
+            ..ServeConfig::default()
+        };
+        Server::bind(ServeCore::start(cfg), "127.0.0.1:0").unwrap()
+    }
+
+    #[test]
+    fn closed_loop_replays_and_measures() {
+        let server = test_server();
+        let cfg = LoadgenConfig {
+            addr: server.local_addr().to_string(),
+            connections: 2,
+            rate: 0.0,
+            duration: Duration::from_millis(400),
+            graph: GeneratorConfig::tiny(),
+        };
+        let summary = run(&cfg).unwrap();
+        assert!(summary.requests > 0);
+        assert_eq!(summary.replies, summary.requests, "closed loop never sheds");
+        assert_eq!(summary.errors, 0);
+        assert!(summary.windows > 0, "a full pass rolls windows");
+        assert_eq!(summary.latency_us.count(), summary.requests);
+        let json = summary.to_json();
+        let doc = json::parse(&json).unwrap();
+        assert!(doc.get("latency_us").unwrap().get("p50").is_some());
+        server.shutdown();
+    }
+
+    #[test]
+    fn open_loop_paces_and_drains() {
+        let server = test_server();
+        let cfg = LoadgenConfig {
+            addr: server.local_addr().to_string(),
+            connections: 1,
+            rate: 200.0,
+            duration: Duration::from_millis(300),
+            graph: GeneratorConfig::tiny(),
+        };
+        let summary = run(&cfg).unwrap();
+        assert!(summary.requests > 0);
+        // ~200 req/s for 0.3 s ≈ 60; the pacer must not blast unbounded.
+        assert!(summary.requests <= 120, "got {}", summary.requests);
+        assert_eq!(
+            summary.replies + summary.shed + summary.errors,
+            summary.requests
+        );
+        server.shutdown();
+    }
+}

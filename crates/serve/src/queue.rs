@@ -1,0 +1,243 @@
+//! Bounded MPMC queue with deadline-based micro-batching.
+//!
+//! The serving core backpressures at two points — admission and the
+//! per-worker window queues — and both use this queue: a `Mutex` +
+//! `Condvar` ring with a hard capacity. `try_push` sheds instead of
+//! blocking (the admission side of graceful degradation) and
+//! [`BoundedQueue::pop_batch`] implements the `max_batch`/`max_delay`
+//! micro-batching discipline: return as soon as `max_batch` items are
+//! buffered, or whatever has arrived once `max_delay` has passed since
+//! the first item of the batch.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Result of a non-blocking push.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// The item was enqueued.
+    Queued {
+        /// Queue depth immediately after the push.
+        depth: usize,
+    },
+    /// The queue was full; the item was returned to the caller.
+    Full,
+    /// The queue has been closed; the item was returned to the caller.
+    Closed,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer queue.
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        Self {
+            state: Mutex::new(State {
+                items: VecDeque::with_capacity(capacity.min(1024)),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued.
+    pub fn depth(&self) -> usize {
+        self.state.lock().unwrap().items.len()
+    }
+
+    /// Enqueues without blocking; sheds with [`PushOutcome::Full`] when at
+    /// capacity. The item is returned alongside so the caller can reply.
+    pub fn try_push(&self, item: T) -> (PushOutcome, Option<T>) {
+        let mut st = self.state.lock().unwrap();
+        if st.closed {
+            return (PushOutcome::Closed, Some(item));
+        }
+        if st.items.len() >= self.capacity {
+            return (PushOutcome::Full, Some(item));
+        }
+        st.items.push_back(item);
+        let depth = st.items.len();
+        drop(st);
+        self.not_empty.notify_one();
+        (PushOutcome::Queued { depth }, None)
+    }
+
+    /// Enqueues, blocking while the queue is at capacity — the
+    /// backpressure path between pipeline stages. Returns the item back
+    /// if the queue closes before space frees up.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if st.closed {
+                return Err(item);
+            }
+            if st.items.len() < self.capacity {
+                st.items.push_back(item);
+                drop(st);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            st = self.not_full.wait(st).unwrap();
+        }
+    }
+
+    /// Pops one item, blocking until one arrives or the queue is closed
+    /// and drained (`None`).
+    pub fn pop(&self) -> Option<T> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                drop(st);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.not_empty.wait(st).unwrap();
+        }
+    }
+
+    /// Pops a micro-batch: blocks for the first item, then keeps
+    /// collecting until `max_batch` items are in hand or `max_delay` has
+    /// elapsed since the first item was taken. Returns an empty vec only
+    /// when the queue is closed and drained.
+    pub fn pop_batch(&self, max_batch: usize, max_delay: Duration) -> Vec<T> {
+        let max_batch = max_batch.max(1);
+        let mut batch = Vec::new();
+        let mut st = self.state.lock().unwrap();
+        // Block for the first item (or closure).
+        loop {
+            if !st.items.is_empty() {
+                break;
+            }
+            if st.closed {
+                return batch;
+            }
+            st = self.not_empty.wait(st).unwrap();
+        }
+        let deadline = Instant::now() + max_delay;
+        loop {
+            while batch.len() < max_batch {
+                match st.items.pop_front() {
+                    Some(item) => batch.push(item),
+                    None => break,
+                }
+            }
+            let now = Instant::now();
+            if batch.len() >= max_batch || st.closed || now >= deadline {
+                break;
+            }
+            let (next, timeout) = self.not_empty.wait_timeout(st, deadline - now).unwrap();
+            st = next;
+            if timeout.timed_out() && st.items.is_empty() {
+                break;
+            }
+        }
+        drop(st);
+        self.not_full.notify_all();
+        batch
+    }
+
+    /// Closes the queue: pending items remain poppable, new pushes shed
+    /// with [`PushOutcome::Closed`], and blocked poppers drain then get
+    /// `None`/empty batches.
+    pub fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Whether [`Self::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().unwrap().closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn try_push_sheds_at_capacity() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.try_push(1).0, PushOutcome::Queued { depth: 1 });
+        assert_eq!(q.try_push(2).0, PushOutcome::Queued { depth: 2 });
+        let (outcome, returned) = q.try_push(3);
+        assert_eq!(outcome, PushOutcome::Full);
+        assert_eq!(returned, Some(3));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_push(3).0, PushOutcome::Queued { depth: 2 });
+    }
+
+    #[test]
+    fn pop_batch_respects_max_batch() {
+        let q = BoundedQueue::new(16);
+        for i in 0..5 {
+            q.try_push(i);
+        }
+        let batch = q.pop_batch(3, Duration::from_millis(50));
+        assert_eq!(batch, vec![0, 1, 2]);
+        let batch = q.pop_batch(3, Duration::from_millis(1));
+        assert_eq!(batch, vec![3, 4]);
+    }
+
+    #[test]
+    fn close_drains_then_stops() {
+        let q = BoundedQueue::new(4);
+        q.try_push(7);
+        q.close();
+        assert_eq!(q.try_push(8).0, PushOutcome::Closed);
+        assert_eq!(q.pop(), Some(7));
+        assert_eq!(q.pop(), None);
+        assert!(q.pop_batch(4, Duration::from_millis(1)).is_empty());
+    }
+
+    #[test]
+    fn blocking_push_waits_for_space() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push(1).unwrap();
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.push(2));
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.pop(), Some(1));
+        h.join().unwrap().unwrap();
+        assert_eq!(q.pop(), Some(2));
+        q.close();
+        assert!(q.push(3).is_err(), "push after close returns the item");
+    }
+
+    #[test]
+    fn pop_batch_wakes_on_cross_thread_push() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.pop_batch(4, Duration::from_millis(200)));
+        std::thread::sleep(Duration::from_millis(20));
+        q.try_push(42);
+        let batch = h.join().unwrap();
+        assert_eq!(batch, vec![42]);
+    }
+}

@@ -1,0 +1,183 @@
+//! Incremental window rolling.
+//!
+//! The offline pipeline batches a whole [`DynamicGraph`] into windows of K
+//! snapshots up front; a server sees the graph one event at a time. The
+//! [`WindowRoller`] maintains the forming snapshot of one stream: events
+//! accumulate as pending [`GraphUpdate`]s, a [`EdgeEvent::Tick`] seals
+//! them into the next snapshot (through the validating
+//! [`try_apply_updates`] path), and every K sealed snapshots roll into a
+//! [`RolledWindow`] — a K-snapshot [`DynamicGraph`] the planner and
+//! engine consume exactly as they would an offline window. Because ticks
+//! replay through the same apply/diff machinery the offline batcher uses,
+//! rolled windows are bit-identical to the offline batching of the same
+//! stream.
+
+use tagnn_graph::delta::{try_apply_updates, GraphUpdate};
+use tagnn_graph::{DynamicGraph, GraphError, Snapshot};
+
+use crate::event::{empty_base, EdgeEvent};
+
+/// One window of K sealed snapshots, ready to plan and execute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RolledWindow {
+    /// 0-based index of this window within its stream.
+    pub seq: u64,
+    /// The window's snapshots as a standalone dynamic graph.
+    pub graph: DynamicGraph,
+}
+
+/// Rolls the event stream of one logical stream into windows of K
+/// snapshots.
+#[derive(Debug)]
+pub struct WindowRoller {
+    window: usize,
+    feature_dim: usize,
+    current: Snapshot,
+    pending: Vec<GraphUpdate>,
+    sealed: Vec<Snapshot>,
+    seq: u64,
+    ticks: u64,
+}
+
+impl WindowRoller {
+    /// A roller over `universe` vertices with `feature_dim`-dimensional
+    /// features, emitting windows of `window` snapshots. The stream
+    /// starts from the canonical [`empty_base`].
+    ///
+    /// # Panics
+    /// Panics if `window == 0` or `universe == 0`.
+    pub fn new(universe: usize, feature_dim: usize, window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        assert!(universe > 0, "universe must be positive");
+        Self {
+            window,
+            feature_dim,
+            current: empty_base(universe, feature_dim),
+            pending: Vec::new(),
+            sealed: Vec::new(),
+            seq: 0,
+            ticks: 0,
+        }
+    }
+
+    /// Window size K.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Snapshots sealed but not yet rolled into a window.
+    pub fn sealed_len(&self) -> usize {
+        self.sealed.len()
+    }
+
+    /// Events applied since the last tick (pending mutations).
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Total ticks (sealed snapshots) this stream has seen.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Feeds one event. Mutation events are validated immediately and
+    /// buffered; a [`EdgeEvent::Tick`] seals the pending mutations into
+    /// the next snapshot and — every K-th tick — returns the rolled
+    /// window. A rejected event leaves the roller untouched, so one bad
+    /// client event never corrupts the stream.
+    pub fn apply(&mut self, event: &EdgeEvent) -> Result<Option<RolledWindow>, GraphError> {
+        event.validate(self.current.num_vertices(), self.feature_dim)?;
+        match event.as_update() {
+            Some(update) => {
+                self.pending.push(update);
+                Ok(None)
+            }
+            None => self.tick(),
+        }
+    }
+
+    fn tick(&mut self) -> Result<Option<RolledWindow>, GraphError> {
+        let next = try_apply_updates(&self.current, &std::mem::take(&mut self.pending))?;
+        self.current = next.clone();
+        self.sealed.push(next);
+        self.ticks += 1;
+        if self.sealed.len() == self.window {
+            let graph = DynamicGraph::try_new(std::mem::take(&mut self.sealed))?;
+            let seq = self.seq;
+            self.seq += 1;
+            Ok(Some(RolledWindow { seq, graph }))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Seals nothing, but flushes sealed-but-unrolled snapshots as a
+    /// short tail window (`None` when there are none). Used at stream end
+    /// so no sealed snapshot is ever lost.
+    pub fn flush(&mut self) -> Result<Option<RolledWindow>, GraphError> {
+        if self.sealed.is_empty() {
+            return Ok(None);
+        }
+        let graph = DynamicGraph::try_new(std::mem::take(&mut self.sealed))?;
+        let seq = self.seq;
+        self.seq += 1;
+        Ok(Some(RolledWindow { seq, graph }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::events_from_graph;
+    use tagnn_graph::generate::GeneratorConfig;
+
+    #[test]
+    fn rolled_windows_match_offline_batching() {
+        let g = GeneratorConfig::tiny().generate(); // 6 snapshots
+        let window = 4;
+        let mut roller = WindowRoller::new(g.num_vertices(), g.feature_dim(), window);
+        let mut rolled = Vec::new();
+        for events in events_from_graph(&g) {
+            for e in &events {
+                if let Some(w) = roller.apply(e).expect("trace events are valid") {
+                    rolled.push(w);
+                }
+            }
+        }
+        if let Some(w) = roller.flush().unwrap() {
+            rolled.push(w);
+        }
+        let offline: Vec<&[Snapshot]> = g.batches(window).collect();
+        assert_eq!(rolled.len(), offline.len());
+        for (w, batch) in rolled.iter().zip(&offline) {
+            assert_eq!(w.graph.snapshots(), *batch, "window {} differs", w.seq);
+        }
+        assert_eq!(rolled[0].seq, 0);
+        assert_eq!(rolled.last().unwrap().seq, rolled.len() as u64 - 1);
+    }
+
+    #[test]
+    fn bad_event_is_rejected_and_stream_continues() {
+        let mut roller = WindowRoller::new(4, 2, 2);
+        let bad = EdgeEvent::AddEdge { src: 0, dst: 99 };
+        assert!(roller.apply(&bad).is_err());
+        assert_eq!(roller.pending_len(), 0, "rejected event must not buffer");
+        roller
+            .apply(&EdgeEvent::AddEdge { src: 0, dst: 1 })
+            .unwrap();
+        assert_eq!(roller.pending_len(), 1);
+        assert!(roller.apply(&EdgeEvent::Tick).unwrap().is_none());
+        let w = roller.apply(&EdgeEvent::Tick).unwrap().expect("K=2 rolls");
+        assert_eq!(w.graph.num_snapshots(), 2);
+        assert_eq!(w.graph.snapshot(0).num_edges(), 1);
+    }
+
+    #[test]
+    fn flush_emits_short_tail() {
+        let mut roller = WindowRoller::new(4, 2, 3);
+        roller.apply(&EdgeEvent::Tick).unwrap();
+        let tail = roller.flush().unwrap().expect("one sealed snapshot");
+        assert_eq!(tail.graph.num_snapshots(), 1);
+        assert!(roller.flush().unwrap().is_none(), "flush drains");
+    }
+}

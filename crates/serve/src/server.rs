@@ -1,0 +1,305 @@
+//! std::net JSON-lines TCP frontend over [`ServeCore`].
+//!
+//! One thread accepts connections; each connection gets a reader thread
+//! (parse + submit) and a writer thread (wait tickets, write replies in
+//! request order). Submission is pipelined: the reader keeps admitting
+//! requests while earlier tickets are still in flight, so a single
+//! connection can exercise the whole admission queue. No frameworks —
+//! the protocol is small enough that `TcpListener` + the hand-rolled
+//! [`crate::wire`] codec cover it.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::core::{ServeCore, Ticket};
+use crate::wire::{self, StatsView, WireRequest};
+
+/// How often blocked I/O loops re-check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// A running TCP server.
+pub struct Server {
+    addr: SocketAddr,
+    core: Arc<ServeCore>,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+/// Snapshot of the core's counters for a stats reply.
+pub fn stats_view(core: &ServeCore) -> StatsView {
+    let cache = core.cache_stats();
+    StatsView {
+        queue_depth: core.queue_depth(),
+        shed: core.shed_count(),
+        degrade_level: core.degrade_level(),
+        max_degrade_level: core.max_degrade_level(),
+        cache_hits: cache.hits,
+        cache_misses: cache.misses,
+        cache_evictions: cache.evictions,
+    }
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts accepting connections against `core`.
+    pub fn bind(core: ServeCore, addr: &str) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let core = Arc::new(core);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let accept = {
+            let core = Arc::clone(&core);
+            let shutdown = Arc::clone(&shutdown);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("tagnn-serve-accept".into())
+                .spawn(move || {
+                    while !shutdown.load(Ordering::Relaxed) {
+                        match listener.accept() {
+                            Ok((stream, _)) => {
+                                let core = Arc::clone(&core);
+                                let flag = Arc::clone(&shutdown);
+                                let handle = std::thread::Builder::new()
+                                    .name("tagnn-serve-conn".into())
+                                    .spawn(move || connection(stream, &core, &flag))
+                                    .expect("spawn connection");
+                                conns.lock().unwrap().push(handle);
+                            }
+                            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                                std::thread::sleep(POLL_INTERVAL);
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                })
+                .expect("spawn acceptor")
+        };
+
+        Ok(Self {
+            addr,
+            core,
+            shutdown,
+            accept: Some(accept),
+            conns,
+        })
+    }
+
+    /// The bound address (with the resolved port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The serving core behind this frontend (for stats/bench readouts).
+    pub fn core(&self) -> &ServeCore {
+        &self.core
+    }
+
+    /// Stops accepting, waits for open connections to drain, and shuts
+    /// the core down.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let handles: Vec<_> = self.conns.lock().unwrap().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+        if let Ok(core) = Arc::try_unwrap(self.core) {
+            core.shutdown();
+        }
+    }
+}
+
+/// What the writer thread emits, in request order.
+enum Outgoing {
+    /// Already-encoded reply line.
+    Ready(String),
+    /// A ticket to wait on, then encode.
+    Infer(u64, Ticket),
+}
+
+fn connection(stream: TcpStream, core: &ServeCore, shutdown: &AtomicBool) {
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_nodelay(true);
+    let writer_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let (tx, rx) = mpsc::channel::<Outgoing>();
+    let writer = std::thread::Builder::new()
+        .name("tagnn-serve-conn-writer".into())
+        .spawn(move || write_loop(writer_stream, rx))
+        .expect("spawn connection writer");
+
+    read_loop(stream, core, shutdown, &tx);
+    drop(tx); // writer drains in-flight tickets, then exits
+    let _ = writer.join();
+}
+
+fn read_loop(
+    mut stream: TcpStream,
+    core: &ServeCore,
+    shutdown: &AtomicBool,
+    tx: &mpsc::Sender<Outgoing>,
+) {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    while !shutdown.load(Ordering::Relaxed) {
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // client closed
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+                    let line: Vec<u8> = buf.drain(..=pos).collect();
+                    let line = String::from_utf8_lossy(&line[..line.len() - 1]);
+                    let line = line.trim();
+                    if line.is_empty() {
+                        continue;
+                    }
+                    if tx.send(handle_line(line, core)).is_err() {
+                        return; // writer gone (broken pipe)
+                    }
+                }
+            }
+            Err(e)
+                if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+                    || e.kind() == ErrorKind::Interrupted =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn handle_line(line: &str, core: &ServeCore) -> Outgoing {
+    match wire::parse_request(line) {
+        Ok(WireRequest::Infer { id, req }) => match core.submit(req) {
+            Ok(ticket) => Outgoing::Infer(id, ticket),
+            Err(e) => Outgoing::Ready(wire::encode_error(id, &e)),
+        },
+        Ok(WireRequest::Stats { id }) => Outgoing::Ready(wire::encode_stats(id, &stats_view(core))),
+        Ok(WireRequest::Ping { id }) => Outgoing::Ready(wire::encode_pong(id)),
+        // Requests too malformed to carry an id get id 0.
+        Err(e) => Outgoing::Ready(wire::encode_error(0, &e)),
+    }
+}
+
+fn write_loop(mut stream: TcpStream, rx: mpsc::Receiver<Outgoing>) {
+    for msg in rx {
+        let line = match msg {
+            Outgoing::Ready(s) => s,
+            Outgoing::Infer(id, ticket) => match ticket.wait() {
+                Ok(reply) => wire::encode_reply(id, &reply),
+                Err(e) => wire::encode_error(id, &e),
+            },
+        };
+        if stream
+            .write_all(line.as_bytes())
+            .and_then(|_| stream.write_all(b"\n"))
+            .is_err()
+        {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ServeConfig;
+    use crate::core::InferRequest;
+    use crate::event::EdgeEvent;
+    use std::io::{BufRead, BufReader};
+
+    fn send_line(stream: &mut TcpStream, line: &str) {
+        stream.write_all(line.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+    }
+
+    #[test]
+    fn ping_stats_and_infer_over_loopback() {
+        let core = ServeCore::start(ServeConfig::default());
+        let server = Server::bind(core, "127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+
+        let mut conn = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(conn.try_clone().unwrap());
+        let mut line = String::new();
+
+        send_line(&mut conn, r#"{"id":1,"type":"ping"}"#);
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"pong\":true"), "got {line}");
+
+        // Two ticks on K=4: events accumulate, no window yet.
+        line.clear();
+        let events = [EdgeEvent::AddEdge { src: 0, dst: 1 }, EdgeEvent::Tick];
+        send_line(&mut conn, &wire::encode_infer(2, 0, &events, false));
+        reader.read_line(&mut line).unwrap();
+        let doc = crate::json::parse(line.trim()).unwrap();
+        assert_eq!(doc.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(doc.get("accepted").unwrap().as_u64(), Some(2));
+        assert!(doc.get("windows").unwrap().as_array().unwrap().is_empty());
+
+        // Flush seals the tail into a window.
+        line.clear();
+        send_line(
+            &mut conn,
+            &wire::encode_infer(3, 0, &[EdgeEvent::Tick], true),
+        );
+        reader.read_line(&mut line).unwrap();
+        let doc = crate::json::parse(line.trim()).unwrap();
+        let windows = doc.get("windows").unwrap().as_array().unwrap();
+        assert_eq!(windows.len(), 1);
+        assert_eq!(windows[0].get("snapshots").unwrap().as_u64(), Some(2));
+
+        line.clear();
+        send_line(&mut conn, r#"{"id":4,"type":"stats"}"#);
+        reader.read_line(&mut line).unwrap();
+        let doc = crate::json::parse(line.trim()).unwrap();
+        assert!(doc.get("cache").is_some(), "got {line}");
+
+        // Malformed line yields a typed protocol error, connection lives.
+        line.clear();
+        send_line(&mut conn, "this is not json");
+        reader.read_line(&mut line).unwrap();
+        let doc = crate::json::parse(line.trim()).unwrap();
+        assert_eq!(doc.get("error").unwrap().as_str(), Some("protocol"));
+
+        line.clear();
+        send_line(&mut conn, r#"{"id":5,"type":"ping"}"#);
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"pong\""), "connection must survive");
+
+        drop(conn);
+        drop(reader);
+        server.shutdown();
+    }
+
+    #[test]
+    fn submit_still_works_through_core_reference() {
+        let core = ServeCore::start(ServeConfig::default());
+        let server = Server::bind(core, "127.0.0.1:0").unwrap();
+        let reply = server
+            .core()
+            .submit(InferRequest {
+                stream: 0,
+                events: vec![EdgeEvent::Tick],
+                flush: false,
+            })
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(reply.accepted_events, 1);
+        server.shutdown();
+    }
+}

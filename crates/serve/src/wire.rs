@@ -1,0 +1,353 @@
+//! JSON-lines wire protocol.
+//!
+//! One request per line, one reply per line, ids chosen by the client and
+//! echoed back (replies to one connection are written in request order, so
+//! ids are a convenience, not a requirement). Three request types:
+//!
+//! ```text
+//! {"id":1,"type":"infer","stream":0,"flush":false,
+//!  "events":[{"op":"add_edge","src":0,"dst":3},
+//!            {"op":"update_feature","v":2,"feature":[0.5,-1.0]},
+//!            {"op":"tick"}]}
+//! {"id":2,"type":"stats"}
+//! {"id":3,"type":"ping"}
+//! ```
+//!
+//! Replies are `{"id":..,"ok":true,...}` or
+//! `{"id":..,"ok":false,"error":"<code>","message":"..."}` with the codes
+//! of [`ServeError::code`].
+
+use std::fmt::Write as _;
+
+use tagnn_graph::types::VertexId;
+
+use crate::core::{InferRequest, Reply};
+use crate::error::ServeError;
+use crate::event::EdgeEvent;
+use crate::json::{self, Value};
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireRequest {
+    /// Feed events into a stream.
+    Infer {
+        /// Client-chosen id, echoed in the reply.
+        id: u64,
+        /// The request body.
+        req: InferRequest,
+    },
+    /// Ask for server counters.
+    Stats {
+        /// Client-chosen id, echoed in the reply.
+        id: u64,
+    },
+    /// Liveness probe.
+    Ping {
+        /// Client-chosen id, echoed in the reply.
+        id: u64,
+    },
+}
+
+fn field_u64(v: &Value, key: &str) -> Result<u64, ServeError> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| ServeError::Protocol(format!("missing or non-integer field '{key}'")))
+}
+
+fn field_vertex(v: &Value, key: &str) -> Result<VertexId, ServeError> {
+    let raw = field_u64(v, key)?;
+    VertexId::try_from(raw)
+        .map_err(|_| ServeError::Protocol(format!("field '{key}' exceeds the vertex id range")))
+}
+
+fn parse_event(v: &Value) -> Result<EdgeEvent, ServeError> {
+    let op = v
+        .get("op")
+        .and_then(Value::as_str)
+        .ok_or_else(|| ServeError::Protocol("event missing 'op'".into()))?;
+    match op {
+        "add_edge" => Ok(EdgeEvent::AddEdge {
+            src: field_vertex(v, "src")?,
+            dst: field_vertex(v, "dst")?,
+        }),
+        "remove_edge" => Ok(EdgeEvent::RemoveEdge {
+            src: field_vertex(v, "src")?,
+            dst: field_vertex(v, "dst")?,
+        }),
+        "add_vertex" => Ok(EdgeEvent::AddVertex {
+            v: field_vertex(v, "v")?,
+        }),
+        "remove_vertex" => Ok(EdgeEvent::RemoveVertex {
+            v: field_vertex(v, "v")?,
+        }),
+        "update_feature" => {
+            let feature = v
+                .get("feature")
+                .and_then(Value::as_array)
+                .ok_or_else(|| ServeError::Protocol("update_feature missing 'feature'".into()))?
+                .iter()
+                .map(|x| {
+                    x.as_f64()
+                        .map(|f| f as f32)
+                        .ok_or_else(|| ServeError::Protocol("non-numeric feature entry".into()))
+                })
+                .collect::<Result<Vec<f32>, _>>()?;
+            Ok(EdgeEvent::UpdateFeature {
+                v: field_vertex(v, "v")?,
+                feature,
+            })
+        }
+        "tick" => Ok(EdgeEvent::Tick),
+        other => Err(ServeError::Protocol(format!("unknown event op '{other}'"))),
+    }
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<WireRequest, ServeError> {
+    let doc = json::parse(line).map_err(ServeError::Protocol)?;
+    let id = field_u64(&doc, "id")?;
+    let kind = doc.get("type").and_then(Value::as_str).unwrap_or("infer");
+    match kind {
+        "infer" => {
+            let events = doc
+                .get("events")
+                .and_then(Value::as_array)
+                .ok_or_else(|| ServeError::Protocol("infer request missing 'events'".into()))?
+                .iter()
+                .map(parse_event)
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(WireRequest::Infer {
+                id,
+                req: InferRequest {
+                    stream: field_u64(&doc, "stream")?,
+                    events,
+                    flush: doc.get("flush").and_then(Value::as_bool).unwrap_or(false),
+                },
+            })
+        }
+        "stats" => Ok(WireRequest::Stats { id }),
+        "ping" => Ok(WireRequest::Ping { id }),
+        other => Err(ServeError::Protocol(format!(
+            "unknown request type '{other}'"
+        ))),
+    }
+}
+
+/// Appends one event in wire form.
+pub fn write_event(out: &mut String, event: &EdgeEvent) {
+    match event {
+        EdgeEvent::AddEdge { src, dst } => {
+            let _ = write!(out, r#"{{"op":"add_edge","src":{src},"dst":{dst}}}"#);
+        }
+        EdgeEvent::RemoveEdge { src, dst } => {
+            let _ = write!(out, r#"{{"op":"remove_edge","src":{src},"dst":{dst}}}"#);
+        }
+        EdgeEvent::AddVertex { v } => {
+            let _ = write!(out, r#"{{"op":"add_vertex","v":{v}}}"#);
+        }
+        EdgeEvent::RemoveVertex { v } => {
+            let _ = write!(out, r#"{{"op":"remove_vertex","v":{v}}}"#);
+        }
+        EdgeEvent::UpdateFeature { v, feature } => {
+            let _ = write!(out, r#"{{"op":"update_feature","v":{v},"feature":["#);
+            for (i, x) in feature.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                json::write_f64(out, *x as f64);
+            }
+            out.push_str("]}");
+        }
+        EdgeEvent::Tick => out.push_str(r#"{"op":"tick"}"#),
+    }
+}
+
+/// Encodes an infer request line (client side).
+pub fn encode_infer(id: u64, stream: u64, events: &[EdgeEvent], flush: bool) -> String {
+    let mut out = String::with_capacity(64 + events.len() * 32);
+    let _ = write!(
+        out,
+        r#"{{"id":{id},"type":"infer","stream":{stream},"flush":{flush},"events":["#
+    );
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_event(&mut out, e);
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Encodes a successful infer reply.
+pub fn encode_reply(id: u64, reply: &Reply) -> String {
+    let mut out = String::with_capacity(96);
+    let _ = write!(
+        out,
+        r#"{{"id":{id},"ok":true,"accepted":{},"windows":["#,
+        reply.accepted_events
+    );
+    for (i, w) in reply.windows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        // The digest is a full-range u64; JSON numbers only carry 53 bits
+        // of integer precision, so it travels as a hex string.
+        let _ = write!(
+            out,
+            r#"{{"stream":{},"seq":{},"snapshots":{},"digest":"{:016x}","macs":{},"skipped_cells":{},"latency_us":{}}}"#,
+            w.stream, w.seq, w.snapshots, w.digest, w.macs, w.skipped_cells, w.latency_us
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Parses a hex digest string from a reply window (`None` on malformed
+/// input).
+pub fn parse_digest(v: &Value) -> Option<u64> {
+    u64::from_str_radix(v.as_str()?, 16).ok()
+}
+
+/// Encodes an error reply.
+pub fn encode_error(id: u64, err: &ServeError) -> String {
+    let mut out = String::with_capacity(64);
+    let _ = write!(out, r#"{{"id":{id},"ok":false,"error":"#);
+    json::write_string(&mut out, err.code());
+    out.push_str(",\"message\":");
+    json::write_string(&mut out, &err.to_string());
+    out.push('}');
+    out
+}
+
+/// Encodes a pong.
+pub fn encode_pong(id: u64) -> String {
+    format!(r#"{{"id":{id},"ok":true,"pong":true}}"#)
+}
+
+/// A point-in-time counter view encoded by stats replies.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StatsView {
+    /// Admission-queue depth now.
+    pub queue_depth: usize,
+    /// Requests shed since boot.
+    pub shed: u64,
+    /// Current degradation level.
+    pub degrade_level: u32,
+    /// Highest degradation level since boot.
+    pub max_degrade_level: u32,
+    /// Plan-cache hits since boot.
+    pub cache_hits: u64,
+    /// Plan-cache misses since boot.
+    pub cache_misses: u64,
+    /// Plan-cache evictions since boot.
+    pub cache_evictions: u64,
+}
+
+/// Encodes a stats reply.
+pub fn encode_stats(id: u64, s: &StatsView) -> String {
+    format!(
+        concat!(
+            r#"{{"id":{},"ok":true,"queue_depth":{},"shed":{},"degrade_level":{},"#,
+            r#""max_degrade_level":{},"cache":{{"hits":{},"misses":{},"evictions":{}}}}}"#
+        ),
+        id,
+        s.queue_depth,
+        s.shed,
+        s.degrade_level,
+        s.max_degrade_level,
+        s.cache_hits,
+        s.cache_misses,
+        s.cache_evictions
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core::WindowResult;
+
+    #[test]
+    fn infer_request_round_trips() {
+        let events = vec![
+            EdgeEvent::AddEdge { src: 3, dst: 9 },
+            EdgeEvent::UpdateFeature {
+                v: 1,
+                feature: vec![0.25, -1.5],
+            },
+            EdgeEvent::Tick,
+        ];
+        let line = encode_infer(11, 4, &events, true);
+        match parse_request(&line).unwrap() {
+            WireRequest::Infer { id, req } => {
+                assert_eq!(id, 11);
+                assert_eq!(req.stream, 4);
+                assert!(req.flush);
+                assert_eq!(req.events, events);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_and_ping_parse() {
+        assert_eq!(
+            parse_request(r#"{"id":2,"type":"stats"}"#).unwrap(),
+            WireRequest::Stats { id: 2 }
+        );
+        assert_eq!(
+            parse_request(r#"{"id":3,"type":"ping"}"#).unwrap(),
+            WireRequest::Ping { id: 3 }
+        );
+    }
+
+    #[test]
+    fn malformed_requests_are_protocol_errors() {
+        for line in [
+            "not json",
+            r#"{"type":"infer"}"#,                          // no id
+            r#"{"id":1,"type":"infer"}"#,                   // no events
+            r#"{"id":1,"type":"bogus"}"#,                   // bad type
+            r#"{"id":1,"stream":0,"events":[{"op":"?"}]}"#, // bad op
+            r#"{"id":1,"stream":0,"events":[{"op":"add_edge","src":0}]}"#, // no dst
+        ] {
+            match parse_request(line) {
+                Err(ServeError::Protocol(_)) => {}
+                other => panic!("{line}: expected protocol error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn replies_encode_compactly() {
+        let reply = Reply {
+            accepted_events: 5,
+            windows: vec![WindowResult {
+                stream: 1,
+                seq: 0,
+                snapshots: 4,
+                digest: u64::MAX - 1, // would lose precision as a JSON number
+                macs: 1000,
+                skipped_cells: 3,
+                latency_us: 77,
+            }],
+        };
+        let line = encode_reply(9, &reply);
+        let doc = crate::json::parse(&line).unwrap();
+        assert_eq!(doc.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(doc.get("accepted").unwrap().as_u64(), Some(5));
+        let w = &doc.get("windows").unwrap().as_array().unwrap()[0];
+        assert_eq!(parse_digest(w.get("digest").unwrap()), Some(u64::MAX - 1));
+
+        let err = encode_error(9, &ServeError::Closed);
+        let doc = crate::json::parse(&err).unwrap();
+        assert_eq!(doc.get("error").unwrap().as_str(), Some("closed"));
+
+        let stats = encode_stats(1, &StatsView::default());
+        let doc = crate::json::parse(&stats).unwrap();
+        assert_eq!(
+            doc.get("cache").unwrap().get("hits").unwrap().as_u64(),
+            Some(0)
+        );
+    }
+}
