@@ -25,13 +25,14 @@ struct ServeArgs {
     connections: usize,
     rate: f64,
     duration: Duration,
+    max_fallback_rate: f64,
     out: String,
 }
 
 fn parse(args: &[String], default_duration_s: f64) -> Result<ServeArgs, String> {
     let flags: HashMap<String, String> = parse_flags(args)?;
     for key in flags.keys() {
-        const KNOWN: [&str; 15] = [
+        const KNOWN: [&str; 17] = [
             "addr",
             "dataset",
             "snapshots",
@@ -46,6 +47,8 @@ fn parse(args: &[String], default_duration_s: f64) -> Result<ServeArgs, String> 
             "connections",
             "rate",
             "duration-s",
+            "incremental",
+            "max-fallback-rate",
             "out",
         ];
         if !KNOWN.contains(&key.as_str()) {
@@ -67,6 +70,7 @@ fn parse(args: &[String], default_duration_s: f64) -> Result<ServeArgs, String> 
     };
     graph.seed = num(&flags, "seed", graph.seed)?;
 
+    let incremental: u64 = num(&flags, "incremental", 1)?;
     let serve = ServeConfig {
         universe: graph.num_vertices,
         feature_dim: graph.feature_dim,
@@ -77,6 +81,7 @@ fn parse(args: &[String], default_duration_s: f64) -> Result<ServeArgs, String> 
         queue_capacity: num(&flags, "queue-capacity", 256)?,
         max_batch: num(&flags, "max-batch", 8)?,
         max_delay_us: num(&flags, "max-delay-us", 500)?,
+        incremental_planning: incremental != 0,
         ..ServeConfig::default()
     };
 
@@ -91,6 +96,7 @@ fn parse(args: &[String], default_duration_s: f64) -> Result<ServeArgs, String> 
         connections: num(&flags, "connections", 4)?,
         rate: num(&flags, "rate", 0.0)?,
         duration: Duration::from_secs_f64(num(&flags, "duration-s", default_duration_s)?),
+        max_fallback_rate: num(&flags, "max-fallback-rate", 0.05)?,
         out: flags
             .get("out")
             .cloned()
@@ -100,7 +106,7 @@ fn parse(args: &[String], default_duration_s: f64) -> Result<ServeArgs, String> 
 
 fn describe(a: &ServeArgs) -> String {
     format!(
-        "{} ({} vertices, D={}, {} snapshots) model={} hidden={} K={} workers={} queue={}",
+        "{} ({} vertices, D={}, {} snapshots) model={} hidden={} K={} workers={} queue={} plan={}",
         a.dataset,
         a.graph.num_vertices,
         a.graph.feature_dim,
@@ -110,7 +116,31 @@ fn describe(a: &ServeArgs) -> String {
         a.serve.window,
         a.serve.workers,
         a.serve.queue_capacity,
+        if a.serve.incremental_planning {
+            "incremental"
+        } else {
+            "cache/scratch"
+        },
     )
+}
+
+/// Fails loudly when the incremental-planning fallback rate (fallbacks
+/// over windows that entered the maintainer-enabled path) exceeds the
+/// `--max-fallback-rate` threshold.
+fn check_fallback_rate(stats: &tagnn_serve::wire::StatsView, max_rate: f64) -> Result<(), String> {
+    let attempted = stats.plan_incremental + stats.plan_fallbacks;
+    if attempted == 0 {
+        return Ok(());
+    }
+    let rate = stats.plan_fallbacks as f64 / attempted as f64;
+    if rate > max_rate {
+        return Err(format!(
+            "incremental-planning fallback rate {rate:.4} exceeds --max-fallback-rate {max_rate:.4} \
+             ({} fallbacks over {attempted} maintainer windows)",
+            stats.plan_fallbacks,
+        ));
+    }
+    Ok(())
 }
 
 /// `experiments serve`: boot the TCP frontend and block. `--duration-s 0`
@@ -140,8 +170,12 @@ pub fn run_serve(args: &[String]) -> Result<(), String> {
         stats.cache_misses,
         stats.cache_evictions,
     );
+    println!(
+        "  plans: incremental={} cached={} scratch={} fallbacks={}",
+        stats.plan_incremental, stats.plan_cached, stats.plan_scratch, stats.plan_fallbacks,
+    );
     server.shutdown();
-    Ok(())
+    check_fallback_rate(&stats, a.max_fallback_rate)
 }
 
 /// `experiments serve-bench`: boot an in-process server on an ephemeral
@@ -168,9 +202,10 @@ pub fn run_serve_bench(args: &[String]) -> Result<(), String> {
     };
     let summary = loadgen::run(&load).map_err(|e| format!("loadgen: {e}"))?;
     let stats = stats_view(server.core());
+    let plan_build_us = server.core().recorder().histogram("serve.plan_build_us");
     server.shutdown();
 
-    let report = render_report(&a, &summary, &stats);
+    let report = render_report(&a, &summary, &stats, plan_build_us.as_ref());
     std::fs::write(&a.out, &report).map_err(|e| format!("cannot write {}: {e}", a.out))?;
 
     println!(
@@ -193,17 +228,32 @@ pub fn run_serve_bench(args: &[String]) -> Result<(), String> {
         stats.cache_evictions,
         stats.max_degrade_level,
     );
+    println!(
+        "  plans: incremental={} cached={} scratch={} fallbacks={}",
+        stats.plan_incremental, stats.plan_cached, stats.plan_scratch, stats.plan_fallbacks,
+    );
+    if let Some(h) = &plan_build_us {
+        println!(
+            "  plan build p50={}us p95={}us p99={}us max={}us over {} windows",
+            h.quantile(0.50),
+            h.quantile(0.95),
+            h.quantile(0.99),
+            h.max(),
+            h.count(),
+        );
+    }
     println!("report written to {}", a.out);
     if summary.replies == 0 && summary.requests > 0 {
         return Err("no request got a reply".to_string());
     }
-    Ok(())
+    check_fallback_rate(&stats, a.max_fallback_rate)
 }
 
 fn render_report(
     a: &ServeArgs,
     summary: &LoadgenSummary,
     stats: &tagnn_serve::wire::StatsView,
+    plan_build_us: Option<&tagnn_obs::Histogram>,
 ) -> String {
     let mut out = String::with_capacity(1024);
     out.push_str("{\n  \"bench\": \"serve\",\n  \"config\": {");
@@ -232,7 +282,11 @@ fn render_report(
         a.connections,
     );
     json::write_f64(&mut out, a.rate);
-    out.push_str(", \"duration_s\": ");
+    let _ = write!(
+        out,
+        r#", "incremental_planning": {}, "duration_s": "#,
+        a.serve.incremental_planning
+    );
     json::write_f64(&mut out, a.duration.as_secs_f64());
     out.push_str("},\n  \"load\": ");
     out.push_str(&summary.to_json());
@@ -240,14 +294,34 @@ fn render_report(
         out,
         concat!(
             ",\n  \"server\": {{\"shed\": {}, \"max_degrade_level\": {}, ",
-            "\"plan_cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}}}}}\n}}\n"
+            "\"plan_cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}}}, ",
+            "\"plan_sources\": {{\"scratch\": {}, \"cached\": {}, \"incremental\": {}, ",
+            "\"fallbacks\": {}}}"
         ),
         stats.shed,
         stats.max_degrade_level,
         stats.cache_hits,
         stats.cache_misses,
         stats.cache_evictions,
+        stats.plan_scratch,
+        stats.plan_cached,
+        stats.plan_incremental,
+        stats.plan_fallbacks,
     );
+    // Plan work done per window (maintainer seal or scratch build; cache
+    // hits do no plan work and record nothing).
+    if let Some(h) = plan_build_us {
+        let _ = write!(
+            out,
+            r#", "plan_build_us": {{"count": {}, "p50": {}, "p95": {}, "p99": {}, "max": {}}}"#,
+            h.count(),
+            h.quantile(0.50),
+            h.quantile(0.95),
+            h.quantile(0.99),
+            h.max(),
+        );
+    }
+    out.push_str("}\n}\n");
     out
 }
 
@@ -330,8 +404,15 @@ mod tests {
             cache_hits: 7,
             cache_misses: 2,
             cache_evictions: 0,
+            plan_scratch: 1,
+            plan_cached: 7,
+            plan_incremental: 12,
+            plan_fallbacks: 1,
         };
-        let report = render_report(&a, &summary, &stats);
+        let mut build = tagnn_obs::Histogram::new();
+        build.record(40);
+        build.record(90);
+        let report = render_report(&a, &summary, &stats, Some(&build));
         let doc = json::parse(&report).expect("report must parse");
         assert_eq!(
             doc.get("bench").and_then(json::Value::as_str),
@@ -342,6 +423,12 @@ mod tests {
                 .and_then(|c| c.get("vertices"))
                 .and_then(json::Value::as_u64),
             Some(a.graph.num_vertices as u64)
+        );
+        assert_eq!(
+            doc.get("config")
+                .and_then(|c| c.get("incremental_planning"))
+                .and_then(json::Value::as_bool),
+            Some(true)
         );
         assert_eq!(
             doc.get("load")
@@ -355,6 +442,59 @@ mod tests {
                 .and_then(json::Value::as_u64),
             Some(1)
         );
+        let sources = doc
+            .get("server")
+            .and_then(|s| s.get("plan_sources"))
+            .unwrap();
+        assert_eq!(
+            sources.get("incremental").and_then(json::Value::as_u64),
+            Some(12)
+        );
+        assert_eq!(
+            sources.get("fallbacks").and_then(json::Value::as_u64),
+            Some(1)
+        );
+        let build = doc
+            .get("server")
+            .and_then(|s| s.get("plan_build_us"))
+            .unwrap();
+        assert_eq!(build.get("count").and_then(json::Value::as_u64), Some(2));
+        // Without a histogram the key is simply absent, still valid JSON.
+        let report = render_report(&a, &summary, &stats, None);
+        let doc = json::parse(&report).expect("report must parse");
+        assert!(doc
+            .get("server")
+            .and_then(|s| s.get("plan_build_us"))
+            .is_none());
+    }
+
+    #[test]
+    fn parse_threads_incremental_flags() {
+        let a = parse(&args(&[]), 10.0).unwrap();
+        assert!(a.serve.incremental_planning, "on by default");
+        assert!((a.max_fallback_rate - 0.05).abs() < 1e-9);
+        let a = parse(
+            &args(&["--incremental", "0", "--max-fallback-rate", "0.2"]),
+            10.0,
+        )
+        .unwrap();
+        assert!(!a.serve.incremental_planning);
+        assert!((a.max_fallback_rate - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fallback_rate_threshold_fails_loudly() {
+        let mut stats = tagnn_serve::wire::StatsView {
+            plan_incremental: 95,
+            plan_fallbacks: 5,
+            ..Default::default()
+        };
+        assert!(check_fallback_rate(&stats, 0.05).is_ok(), "5% at threshold");
+        stats.plan_fallbacks = 6;
+        let err = check_fallback_rate(&stats, 0.05).unwrap_err();
+        assert!(err.contains("max-fallback-rate"), "got: {err}");
+        // Disabled or idle servers never trip the check.
+        assert!(check_fallback_rate(&tagnn_serve::wire::StatsView::default(), 0.0).is_ok());
     }
 
     /// End-to-end: the bench harness boots a real server, drives it, and

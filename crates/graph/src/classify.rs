@@ -23,6 +23,14 @@ pub struct WindowClassification {
 }
 
 impl WindowClassification {
+    /// Assembles a classification from already computed per-vertex classes
+    /// (the incremental maintainer's seal path). [`try_classify_window`]
+    /// stays the semantic oracle; agreement is pinned by the randomized
+    /// differential test.
+    pub(crate) fn from_parts(classes: Vec<VertexClass>, window: usize) -> Self {
+        Self { classes, window }
+    }
+
     /// Class of vertex `v`.
     #[inline]
     pub fn class(&self, v: VertexId) -> VertexClass {

@@ -1,0 +1,490 @@
+//! Incremental plan maintenance: stream the MSDL frontend as deltas
+//! instead of re-planning every window.
+//!
+//! The from-scratch [`WindowPlanner`](crate::plan::WindowPlanner) pays
+//! `O(K·V·D + K·E)` per sealed window, dominated by the classification
+//! stage's feature and adjacency comparisons across all K snapshots —
+//! even when consecutive windows overlap almost entirely. The
+//! [`PlanMaintainer`] instead absorbs each tick's update batch as it
+//! arrives and maintains the classification state incrementally, so the
+//! window-boundary [`PlanMaintainer::seal`] only has to combine bitmaps
+//! (`O(V + E₀)`) and run the output-proportional extraction/packing
+//! stages that any plan must materialise anyway.
+//!
+//! # The monotone-instability invariant
+//!
+//! Windows tumble (they never share snapshots), so every comparison in
+//! [`try_classify_window`](crate::classify::try_classify_window) is
+//! against the window's *first* snapshot. Within one window, once a
+//! vertex's activity, feature row, or neighbour list deviates from
+//! snapshot 0 it can "revert" in a later snapshot, but the window-level
+//! predicate (*equal in all snapshots*) is already false — instability is
+//! monotone. The [`IncrementalClassifier`] therefore keeps two grow-only
+//! bitmaps, `feature_unstable` and `topo_unstable`, and re-compares only
+//! the vertices actually dirtied by a tick's updates.
+//!
+//! # Dirty-set rules
+//!
+//! Per [`GraphUpdate`], the vertices whose window-level stability can
+//! change at this tick:
+//!
+//! * `AddEdge`/`RemoveEdge { src }` → `src` is topology-dirty;
+//! * `MutateFeature { v }` → `v` is feature-dirty;
+//! * `AddVertex`/`RemoveVertex { v }` → `v` is feature- and
+//!   topology-dirty, **and** every in-neighbour of `v` in the previous
+//!   snapshot is topology-dirty: materialisation filters edges by
+//!   endpoint activity, so deactivating `v` silently removes `x → v`
+//!   from `x`'s neighbour list without `x` appearing in the update batch.
+//!   (Re-activation does not resurrect dropped edges, so the previous
+//!   snapshot's in-neighbours are the complete suspect set.)
+//!
+//! Over-approximating the dirty set is safe — dirty vertices are settled
+//! by exact comparison against snapshot 0 — while under-approximating
+//! would be a correctness bug. The randomized differential test
+//! (`tests/incremental_differential.rs`) pins bit-identity of every
+//! incrementally sealed plan against the from-scratch oracle.
+//!
+//! # Fallback to scratch
+//!
+//! [`PlanMaintainer::seal`] returns `None` — and counts a fallback —
+//! whenever its state cannot vouch for the window: the maintainer was
+//! attached mid-window, a tick was absorbed out of order, or the sealed
+//! snapshot count disagrees with the ticks absorbed. The caller then
+//! plans from scratch; serving layers surface the fallback rate so a
+//! wiring regression is loud, not silent.
+
+use crate::classify::WindowClassification;
+use crate::delta::GraphUpdate;
+use crate::plan::{PlanSource, WindowPlan};
+use crate::snapshot::Snapshot;
+use crate::types::{VertexClass, VertexId};
+use serde::{Deserialize, Serialize};
+
+/// The patch one absorbed tick applied to the maintained plan state —
+/// the "plan delta" streamed per tick instead of a per-window rebuild.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlanDelta {
+    /// 0-based tick (snapshot index) within the forming window.
+    pub tick: usize,
+    /// Vertices whose feature row was re-compared against snapshot 0.
+    pub feature_dirty: usize,
+    /// Vertices whose neighbour list was re-compared against snapshot 0.
+    pub topo_dirty: usize,
+    /// Bitmap flips this tick (vertices newly marked unstable) — the
+    /// patch size actually applied to the maintained state.
+    pub newly_unstable: usize,
+}
+
+/// Cumulative [`PlanMaintainer`] counters, surfaced by the serving layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MaintainerStats {
+    /// Ticks absorbed across all windows.
+    pub ticks_absorbed: u64,
+    /// Windows sealed incrementally.
+    pub windows_sealed: u64,
+    /// Seals that could not be served incrementally (caller fell back to
+    /// the scratch planner).
+    pub fallbacks: u64,
+    /// Total dirty vertices re-compared across all ticks.
+    pub dirty_vertices: u64,
+    /// Total bitmap flips (patched vertices) across all ticks.
+    pub patched_vertices: u64,
+}
+
+#[derive(Debug)]
+struct ClassifierState {
+    /// Snapshots absorbed so far in the forming window.
+    ticks: usize,
+    /// Monotone: vertex deviated from snapshot 0 in activity or feature.
+    feature_unstable: Vec<bool>,
+    /// Monotone: vertex's neighbour list deviated from snapshot 0.
+    topo_unstable: Vec<bool>,
+    /// State cannot vouch for this window (attached mid-window, tick gap,
+    /// or universe change) — seal must fall back.
+    poisoned: bool,
+}
+
+/// Maintains window-classification state from per-tick update batches
+/// (stage 1 of the MSDL frontend, made incremental).
+#[derive(Debug, Default)]
+pub struct IncrementalClassifier {
+    state: Option<ClassifierState>,
+}
+
+impl IncrementalClassifier {
+    /// A classifier with no forming window.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorbs one sealed tick. `sealed` is the forming window's
+    /// snapshots so far (the last entry is the snapshot this tick
+    /// produced) and `updates` the batch that produced it.
+    ///
+    /// Cost: `O(V)` bookkeeping plus exact re-comparison of the dirty
+    /// vertices only; ticks with vertex churn add one scan of the
+    /// previous snapshot's edges to find silent in-neighbour edits.
+    pub fn absorb(&mut self, sealed: &[Snapshot], updates: &[GraphUpdate]) -> PlanDelta {
+        let Some(tick) = sealed.len().checked_sub(1) else {
+            // No snapshot to absorb; nothing to maintain.
+            return PlanDelta::default();
+        };
+        let newest = &sealed[tick];
+        let n = newest.num_vertices();
+
+        if tick == 0 {
+            // Window start: snapshot 0 is the reference everything is
+            // compared against. A vertex inactive here can never satisfy
+            // "active in all snapshots", so it is feature-unstable from
+            // the outset; topology is vacuously stable against itself.
+            self.state = Some(ClassifierState {
+                ticks: 1,
+                feature_unstable: (0..n as VertexId).map(|v| !newest.is_active(v)).collect(),
+                topo_unstable: vec![false; n],
+                poisoned: false,
+            });
+            return PlanDelta::default();
+        }
+
+        let state = match self.state.as_mut() {
+            Some(s) => s,
+            None => {
+                // Attached mid-window: earlier ticks were never absorbed,
+                // so this window cannot be vouched for.
+                self.state = Some(ClassifierState {
+                    ticks: tick + 1,
+                    feature_unstable: Vec::new(),
+                    topo_unstable: Vec::new(),
+                    poisoned: true,
+                });
+                return PlanDelta {
+                    tick,
+                    ..PlanDelta::default()
+                };
+            }
+        };
+        if state.poisoned || state.ticks != tick || state.feature_unstable.len() != n {
+            state.poisoned = true;
+            state.ticks = tick + 1;
+            return PlanDelta {
+                tick,
+                ..PlanDelta::default()
+            };
+        }
+        state.ticks = tick + 1;
+
+        let snap0 = &sealed[0];
+        let prev = &sealed[tick - 1];
+        let mut feat_dirty = vec![false; n];
+        let mut topo_dirty = vec![false; n];
+        let mut churned: Vec<VertexId> = Vec::new();
+        for u in updates {
+            match u {
+                GraphUpdate::AddEdge { src, .. } | GraphUpdate::RemoveEdge { src, .. } => {
+                    topo_dirty[*src as usize] = true;
+                }
+                GraphUpdate::MutateFeature { v, .. } => feat_dirty[*v as usize] = true,
+                GraphUpdate::AddVertex { v } | GraphUpdate::RemoveVertex { v } => {
+                    feat_dirty[*v as usize] = true;
+                    topo_dirty[*v as usize] = true;
+                    churned.push(*v);
+                }
+            }
+        }
+        if !churned.is_empty() {
+            let mut is_churned = vec![false; n];
+            for &v in &churned {
+                is_churned[v as usize] = true;
+            }
+            // Churn edits in-neighbours' adjacency without naming them in
+            // the batch (their edges to the churned vertex are dropped by
+            // the activity filter): mark every previous-snapshot
+            // in-neighbour a topology suspect.
+            for v in 0..n as VertexId {
+                if !topo_dirty[v as usize]
+                    && prev.neighbors(v).iter().any(|&u| is_churned[u as usize])
+                {
+                    topo_dirty[v as usize] = true;
+                }
+            }
+        }
+
+        let mut delta = PlanDelta {
+            tick,
+            ..PlanDelta::default()
+        };
+        for v in 0..n {
+            let vid = v as VertexId;
+            if feat_dirty[v] && !state.feature_unstable[v] {
+                delta.feature_dirty += 1;
+                if !newest.is_active(vid) || newest.feature(vid) != snap0.feature(vid) {
+                    state.feature_unstable[v] = true;
+                    delta.newly_unstable += 1;
+                }
+            }
+            if topo_dirty[v] && !state.topo_unstable[v] {
+                delta.topo_dirty += 1;
+                if newest.neighbors(vid) != snap0.neighbors(vid) {
+                    state.topo_unstable[v] = true;
+                    delta.newly_unstable += 1;
+                }
+            }
+        }
+        delta
+    }
+
+    /// Combines the maintained bitmaps into final per-vertex classes —
+    /// pass 2 of [`crate::classify::try_classify_window`], `O(V + E₀)`.
+    /// Consumes the forming-window state; `None` when it cannot vouch for
+    /// the window (fallback to scratch).
+    fn seal_classes(&mut self, snaps: &[&Snapshot]) -> Option<Vec<VertexClass>> {
+        let state = self.state.take()?;
+        if state.poisoned || state.ticks != snaps.len() {
+            return None;
+        }
+        let n = snaps[0].num_vertices();
+        if state.feature_unstable.len() != n {
+            return None;
+        }
+        let classes = (0..n)
+            .map(|v| {
+                if state.feature_unstable[v] {
+                    VertexClass::Affected
+                } else if !state.topo_unstable[v]
+                    && snaps[0]
+                        .neighbors(v as VertexId)
+                        .iter()
+                        .all(|&u| !state.feature_unstable[u as usize])
+                {
+                    VertexClass::Unaffected
+                } else {
+                    VertexClass::Stable
+                }
+            })
+            .collect();
+        Some(classes)
+    }
+
+    /// Drops any forming-window state (stream reset).
+    pub fn reset(&mut self) {
+        self.state = None;
+    }
+}
+
+/// Streams the MSDL frontend: absorbs per-tick deltas during the window
+/// and seals a ready [`WindowPlan`] — bit-identical to the from-scratch
+/// planner's — at the window boundary.
+///
+/// Stage split: the [`IncrementalClassifier`] carries the only state
+/// whose from-scratch cost scales with `K·V·D`; the affected-subgraph
+/// extraction and O-CSR packing stages run at seal through the exact
+/// code path the scratch planner uses ([`WindowPlan::assemble`]), because
+/// their cost is proportional to the output that must be materialised
+/// regardless (and sharing the path makes divergence impossible anywhere
+/// but classification).
+#[derive(Debug, Default)]
+pub struct PlanMaintainer {
+    classifier: IncrementalClassifier,
+    stats: MaintainerStats,
+}
+
+impl PlanMaintainer {
+    /// A maintainer with no forming window.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cumulative maintainer counters.
+    pub fn stats(&self) -> MaintainerStats {
+        self.stats
+    }
+
+    /// Absorbs one sealed tick (see [`IncrementalClassifier::absorb`]).
+    pub fn absorb(&mut self, sealed: &[Snapshot], updates: &[GraphUpdate]) -> PlanDelta {
+        let delta = self.classifier.absorb(sealed, updates);
+        self.stats.ticks_absorbed += 1;
+        self.stats.dirty_vertices += (delta.feature_dirty + delta.topo_dirty) as u64;
+        self.stats.patched_vertices += delta.newly_unstable as u64;
+        delta
+    }
+
+    /// Seals the forming window into a ready [`WindowPlan`] stamped
+    /// [`PlanSource::Incremental`]. `snaps` must be exactly the sealed
+    /// snapshots absorbed; `index` the window index the from-scratch
+    /// planner would use (0 for a rolled serving window).
+    ///
+    /// Returns `None` — counting a fallback — when the maintained state
+    /// cannot vouch for the window; the caller must then plan from
+    /// scratch. Either way the forming-window state is consumed, so the
+    /// next absorbed tick starts a fresh window.
+    pub fn seal(&mut self, snaps: &[&Snapshot], index: usize) -> Option<WindowPlan> {
+        let started = std::time::Instant::now();
+        if snaps.is_empty() {
+            self.classifier.reset();
+            self.stats.fallbacks += 1;
+            return None;
+        }
+        match self.classifier.seal_classes(snaps) {
+            Some(classes) => {
+                let cls = WindowClassification::from_parts(classes, snaps.len());
+                let mut plan = WindowPlan::assemble(snaps, index, cls, started);
+                plan.set_source(PlanSource::Incremental);
+                self.stats.windows_sealed += 1;
+                Some(plan)
+            }
+            None => {
+                self.stats.fallbacks += 1;
+                None
+            }
+        }
+    }
+
+    /// Drops any forming-window state (stream reset).
+    pub fn reset(&mut self) {
+        self.classifier.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delta::{diff_snapshots, try_apply_updates};
+    use crate::dynamic::DynamicGraph;
+    use crate::plan::WindowPlanner;
+
+    /// Drives a maintainer over `graph` exactly as a window roller would:
+    /// per-tick diffs absorbed as they arrive, seal at every K-th tick.
+    fn roll(
+        graph: &DynamicGraph,
+        k: usize,
+        maintainer: &mut PlanMaintainer,
+    ) -> Vec<Option<WindowPlan>> {
+        let mut plans = Vec::new();
+        let mut sealed: Vec<Snapshot> = Vec::new();
+        let mut prev = crate::snapshot::Snapshot::fully_active(
+            crate::csr::Csr::empty(graph.num_vertices()),
+            tagnn_tensor::DenseMatrix::zeros(graph.num_vertices(), graph.feature_dim()),
+        );
+        for snap in graph.snapshots() {
+            let updates = diff_snapshots(&prev, snap);
+            let next = try_apply_updates(&prev, &updates).unwrap();
+            assert_eq!(&next, snap, "replay must be exact");
+            sealed.push(next.clone());
+            maintainer.absorb(&sealed, &updates);
+            prev = next;
+            if sealed.len() == k {
+                let refs: Vec<&Snapshot> = sealed.iter().collect();
+                plans.push(maintainer.seal(&refs, 0));
+                sealed.clear();
+            }
+        }
+        if !sealed.is_empty() {
+            let refs: Vec<&Snapshot> = sealed.iter().collect();
+            plans.push(maintainer.seal(&refs, 0));
+        }
+        plans
+    }
+
+    #[test]
+    fn sealed_plans_match_scratch_on_tiny_graph() {
+        let g = crate::generate::GeneratorConfig::tiny().generate();
+        let k = 3;
+        let mut m = PlanMaintainer::new();
+        let plans = roll(&g, k, &mut m);
+        assert_eq!(m.stats().fallbacks, 0);
+        let planner = WindowPlanner::new(k);
+        for (plan, batch) in plans.iter().zip(g.batches(k)) {
+            let plan = plan.as_ref().expect("sealed incrementally");
+            let refs: Vec<&Snapshot> = batch.iter().collect();
+            let scratch = planner.try_plan_window(&refs, 0).unwrap();
+            assert_eq!(plan, &scratch, "incremental plan must be bit-identical");
+            assert_eq!(plan.fingerprint(), scratch.fingerprint());
+            assert_eq!(plan.source(), PlanSource::Incremental);
+            assert_eq!(scratch.source(), PlanSource::Scratch);
+        }
+    }
+
+    #[test]
+    fn mid_window_attach_falls_back_then_recovers() {
+        let g = crate::generate::GeneratorConfig::tiny().generate(); // 6 snaps
+        let k = 3;
+        let mut m = PlanMaintainer::new();
+        let mut sealed: Vec<Snapshot> = Vec::new();
+        let mut prev = crate::snapshot::Snapshot::fully_active(
+            crate::csr::Csr::empty(g.num_vertices()),
+            tagnn_tensor::DenseMatrix::zeros(g.num_vertices(), g.feature_dim()),
+        );
+        let mut plans = Vec::new();
+        for (i, snap) in g.snapshots().iter().enumerate() {
+            let updates = diff_snapshots(&prev, snap);
+            sealed.push(snap.clone());
+            if i > 0 {
+                // Tick 0 of the first window is never absorbed.
+                m.absorb(&sealed, &updates);
+            }
+            prev = snap.clone();
+            if sealed.len() == k {
+                let refs: Vec<&Snapshot> = sealed.iter().collect();
+                plans.push(m.seal(&refs, 0));
+                sealed.clear();
+            }
+        }
+        assert!(plans[0].is_none(), "unvouched window must fall back");
+        assert!(plans[1].is_some(), "next window seals incrementally");
+        assert_eq!(m.stats().fallbacks, 1);
+        assert_eq!(m.stats().windows_sealed, 1);
+    }
+
+    #[test]
+    fn deltas_shrink_with_quiet_ticks() {
+        let s0 = crate::snapshot::Snapshot::fully_active(
+            crate::csr::Csr::from_edges(4, &[(0, 1), (1, 2)]),
+            tagnn_tensor::DenseMatrix::zeros(4, 2),
+        );
+        let mut m = PlanMaintainer::new();
+        let d0 = m.absorb(std::slice::from_ref(&s0), &[]);
+        assert_eq!(d0, PlanDelta::default());
+        // A quiet tick dirties nothing.
+        let sealed = vec![s0.clone(), s0.clone()];
+        let d1 = m.absorb(&sealed, &[]);
+        assert_eq!(d1.feature_dirty + d1.topo_dirty, 0);
+        assert_eq!(d1.tick, 1);
+        // One feature mutation re-compares exactly one vertex.
+        let u = GraphUpdate::MutateFeature {
+            v: 2,
+            feature: vec![9.0, 9.0],
+        };
+        let s2 = try_apply_updates(&s0, std::slice::from_ref(&u)).unwrap();
+        let sealed = vec![s0.clone(), s0.clone(), s2];
+        let d2 = m.absorb(&sealed, &[u]);
+        assert_eq!(d2.feature_dirty, 1);
+        assert_eq!(d2.newly_unstable, 1);
+        let refs: Vec<&Snapshot> = sealed.iter().collect();
+        let plan = m.seal(&refs, 0).expect("vouched window");
+        let scratch = WindowPlanner::new(3).try_plan_window(&refs, 0).unwrap();
+        assert_eq!(plan, scratch);
+    }
+
+    #[test]
+    fn vertex_churn_marks_silent_in_neighbors() {
+        // 0 -> 1; removing v1 silently edits v0's adjacency.
+        let s0 = crate::snapshot::Snapshot::fully_active(
+            crate::csr::Csr::from_edges(3, &[(0, 1)]),
+            tagnn_tensor::DenseMatrix::zeros(3, 2),
+        );
+        let u = GraphUpdate::RemoveVertex { v: 1 };
+        let s1 = try_apply_updates(&s0, std::slice::from_ref(&u)).unwrap();
+        let mut m = PlanMaintainer::new();
+        m.absorb(std::slice::from_ref(&s0), &[]);
+        let sealed = vec![s0.clone(), s1];
+        let d = m.absorb(&sealed, &[u]);
+        assert!(
+            d.topo_dirty >= 2,
+            "v1 (churned) and v0 (in-neighbour) must both be re-compared, got {d:?}"
+        );
+        let refs: Vec<&Snapshot> = sealed.iter().collect();
+        let plan = m.seal(&refs, 0).expect("vouched window");
+        let scratch = WindowPlanner::new(2).try_plan_window(&refs, 0).unwrap();
+        assert_eq!(plan, scratch);
+    }
+}

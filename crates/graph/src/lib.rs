@@ -23,6 +23,10 @@
 //!   window bundling classification, affected subgraph, O-CSR, and
 //!   dispatch statistics, built once by [`plan::WindowPlanner`] and shared
 //!   (via [`plan::PlanCache`]) by the engine, simulator, and experiments;
+//! * [`incremental`] — streaming plan maintenance: a
+//!   [`incremental::PlanMaintainer`] absorbs per-tick update deltas and
+//!   seals window plans bit-identical to the from-scratch planner at
+//!   delta-proportional cost;
 //! * [`pma::Pma`] and [`multi_csr::MultiCsr`] — the dynamic-format baselines
 //!   O-CSR is compared against in Fig. 13(b);
 //! * [`generate`] — synthetic dynamic-graph generation with presets matching
@@ -35,6 +39,7 @@ pub mod delta;
 pub mod dynamic;
 pub mod error;
 pub mod generate;
+pub mod incremental;
 pub mod io;
 pub mod multi_csr;
 pub mod ocsr;
@@ -50,8 +55,9 @@ pub use csr::Csr;
 pub use dynamic::DynamicGraph;
 pub use error::GraphError;
 pub use generate::{DatasetPreset, GeneratorConfig};
+pub use incremental::{IncrementalClassifier, MaintainerStats, PlanDelta, PlanMaintainer};
 pub use ocsr::OCsr;
-pub use plan::{CacheStats, PlanCache, PlanInstrumentation, WindowPlan, WindowPlanner};
+pub use plan::{CacheStats, PlanCache, PlanInstrumentation, PlanSource, WindowPlan, WindowPlanner};
 pub use snapshot::Snapshot;
 pub use subgraph::AffectedSubgraph;
 pub use types::{SnapshotId, VertexClass, VertexId};

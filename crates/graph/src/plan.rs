@@ -28,6 +28,36 @@ use tagnn_obs::{span as obs_span, Recorder};
 /// Cache key: `(graph fingerprint, window index, window size K)`.
 pub type PlanKey = (u64, usize, usize);
 
+/// How a [`WindowPlan`] was obtained.
+///
+/// Recorded in [`PlanStats`] (excluded from equality: the same window
+/// planned scratch, served from cache, or maintained incrementally is the
+/// same plan) and surfaced by the serving layer so operators can see where
+/// plan-build work actually happens.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlanSource {
+    /// Built from scratch by the [`WindowPlanner`] pipeline
+    /// (classify → DFS extract → O-CSR pack over the whole window).
+    #[default]
+    Scratch,
+    /// Served from a [`PlanCache`] hit.
+    Cached,
+    /// Sealed by a [`crate::incremental::PlanMaintainer`] that absorbed
+    /// the window's events as they arrived.
+    Incremental,
+}
+
+impl PlanSource {
+    /// Short stable name (used in counters and JSON reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            PlanSource::Scratch => "scratch",
+            PlanSource::Cached => "cached",
+            PlanSource::Incremental => "incremental",
+        }
+    }
+}
+
 /// Per-window statistics derived while planning — everything downstream
 /// cost models read without touching the raw snapshots again.
 ///
@@ -58,6 +88,10 @@ pub struct PlanStats {
     /// Wall-clock nanoseconds spent building this plan (excluded from
     /// equality).
     pub build_ns: u64,
+    /// How the plan was obtained (excluded from equality — the
+    /// incremental path must produce bit-identical plans).
+    #[serde(default)]
+    pub source: PlanSource,
 }
 
 impl PartialEq for PlanStats {
@@ -85,6 +119,11 @@ pub struct WindowPlan {
 }
 
 impl WindowPlan {
+    /// Stamps how this plan was obtained (serving-layer bookkeeping).
+    pub(crate) fn set_source(&mut self, source: PlanSource) {
+        self.stats.source = source;
+    }
+
     /// Window index in batch order.
     #[inline]
     pub fn index(&self) -> usize {
@@ -120,6 +159,119 @@ impl WindowPlan {
     #[inline]
     pub fn stats(&self) -> &PlanStats {
         &self.stats
+    }
+
+    /// How the plan was obtained.
+    #[inline]
+    pub fn source(&self) -> PlanSource {
+        self.stats.source
+    }
+
+    /// Runs the window pipeline downstream of classification — subgraph
+    /// extraction, O-CSR packing, dispatch statistics — and assembles the
+    /// plan. Shared by the from-scratch [`WindowPlanner`] and the
+    /// incremental seal path, so the two can only diverge in the
+    /// classification they feed in.
+    ///
+    /// `started` anchors `build_ns`: the scratch path passes the instant
+    /// classification began, the incremental path the instant seal began.
+    pub(crate) fn assemble(
+        snaps: &[&Snapshot],
+        index: usize,
+        classification: WindowClassification,
+        started: std::time::Instant,
+    ) -> Self {
+        let subgraph = AffectedSubgraph::extract(snaps, &classification);
+        let ocsr = OCsr::from_subgraph(snaps, &classification, &subgraph);
+
+        let n = snaps[0].num_vertices();
+        // Degree-weighted GNN tasks: every vertex once (the compute-once
+        // pass) plus the subgraph per extra snapshot — the exact item
+        // order matters for round-robin dispatch reproducibility.
+        let mut degree_items: Vec<u64> = (0..n as VertexId)
+            .map(|v| snaps[0].csr().degree(v) as u64 + 1)
+            .collect();
+        let cold_rows: u64 = degree_items.iter().sum();
+        for &v in subgraph.vertices() {
+            for snap in &snaps[1..] {
+                degree_items.push(snap.csr().degree(v) as u64 + 1);
+            }
+        }
+        let affected_rows: u64 = classification
+            .vertices_of(VertexClass::Affected)
+            .map(|v| snaps[0].csr().degree(v) as u64 + 1)
+            .sum::<u64>()
+            * (snaps.len() as u64).saturating_sub(1);
+
+        let stats = PlanStats {
+            classified_vertices: n as u64,
+            counts: ClassCounts::from_classification(&classification),
+            subgraph_vertices: subgraph.num_vertices() as u64,
+            subgraph_edges: subgraph.num_edges() as u64,
+            degree_items,
+            cold_rows,
+            affected_rows,
+            build_ns: started.elapsed().as_nanos() as u64,
+            source: PlanSource::Scratch,
+        };
+        Self {
+            index,
+            window_len: snaps.len(),
+            classification,
+            subgraph,
+            ocsr,
+            stats,
+        }
+    }
+
+    /// FNV-1a content fingerprint over the plan's artefacts
+    /// (classification, O-CSR arrays and feature bytes, work counters —
+    /// everything except `build_ns` and `source`). Two plans of the same
+    /// window compare equal iff their fingerprints match, whichever path
+    /// built them; the differential suite pins this.
+    pub fn fingerprint(&self) -> u64 {
+        fn eat(h: &mut u64, b: u8) {
+            *h ^= b as u64;
+            *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        fn eat_u64(h: &mut u64, x: u64) {
+            for b in x.to_le_bytes() {
+                eat(h, b);
+            }
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &c in self.classification.classes() {
+            eat(&mut h, c as u8);
+        }
+        eat_u64(&mut h, self.index as u64);
+        eat_u64(&mut h, self.window_len as u64);
+        for (&src, &e) in self.ocsr.sources().iter().zip(self.ocsr.enums()) {
+            eat_u64(&mut h, src as u64);
+            eat_u64(&mut h, e as u64);
+            for (u, t) in self.ocsr.neighbors(src) {
+                eat_u64(&mut h, u as u64);
+                eat_u64(&mut h, t as u64);
+            }
+        }
+        eat_u64(&mut h, self.ocsr.num_feature_rows() as u64);
+        for t in 0..self.window_len {
+            for &src in self.ocsr.sources() {
+                if let Some(row) = self.ocsr.feature(src, t as crate::types::SnapshotId) {
+                    for &x in row {
+                        eat_u64(&mut h, x.to_bits() as u64);
+                    }
+                }
+            }
+        }
+        for &v in self.subgraph.visit_order() {
+            eat_u64(&mut h, v as u64);
+        }
+        eat_u64(&mut h, self.stats.cold_rows);
+        eat_u64(&mut h, self.stats.affected_rows);
+        for &d in &self.stats.degree_items {
+            eat_u64(&mut h, d);
+        }
+        h
     }
 }
 
@@ -333,18 +485,26 @@ impl PlanCache {
 
     /// Inserts a freshly built plan, counting the miss that caused it.
     /// Evicts least-recently-used entries while over capacity.
+    ///
+    /// Re-inserting an existing key replaces the plan and refreshes its
+    /// recency but counts neither a miss nor an eviction — the entry count
+    /// did not grow, so nothing needs to make room, and the miss that
+    /// caused the original build was already tallied.
     pub fn insert(&self, key: PlanKey, plan: Arc<WindowPlan>) {
-        self.misses.fetch_add(1, Ordering::Relaxed);
         let mut map = self.map.lock().unwrap();
         map.tick += 1;
         let tick = map.tick;
-        map.entries.insert(
+        let previous = map.entries.insert(
             key,
             CacheEntry {
                 plan,
                 last_used: tick,
             },
         );
+        if previous.is_some() {
+            return; // replacement: no new entry, no miss, no eviction
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
         while self.capacity > 0 && map.entries.len() > self.capacity {
             // O(n) min-scan: capacities are small (hundreds of plans) and
             // insert is already off the hot engine path.
@@ -391,46 +551,7 @@ impl WindowPlanner {
     ) -> Result<WindowPlan, WindowError> {
         let started = std::time::Instant::now();
         let classification = try_classify_window(snaps)?;
-        let subgraph = AffectedSubgraph::extract(snaps, &classification);
-        let ocsr = OCsr::from_subgraph(snaps, &classification, &subgraph);
-
-        let n = snaps[0].num_vertices();
-        // Degree-weighted GNN tasks: every vertex once (the compute-once
-        // pass) plus the subgraph per extra snapshot — the exact item
-        // order matters for round-robin dispatch reproducibility.
-        let mut degree_items: Vec<u64> = (0..n as VertexId)
-            .map(|v| snaps[0].csr().degree(v) as u64 + 1)
-            .collect();
-        let cold_rows: u64 = degree_items.iter().sum();
-        for &v in subgraph.vertices() {
-            for snap in &snaps[1..] {
-                degree_items.push(snap.csr().degree(v) as u64 + 1);
-            }
-        }
-        let affected_rows: u64 = classification
-            .vertices_of(VertexClass::Affected)
-            .map(|v| snaps[0].csr().degree(v) as u64 + 1)
-            .sum::<u64>()
-            * (snaps.len() as u64).saturating_sub(1);
-
-        let stats = PlanStats {
-            classified_vertices: n as u64,
-            counts: ClassCounts::from_classification(&classification),
-            subgraph_vertices: subgraph.num_vertices() as u64,
-            subgraph_edges: subgraph.num_edges() as u64,
-            degree_items,
-            cold_rows,
-            affected_rows,
-            build_ns: started.elapsed().as_nanos() as u64,
-        };
-        Ok(WindowPlan {
-            index,
-            window_len: snaps.len(),
-            classification,
-            subgraph,
-            ocsr,
-            stats,
-        })
+        Ok(WindowPlan::assemble(snaps, index, classification, started))
     }
 
     /// Plans one window, panicking on malformed input (test/bench
@@ -681,6 +802,69 @@ mod tests {
         }
         assert_eq!(unbounded.len(), 32);
         assert_eq!(unbounded.stats().evictions, 0);
+    }
+
+    #[test]
+    fn reinsert_same_key_neither_counts_a_miss_nor_evicts() {
+        let g = graph();
+        let planner = WindowPlanner::new(3);
+        let plans = planner.plan_graph(&g);
+        let cache = PlanCache::with_capacity(1);
+        cache.insert((1, 0, 3), Arc::clone(&plans[0]));
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 0,
+                misses: 1,
+                evictions: 0
+            }
+        );
+        // Re-inserting the resident key replaces the plan in place: the
+        // cache is exactly at capacity, so any phantom "new entry" would
+        // evict the only occupant.
+        cache.insert((1, 0, 3), Arc::clone(&plans[1]));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 0,
+                misses: 1,
+                evictions: 0
+            }
+        );
+        let got = cache.get(&(1, 0, 3)).expect("entry survived re-insert");
+        assert!(Arc::ptr_eq(&got, &plans[1]), "re-insert replaces the plan");
+        // A genuinely new key at capacity 1 churns: one miss, one eviction.
+        cache.insert((2, 0, 3), Arc::clone(&plans[0]));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 2,
+                evictions: 1
+            }
+        );
+        assert!(cache.get(&(1, 0, 3)).is_none(), "old key was the victim");
+    }
+
+    #[test]
+    fn plan_stats_equality_ignores_source_and_fingerprint_pins_content() {
+        let g = graph();
+        let plans = WindowPlanner::new(3).plan_graph(&g);
+        let mut a = (*plans[0]).clone();
+        let b = (*plans[0]).clone();
+        a.set_source(PlanSource::Incremental);
+        assert_eq!(a, b, "source is bookkeeping, not plan content");
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(
+            plans[0].fingerprint(),
+            plans[1].fingerprint(),
+            "different windows hash apart"
+        );
+        assert_eq!(a.source(), PlanSource::Incremental);
+        assert_eq!(b.source(), PlanSource::Scratch);
+        assert_eq!(PlanSource::Cached.name(), "cached");
     }
 
     #[test]

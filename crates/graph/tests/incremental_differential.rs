@@ -1,0 +1,151 @@
+//! Randomized incremental-vs-scratch differential suite.
+//!
+//! Drives a [`PlanMaintainer`] exactly as a serving window roller would —
+//! per-tick update batches derived from consecutive snapshots, sealed at
+//! every window boundary — and pins that every incrementally sealed
+//! [`WindowPlan`] is **bit-identical** to the from-scratch
+//! [`WindowPlanner`] oracle: equal plan (classification, subgraph, O-CSR
+//! arrays and feature bytes, `PlanStats` work counters) and equal content
+//! fingerprint. Three stream flavours stress the three dirty-set rules
+//! (edge rewires, feature mutations, vertex churn), each across a fixed
+//! seed matrix — the same matrix the CI `plan-differential` job runs.
+
+use tagnn_graph::delta::{diff_snapshots, try_apply_updates};
+use tagnn_graph::generate::{ChurnConfig, GeneratorConfig};
+use tagnn_graph::incremental::PlanMaintainer;
+use tagnn_graph::plan::PlanSource;
+use tagnn_graph::{Csr, Snapshot, WindowPlanner};
+use tagnn_tensor::DenseMatrix;
+
+/// Fixed seed matrix (keep in sync with `.github/workflows/ci.yml`'s
+/// `plan-differential` job description).
+const SEEDS: [u64; 5] = [1, 7, 42, 1234, 0xD1FF];
+
+/// Window size K; 8 snapshots per stream gives two full windows plus a
+/// short tail window, so the flush path is sealed too.
+const K: usize = 3;
+const SNAPSHOTS: usize = 8;
+
+fn presets() -> Vec<(&'static str, GeneratorConfig)> {
+    let base = || {
+        let mut cfg = GeneratorConfig::tiny();
+        cfg.num_snapshots = SNAPSHOTS;
+        cfg
+    };
+    let mut edge_heavy = base();
+    edge_heavy.churn = ChurnConfig {
+        feature_mutation_rate: 0.005,
+        edge_rewire_rate: 0.08,
+        vertex_churn_rate: 0.0,
+        mutation_smoothness: 0.7,
+    };
+    let mut feature_heavy = base();
+    feature_heavy.churn = ChurnConfig {
+        feature_mutation_rate: 0.10,
+        edge_rewire_rate: 0.004,
+        vertex_churn_rate: 0.0,
+        mutation_smoothness: 0.5,
+    };
+    let mut churn_heavy = base();
+    churn_heavy.churn = ChurnConfig {
+        feature_mutation_rate: 0.02,
+        edge_rewire_rate: 0.02,
+        vertex_churn_rate: 0.05,
+        mutation_smoothness: 0.7,
+    };
+    vec![
+        ("edge-heavy", edge_heavy),
+        ("feature-heavy", feature_heavy),
+        ("vertex-churn-heavy", churn_heavy),
+    ]
+}
+
+/// Replays `graph` through a maintainer tick by tick, sealing windows of
+/// `k`, and differentially checks every sealed plan against the scratch
+/// planner. Returns the number of windows compared.
+fn check_stream(label: &str, seed: u64, graph_cfg: &GeneratorConfig, k: usize) -> usize {
+    let mut cfg = graph_cfg.clone();
+    cfg.seed = seed;
+    let graph = cfg.generate();
+    let planner = WindowPlanner::new(k);
+    let mut maintainer = PlanMaintainer::new();
+
+    let mut prev = Snapshot::fully_active(
+        Csr::empty(graph.num_vertices()),
+        DenseMatrix::zeros(graph.num_vertices(), graph.feature_dim()),
+    );
+    let mut sealed: Vec<Snapshot> = Vec::new();
+    let mut compared = 0usize;
+    let check_window = |sealed: &[Snapshot], maintainer: &mut PlanMaintainer| {
+        let refs: Vec<&Snapshot> = sealed.iter().collect();
+        let incremental = maintainer
+            .seal(&refs, 0)
+            .unwrap_or_else(|| panic!("{label}/seed {seed}: unexpected fallback"));
+        let scratch = planner.try_plan_window(&refs, 0).expect("valid window");
+        assert_eq!(
+            incremental, scratch,
+            "{label}/seed {seed}: sealed plan diverged from scratch oracle"
+        );
+        assert_eq!(
+            incremental.fingerprint(),
+            scratch.fingerprint(),
+            "{label}/seed {seed}: fingerprint diverged"
+        );
+        assert_eq!(incremental.ocsr(), scratch.ocsr());
+        assert_eq!(incremental.stats(), scratch.stats());
+        assert_eq!(incremental.source(), PlanSource::Incremental);
+        assert_eq!(scratch.source(), PlanSource::Scratch);
+    };
+    for snap in graph.snapshots() {
+        // The per-tick update batch a streaming client would send.
+        let updates = diff_snapshots(&prev, snap);
+        let next = try_apply_updates(&prev, &updates).expect("diff replays exactly");
+        assert_eq!(&next, snap, "replay must reconstruct the snapshot");
+        sealed.push(next.clone());
+        maintainer.absorb(&sealed, &updates);
+        prev = next;
+        if sealed.len() == k {
+            check_window(&sealed, &mut maintainer);
+            compared += 1;
+            sealed.clear();
+        }
+    }
+    if !sealed.is_empty() {
+        // Short tail window (stream flush).
+        check_window(&sealed, &mut maintainer);
+        compared += 1;
+    }
+    assert_eq!(maintainer.stats().fallbacks, 0, "{label}/seed {seed}");
+    compared
+}
+
+#[test]
+fn incremental_plans_are_bit_identical_across_presets_and_seeds() {
+    let mut windows = 0usize;
+    for (label, cfg) in presets() {
+        for seed in SEEDS {
+            windows += check_stream(label, seed, &cfg, K);
+        }
+    }
+    // 3 presets x 5 seeds x (two full windows + one tail window) each.
+    assert_eq!(windows, 3 * SEEDS.len() * (SNAPSHOTS / K + 1));
+}
+
+#[test]
+fn single_snapshot_windows_seal_incrementally() {
+    // K = 1 degenerates every window to its own reference snapshot; the
+    // maintainer must still agree with scratch (all-unaffected classes
+    // except inactive vertices).
+    for (label, cfg) in presets() {
+        check_stream(label, SEEDS[0], &cfg, 1);
+    }
+}
+
+#[test]
+fn wide_windows_cover_multi_tick_accumulation() {
+    // K = 5 over 8 snapshots: one 5-window plus a 3-tail, so instability
+    // accumulates over more ticks before sealing.
+    for (label, cfg) in presets() {
+        check_stream(label, SEEDS[1], &cfg, 5);
+    }
+}

@@ -26,7 +26,7 @@ use crate::skip::{CellMode, SkipConfig};
 use rayon::prelude::*;
 use std::sync::Arc;
 use tagnn_graph::classify::WindowClassification;
-use tagnn_graph::plan::{WindowPlan, WindowPlanner};
+use tagnn_graph::plan::{PlanSource, WindowPlan, WindowPlanner};
 use tagnn_graph::stats::neighbor_overlap;
 use tagnn_graph::types::{VertexClass, VertexId};
 use tagnn_graph::{DynamicGraph, Snapshot};
@@ -845,6 +845,9 @@ pub struct WindowOutput {
     pub gnn_outputs: Vec<DenseMatrix>,
     /// Work/traffic accounting for this window only.
     pub stats: ExecutionStats,
+    /// How the window's plan was obtained (scratch, cached, or
+    /// incrementally maintained) — serving-layer observability.
+    pub plan_source: PlanSource,
 }
 
 impl EngineSession {
@@ -909,6 +912,7 @@ impl EngineSession {
             final_features,
             gnn_outputs,
             stats: self.stats.delta_since(&before),
+            plan_source: plan.stats().source,
         }
     }
 

@@ -39,6 +39,11 @@ pub struct ServeConfig {
     /// LRU capacity of the shared [`tagnn_graph::PlanCache`]
     /// (0 = unbounded).
     pub plan_cache_capacity: usize,
+    /// Maintain window plans incrementally per stream: each roller feeds a
+    /// [`tagnn_graph::PlanMaintainer`] as events arrive, so the plan is
+    /// ready (bit-identical to scratch) when the window seals. Disable to
+    /// force the plan-cache/scratch path on every window.
+    pub incremental_planning: bool,
     /// Backlog-driven graceful degradation.
     pub degradation: DegradationPolicy,
 }
@@ -60,6 +65,7 @@ impl Default for ServeConfig {
             max_batch: 8,
             max_delay_us: 500,
             plan_cache_capacity: 128,
+            incremental_planning: true,
             degradation: DegradationPolicy::default(),
         }
     }

@@ -23,7 +23,7 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use tagnn_graph::{CacheStats, PlanCache, WindowPlanner};
+use tagnn_graph::{CacheStats, PlanCache, PlanSource, WindowPlan, WindowPlanner};
 use tagnn_models::{ConcurrentEngine, DgnnModel, EngineSession, SkipConfig};
 use tagnn_obs::Recorder;
 use tagnn_tensor::DenseMatrix;
@@ -63,6 +63,10 @@ pub struct WindowResult {
     pub macs: u64,
     /// RNN cells skipped by the similarity filter.
     pub skipped_cells: u64,
+    /// Where this window's plan came from: sealed incrementally by the
+    /// stream's maintainer, served from the shared cache, or built from
+    /// scratch by the worker.
+    pub plan_source: PlanSource,
     /// Request-to-completion latency of this window in microseconds.
     pub latency_us: u64,
 }
@@ -115,6 +119,41 @@ pub fn digest_matrices<'a>(matrices: impl IntoIterator<Item = &'a DenseMatrix>) 
     h
 }
 
+/// Snapshot of the per-source plan counters since boot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanSourceCounts {
+    /// Windows planned from scratch by a worker.
+    pub scratch: u64,
+    /// Windows served from the shared plan cache.
+    pub cached: u64,
+    /// Windows whose plan was sealed incrementally by the stream's
+    /// maintainer.
+    pub incremental: u64,
+    /// Windows where incremental planning was enabled but the maintainer
+    /// could not vouch for the plan (fell back to cache/scratch).
+    pub fallbacks: u64,
+}
+
+/// Shared atomic backing of [`PlanSourceCounts`].
+#[derive(Debug, Default)]
+struct PlanCounters {
+    scratch: AtomicU64,
+    cached: AtomicU64,
+    incremental: AtomicU64,
+    fallbacks: AtomicU64,
+}
+
+impl PlanCounters {
+    fn snapshot(&self) -> PlanSourceCounts {
+        PlanSourceCounts {
+            scratch: self.scratch.load(Ordering::Relaxed),
+            cached: self.cached.load(Ordering::Relaxed),
+            incremental: self.incremental.load(Ordering::Relaxed),
+            fallbacks: self.fallbacks.load(Ordering::Relaxed),
+        }
+    }
+}
+
 struct Job {
     req: InferRequest,
     enqueued_at: Instant,
@@ -147,6 +186,7 @@ pub struct ServeCore {
     worker_queues: Vec<Arc<BoundedQueue<WorkItem>>>,
     recorder: Arc<Recorder>,
     cache: Arc<PlanCache>,
+    plan_counters: Arc<PlanCounters>,
     shed: Arc<AtomicU64>,
     degrade_level: Arc<AtomicU32>,
     max_degrade_level: Arc<AtomicU32>,
@@ -162,6 +202,7 @@ impl ServeCore {
         let recorder = Arc::new(Recorder::new());
         let cache = Arc::new(PlanCache::with_capacity(cfg.plan_cache_capacity));
         let admission = Arc::new(BoundedQueue::<Job>::new(cfg.queue_capacity));
+        let plan_counters = Arc::new(PlanCounters::default());
         let shed = Arc::new(AtomicU64::new(0));
         let degrade_level = Arc::new(AtomicU32::new(0));
         let max_degrade_level = Arc::new(AtomicU32::new(0));
@@ -181,11 +222,24 @@ impl ServeCore {
                 let engine = engine.clone();
                 let cache = Arc::clone(&cache);
                 let recorder = Arc::clone(&recorder);
+                let counters = Arc::clone(&plan_counters);
                 let universe = cfg.universe;
                 let window = cfg.window;
+                let incremental = cfg.incremental_planning;
                 std::thread::Builder::new()
                     .name(format!("tagnn-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&q, &engine, &cache, &recorder, universe, window))
+                    .spawn(move || {
+                        worker_loop(WorkerCtx {
+                            queue: &q,
+                            engine: &engine,
+                            cache: &cache,
+                            recorder: &recorder,
+                            counters: &counters,
+                            universe,
+                            window,
+                            incremental,
+                        })
+                    })
                     .expect("spawn worker")
             })
             .collect();
@@ -218,6 +272,7 @@ impl ServeCore {
             worker_queues,
             recorder,
             cache,
+            plan_counters,
             shed,
             degrade_level,
             max_degrade_level,
@@ -239,6 +294,12 @@ impl ServeCore {
     /// Plan-cache counters (hits/misses/evictions) since boot.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Per-source plan counters (scratch / cached / incremental, plus
+    /// incremental fallbacks) since boot.
+    pub fn plan_source_counts(&self) -> PlanSourceCounts {
+        self.plan_counters.snapshot()
     }
 
     /// Requests shed at admission since boot.
@@ -367,9 +428,14 @@ fn dispatch_job(
         }
     }
 
-    let roller = rollers
-        .entry(job.req.stream)
-        .or_insert_with(|| WindowRoller::new(cfg.universe, cfg.feature_dim, cfg.window));
+    let roller = rollers.entry(job.req.stream).or_insert_with(|| {
+        let r = WindowRoller::new(cfg.universe, cfg.feature_dim, cfg.window);
+        if cfg.incremental_planning {
+            r.with_incremental_planning()
+        } else {
+            r
+        }
+    });
     let mut windows = Vec::new();
     for event in &job.req.events {
         match roller.apply(event) {
@@ -431,27 +497,65 @@ fn dispatch_job(
     }
 }
 
-fn worker_loop(
-    queue: &BoundedQueue<WorkItem>,
-    engine: &ConcurrentEngine,
-    cache: &PlanCache,
-    recorder: &Recorder,
+struct WorkerCtx<'a> {
+    queue: &'a BoundedQueue<WorkItem>,
+    engine: &'a ConcurrentEngine,
+    cache: &'a PlanCache,
+    recorder: &'a Recorder,
+    counters: &'a PlanCounters,
     universe: usize,
     window: usize,
-) {
-    let planner = WindowPlanner::new(window);
+    incremental: bool,
+}
+
+/// Obtains the plan for one rolled window: the incrementally sealed plan
+/// when the roller's maintainer vouched for one, else the shared cache,
+/// else a from-scratch build (inserted for the next identical window).
+/// `serve.plan_build_us` records the plan work actually done on this
+/// window (seal or scratch build; a cache hit does none).
+fn obtain_plan(
+    ctx: &WorkerCtx<'_>,
+    item: &WorkItem,
+    planner: &WindowPlanner,
+) -> (Arc<WindowPlan>, PlanSource) {
+    if let Some(sealed) = &item.window.plan {
+        ctx.counters.incremental.fetch_add(1, Ordering::Relaxed);
+        ctx.recorder
+            .record("serve.plan_build_us", sealed.stats().build_ns / 1_000);
+        return (Arc::clone(sealed), PlanSource::Incremental);
+    }
+    if ctx.incremental {
+        // The maintainer was enabled but could not vouch for this window.
+        ctx.counters.fallbacks.fetch_add(1, Ordering::Relaxed);
+        ctx.recorder.incr("serve.plan_incremental_fallbacks", 1);
+    }
+    let key = (item.window.graph.fingerprint(), 0, ctx.window);
+    if let Some(hit) = ctx.cache.get(&key) {
+        ctx.counters.cached.fetch_add(1, Ordering::Relaxed);
+        return (hit, PlanSource::Cached);
+    }
+    let refs: Vec<&_> = item.window.graph.snapshots().iter().collect();
+    let plan = Arc::new(planner.plan_window(&refs, 0));
+    ctx.counters.scratch.fetch_add(1, Ordering::Relaxed);
+    ctx.recorder
+        .record("serve.plan_build_us", plan.stats().build_ns / 1_000);
+    ctx.cache.insert(key, Arc::clone(&plan));
+    (plan, PlanSource::Scratch)
+}
+
+fn worker_loop(ctx: WorkerCtx<'_>) {
+    let planner = WindowPlanner::new(ctx.window);
     let mut sessions: HashMap<u64, EngineSession> = HashMap::new();
-    while let Some(item) = queue.pop() {
+    while let Some(item) = ctx.queue.pop() {
         let session = sessions
             .entry(item.stream)
-            .or_insert_with(|| engine.session(universe));
-        let plans = planner.plan_graph_cached(&item.window.graph, cache);
-        debug_assert_eq!(plans.len(), 1, "a rolled window plans as one window");
+            .or_insert_with(|| ctx.engine.session(ctx.universe));
+        let (plan, plan_source) = obtain_plan(&ctx, &item, &planner);
         let refs: Vec<&_> = item.window.graph.snapshots().iter().collect();
-        let out = session.process_window_with(&refs, &plans[0], item.skip);
+        let out = session.process_window_with(&refs, &plan, item.skip);
 
         let latency_us = item.enqueued_at.elapsed().as_micros() as u64;
-        recorder.record("serve.window_latency_us", latency_us);
+        ctx.recorder.record("serve.window_latency_us", latency_us);
         let result = WindowResult {
             stream: item.stream,
             seq: item.window.seq,
@@ -459,6 +563,7 @@ fn worker_loop(
             digest: digest_matrices(&out.final_features),
             macs: out.stats.gnn_aggregate_macs + out.stats.gnn_combine_macs + out.stats.rnn_macs,
             skipped_cells: out.stats.skip.skipped,
+            plan_source,
             latency_us,
         };
 
@@ -470,7 +575,7 @@ fn worker_loop(
                 .into_iter()
                 .map(|r| r.expect("every slot filled before the last decrement"))
                 .collect();
-            recorder.record("serve.request_latency_us", latency_us);
+            ctx.recorder.record("serve.request_latency_us", latency_us);
             let _ = pending.reply.send(Ok(Reply {
                 accepted_events: pending.accepted_events,
                 windows,
@@ -531,7 +636,12 @@ mod tests {
 
     #[test]
     fn identical_streams_hit_the_plan_cache() {
-        let (core, g) = tiny_core(|c| c.workers = 2);
+        // Incremental planning off: every window goes through the shared
+        // cache, so the second stream's plans are all hits.
+        let (core, g) = tiny_core(|c| {
+            c.workers = 2;
+            c.incremental_planning = false;
+        });
         let strip = |ws: Vec<WindowResult>| {
             ws.into_iter()
                 .map(|w| (w.seq, w.snapshots, w.digest, w.macs, w.skipped_cells))
@@ -544,6 +654,54 @@ mod tests {
         assert!(
             stats.hits >= 2,
             "second stream must reuse the first stream's plans, got {stats:?}"
+        );
+        let counts = core.plan_source_counts();
+        assert_eq!(counts.incremental, 0, "maintainer disabled");
+        assert_eq!(counts.fallbacks, 0, "fallbacks only count when enabled");
+        assert!(counts.cached >= 2, "got {counts:?}");
+        core.shutdown();
+    }
+
+    #[test]
+    fn incremental_planning_serves_identical_results() {
+        let strip = |ws: Vec<WindowResult>| {
+            ws.into_iter()
+                .map(|w| (w.seq, w.snapshots, w.digest, w.macs, w.skipped_cells))
+                .collect::<Vec<_>>()
+        };
+        let (on, g) = tiny_core(|_| {});
+        let a = strip(replay(&on, &g, 0));
+        let on_counts = on.plan_source_counts();
+        on.shutdown();
+        let (off, _) = tiny_core(|c| c.incremental_planning = false);
+        let b = strip(replay(&off, &g, 0));
+        let off_counts = off.plan_source_counts();
+        off.shutdown();
+
+        assert_eq!(a, b, "plan path must not change served results");
+        // 6 snapshots, K=3 → two windows, both sealed incrementally.
+        assert_eq!(on_counts.incremental, 2, "got {on_counts:?}");
+        assert_eq!(on_counts.fallbacks, 0, "got {on_counts:?}");
+        assert_eq!(on_counts.scratch, 0, "got {on_counts:?}");
+        assert_eq!(off_counts.incremental, 0, "got {off_counts:?}");
+        assert_eq!(off_counts.scratch, 2, "got {off_counts:?}");
+    }
+
+    #[test]
+    fn window_results_report_their_plan_source() {
+        let (core, g) = tiny_core(|_| {});
+        let windows = replay(&core, &g, 0);
+        assert!(!windows.is_empty());
+        assert!(
+            windows
+                .iter()
+                .all(|w| w.plan_source == PlanSource::Incremental),
+            "sealed windows of a fresh stream plan incrementally"
+        );
+        let hist = core.recorder().histogram("serve.plan_build_us");
+        assert_eq!(
+            hist.expect("seal latency recorded").count(),
+            windows.len() as u64
         );
         core.shutdown();
     }

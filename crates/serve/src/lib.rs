@@ -43,7 +43,9 @@ pub mod server;
 pub mod wire;
 
 pub use config::ServeConfig;
-pub use core::{digest_matrices, InferRequest, Reply, ServeCore, Ticket, WindowResult};
+pub use core::{
+    digest_matrices, InferRequest, PlanSourceCounts, Reply, ServeCore, Ticket, WindowResult,
+};
 pub use degrade::{DegradationPolicy, DegradationState};
 pub use error::ServeError;
 pub use event::{empty_base, events_from_graph, EdgeEvent};

@@ -12,8 +12,11 @@
 //! rolled windows are bit-identical to the offline batching of the same
 //! stream.
 
+use std::sync::Arc;
+
 use tagnn_graph::delta::{try_apply_updates, GraphUpdate};
-use tagnn_graph::{DynamicGraph, GraphError, Snapshot};
+use tagnn_graph::incremental::{MaintainerStats, PlanMaintainer};
+use tagnn_graph::{DynamicGraph, GraphError, Snapshot, WindowPlan};
 
 use crate::event::{empty_base, EdgeEvent};
 
@@ -24,6 +27,10 @@ pub struct RolledWindow {
     pub seq: u64,
     /// The window's snapshots as a standalone dynamic graph.
     pub graph: DynamicGraph,
+    /// Incrementally sealed plan for this window, when the roller's
+    /// [`PlanMaintainer`] could vouch for it ([`None`] on the scratch /
+    /// fallback path, or when incremental planning is disabled).
+    pub plan: Option<Arc<WindowPlan>>,
 }
 
 /// Rolls the event stream of one logical stream into windows of K
@@ -37,6 +44,7 @@ pub struct WindowRoller {
     sealed: Vec<Snapshot>,
     seq: u64,
     ticks: u64,
+    maintainer: Option<PlanMaintainer>,
 }
 
 impl WindowRoller {
@@ -57,7 +65,24 @@ impl WindowRoller {
             sealed: Vec::new(),
             seq: 0,
             ticks: 0,
+            maintainer: None,
         }
+    }
+
+    /// Enables incremental plan maintenance: every tick is absorbed by a
+    /// [`PlanMaintainer`] as it arrives (off the seal critical path), and
+    /// rolled windows carry a ready, bit-identical [`WindowPlan`] in
+    /// [`RolledWindow::plan`]. Attach before the first tick — a maintainer
+    /// attached mid-window falls back to scratch for that window.
+    pub fn with_incremental_planning(mut self) -> Self {
+        self.maintainer = Some(PlanMaintainer::new());
+        self
+    }
+
+    /// Cumulative plan-maintainer counters (`None` when incremental
+    /// planning is disabled).
+    pub fn maintainer_stats(&self) -> Option<MaintainerStats> {
+        self.maintainer.as_ref().map(PlanMaintainer::stats)
     }
 
     /// Window size K.
@@ -97,18 +122,34 @@ impl WindowRoller {
     }
 
     fn tick(&mut self) -> Result<Option<RolledWindow>, GraphError> {
-        let next = try_apply_updates(&self.current, &std::mem::take(&mut self.pending))?;
+        let updates = std::mem::take(&mut self.pending);
+        let next = try_apply_updates(&self.current, &updates)?;
         self.current = next.clone();
         self.sealed.push(next);
         self.ticks += 1;
+        // Plan maintenance happens here, per tick, off the seal critical
+        // path: by window boundary the plan work is already absorbed.
+        if let Some(m) = self.maintainer.as_mut() {
+            m.absorb(&self.sealed, &updates);
+        }
         if self.sealed.len() == self.window {
-            let graph = DynamicGraph::try_new(std::mem::take(&mut self.sealed))?;
-            let seq = self.seq;
-            self.seq += 1;
-            Ok(Some(RolledWindow { seq, graph }))
+            self.roll()
         } else {
             Ok(None)
         }
+    }
+
+    /// Rolls the sealed snapshots into a window, sealing the maintained
+    /// plan alongside (a rolled window always plans as window index 0).
+    fn roll(&mut self) -> Result<Option<RolledWindow>, GraphError> {
+        let plan = self.maintainer.as_mut().and_then(|m| {
+            let refs: Vec<&Snapshot> = self.sealed.iter().collect();
+            m.seal(&refs, 0).map(Arc::new)
+        });
+        let graph = DynamicGraph::try_new(std::mem::take(&mut self.sealed))?;
+        let seq = self.seq;
+        self.seq += 1;
+        Ok(Some(RolledWindow { seq, graph, plan }))
     }
 
     /// Seals nothing, but flushes sealed-but-unrolled snapshots as a
@@ -118,10 +159,7 @@ impl WindowRoller {
         if self.sealed.is_empty() {
             return Ok(None);
         }
-        let graph = DynamicGraph::try_new(std::mem::take(&mut self.sealed))?;
-        let seq = self.seq;
-        self.seq += 1;
-        Ok(Some(RolledWindow { seq, graph }))
+        self.roll()
     }
 }
 
@@ -179,5 +217,152 @@ mod tests {
         let tail = roller.flush().unwrap().expect("one sealed snapshot");
         assert_eq!(tail.graph.num_snapshots(), 1);
         assert!(roller.flush().unwrap().is_none(), "flush drains");
+    }
+
+    use tagnn_graph::WindowPlanner;
+
+    /// Runs `event runs` (one `Vec` per tick, Tick appended automatically)
+    /// through two rollers — incremental planning on and off — and checks
+    /// (a) both roll bit-identical windows, (b) every incremental window
+    /// carries a plan bit-identical to the scratch oracle over the same
+    /// snapshots. Returns the incremental windows.
+    fn check_runs_against_offline(
+        universe: usize,
+        feature_dim: usize,
+        window: usize,
+        runs: &[Vec<EdgeEvent>],
+    ) -> Vec<RolledWindow> {
+        let mut plain = WindowRoller::new(universe, feature_dim, window);
+        let mut incr = WindowRoller::new(universe, feature_dim, window).with_incremental_planning();
+        let mut plain_windows = Vec::new();
+        let mut incr_windows = Vec::new();
+        for run in runs {
+            for e in run.iter().chain(std::iter::once(&EdgeEvent::Tick)) {
+                if let Some(w) = plain.apply(e).expect("valid events") {
+                    plain_windows.push(w);
+                }
+                if let Some(w) = incr.apply(e).expect("valid events") {
+                    incr_windows.push(w);
+                }
+            }
+        }
+        if let Some(w) = plain.flush().unwrap() {
+            plain_windows.push(w);
+        }
+        if let Some(w) = incr.flush().unwrap() {
+            incr_windows.push(w);
+        }
+        assert_eq!(plain_windows.len(), incr_windows.len());
+        for (p, i) in plain_windows.iter().zip(&incr_windows) {
+            assert_eq!(p.graph, i.graph, "window {} diverged", p.seq);
+            assert!(p.plan.is_none(), "plain roller must not plan");
+            let plan = i
+                .plan
+                .as_ref()
+                .expect("incremental roller seals every window");
+            let refs: Vec<&Snapshot> = i.graph.snapshots().iter().collect();
+            let scratch = WindowPlanner::new(window)
+                .try_plan_window(&refs, 0)
+                .expect("valid window");
+            assert_eq!(
+                plan.as_ref(),
+                &scratch,
+                "window {}: sealed plan diverged from scratch",
+                i.seq
+            );
+            assert_eq!(plan.fingerprint(), scratch.fingerprint());
+        }
+        assert_eq!(
+            incr.maintainer_stats()
+                .expect("maintainer attached")
+                .fallbacks,
+            0
+        );
+        incr_windows
+    }
+
+    #[test]
+    fn empty_tick_only_windows_roll_and_plan_identically() {
+        // Five ticks with no mutations at all: two K=2 windows plus a
+        // flushed tail, every snapshot the unchanged empty base.
+        let runs: Vec<Vec<EdgeEvent>> = vec![vec![]; 5];
+        let windows = check_runs_against_offline(4, 2, 2, &runs);
+        assert_eq!(windows.len(), 3);
+        assert!(windows
+            .iter()
+            .all(|w| w.graph.snapshots()[0].num_edges() == 0));
+    }
+
+    #[test]
+    fn duplicate_edge_insert_and_remove_within_one_window() {
+        let runs = vec![
+            // Duplicate inserts of the same edge in one tick batch.
+            vec![
+                EdgeEvent::AddEdge { src: 0, dst: 1 },
+                EdgeEvent::AddEdge { src: 0, dst: 1 },
+                EdgeEvent::AddEdge { src: 1, dst: 2 },
+            ],
+            // Insert + remove of the same edge in one batch (net no-op),
+            // plus a duplicate remove of an existing edge.
+            vec![
+                EdgeEvent::AddEdge { src: 2, dst: 3 },
+                EdgeEvent::RemoveEdge { src: 2, dst: 3 },
+                EdgeEvent::RemoveEdge { src: 0, dst: 1 },
+                EdgeEvent::RemoveEdge { src: 0, dst: 1 },
+            ],
+        ];
+        let windows = check_runs_against_offline(4, 2, 2, &runs);
+        assert_eq!(windows.len(), 1);
+        let snaps = windows[0].graph.snapshots();
+        assert_eq!(snaps[0].num_edges(), 2, "duplicate insert is idempotent");
+        assert_eq!(snaps[1].num_edges(), 1, "duplicate remove is idempotent");
+    }
+
+    #[test]
+    fn feature_update_only_windows() {
+        let runs = vec![
+            vec![EdgeEvent::UpdateFeature {
+                v: 1,
+                feature: vec![1.0, 2.0],
+            }],
+            vec![
+                EdgeEvent::UpdateFeature {
+                    v: 1,
+                    feature: vec![3.0, 4.0],
+                },
+                EdgeEvent::UpdateFeature {
+                    v: 2,
+                    feature: vec![5.0, 6.0],
+                },
+            ],
+            // A mutate-back-to-original tick: still affected for the
+            // window (instability is monotone within a window).
+            vec![EdgeEvent::UpdateFeature {
+                v: 2,
+                feature: vec![0.0, 0.0],
+            }],
+        ];
+        let windows = check_runs_against_offline(4, 2, 3, &runs);
+        assert_eq!(windows.len(), 1);
+        let plan = windows[0].plan.as_ref().unwrap();
+        assert!(plan.stats().counts.affected >= 2, "v1 and v2 are affected");
+    }
+
+    #[test]
+    fn rolled_plans_match_offline_on_generated_stream() {
+        let g = GeneratorConfig::tiny().generate(); // 6 snapshots
+        let runs: Vec<Vec<EdgeEvent>> = events_from_graph(&g)
+            .into_iter()
+            .map(|mut events| {
+                assert_eq!(events.pop(), Some(EdgeEvent::Tick));
+                events
+            })
+            .collect();
+        let windows = check_runs_against_offline(g.num_vertices(), g.feature_dim(), 4, &runs);
+        assert_eq!(windows.len(), 2, "4-window plus 2-tail");
+        assert_eq!(
+            windows[0].plan.as_ref().unwrap().source(),
+            tagnn_graph::PlanSource::Incremental
+        );
     }
 }

@@ -33,6 +33,7 @@ pub struct Server {
 /// Snapshot of the core's counters for a stats reply.
 pub fn stats_view(core: &ServeCore) -> StatsView {
     let cache = core.cache_stats();
+    let plan = core.plan_source_counts();
     StatsView {
         queue_depth: core.queue_depth(),
         shed: core.shed_count(),
@@ -41,6 +42,10 @@ pub fn stats_view(core: &ServeCore) -> StatsView {
         cache_hits: cache.hits,
         cache_misses: cache.misses,
         cache_evictions: cache.evictions,
+        plan_scratch: plan.scratch,
+        plan_cached: plan.cached,
+        plan_incremental: plan.incremental,
+        plan_fallbacks: plan.fallbacks,
     }
 }
 

@@ -195,8 +195,15 @@ pub fn encode_reply(id: u64, reply: &Reply) -> String {
         // of integer precision, so it travels as a hex string.
         let _ = write!(
             out,
-            r#"{{"stream":{},"seq":{},"snapshots":{},"digest":"{:016x}","macs":{},"skipped_cells":{},"latency_us":{}}}"#,
-            w.stream, w.seq, w.snapshots, w.digest, w.macs, w.skipped_cells, w.latency_us
+            r#"{{"stream":{},"seq":{},"snapshots":{},"digest":"{:016x}","macs":{},"skipped_cells":{},"plan":"{}","latency_us":{}}}"#,
+            w.stream,
+            w.seq,
+            w.snapshots,
+            w.digest,
+            w.macs,
+            w.skipped_cells,
+            w.plan_source.name(),
+            w.latency_us
         );
     }
     out.push_str("]}");
@@ -242,6 +249,14 @@ pub struct StatsView {
     pub cache_misses: u64,
     /// Plan-cache evictions since boot.
     pub cache_evictions: u64,
+    /// Windows planned from scratch since boot.
+    pub plan_scratch: u64,
+    /// Windows served from the plan cache since boot.
+    pub plan_cached: u64,
+    /// Windows planned incrementally since boot.
+    pub plan_incremental: u64,
+    /// Incremental-planning fallbacks since boot.
+    pub plan_fallbacks: u64,
 }
 
 /// Encodes a stats reply.
@@ -249,7 +264,8 @@ pub fn encode_stats(id: u64, s: &StatsView) -> String {
     format!(
         concat!(
             r#"{{"id":{},"ok":true,"queue_depth":{},"shed":{},"degrade_level":{},"#,
-            r#""max_degrade_level":{},"cache":{{"hits":{},"misses":{},"evictions":{}}}}}"#
+            r#""max_degrade_level":{},"cache":{{"hits":{},"misses":{},"evictions":{}}},"#,
+            r#""plan":{{"scratch":{},"cached":{},"incremental":{},"fallbacks":{}}}}}"#
         ),
         id,
         s.queue_depth,
@@ -258,7 +274,11 @@ pub fn encode_stats(id: u64, s: &StatsView) -> String {
         s.max_degrade_level,
         s.cache_hits,
         s.cache_misses,
-        s.cache_evictions
+        s.cache_evictions,
+        s.plan_scratch,
+        s.plan_cached,
+        s.plan_incremental,
+        s.plan_fallbacks
     )
 }
 
@@ -329,6 +349,7 @@ mod tests {
                 digest: u64::MAX - 1, // would lose precision as a JSON number
                 macs: 1000,
                 skipped_cells: 3,
+                plan_source: tagnn_graph::PlanSource::Incremental,
                 latency_us: 77,
             }],
         };
@@ -338,6 +359,7 @@ mod tests {
         assert_eq!(doc.get("accepted").unwrap().as_u64(), Some(5));
         let w = &doc.get("windows").unwrap().as_array().unwrap()[0];
         assert_eq!(parse_digest(w.get("digest").unwrap()), Some(u64::MAX - 1));
+        assert_eq!(w.get("plan").unwrap().as_str(), Some("incremental"));
 
         let err = encode_error(9, &ServeError::Closed);
         let doc = crate::json::parse(&err).unwrap();
@@ -349,5 +371,8 @@ mod tests {
             doc.get("cache").unwrap().get("hits").unwrap().as_u64(),
             Some(0)
         );
+        let plan = doc.get("plan").unwrap();
+        assert_eq!(plan.get("incremental").unwrap().as_u64(), Some(0));
+        assert_eq!(plan.get("fallbacks").unwrap().as_u64(), Some(0));
     }
 }

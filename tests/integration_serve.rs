@@ -121,6 +121,7 @@ fn serve_core_replay_matches_offline_digests_and_macs() {
             .expect("canonical trace is valid");
         served.extend(reply.windows);
     }
+    let plan_counts = core.plan_source_counts();
     core.shutdown();
 
     assert_eq!(served.len(), offline_digests.len());
@@ -130,9 +131,16 @@ fn serve_core_replay_matches_offline_digests_and_macs() {
             "window {} digest must match the offline run",
             w.seq
         );
+        assert_eq!(
+            w.plan_source,
+            tagnn_graph::PlanSource::Incremental,
+            "default config plans every sealed window incrementally"
+        );
     }
     let served_macs: u64 = served.iter().map(|w| w.macs).sum();
     assert_eq!(served_macs, offline_macs, "MAC totals must match");
+    assert_eq!(plan_counts.incremental, served.len() as u64);
+    assert_eq!(plan_counts.fallbacks, 0, "clean stream never falls back");
 }
 
 /// Two independent streams replaying the same trace produce identical
@@ -142,6 +150,9 @@ fn concurrent_streams_are_deterministic_and_share_plans() {
     let g = graph();
     let mut cfg = serve_config(&g);
     cfg.workers = 3;
+    // Force the cache/scratch path: incrementally sealed plans never
+    // consult the shared cache.
+    cfg.incremental_planning = false;
     let core = ServeCore::start(cfg);
 
     let replay = |stream: u64| {
