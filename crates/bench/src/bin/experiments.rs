@@ -1,19 +1,24 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! experiments [all | <id>... | bench-json PATH | serve ... | serve-bench ...]
-//!             [--quick] [--json] [--trace PATH] [--threads N]
+//! experiments [all | <id>... | bench-json PATH | serve ... | serve-bench ...
+//!              | serve-scale ...] [--quick] [--json] [--trace PATH] [--threads N]
 //!
 //!   all             run every experiment (default)
 //!   <id>            e.g. fig9, table5, fig14a
 //!   bench-json PATH run the engine/kernel perf suite on the ML-scale
 //!                   preset and write its JSON report to PATH
-//!   serve           boot the tagnn-serve JSON-lines TCP frontend
-//!                   (--addr HOST:PORT, --dataset, --window, --workers, ...;
+//!   serve           boot the tagnn-serve TCP frontend (binary wire by
+//!                   default; --wire json for the JSON-lines debug mode;
+//!                   --addr HOST:PORT, --dataset, --window, --shards,
+//!                   --shard-assignment hash|degree, ...;
 //!                   --duration-s 0 serves until killed)
 //!   serve-bench     boot an in-process server on loopback, replay the
 //!                   trace through the load generator, and write the
 //!                   latency/throughput report (--out, default BENCH_5.json)
+//!   serve-scale     sweep --shards-list (default 1,2,4,8): check served
+//!                   digests are shard-count-invariant, measure each
+//!                   point, write the curve (--out, default BENCH_7.json)
 //!   --quick         reduced context (2 datasets, 1 model) for smoke runs
 //!   --json          emit one JSON object per experiment instead of text tables
 //!   --trace PATH    record a tagnn-obs trace of the whole run (spans per
@@ -39,6 +44,13 @@ fn main() {
         }
         Some("serve-bench") => {
             if let Err(e) = tagnn_bench::serve::run_serve_bench(&raw[1..]) {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+            return;
+        }
+        Some("serve-scale") => {
+            if let Err(e) = tagnn_bench::serve::run_serve_scale(&raw[1..]) {
                 eprintln!("error: {e}");
                 std::process::exit(1);
             }

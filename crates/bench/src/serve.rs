@@ -1,7 +1,10 @@
-//! `experiments serve` / `experiments serve-bench`: boot the JSON-lines
-//! TCP frontend from `tagnn-serve` and (for the bench) drive it with the
-//! built-in load generator, emitting a `BENCH_5.json` report with latency
-//! quantiles, throughput, shed counts, and plan-cache behaviour.
+//! `experiments serve` / `serve-bench` / `serve-scale`: boot the TCP
+//! frontend from `tagnn-serve` (binary wire by default, JSON-lines via
+//! `--wire json`) and drive it with the built-in load generator.
+//! `serve-bench` emits a `BENCH_5.json` report with latency quantiles,
+//! throughput, shed counts, and plan-cache behaviour; `serve-scale`
+//! sweeps the shard count, checks shard-count bit-identity, and pins
+//! the scaling curve in `BENCH_7.json`.
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -11,28 +14,30 @@ use tagnn_graph::generate::GeneratorConfig;
 use tagnn_serve::json;
 use tagnn_serve::loadgen::{self, LoadgenConfig, LoadgenSummary};
 use tagnn_serve::server::stats_view;
-use tagnn_serve::{ServeConfig, ServeCore, Server};
+use tagnn_serve::{InferRequest, ServeConfig, ServeCore, Server, ShardAssignment, WireFormat};
 
 use crate::cli::{dataset_of, model_of, num, parse_flags};
 
-/// Everything both subcommands share: the trace graph, the serving
-/// envelope, and (for the bench) the load shape.
+/// Everything the serve subcommands share: the trace graph, the serving
+/// envelope, and (for the benches) the load shape.
 struct ServeArgs {
     addr: String,
     dataset: String,
     graph: GeneratorConfig,
     serve: ServeConfig,
+    wire: WireFormat,
     connections: usize,
     rate: f64,
     duration: Duration,
     max_fallback_rate: f64,
-    out: String,
+    shards_list: Vec<usize>,
+    out: Option<String>,
 }
 
 fn parse(args: &[String], default_duration_s: f64) -> Result<ServeArgs, String> {
     let flags: HashMap<String, String> = parse_flags(args)?;
     for key in flags.keys() {
-        const KNOWN: [&str; 17] = [
+        const KNOWN: [&str; 20] = [
             "addr",
             "dataset",
             "snapshots",
@@ -40,7 +45,10 @@ fn parse(args: &[String], default_duration_s: f64) -> Result<ServeArgs, String> 
             "window",
             "model",
             "hidden",
-            "workers",
+            "shards",
+            "shard-assignment",
+            "shards-list",
+            "wire",
             "queue-capacity",
             "max-batch",
             "max-delay-us",
@@ -71,19 +79,45 @@ fn parse(args: &[String], default_duration_s: f64) -> Result<ServeArgs, String> 
     graph.seed = num(&flags, "seed", graph.seed)?;
 
     let incremental: u64 = num(&flags, "incremental", 1)?;
+    let assignment_spelling = flags
+        .get("shard-assignment")
+        .map(String::as_str)
+        .unwrap_or("hash");
+    let shard_assignment = ShardAssignment::parse(assignment_spelling).ok_or_else(|| {
+        format!("--shard-assignment must be hash or degree, got {assignment_spelling}")
+    })?;
     let serve = ServeConfig {
         universe: graph.num_vertices,
         feature_dim: graph.feature_dim,
         window: num(&flags, "window", 4)?,
         model: model_of(&flags)?,
         hidden: num(&flags, "hidden", 16)?,
-        workers: num(&flags, "workers", 2)?,
+        shards: num(&flags, "shards", 2)?,
+        shard_assignment,
         queue_capacity: num(&flags, "queue-capacity", 256)?,
         max_batch: num(&flags, "max-batch", 8)?,
         max_delay_us: num(&flags, "max-delay-us", 500)?,
         incremental_planning: incremental != 0,
         ..ServeConfig::default()
     };
+
+    let wire_spelling = flags.get("wire").map(String::as_str).unwrap_or("binary");
+    let wire = WireFormat::parse(wire_spelling)
+        .ok_or_else(|| format!("--wire must be binary or json, got {wire_spelling}"))?;
+
+    let shards_list = flags
+        .get("shards-list")
+        .map(String::as_str)
+        .unwrap_or("1,2,4,8")
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| format!("--shards-list wants positive integers, got {s:?}"))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
 
     Ok(ServeArgs {
         addr: flags
@@ -93,20 +127,19 @@ fn parse(args: &[String], default_duration_s: f64) -> Result<ServeArgs, String> 
         dataset,
         graph,
         serve,
+        wire,
         connections: num(&flags, "connections", 4)?,
         rate: num(&flags, "rate", 0.0)?,
         duration: Duration::from_secs_f64(num(&flags, "duration-s", default_duration_s)?),
         max_fallback_rate: num(&flags, "max-fallback-rate", 0.05)?,
-        out: flags
-            .get("out")
-            .cloned()
-            .unwrap_or_else(|| "BENCH_5.json".to_string()),
+        shards_list,
+        out: flags.get("out").cloned(),
     })
 }
 
 fn describe(a: &ServeArgs) -> String {
     format!(
-        "{} ({} vertices, D={}, {} snapshots) model={} hidden={} K={} workers={} queue={} plan={}",
+        "{} ({} vertices, D={}, {} snapshots) model={} hidden={} K={} shards={} wire={} queue={} plan={}",
         a.dataset,
         a.graph.num_vertices,
         a.graph.feature_dim,
@@ -114,7 +147,11 @@ fn describe(a: &ServeArgs) -> String {
         a.serve.model.name(),
         a.serve.hidden,
         a.serve.window,
-        a.serve.workers,
+        a.serve.shards,
+        match a.wire {
+            WireFormat::Binary => "binary",
+            WireFormat::Json => "json",
+        },
         a.serve.queue_capacity,
         if a.serve.incremental_planning {
             "incremental"
@@ -150,7 +187,8 @@ fn check_fallback_rate(stats: &tagnn_serve::wire::StatsView, max_rate: f64) -> R
 pub fn run_serve(args: &[String]) -> Result<(), String> {
     let a = parse(args, 0.0)?;
     let core = ServeCore::start(a.serve.clone());
-    let server = Server::bind(core, &a.addr).map_err(|e| format!("bind {}: {e}", a.addr))?;
+    let server =
+        Server::bind_with(core, &a.addr, a.wire).map_err(|e| format!("bind {}: {e}", a.addr))?;
     println!("tagnn-serve listening on {}", server.local_addr());
     println!("  {}", describe(&a));
     if a.duration.is_zero() {
@@ -183,8 +221,10 @@ pub fn run_serve(args: &[String]) -> Result<(), String> {
 /// the combined client/server report to `--out` (default `BENCH_5.json`).
 pub fn run_serve_bench(args: &[String]) -> Result<(), String> {
     let a = parse(args, 10.0)?;
+    let out = a.out.clone().unwrap_or_else(|| "BENCH_5.json".to_string());
     let core = ServeCore::start(a.serve.clone());
-    let server = Server::bind(core, "127.0.0.1:0").map_err(|e| format!("bind loopback: {e}"))?;
+    let server = Server::bind_with(core, "127.0.0.1:0", a.wire)
+        .map_err(|e| format!("bind loopback: {e}"))?;
     eprintln!(
         "serve-bench: {} connections ({} loop) for {:?} against {}",
         a.connections,
@@ -199,6 +239,7 @@ pub fn run_serve_bench(args: &[String]) -> Result<(), String> {
         rate: a.rate,
         duration: a.duration,
         graph: a.graph.clone(),
+        wire: a.wire,
     };
     let summary = loadgen::run(&load).map_err(|e| format!("loadgen: {e}"))?;
     let stats = stats_view(server.core());
@@ -206,7 +247,7 @@ pub fn run_serve_bench(args: &[String]) -> Result<(), String> {
     server.shutdown();
 
     let report = render_report(&a, &summary, &stats, plan_build_us.as_ref());
-    std::fs::write(&a.out, &report).map_err(|e| format!("cannot write {}: {e}", a.out))?;
+    std::fs::write(&out, &report).map_err(|e| format!("cannot write {out}: {e}"))?;
 
     println!(
         "serve-bench: {} requests, {} replies ({:.1}/s), {} shed, {} errors, {} windows",
@@ -242,11 +283,175 @@ pub fn run_serve_bench(args: &[String]) -> Result<(), String> {
             h.count(),
         );
     }
-    println!("report written to {}", a.out);
+    println!("report written to {out}");
     if summary.replies == 0 && summary.requests > 0 {
         return Err("no request got a reply".to_string());
     }
     check_fallback_rate(&stats, a.max_fallback_rate)
+}
+
+/// Replays the canonical trace synchronously through a fresh core and
+/// returns the served window digests — the shard-count bit-identity
+/// probe used by `serve-scale`.
+fn served_digests(serve: &ServeConfig, graph: &GeneratorConfig) -> Result<Vec<u64>, String> {
+    let core = ServeCore::start(serve.clone());
+    let g = graph.generate();
+    let per_snapshot = tagnn_serve::events_from_graph(&g);
+    let total = per_snapshot.len();
+    let mut digests = Vec::new();
+    for (i, events) in per_snapshot.into_iter().enumerate() {
+        let ticket = core
+            .submit(InferRequest {
+                stream: 0,
+                events,
+                flush: i + 1 == total,
+            })
+            .map_err(|e| format!("submit: {e}"))?;
+        let reply = ticket.wait().map_err(|e| format!("serve: {e}"))?;
+        digests.extend(reply.windows.iter().map(|w| w.digest));
+    }
+    core.shutdown();
+    Ok(digests)
+}
+
+/// `experiments serve-scale`: sweep `--shards-list` (default 1,2,4,8).
+/// For each shard count, first replay the trace synchronously and check
+/// the served digests are bit-identical to the 1-shard baseline, then
+/// run the closed/open-loop load for `--duration-s` and record the
+/// throughput/latency row. Writes the curve to `--out` (default
+/// `BENCH_7.json`) with host metadata — scaling numbers are only
+/// meaningful relative to the recorded core count.
+pub fn run_serve_scale(args: &[String]) -> Result<(), String> {
+    let a = parse(args, 3.0)?;
+    let out = a.out.clone().unwrap_or_else(|| "BENCH_7.json".to_string());
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!(
+        "serve-scale: shards {:?}, {} connections for {:?} each against {} ({} cpus)",
+        a.shards_list,
+        a.connections,
+        a.duration,
+        describe(&a),
+        cpus,
+    );
+
+    let mut baseline: Option<Vec<u64>> = None;
+    let mut rows = String::new();
+    for (row, &shards) in a.shards_list.iter().enumerate() {
+        let mut serve = a.serve.clone();
+        serve.shards = shards;
+
+        let digests = served_digests(&serve, &a.graph)?;
+        if digests.is_empty() {
+            return Err("trace produced no windows; digest check is vacuous".to_string());
+        }
+        match &baseline {
+            None => baseline = Some(digests),
+            Some(b) => {
+                if *b != digests {
+                    return Err(format!(
+                        "shard-count invariance violated: {} shards served different digests \
+                         than {} shards",
+                        shards, a.shards_list[0],
+                    ));
+                }
+            }
+        }
+
+        let server = Server::bind_with(ServeCore::start(serve), "127.0.0.1:0", a.wire)
+            .map_err(|e| format!("bind loopback: {e}"))?;
+        let load = LoadgenConfig {
+            addr: server.local_addr().to_string(),
+            connections: a.connections,
+            rate: a.rate,
+            duration: a.duration,
+            graph: a.graph.clone(),
+            wire: a.wire,
+        };
+        let summary = loadgen::run(&load).map_err(|e| format!("loadgen: {e}"))?;
+        let stats = stats_view(server.core());
+        server.shutdown();
+        if summary.replies == 0 && summary.requests > 0 {
+            return Err(format!("{shards} shards: no request got a reply"));
+        }
+
+        println!(
+            "  {shards} shards: {:.1} replies/s, p50={}us p95={}us p99={}us, shed={} cross_seal={}",
+            summary.replies_per_sec(),
+            summary.latency_us.quantile(0.50),
+            summary.latency_us.quantile(0.95),
+            summary.latency_us.quantile(0.99),
+            summary.shed,
+            stats.cross_shard_edges,
+        );
+        if row > 0 {
+            rows.push_str(",\n");
+        }
+        let _ = write!(
+            rows,
+            r#"    {{"shards": {shards}, "digest_check": "ok", "replies_per_sec": "#
+        );
+        json::write_f64(&mut rows, summary.replies_per_sec());
+        let _ = write!(
+            rows,
+            concat!(
+                r#", "requests": {}, "replies": {}, "shed": {}, "errors": {}, "#,
+                r#""windows": {}, "latency_us": {{"p50": {}, "p95": {}, "p99": {}, "max": {}}}, "#,
+                r#""cross_seal_edges": {}}}"#
+            ),
+            summary.requests,
+            summary.replies,
+            summary.shed,
+            summary.errors,
+            summary.windows,
+            summary.latency_us.quantile(0.50),
+            summary.latency_us.quantile(0.95),
+            summary.latency_us.quantile(0.99),
+            summary.latency_us.max(),
+            stats.cross_shard_edges,
+        );
+    }
+
+    let mut report = String::with_capacity(2048);
+    report.push_str("{\n  \"bench\": \"serve-scale\",\n  \"config\": {");
+    let _ = write!(report, "\"dataset\": ");
+    json::write_string(&mut report, &a.dataset);
+    let _ = write!(
+        report,
+        concat!(
+            r#", "vertices": {}, "edges": {}, "feature_dim": {}, "snapshots": {}, "#,
+            r#""graph_seed": {}, "model": "{}", "hidden": {}, "window": {}, "#,
+            r#""wire": "{}", "connections": {}, "rate": "#
+        ),
+        a.graph.num_vertices,
+        a.graph.num_edges,
+        a.graph.feature_dim,
+        a.graph.num_snapshots,
+        a.graph.seed,
+        a.serve.model.name(),
+        a.serve.hidden,
+        a.serve.window,
+        match a.wire {
+            WireFormat::Binary => "binary",
+            WireFormat::Json => "json",
+        },
+        a.connections,
+    );
+    json::write_f64(&mut report, a.rate);
+    report.push_str(", \"duration_s\": ");
+    json::write_f64(&mut report, a.duration.as_secs_f64());
+    let _ = write!(
+        report,
+        "}},\n  \"host\": {{\"cpus\": {cpus}, \"note\": \"throughput scaling saturates at the \
+         host core count; the digest_check column is the load-bearing result on small hosts\"}},\n"
+    );
+    report.push_str("  \"curve\": [\n");
+    report.push_str(&rows);
+    report.push_str("\n  ]\n}\n");
+    std::fs::write(&out, &report).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("report written to {out}");
+    Ok(())
 }
 
 fn render_report(
@@ -264,8 +469,8 @@ fn render_report(
         concat!(
             r#", "vertices": {}, "edges": {}, "feature_dim": {}, "snapshots": {}, "#,
             r#""graph_seed": {}, "model": "{}", "hidden": {}, "window": {}, "#,
-            r#""workers": {}, "queue_capacity": {}, "max_batch": {}, "max_delay_us": {}, "#,
-            r#""connections": {}, "rate": "#
+            r#""shards": {}, "wire": "{}", "queue_capacity": {}, "max_batch": {}, "#,
+            r#""max_delay_us": {}, "connections": {}, "rate": "#
         ),
         a.graph.num_vertices,
         a.graph.num_edges,
@@ -275,7 +480,11 @@ fn render_report(
         a.serve.model.name(),
         a.serve.hidden,
         a.serve.window,
-        a.serve.workers,
+        a.serve.shards,
+        match a.wire {
+            WireFormat::Binary => "binary",
+            WireFormat::Json => "json",
+        },
         a.serve.queue_capacity,
         a.serve.max_batch,
         a.serve.max_delay_us,
@@ -308,6 +517,16 @@ fn render_report(
         stats.plan_incremental,
         stats.plan_fallbacks,
     );
+    let _ = write!(
+        out,
+        r#", "shards": {{"count": {}, "cross_seal_edges": {}, "routed": ["#,
+        stats.shard_routed.len(),
+        stats.cross_shard_edges,
+    );
+    for (i, n) in stats.shard_routed.iter().enumerate() {
+        let _ = write!(out, "{}{n}", if i > 0 { ", " } else { "" });
+    }
+    out.push_str("]}");
     // Plan work done per window (maintainer seal or scratch build; cache
     // hits do no plan work and record nothing).
     if let Some(h) = plan_build_us {
@@ -341,7 +560,7 @@ mod tests {
         assert_eq!(a.serve.universe, a.graph.num_vertices);
         assert_eq!(a.serve.feature_dim, a.graph.feature_dim);
         assert_eq!(a.duration, Duration::from_secs(10));
-        assert_eq!(a.out, "BENCH_5.json");
+        assert_eq!(a.out, None, "out defaults per subcommand");
     }
 
     #[test]
@@ -356,8 +575,14 @@ mod tests {
                 "3",
                 "--model",
                 "gclstm",
-                "--workers",
+                "--shards",
                 "3",
+                "--shard-assignment",
+                "degree",
+                "--wire",
+                "json",
+                "--shards-list",
+                "1, 2,4",
                 "--rate",
                 "50",
                 "--duration-s",
@@ -371,9 +596,19 @@ mod tests {
         assert_eq!(a.graph.num_snapshots, 6);
         assert_eq!(a.serve.window, 3);
         assert_eq!(a.serve.model, ModelKind::GcLstm);
-        assert_eq!(a.serve.workers, 3);
+        assert_eq!(a.serve.shards, 3);
+        assert_eq!(a.serve.shard_assignment, ShardAssignment::DegreeBalanced);
+        assert_eq!(a.wire, WireFormat::Json);
+        assert_eq!(a.shards_list, vec![1, 2, 4]);
         assert!((a.rate - 50.0).abs() < 1e-9);
-        assert_eq!(a.out, "/tmp/x.json");
+        assert_eq!(a.out.as_deref(), Some("/tmp/x.json"));
+    }
+
+    #[test]
+    fn parse_rejects_bad_wire_and_shard_spellings() {
+        assert!(parse(&args(&["--wire", "carrier-pigeon"]), 10.0).is_err());
+        assert!(parse(&args(&["--shard-assignment", "vibes"]), 10.0).is_err());
+        assert!(parse(&args(&["--shards-list", "1,0,4"]), 10.0).is_err());
     }
 
     #[test]
@@ -397,17 +632,16 @@ mod tests {
         summary.latency_us.record(120);
         summary.latency_us.record(480);
         let stats = tagnn_serve::wire::StatsView {
-            queue_depth: 0,
-            shed: 0,
-            degrade_level: 0,
             max_degrade_level: 1,
             cache_hits: 7,
             cache_misses: 2,
-            cache_evictions: 0,
             plan_scratch: 1,
             plan_cached: 7,
             plan_incremental: 12,
             plan_fallbacks: 1,
+            shard_routed: vec![5, 9],
+            cross_shard_edges: 3,
+            ..Default::default()
         };
         let mut build = tagnn_obs::Histogram::new();
         build.record(40);
@@ -453,6 +687,19 @@ mod tests {
         assert_eq!(
             sources.get("fallbacks").and_then(json::Value::as_u64),
             Some(1)
+        );
+        let shards = doc.get("server").and_then(|s| s.get("shards")).unwrap();
+        assert_eq!(shards.get("count").and_then(json::Value::as_u64), Some(2));
+        assert_eq!(
+            shards.get("cross_seal_edges").and_then(json::Value::as_u64),
+            Some(3)
+        );
+        assert_eq!(
+            shards
+                .get("routed")
+                .and_then(json::Value::as_array)
+                .map(|a| a.len()),
+            Some(2)
         );
         let build = doc
             .get("server")
@@ -522,6 +769,52 @@ mod tests {
             .and_then(json::Value::as_u64)
             .unwrap();
         assert!(replies > 0, "smoke run must complete requests");
+        let _ = std::fs::remove_file(&out);
+    }
+
+    /// End-to-end: serve-scale sweeps shard counts, enforces digest
+    /// bit-identity, and writes a parseable curve.
+    #[test]
+    fn serve_scale_end_to_end_smoke() {
+        let out = std::env::temp_dir().join("tagnn_serve_scale_smoke.json");
+        let out_s = out.to_string_lossy().to_string();
+        run_serve_scale(&args(&[
+            "--shards-list",
+            "1,2",
+            "--connections",
+            "1",
+            "--duration-s",
+            "0.3",
+            "--snapshots",
+            "4",
+            "--window",
+            "2",
+            "--out",
+            &out_s,
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&out).unwrap();
+        let doc = json::parse(&text).unwrap();
+        let curve = doc.get("curve").and_then(json::Value::as_array).unwrap();
+        assert_eq!(curve.len(), 2);
+        for row in curve {
+            assert_eq!(
+                row.get("digest_check").and_then(json::Value::as_str),
+                Some("ok")
+            );
+            assert!(
+                row.get("replies").and_then(json::Value::as_u64).unwrap() > 0,
+                "each shard count must serve load"
+            );
+        }
+        assert!(
+            doc.get("host")
+                .and_then(|h| h.get("cpus"))
+                .and_then(json::Value::as_u64)
+                .unwrap()
+                >= 1,
+            "host metadata keeps the scaling numbers honest"
+        );
         let _ = std::fs::remove_file(&out);
     }
 }

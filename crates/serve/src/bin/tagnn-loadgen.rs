@@ -19,7 +19,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: tagnn-loadgen [--addr HOST:PORT] [--connections N] [--rate REQ_PER_S] \
          [--duration-s S] [--dataset hepph|gdelt|movielens|epinions|flickr] \
-         [--snapshots N] [--seed N] [--json]"
+         [--snapshots N] [--seed N] [--wire binary|json] [--json]"
     );
     std::process::exit(2);
 }
@@ -60,6 +60,9 @@ fn main() {
             "--dataset" => dataset = Some(parse_dataset(&value(&mut i)).unwrap_or_else(|| usage())),
             "--snapshots" => snapshots = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--seed" => seed = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
+            "--wire" => {
+                cfg.wire = tagnn_serve::WireFormat::parse(&value(&mut i)).unwrap_or_else(|| usage())
+            }
             "--json" => emit_json = true,
             "--help" | "-h" => usage(),
             other => {

@@ -1,0 +1,700 @@
+//! Compact length-prefixed binary wire protocol.
+//!
+//! The default frontend framing (JSON-lines stays available behind
+//! `--wire json` for debugging). One frame per request/reply:
+//!
+//! ```text
+//! frame := len:u32 LE | ver:u8 | kind:u8 | id:u64 LE | body
+//! ```
+//!
+//! `len` counts everything after itself (`ver` through `body`), so a
+//! reader needs 4 bytes to learn the frame size and `4 + len` bytes to
+//! decode. `ver` is [`WIRE_VERSION`]; a reader rejects frames of any
+//! other version with a protocol error instead of guessing. Request
+//! kinds are `0x01` (infer), `0x02` (stats), `0x03` (ping); replies are
+//! the request kind with the top bit set (`0x81`/`0x82`/`0x83`) and
+//! `0xE0` is an error reply. All integers are little-endian; feature
+//! payloads travel as raw LE f32 words — [`decode_request`] borrows them
+//! straight out of the connection's read buffer, no text round-trip.
+//!
+//! Body layouts:
+//!
+//! ```text
+//! infer req   := stream:u64 | flags:u8 (bit0 = flush) | count:u32 | event*
+//! event       := tag:u8 | payload
+//!   0 add_edge       src:u32 dst:u32        3 remove_vertex  v:u32
+//!   1 remove_edge    src:u32 dst:u32        4 update_feature v:u32 dim:u32 f32*
+//!   2 add_vertex     v:u32                  5 tick           (empty)
+//! infer reply := accepted:u32 | count:u32 | window*
+//! window      := stream:u64 seq:u64 snapshots:u32 digest:u64 macs:u64
+//!                skipped:u64 plan:u8 latency_us:u64
+//! error reply := code_len:u16 code | msg_len:u32 msg      (UTF-8)
+//! stats reply := fixed counters | shard arrays             (see encode_stats)
+//! ```
+
+use tagnn_graph::PlanSource;
+
+use crate::core::{InferRequest, Reply, WindowResult};
+use crate::error::ServeError;
+use crate::event::EdgeEvent;
+use crate::wire::{StatsView, WireRequest};
+
+/// Protocol version carried in every frame.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Frames larger than this are rejected at the header, before any
+/// allocation, so a bad length prefix cannot balloon memory.
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+/// Frame kind bytes.
+pub mod kind {
+    /// Infer request.
+    pub const INFER: u8 = 0x01;
+    /// Stats request.
+    pub const STATS: u8 = 0x02;
+    /// Ping request.
+    pub const PING: u8 = 0x03;
+    /// Infer reply.
+    pub const INFER_REPLY: u8 = 0x81;
+    /// Stats reply.
+    pub const STATS_REPLY: u8 = 0x82;
+    /// Pong.
+    pub const PONG: u8 = 0x83;
+    /// Error reply.
+    pub const ERROR: u8 = 0xE0;
+}
+
+/// Header bytes after the length prefix: ver + kind + id.
+const FRAME_OVERHEAD: usize = 1 + 1 + 8;
+
+fn proto(msg: impl Into<String>) -> ServeError {
+    ServeError::Protocol(msg.into())
+}
+
+/// A little-endian cursor over a frame body.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ServeError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| proto("truncated frame body"))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ServeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ServeError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, ServeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ServeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+fn put_u16(out: &mut Vec<u8>, x: u16) {
+    out.extend_from_slice(&x.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, x: u32) {
+    out.extend_from_slice(&x.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, x: u64) {
+    out.extend_from_slice(&x.to_le_bytes());
+}
+
+/// Appends one complete frame to `out`.
+pub fn encode_frame(out: &mut Vec<u8>, kind: u8, id: u64, body: &[u8]) {
+    put_u32(out, (FRAME_OVERHEAD + body.len()) as u32);
+    out.push(WIRE_VERSION);
+    out.push(kind);
+    put_u64(out, id);
+    out.extend_from_slice(body);
+}
+
+/// A decoded frame header with its body borrowed from the read buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Frame<'a> {
+    /// Frame kind byte.
+    pub kind: u8,
+    /// Request/reply id.
+    pub id: u64,
+    /// Body bytes (zero-copy slice of the read buffer).
+    pub body: &'a [u8],
+    /// Total bytes this frame occupies in the buffer (length prefix
+    /// included) — the amount the caller consumes on success.
+    pub consumed: usize,
+}
+
+/// Tries to decode one frame from the front of `buf`. `Ok(None)` means
+/// more bytes are needed; errors are fatal for the connection (framing
+/// is unrecoverable once the byte stream is misaligned).
+pub fn try_decode_frame(buf: &[u8]) -> Result<Option<Frame<'_>>, ServeError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+    if len < FRAME_OVERHEAD {
+        return Err(proto(format!("frame length {len} below header size")));
+    }
+    if len > MAX_FRAME_LEN {
+        return Err(proto(format!("frame length {len} exceeds {MAX_FRAME_LEN}")));
+    }
+    if buf.len() < 4 + len {
+        return Ok(None);
+    }
+    let ver = buf[4];
+    if ver != WIRE_VERSION {
+        return Err(proto(format!(
+            "unsupported wire version {ver} (expected {WIRE_VERSION})"
+        )));
+    }
+    let kind = buf[5];
+    let id = u64::from_le_bytes(buf[6..14].try_into().unwrap());
+    Ok(Some(Frame {
+        kind,
+        id,
+        body: &buf[14..4 + len],
+        consumed: 4 + len,
+    }))
+}
+
+/// Blocking client-side frame reader: buffers partial frames across
+/// reads so pipelined replies that coalesce into one TCP segment still
+/// come out one frame at a time. Used by the load generator and bench
+/// clients; the server has its own nonblocking read path.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+}
+
+impl FrameReader {
+    /// An empty reader.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads the next frame from `src`, blocking as needed. Returns
+    /// `Ok(None)` on clean EOF at a frame boundary; EOF mid-frame and
+    /// framing errors surface as `InvalidData`/`UnexpectedEof` I/O
+    /// errors.
+    pub fn read_frame<R: std::io::Read>(
+        &mut self,
+        src: &mut R,
+    ) -> std::io::Result<Option<(u8, u64, Vec<u8>)>> {
+        let mut chunk = [0u8; 16 << 10];
+        loop {
+            match try_decode_frame(&self.buf) {
+                Ok(Some(frame)) => {
+                    let out = (frame.kind, frame.id, frame.body.to_vec());
+                    let consumed = frame.consumed;
+                    self.buf.drain(..consumed);
+                    return Ok(Some(out));
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        e.to_string(),
+                    ))
+                }
+            }
+            let n = src.read(&mut chunk)?;
+            if n == 0 {
+                return if self.buf.is_empty() {
+                    Ok(None)
+                } else {
+                    Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-frame",
+                    ))
+                };
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+    }
+}
+
+fn encode_event(out: &mut Vec<u8>, event: &EdgeEvent) {
+    match event {
+        EdgeEvent::AddEdge { src, dst } => {
+            out.push(0);
+            put_u32(out, *src);
+            put_u32(out, *dst);
+        }
+        EdgeEvent::RemoveEdge { src, dst } => {
+            out.push(1);
+            put_u32(out, *src);
+            put_u32(out, *dst);
+        }
+        EdgeEvent::AddVertex { v } => {
+            out.push(2);
+            put_u32(out, *v);
+        }
+        EdgeEvent::RemoveVertex { v } => {
+            out.push(3);
+            put_u32(out, *v);
+        }
+        EdgeEvent::UpdateFeature { v, feature } => {
+            out.push(4);
+            put_u32(out, *v);
+            put_u32(out, feature.len() as u32);
+            for x in feature {
+                put_u32(out, x.to_bits());
+            }
+        }
+        EdgeEvent::Tick => out.push(5),
+    }
+}
+
+fn decode_event(r: &mut Reader<'_>) -> Result<EdgeEvent, ServeError> {
+    match r.u8()? {
+        0 => Ok(EdgeEvent::AddEdge {
+            src: r.u32()?,
+            dst: r.u32()?,
+        }),
+        1 => Ok(EdgeEvent::RemoveEdge {
+            src: r.u32()?,
+            dst: r.u32()?,
+        }),
+        2 => Ok(EdgeEvent::AddVertex { v: r.u32()? }),
+        3 => Ok(EdgeEvent::RemoveVertex { v: r.u32()? }),
+        4 => {
+            let v = r.u32()?;
+            let dim = r.u32()? as usize;
+            // Bound the claimed dim by the bytes actually present before
+            // allocating.
+            let raw = r.take(
+                dim.checked_mul(4)
+                    .ok_or_else(|| proto("feature dim overflow"))?,
+            )?;
+            let feature = raw
+                .chunks_exact(4)
+                .map(|c| f32::from_bits(u32::from_le_bytes(c.try_into().unwrap())))
+                .collect();
+            Ok(EdgeEvent::UpdateFeature { v, feature })
+        }
+        5 => Ok(EdgeEvent::Tick),
+        other => Err(proto(format!("unknown event tag {other}"))),
+    }
+}
+
+/// Appends a complete infer-request frame.
+pub fn encode_infer(out: &mut Vec<u8>, id: u64, stream: u64, events: &[EdgeEvent], flush: bool) {
+    let mut body = Vec::with_capacity(13 + events.len() * 9);
+    put_u64(&mut body, stream);
+    body.push(u8::from(flush));
+    put_u32(&mut body, events.len() as u32);
+    for e in events {
+        encode_event(&mut body, e);
+    }
+    encode_frame(out, kind::INFER, id, &body);
+}
+
+/// Appends a complete stats-request frame.
+pub fn encode_stats_request(out: &mut Vec<u8>, id: u64) {
+    encode_frame(out, kind::STATS, id, &[]);
+}
+
+/// Appends a complete ping frame.
+pub fn encode_ping(out: &mut Vec<u8>, id: u64) {
+    encode_frame(out, kind::PING, id, &[]);
+}
+
+/// Decodes a request frame into the same [`WireRequest`] the JSON path
+/// produces. Like [`crate::wire::parse_request`], errors carry the frame
+/// id so the reply can echo it.
+pub fn decode_request(frame: &Frame<'_>) -> Result<WireRequest, (u64, ServeError)> {
+    let id = frame.id;
+    decode_request_body(frame).map_err(|e| (id, e))
+}
+
+fn decode_request_body(frame: &Frame<'_>) -> Result<WireRequest, ServeError> {
+    let id = frame.id;
+    match frame.kind {
+        kind::INFER => {
+            let mut r = Reader::new(frame.body);
+            let stream = r.u64()?;
+            let flush = r.u8()? != 0;
+            let count = r.u32()? as usize;
+            if count > frame.body.len() {
+                // Every event costs ≥1 byte; a count beyond the body size
+                // is a lie — reject before reserving.
+                return Err(proto(format!("event count {count} exceeds body")));
+            }
+            let mut events = Vec::with_capacity(count);
+            for _ in 0..count {
+                events.push(decode_event(&mut r)?);
+            }
+            if !r.done() {
+                return Err(proto("trailing bytes after events"));
+            }
+            Ok(WireRequest::Infer {
+                id,
+                req: InferRequest {
+                    stream,
+                    events,
+                    flush,
+                },
+            })
+        }
+        kind::STATS => Ok(WireRequest::Stats { id }),
+        kind::PING => Ok(WireRequest::Ping { id }),
+        other => Err(proto(format!("unknown request kind 0x{other:02x}"))),
+    }
+}
+
+fn plan_source_byte(p: PlanSource) -> u8 {
+    match p {
+        PlanSource::Scratch => 0,
+        PlanSource::Cached => 1,
+        PlanSource::Incremental => 2,
+    }
+}
+
+fn plan_source_from_byte(b: u8) -> Result<PlanSource, ServeError> {
+    match b {
+        0 => Ok(PlanSource::Scratch),
+        1 => Ok(PlanSource::Cached),
+        2 => Ok(PlanSource::Incremental),
+        other => Err(proto(format!("unknown plan source {other}"))),
+    }
+}
+
+/// Appends a complete infer-reply frame.
+pub fn encode_reply(out: &mut Vec<u8>, id: u64, reply: &Reply) {
+    let mut body = Vec::with_capacity(8 + reply.windows.len() * 53);
+    put_u32(&mut body, reply.accepted_events as u32);
+    put_u32(&mut body, reply.windows.len() as u32);
+    for w in &reply.windows {
+        put_u64(&mut body, w.stream);
+        put_u64(&mut body, w.seq);
+        put_u32(&mut body, w.snapshots as u32);
+        put_u64(&mut body, w.digest);
+        put_u64(&mut body, w.macs);
+        put_u64(&mut body, w.skipped_cells);
+        body.push(plan_source_byte(w.plan_source));
+        put_u64(&mut body, w.latency_us);
+    }
+    encode_frame(out, kind::INFER_REPLY, id, &body);
+}
+
+/// Decodes an infer-reply body (client side).
+pub fn decode_reply(body: &[u8]) -> Result<Reply, ServeError> {
+    let mut r = Reader::new(body);
+    let accepted_events = r.u32()? as usize;
+    let count = r.u32()? as usize;
+    if count > body.len() {
+        return Err(proto(format!("window count {count} exceeds body")));
+    }
+    let mut windows = Vec::with_capacity(count);
+    for _ in 0..count {
+        windows.push(WindowResult {
+            stream: r.u64()?,
+            seq: r.u64()?,
+            snapshots: r.u32()? as usize,
+            digest: r.u64()?,
+            macs: r.u64()?,
+            skipped_cells: r.u64()?,
+            plan_source: plan_source_from_byte(r.u8()?)?,
+            latency_us: r.u64()?,
+        });
+    }
+    if !r.done() {
+        return Err(proto("trailing bytes after windows"));
+    }
+    Ok(Reply {
+        accepted_events,
+        windows,
+    })
+}
+
+/// Appends a complete error-reply frame.
+pub fn encode_error(out: &mut Vec<u8>, id: u64, err: &ServeError) {
+    let code = err.code().as_bytes();
+    let msg = err.to_string().into_bytes();
+    let mut body = Vec::with_capacity(6 + code.len() + msg.len());
+    put_u16(&mut body, code.len() as u16);
+    body.extend_from_slice(code);
+    put_u32(&mut body, msg.len() as u32);
+    body.extend_from_slice(&msg);
+    encode_frame(out, kind::ERROR, id, &body);
+}
+
+/// Decodes an error-reply body into `(code, message)`.
+pub fn decode_error(body: &[u8]) -> Result<(String, String), ServeError> {
+    let mut r = Reader::new(body);
+    let code_len = r.u16()? as usize;
+    let code =
+        String::from_utf8(r.take(code_len)?.to_vec()).map_err(|_| proto("non-UTF-8 error code"))?;
+    let msg_len = r.u32()? as usize;
+    let msg = String::from_utf8(r.take(msg_len)?.to_vec())
+        .map_err(|_| proto("non-UTF-8 error message"))?;
+    Ok((code, msg))
+}
+
+/// Appends a complete pong frame.
+pub fn encode_pong(out: &mut Vec<u8>, id: u64) {
+    encode_frame(out, kind::PONG, id, &[]);
+}
+
+/// Appends a complete stats-reply frame.
+pub fn encode_stats(out: &mut Vec<u8>, id: u64, s: &StatsView) {
+    let mut body = Vec::with_capacity(96 + s.shard_routed.len() * 12);
+    put_u64(&mut body, s.queue_depth as u64);
+    put_u64(&mut body, s.shed);
+    put_u32(&mut body, s.degrade_level);
+    put_u32(&mut body, s.max_degrade_level);
+    put_u64(&mut body, s.cache_hits);
+    put_u64(&mut body, s.cache_misses);
+    put_u64(&mut body, s.cache_evictions);
+    put_u64(&mut body, s.plan_scratch);
+    put_u64(&mut body, s.plan_cached);
+    put_u64(&mut body, s.plan_incremental);
+    put_u64(&mut body, s.plan_fallbacks);
+    put_u64(&mut body, s.cross_shard_edges);
+    put_u32(&mut body, s.shard_routed.len() as u32);
+    for &x in &s.shard_routed {
+        put_u64(&mut body, x);
+    }
+    put_u32(&mut body, s.shard_queue_depths.len() as u32);
+    for &x in &s.shard_queue_depths {
+        put_u64(&mut body, x as u64);
+    }
+    encode_frame(out, kind::STATS_REPLY, id, &body);
+}
+
+/// Decodes a stats-reply body (client side).
+pub fn decode_stats(body: &[u8]) -> Result<StatsView, ServeError> {
+    let mut r = Reader::new(body);
+    let queue_depth = r.u64()? as usize;
+    let shed = r.u64()?;
+    let degrade_level = r.u32()?;
+    let max_degrade_level = r.u32()?;
+    let cache_hits = r.u64()?;
+    let cache_misses = r.u64()?;
+    let cache_evictions = r.u64()?;
+    let plan_scratch = r.u64()?;
+    let plan_cached = r.u64()?;
+    let plan_incremental = r.u64()?;
+    let plan_fallbacks = r.u64()?;
+    let cross_shard_edges = r.u64()?;
+    let n = r.u32()? as usize;
+    if n > body.len() {
+        return Err(proto("shard count exceeds body"));
+    }
+    let mut shard_routed = Vec::with_capacity(n);
+    for _ in 0..n {
+        shard_routed.push(r.u64()?);
+    }
+    let n = r.u32()? as usize;
+    if n > body.len() {
+        return Err(proto("shard count exceeds body"));
+    }
+    let mut shard_queue_depths = Vec::with_capacity(n);
+    for _ in 0..n {
+        shard_queue_depths.push(r.u64()? as usize);
+    }
+    Ok(StatsView {
+        queue_depth,
+        shed,
+        degrade_level,
+        max_degrade_level,
+        cache_hits,
+        cache_misses,
+        cache_evictions,
+        plan_scratch,
+        plan_cached,
+        plan_incremental,
+        plan_fallbacks,
+        shard_routed,
+        shard_queue_depths,
+        cross_shard_edges,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decode_one(buf: &[u8]) -> Frame<'_> {
+        try_decode_frame(buf)
+            .expect("well-formed")
+            .expect("complete")
+    }
+
+    #[test]
+    fn infer_round_trips_including_features() {
+        let events = vec![
+            EdgeEvent::AddEdge { src: 3, dst: 9 },
+            EdgeEvent::RemoveEdge { src: 9, dst: 3 },
+            EdgeEvent::AddVertex { v: 7 },
+            EdgeEvent::RemoveVertex { v: 8 },
+            EdgeEvent::UpdateFeature {
+                v: 1,
+                // Bit-exactness matters: NaN payloads and negative zero
+                // must survive, which text formats cannot guarantee.
+                feature: vec![0.25, -0.0, f32::NAN, f32::MIN_POSITIVE],
+            },
+            EdgeEvent::Tick,
+        ];
+        let mut buf = Vec::new();
+        encode_infer(&mut buf, 11, 4, &events, true);
+        let frame = decode_one(&buf);
+        assert_eq!(frame.consumed, buf.len());
+        match decode_request(&frame).unwrap() {
+            WireRequest::Infer { id, req } => {
+                assert_eq!(id, 11);
+                assert_eq!(req.stream, 4);
+                assert!(req.flush);
+                assert_eq!(req.events.len(), events.len());
+                for (a, b) in req.events.iter().zip(&events) {
+                    match (a, b) {
+                        (
+                            EdgeEvent::UpdateFeature { v: va, feature: fa },
+                            EdgeEvent::UpdateFeature { v: vb, feature: fb },
+                        ) => {
+                            assert_eq!(va, vb);
+                            let bits =
+                                |f: &[f32]| f.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                            assert_eq!(bits(fa), bits(fb), "features must be bit-exact");
+                        }
+                        _ => assert_eq!(a, b),
+                    }
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partial_frames_ask_for_more_bytes() {
+        let mut buf = Vec::new();
+        encode_ping(&mut buf, 5);
+        for cut in 0..buf.len() {
+            assert_eq!(
+                try_decode_frame(&buf[..cut]).unwrap(),
+                None,
+                "{cut} bytes is incomplete"
+            );
+        }
+        let frame = decode_one(&buf);
+        assert_eq!((frame.kind, frame.id), (kind::PING, 5));
+        assert!(frame.body.is_empty());
+    }
+
+    #[test]
+    fn two_frames_in_one_buffer_decode_in_order() {
+        let mut buf = Vec::new();
+        encode_ping(&mut buf, 1);
+        encode_stats_request(&mut buf, 2);
+        let a = decode_one(&buf);
+        assert_eq!((a.kind, a.id), (kind::PING, 1));
+        let rest = &buf[a.consumed..];
+        let b = decode_one(rest);
+        assert_eq!((b.kind, b.id), (kind::STATS, 2));
+        assert_eq!(a.consumed + b.consumed, buf.len());
+    }
+
+    #[test]
+    fn bad_version_and_oversized_frames_are_rejected() {
+        let mut buf = Vec::new();
+        encode_ping(&mut buf, 1);
+        buf[4] = 99; // stomp the version byte
+        assert!(try_decode_frame(&buf).is_err());
+
+        let mut huge = Vec::new();
+        put_u32(&mut huge, (MAX_FRAME_LEN + 1) as u32);
+        huge.extend_from_slice(&[0; 16]);
+        assert!(try_decode_frame(&huge).is_err());
+
+        let mut tiny = Vec::new();
+        put_u32(&mut tiny, 3); // below header size
+        tiny.extend_from_slice(&[0; 16]);
+        assert!(try_decode_frame(&tiny).is_err());
+    }
+
+    #[test]
+    fn truncated_bodies_are_protocol_errors_with_the_frame_id() {
+        // A frame that claims 3 events but carries 1.
+        let mut body = Vec::new();
+        put_u64(&mut body, 0); // stream
+        body.push(0); // flush
+        put_u32(&mut body, 3); // count (lie)
+        body.push(5); // one tick
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, kind::INFER, 42, &body);
+        let frame = decode_one(&buf);
+        match decode_request(&frame) {
+            Err((42, ServeError::Protocol(_))) => {}
+            other => panic!("expected protocol error with id 42, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reply_error_stats_round_trip() {
+        let reply = Reply {
+            accepted_events: 5,
+            windows: vec![WindowResult {
+                stream: 1,
+                seq: 0,
+                snapshots: 4,
+                digest: u64::MAX - 1,
+                macs: 1000,
+                skipped_cells: 3,
+                plan_source: PlanSource::Incremental,
+                latency_us: 77,
+            }],
+        };
+        let mut buf = Vec::new();
+        encode_reply(&mut buf, 9, &reply);
+        let frame = decode_one(&buf);
+        assert_eq!((frame.kind, frame.id), (kind::INFER_REPLY, 9));
+        assert_eq!(decode_reply(frame.body).unwrap(), reply);
+
+        let mut buf = Vec::new();
+        encode_error(&mut buf, 9, &ServeError::Closed);
+        let frame = decode_one(&buf);
+        assert_eq!(frame.kind, kind::ERROR);
+        let (code, msg) = decode_error(frame.body).unwrap();
+        assert_eq!(code, "closed");
+        assert!(!msg.is_empty());
+
+        let stats = StatsView {
+            queue_depth: 3,
+            shed: 1,
+            shard_routed: vec![10, 20, 30],
+            shard_queue_depths: vec![0, 1, 2],
+            cross_shard_edges: 7,
+            ..StatsView::default()
+        };
+        let mut buf = Vec::new();
+        encode_stats(&mut buf, 2, &stats);
+        let frame = decode_one(&buf);
+        assert_eq!(frame.kind, kind::STATS_REPLY);
+        assert_eq!(decode_stats(frame.body).unwrap(), stats);
+    }
+}

@@ -3,6 +3,7 @@
 use tagnn_models::{ModelKind, ReuseMode, SkipConfig};
 
 use crate::degrade::DegradationPolicy;
+use crate::shard::ShardAssignment;
 
 /// Everything a [`crate::core::ServeCore`] needs to boot: the vertex
 /// universe it serves, the model it runs, and the batching/backpressure
@@ -25,11 +26,22 @@ pub struct ServeConfig {
     pub skip: SkipConfig,
     /// Cross-snapshot reuse mode of the engine.
     pub reuse: ReuseMode,
-    /// Worker threads executing windows (streams shard across workers).
-    pub workers: usize,
+    /// Engine shards. Each shard owns a partition of the vertex universe
+    /// (admission routes events to their owning shard's ingest lane) and
+    /// runs one execution worker; streams stick to shards by
+    /// `stream % shards` for execution because a stream's windows are
+    /// sequentially dependent.
+    pub shards: usize,
+    /// How the vertex universe partitions across shards.
+    pub shard_assignment: ShardAssignment,
+    /// Expected per-vertex degree weights for
+    /// [`ShardAssignment::DegreeBalanced`] (e.g. from a historical
+    /// trace); must be `universe` long. `None` — or a length mismatch —
+    /// falls back to hash assignment.
+    pub degree_profile: Option<Vec<u64>>,
     /// Admission-queue capacity; requests beyond it are shed.
     pub queue_capacity: usize,
-    /// Per-worker window-queue capacity.
+    /// Per-shard window-queue capacity.
     pub worker_queue_capacity: usize,
     /// Micro-batch size the batcher aims for.
     pub max_batch: usize,
@@ -59,7 +71,9 @@ impl Default for ServeConfig {
             seed: 7,
             skip: SkipConfig::paper_default(),
             reuse: ReuseMode::PaperWindow,
-            workers: 2,
+            shards: 2,
+            shard_assignment: ShardAssignment::Hash,
+            degree_profile: None,
             queue_capacity: 256,
             worker_queue_capacity: 64,
             max_batch: 8,
@@ -83,7 +97,7 @@ impl ServeConfig {
         assert!(self.feature_dim > 0, "feature_dim must be positive");
         assert!(self.window > 0, "window must be positive");
         assert!(self.hidden > 0, "hidden must be positive");
-        assert!(self.workers > 0, "workers must be positive");
+        assert!(self.shards > 0, "shards must be positive");
         assert!(self.queue_capacity > 0, "queue_capacity must be positive");
         assert!(
             self.worker_queue_capacity > 0,
@@ -105,10 +119,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "workers must be positive")]
-    fn zero_workers_is_rejected() {
+    #[should_panic(expected = "shards must be positive")]
+    fn zero_shards_is_rejected() {
         let _ = ServeConfig {
-            workers: 0,
+            shards: 0,
             ..ServeConfig::default()
         }
         .validated();

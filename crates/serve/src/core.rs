@@ -33,7 +33,8 @@ use crate::degrade::DegradationState;
 use crate::error::ServeError;
 use crate::event::EdgeEvent;
 use crate::queue::{BoundedQueue, PushOutcome};
-use crate::roller::{RolledWindow, WindowRoller};
+use crate::roller::{RolledWindow, ShardedRoller, WindowRoller};
+use crate::shard::ShardRouter;
 
 /// One inference request: a slice of a stream's event sequence.
 #[derive(Debug, Clone, PartialEq)]
@@ -102,6 +103,17 @@ impl Ticket {
             Err(mpsc::RecvTimeoutError::Disconnected) => Some(Err(ServeError::Closed)),
         }
     }
+
+    /// Non-blocking poll: `None` while the reply is still in flight.
+    /// The event-loop frontend uses this to multiplex many tickets on
+    /// one thread.
+    pub fn try_wait(&self) -> Option<Result<Reply, ServeError>> {
+        match self.rx.try_recv() {
+            Ok(r) => Some(r),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(ServeError::Closed)),
+        }
+    }
 }
 
 /// FNV-1a over the raw f32 bits of `matrices` — the bit-exactness digest
@@ -154,6 +166,34 @@ impl PlanCounters {
     }
 }
 
+/// Point-in-time view of the shard plane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Events routed to each shard's ingest lane since boot.
+    pub routed: Vec<u64>,
+    /// Edge events sealed whose endpoints live on different shards — the
+    /// aggregation traffic a distributed deployment would pay at seal.
+    pub cross_shard_edges: u64,
+    /// Current depth of each shard's window queue.
+    pub queue_depths: Vec<usize>,
+}
+
+/// Shared atomic backing of [`ShardStats`].
+#[derive(Debug)]
+struct ShardObs {
+    routed: Vec<AtomicU64>,
+    cross_shard_edges: AtomicU64,
+}
+
+impl ShardObs {
+    fn new(shards: usize) -> Self {
+        Self {
+            routed: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            cross_shard_edges: AtomicU64::new(0),
+        }
+    }
+}
+
 struct Job {
     req: InferRequest,
     enqueued_at: Instant,
@@ -187,6 +227,7 @@ pub struct ServeCore {
     recorder: Arc<Recorder>,
     cache: Arc<PlanCache>,
     plan_counters: Arc<PlanCounters>,
+    shard_obs: Arc<ShardObs>,
     shed: Arc<AtomicU64>,
     degrade_level: Arc<AtomicU32>,
     max_degrade_level: Arc<AtomicU32>,
@@ -203,6 +244,7 @@ impl ServeCore {
         let cache = Arc::new(PlanCache::with_capacity(cfg.plan_cache_capacity));
         let admission = Arc::new(BoundedQueue::<Job>::new(cfg.queue_capacity));
         let plan_counters = Arc::new(PlanCounters::default());
+        let shard_obs = Arc::new(ShardObs::new(cfg.shards));
         let shed = Arc::new(AtomicU64::new(0));
         let degrade_level = Arc::new(AtomicU32::new(0));
         let max_degrade_level = Arc::new(AtomicU32::new(0));
@@ -210,7 +252,14 @@ impl ServeCore {
         let model = DgnnModel::new(cfg.model, cfg.feature_dim, cfg.hidden, cfg.seed);
         let engine = ConcurrentEngine::with_options(model, cfg.skip, cfg.window, cfg.reuse);
 
-        let worker_queues: Vec<Arc<BoundedQueue<WorkItem>>> = (0..cfg.workers)
+        let router = ShardRouter::new(
+            cfg.shard_assignment,
+            cfg.universe,
+            cfg.shards,
+            cfg.degree_profile.as_deref(),
+        );
+
+        let worker_queues: Vec<Arc<BoundedQueue<WorkItem>>> = (0..cfg.shards)
             .map(|_| Arc::new(BoundedQueue::new(cfg.worker_queue_capacity)))
             .collect();
 
@@ -227,7 +276,7 @@ impl ServeCore {
                 let window = cfg.window;
                 let incremental = cfg.incremental_planning;
                 std::thread::Builder::new()
-                    .name(format!("tagnn-serve-worker-{i}"))
+                    .name(format!("tagnn-serve-shard-{i}"))
                     .spawn(move || {
                         worker_loop(WorkerCtx {
                             queue: &q,
@@ -251,17 +300,21 @@ impl ServeCore {
             let cfg2 = cfg.clone();
             let degrade_level = Arc::clone(&degrade_level);
             let max_degrade_level = Arc::clone(&max_degrade_level);
+            let router = router.clone();
+            let shard_obs2 = Arc::clone(&shard_obs);
             std::thread::Builder::new()
                 .name("tagnn-serve-batcher".into())
                 .spawn(move || {
-                    batcher_loop(
-                        &admission,
-                        &queues,
-                        &recorder,
-                        &cfg2,
-                        &degrade_level,
-                        &max_degrade_level,
-                    )
+                    batcher_loop(BatcherCtx {
+                        admission: &admission,
+                        queues: &queues,
+                        recorder: &recorder,
+                        cfg: &cfg2,
+                        degrade_level: &degrade_level,
+                        max_degrade_level: &max_degrade_level,
+                        router: &router,
+                        shard_obs: &shard_obs2,
+                    })
                 })
                 .expect("spawn batcher")
         };
@@ -273,6 +326,7 @@ impl ServeCore {
             recorder,
             cache,
             plan_counters,
+            shard_obs,
             shed,
             degrade_level,
             max_degrade_level,
@@ -305,6 +359,20 @@ impl ServeCore {
     /// Requests shed at admission since boot.
     pub fn shed_count(&self) -> u64 {
         self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Per-shard routing/seal counters and live queue depths.
+    pub fn shard_stats(&self) -> ShardStats {
+        ShardStats {
+            routed: self
+                .shard_obs
+                .routed
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            cross_shard_edges: self.shard_obs.cross_shard_edges.load(Ordering::Relaxed),
+            queue_depths: self.worker_queues.iter().map(|q| q.depth()).collect(),
+        }
     }
 
     /// Current depth of the admission queue.
@@ -375,49 +443,61 @@ impl Drop for ServeCore {
     }
 }
 
-fn batcher_loop(
-    admission: &BoundedQueue<Job>,
-    queues: &[Arc<BoundedQueue<WorkItem>>],
-    recorder: &Recorder,
-    cfg: &ServeConfig,
-    degrade_level: &AtomicU32,
-    max_degrade_level: &AtomicU32,
-) {
-    let mut rollers: HashMap<u64, WindowRoller> = HashMap::new();
+struct BatcherCtx<'a> {
+    admission: &'a BoundedQueue<Job>,
+    queues: &'a [Arc<BoundedQueue<WorkItem>>],
+    recorder: &'a Recorder,
+    cfg: &'a ServeConfig,
+    degrade_level: &'a AtomicU32,
+    max_degrade_level: &'a AtomicU32,
+    router: &'a ShardRouter,
+    shard_obs: &'a ShardObs,
+}
+
+fn batcher_loop(ctx: BatcherCtx<'_>) {
+    let mut rollers: HashMap<u64, ShardedRoller> = HashMap::new();
     let mut degrade = DegradationState::default();
-    let max_delay = Duration::from_micros(cfg.max_delay_us);
+    let max_delay = Duration::from_micros(ctx.cfg.max_delay_us);
+    // Per-shard metric names, built once (the recorder keys by &str).
+    let depth_gauges: Vec<String> = (0..ctx.cfg.shards)
+        .map(|s| format!("serve.shard{s}.queue_depth"))
+        .collect();
     loop {
-        let batch = admission.pop_batch(cfg.max_batch, max_delay);
+        let batch = ctx.admission.pop_batch(ctx.cfg.max_batch, max_delay);
         if batch.is_empty() {
             // pop_batch returns empty only when closed and drained.
             return;
         }
-        recorder.record("serve.batch_size", batch.len() as u64);
+        ctx.recorder.record("serve.batch_size", batch.len() as u64);
 
         // The backlog left AFTER taking this batch is the overload
         // signal: it stays high only when arrivals outpace service.
-        let level = degrade.observe(admission.depth(), &cfg.degradation);
-        degrade_level.store(level, Ordering::Relaxed);
-        max_degrade_level.store(degrade.max_level_seen(), Ordering::Relaxed);
-        recorder.gauge("serve.degrade_level", level as f64);
-        let skip = degrade.skip_config(cfg.skip, &cfg.degradation);
+        let level = degrade.observe(ctx.admission.depth(), &ctx.cfg.degradation);
+        ctx.degrade_level.store(level, Ordering::Relaxed);
+        ctx.max_degrade_level
+            .store(degrade.max_level_seen(), Ordering::Relaxed);
+        ctx.recorder.gauge("serve.degrade_level", level as f64);
+        for (s, q) in ctx.queues.iter().enumerate() {
+            ctx.recorder.gauge(&depth_gauges[s], q.depth() as f64);
+        }
+        let skip = degrade.skip_config(ctx.cfg.skip, &ctx.cfg.degradation);
 
         for job in batch {
-            dispatch_job(job, &mut rollers, queues, recorder, cfg, skip);
+            dispatch_job(&ctx, job, &mut rollers, skip);
         }
     }
 }
 
-/// Runs one job's events through its stream roller and fans the rolled
-/// windows out to the workers.
+/// Runs one job's events through its stream's sharded roller and fans the
+/// rolled windows out to the shard workers.
 fn dispatch_job(
+    ctx: &BatcherCtx<'_>,
     job: Job,
-    rollers: &mut HashMap<u64, WindowRoller>,
-    queues: &[Arc<BoundedQueue<WorkItem>>],
-    recorder: &Recorder,
-    cfg: &ServeConfig,
+    rollers: &mut HashMap<u64, ShardedRoller>,
     skip: SkipConfig,
 ) {
+    let cfg = ctx.cfg;
+    let recorder = ctx.recorder;
     // Atomic rejection: a request with any invalid event is refused as a
     // unit, before the stream state is touched.
     for event in &job.req.events {
@@ -430,13 +510,19 @@ fn dispatch_job(
 
     let roller = rollers.entry(job.req.stream).or_insert_with(|| {
         let r = WindowRoller::new(cfg.universe, cfg.feature_dim, cfg.window);
-        if cfg.incremental_planning {
+        let r = if cfg.incremental_planning {
             r.with_incremental_planning()
         } else {
             r
-        }
+        };
+        ShardedRoller::new(r, ctx.router.clone())
     });
+    // The lanes keep cumulative routing/seal totals; harvest the delta
+    // this job contributes into the shared shard counters afterwards.
+    let routed_before: Vec<u64> = roller.routed().to_vec();
+    let seal_before = roller.seal_totals();
     let mut windows = Vec::new();
+    let mut failed = None;
     for event in &job.req.events {
         match roller.apply(event) {
             Ok(Some(w)) => windows.push(w),
@@ -444,22 +530,32 @@ fn dispatch_job(
             Err(e) => {
                 // Unreachable after pre-validation, but a tick error must
                 // still produce a typed reply rather than a dead ticket.
-                recorder.incr("serve.rejected", 1);
-                let _ = job.reply.send(Err(ServeError::Rejected(e)));
-                return;
+                failed = Some(e);
+                break;
             }
         }
     }
-    if job.req.flush {
+    if failed.is_none() && job.req.flush {
         match roller.flush() {
             Ok(Some(w)) => windows.push(w),
             Ok(None) => {}
-            Err(e) => {
-                recorder.incr("serve.rejected", 1);
-                let _ = job.reply.send(Err(ServeError::Rejected(e)));
-                return;
-            }
+            Err(e) => failed = Some(e),
         }
+    }
+    for (s, (after, before)) in roller.routed().iter().zip(&routed_before).enumerate() {
+        ctx.shard_obs.routed[s].fetch_add(after - before, Ordering::Relaxed);
+    }
+    let cross_delta = roller.seal_totals().cross_shard_edges - seal_before.cross_shard_edges;
+    if cross_delta > 0 {
+        ctx.shard_obs
+            .cross_shard_edges
+            .fetch_add(cross_delta, Ordering::Relaxed);
+        recorder.incr("serve.shard.cross_seal_edges", cross_delta);
+    }
+    if let Some(e) = failed {
+        recorder.incr("serve.rejected", 1);
+        let _ = job.reply.send(Err(ServeError::Rejected(e)));
+        return;
     }
 
     let accepted_events = job.req.events.len();
@@ -478,7 +574,10 @@ fn dispatch_job(
         reply: job.reply,
         accepted_events,
     });
-    let shard = (job.req.stream % queues.len() as u64) as usize;
+    // Execution stays sticky per stream (a stream's windows thread RNN
+    // state through one EngineSession); the vertex-owner sharding above
+    // governs admission routing and seal accounting.
+    let shard = (job.req.stream % ctx.queues.len() as u64) as usize;
     for (slot, window) in windows.into_iter().enumerate() {
         let item = WorkItem {
             stream: job.req.stream,
@@ -490,7 +589,7 @@ fn dispatch_job(
         };
         // Blocking push: worker backlog stalls the batcher, which fills
         // the admission queue, which sheds — backpressure end to end.
-        if queues[shard].push(item).is_err() {
+        if ctx.queues[shard].push(item).is_err() {
             let _ = pending.reply.send(Err(ServeError::Closed));
             return;
         }
@@ -639,7 +738,7 @@ mod tests {
         // Incremental planning off: every window goes through the shared
         // cache, so the second stream's plans are all hits.
         let (core, g) = tiny_core(|c| {
-            c.workers = 2;
+            c.shards = 2;
             c.incremental_planning = false;
         });
         let strip = |ws: Vec<WindowResult>| {
@@ -745,6 +844,56 @@ mod tests {
         assert_eq!(reply.accepted_events, 0);
         assert!(reply.windows.is_empty());
         core.shutdown();
+    }
+
+    #[test]
+    fn served_digests_are_shard_count_invariant() {
+        let strip = |ws: Vec<WindowResult>| {
+            ws.into_iter()
+                .map(|w| (w.seq, w.snapshots, w.digest, w.macs, w.skipped_cells))
+                .collect::<Vec<_>>()
+        };
+        let mut reference = None;
+        for shards in [1usize, 2, 4] {
+            let (core, g) = tiny_core(|c| c.shards = shards);
+            let got = strip(replay(&core, &g, 0));
+            let stats = core.shard_stats();
+            assert_eq!(stats.routed.len(), shards);
+            assert_eq!(stats.queue_depths.len(), shards);
+            assert!(
+                stats.routed.iter().sum::<u64>() > 0,
+                "events must be routed somewhere"
+            );
+            if shards == 1 {
+                assert_eq!(stats.cross_shard_edges, 0, "one shard owns everything");
+            }
+            core.shutdown();
+            match &reference {
+                None => reference = Some(got),
+                Some(r) => assert_eq!(&got, r, "{shards} shards diverged"),
+            }
+        }
+    }
+
+    #[test]
+    fn degree_balanced_assignment_serves_identically() {
+        let strip = |ws: Vec<WindowResult>| ws.into_iter().map(|w| w.digest).collect::<Vec<_>>();
+        let (hash_core, g) = tiny_core(|c| c.shards = 4);
+        let a = strip(replay(&hash_core, &g, 0));
+        hash_core.shutdown();
+        // Degree profile from the trace's final snapshot: assignment
+        // policy must not change served bits, only lane balance.
+        let degrees: Vec<u64> = (0..g.num_vertices())
+            .map(|v| g.snapshots().last().unwrap().neighbors(v as u32).len() as u64)
+            .collect();
+        let (deg_core, _) = tiny_core(|c| {
+            c.shards = 4;
+            c.shard_assignment = crate::shard::ShardAssignment::DegreeBalanced;
+            c.degree_profile = Some(degrees);
+        });
+        let b = strip(replay(&deg_core, &g, 0));
+        deg_core.shutdown();
+        assert_eq!(a, b);
     }
 
     #[test]

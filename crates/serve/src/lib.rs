@@ -30,6 +30,7 @@
 //! at zero backlog, serving a replayed stream produces outputs and work
 //! counters bit-identical to the offline engine on the same graph.
 
+pub mod binwire;
 pub mod config;
 pub mod core;
 pub mod degrade;
@@ -40,16 +41,19 @@ pub mod loadgen;
 pub mod queue;
 pub mod roller;
 pub mod server;
+pub mod shard;
 pub mod wire;
 
 pub use config::ServeConfig;
 pub use core::{
-    digest_matrices, InferRequest, PlanSourceCounts, Reply, ServeCore, Ticket, WindowResult,
+    digest_matrices, InferRequest, PlanSourceCounts, Reply, ServeCore, ShardStats, Ticket,
+    WindowResult,
 };
 pub use degrade::{DegradationPolicy, DegradationState};
 pub use error::ServeError;
 pub use event::{empty_base, events_from_graph, EdgeEvent};
 pub use loadgen::{LoadgenConfig, LoadgenSummary};
 pub use queue::{BoundedQueue, PushOutcome};
-pub use roller::{RolledWindow, WindowRoller};
-pub use server::Server;
+pub use roller::{RolledWindow, ShardedRoller, WindowRoller};
+pub use server::{Server, WireFormat};
+pub use shard::{SealStats, ShardAssignment, ShardLanes, ShardRouter};

@@ -25,8 +25,10 @@ use std::time::{Duration, Instant};
 use tagnn_graph::generate::GeneratorConfig;
 use tagnn_obs::Histogram;
 
+use crate::binwire;
 use crate::event::{events_from_graph, EdgeEvent};
 use crate::json;
+use crate::server::WireFormat;
 use crate::wire;
 
 /// Load-generator configuration.
@@ -43,6 +45,8 @@ pub struct LoadgenConfig {
     pub duration: Duration,
     /// Generator for the replayed dynamic graph (the trace).
     pub graph: GeneratorConfig,
+    /// Protocol to speak — must match the server's `--wire` flag.
+    pub wire: WireFormat,
 }
 
 impl Default for LoadgenConfig {
@@ -53,6 +57,7 @@ impl Default for LoadgenConfig {
             rate: 0.0,
             duration: Duration::from_secs(5),
             graph: GeneratorConfig::tiny(),
+            wire: WireFormat::Binary,
         }
     }
 }
@@ -180,6 +185,7 @@ pub fn run(cfg: &LoadgenConfig) -> std::io::Result<LoadgenSummary> {
         .enumerate()
         .map(|(conn_id, stream)| {
             let trace = Arc::clone(&trace);
+            let wire_fmt = cfg.wire;
             std::thread::spawn(move || {
                 let mut summary = LoadgenSummary::empty();
                 let result = if per_conn_rate > 0.0 {
@@ -187,12 +193,13 @@ pub fn run(cfg: &LoadgenConfig) -> std::io::Result<LoadgenSummary> {
                         stream,
                         conn_id,
                         &trace,
+                        wire_fmt,
                         per_conn_rate,
                         deadline,
                         &mut summary,
                     )
                 } else {
-                    closed_loop(stream, conn_id, &trace, deadline, &mut summary)
+                    closed_loop(stream, conn_id, &trace, wire_fmt, deadline, &mut summary)
                 };
                 if result.is_err() {
                     summary.errors += 1;
@@ -211,7 +218,7 @@ pub fn run(cfg: &LoadgenConfig) -> std::io::Result<LoadgenSummary> {
     Ok(total)
 }
 
-/// Accounts one reply line into the summary; returns whether it was ok.
+/// Accounts one JSON reply line into the summary.
 fn account_reply(line: &str, summary: &mut LoadgenSummary) {
     match json::parse(line.trim()) {
         Ok(doc) if doc.get("ok").and_then(json::Value::as_bool) == Some(true) => {
@@ -230,6 +237,86 @@ fn account_reply(line: &str, summary: &mut LoadgenSummary) {
     }
 }
 
+/// Accounts one binary reply frame into the summary.
+fn account_binary_reply(kind: u8, body: &[u8], summary: &mut LoadgenSummary) {
+    match kind {
+        binwire::kind::INFER_REPLY => match binwire::decode_reply(body) {
+            Ok(r) => {
+                summary.replies += 1;
+                summary.events += r.accepted_events as u64;
+                summary.windows += r.windows.len() as u64;
+            }
+            Err(_) => summary.errors += 1,
+        },
+        binwire::kind::ERROR => match binwire::decode_error(body) {
+            Ok((code, _)) if code == "overloaded" => summary.shed += 1,
+            _ => summary.errors += 1,
+        },
+        _ => summary.errors += 1,
+    }
+}
+
+/// Encodes one infer request in the configured wire format, ready to
+/// write to the socket as-is (JSON lines carry their newline).
+fn encode_request(
+    wire_fmt: WireFormat,
+    id: u64,
+    sid: u64,
+    events: &[EdgeEvent],
+    flush: bool,
+) -> Vec<u8> {
+    match wire_fmt {
+        WireFormat::Binary => {
+            let mut out = Vec::new();
+            binwire::encode_infer(&mut out, id, sid, events, flush);
+            out
+        }
+        WireFormat::Json => {
+            let mut line = wire::encode_infer(id, sid, events, flush);
+            line.push('\n');
+            line.into_bytes()
+        }
+    }
+}
+
+/// The receive half of a loadgen connection: reads one reply at a time
+/// in the configured wire format and accounts it.
+enum Receiver {
+    Json(BufReader<TcpStream>),
+    Binary(TcpStream, binwire::FrameReader),
+}
+
+impl Receiver {
+    fn new(stream: TcpStream, wire_fmt: WireFormat) -> Self {
+        match wire_fmt {
+            WireFormat::Json => Receiver::Json(BufReader::new(stream)),
+            WireFormat::Binary => Receiver::Binary(stream, binwire::FrameReader::new()),
+        }
+    }
+
+    /// Reads and accounts one reply; `Ok(false)` means the server hung
+    /// up cleanly.
+    fn recv(&mut self, summary: &mut LoadgenSummary) -> std::io::Result<bool> {
+        match self {
+            Receiver::Json(reader) => {
+                let mut line = String::new();
+                if reader.read_line(&mut line)? == 0 {
+                    return Ok(false);
+                }
+                account_reply(&line, summary);
+                Ok(true)
+            }
+            Receiver::Binary(stream, frames) => match frames.read_frame(stream)? {
+                None => Ok(false),
+                Some((kind, _, body)) => {
+                    account_binary_reply(kind, &body, summary);
+                    Ok(true)
+                }
+            },
+        }
+    }
+}
+
 /// Stream ids never collide across connections or passes.
 fn stream_id(conn_id: usize, pass: u64) -> u64 {
     (conn_id as u64) << 32 | pass
@@ -239,13 +326,13 @@ fn closed_loop(
     mut stream: TcpStream,
     conn_id: usize,
     trace: &Trace,
+    wire_fmt: WireFormat,
     deadline: Instant,
     summary: &mut LoadgenSummary,
 ) -> std::io::Result<()> {
     stream.set_nodelay(true)?;
-    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut receiver = Receiver::new(stream.try_clone()?, wire_fmt);
     let mut id = 0u64;
-    let mut line = String::new();
     'outer: for pass in 0.. {
         let sid = stream_id(conn_id, pass);
         for (events, flush) in trace {
@@ -253,17 +340,14 @@ fn closed_loop(
                 break 'outer;
             }
             id += 1;
-            let req = wire::encode_infer(id, sid, events, *flush);
+            let req = encode_request(wire_fmt, id, sid, events, *flush);
             let sent = Instant::now();
-            stream.write_all(req.as_bytes())?;
-            stream.write_all(b"\n")?;
+            stream.write_all(&req)?;
             summary.requests += 1;
-            line.clear();
-            if reader.read_line(&mut line)? == 0 {
+            if !receiver.recv(summary)? {
                 break 'outer; // server closed
             }
             summary.latency_us.record(sent.elapsed().as_micros() as u64);
-            account_reply(&line, summary);
         }
     }
     Ok(())
@@ -273,6 +357,7 @@ fn open_loop(
     mut stream: TcpStream,
     conn_id: usize,
     trace: &Trace,
+    wire_fmt: WireFormat,
     rate: f64,
     deadline: Instant,
     summary: &mut LoadgenSummary,
@@ -288,20 +373,21 @@ fn open_loop(
         let in_flight = Arc::clone(&in_flight);
         let reader_summary = Arc::clone(&reader_summary);
         std::thread::spawn(move || {
-            let mut reader = BufReader::new(reader_stream);
-            let mut line = String::new();
+            let mut receiver = Receiver::new(reader_stream, wire_fmt);
             loop {
-                line.clear();
-                match reader.read_line(&mut line) {
-                    Ok(0) | Err(_) => return,
-                    Ok(_) => {
+                // Account into a scratch summary so no lock is held
+                // while the read blocks.
+                let mut one = LoadgenSummary::empty();
+                match receiver.recv(&mut one) {
+                    Ok(true) => {
                         let sent = in_flight.lock().unwrap().pop_front();
                         let mut s = reader_summary.lock().unwrap();
                         if let Some(sent) = sent {
                             s.latency_us.record(sent.elapsed().as_micros() as u64);
                         }
-                        account_reply(&line, &mut s);
+                        s.merge(&one);
                     }
+                    Ok(false) | Err(_) => return,
                 }
             }
         })
@@ -322,10 +408,9 @@ fn open_loop(
             }
             next_send += interval;
             id += 1;
-            let req = wire::encode_infer(id, sid, events, *flush);
+            let req = encode_request(wire_fmt, id, sid, events, *flush);
             in_flight.lock().unwrap().push_back(Instant::now());
-            stream.write_all(req.as_bytes())?;
-            stream.write_all(b"\n")?;
+            stream.write_all(&req)?;
             summary.requests += 1;
         }
     }
@@ -349,23 +434,24 @@ mod tests {
     use crate::core::ServeCore;
     use crate::server::Server;
 
-    fn test_server() -> Server {
+    fn test_server(wire_fmt: WireFormat) -> Server {
         let cfg = ServeConfig {
             window: 3,
             ..ServeConfig::default()
         };
-        Server::bind(ServeCore::start(cfg), "127.0.0.1:0").unwrap()
+        Server::bind_with(ServeCore::start(cfg), "127.0.0.1:0", wire_fmt).unwrap()
     }
 
     #[test]
     fn closed_loop_replays_and_measures() {
-        let server = test_server();
+        let server = test_server(WireFormat::Binary);
         let cfg = LoadgenConfig {
             addr: server.local_addr().to_string(),
             connections: 2,
             rate: 0.0,
             duration: Duration::from_millis(400),
             graph: GeneratorConfig::tiny(),
+            wire: WireFormat::Binary,
         };
         let summary = run(&cfg).unwrap();
         assert!(summary.requests > 0);
@@ -380,14 +466,33 @@ mod tests {
     }
 
     #[test]
+    fn closed_loop_speaks_json_when_asked() {
+        let server = test_server(WireFormat::Json);
+        let cfg = LoadgenConfig {
+            addr: server.local_addr().to_string(),
+            connections: 1,
+            rate: 0.0,
+            duration: Duration::from_millis(200),
+            graph: GeneratorConfig::tiny(),
+            wire: WireFormat::Json,
+        };
+        let summary = run(&cfg).unwrap();
+        assert!(summary.requests > 0);
+        assert_eq!(summary.replies, summary.requests);
+        assert_eq!(summary.errors, 0);
+        server.shutdown();
+    }
+
+    #[test]
     fn open_loop_paces_and_drains() {
-        let server = test_server();
+        let server = test_server(WireFormat::Binary);
         let cfg = LoadgenConfig {
             addr: server.local_addr().to_string(),
             connections: 1,
             rate: 200.0,
             duration: Duration::from_millis(300),
             graph: GeneratorConfig::tiny(),
+            wire: WireFormat::Binary,
         };
         let summary = run(&cfg).unwrap();
         assert!(summary.requests > 0);

@@ -164,10 +164,13 @@ impl<T> BoundedQueue<T> {
 
     /// Closes the queue: pending items remain poppable, new pushes shed
     /// with [`PushOutcome::Closed`], and blocked poppers drain then get
-    /// `None`/empty batches.
+    /// `None`/empty batches. Both condvars are notified — a producer
+    /// blocked in [`Self::push`] at capacity waits on `not_full` and must
+    /// observe the closure too, or shutdown deadlocks.
     pub fn close(&self) {
         self.state.lock().unwrap().closed = true;
         self.not_empty.notify_all();
+        self.not_full.notify_all();
     }
 
     /// Whether [`Self::close`] has been called.
@@ -228,6 +231,37 @@ mod tests {
         assert_eq!(q.pop(), Some(2));
         q.close();
         assert!(q.push(3).is_err(), "push after close returns the item");
+    }
+
+    /// Regression: a producer blocked in `push()` at capacity must be
+    /// woken by `close()` and get its item back. Before the fix, `close()`
+    /// notified only `not_empty`, so the producer hung on `not_full`
+    /// forever and shutdown deadlocked.
+    #[test]
+    fn close_unblocks_producer_blocked_at_capacity() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push(1).unwrap(); // fill to capacity
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || q2.push(2));
+        // Let the producer reach the not_full wait.
+        std::thread::sleep(Duration::from_millis(30));
+        q.close();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !producer.is_finished() {
+            assert!(
+                Instant::now() < deadline,
+                "close() must wake a producer blocked on not_full"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(
+            producer.join().unwrap(),
+            Err(2),
+            "the blocked item comes back to the caller"
+        );
+        // The pre-close item is still poppable; then the queue is dry.
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
     }
 
     #[test]

@@ -19,6 +19,7 @@ use tagnn_graph::incremental::{MaintainerStats, PlanMaintainer};
 use tagnn_graph::{DynamicGraph, GraphError, Snapshot, WindowPlan};
 
 use crate::event::{empty_base, EdgeEvent};
+use crate::shard::{SealStats, ShardLanes, ShardRouter};
 
 /// One window of K sealed snapshots, ready to plan and execute.
 #[derive(Debug, Clone, PartialEq)]
@@ -88,6 +89,16 @@ impl WindowRoller {
     /// Window size K.
     pub fn window(&self) -> usize {
         self.window
+    }
+
+    /// Vertex universe size of the stream.
+    pub fn universe(&self) -> usize {
+        self.current.num_vertices()
+    }
+
+    /// Feature dimensionality of the stream.
+    pub fn feature_dim(&self) -> usize {
+        self.feature_dim
     }
 
     /// Snapshots sealed but not yet rolled into a window.
@@ -160,6 +171,80 @@ impl WindowRoller {
             return Ok(None);
         }
         self.roll()
+    }
+}
+
+/// A [`WindowRoller`] fronted by per-shard admission lanes.
+///
+/// Mutation events are validated and routed to their owning shard's lane
+/// at admission ([`ShardLanes::admit`]); a tick merges the lanes back
+/// into global arrival order and replays them through the inner roller
+/// before sealing. Because the merge reconstructs the exact sequential
+/// event order, the rolled windows — snapshots, plans, and therefore
+/// output digests — are bit-identical to a plain [`WindowRoller`] fed
+/// the same stream, for any shard count.
+#[derive(Debug)]
+pub struct ShardedRoller {
+    inner: WindowRoller,
+    lanes: ShardLanes,
+    /// Seal-stat totals since construction (merged + cross-shard).
+    seal_totals: SealStats,
+}
+
+impl ShardedRoller {
+    /// Wraps `inner` with admission lanes over `router`.
+    pub fn new(inner: WindowRoller, router: ShardRouter) -> Self {
+        Self {
+            inner,
+            lanes: ShardLanes::new(router),
+            seal_totals: SealStats::default(),
+        }
+    }
+
+    /// The underlying roller (stats accessors, etc.).
+    pub fn inner(&self) -> &WindowRoller {
+        &self.inner
+    }
+
+    /// Cumulative events routed per shard.
+    pub fn routed(&self) -> &[u64] {
+        self.lanes.routed()
+    }
+
+    /// Cumulative seal statistics (merged events, cross-shard edges).
+    pub fn seal_totals(&self) -> SealStats {
+        self.seal_totals
+    }
+
+    /// Feeds one event: mutations validate then park in their owning
+    /// shard's lane; a tick merges all lanes in arrival order, replays
+    /// them through the inner roller, and seals. Semantics (including
+    /// rejection of malformed events at admission) match
+    /// [`WindowRoller::apply`].
+    pub fn apply(&mut self, event: &EdgeEvent) -> Result<Option<RolledWindow>, GraphError> {
+        match event {
+            EdgeEvent::Tick => {
+                let (merged, stats) = self.lanes.seal();
+                self.seal_totals.merged_events += stats.merged_events;
+                self.seal_totals.cross_shard_edges += stats.cross_shard_edges;
+                for e in &merged {
+                    self.inner.apply(e)?;
+                }
+                self.inner.apply(&EdgeEvent::Tick)
+            }
+            e => {
+                e.validate(self.inner.universe(), self.inner.feature_dim())?;
+                self.lanes.admit(e.clone());
+                Ok(None)
+            }
+        }
+    }
+
+    /// Flushes the inner roller's sealed tail. Un-ticked lane events stay
+    /// parked (they belong to a snapshot that was never sealed), matching
+    /// the plain roller's treatment of pending mutations.
+    pub fn flush(&mut self) -> Result<Option<RolledWindow>, GraphError> {
+        self.inner.flush()
     }
 }
 
@@ -346,6 +431,77 @@ mod tests {
         assert_eq!(windows.len(), 1);
         let plan = windows[0].plan.as_ref().unwrap();
         assert!(plan.stats().counts.affected >= 2, "v1 and v2 are affected");
+    }
+
+    #[test]
+    fn sharded_roller_is_bit_identical_for_any_shard_count() {
+        let g = GeneratorConfig::tiny().generate();
+        let trace = events_from_graph(&g);
+        let window = 3;
+        // Reference: plain single-engine roller.
+        let mut plain = WindowRoller::new(g.num_vertices(), g.feature_dim(), window)
+            .with_incremental_planning();
+        let mut reference = Vec::new();
+        for events in &trace {
+            for e in events {
+                if let Some(w) = plain.apply(e).unwrap() {
+                    reference.push(w);
+                }
+            }
+        }
+        if let Some(w) = plain.flush().unwrap() {
+            reference.push(w);
+        }
+        assert!(!reference.is_empty());
+        for shards in [1usize, 2, 4, 8] {
+            let inner = WindowRoller::new(g.num_vertices(), g.feature_dim(), window)
+                .with_incremental_planning();
+            let router = crate::shard::ShardRouter::hash(g.num_vertices(), shards);
+            let mut sharded = ShardedRoller::new(inner, router);
+            let mut rolled = Vec::new();
+            for events in &trace {
+                for e in events {
+                    if let Some(w) = sharded.apply(e).unwrap() {
+                        rolled.push(w);
+                    }
+                }
+            }
+            if let Some(w) = sharded.flush().unwrap() {
+                rolled.push(w);
+            }
+            assert_eq!(rolled.len(), reference.len(), "{shards} shards");
+            for (s, r) in rolled.iter().zip(&reference) {
+                assert_eq!(s.graph, r.graph, "{shards} shards: window {} graph", r.seq);
+                assert_eq!(
+                    s.plan.as_deref(),
+                    r.plan.as_deref(),
+                    "{shards} shards: window {} plan",
+                    r.seq
+                );
+            }
+            let total: u64 = sharded.routed().iter().sum();
+            assert_eq!(total, sharded.seal_totals().merged_events);
+            if shards == 1 {
+                assert_eq!(sharded.seal_totals().cross_shard_edges, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_roller_rejects_bad_events_without_buffering() {
+        let inner = WindowRoller::new(4, 2, 2);
+        let router = crate::shard::ShardRouter::hash(4, 2);
+        let mut sharded = ShardedRoller::new(inner, router);
+        assert!(sharded
+            .apply(&EdgeEvent::AddEdge { src: 0, dst: 99 })
+            .is_err());
+        assert_eq!(sharded.routed().iter().sum::<u64>(), 0);
+        sharded
+            .apply(&EdgeEvent::AddEdge { src: 0, dst: 1 })
+            .unwrap();
+        assert!(sharded.apply(&EdgeEvent::Tick).unwrap().is_none());
+        let w = sharded.apply(&EdgeEvent::Tick).unwrap().expect("K=2 rolls");
+        assert_eq!(w.graph.snapshot(0).num_edges(), 1);
     }
 
     #[test]

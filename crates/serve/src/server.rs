@@ -1,39 +1,74 @@
-//! std::net JSON-lines TCP frontend over [`ServeCore`].
+//! Nonblocking event-loop TCP frontend over [`ServeCore`].
 //!
-//! One thread accepts connections; each connection gets a reader thread
-//! (parse + submit) and a writer thread (wait tickets, write replies in
-//! request order). Submission is pipelined: the reader keeps admitting
-//! requests while earlier tickets are still in flight, so a single
-//! connection can exercise the whole admission queue. No frameworks —
-//! the protocol is small enough that `TcpListener` + the hand-rolled
-//! [`crate::wire`] codec cover it.
+//! One I/O thread owns the listener and every connection: sockets are
+//! nonblocking and the loop polls readiness (read → parse → submit,
+//! resolve finished tickets in request order, flush write buffers),
+//! sleeping briefly only when a full pass makes no progress. Compared to
+//! the earlier thread-per-connection frontend this bounds the server at
+//! one I/O thread regardless of connection count — no handle list to
+//! reap, no thread stack per idle client — while keeping submission
+//! pipelined: a connection keeps admitting requests while earlier
+//! tickets are still in flight, up to a per-connection in-flight cap
+//! that backpressures the socket instead of buffering unboundedly.
+//!
+//! Two wire formats share the frontend: the compact length-prefixed
+//! binary protocol of [`crate::binwire`] (the default) and the
+//! JSON-lines protocol of [`crate::wire`] (kept for debugging — pass
+//! [`WireFormat::Json`] or `--wire json` on the bench CLI). Replies to
+//! one connection are always written in request order in both formats.
 
+use std::collections::VecDeque;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crate::core::{ServeCore, Ticket};
+use crate::binwire;
+use crate::core::{Reply, ServeCore, Ticket};
+use crate::error::ServeError;
 use crate::wire::{self, StatsView, WireRequest};
 
-/// How often blocked I/O loops re-check the shutdown flag.
-const POLL_INTERVAL: Duration = Duration::from_millis(50);
+/// Sleep between passes that made no progress (accept/read/write/ticket).
+const IDLE_SLEEP: Duration = Duration::from_micros(500);
 
-/// A running TCP server.
-pub struct Server {
-    addr: SocketAddr,
-    core: Arc<ServeCore>,
-    shutdown: Arc<AtomicBool>,
-    accept: Option<JoinHandle<()>>,
-    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+/// In-flight requests per connection before the loop stops reading from
+/// its socket (kernel backpressure toward the client).
+const MAX_INFLIGHT_PER_CONN: usize = 256;
+
+/// Pending write bytes per connection before reading pauses.
+const MAX_WRITE_BUFFER: usize = 4 << 20;
+
+/// Read-buffer bytes per connection before reading pauses (a single
+/// frame may legitimately be large; this caps *unparsed* backlog).
+const MAX_READ_BUFFER: usize = binwire::MAX_FRAME_LEN + (16 << 10);
+
+/// Which wire protocol a server speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireFormat {
+    /// Length-prefixed binary frames ([`crate::binwire`]) — the default.
+    Binary,
+    /// JSON-lines ([`crate::wire`]) — debugging and manual poking.
+    Json,
+}
+
+impl WireFormat {
+    /// Parses the CLI spelling (`"binary"` or `"json"`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "binary" | "bin" => Some(WireFormat::Binary),
+            "json" => Some(WireFormat::Json),
+            _ => None,
+        }
+    }
 }
 
 /// Snapshot of the core's counters for a stats reply.
 pub fn stats_view(core: &ServeCore) -> StatsView {
     let cache = core.cache_stats();
     let plan = core.plan_source_counts();
+    let shard = core.shard_stats();
     StatsView {
         queue_depth: core.queue_depth(),
         shed: core.shed_count(),
@@ -46,54 +81,53 @@ pub fn stats_view(core: &ServeCore) -> StatsView {
         plan_cached: plan.cached,
         plan_incremental: plan.incremental,
         plan_fallbacks: plan.fallbacks,
+        shard_routed: shard.routed,
+        shard_queue_depths: shard.queue_depths,
+        cross_shard_edges: shard.cross_shard_edges,
     }
 }
 
+/// A running TCP server.
+pub struct Server {
+    addr: SocketAddr,
+    core: Arc<ServeCore>,
+    shutdown: Arc<AtomicBool>,
+    active: Arc<AtomicUsize>,
+    io: Option<JoinHandle<()>>,
+    wire: WireFormat,
+}
+
 impl Server {
-    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
-    /// starts accepting connections against `core`.
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) speaking
+    /// the default binary protocol.
     pub fn bind(core: ServeCore, addr: &str) -> std::io::Result<Self> {
+        Self::bind_with(core, addr, WireFormat::Binary)
+    }
+
+    /// Binds `addr` speaking `wire`.
+    pub fn bind_with(core: ServeCore, addr: &str, wire: WireFormat) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let core = Arc::new(core);
         let shutdown = Arc::new(AtomicBool::new(false));
-        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-
-        let accept = {
+        let active = Arc::new(AtomicUsize::new(0));
+        let io = {
             let core = Arc::clone(&core);
             let shutdown = Arc::clone(&shutdown);
-            let conns = Arc::clone(&conns);
+            let active = Arc::clone(&active);
             std::thread::Builder::new()
-                .name("tagnn-serve-accept".into())
-                .spawn(move || {
-                    while !shutdown.load(Ordering::Relaxed) {
-                        match listener.accept() {
-                            Ok((stream, _)) => {
-                                let core = Arc::clone(&core);
-                                let flag = Arc::clone(&shutdown);
-                                let handle = std::thread::Builder::new()
-                                    .name("tagnn-serve-conn".into())
-                                    .spawn(move || connection(stream, &core, &flag))
-                                    .expect("spawn connection");
-                                conns.lock().unwrap().push(handle);
-                            }
-                            Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                                std::thread::sleep(POLL_INTERVAL);
-                            }
-                            Err(_) => break,
-                        }
-                    }
-                })
-                .expect("spawn acceptor")
+                .name("tagnn-serve-io".into())
+                .spawn(move || event_loop(&listener, &core, &shutdown, &active, wire))
+                .expect("spawn io loop")
         };
-
         Ok(Self {
             addr,
             core,
             shutdown,
-            accept: Some(accept),
-            conns,
+            active,
+            io: Some(io),
+            wire,
         })
     }
 
@@ -102,20 +136,28 @@ impl Server {
         self.addr
     }
 
+    /// The wire format this server speaks.
+    pub fn wire_format(&self) -> WireFormat {
+        self.wire
+    }
+
     /// The serving core behind this frontend (for stats/bench readouts).
     pub fn core(&self) -> &ServeCore {
         &self.core
     }
 
-    /// Stops accepting, waits for open connections to drain, and shuts
-    /// the core down.
+    /// Connections the event loop is currently tracking. Bounded server
+    /// state: this returns to zero once clients disconnect and their
+    /// replies flush — nothing accumulates per past connection.
+    pub fn active_connections(&self) -> usize {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    /// Stops the I/O loop (draining in-flight replies onto their
+    /// sockets), then shuts the core down.
     pub fn shutdown(mut self) {
         self.shutdown.store(true, Ordering::Relaxed);
-        if let Some(h) = self.accept.take() {
-            let _ = h.join();
-        }
-        let handles: Vec<_> = self.conns.lock().unwrap().drain(..).collect();
-        for h in handles {
+        if let Some(h) = self.io.take() {
             let _ = h.join();
         }
         if let Ok(core) = Arc::try_unwrap(self.core) {
@@ -124,97 +166,305 @@ impl Server {
     }
 }
 
-/// What the writer thread emits, in request order.
+/// What a connection owes its client, in request order.
 enum Outgoing {
-    /// Already-encoded reply line.
-    Ready(String),
-    /// A ticket to wait on, then encode.
+    /// Already-encoded reply bytes.
+    Ready(Vec<u8>),
+    /// A ticket still in flight; encoded when it resolves.
     Infer(u64, Ticket),
 }
 
-fn connection(stream: TcpStream, core: &ServeCore, shutdown: &AtomicBool) {
-    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
-    let _ = stream.set_nodelay(true);
-    let writer_stream = match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    };
-    let (tx, rx) = mpsc::channel::<Outgoing>();
-    let writer = std::thread::Builder::new()
-        .name("tagnn-serve-conn-writer".into())
-        .spawn(move || write_loop(writer_stream, rx))
-        .expect("spawn connection writer");
-
-    read_loop(stream, core, shutdown, &tx);
-    drop(tx); // writer drains in-flight tickets, then exits
-    let _ = writer.join();
+struct Conn {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+    outgoing: VecDeque<Outgoing>,
+    /// Peer sent EOF or committed a fatal framing error: stop reading,
+    /// flush what is owed, then drop.
+    peer_closed: bool,
+    dead: bool,
 }
 
-fn read_loop(
-    mut stream: TcpStream,
-    core: &ServeCore,
-    shutdown: &AtomicBool,
-    tx: &mpsc::Sender<Outgoing>,
-) {
-    let mut buf = Vec::new();
-    let mut chunk = [0u8; 4096];
-    while !shutdown.load(Ordering::Relaxed) {
-        match stream.read(&mut chunk) {
-            Ok(0) => return, // client closed
-            Ok(n) => {
-                buf.extend_from_slice(&chunk[..n]);
-                while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
-                    let line: Vec<u8> = buf.drain(..=pos).collect();
-                    let line = String::from_utf8_lossy(&line[..line.len() - 1]);
-                    let line = line.trim();
-                    if line.is_empty() {
-                        continue;
-                    }
-                    if tx.send(handle_line(line, core)).is_err() {
-                        return; // writer gone (broken pipe)
-                    }
-                }
-            }
-            Err(e)
-                if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
-                    || e.kind() == ErrorKind::Interrupted =>
-            {
-                continue;
-            }
-            Err(_) => return,
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Self {
+            stream,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            outgoing: VecDeque::new(),
+            peer_closed: false,
+            dead: false,
         }
     }
 }
 
-fn handle_line(line: &str, core: &ServeCore) -> Outgoing {
-    match wire::parse_request(line) {
+fn encode_reply_bytes(fmt: WireFormat, id: u64, reply: &Reply) -> Vec<u8> {
+    match fmt {
+        WireFormat::Json => {
+            let mut s = wire::encode_reply(id, reply).into_bytes();
+            s.push(b'\n');
+            s
+        }
+        WireFormat::Binary => {
+            let mut b = Vec::new();
+            binwire::encode_reply(&mut b, id, reply);
+            b
+        }
+    }
+}
+
+fn encode_error_bytes(fmt: WireFormat, id: u64, err: &ServeError) -> Vec<u8> {
+    match fmt {
+        WireFormat::Json => {
+            let mut s = wire::encode_error(id, err).into_bytes();
+            s.push(b'\n');
+            s
+        }
+        WireFormat::Binary => {
+            let mut b = Vec::new();
+            binwire::encode_error(&mut b, id, err);
+            b
+        }
+    }
+}
+
+fn encode_stats_bytes(fmt: WireFormat, id: u64, s: &StatsView) -> Vec<u8> {
+    match fmt {
+        WireFormat::Json => {
+            let mut out = wire::encode_stats(id, s).into_bytes();
+            out.push(b'\n');
+            out
+        }
+        WireFormat::Binary => {
+            let mut b = Vec::new();
+            binwire::encode_stats(&mut b, id, s);
+            b
+        }
+    }
+}
+
+fn encode_pong_bytes(fmt: WireFormat, id: u64) -> Vec<u8> {
+    match fmt {
+        WireFormat::Json => {
+            let mut s = wire::encode_pong(id).into_bytes();
+            s.push(b'\n');
+            s
+        }
+        WireFormat::Binary => {
+            let mut b = Vec::new();
+            binwire::encode_pong(&mut b, id);
+            b
+        }
+    }
+}
+
+/// Turns one parsed request (or parse failure, which still carries the
+/// best-effort id) into the connection's next outgoing item.
+fn handle_request(
+    parsed: Result<WireRequest, (u64, ServeError)>,
+    core: &ServeCore,
+    fmt: WireFormat,
+) -> Outgoing {
+    match parsed {
         Ok(WireRequest::Infer { id, req }) => match core.submit(req) {
             Ok(ticket) => Outgoing::Infer(id, ticket),
-            Err(e) => Outgoing::Ready(wire::encode_error(id, &e)),
+            Err(e) => Outgoing::Ready(encode_error_bytes(fmt, id, &e)),
         },
-        Ok(WireRequest::Stats { id }) => Outgoing::Ready(wire::encode_stats(id, &stats_view(core))),
-        Ok(WireRequest::Ping { id }) => Outgoing::Ready(wire::encode_pong(id)),
-        // Requests too malformed to carry an id get id 0.
-        Err(e) => Outgoing::Ready(wire::encode_error(0, &e)),
+        Ok(WireRequest::Stats { id }) => {
+            Outgoing::Ready(encode_stats_bytes(fmt, id, &stats_view(core)))
+        }
+        Ok(WireRequest::Ping { id }) => Outgoing::Ready(encode_pong_bytes(fmt, id)),
+        Err((id, e)) => Outgoing::Ready(encode_error_bytes(fmt, id, &e)),
     }
 }
 
-fn write_loop(mut stream: TcpStream, rx: mpsc::Receiver<Outgoing>) {
-    for msg in rx {
-        let line = match msg {
-            Outgoing::Ready(s) => s,
-            Outgoing::Infer(id, ticket) => match ticket.wait() {
-                Ok(reply) => wire::encode_reply(id, &reply),
-                Err(e) => wire::encode_error(id, &e),
-            },
+/// Drains complete binary frames from the read buffer. A framing error
+/// (bad length/version — the byte stream is unrecoverable) answers with
+/// an error frame and closes after flushing.
+fn parse_binary(conn: &mut Conn, core: &ServeCore) {
+    loop {
+        let (out, consumed) = match binwire::try_decode_frame(&conn.rbuf) {
+            Ok(None) => return,
+            Ok(Some(frame)) => (
+                handle_request(binwire::decode_request(&frame), core, WireFormat::Binary),
+                frame.consumed,
+            ),
+            Err(e) => {
+                conn.outgoing.push_back(Outgoing::Ready(encode_error_bytes(
+                    WireFormat::Binary,
+                    0,
+                    &e,
+                )));
+                conn.rbuf.clear();
+                conn.peer_closed = true;
+                return;
+            }
         };
-        if stream
-            .write_all(line.as_bytes())
-            .and_then(|_| stream.write_all(b"\n"))
-            .is_err()
+        conn.rbuf.drain(..consumed);
+        conn.outgoing.push_back(out);
+    }
+}
+
+/// Drains complete JSON lines from the read buffer. Malformed lines are
+/// answered (with the best-effort id) and the connection survives.
+fn parse_json(conn: &mut Conn, core: &ServeCore) {
+    while let Some(pos) = conn.rbuf.iter().position(|&b| b == b'\n') {
+        let line: Vec<u8> = conn.rbuf.drain(..=pos).collect();
+        let line = String::from_utf8_lossy(&line[..line.len() - 1]);
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let out = handle_request(wire::parse_request(line), core, WireFormat::Json);
+        conn.outgoing.push_back(out);
+    }
+}
+
+/// One readiness pass over a connection. Returns whether any progress
+/// happened (bytes moved or a ticket resolved).
+fn service(conn: &mut Conn, core: &ServeCore, fmt: WireFormat) -> bool {
+    let mut progress = false;
+
+    // Read until WouldBlock, unless this connection is backpressured.
+    if !conn.peer_closed {
+        let mut chunk = [0u8; 16384];
+        while conn.outgoing.len() < MAX_INFLIGHT_PER_CONN
+            && conn.wbuf.len() < MAX_WRITE_BUFFER
+            && conn.rbuf.len() < MAX_READ_BUFFER
         {
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    conn.peer_closed = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.rbuf.extend_from_slice(&chunk[..n]);
+                    progress = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.dead = true;
+                    return true;
+                }
+            }
+        }
+        match fmt {
+            WireFormat::Binary => parse_binary(conn, core),
+            WireFormat::Json => parse_json(conn, core),
+        }
+    }
+
+    // Resolve finished tickets at the queue front — replies stay in
+    // request order; an unresolved ticket blocks those behind it.
+    while let Some(front) = conn.outgoing.front_mut() {
+        match front {
+            Outgoing::Ready(bytes) => {
+                conn.wbuf.append(bytes);
+                conn.outgoing.pop_front();
+                progress = true;
+            }
+            Outgoing::Infer(id, ticket) => match ticket.try_wait() {
+                None => break,
+                Some(result) => {
+                    let bytes = match result {
+                        Ok(reply) => encode_reply_bytes(fmt, *id, &reply),
+                        Err(e) => encode_error_bytes(fmt, *id, &e),
+                    };
+                    conn.wbuf.extend_from_slice(&bytes);
+                    conn.outgoing.pop_front();
+                    progress = true;
+                }
+            },
+        }
+    }
+
+    // Flush as much as the socket accepts.
+    while !conn.wbuf.is_empty() {
+        match conn.stream.write(&conn.wbuf) {
+            Ok(0) => {
+                conn.dead = true;
+                return true;
+            }
+            Ok(n) => {
+                conn.wbuf.drain(..n);
+                progress = true;
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+                return true;
+            }
+        }
+    }
+
+    if conn.peer_closed && conn.outgoing.is_empty() && conn.wbuf.is_empty() {
+        conn.dead = true;
+        progress = true;
+    }
+    progress
+}
+
+fn event_loop(
+    listener: &TcpListener,
+    core: &ServeCore,
+    shutdown: &AtomicBool,
+    active: &AtomicUsize,
+    fmt: WireFormat,
+) {
+    let mut conns: Vec<Conn> = Vec::new();
+    loop {
+        if shutdown.load(Ordering::Relaxed) {
+            drain_on_shutdown(conns, fmt);
+            active.store(0, Ordering::Relaxed);
             return;
         }
+        let mut progress = false;
+
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = stream.set_nonblocking(true);
+                    let _ = stream.set_nodelay(true);
+                    conns.push(Conn::new(stream));
+                    progress = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+
+        for conn in &mut conns {
+            progress |= service(conn, core, fmt);
+        }
+        conns.retain(|c| !c.dead);
+        active.store(conns.len(), Ordering::Relaxed);
+
+        if !progress {
+            std::thread::sleep(IDLE_SLEEP);
+        }
+    }
+}
+
+/// On shutdown, every connection's in-flight tickets still complete:
+/// wait them out, encode, and push the bytes with blocking writes so no
+/// accepted request vanishes without a reply.
+fn drain_on_shutdown(conns: Vec<Conn>, fmt: WireFormat) {
+    for mut conn in conns {
+        let _ = conn.stream.set_nonblocking(false);
+        while let Some(out) = conn.outgoing.pop_front() {
+            let bytes = match out {
+                Outgoing::Ready(b) => b,
+                Outgoing::Infer(id, ticket) => match ticket.wait() {
+                    Ok(reply) => encode_reply_bytes(fmt, id, &reply),
+                    Err(e) => encode_error_bytes(fmt, id, &e),
+                },
+            };
+            conn.wbuf.extend_from_slice(&bytes);
+        }
+        let _ = conn.stream.write_all(&conn.wbuf);
     }
 }
 
@@ -226,62 +476,160 @@ mod tests {
     use crate::event::EdgeEvent;
     use std::io::{BufRead, BufReader};
 
-    fn send_line(stream: &mut TcpStream, line: &str) {
-        stream.write_all(line.as_bytes()).unwrap();
-        stream.write_all(b"\n").unwrap();
+    /// Blocking client-side frame reader. Pipelined replies can coalesce
+    /// into one TCP segment, so leftover bytes carry across calls.
+    struct FrameReader {
+        buf: Vec<u8>,
+    }
+
+    impl FrameReader {
+        fn new() -> Self {
+            FrameReader { buf: Vec::new() }
+        }
+
+        fn next(&mut self, stream: &mut TcpStream) -> (u8, u64, Vec<u8>) {
+            let mut chunk = [0u8; 4096];
+            loop {
+                if let Some(frame) = binwire::try_decode_frame(&self.buf).expect("well-formed") {
+                    let out = (frame.kind, frame.id, frame.body.to_vec());
+                    self.buf.drain(..frame.consumed);
+                    return out;
+                }
+                let n = stream.read(&mut chunk).expect("server open");
+                assert!(n > 0, "server closed mid-frame");
+                self.buf.extend_from_slice(&chunk[..n]);
+            }
+        }
+    }
+
+    fn read_frame(stream: &mut TcpStream) -> (u8, u64, Vec<u8>) {
+        FrameReader::new().next(stream)
     }
 
     #[test]
-    fn ping_stats_and_infer_over_loopback() {
+    fn binary_ping_stats_infer_over_loopback() {
         let core = ServeCore::start(ServeConfig::default());
         let server = Server::bind(core, "127.0.0.1:0").unwrap();
+        assert_eq!(server.wire_format(), WireFormat::Binary);
         let addr = server.local_addr();
 
         let mut conn = TcpStream::connect(addr).unwrap();
+        let mut out = Vec::new();
+        binwire::encode_ping(&mut out, 1);
+        conn.write_all(&out).unwrap();
+        let (kind, id, _) = read_frame(&mut conn);
+        assert_eq!((kind, id), (binwire::kind::PONG, 1));
+
+        // Two ticks on K=4: events accumulate, no window yet.
+        let events = [EdgeEvent::AddEdge { src: 0, dst: 1 }, EdgeEvent::Tick];
+        let mut out = Vec::new();
+        binwire::encode_infer(&mut out, 2, 0, &events, false);
+        conn.write_all(&out).unwrap();
+        let (kind, id, body) = read_frame(&mut conn);
+        assert_eq!((kind, id), (binwire::kind::INFER_REPLY, 2));
+        let reply = binwire::decode_reply(&body).unwrap();
+        assert_eq!(reply.accepted_events, 2);
+        assert!(reply.windows.is_empty());
+
+        // Flush seals the tail into a window.
+        let mut out = Vec::new();
+        binwire::encode_infer(&mut out, 3, 0, &[EdgeEvent::Tick], true);
+        conn.write_all(&out).unwrap();
+        let (_, _, body) = read_frame(&mut conn);
+        let reply = binwire::decode_reply(&body).unwrap();
+        assert_eq!(reply.windows.len(), 1);
+        assert_eq!(reply.windows[0].snapshots, 2);
+
+        let mut out = Vec::new();
+        binwire::encode_stats_request(&mut out, 4);
+        conn.write_all(&out).unwrap();
+        let (kind, _, body) = read_frame(&mut conn);
+        assert_eq!(kind, binwire::kind::STATS_REPLY);
+        let stats = binwire::decode_stats(&body).unwrap();
+        assert_eq!(
+            stats.shard_routed.len(),
+            server.core().config().shards,
+            "stats must expose per-shard counters"
+        );
+
+        drop(conn);
+        server.shutdown();
+    }
+
+    #[test]
+    fn binary_pipelined_requests_reply_in_order() {
+        let core = ServeCore::start(ServeConfig::default());
+        let server = Server::bind(core, "127.0.0.1:0").unwrap();
+        let mut conn = TcpStream::connect(server.local_addr()).unwrap();
+
+        // Fire an infer and two pings back to back without reading.
+        let mut out = Vec::new();
+        binwire::encode_infer(&mut out, 10, 0, &[EdgeEvent::Tick], false);
+        binwire::encode_ping(&mut out, 11);
+        binwire::encode_ping(&mut out, 12);
+        conn.write_all(&out).unwrap();
+        let mut reader = FrameReader::new();
+        let ids: Vec<u64> = (0..3).map(|_| reader.next(&mut conn).1).collect();
+        assert_eq!(ids, vec![10, 11, 12], "replies must keep request order");
+        drop(conn);
+        server.shutdown();
+    }
+
+    #[test]
+    fn binary_framing_error_answers_then_closes() {
+        let core = ServeCore::start(ServeConfig::default());
+        let server = Server::bind(core, "127.0.0.1:0").unwrap();
+        let mut conn = TcpStream::connect(server.local_addr()).unwrap();
+        // A frame with a stomped version byte: unrecoverable framing.
+        let mut out = Vec::new();
+        binwire::encode_ping(&mut out, 1);
+        out[4] = 99;
+        conn.write_all(&out).unwrap();
+        let (kind, _, body) = read_frame(&mut conn);
+        assert_eq!(kind, binwire::kind::ERROR);
+        let (code, _) = binwire::decode_error(&body).unwrap();
+        assert_eq!(code, "protocol");
+        // ...and the server hangs up.
+        let mut rest = Vec::new();
+        conn.read_to_end(&mut rest).unwrap();
+        assert!(rest.is_empty());
+        server.shutdown();
+    }
+
+    #[test]
+    fn json_mode_still_speaks_lines() {
+        let core = ServeCore::start(ServeConfig::default());
+        let server = Server::bind_with(core, "127.0.0.1:0", WireFormat::Json).unwrap();
+        let mut conn = TcpStream::connect(server.local_addr()).unwrap();
         let mut reader = BufReader::new(conn.try_clone().unwrap());
         let mut line = String::new();
 
-        send_line(&mut conn, r#"{"id":1,"type":"ping"}"#);
+        conn.write_all(b"{\"id\":1,\"type\":\"ping\"}\n").unwrap();
         reader.read_line(&mut line).unwrap();
         assert!(line.contains("\"pong\":true"), "got {line}");
 
-        // Two ticks on K=4: events accumulate, no window yet.
+        // Malformed line yields a typed protocol error; connection lives,
+        // and a parseable id on an invalid body is echoed back.
         line.clear();
-        let events = [EdgeEvent::AddEdge { src: 0, dst: 1 }, EdgeEvent::Tick];
-        send_line(&mut conn, &wire::encode_infer(2, 0, &events, false));
-        reader.read_line(&mut line).unwrap();
-        let doc = crate::json::parse(line.trim()).unwrap();
-        assert_eq!(doc.get("ok").unwrap().as_bool(), Some(true));
-        assert_eq!(doc.get("accepted").unwrap().as_u64(), Some(2));
-        assert!(doc.get("windows").unwrap().as_array().unwrap().is_empty());
-
-        // Flush seals the tail into a window.
-        line.clear();
-        send_line(
-            &mut conn,
-            &wire::encode_infer(3, 0, &[EdgeEvent::Tick], true),
-        );
-        reader.read_line(&mut line).unwrap();
-        let doc = crate::json::parse(line.trim()).unwrap();
-        let windows = doc.get("windows").unwrap().as_array().unwrap();
-        assert_eq!(windows.len(), 1);
-        assert_eq!(windows[0].get("snapshots").unwrap().as_u64(), Some(2));
-
-        line.clear();
-        send_line(&mut conn, r#"{"id":4,"type":"stats"}"#);
-        reader.read_line(&mut line).unwrap();
-        let doc = crate::json::parse(line.trim()).unwrap();
-        assert!(doc.get("cache").is_some(), "got {line}");
-
-        // Malformed line yields a typed protocol error, connection lives.
-        line.clear();
-        send_line(&mut conn, "this is not json");
+        conn.write_all(b"this is not json\n").unwrap();
         reader.read_line(&mut line).unwrap();
         let doc = crate::json::parse(line.trim()).unwrap();
         assert_eq!(doc.get("error").unwrap().as_str(), Some("protocol"));
+        assert_eq!(doc.get("id").unwrap().as_u64(), Some(0));
 
         line.clear();
-        send_line(&mut conn, r#"{"id":5,"type":"ping"}"#);
+        conn.write_all(b"{\"id\":42,\"type\":\"infer\"}\n").unwrap();
+        reader.read_line(&mut line).unwrap();
+        let doc = crate::json::parse(line.trim()).unwrap();
+        assert_eq!(doc.get("error").unwrap().as_str(), Some("protocol"));
+        assert_eq!(
+            doc.get("id").unwrap().as_u64(),
+            Some(42),
+            "body errors must echo the request id"
+        );
+
+        line.clear();
+        conn.write_all(b"{\"id\":5,\"type\":\"ping\"}\n").unwrap();
         reader.read_line(&mut line).unwrap();
         assert!(line.contains("\"pong\""), "connection must survive");
 
@@ -305,6 +653,37 @@ mod tests {
             .wait()
             .unwrap();
         assert_eq!(reply.accepted_events, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn many_short_connections_leave_no_residue() {
+        // Regression for the connection-handle leak: the old frontend
+        // pushed one JoinHandle per connection into a vec it never
+        // drained, so every past connection cost memory until shutdown.
+        // The event loop tracks only live connections.
+        let core = ServeCore::start(ServeConfig::default());
+        let server = Server::bind(core, "127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        for i in 0..100u64 {
+            let mut conn = TcpStream::connect(addr).unwrap();
+            let mut out = Vec::new();
+            binwire::encode_ping(&mut out, i);
+            conn.write_all(&out).unwrap();
+            let (kind, id, _) = read_frame(&mut conn);
+            assert_eq!((kind, id), (binwire::kind::PONG, i));
+        }
+        // All 100 connections are closed; the loop must notice and drop
+        // them (bounded state), even though no new connection arrives.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while server.active_connections() > 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "stale connections: {}",
+                server.active_connections()
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
         server.shutdown();
     }
 }

@@ -102,10 +102,22 @@ fn parse_event(v: &Value) -> Result<EdgeEvent, ServeError> {
     }
 }
 
-/// Parses one request line.
-pub fn parse_request(line: &str) -> Result<WireRequest, ServeError> {
-    let doc = json::parse(line).map_err(ServeError::Protocol)?;
-    let id = field_u64(&doc, "id")?;
+/// Parses one request line. Errors carry the best-effort request id —
+/// whenever the line is valid JSON with a parseable `id`, a later body
+/// error still echoes that id, so the client can correlate the failure
+/// with the request it sent (id 0 only when no id could be recovered).
+pub fn parse_request(line: &str) -> Result<WireRequest, (u64, ServeError)> {
+    let doc = match json::parse(line) {
+        Ok(doc) => doc,
+        Err(e) => return Err((0, ServeError::Protocol(e))),
+    };
+    // Best-effort id extraction before any body validation.
+    let id = doc.get("id").and_then(Value::as_u64).unwrap_or(0);
+    parse_request_body(&doc, id).map_err(|e| (id, e))
+}
+
+fn parse_request_body(doc: &Value, id: u64) -> Result<WireRequest, ServeError> {
+    field_u64(doc, "id")?; // still required, even though pre-extracted
     let kind = doc.get("type").and_then(Value::as_str).unwrap_or("infer");
     match kind {
         "infer" => {
@@ -119,7 +131,7 @@ pub fn parse_request(line: &str) -> Result<WireRequest, ServeError> {
             Ok(WireRequest::Infer {
                 id,
                 req: InferRequest {
-                    stream: field_u64(&doc, "stream")?,
+                    stream: field_u64(doc, "stream")?,
                     events,
                     flush: doc.get("flush").and_then(Value::as_bool).unwrap_or(false),
                 },
@@ -233,7 +245,7 @@ pub fn encode_pong(id: u64) -> String {
 }
 
 /// A point-in-time counter view encoded by stats replies.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct StatsView {
     /// Admission-queue depth now.
     pub queue_depth: usize,
@@ -257,15 +269,33 @@ pub struct StatsView {
     pub plan_incremental: u64,
     /// Incremental-planning fallbacks since boot.
     pub plan_fallbacks: u64,
+    /// Events routed to each shard's ingest lane since boot.
+    pub shard_routed: Vec<u64>,
+    /// Current per-shard window-queue depths.
+    pub shard_queue_depths: Vec<usize>,
+    /// Sealed edge events spanning two shards since boot.
+    pub cross_shard_edges: u64,
+}
+
+fn write_u64_array<T: std::fmt::Display>(out: &mut String, xs: &[T]) {
+    out.push('[');
+    for (i, x) in xs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{x}");
+    }
+    out.push(']');
 }
 
 /// Encodes a stats reply.
 pub fn encode_stats(id: u64, s: &StatsView) -> String {
-    format!(
+    let mut out = format!(
         concat!(
             r#"{{"id":{},"ok":true,"queue_depth":{},"shed":{},"degrade_level":{},"#,
             r#""max_degrade_level":{},"cache":{{"hits":{},"misses":{},"evictions":{}}},"#,
-            r#""plan":{{"scratch":{},"cached":{},"incremental":{},"fallbacks":{}}}}}"#
+            r#""plan":{{"scratch":{},"cached":{},"incremental":{},"fallbacks":{}}},"#,
+            r#""shards":{{"count":{},"cross_seal_edges":{},"routed":"#
         ),
         id,
         s.queue_depth,
@@ -278,8 +308,15 @@ pub fn encode_stats(id: u64, s: &StatsView) -> String {
         s.plan_scratch,
         s.plan_cached,
         s.plan_incremental,
-        s.plan_fallbacks
-    )
+        s.plan_fallbacks,
+        s.shard_routed.len(),
+        s.cross_shard_edges,
+    );
+    write_u64_array(&mut out, &s.shard_routed);
+    out.push_str(",\"queue_depths\":");
+    write_u64_array(&mut out, &s.shard_queue_depths);
+    out.push_str("}}");
+    out
 }
 
 #[cfg(test)]
@@ -332,7 +369,27 @@ mod tests {
             r#"{"id":1,"stream":0,"events":[{"op":"add_edge","src":0}]}"#, // no dst
         ] {
             match parse_request(line) {
-                Err(ServeError::Protocol(_)) => {}
+                Err((_, ServeError::Protocol(_))) => {}
+                other => panic!("{line}: expected protocol error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn body_errors_keep_the_parseable_id() {
+        // A request with a valid id but an invalid body must be answered
+        // under *its* id, not id 0, or the client mis-correlates replies.
+        for (line, want_id) in [
+            (r#"{"id":42,"type":"infer"}"#, 42),                 // no events
+            (r#"{"id":7,"type":"bogus"}"#, 7),                   // bad type
+            (r#"{"id":9,"stream":0,"events":[{"op":"?"}]}"#, 9), // bad op
+            (r#"{"type":"infer"}"#, 0),                          // truly no id
+            ("not json", 0),                                     // unparseable
+        ] {
+            match parse_request(line) {
+                Err((id, ServeError::Protocol(_))) => {
+                    assert_eq!(id, want_id, "line {line}")
+                }
                 other => panic!("{line}: expected protocol error, got {other:?}"),
             }
         }

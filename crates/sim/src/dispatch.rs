@@ -52,6 +52,34 @@ pub fn balanced(work_items: &[u64], units: usize) -> DispatchReport {
     report(&loads)
 }
 
+/// Degree-balanced (LPT greedy) dispatch that returns the per-item unit
+/// assignment instead of the aggregate report: `result[i]` is the unit
+/// item `i` landed on. Deterministic — ties in weight break toward the
+/// lower item index and ties in load toward the lower unit index — so
+/// the same weights always produce the same assignment table. The serve
+/// layer reuses this to build degree-balanced vertex→shard tables.
+///
+/// # Panics
+/// Panics if `units == 0`.
+pub fn balanced_assign(work_items: &[u64], units: usize) -> Vec<usize> {
+    assert!(units > 0, "need at least one unit");
+    let mut order: Vec<usize> = (0..work_items.len()).collect();
+    order.sort_by(|&a, &b| work_items[b].cmp(&work_items[a]).then(a.cmp(&b)));
+    let mut loads = vec![0u64; units];
+    let mut assignment = vec![0usize; work_items.len()];
+    for i in order {
+        let unit = loads
+            .iter()
+            .enumerate()
+            .min_by_key(|&(idx, &load)| (load, idx))
+            .map(|(idx, _)| idx)
+            .expect("at least one unit");
+        assignment[i] = unit;
+        loads[unit] += work_items[i];
+    }
+    assignment
+}
+
 /// Naive round-robin dispatch in arrival order.
 ///
 /// # Panics
@@ -125,5 +153,37 @@ mod tests {
     #[should_panic(expected = "at least one unit")]
     fn rejects_zero_units() {
         let _ = balanced(&[1], 0);
+    }
+
+    #[test]
+    fn assign_matches_balanced_makespan() {
+        let items = vec![1000u64, 10, 10, 10, 900, 10, 10, 800, 10, 10];
+        let units = 3;
+        let assignment = balanced_assign(&items, units);
+        assert_eq!(assignment.len(), items.len());
+        let mut loads = vec![0u64; units];
+        for (i, &u) in assignment.iter().enumerate() {
+            assert!(u < units);
+            loads[u] += items[i];
+        }
+        let makespan = loads.iter().copied().max().unwrap();
+        assert_eq!(makespan, balanced(&items, units).makespan);
+    }
+
+    #[test]
+    fn assign_is_deterministic() {
+        let items: Vec<u64> = (0..64).map(|i| (i * 37 + 11) % 19).collect();
+        let a = balanced_assign(&items, 4);
+        let b = balanced_assign(&items, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn assign_spreads_hubs_across_units() {
+        // Four equal hubs over four units must land on distinct units.
+        let items = vec![100u64, 100, 100, 100];
+        let mut assignment = balanced_assign(&items, 4);
+        assignment.sort_unstable();
+        assert_eq!(assignment, vec![0, 1, 2, 3]);
     }
 }

@@ -149,7 +149,7 @@ fn serve_core_replay_matches_offline_digests_and_macs() {
 fn concurrent_streams_are_deterministic_and_share_plans() {
     let g = graph();
     let mut cfg = serve_config(&g);
-    cfg.workers = 3;
+    cfg.shards = 3;
     // Force the cache/scratch path: incrementally sealed plans never
     // consult the shared cache.
     cfg.incremental_planning = false;
@@ -198,7 +198,7 @@ fn overload_sheds_with_typed_error_and_recovers() {
     let g = graph();
     let mut cfg = serve_config(&g);
     cfg.queue_capacity = 2;
-    cfg.workers = 1;
+    cfg.shards = 1;
     cfg.max_batch = 1;
     cfg.max_delay_us = 50;
     let core = ServeCore::start(cfg);
@@ -289,12 +289,70 @@ fn malformed_events_get_typed_rejections() {
     core.shutdown();
 }
 
-/// Wire round-trip over loopback TCP: the served digests seen by a real
-/// client match the offline run exactly (hex-string digests survive JSON).
+/// Served results must be bit-identical for ANY shard count: the vertex
+/// universe partitions across N ingest lanes, but the arrival-ordered
+/// seal merge reconstructs the exact single-engine event order.
+#[test]
+fn served_results_are_shard_count_invariant() {
+    let g = graph();
+    let offline = engine(&g).run(&g);
+    let offline_digests: Vec<u64> = offline
+        .final_features
+        .chunks(WINDOW)
+        .map(digest_matrices)
+        .collect();
+    let offline_macs =
+        offline.stats.gnn_aggregate_macs + offline.stats.gnn_combine_macs + offline.stats.rnn_macs;
+
+    for shards in [1usize, 2, 4, 8] {
+        let mut cfg = serve_config(&g);
+        cfg.shards = shards;
+        let core = ServeCore::start(cfg);
+        let per_snapshot = events_from_graph(&g);
+        let total = per_snapshot.len();
+        let mut served = Vec::new();
+        for (i, events) in per_snapshot.into_iter().enumerate() {
+            let reply = core
+                .submit(InferRequest {
+                    stream: 0,
+                    events,
+                    flush: i + 1 == total,
+                })
+                .expect("no backlog in a closed loop")
+                .wait()
+                .expect("canonical trace is valid");
+            served.extend(reply.windows);
+        }
+        let stats = core.shard_stats();
+        core.shutdown();
+
+        let digests: Vec<u64> = served.iter().map(|w| w.digest).collect();
+        assert_eq!(
+            digests, offline_digests,
+            "{shards} shards: served digests must match the single-engine run"
+        );
+        let macs: u64 = served.iter().map(|w| w.macs).sum();
+        assert_eq!(macs, offline_macs, "{shards} shards: MAC totals must match");
+        assert_eq!(stats.routed.len(), shards);
+        assert!(stats.routed.iter().sum::<u64>() > 0);
+        if shards == 1 {
+            assert_eq!(stats.cross_shard_edges, 0);
+        } else {
+            assert!(
+                stats.cross_shard_edges > 0,
+                "384 hashed edges over {shards} shards must cross somewhere"
+            );
+        }
+    }
+}
+
+/// Binary wire round-trip over loopback TCP: the served digests seen by
+/// a real client over the default length-prefixed protocol match the
+/// offline run exactly (digests travel as raw u64, no precision loss).
 #[test]
 fn tcp_frontend_round_trips_offline_digests() {
-    use std::io::{BufRead, BufReader, Write};
-    use tagnn_serve::wire;
+    use std::io::{Read, Write};
+    use tagnn_serve::binwire;
 
     let g = graph();
     let offline = engine(&g).run(&g);
@@ -306,6 +364,59 @@ fn tcp_frontend_round_trips_offline_digests() {
 
     let server =
         tagnn_serve::Server::bind(ServeCore::start(serve_config(&g)), "127.0.0.1:0").unwrap();
+    let mut conn = std::net::TcpStream::connect(server.local_addr()).unwrap();
+
+    let read_reply = |conn: &mut std::net::TcpStream| {
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let Some(frame) = binwire::try_decode_frame(&buf).expect("well-formed reply") {
+                assert_eq!(frame.kind, binwire::kind::INFER_REPLY);
+                return binwire::decode_reply(frame.body).expect("valid reply body");
+            }
+            let n = conn.read(&mut chunk).expect("server open");
+            assert!(n > 0, "server closed mid-frame");
+            buf.extend_from_slice(&chunk[..n]);
+        }
+    };
+
+    let per_snapshot = events_from_graph(&g);
+    let total = per_snapshot.len();
+    let mut digests = Vec::new();
+    for (i, events) in per_snapshot.iter().enumerate() {
+        let mut out = Vec::new();
+        binwire::encode_infer(&mut out, i as u64, 0, events, i + 1 == total);
+        conn.write_all(&out).unwrap();
+        let reply = read_reply(&mut conn);
+        assert_eq!(reply.accepted_events, events.len());
+        digests.extend(reply.windows.iter().map(|w| w.digest));
+    }
+    assert_eq!(digests, offline_digests, "wire digests must match offline");
+    drop(conn);
+    server.shutdown();
+}
+
+/// The JSON-lines debug protocol (behind `--wire json`) still round-trips
+/// the same digests — hex-string digests survive JSON's 53-bit numbers.
+#[test]
+fn json_debug_frontend_round_trips_offline_digests() {
+    use std::io::{BufRead, BufReader, Write};
+    use tagnn_serve::wire;
+
+    let g = graph();
+    let offline = engine(&g).run(&g);
+    let offline_digests: Vec<u64> = offline
+        .final_features
+        .chunks(WINDOW)
+        .map(digest_matrices)
+        .collect();
+
+    let server = tagnn_serve::Server::bind_with(
+        ServeCore::start(serve_config(&g)),
+        "127.0.0.1:0",
+        tagnn_serve::WireFormat::Json,
+    )
+    .unwrap();
     let mut conn = std::net::TcpStream::connect(server.local_addr()).unwrap();
     let mut reader = BufReader::new(conn.try_clone().unwrap());
 

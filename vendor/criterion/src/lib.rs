@@ -1,0 +1,215 @@
+//! Vendored stand-in for `criterion` (no crates.io route in the build
+//! container). Implements the subset the repo's benches use —
+//! `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `sample_size`, `BenchmarkId`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros — with a simple
+//! median-of-samples timer instead of criterion's statistics engine.
+//!
+//! `cargo bench -- --test` (what CI runs) executes each benchmark body
+//! once for correctness without timing loops.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Label for a benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Things accepted as a benchmark name: `&str` / `String` / `BenchmarkId`.
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the payload.
+pub struct Bencher<'a> {
+    samples: usize,
+    test_mode: bool,
+    result_line: &'a mut Option<String>,
+}
+
+impl<'a> Bencher<'a> {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            *self.result_line = Some("test-mode: ran once".to_string());
+            return;
+        }
+        // Warm-up.
+        black_box(routine());
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            times.push(start.elapsed());
+        }
+        times.sort();
+        let median = times[times.len() / 2];
+        let total: Duration = times.iter().sum();
+        let mean = total / times.len() as u32;
+        *self.result_line = Some(format!(
+            "median {median:?}  mean {mean:?}  ({} samples)",
+            times.len()
+        ));
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    test_mode: bool,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.clamp(2, 1000);
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        let mut line = None;
+        let mut bencher = Bencher {
+            // Keep wall-clock reasonable: criterion amortises over many
+            // iterations; we cap the direct sample count instead.
+            samples: self.samples.min(20),
+            test_mode: self.test_mode,
+            result_line: &mut line,
+        };
+        f(&mut bencher);
+        println!(
+            "bench {}/{}: {}",
+            self.name,
+            id,
+            line.unwrap_or_else(|| "no measurement (iter not called)".to_string())
+        );
+    }
+
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        self.run(id.into_id(), f);
+        self
+    }
+
+    pub fn bench_with_input<I: IntoBenchmarkId, P: ?Sized, F: FnMut(&mut Bencher, &P)>(
+        &mut self,
+        id: I,
+        input: &P,
+        mut f: F,
+    ) -> &mut Self {
+        self.run(id.into_id(), |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Entry point handed to benchmark functions.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- --test` asks for a correctness pass only.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let test_mode = self.test_mode;
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 10,
+            test_mode,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let mut group = self.benchmark_group(name.to_string());
+        group.bench_function("bench", f);
+        group.finish();
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo(c: &mut Criterion) {
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(4);
+        group.bench_function("sum", |b| b.iter(|| (0u64..100).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::from_parameter(8), &8u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, demo);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

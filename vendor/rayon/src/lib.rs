@@ -1,0 +1,123 @@
+//! Vendored stand-in for `rayon` (no crates.io route in the build
+//! container): the `par_*` entry points return ordinary sequential
+//! `std` iterators, so every downstream adapter (`map`, `zip`,
+//! `enumerate`, `for_each`, `sum`, `collect`, ...) works unchanged.
+//!
+//! Semantics note: results are identical to rayon's for the pure
+//! element-wise usage in this repo (independent writes per element /
+//! chunk); only the parallel speedup is absent. `current_num_threads`
+//! honestly reports 1.
+
+pub mod prelude {
+    pub use super::{IntoParallelIterator, ParallelSliceExt};
+}
+
+/// `into_par_iter()` for any owned iterable (vecs, ranges, ...).
+pub trait IntoParallelIterator {
+    type Item;
+    type Iter: Iterator<Item = Self::Item>;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Item = I::Item;
+    type Iter = I::IntoIter;
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// `par_iter` / `par_iter_mut` / `par_chunks_exact_mut` on slices
+/// (and, via deref, `Vec`).
+pub trait ParallelSliceExt<T> {
+    fn par_iter(&self) -> std::slice::Iter<'_, T>;
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+    fn par_chunks_exact_mut(&mut self, chunk_size: usize) -> std::slice::ChunksExactMut<'_, T>;
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+}
+
+impl<T> ParallelSliceExt<T> for [T] {
+    fn par_iter(&self) -> std::slice::Iter<'_, T> {
+        self.iter()
+    }
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.iter_mut()
+    }
+    fn par_chunks_exact_mut(&mut self, chunk_size: usize) -> std::slice::ChunksExactMut<'_, T> {
+        self.chunks_exact_mut(chunk_size)
+    }
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+        self.chunks_mut(chunk_size)
+    }
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+        self.chunks(chunk_size)
+    }
+}
+
+/// Error from [`ThreadPoolBuilder::build_global`]; never produced by
+/// the sequential fallback but kept for signature parity.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(pub &'static str);
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Accepts the configuration calls and ignores them — execution is
+/// sequential in this vendored build.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    _threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self._threads = Some(n);
+        self
+    }
+
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        Ok(())
+    }
+}
+
+/// The sequential fallback always runs on the calling thread.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_surface_matches_sequential_results() {
+        let v = [1u64, 2, 3, 4];
+        let doubled: Vec<u64> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+
+        let mut w = vec![0u32; 6];
+        w.par_iter_mut()
+            .enumerate()
+            .for_each(|(i, x)| *x = i as u32);
+        assert_eq!(w, vec![0, 1, 2, 3, 4, 5]);
+
+        let mut m = vec![0f32; 6];
+        m.par_chunks_exact_mut(3)
+            .enumerate()
+            .for_each(|(row, chunk)| chunk.iter_mut().for_each(|c| *c = row as f32));
+        assert_eq!(m, vec![0.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+
+        let total: u64 = (0u64..10).into_par_iter().sum();
+        assert_eq!(total, 45);
+    }
+}

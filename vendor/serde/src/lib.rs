@@ -1,0 +1,519 @@
+//! Vendored stand-in for `serde`, built around a JSON-shaped content
+//! model instead of serde's visitor architecture.
+//!
+//! The build container has no route to a crates.io mirror, so the
+//! workspace vendors the external crates it uses. This crate keeps the
+//! public *names* the codebase imports (`serde::Serialize`,
+//! `serde::Deserialize`, `serde::de::DeserializeOwned`,
+//! `serde::Serializer`) but implements them over [`Content`], a small
+//! owned JSON value. `serde_json` (also vendored) renders/parses
+//! `Content` to text.
+//!
+//! Supported data shapes mirror what the repo derives: named-field
+//! structs, externally-tagged enums with unit/struct variants,
+//! primitives, `String`, `Vec`, `Option`, tuples up to 3, and maps with
+//! `String` keys.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+
+/// An owned JSON-shaped value: the interchange format between derived
+/// impls and `serde_json`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    /// Insertion-ordered map (JSON objects preserve field order).
+    Map(Vec<(String, Content)>),
+}
+
+static NULL: Content = Content::Null;
+
+impl Content {
+    /// Map lookup by key (None for non-maps and missing keys).
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        match self {
+            Content::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Content::F64(x) => Some(*x),
+            Content::I64(x) => Some(*x as f64),
+            Content::U64(x) => Some(*x as f64),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Content::U64(x) => Some(*x),
+            Content::I64(x) if *x >= 0 => Some(*x as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Content::I64(x) => Some(*x),
+            Content::U64(x) if *x <= i64::MAX as u64 => Some(*x as i64),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Content::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Content>> {
+        match self {
+            Content::Seq(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Content::Null)
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::I64(_) | Content::U64(_) | Content::F64(_) => "number",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "array",
+            Content::Map(_) => "object",
+        }
+    }
+}
+
+/// `value["key"]` indexing, returning `Null` for misses like serde_json.
+impl std::ops::Index<&str> for Content {
+    type Output = Content;
+    fn index(&self, key: &str) -> &Content {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Content {
+    type Output = Content;
+    fn index(&self, idx: usize) -> &Content {
+        match self {
+            Content::Seq(v) => v.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<&str> for Content {
+    fn eq(&self, other: &&str) -> bool {
+        matches!(self, Content::Str(s) if s == other)
+    }
+}
+
+impl PartialEq<str> for Content {
+    fn eq(&self, other: &str) -> bool {
+        matches!(self, Content::Str(s) if s == other)
+    }
+}
+
+/// Deserialization error: a message plus a breadcrumb of what was found.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl DeError {
+    pub fn custom(msg: impl std::fmt::Display) -> Self {
+        DeError(msg.to_string())
+    }
+
+    pub fn missing_field(ty: &str, field: &str) -> Self {
+        DeError(format!("missing field `{field}` for `{ty}`"))
+    }
+
+    pub fn unknown_variant(ty: &str, variant: &str) -> Self {
+        DeError(format!("unknown variant `{variant}` for enum `{ty}`"))
+    }
+
+    pub fn invalid_type(expected: &str, found: &Content) -> Self {
+        DeError(format!(
+            "invalid type: expected {expected}, found {}",
+            found.kind()
+        ))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Converts a value to [`Content`]. The derive macro targets this trait.
+pub trait Serialize {
+    fn to_content(&self) -> Content;
+}
+
+/// Rebuilds a value from [`Content`]. The derive macro targets this trait.
+pub trait Deserialize: Sized {
+    fn from_content(c: &Content) -> Result<Self, DeError>;
+}
+
+pub mod de {
+    //! Mirror of `serde::de` for the `DeserializeOwned` bound.
+    pub use super::DeError as Error;
+
+    /// All our `Deserialize` impls produce owned values, so this is a
+    /// blanket alias.
+    pub trait DeserializeOwned: super::Deserialize {}
+    impl<T: super::Deserialize> DeserializeOwned for T {}
+}
+
+/// Minimal `Serializer` surface for `#[serde(serialize_with = "...")]`
+/// helper functions (`fn f<S: serde::Serializer>(&T, S) -> Result<S::Ok, S::Error>`).
+pub trait Serializer {
+    type Ok;
+    type Error;
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+}
+
+/// The serializer the derive macro hands to `serialize_with` functions.
+pub struct ContentSerializer;
+
+impl Serializer for ContentSerializer {
+    type Ok = Content;
+    type Error = std::convert::Infallible;
+    fn serialize_str(self, v: &str) -> Result<Content, Self::Error> {
+        Ok(Content::Str(v.to_string()))
+    }
+    fn serialize_f64(self, v: f64) -> Result<Content, Self::Error> {
+        Ok(Content::F64(v))
+    }
+    fn serialize_u64(self, v: u64) -> Result<Content, Self::Error> {
+        Ok(Content::U64(v))
+    }
+    fn serialize_bool(self, v: bool) -> Result<Content, Self::Error> {
+        Ok(Content::Bool(v))
+    }
+}
+
+/// Derive-macro helper: extract and deserialize struct field `name`.
+pub fn field<T: Deserialize>(c: &Content, name: &str) -> Result<T, DeError> {
+    match c.get(name) {
+        Some(v) => T::from_content(v).map_err(|e| DeError(format!("field `{name}`: {}", e.0))),
+        None => Err(DeError::missing_field("struct", name)),
+    }
+}
+
+/// Derive-macro helper for `#[serde(default)]` fields.
+pub fn field_or_default<T: Deserialize + Default>(c: &Content, name: &str) -> Result<T, DeError> {
+    match c.get(name) {
+        Some(v) => T::from_content(v).map_err(|e| DeError(format!("field `{name}`: {}", e.0))),
+        None => Ok(T::default()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! ser_de_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let raw = c.as_u64()
+                    .ok_or_else(|| DeError::invalid_type(stringify!($t), c))?;
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError::custom(format!(
+                        "{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+ser_de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_de_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 { Content::U64(v as u64) } else { Content::I64(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let raw = c.as_i64()
+                    .ok_or_else(|| DeError::invalid_type(stringify!($t), c))?;
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError::custom(format!(
+                        "{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+ser_de_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            // JSON has no NaN/Infinity literal; we serialise them as null.
+            Content::Null => Ok(f32::NAN),
+            _ => c
+                .as_f64()
+                .map(|x| x as f32)
+                .ok_or_else(|| DeError::invalid_type("f32", c)),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(f64::NAN),
+            _ => c.as_f64().ok_or_else(|| DeError::invalid_type("f64", c)),
+        }
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_bool().ok_or_else(|| DeError::invalid_type("bool", c))
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::invalid_type("string", c))
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let s = c.as_str().ok_or_else(|| DeError::invalid_type("char", c))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(ch), None) => Ok(ch),
+            _ => Err(DeError::custom("expected single-char string")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_array()
+            .ok_or_else(|| DeError::invalid_type("array", c))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_content(&self) -> Content {
+        Content::Seq(vec![self.0.to_content(), self.1.to_content()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let seq = c
+            .as_array()
+            .ok_or_else(|| DeError::invalid_type("pair", c))?;
+        if seq.len() != 2 {
+            return Err(DeError::custom(format!(
+                "expected pair, got {} items",
+                seq.len()
+            )));
+        }
+        Ok((A::from_content(&seq[0])?, B::from_content(&seq[1])?))
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_content(&self) -> Content {
+        Content::Seq(vec![
+            self.0.to_content(),
+            self.1.to_content(),
+            self.2.to_content(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let seq = c
+            .as_array()
+            .ok_or_else(|| DeError::invalid_type("triple", c))?;
+        if seq.len() != 3 {
+            return Err(DeError::custom(format!(
+                "expected triple, got {} items",
+                seq.len()
+            )));
+        }
+        Ok((
+            A::from_content(&seq[0])?,
+            B::from_content(&seq[1])?,
+            C::from_content(&seq[2])?,
+        ))
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_content(v)?)))
+                .collect(),
+            _ => Err(DeError::invalid_type("object", c)),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_content(&self) -> Content {
+        // Sort for deterministic output (HashMap iteration order is random).
+        let mut entries: Vec<(String, Content)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_content()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_content(v)?)))
+                .collect(),
+            _ => Err(DeError::invalid_type("object", c)),
+        }
+    }
+}
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        Ok(c.clone())
+    }
+}

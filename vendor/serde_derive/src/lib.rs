@@ -1,0 +1,449 @@
+//! Vendored stand-in for `serde_derive`, written against the vendored
+//! `serde` crate's content model (see `vendor/serde`).
+//!
+//! The container this repo builds in has no route to a crates.io mirror,
+//! so the workspace vendors the handful of external crates it leans on.
+//! This derive supports exactly the shapes the codebase uses:
+//!
+//! - named-field structs (no generics, no tuple/unit structs)
+//! - enums with unit and struct variants (externally tagged, like serde)
+//! - `#[serde(default)]` on fields (missing field -> `Default::default()`)
+//! - `#[serde(serialize_with = "path")]` on fields
+//!
+//! Anything outside that surface panics at derive time with a clear
+//! message rather than silently mis-serialising.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String,
+    default: bool,
+    serialize_with: Option<String>,
+}
+
+#[derive(Debug, Clone)]
+enum VariantShape {
+    Unit,
+    /// Single unnamed field, e.g. `Window(WindowError)`.
+    Newtype,
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug, Clone)]
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Input {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Parses a `#[serde(...)]` attribute body for the knobs we support.
+/// `tokens` is the content inside the outer bracket group, e.g.
+/// `serde (default)` or `serde (serialize_with = "f")`.
+fn parse_serde_attr(tokens: &[TokenTree], field: &mut Field) {
+    let mut it = tokens.iter();
+    match it.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return, // some other attribute (doc, derive, default, ...)
+    }
+    let inner = match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => return,
+    };
+    let inner: Vec<TokenTree> = inner.into_iter().collect();
+    let mut i = 0;
+    while i < inner.len() {
+        match &inner[i] {
+            TokenTree::Ident(id) => {
+                let key = id.to_string();
+                if key == "default" {
+                    field.default = true;
+                    i += 1;
+                } else if key == "serialize_with" {
+                    // serialize_with = "path"
+                    if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                        (inner.get(i + 1), inner.get(i + 2))
+                    {
+                        if eq.as_char() == '=' {
+                            let s = lit.to_string();
+                            field.serialize_with = Some(s.trim_matches('"').to_string());
+                            i += 3;
+                            continue;
+                        }
+                    }
+                    panic!("serde_derive (vendored): malformed serialize_with");
+                } else {
+                    panic!(
+                        "serde_derive (vendored): unsupported serde attribute `{key}` \
+                         — only `default` and `serialize_with` are implemented"
+                    );
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+            other => panic!("serde_derive (vendored): unexpected token {other} in #[serde(..)]"),
+        }
+    }
+}
+
+/// Skips attributes at `i`, folding any `#[serde(..)]` knobs into `field`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize, field: &mut Field) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                parse_serde_attr(&body, field);
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Skips a type expression: everything until a comma at angle-bracket
+/// depth zero (groups are single token trees, so only `<`/`>` need
+/// balancing).
+fn skip_type(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut depth: i32 = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return i,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Parses `name: Type, ...` named fields from the inside of a brace group.
+fn parse_named_fields(body: &TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.clone().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut field = Field {
+            name: String::new(),
+            default: false,
+            serialize_with: None,
+        };
+        i = skip_attrs(&tokens, i, &mut field);
+        i = skip_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        match &tokens[i] {
+            TokenTree::Ident(id) => field.name = id.to_string(),
+            other => panic!("serde_derive (vendored): expected field name, got {other}"),
+        }
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!(
+                "serde_derive (vendored): expected `:` after field `{}`, got {other} \
+                 — tuple structs are not supported",
+                field.name
+            ),
+        }
+        i = skip_type(&tokens, i);
+        // now at a comma or end
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        fields.push(field);
+    }
+    fields
+}
+
+/// Parses enum variants from the inside of the enum's brace group.
+fn parse_variants(body: &TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.clone().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut scratch = Field {
+            name: String::new(),
+            default: false,
+            serialize_with: None,
+        };
+        i = skip_attrs(&tokens, i, &mut scratch);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive (vendored): expected variant name, got {other}"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(&g.stream());
+                i += 1;
+                VariantShape::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                // Only single-field (newtype) tuple variants are
+                // supported; a multi-field tuple type would contain a
+                // top-level comma.
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let end = skip_type(&inner, 0);
+                if end != inner.len() {
+                    panic!(
+                        "serde_derive (vendored): multi-field tuple variant `{name}` \
+                         unsupported — use a struct variant"
+                    );
+                }
+                i += 1;
+                VariantShape::Newtype
+            }
+            _ => VariantShape::Unit,
+        };
+        // skip an optional discriminant `= expr`
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == '=' {
+                i += 1;
+                while i < tokens.len() {
+                    if let TokenTree::Punct(p) = &tokens[i] {
+                        if p.as_char() == ',' {
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+            }
+        }
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut scratch = Field {
+        name: String::new(),
+        default: false,
+        serialize_with: None,
+    };
+    let mut i = skip_attrs(&tokens, 0, &mut scratch);
+    i = skip_vis(&tokens, i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive (vendored): expected struct/enum, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive (vendored): expected type name, got {other}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!(
+                "serde_derive (vendored): generic type `{name}` unsupported — \
+                 hand-implement Serialize/Deserialize for it"
+            );
+        }
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => panic!(
+            "serde_derive (vendored): `{name}` has no brace body — \
+             unit/tuple structs unsupported"
+        ),
+    };
+    match kind.as_str() {
+        "struct" => Input::Struct {
+            name,
+            fields: parse_named_fields(&body),
+        },
+        "enum" => Input::Enum {
+            name,
+            variants: parse_variants(&body),
+        },
+        other => panic!("serde_derive (vendored): cannot derive for `{other}`"),
+    }
+}
+
+fn gen_struct_fields_ser(fields: &[Field], accessor: &str, out: &mut String) {
+    for f in fields {
+        let n = &f.name;
+        match &f.serialize_with {
+            Some(path) => out.push_str(&format!(
+                "__m.push((\"{n}\".to_string(), match {path}(&{accessor}{n}, \
+                 ::serde::ContentSerializer) {{ Ok(c) => c, Err(e) => match e {{}} }}));\n"
+            )),
+            None => out.push_str(&format!(
+                "__m.push((\"{n}\".to_string(), \
+                 ::serde::Serialize::to_content(&{accessor}{n})));\n"
+            )),
+        }
+    }
+}
+
+fn gen_struct_fields_de(fields: &[Field], out: &mut String) {
+    for f in fields {
+        let n = &f.name;
+        if f.default {
+            out.push_str(&format!("{n}: ::serde::field_or_default(__c, \"{n}\")?,\n"));
+        } else {
+            out.push_str(&format!("{n}: ::serde::field(__c, \"{n}\")?,\n"));
+        }
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let mut out = String::new();
+    match parsed {
+        Input::Struct { name, fields } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_content(&self) -> ::serde::Content {{\n\
+                 let mut __m: Vec<(String, ::serde::Content)> = Vec::new();\n"
+            ));
+            gen_struct_fields_ser(&fields, "self.", &mut out);
+            out.push_str("::serde::Content::Map(__m)\n}\n}\n");
+        }
+        Input::Enum { name, variants } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_content(&self) -> ::serde::Content {{\n\
+                 match self {{\n"
+            ));
+            for v in &variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => out.push_str(&format!(
+                        "{name}::{vn} => ::serde::Content::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantShape::Newtype => out.push_str(&format!(
+                        "{name}::{vn}(__inner) => ::serde::Content::Map(vec![\
+                         (\"{vn}\".to_string(), ::serde::Serialize::to_content(__inner))]),\n"
+                    )),
+                    VariantShape::Struct(fields) => {
+                        let pat: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        out.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{\n\
+                             let mut __m: Vec<(String, ::serde::Content)> = Vec::new();\n",
+                            pat.join(", ")
+                        ));
+                        gen_struct_fields_ser(fields, "*", &mut out);
+                        out.push_str(&format!(
+                            "::serde::Content::Map(vec![(\"{vn}\".to_string(), \
+                             ::serde::Content::Map(__m))])\n}}\n"
+                        ));
+                    }
+                }
+            }
+            out.push_str("}\n}\n}\n");
+        }
+    }
+    out.parse()
+        .expect("serde_derive (vendored): generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let mut out = String::new();
+    match parsed {
+        Input::Struct { name, fields } => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_content(__c: &::serde::Content) \
+                 -> Result<Self, ::serde::DeError> {{\n\
+                 Ok({name} {{\n"
+            ));
+            gen_struct_fields_de(&fields, &mut out);
+            out.push_str("})\n}\n}\n");
+        }
+        Input::Enum { name, variants } => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_content(__c: &::serde::Content) \
+                 -> Result<Self, ::serde::DeError> {{\n\
+                 match __c {{\n\
+                 ::serde::Content::Str(__s) => match __s.as_str() {{\n"
+            ));
+            for v in &variants {
+                if matches!(v.shape, VariantShape::Unit) {
+                    let vn = &v.name;
+                    out.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+                }
+            }
+            out.push_str(&format!(
+                "__other => Err(::serde::DeError::unknown_variant(\"{name}\", __other)),\n\
+                 }},\n\
+                 ::serde::Content::Map(__entries) if __entries.len() == 1 => {{\n\
+                 let (__k, __c) = &__entries[0];\n\
+                 match __k.as_str() {{\n"
+            ));
+            for v in &variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        // tolerate {"Variant": null} like serde does
+                        out.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+                    }
+                    VariantShape::Newtype => {
+                        out.push_str(&format!(
+                            "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_content(__c)?)),\n"
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        out.push_str(&format!("\"{vn}\" => Ok({name}::{vn} {{\n"));
+                        gen_struct_fields_de(fields, &mut out);
+                        out.push_str("}),\n");
+                    }
+                }
+            }
+            out.push_str(&format!(
+                "__other => Err(::serde::DeError::unknown_variant(\"{name}\", __other)),\n\
+                 }}\n\
+                 }},\n\
+                 __other => Err(::serde::DeError::invalid_type(\"{name}\", __other)),\n\
+                 }}\n\
+                 }}\n\
+                 }}\n"
+            ));
+        }
+    }
+    out.parse()
+        .expect("serde_derive (vendored): generated Deserialize impl parses")
+}
