@@ -49,6 +49,60 @@ fn bench_matmul_dense_vs_sparse_lhs(c: &mut Criterion) {
     group.finish();
 }
 
+/// The density-vs-winning-kernel crossover curve behind the dispatcher's
+/// cost model: `gemm_into` against `spmm_csr_into` on the same
+/// 512×64 · 64×64 product as the LHS zero-row fraction sweeps from fully
+/// dense to fully empty. Dense wins on the left of the crossover, the
+/// row-skipping SpMM on the right; `CostModel::calibrated` exists to
+/// find that point at startup without running this sweep.
+fn bench_spmm_crossover(c: &mut Criterion) {
+    use tagnn_tensor::kernels;
+
+    let mut group = c.benchmark_group("spmm_crossover");
+    let (m, k, n) = (512usize, 64usize, 64usize);
+    let b = init::xavier_uniform(k, n, 12);
+    for zero_pct in [0u32, 25, 50, 75, 90, 99] {
+        // Row r is zero iff r mod 100 < zero_pct — deterministic, and the
+        // nonzero rows stay spread across the matrix like real churn.
+        let a = tagnn_tensor::DenseMatrix::from_fn(m, k, |i, j| {
+            if ((i % 100) as u32) < zero_pct {
+                0.0
+            } else {
+                ((i * k + j) as f32 * 0.37).sin()
+            }
+        });
+        let rows: Vec<u32> = (0..m as u32).filter(|&r| (r % 100) >= zero_pct).collect();
+        let mut out = vec![0.0f32; m * n];
+        group.bench_with_input(
+            BenchmarkId::new("gemm", zero_pct),
+            &zero_pct,
+            |bencher, _| {
+                bencher.iter(|| {
+                    kernels::gemm_into(m, k, n, black_box(a.as_slice()), b.as_slice(), &mut out);
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("spmm", zero_pct),
+            &zero_pct,
+            |bencher, _| {
+                bencher.iter(|| {
+                    kernels::spmm_csr_into(
+                        m,
+                        k,
+                        n,
+                        black_box(&rows),
+                        a.as_slice(),
+                        b.as_slice(),
+                        &mut out,
+                    );
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
 /// The batched gate path (gather-free here: one contiguous batch) against
 /// the per-vertex `step` loop it replaced in both engines.
 fn bench_batched_gates(c: &mut Criterion) {
@@ -188,6 +242,7 @@ criterion_group!(
     benches,
     bench_matmul,
     bench_matmul_dense_vs_sparse_lhs,
+    bench_spmm_crossover,
     bench_gcn_forward,
     bench_batched_gates,
     bench_cosine,

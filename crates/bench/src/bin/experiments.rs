@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! experiments [all | <id>... | bench-json PATH | serve ... | serve-bench ...
-//!              | serve-scale ...] [--quick] [--json] [--trace PATH] [--threads N]
+//!              | serve-scale ... | serve-ab ...] [--quick] [--json]
+//!              [--trace PATH] [--threads N]
 //!
 //!   all             run every experiment (default)
 //!   <id>            e.g. fig9, table5, fig14a
@@ -19,6 +20,11 @@
 //!   serve-scale     sweep --shards-list (default 1,2,4,8): check served
 //!                   digests are shard-count-invariant, measure each
 //!                   point, write the curve (--out, default BENCH_7.json)
+//!   serve-ab        A/B the sparsity-adaptive kernel dispatcher on the
+//!                   MovieLens preset: run --dispatch auto vs dense,
+//!                   check served digests are bit-identical, and write
+//!                   both rows with their per-run dispatch-decision
+//!                   counts (--out, default BENCH_8.json)
 //!   --quick         reduced context (2 datasets, 1 model) for smoke runs
 //!   --json          emit one JSON object per experiment instead of text tables
 //!   --trace PATH    record a tagnn-obs trace of the whole run (spans per
@@ -51,6 +57,13 @@ fn main() {
         }
         Some("serve-scale") => {
             if let Err(e) = tagnn_bench::serve::run_serve_scale(&raw[1..]) {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+            return;
+        }
+        Some("serve-ab") => {
+            if let Err(e) = tagnn_bench::serve::run_serve_ab(&raw[1..]) {
                 eprintln!("error: {e}");
                 std::process::exit(1);
             }

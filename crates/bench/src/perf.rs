@@ -113,26 +113,25 @@ fn time_stage<F: FnMut()>(
     }
 }
 
+/// Engine work counters as report metrics. Derived values first, then
+/// every counter from [`ExecutionStats::named_counters`] verbatim — the
+/// single enumeration the engines maintain — so a counter added there
+/// (e.g. a new `kernel.*` family) can never silently vanish from the
+/// summary table by being missing from a hand-kept list here.
 fn stat_metrics(stats: &ExecutionStats) -> Vec<(String, f64)> {
-    vec![
+    let mut out = vec![
         ("total_macs".into(), stats.total_macs() as f64),
-        ("rnn_macs".into(), stats.rnn_macs as f64),
-        ("gnn_aggregate_macs".into(), stats.gnn_aggregate_macs as f64),
-        ("gnn_combine_macs".into(), stats.gnn_combine_macs as f64),
-        ("similarity_ops".into(), stats.similarity_ops as f64),
-        (
-            "feature_rows_loaded".into(),
-            stats.feature_rows_loaded as f64,
-        ),
-        (
-            "feature_rows_reused".into(),
-            stats.feature_rows_reused as f64,
-        ),
-        (
-            "structure_words_loaded".into(),
-            stats.structure_words_loaded as f64,
-        ),
-    ]
+        ("kernel.input_density".into(), stats.dispatch_density()),
+    ];
+    out.extend(
+        stats
+            .named_counters()
+            .into_iter()
+            // Wall time is already the stage's headline number.
+            .filter(|&(k, _)| k != "wall_ns")
+            .map(|(k, v)| (k.to_string(), v as f64)),
+    );
+    out
 }
 
 /// Runs the suite and returns the report. `threads` is only echoed into
@@ -398,12 +397,37 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"schema\": \"tagnn-bench/1\""));
         assert!(json.contains("\"engine_concurrent_paper\""));
-        // Every engine stage carries the work counters.
+        // Every engine stage carries the work counters — including the
+        // full kernel.* dispatch family, straight from named_counters()
+        // rather than a hand-kept list that could drop newcomers.
         for st in &report.stages {
             if st.name.starts_with("engine_") {
                 assert!(st.metrics.iter().any(|(k, _)| k == "rnn_macs"));
+                assert!(st.metrics.iter().any(|(k, _)| k == "kernel.dispatch.dense"));
+                let density = st
+                    .metrics
+                    .iter()
+                    .find(|(k, _)| k == "kernel.input_density")
+                    .map(|(_, v)| *v)
+                    .expect("density gauge present");
+                assert!((0.0..=1.0).contains(&density));
             }
             assert!(st.best_ms <= st.total_ms + 1e-9);
+        }
+    }
+
+    #[test]
+    fn stat_metrics_carries_every_named_counter() {
+        let stats = ExecutionStats::default();
+        let metrics = stat_metrics(&stats);
+        for (name, _) in stats.named_counters() {
+            if name == "wall_ns" {
+                continue;
+            }
+            assert!(
+                metrics.iter().any(|(k, _)| k == name),
+                "counter {name} dropped from the summary table"
+            );
         }
     }
 

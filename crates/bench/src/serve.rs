@@ -1,10 +1,13 @@
-//! `experiments serve` / `serve-bench` / `serve-scale`: boot the TCP
-//! frontend from `tagnn-serve` (binary wire by default, JSON-lines via
-//! `--wire json`) and drive it with the built-in load generator.
-//! `serve-bench` emits a `BENCH_5.json` report with latency quantiles,
-//! throughput, shed counts, and plan-cache behaviour; `serve-scale`
-//! sweeps the shard count, checks shard-count bit-identity, and pins
-//! the scaling curve in `BENCH_7.json`.
+//! `experiments serve` / `serve-bench` / `serve-scale` / `serve-ab`:
+//! boot the TCP frontend from `tagnn-serve` (binary wire by default,
+//! JSON-lines via `--wire json`) and drive it with the built-in load
+//! generator. `serve-bench` emits a `BENCH_5.json` report with latency
+//! quantiles, throughput, shed counts, and plan-cache behaviour;
+//! `serve-scale` sweeps the shard count, checks shard-count
+//! bit-identity, and pins the scaling curve in `BENCH_7.json`;
+//! `serve-ab` A/Bs the sparsity-adaptive kernel dispatcher
+//! (`--dispatch auto` vs `dense`), checks bit-identity across modes,
+//! and pins per-run dispatch-decision counts in `BENCH_8.json`.
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -15,6 +18,7 @@ use tagnn_serve::json;
 use tagnn_serve::loadgen::{self, LoadgenConfig, LoadgenSummary};
 use tagnn_serve::server::stats_view;
 use tagnn_serve::{InferRequest, ServeConfig, ServeCore, Server, ShardAssignment, WireFormat};
+use tagnn_tensor::DispatchMode;
 
 use crate::cli::{dataset_of, model_of, num, parse_flags};
 
@@ -37,7 +41,8 @@ struct ServeArgs {
 fn parse(args: &[String], default_duration_s: f64) -> Result<ServeArgs, String> {
     let flags: HashMap<String, String> = parse_flags(args)?;
     for key in flags.keys() {
-        const KNOWN: [&str; 20] = [
+        const KNOWN: [&str; 21] = [
+            "dispatch",
             "addr",
             "dataset",
             "snapshots",
@@ -86,8 +91,12 @@ fn parse(args: &[String], default_duration_s: f64) -> Result<ServeArgs, String> 
     let shard_assignment = ShardAssignment::parse(assignment_spelling).ok_or_else(|| {
         format!("--shard-assignment must be hash or degree, got {assignment_spelling}")
     })?;
+    let dispatch_spelling = flags.get("dispatch").map(String::as_str).unwrap_or("auto");
+    let dispatch = DispatchMode::parse(dispatch_spelling)
+        .ok_or_else(|| format!("--dispatch must be auto or dense, got {dispatch_spelling}"))?;
     let serve = ServeConfig {
         universe: graph.num_vertices,
+        dispatch,
         feature_dim: graph.feature_dim,
         window: num(&flags, "window", 4)?,
         model: model_of(&flags)?,
@@ -139,7 +148,7 @@ fn parse(args: &[String], default_duration_s: f64) -> Result<ServeArgs, String> 
 
 fn describe(a: &ServeArgs) -> String {
     format!(
-        "{} ({} vertices, D={}, {} snapshots) model={} hidden={} K={} shards={} wire={} queue={} plan={}",
+        "{} ({} vertices, D={}, {} snapshots) model={} hidden={} K={} shards={} wire={} queue={} plan={} dispatch={}",
         a.dataset,
         a.graph.num_vertices,
         a.graph.feature_dim,
@@ -158,6 +167,7 @@ fn describe(a: &ServeArgs) -> String {
         } else {
             "cache/scratch"
         },
+        a.serve.dispatch.as_str(),
     )
 }
 
@@ -211,6 +221,13 @@ pub fn run_serve(args: &[String]) -> Result<(), String> {
     println!(
         "  plans: incremental={} cached={} scratch={} fallbacks={}",
         stats.plan_incremental, stats.plan_cached, stats.plan_scratch, stats.plan_fallbacks,
+    );
+    println!(
+        "  dispatch: dense={} spmm={} delta_skip={} input_density={:.3}",
+        stats.dispatch_dense,
+        stats.dispatch_spmm,
+        stats.dispatch_delta_skip,
+        stats.dispatch_density,
     );
     server.shutdown();
     check_fallback_rate(&stats, a.max_fallback_rate)
@@ -272,6 +289,13 @@ pub fn run_serve_bench(args: &[String]) -> Result<(), String> {
     println!(
         "  plans: incremental={} cached={} scratch={} fallbacks={}",
         stats.plan_incremental, stats.plan_cached, stats.plan_scratch, stats.plan_fallbacks,
+    );
+    println!(
+        "  dispatch: dense={} spmm={} delta_skip={} input_density={:.3}",
+        stats.dispatch_dense,
+        stats.dispatch_spmm,
+        stats.dispatch_delta_skip,
+        stats.dispatch_density,
     );
     if let Some(h) = &plan_build_us {
         println!(
@@ -454,6 +478,162 @@ pub fn run_serve_scale(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `experiments serve-ab`: A/B the sparsity-adaptive kernel dispatcher.
+/// Defaults to the MovieLens preset (`--dataset` overrides). For each
+/// mode — `auto` (density-measured dispatch) then `dense` (legacy
+/// baseline) — it first replays the trace synchronously and checks the
+/// served digests are bit-identical across modes, then runs the
+/// closed/open-loop load for `--duration-s` and records the
+/// throughput/latency row together with that run's dispatch-decision
+/// counts. Writes the pair of rows to `--out` (default `BENCH_8.json`).
+pub fn run_serve_ab(args: &[String]) -> Result<(), String> {
+    let mut full = vec!["--dataset".to_string(), "ML".to_string()];
+    full.extend_from_slice(args);
+    let a = parse(&full, 3.0)?;
+    let out = a.out.clone().unwrap_or_else(|| "BENCH_8.json".to_string());
+    eprintln!(
+        "serve-ab: auto vs dense, {} connections for {:?} each against {}",
+        a.connections,
+        a.duration,
+        describe(&a),
+    );
+
+    let mut baseline: Option<Vec<u64>> = None;
+    let mut rows = String::new();
+    for (row, mode) in [DispatchMode::Auto, DispatchMode::Dense]
+        .into_iter()
+        .enumerate()
+    {
+        let mut serve = a.serve.clone();
+        serve.dispatch = mode;
+
+        let digests = served_digests(&serve, &a.graph)?;
+        if digests.is_empty() {
+            return Err("trace produced no windows; digest check is vacuous".to_string());
+        }
+        match &baseline {
+            None => baseline = Some(digests),
+            Some(b) => {
+                if *b != digests {
+                    return Err(format!(
+                        "dispatch bit-identity violated: {} mode served different digests \
+                         than auto mode",
+                        mode.as_str(),
+                    ));
+                }
+            }
+        }
+
+        let server = Server::bind_with(ServeCore::start(serve), "127.0.0.1:0", a.wire)
+            .map_err(|e| format!("bind loopback: {e}"))?;
+        let load = LoadgenConfig {
+            addr: server.local_addr().to_string(),
+            connections: a.connections,
+            rate: a.rate,
+            duration: a.duration,
+            graph: a.graph.clone(),
+            wire: a.wire,
+        };
+        let summary = loadgen::run(&load).map_err(|e| format!("loadgen: {e}"))?;
+        let stats = stats_view(server.core());
+        server.shutdown();
+        if summary.replies == 0 && summary.requests > 0 {
+            return Err(format!("{} mode: no request got a reply", mode.as_str()));
+        }
+        if mode == DispatchMode::Dense && stats.dispatch_spmm > 0 {
+            return Err(format!(
+                "dense mode must never dispatch an SpMM, counted {}",
+                stats.dispatch_spmm,
+            ));
+        }
+
+        println!(
+            "  {}: {:.1} replies/s, p50={}us p95={}us p99={}us | dispatch dense={} spmm={} \
+             delta_skip={} density={:.3}",
+            mode.as_str(),
+            summary.replies_per_sec(),
+            summary.latency_us.quantile(0.50),
+            summary.latency_us.quantile(0.95),
+            summary.latency_us.quantile(0.99),
+            stats.dispatch_dense,
+            stats.dispatch_spmm,
+            stats.dispatch_delta_skip,
+            stats.dispatch_density,
+        );
+        if row > 0 {
+            rows.push_str(",\n");
+        }
+        let _ = write!(
+            rows,
+            r#"    {{"dispatch": "{}", "digest_check": "ok", "replies_per_sec": "#,
+            mode.as_str(),
+        );
+        json::write_f64(&mut rows, summary.replies_per_sec());
+        let _ = write!(
+            rows,
+            concat!(
+                r#", "requests": {}, "replies": {}, "shed": {}, "errors": {}, "#,
+                r#""windows": {}, "latency_us": {{"p50": {}, "p95": {}, "p99": {}, "max": {}}}, "#,
+                r#""decisions": {{"dense": {}, "spmm": {}, "delta_skip": {}, "input_density": "#
+            ),
+            summary.requests,
+            summary.replies,
+            summary.shed,
+            summary.errors,
+            summary.windows,
+            summary.latency_us.quantile(0.50),
+            summary.latency_us.quantile(0.95),
+            summary.latency_us.quantile(0.99),
+            summary.latency_us.max(),
+            stats.dispatch_dense,
+            stats.dispatch_spmm,
+            stats.dispatch_delta_skip,
+        );
+        json::write_f64(&mut rows, stats.dispatch_density);
+        rows.push_str("}}");
+    }
+
+    let mut report = String::with_capacity(2048);
+    report.push_str("{\n  \"bench\": \"serve-ab\",\n  \"config\": {");
+    let _ = write!(report, "\"dataset\": ");
+    json::write_string(&mut report, &a.dataset);
+    let _ = write!(
+        report,
+        concat!(
+            r#", "vertices": {}, "edges": {}, "feature_dim": {}, "snapshots": {}, "#,
+            r#""graph_seed": {}, "model": "{}", "hidden": {}, "window": {}, "#,
+            r#""shards": {}, "wire": "{}", "connections": {}, "rate": "#
+        ),
+        a.graph.num_vertices,
+        a.graph.num_edges,
+        a.graph.feature_dim,
+        a.graph.num_snapshots,
+        a.graph.seed,
+        a.serve.model.name(),
+        a.serve.hidden,
+        a.serve.window,
+        a.serve.shards,
+        match a.wire {
+            WireFormat::Binary => "binary",
+            WireFormat::Json => "json",
+        },
+        a.connections,
+    );
+    json::write_f64(&mut report, a.rate);
+    report.push_str(", \"duration_s\": ");
+    json::write_f64(&mut report, a.duration.as_secs_f64());
+    report.push_str(
+        "},\n  \"note\": \"digest_check pins auto/dense bit-identity; decisions are the \
+         per-run kernel dispatch counts\",\n",
+    );
+    report.push_str("  \"runs\": [\n");
+    report.push_str(&rows);
+    report.push_str("\n  ]\n}\n");
+    std::fs::write(&out, &report).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("report written to {out}");
+    Ok(())
+}
+
 fn render_report(
     a: &ServeArgs,
     summary: &LoadgenSummary,
@@ -493,8 +673,9 @@ fn render_report(
     json::write_f64(&mut out, a.rate);
     let _ = write!(
         out,
-        r#", "incremental_planning": {}, "duration_s": "#,
-        a.serve.incremental_planning
+        r#", "incremental_planning": {}, "dispatch": "{}", "duration_s": "#,
+        a.serve.incremental_planning,
+        a.serve.dispatch.as_str(),
     );
     json::write_f64(&mut out, a.duration.as_secs_f64());
     out.push_str("},\n  \"load\": ");
@@ -517,6 +698,13 @@ fn render_report(
         stats.plan_incremental,
         stats.plan_fallbacks,
     );
+    let _ = write!(
+        out,
+        r#", "dispatch": {{"dense": {}, "spmm": {}, "delta_skip": {}, "input_density": "#,
+        stats.dispatch_dense, stats.dispatch_spmm, stats.dispatch_delta_skip,
+    );
+    json::write_f64(&mut out, stats.dispatch_density);
+    out.push('}');
     let _ = write!(
         out,
         r#", "shards": {{"count": {}, "cross_seal_edges": {}, "routed": ["#,
@@ -639,6 +827,10 @@ mod tests {
             plan_cached: 7,
             plan_incremental: 12,
             plan_fallbacks: 1,
+            dispatch_dense: 20,
+            dispatch_spmm: 6,
+            dispatch_delta_skip: 15,
+            dispatch_density: 0.5,
             shard_routed: vec![5, 9],
             cross_shard_edges: 3,
             ..Default::default()
@@ -687,6 +879,27 @@ mod tests {
         assert_eq!(
             sources.get("fallbacks").and_then(json::Value::as_u64),
             Some(1)
+        );
+        let dispatch = doc.get("server").and_then(|s| s.get("dispatch")).unwrap();
+        assert_eq!(
+            dispatch.get("dense").and_then(json::Value::as_u64),
+            Some(20)
+        );
+        assert_eq!(dispatch.get("spmm").and_then(json::Value::as_u64), Some(6));
+        assert_eq!(
+            dispatch.get("delta_skip").and_then(json::Value::as_u64),
+            Some(15)
+        );
+        assert_eq!(
+            dispatch.get("input_density").and_then(json::Value::as_f64),
+            Some(0.5)
+        );
+        assert_eq!(
+            doc.get("config")
+                .and_then(|c| c.get("dispatch"))
+                .and_then(json::Value::as_str),
+            Some("auto"),
+            "auto is the default mode"
         );
         let shards = doc.get("server").and_then(|s| s.get("shards")).unwrap();
         assert_eq!(shards.get("count").and_then(json::Value::as_u64), Some(2));
@@ -769,6 +982,66 @@ mod tests {
             .and_then(json::Value::as_u64)
             .unwrap();
         assert!(replies > 0, "smoke run must complete requests");
+        let _ = std::fs::remove_file(&out);
+    }
+
+    #[test]
+    fn parse_threads_dispatch_flag() {
+        let a = parse(&args(&[]), 10.0).unwrap();
+        assert_eq!(a.serve.dispatch, DispatchMode::Auto, "auto by default");
+        let a = parse(&args(&["--dispatch", "dense"]), 10.0).unwrap();
+        assert_eq!(a.serve.dispatch, DispatchMode::Dense);
+        assert!(parse(&args(&["--dispatch", "vibes"]), 10.0).is_err());
+    }
+
+    /// End-to-end: serve-ab runs both dispatch modes, enforces
+    /// bit-identity between them, and writes both rows with their
+    /// per-run dispatch-decision counts.
+    #[test]
+    fn serve_ab_end_to_end_smoke() {
+        let out = std::env::temp_dir().join("tagnn_serve_ab_smoke.json");
+        let out_s = out.to_string_lossy().to_string();
+        run_serve_ab(&args(&[
+            "--dataset",
+            "tiny",
+            "--connections",
+            "1",
+            "--duration-s",
+            "0.3",
+            "--snapshots",
+            "4",
+            "--window",
+            "2",
+            "--out",
+            &out_s,
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&out).unwrap();
+        let doc = json::parse(&text).unwrap();
+        let runs = doc.get("runs").and_then(json::Value::as_array).unwrap();
+        assert_eq!(runs.len(), 2, "one row per dispatch mode");
+        let modes: Vec<_> = runs
+            .iter()
+            .map(|r| r.get("dispatch").and_then(json::Value::as_str).unwrap())
+            .collect();
+        assert_eq!(modes, vec!["auto", "dense"]);
+        for row in runs {
+            assert_eq!(
+                row.get("digest_check").and_then(json::Value::as_str),
+                Some("ok")
+            );
+            let decisions = row.get("decisions").unwrap();
+            let dense = decisions
+                .get("dense")
+                .and_then(json::Value::as_u64)
+                .unwrap();
+            let spmm = decisions.get("spmm").and_then(json::Value::as_u64).unwrap();
+            if row.get("dispatch").and_then(json::Value::as_str) == Some("auto") {
+                assert!(dense + spmm > 0, "auto run must tally its decisions");
+            } else {
+                assert_eq!(spmm, 0, "dense mode never SpMMs");
+            }
+        }
         let _ = std::fs::remove_file(&out);
     }
 

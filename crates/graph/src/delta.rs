@@ -131,6 +131,34 @@ pub fn try_apply_updates(base: &Snapshot, updates: &[GraphUpdate]) -> Result<Sna
     Snapshot::try_new(Csr::from_edges(n, &edge_list), features, active)
 }
 
+/// [`try_apply_updates`] plus O(touched rows) density maintenance: while
+/// each `MutateFeature` row is in hand anyway, re-measure its nonzero
+/// state into `density` (a row-nonzero bitmap over the feature table).
+/// This is the measurement point the sparsity-adaptive dispatch layer
+/// piggybacks on — the bitmap stays exact across a whole update stream
+/// without ever re-scanning the table (seed it once with
+/// [`tagnn_tensor::RowBitmap::from_rows`] at warm-up).
+///
+/// The bitmap tracks the *feature table*, which persists across vertex
+/// deactivation, so `AddVertex`/`RemoveVertex` deliberately leave it
+/// untouched — exactly like the table itself.
+pub fn try_apply_updates_tracked(
+    base: &Snapshot,
+    updates: &[GraphUpdate],
+    density: &mut tagnn_tensor::RowBitmap,
+) -> Result<Snapshot, GraphError> {
+    let next = try_apply_updates(base, updates)?;
+    if density.rows() != base.num_vertices() {
+        density.resize(base.num_vertices());
+    }
+    for u in updates {
+        if let GraphUpdate::MutateFeature { v, feature } = u {
+            density.update_row(*v as usize, feature);
+        }
+    }
+    Ok(next)
+}
+
 /// Computes a minimal update batch that turns `from` into `to`:
 /// vertex activations/deactivations, edge insertions/removals, and feature
 /// mutations — the inverse of [`apply_updates`], useful for recording an
@@ -376,6 +404,42 @@ mod tests {
                 feature: vec![9.0, 9.0]
             }]
         );
+    }
+
+    #[test]
+    fn tracked_apply_keeps_the_density_bitmap_exact() {
+        use tagnn_tensor::RowBitmap;
+        let b = base(); // 4 vertices, all-zero 4x2 features
+        let mut bm = RowBitmap::from_rows(4, 2, b.features().as_slice());
+        assert_eq!(bm.nnz_rows(), 0);
+        let next = try_apply_updates_tracked(
+            &b,
+            &[
+                GraphUpdate::MutateFeature {
+                    v: 2,
+                    feature: vec![1.0, 0.0],
+                },
+                GraphUpdate::RemoveVertex { v: 1 },
+            ],
+            &mut bm,
+        )
+        .unwrap();
+        assert_eq!(bm.nnz_rows(), 1);
+        assert!(bm.get(2));
+        // The incrementally maintained bitmap matches a full re-scan.
+        let rescan = RowBitmap::from_rows(4, 2, next.features().as_slice());
+        assert_eq!(rescan.nnz_rows(), bm.nnz_rows());
+        // Mutating back to zero clears the bit.
+        let _ = try_apply_updates_tracked(
+            &next,
+            &[GraphUpdate::MutateFeature {
+                v: 2,
+                feature: vec![0.0, 0.0],
+            }],
+            &mut bm,
+        )
+        .unwrap();
+        assert_eq!(bm.nnz_rows(), 0);
     }
 
     #[test]

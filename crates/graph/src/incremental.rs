@@ -278,7 +278,7 @@ impl IncrementalClassifier {
 /// Stage split: the [`IncrementalClassifier`] carries the only state
 /// whose from-scratch cost scales with `K·V·D`; the affected-subgraph
 /// extraction and O-CSR packing stages run at seal through the exact
-/// code path the scratch planner uses ([`WindowPlan::assemble`]), because
+/// code path the scratch planner uses (`WindowPlan::assemble`), because
 /// their cost is proportional to the output that must be materialised
 /// regardless (and sharing the path makes divergence impossible anywhere
 /// but classification).

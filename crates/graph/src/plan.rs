@@ -85,6 +85,15 @@ pub struct PlanStats {
     /// Estimated re-fetched rows for affected vertices over the window's
     /// remaining snapshots.
     pub affected_rows: u64,
+    /// Affected-subgraph feature rows measured nonzero in the window's
+    /// first snapshot — the sparsity-adaptive dispatch layer's density
+    /// numerator for the window's incremental work (denominator:
+    /// `subgraph_vertices`). Measured during assembly while the subgraph
+    /// rows are in hand, so it costs O(touched rows), never a full
+    /// feature-table scan. Advisory: excluded from equality and the
+    /// fingerprint (both build paths compute it identically anyway).
+    #[serde(default)]
+    pub nz_subgraph_rows: u64,
     /// Wall-clock nanoseconds spent building this plan (excluded from
     /// equality).
     pub build_ns: u64,
@@ -202,6 +211,14 @@ impl WindowPlan {
             .map(|v| snaps[0].csr().degree(v) as u64 + 1)
             .sum::<u64>()
             * (snaps.len() as u64).saturating_sub(1);
+        // Density piggyback: the subgraph rows are exactly the feature
+        // rows the window's incremental work will touch, so measuring
+        // them here is O(touched rows) by construction.
+        let nz_subgraph_rows: u64 = subgraph
+            .vertices()
+            .iter()
+            .filter(|&&v| snaps[0].feature(v).iter().any(|&x| x != 0.0))
+            .count() as u64;
 
         let stats = PlanStats {
             classified_vertices: n as u64,
@@ -211,6 +228,7 @@ impl WindowPlan {
             degree_items,
             cold_rows,
             affected_rows,
+            nz_subgraph_rows,
             build_ns: started.elapsed().as_nanos() as u64,
             source: PlanSource::Scratch,
         };

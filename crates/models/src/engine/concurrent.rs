@@ -19,7 +19,7 @@
 //! integration suite checks — while doing strictly less memory traffic.
 
 use crate::dgnn::DgnnModel;
-use crate::engine::{ExecutionStats, InferenceOutput};
+use crate::engine::{plan_layer_choices, ExecutionStats, InferenceOutput};
 use crate::gcn;
 use crate::rnn::VertexState;
 use crate::skip::{CellMode, SkipConfig};
@@ -31,6 +31,7 @@ use tagnn_graph::stats::neighbor_overlap;
 use tagnn_graph::types::{VertexClass, VertexId};
 use tagnn_graph::{DynamicGraph, Snapshot};
 use tagnn_obs::{span as obs_span, Recorder};
+use tagnn_tensor::dispatch::{DispatchMode, Dispatcher, Kernel, LayerChoice};
 use tagnn_tensor::kernels;
 use tagnn_tensor::similarity::{theta_score, CondensedDelta};
 use tagnn_tensor::{ops, DenseMatrix, Scratch};
@@ -75,6 +76,7 @@ pub struct ConcurrentEngine {
     window: usize,
     skip: SkipConfig,
     reuse: ReuseMode,
+    dispatch: Dispatcher,
 }
 
 impl ConcurrentEngine {
@@ -108,7 +110,28 @@ impl ConcurrentEngine {
             window,
             skip,
             reuse,
+            dispatch: Dispatcher::new(DispatchMode::default()),
         }
+    }
+
+    /// Returns this engine with an explicit kernel-dispatch mode
+    /// ([`DispatchMode::Dense`] reproduces the pre-dispatch engine —
+    /// the serving A/B baseline).
+    pub fn with_dispatch_mode(self, mode: DispatchMode) -> Self {
+        self.with_dispatcher(Dispatcher::new(mode))
+    }
+
+    /// Returns this engine with a fully explicit dispatch policy —
+    /// mode *and* cost model (tests and benches pin coefficients this
+    /// way instead of depending on probe timing).
+    pub fn with_dispatcher(mut self, dispatch: Dispatcher) -> Self {
+        self.dispatch = dispatch;
+        self
+    }
+
+    /// The kernel-dispatch policy this engine runs.
+    pub fn dispatcher(&self) -> &Dispatcher {
+        &self.dispatch
     }
 
     /// The reuse mode.
@@ -208,12 +231,21 @@ impl ConcurrentEngine {
             graph.num_snapshots().div_ceil(self.window),
             "one plan per window expected"
         );
+        // Association plan, pinned per run from the first snapshot —
+        // the same shared logic (and thus the same decisions) as the
+        // reference engine, which is what keeps Exact mode bit-identical
+        // (see `plan_layer_choices`). Kernel choices stay per-window.
+        let choices: Vec<LayerChoice> = match graph.snapshots().first() {
+            Some(snap0) => plan_layer_choices(&self.dispatch, &self.model, snap0),
+            None => Vec::new(),
+        };
         for (batch, plan) in graph.batches(self.window).zip(plans) {
             let refs: Vec<&Snapshot> = batch.iter().collect();
             self.window_pass(
                 &refs,
                 plan,
                 self.skip,
+                &choices,
                 &mut ctxs,
                 scratch,
                 &mut stats,
@@ -280,6 +312,7 @@ impl ConcurrentEngine {
         scratch.cell_mode.reserve(n);
         scratch.cell_nnz.reserve(n);
         scratch.cell_sim.reserve(n);
+        scratch.nz_rows.reserve(n);
         scratch.mark_steady();
     }
 
@@ -295,6 +328,7 @@ impl ConcurrentEngine {
         refs: &[&Snapshot],
         plan: &WindowPlan,
         skip_cfg: SkipConfig,
+        choices: &[LayerChoice],
         ctxs: &mut [VertexCtx],
         scratch: &mut Scratch,
         stats: &mut ExecutionStats,
@@ -334,7 +368,7 @@ impl ConcurrentEngine {
             // GNN phase with cross-snapshot reuse.
             let zs = {
                 let _span = obs_span(rec, "gnn_window");
-                self.gnn_window(refs, cls, stats, rec, scratch)
+                self.gnn_window(refs, cls, choices, stats, rec, scratch)
             };
 
             // RNN phase with similarity-aware cell skipping. The first
@@ -491,6 +525,10 @@ impl ConcurrentEngine {
                         }
                         MODE_DELTA => {
                             stats.skip.delta += 1;
+                            // The condensed-delta patch is the third
+                            // dispatch outcome: the cell's input GEMV was
+                            // routed through the zero-skipping path.
+                            stats.dispatch.delta_skip += 1;
                             stats.rnn_macs += cell.delta_step_macs(cell_nnz[vu] as usize);
                         }
                         MODE_SKIP => stats.skip.skipped += 1,
@@ -528,6 +566,7 @@ impl ConcurrentEngine {
         &self,
         refs: &[&Snapshot],
         cls: &WindowClassification,
+        choices: &[LayerChoice],
         stats: &mut ExecutionStats,
         rec: Option<&Recorder>,
         scratch: &mut Scratch,
@@ -535,6 +574,26 @@ impl ConcurrentEngine {
         let first = refs[0];
         let n = first.num_vertices();
         let layers = self.model.layers();
+
+        // Density measurement for the window's only potentially sparse
+        // operand: the first snapshot's feature rows. The scan is a
+        // vanishing fraction of the layer-0 GEMM it informs, and an
+        // exact row list is the SpMM's correctness contract. Later
+        // layers' inputs are densified by aggregation + activation.
+        let auto = self.dispatch.mode() == DispatchMode::Auto;
+        let nz_buf = scratch.nz_rows.take_uninit(n);
+        let mut nz0 = 0usize;
+        if auto {
+            for v in 0..n {
+                if first.features().row(v).iter().any(|&x| x != 0.0) {
+                    nz_buf[nz0] = v as u32;
+                    nz0 += 1;
+                }
+            }
+            stats.dispatch_nz_rows += nz0 as u64;
+            stats.dispatch_rows_seen += n as u64;
+        }
+        let nz_buf = &*nz_buf;
 
         // Snapshot 0: full fused forward, keeping every layer's output for
         // reuse. Transform-first layers additionally pin their `X·W` table
@@ -569,19 +628,50 @@ impl ConcurrentEngine {
 
                 let out_dim = layer.out_dim();
                 let mut out = DenseMatrix::zeros(n, out_dim);
-                if layer.transform_first() {
-                    // Same operation sequence as `forward_into`'s
+                // Association is pinned per run (`choices`); the kernel
+                // for the GEMM factor is bit-free and re-dispatches per
+                // window from the measured density.
+                let assoc = choices
+                    .get(l)
+                    .copied()
+                    .unwrap_or_else(|| layer.legacy_choice());
+                if assoc.transform_first {
+                    // Same operation sequence as `forward_planned_into`'s
                     // transform-first arm, but the X·W table outlives the
-                    // call (window-pinned).
+                    // call (window-pinned). The SpMM writes skipped rows
+                    // as exact +0.0 — bit-identical to the dense GEMM
+                    // over the same (truly zero) rows — so the pinned
+                    // table is the same bits under either kernel.
+                    let (kernel, rows): (Kernel, Option<&[u32]>) = if l == 0 && auto {
+                        let gc = self.dispatch.choose_gemm(n, layer.in_dim(), out_dim, nz0);
+                        (
+                            gc.kernel,
+                            (gc.kernel == Kernel::Spmm).then_some(&nz_buf[..nz0]),
+                        )
+                    } else {
+                        (Kernel::Dense, None)
+                    };
+                    stats.dispatch.count(kernel);
                     let mut xw = DenseMatrix::zeros(n, out_dim);
-                    kernels::gemm_into(
-                        n,
-                        layer.in_dim(),
-                        out_dim,
-                        x.as_slice(),
-                        layer.weight().as_slice(),
-                        xw.as_mut_slice(),
-                    );
+                    match (kernel, rows) {
+                        (Kernel::Spmm, Some(rows)) => kernels::spmm_csr_into(
+                            n,
+                            layer.in_dim(),
+                            out_dim,
+                            rows,
+                            x.as_slice(),
+                            layer.weight().as_slice(),
+                            xw.as_mut_slice(),
+                        ),
+                        _ => kernels::gemm_into(
+                            n,
+                            layer.in_dim(),
+                            out_dim,
+                            x.as_slice(),
+                            layer.weight().as_slice(),
+                            xw.as_mut_slice(),
+                        ),
+                    }
                     layer.aggregate_rows_into(
                         first,
                         xw.as_slice(),
@@ -592,11 +682,17 @@ impl ConcurrentEngine {
                     layer.activation().apply(out.as_mut_slice());
                     xw0s.push(Some(xw));
                 } else {
-                    layer.forward_into(
+                    stats.dispatch.count(Kernel::Dense);
+                    layer.forward_planned_into(
                         first,
                         x.as_slice(),
                         degp1,
                         &mut scratch.agg,
+                        None,
+                        &LayerChoice {
+                            kernel: Kernel::Dense,
+                            ..assoc
+                        },
                         out.as_mut_slice(),
                     );
                     xw0s.push(None);
@@ -813,6 +909,7 @@ impl ConcurrentEngine {
             scratch,
             stats: ExecutionStats::default(),
             windows: 0,
+            choices: None,
         }
     }
 }
@@ -832,6 +929,12 @@ pub struct EngineSession {
     scratch: Scratch,
     stats: ExecutionStats,
     windows: u64,
+    /// Association plan, pinned from the first window's first snapshot
+    /// for the session's lifetime — the streaming equivalent of the
+    /// offline run's snapshot-0 pin, so a session over consecutive
+    /// windows stays bit-identical to one offline run over their
+    /// concatenation. Kernel choices still adapt per window.
+    choices: Option<Vec<LayerChoice>>,
 }
 
 /// Per-window output of an [`EngineSession`]: one final-feature and one
@@ -894,10 +997,19 @@ impl EngineSession {
         let before = self.stats;
         let mut final_features = Vec::with_capacity(snaps.len());
         let mut gnn_outputs = Vec::with_capacity(snaps.len());
+        if self.choices.is_none() {
+            let snap0 = snaps.first().expect("a window needs at least one snapshot");
+            self.choices = Some(plan_layer_choices(
+                &self.engine.dispatch,
+                &self.engine.model,
+                snap0,
+            ));
+        }
         self.engine.window_pass(
             snaps,
             plan,
             skip,
+            self.choices.as_deref().unwrap_or(&[]),
             &mut self.ctxs,
             &mut self.scratch,
             &mut self.stats,

@@ -19,8 +19,11 @@
 pub mod concurrent;
 pub mod reference;
 
+use crate::dgnn::DgnnModel;
 use crate::skip::SkipStats;
 use serde::{Deserialize, Serialize};
+use tagnn_graph::Snapshot;
+use tagnn_tensor::dispatch::{DispatchTally, Dispatcher, LayerChoice};
 use tagnn_tensor::DenseMatrix;
 
 /// Work and traffic accounting for one inference run.
@@ -50,6 +53,18 @@ pub struct ExecutionStats {
     pub unaffected_row_hoists: u64,
     /// Cell-update mode tallies.
     pub skip: SkipStats,
+    /// Kernel-dispatch outcome tallies: one count per GEMM-factor
+    /// decision (dense tiled GEMM vs row-sparse SpMM) plus one per RNN
+    /// cell routed through the condensed-delta zero-skip path.
+    #[serde(default)]
+    pub dispatch: DispatchTally,
+    /// Sum of measured nonzero-row counts over every density-measured
+    /// GEMM LHS operand (numerator of the run's mean input density).
+    #[serde(default)]
+    pub dispatch_nz_rows: u64,
+    /// Sum of total row counts over the same operands (denominator).
+    #[serde(default)]
+    pub dispatch_rows_seen: u64,
     /// Wall-clock time of the run, nanoseconds.
     pub wall_ns: u64,
 }
@@ -71,25 +86,57 @@ impl ExecutionStats {
         }
     }
 
+    /// Mean measured LHS row density across dispatch decisions, in
+    /// `[0, 1]` (1.0 when nothing was measured — dense by assumption).
+    pub fn dispatch_density(&self) -> f64 {
+        if self.dispatch_rows_seen == 0 {
+            1.0
+        } else {
+            self.dispatch_nz_rows as f64 / self.dispatch_rows_seen as f64
+        }
+    }
+
+    /// Every counter as a `(name, value)` list — the *single*
+    /// enumeration both [`Self::publish`] and the experiments summary
+    /// table consume, so a counter added to this struct can never
+    /// silently vanish from a report by being missing from a hand-kept
+    /// list.
+    pub fn named_counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("gnn_aggregate_macs", self.gnn_aggregate_macs),
+            ("gnn_combine_macs", self.gnn_combine_macs),
+            ("rnn_macs", self.rnn_macs),
+            ("similarity_ops", self.similarity_ops),
+            ("feature_rows_loaded", self.feature_rows_loaded),
+            ("feature_rows_reused", self.feature_rows_reused),
+            ("structure_words_loaded", self.structure_words_loaded),
+            ("gnn_vertices_computed", self.gnn_vertices_computed),
+            ("gnn_vertices_reused", self.gnn_vertices_reused),
+            ("unaffected_row_hoists", self.unaffected_row_hoists),
+            ("skip.normal", self.skip.normal),
+            ("skip.delta", self.skip.delta),
+            ("skip.skipped", self.skip.skipped),
+            ("kernel.dispatch.dense", self.dispatch.dense),
+            ("kernel.dispatch.spmm", self.dispatch.spmm),
+            ("kernel.dispatch.delta_skip", self.dispatch.delta_skip),
+            ("kernel.dispatch.nz_rows", self.dispatch_nz_rows),
+            ("kernel.dispatch.rows_seen", self.dispatch_rows_seen),
+            ("wall_ns", self.wall_ns),
+        ]
+    }
+
     /// Publishes every counter as `{prefix}.{field}` on `rec` (the
     /// tagnn-obs publication convention: work counters become recorder
-    /// counters, ratios stay derivable downstream).
+    /// counters, ratios stay derivable downstream), plus the measured
+    /// mean input density as a `{prefix}.kernel.input_density` gauge.
     pub fn publish(&self, rec: &tagnn_obs::Recorder, prefix: &str) {
-        let c = |name: &str, v: u64| rec.incr(&format!("{prefix}.{name}"), v);
-        c("gnn_aggregate_macs", self.gnn_aggregate_macs);
-        c("gnn_combine_macs", self.gnn_combine_macs);
-        c("rnn_macs", self.rnn_macs);
-        c("similarity_ops", self.similarity_ops);
-        c("feature_rows_loaded", self.feature_rows_loaded);
-        c("feature_rows_reused", self.feature_rows_reused);
-        c("structure_words_loaded", self.structure_words_loaded);
-        c("gnn_vertices_computed", self.gnn_vertices_computed);
-        c("gnn_vertices_reused", self.gnn_vertices_reused);
-        c("unaffected_row_hoists", self.unaffected_row_hoists);
-        c("skip.normal", self.skip.normal);
-        c("skip.delta", self.skip.delta);
-        c("skip.skipped", self.skip.skipped);
-        c("wall_ns", self.wall_ns);
+        for (name, v) in self.named_counters() {
+            rec.incr(&format!("{prefix}.{name}"), v);
+        }
+        rec.gauge(
+            &format!("{prefix}.kernel.input_density"),
+            self.dispatch_density(),
+        );
     }
 
     /// Counters accumulated since `earlier` was sampled (field-wise
@@ -112,6 +159,9 @@ impl ExecutionStats {
                 delta: self.skip.delta - earlier.skip.delta,
                 skipped: self.skip.skipped - earlier.skip.skipped,
             },
+            dispatch: self.dispatch.delta_since(&earlier.dispatch),
+            dispatch_nz_rows: self.dispatch_nz_rows - earlier.dispatch_nz_rows,
+            dispatch_rows_seen: self.dispatch_rows_seen - earlier.dispatch_rows_seen,
             wall_ns: self.wall_ns - earlier.wall_ns,
         }
     }
@@ -129,8 +179,47 @@ impl ExecutionStats {
         self.gnn_vertices_reused += other.gnn_vertices_reused;
         self.unaffected_row_hoists += other.unaffected_row_hoists;
         self.skip.merge(&other.skip);
+        self.dispatch.merge(&other.dispatch);
+        self.dispatch_nz_rows += other.dispatch_nz_rows;
+        self.dispatch_rows_seen += other.dispatch_rows_seen;
         self.wall_ns += other.wall_ns;
     }
+}
+
+/// The per-run association plan both engines share: one [`LayerChoice`]
+/// per GCN layer, pinned from the run's **first** snapshot.
+///
+/// The factorisation choice (`Â·(X·W)` vs `(Â·X)·W`) reassociates the
+/// float product, so it is *not* bit-preserving — it must therefore be
+/// made once per run, from inputs every engine sees identically
+/// (vertex count, first-snapshot edge count, layer shapes, and the
+/// measured nonzero-row count of the first snapshot's features), or
+/// the Exact-mode bit-identity between the reference and concurrent
+/// engines would silently break. The *kernel* choice (dense GEMM vs
+/// SpMM) is bit-free and stays adaptive per window/snapshot.
+///
+/// Layer 0 is the only density-measured operand: aggregation and
+/// activation densify every later layer's input, so layers ≥ 1 are
+/// priced fully dense (`nz = n`).
+pub(crate) fn plan_layer_choices(
+    dispatcher: &Dispatcher,
+    model: &DgnnModel,
+    snap0: &Snapshot,
+) -> Vec<LayerChoice> {
+    let n = snap0.num_vertices();
+    let edges = snap0.csr().num_edges();
+    let nz0 = (0..n)
+        .filter(|&v| snap0.features().row(v).iter().any(|&x| x != 0.0))
+        .count();
+    model
+        .layers()
+        .iter()
+        .enumerate()
+        .map(|(l, layer)| {
+            let nz = if l == 0 { nz0 } else { n };
+            dispatcher.choose_layer(n, edges, layer.in_dim(), layer.out_dim(), nz)
+        })
+        .collect()
 }
 
 /// The result of running DGNN inference over a snapshot sequence.

@@ -8,30 +8,51 @@
 //! and the cost baseline for the simulator.
 
 use crate::dgnn::DgnnModel;
-use crate::engine::{ExecutionStats, InferenceOutput};
+use crate::engine::{plan_layer_choices, ExecutionStats, InferenceOutput};
 use crate::gcn;
 use crate::rnn::VertexState;
 use rayon::prelude::*;
 use tagnn_graph::types::VertexId;
 use tagnn_graph::{DynamicGraph, Snapshot};
 use tagnn_obs::{span as obs_span, Recorder};
+use tagnn_tensor::dispatch::{DispatchMode, Dispatcher, Kernel, LayerChoice};
 use tagnn_tensor::{DenseMatrix, Scratch};
 
 /// Snapshot-by-snapshot exact inference.
 #[derive(Debug, Clone)]
 pub struct ReferenceEngine {
     model: DgnnModel,
+    dispatch: Dispatcher,
 }
 
 impl ReferenceEngine {
-    /// Wraps a model.
+    /// Wraps a model, with sparsity-adaptive kernel dispatch in its
+    /// default (auto) mode.
     pub fn new(model: DgnnModel) -> Self {
-        Self { model }
+        Self::with_dispatch(model, DispatchMode::default())
+    }
+
+    /// Wraps a model with an explicit dispatch mode
+    /// ([`DispatchMode::Dense`] reproduces the pre-dispatch engine).
+    pub fn with_dispatch(model: DgnnModel, mode: DispatchMode) -> Self {
+        Self::with_dispatcher(model, Dispatcher::new(mode))
+    }
+
+    /// Wraps a model with a fully explicit dispatch policy — mode *and*
+    /// cost model (tests and benches pin coefficients this way instead
+    /// of depending on probe timing).
+    pub fn with_dispatcher(model: DgnnModel, dispatch: Dispatcher) -> Self {
+        Self { model, dispatch }
     }
 
     /// The wrapped model.
     pub fn model(&self) -> &DgnnModel {
         &self.model
+    }
+
+    /// The kernel-dispatch policy this engine runs.
+    pub fn dispatcher(&self) -> &Dispatcher {
+        &self.dispatch
     }
 
     /// Runs inference over every snapshot of `graph`.
@@ -81,13 +102,22 @@ impl ReferenceEngine {
         scratch.h_batch.reserve(n * hidden);
         scratch.x_pre.reserve(n * gh);
         scratch.h_pre.reserve(n * gh);
+        scratch.nz_rows.reserve(n);
         scratch.mark_steady();
+
+        // Association plan, pinned per run from the first snapshot —
+        // shared logic with the concurrent engine so Exact-mode runs
+        // stay bit-identical (see `plan_layer_choices`).
+        let choices: Vec<LayerChoice> = match graph.snapshots().first() {
+            Some(snap0) => plan_layer_choices(&self.dispatch, &self.model, snap0),
+            None => Vec::new(),
+        };
 
         for snap in graph.snapshots() {
             // GNN module: full multi-layer forward over every vertex.
             let z = {
                 let _span = obs_span(rec, "gnn_snapshot");
-                self.gnn_forward(snap, &mut stats, scratch)
+                self.gnn_forward(snap, &choices, &mut stats, scratch)
             };
 
             // RNN module: full cell update per active vertex, batched —
@@ -151,12 +181,18 @@ impl ReferenceEngine {
 
     /// Full GNN forward for one snapshot, with load/MAC accounting.
     ///
-    /// Runs the fused [`crate::gcn::GcnLayer::forward_into`] per layer,
+    /// Runs the fused [`crate::gcn::GcnLayer::forward_planned_into`]
+    /// per layer under the run's pinned association plan `choices`,
     /// ping-ponging intermediate tables between two scratch buffers;
-    /// only the final layer writes a deliverable matrix.
+    /// only the final layer writes a deliverable matrix. The kernel for
+    /// the layer-0 GEMM factor is re-dispatched per snapshot from an
+    /// exact re-scan of the feature rows (the reference engine is the
+    /// oracle: the scan is a vanishing fraction of the GEMM it informs,
+    /// and an exact row list is what keeps the SpMM bit-identical).
     pub(crate) fn gnn_forward(
         &self,
         snap: &Snapshot,
+        choices: &[LayerChoice],
         stats: &mut ExecutionStats,
         scratch: &mut Scratch,
     ) -> DenseMatrix {
@@ -165,6 +201,23 @@ impl ReferenceEngine {
         let max_dim = self.model.max_layer_dim();
         let degp1 = scratch.degp1.take_uninit(n);
         gcn::fill_degp1(snap, degp1);
+
+        // Density measurement for the only potentially sparse operand
+        // (layer-0 features): exact nonzero-row list, rebuilt per
+        // snapshot so it can never go stale.
+        let auto = self.dispatch.mode() == DispatchMode::Auto;
+        let nz_buf = scratch.nz_rows.take_uninit(n);
+        let mut nz0 = 0usize;
+        if auto {
+            for v in 0..n {
+                if snap.features().row(v).iter().any(|&x| x != 0.0) {
+                    nz_buf[nz0] = v as u32;
+                    nz0 += 1;
+                }
+            }
+            stats.dispatch_nz_rows += nz0 as u64;
+            stats.dispatch_rows_seen += n as u64;
+        }
         // Ping-pong pair for intermediate layer tables: `cur` holds the
         // running input (layer 0 reads the snapshot features directly),
         // `next` receives the output, then the two swap.
@@ -200,10 +253,40 @@ impl ReferenceEngine {
             } else {
                 &cur[..in_len]
             };
+
+            // Association is pinned per run; the kernel of the GEMM
+            // factor is bit-free, so it re-dispatches per snapshot.
+            // Only layer 0 can be sparse — aggregation and activation
+            // densify every later layer's input.
+            let assoc = choices
+                .get(i)
+                .copied()
+                .unwrap_or_else(|| layer.legacy_choice());
+            let (kernel, rows): (Kernel, Option<&[u32]>) =
+                if assoc.transform_first && i == 0 && auto {
+                    let gc = self
+                        .dispatch
+                        .choose_gemm(n, layer.in_dim(), layer.out_dim(), nz0);
+                    let rows = (gc.kernel == Kernel::Spmm).then_some(&nz_buf[..nz0]);
+                    (gc.kernel, rows)
+                } else {
+                    (Kernel::Dense, None)
+                };
+            stats.dispatch.count(kernel);
+            let exec = LayerChoice { kernel, ..assoc };
+
             if i + 1 == layers.len() {
-                layer.forward_into(snap, input, degp1, work, z.as_mut_slice());
+                layer.forward_planned_into(snap, input, degp1, work, rows, &exec, z.as_mut_slice());
             } else {
-                layer.forward_into(snap, input, degp1, work, &mut next[..out_len]);
+                layer.forward_planned_into(
+                    snap,
+                    input,
+                    degp1,
+                    work,
+                    rows,
+                    &exec,
+                    &mut next[..out_len],
+                );
                 std::mem::swap(&mut cur, &mut next);
             }
         }

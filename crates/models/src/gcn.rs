@@ -6,6 +6,7 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use tagnn_graph::types::VertexId;
 use tagnn_graph::Snapshot;
+use tagnn_tensor::dispatch::{Kernel, LayerChoice};
 use tagnn_tensor::kernels::{self, ScratchBuf};
 use tagnn_tensor::{init, ops, Activation, DenseMatrix};
 
@@ -104,13 +105,32 @@ impl GcnLayer {
 
     /// Whether the fused forward multiplies by `W` *before* aggregating.
     ///
-    /// `Â·(X·W)` and `(Â·X)·W` are mathematically identical; the fused
-    /// forward picks whichever moves fewer floats through the
-    /// aggregation: transform first exactly when the layer shrinks its
-    /// input (`out_dim < in_dim`), aggregate first otherwise.
+    /// `Â·(X·W)` and `(Â·X)·W` are mathematically identical; this
+    /// shape-only heuristic picks whichever moves fewer floats through
+    /// the aggregation: transform first exactly when the layer shrinks
+    /// its input (`out_dim < in_dim`), aggregate first otherwise.
+    ///
+    /// This is the *legacy fallback*: the engines now fold measured
+    /// input density into the same decision through
+    /// [`tagnn_tensor::dispatch::Dispatcher::choose_layer`] and call
+    /// [`Self::forward_planned_into`] with the result. On fully dense
+    /// inputs the dispatcher's choice collapses to exactly this
+    /// heuristic, so the two agree whenever sparsity gives no reason
+    /// to diverge.
     #[inline]
     pub fn transform_first(&self) -> bool {
         self.out_dim() < self.in_dim()
+    }
+
+    /// The dispatch decision [`Self::forward_into`] executes: the
+    /// legacy shape-only association with the dense kernel.
+    #[inline]
+    pub fn legacy_choice(&self) -> LayerChoice {
+        LayerChoice {
+            transform_first: self.transform_first(),
+            kernel: Kernel::Dense,
+            density: 1.0,
+        }
     }
 
     /// Aggregation for a single vertex over `N(v) ∪ {v}`, per the layer's
@@ -270,14 +290,51 @@ impl GcnLayer {
         work: &mut ScratchBuf<f32>,
         out: &mut [f32],
     ) {
+        self.forward_planned_into(snap, x, degp1, work, None, &self.legacy_choice(), out);
+    }
+
+    /// [`Self::forward_into`] executing an explicit dispatch decision:
+    /// the engines' sparsity-adaptive layer
+    /// ([`tagnn_tensor::dispatch::Dispatcher`]) picks the factorisation
+    /// and the kernel for the GEMM factor; this method just runs it.
+    ///
+    /// When `choice.kernel` is [`Kernel::Spmm`] the caller must supply
+    /// `nz_rows`: the ascending indices of **every** nonzero row of
+    /// `x`. That list is an exactness contract, not a hint — a nonzero
+    /// row missing from it would make the SpMM compute wrong numbers,
+    /// not merely differently-rounded ones. Because the SpMM shares the
+    /// dense GEMM's row kernel, a correct list makes the transform-first
+    /// arm bit-identical to its dense execution at every density.
+    ///
+    /// The aggregate-first arm always runs the dense GEMM: aggregation
+    /// densifies rows, so its GEMM input has no row sparsity to exploit.
+    ///
+    /// # Panics
+    /// Panics on any shape mismatch.
+    #[allow(clippy::too_many_arguments)] // kernel-shaped signature: operands + decision + out
+    pub fn forward_planned_into(
+        &self,
+        snap: &Snapshot,
+        x: &[f32],
+        degp1: &[f32],
+        work: &mut ScratchBuf<f32>,
+        nz_rows: Option<&[u32]>,
+        choice: &LayerChoice,
+        out: &mut [f32],
+    ) {
         let n = snap.num_vertices();
         assert_eq!(x.len(), n * self.in_dim(), "layer input dim mismatch");
         assert_eq!(out.len(), n * self.out_dim(), "layer output shape mismatch");
         assert_eq!(degp1.len(), n, "degp1 length mismatch");
         let (in_dim, out_dim) = (self.in_dim(), self.out_dim());
-        if self.transform_first() {
+        if choice.transform_first {
             let xw = work.take_uninit(n * out_dim);
-            kernels::gemm_into(n, in_dim, out_dim, x, self.weight.as_slice(), xw);
+            match (choice.kernel, nz_rows) {
+                (Kernel::Spmm, Some(rows)) => {
+                    kernels::spmm_csr_into(n, in_dim, out_dim, rows, x, self.weight.as_slice(), xw);
+                }
+                _ => kernels::gemm_into(n, in_dim, out_dim, x, self.weight.as_slice(), xw),
+            }
             self.aggregate_rows_into(snap, xw, out_dim, degp1, out);
         } else {
             let agg = work.take_uninit(n * in_dim);
@@ -401,6 +458,54 @@ mod tests {
                     assert!((a - b).abs() < 1e-5, "v{v}: {a} vs {b} ({agg:?})");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn planned_spmm_forward_is_bit_identical_to_dense_forward() {
+        use tagnn_tensor::dispatch::{Kernel, LayerChoice};
+        // Zero out some feature rows, run the transform-first arm once
+        // densely and once through the SpMM with the matching row list:
+        // the outputs must agree bit-for-bit, not approximately.
+        let n = 9;
+        let mut feats = DenseMatrix::from_fn(n, 5, |r, c| ((r * 5 + c) as f32).sin());
+        for r in [1usize, 4, 7] {
+            feats.row_mut(r).fill(0.0);
+        }
+        let rows: Vec<u32> = (0..n as u32).filter(|r| ![1, 4, 7].contains(r)).collect();
+        let s = Snapshot::fully_active(
+            Csr::from_edges(n, &[(0, 1), (1, 2), (2, 3), (4, 5), (6, 7), (7, 8)]),
+            feats,
+        );
+        let layer = GcnLayer::new(5, 3, Activation::Tanh, 17);
+        let mut degp1 = vec![0.0f32; n];
+        fill_degp1(&s, &mut degp1);
+        let mut work = ScratchBuf::default();
+        let mut dense_out = vec![0.0f32; n * 3];
+        layer.forward_into(
+            &s,
+            s.features().as_slice(),
+            &degp1,
+            &mut work,
+            &mut dense_out,
+        );
+        let choice = LayerChoice {
+            transform_first: true,
+            kernel: Kernel::Spmm,
+            density: rows.len() as f64 / n as f64,
+        };
+        let mut spmm_out = vec![f32::NAN; n * 3];
+        layer.forward_planned_into(
+            &s,
+            s.features().as_slice(),
+            &degp1,
+            &mut work,
+            Some(&rows),
+            &choice,
+            &mut spmm_out,
+        );
+        for (i, (a, b)) in dense_out.iter().zip(&spmm_out).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "elem {i}: {a} vs {b}");
         }
     }
 

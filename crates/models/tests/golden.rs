@@ -9,10 +9,11 @@
 
 use tagnn_graph::generate::{ChurnConfig, GeneratorConfig};
 use tagnn_graph::types::VertexId;
-use tagnn_graph::DynamicGraph;
+use tagnn_graph::{DynamicGraph, Snapshot};
 use tagnn_models::{
     ConcurrentEngine, DgnnModel, ModelKind, ReferenceEngine, ReuseMode, SkipConfig,
 };
+use tagnn_tensor::dispatch::{CostModel, DispatchMode, Dispatcher};
 use tagnn_tensor::{DenseMatrix, Scratch};
 
 fn churny_graph(seed: u64) -> DynamicGraph {
@@ -119,6 +120,107 @@ fn aggregate_first_arm_is_bit_identical_to_golden() {
     let concurrent =
         ConcurrentEngine::with_options(model, SkipConfig::disabled(), 3, ReuseMode::Exact).run(&g);
     assert_eq!(golden, concurrent.final_features);
+}
+
+/// Zeroes out the feature rows of every vertex except each fourth one,
+/// in every snapshot — 75% row sparsity, enough to flip the dispatcher
+/// to the SpMM on the layer-0 GEMM factor.
+fn sparsify(g: &DynamicGraph) -> DynamicGraph {
+    let snaps = g
+        .snapshots()
+        .iter()
+        .map(|s| {
+            let mut feats = s.features().clone();
+            for v in 0..s.num_vertices() {
+                if v % 4 != 0 {
+                    feats.row_mut(v).fill(0.0);
+                }
+            }
+            Snapshot::new(s.csr().clone(), feats, s.active().to_vec())
+        })
+        .collect();
+    DynamicGraph::new(snaps)
+}
+
+/// The dispatch layer's headline contract: enabling sparsity-adaptive
+/// dispatch (the default `auto` mode) must leave Exact-mode digests
+/// unchanged — bit-for-bit equal to the legacy `dense` mode — at every
+/// density, for both engines. On sparse inputs the SpMM must actually
+/// fire, and still change nothing. Run blocking in CI
+/// (`dispatch-differential`).
+#[test]
+fn dispatch_auto_leaves_exact_mode_digests_unchanged() {
+    // Pinned coefficients rather than probe timing: the digests must be
+    // identical whatever the model says, but asserting that the SpMM
+    // actually *fired* on the sparse graph needs a deterministic model
+    // (at 40 vertices × 6 features a probed per-row overhead can
+    // legitimately keep everything dense).
+    let pinned = |mode: DispatchMode| {
+        Dispatcher::with_model(
+            mode,
+            CostModel {
+                spmm_row_ns: 0.5,
+                ..CostModel::default_coeffs()
+            },
+        )
+    };
+    for sparse in [false, true] {
+        let g = if sparse {
+            sparsify(&churny_graph(51))
+        } else {
+            churny_graph(51)
+        };
+        // Hidden 5 shrinks layer 0 (6 → 5): the transform-first arm,
+        // where the SpMM dispatch lives, is exercised.
+        let model = DgnnModel::new(ModelKind::TGcn, g.feature_dim(), 5, 51);
+
+        let ref_auto =
+            ReferenceEngine::with_dispatcher(model.clone(), pinned(DispatchMode::Auto)).run(&g);
+        let ref_dense =
+            ReferenceEngine::with_dispatcher(model.clone(), pinned(DispatchMode::Dense)).run(&g);
+        assert_eq!(
+            ref_auto.final_features, ref_dense.final_features,
+            "sparse={sparse}: auto dispatch perturbed the reference digests"
+        );
+        assert_eq!(ref_auto.gnn_outputs, ref_dense.gnn_outputs);
+
+        let conc = |mode: DispatchMode| {
+            ConcurrentEngine::with_options(
+                model.clone(),
+                SkipConfig::disabled(),
+                3,
+                ReuseMode::Exact,
+            )
+            .with_dispatcher(pinned(mode))
+            .run(&g)
+        };
+        let conc_auto = conc(DispatchMode::Auto);
+        let conc_dense = conc(DispatchMode::Dense);
+        assert_eq!(
+            conc_auto.final_features, conc_dense.final_features,
+            "sparse={sparse}: auto dispatch perturbed the concurrent digests"
+        );
+        assert_eq!(
+            conc_auto.final_features, ref_auto.final_features,
+            "sparse={sparse}: Exact mode no longer matches the reference engine"
+        );
+
+        if sparse {
+            assert!(
+                ref_auto.stats.dispatch.spmm > 0,
+                "75% zero rows must route the layer-0 GEMM through the SpMM"
+            );
+            assert!(
+                conc_auto.stats.dispatch.spmm > 0,
+                "the concurrent engine must also reach the SpMM"
+            );
+        }
+        assert_eq!(ref_dense.stats.dispatch.spmm, 0, "dense mode never SpMMs");
+        assert!(
+            ref_auto.stats.dispatch.total() > 0,
+            "every GEMM factor must be tallied as a dispatch decision"
+        );
+    }
 }
 
 /// After the first run reserves the workspaces, repeated runs through a

@@ -475,6 +475,11 @@ pub fn encode_stats(out: &mut Vec<u8>, id: u64, s: &StatsView) {
     put_u64(&mut body, s.plan_cached);
     put_u64(&mut body, s.plan_incremental);
     put_u64(&mut body, s.plan_fallbacks);
+    put_u64(&mut body, s.dispatch_dense);
+    put_u64(&mut body, s.dispatch_spmm);
+    put_u64(&mut body, s.dispatch_delta_skip);
+    // f64 travels as its IEEE-754 bit pattern (exact round trip).
+    put_u64(&mut body, s.dispatch_density.to_bits());
     put_u64(&mut body, s.cross_shard_edges);
     put_u32(&mut body, s.shard_routed.len() as u32);
     for &x in &s.shard_routed {
@@ -501,6 +506,10 @@ pub fn decode_stats(body: &[u8]) -> Result<StatsView, ServeError> {
     let plan_cached = r.u64()?;
     let plan_incremental = r.u64()?;
     let plan_fallbacks = r.u64()?;
+    let dispatch_dense = r.u64()?;
+    let dispatch_spmm = r.u64()?;
+    let dispatch_delta_skip = r.u64()?;
+    let dispatch_density = f64::from_bits(r.u64()?);
     let cross_shard_edges = r.u64()?;
     let n = r.u32()? as usize;
     if n > body.len() {
@@ -530,6 +539,10 @@ pub fn decode_stats(body: &[u8]) -> Result<StatsView, ServeError> {
         plan_cached,
         plan_incremental,
         plan_fallbacks,
+        dispatch_dense,
+        dispatch_spmm,
+        dispatch_delta_skip,
+        dispatch_density,
         shard_routed,
         shard_queue_depths,
         cross_shard_edges,
@@ -686,6 +699,12 @@ mod tests {
         let stats = StatsView {
             queue_depth: 3,
             shed: 1,
+            dispatch_dense: 11,
+            dispatch_spmm: 4,
+            dispatch_delta_skip: 6,
+            // Not exactly representable in decimal — the bit-pattern
+            // encoding must still round-trip it exactly.
+            dispatch_density: 1.0 / 3.0,
             shard_routed: vec![10, 20, 30],
             shard_queue_depths: vec![0, 1, 2],
             cross_shard_edges: 7,

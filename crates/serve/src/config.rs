@@ -1,6 +1,7 @@
 //! Server configuration.
 
 use tagnn_models::{ModelKind, ReuseMode, SkipConfig};
+use tagnn_tensor::DispatchMode;
 
 use crate::degrade::DegradationPolicy;
 use crate::shard::ShardAssignment;
@@ -26,6 +27,11 @@ pub struct ServeConfig {
     pub skip: SkipConfig,
     /// Cross-snapshot reuse mode of the engine.
     pub reuse: ReuseMode,
+    /// Kernel dispatch mode of the engine: `Auto` measures operand
+    /// density and picks dense GEMM vs row-sparse SpMM per window;
+    /// `Dense` pins the legacy dense path (A/B baseline). Either way
+    /// served bits are identical.
+    pub dispatch: DispatchMode,
     /// Engine shards. Each shard owns a partition of the vertex universe
     /// (admission routes events to their owning shard's ingest lane) and
     /// runs one execution worker; streams stick to shards by
@@ -71,6 +77,7 @@ impl Default for ServeConfig {
             seed: 7,
             skip: SkipConfig::paper_default(),
             reuse: ReuseMode::PaperWindow,
+            dispatch: DispatchMode::default(),
             shards: 2,
             shard_assignment: ShardAssignment::Hash,
             degree_profile: None,

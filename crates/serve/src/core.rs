@@ -26,7 +26,7 @@ use std::time::{Duration, Instant};
 use tagnn_graph::{CacheStats, PlanCache, PlanSource, WindowPlan, WindowPlanner};
 use tagnn_models::{ConcurrentEngine, DgnnModel, EngineSession, SkipConfig};
 use tagnn_obs::Recorder;
-use tagnn_tensor::DenseMatrix;
+use tagnn_tensor::{DenseMatrix, DispatchTally};
 
 use crate::config::ServeConfig;
 use crate::degrade::DegradationState;
@@ -178,6 +178,55 @@ pub struct ShardStats {
     pub queue_depths: Vec<usize>,
 }
 
+/// Shared atomic backing of the kernel-dispatch counters: how often the
+/// workers' engine sessions chose each kernel, plus the row-density sums
+/// behind those choices (see `tagnn_tensor::dispatch`).
+#[derive(Debug, Default)]
+struct DispatchObs {
+    dense: AtomicU64,
+    spmm: AtomicU64,
+    delta_skip: AtomicU64,
+    nz_rows: AtomicU64,
+    rows_seen: AtomicU64,
+}
+
+impl DispatchObs {
+    fn add(&self, stats: &tagnn_models::ExecutionStats) {
+        let d = &stats.dispatch;
+        if d.dense > 0 {
+            self.dense.fetch_add(d.dense, Ordering::Relaxed);
+        }
+        if d.spmm > 0 {
+            self.spmm.fetch_add(d.spmm, Ordering::Relaxed);
+        }
+        if d.delta_skip > 0 {
+            self.delta_skip.fetch_add(d.delta_skip, Ordering::Relaxed);
+        }
+        if stats.dispatch_rows_seen > 0 {
+            self.nz_rows
+                .fetch_add(stats.dispatch_nz_rows, Ordering::Relaxed);
+            self.rows_seen
+                .fetch_add(stats.dispatch_rows_seen, Ordering::Relaxed);
+        }
+    }
+
+    fn tally(&self) -> DispatchTally {
+        DispatchTally {
+            dense: self.dense.load(Ordering::Relaxed),
+            spmm: self.spmm.load(Ordering::Relaxed),
+            delta_skip: self.delta_skip.load(Ordering::Relaxed),
+        }
+    }
+
+    fn density(&self) -> f64 {
+        let seen = self.rows_seen.load(Ordering::Relaxed);
+        if seen == 0 {
+            return 1.0;
+        }
+        self.nz_rows.load(Ordering::Relaxed) as f64 / seen as f64
+    }
+}
+
 /// Shared atomic backing of [`ShardStats`].
 #[derive(Debug)]
 struct ShardObs {
@@ -228,6 +277,7 @@ pub struct ServeCore {
     cache: Arc<PlanCache>,
     plan_counters: Arc<PlanCounters>,
     shard_obs: Arc<ShardObs>,
+    dispatch_obs: Arc<DispatchObs>,
     shed: Arc<AtomicU64>,
     degrade_level: Arc<AtomicU32>,
     max_degrade_level: Arc<AtomicU32>,
@@ -245,12 +295,14 @@ impl ServeCore {
         let admission = Arc::new(BoundedQueue::<Job>::new(cfg.queue_capacity));
         let plan_counters = Arc::new(PlanCounters::default());
         let shard_obs = Arc::new(ShardObs::new(cfg.shards));
+        let dispatch_obs = Arc::new(DispatchObs::default());
         let shed = Arc::new(AtomicU64::new(0));
         let degrade_level = Arc::new(AtomicU32::new(0));
         let max_degrade_level = Arc::new(AtomicU32::new(0));
 
         let model = DgnnModel::new(cfg.model, cfg.feature_dim, cfg.hidden, cfg.seed);
-        let engine = ConcurrentEngine::with_options(model, cfg.skip, cfg.window, cfg.reuse);
+        let engine = ConcurrentEngine::with_options(model, cfg.skip, cfg.window, cfg.reuse)
+            .with_dispatch_mode(cfg.dispatch);
 
         let router = ShardRouter::new(
             cfg.shard_assignment,
@@ -272,6 +324,7 @@ impl ServeCore {
                 let cache = Arc::clone(&cache);
                 let recorder = Arc::clone(&recorder);
                 let counters = Arc::clone(&plan_counters);
+                let dispatch_obs = Arc::clone(&dispatch_obs);
                 let universe = cfg.universe;
                 let window = cfg.window;
                 let incremental = cfg.incremental_planning;
@@ -284,6 +337,7 @@ impl ServeCore {
                             cache: &cache,
                             recorder: &recorder,
                             counters: &counters,
+                            dispatch_obs: &dispatch_obs,
                             universe,
                             window,
                             incremental,
@@ -327,6 +381,7 @@ impl ServeCore {
             cache,
             plan_counters,
             shard_obs,
+            dispatch_obs,
             shed,
             degrade_level,
             max_degrade_level,
@@ -354,6 +409,18 @@ impl ServeCore {
     /// incremental fallbacks) since boot.
     pub fn plan_source_counts(&self) -> PlanSourceCounts {
         self.plan_counters.snapshot()
+    }
+
+    /// Kernel-dispatch decisions the workers' engine sessions made since
+    /// boot: dense GEMMs, row-sparse SpMMs, and delta-skip cells.
+    pub fn dispatch_counts(&self) -> DispatchTally {
+        self.dispatch_obs.tally()
+    }
+
+    /// Mean measured row density of the dispatch-measured operands
+    /// since boot (1.0 when nothing was measured — e.g. `dense` mode).
+    pub fn dispatch_density(&self) -> f64 {
+        self.dispatch_obs.density()
     }
 
     /// Requests shed at admission since boot.
@@ -602,6 +669,7 @@ struct WorkerCtx<'a> {
     cache: &'a PlanCache,
     recorder: &'a Recorder,
     counters: &'a PlanCounters,
+    dispatch_obs: &'a DispatchObs,
     universe: usize,
     window: usize,
     incremental: bool,
@@ -652,6 +720,21 @@ fn worker_loop(ctx: WorkerCtx<'_>) {
         let (plan, plan_source) = obtain_plan(&ctx, &item, &planner);
         let refs: Vec<&_> = item.window.graph.snapshots().iter().collect();
         let out = session.process_window_with(&refs, &plan, item.skip);
+
+        ctx.dispatch_obs.add(&out.stats);
+        let d = &out.stats.dispatch;
+        if d.dense > 0 {
+            ctx.recorder.incr("serve.kernel.dispatch.dense", d.dense);
+        }
+        if d.spmm > 0 {
+            ctx.recorder.incr("serve.kernel.dispatch.spmm", d.spmm);
+        }
+        if d.delta_skip > 0 {
+            ctx.recorder
+                .incr("serve.kernel.dispatch.delta_skip", d.delta_skip);
+        }
+        ctx.recorder
+            .gauge("serve.kernel.input_density", ctx.dispatch_obs.density());
 
         let latency_us = item.enqueued_at.elapsed().as_micros() as u64;
         ctx.recorder.record("serve.window_latency_us", latency_us);
@@ -894,6 +977,39 @@ mod tests {
         let b = strip(replay(&deg_core, &g, 0));
         deg_core.shutdown();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dispatch_mode_changes_counters_but_never_served_bits() {
+        use tagnn_tensor::DispatchMode;
+        let strip = |ws: Vec<WindowResult>| {
+            ws.into_iter()
+                .map(|w| (w.seq, w.digest, w.macs))
+                .collect::<Vec<_>>()
+        };
+        let (auto_core, g) = tiny_core(|_| {});
+        let a = strip(replay(&auto_core, &g, 0));
+        let auto_counts = auto_core.dispatch_counts();
+        let auto_density = auto_core.dispatch_density();
+        auto_core.shutdown();
+
+        let (dense_core, _) = tiny_core(|c| c.dispatch = DispatchMode::Dense);
+        let b = strip(replay(&dense_core, &g, 0));
+        let dense_counts = dense_core.dispatch_counts();
+        let dense_density = dense_core.dispatch_density();
+        dense_core.shutdown();
+
+        assert_eq!(a, b, "dispatch mode must not change served bits");
+        assert!(
+            auto_counts.total() > 0,
+            "auto mode must tally its decisions, got {auto_counts:?}"
+        );
+        assert!(
+            (0.0..=1.0).contains(&auto_density),
+            "density is a ratio, got {auto_density}"
+        );
+        assert_eq!(dense_counts.spmm, 0, "dense mode never SpMMs");
+        assert_eq!(dense_density, 1.0, "dense mode measures nothing");
     }
 
     #[test]

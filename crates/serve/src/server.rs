@@ -69,6 +69,7 @@ pub fn stats_view(core: &ServeCore) -> StatsView {
     let cache = core.cache_stats();
     let plan = core.plan_source_counts();
     let shard = core.shard_stats();
+    let dispatch = core.dispatch_counts();
     StatsView {
         queue_depth: core.queue_depth(),
         shed: core.shed_count(),
@@ -81,6 +82,10 @@ pub fn stats_view(core: &ServeCore) -> StatsView {
         plan_cached: plan.cached,
         plan_incremental: plan.incremental,
         plan_fallbacks: plan.fallbacks,
+        dispatch_dense: dispatch.dense,
+        dispatch_spmm: dispatch.spmm,
+        dispatch_delta_skip: dispatch.delta_skip,
+        dispatch_density: core.dispatch_density(),
         shard_routed: shard.routed,
         shard_queue_depths: shard.queue_depths,
         cross_shard_edges: shard.cross_shard_edges,

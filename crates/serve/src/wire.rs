@@ -269,6 +269,15 @@ pub struct StatsView {
     pub plan_incremental: u64,
     /// Incremental-planning fallbacks since boot.
     pub plan_fallbacks: u64,
+    /// Dense-GEMM kernel dispatch decisions since boot.
+    pub dispatch_dense: u64,
+    /// Row-sparse SpMM kernel dispatch decisions since boot.
+    pub dispatch_spmm: u64,
+    /// RNN cells served through the delta-skip path since boot.
+    pub dispatch_delta_skip: u64,
+    /// Mean measured row density of dispatch-measured operands since
+    /// boot (1.0 when nothing was measured).
+    pub dispatch_density: f64,
     /// Events routed to each shard's ingest lane since boot.
     pub shard_routed: Vec<u64>,
     /// Current per-shard window-queue depths.
@@ -295,6 +304,7 @@ pub fn encode_stats(id: u64, s: &StatsView) -> String {
             r#"{{"id":{},"ok":true,"queue_depth":{},"shed":{},"degrade_level":{},"#,
             r#""max_degrade_level":{},"cache":{{"hits":{},"misses":{},"evictions":{}}},"#,
             r#""plan":{{"scratch":{},"cached":{},"incremental":{},"fallbacks":{}}},"#,
+            r#""dispatch":{{"dense":{},"spmm":{},"delta_skip":{},"input_density":{}}},"#,
             r#""shards":{{"count":{},"cross_seal_edges":{},"routed":"#
         ),
         id,
@@ -309,6 +319,10 @@ pub fn encode_stats(id: u64, s: &StatsView) -> String {
         s.plan_cached,
         s.plan_incremental,
         s.plan_fallbacks,
+        s.dispatch_dense,
+        s.dispatch_spmm,
+        s.dispatch_delta_skip,
+        s.dispatch_density,
         s.shard_routed.len(),
         s.cross_shard_edges,
     );
@@ -431,5 +445,22 @@ mod tests {
         let plan = doc.get("plan").unwrap();
         assert_eq!(plan.get("incremental").unwrap().as_u64(), Some(0));
         assert_eq!(plan.get("fallbacks").unwrap().as_u64(), Some(0));
+
+        let stats = encode_stats(
+            1,
+            &StatsView {
+                dispatch_dense: 4,
+                dispatch_spmm: 2,
+                dispatch_delta_skip: 9,
+                dispatch_density: 0.25,
+                ..StatsView::default()
+            },
+        );
+        let doc = crate::json::parse(&stats).unwrap();
+        let dispatch = doc.get("dispatch").unwrap();
+        assert_eq!(dispatch.get("dense").unwrap().as_u64(), Some(4));
+        assert_eq!(dispatch.get("spmm").unwrap().as_u64(), Some(2));
+        assert_eq!(dispatch.get("delta_skip").unwrap().as_u64(), Some(9));
+        assert_eq!(dispatch.get("input_density").unwrap().as_f64(), Some(0.25));
     }
 }

@@ -51,7 +51,7 @@ pub const GEMM_NC: usize = 512;
 ///
 /// Every `out[i, j]` accumulates its `k` products in ascending-`k`
 /// order — the same order as the naive triple loop — fused to one
-/// rounding per multiply-add on FMA hardware (see [`gemm_row`] for the
+/// rounding per multiply-add on FMA hardware (see `gemm_row` for the
 /// exactness contract). Unlike [`crate::ops::matmul_sparse_lhs`] there
 /// is no per-element zero test: the dense path pays for multiplies, not
 /// branches.
@@ -69,6 +69,61 @@ pub fn gemm_into(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [
         .enumerate()
         .for_each(|(i, out_row)| {
             gemm_row(k, n, &a[i * k..(i + 1) * k], b, out_row);
+        });
+}
+
+/// Row-sparse SpMM: `out = A·B` where only the rows of `A` listed in
+/// `rows` (sorted ascending, deduplicated) carry nonzeros. Listed rows
+/// are computed through `gemm_row` — the *same* row kernel as
+/// [`gemm_into`], verbatim — and every unlisted row of `out` is written
+/// as `+0.0`.
+///
+/// # Bit-identity contract
+/// When every unlisted row of `A` is actually all-zero, this is
+/// bit-identical to [`gemm_into`] over the same inputs: listed rows
+/// share the row kernel, and an all-zero LHS row through `gemm_row`
+/// produces exact `+0.0` outputs for finite `B` (`fma(+0·b, acc)`
+/// starting from `acc = +0.0` stays `+0.0` under round-to-nearest),
+/// which is what the skip path writes. Sparsity is deliberately
+/// row-granular — skipping *elements* inside a row would change the
+/// accumulation order and break the contract. The dispatch layer
+/// (`crate::dispatch`) relies on this equivalence; the differential
+/// suite pins it.
+///
+/// # Panics
+/// Panics if a slice length disagrees with its shape or a row index is
+/// out of range. Debug builds additionally assert `rows` is sorted.
+pub fn spmm_csr_into(
+    m: usize,
+    k: usize,
+    n: usize,
+    rows: &[u32],
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+) {
+    assert_eq!(a.len(), m * k, "spmm lhs shape mismatch");
+    assert_eq!(b.len(), k * n, "spmm rhs shape mismatch");
+    assert_eq!(out.len(), m * n, "spmm out shape mismatch");
+    assert!(
+        rows.iter().all(|&r| (r as usize) < m),
+        "spmm row index out of range"
+    );
+    debug_assert!(rows.windows(2).all(|w| w[0] < w[1]), "spmm rows not sorted");
+    if m == 0 || n == 0 {
+        return;
+    }
+    out.par_chunks_exact_mut(n)
+        .enumerate()
+        .for_each(|(i, out_row)| {
+            // O(log nnz_rows) membership test per row — noise next to
+            // the k·n row product, and it keeps the parallel structure
+            // identical to gemm_into's (one task per output row).
+            if rows.binary_search(&(i as u32)).is_ok() {
+                gemm_row(k, n, &a[i * k..(i + 1) * k], b, out_row);
+            } else {
+                out_row.fill(0.0);
+            }
         });
 }
 
@@ -225,7 +280,7 @@ fn gemm_row_generic(k: usize, n: usize, a_row: &[f32], b: &[f32], out_row: &mut 
     }
 }
 
-/// `out[j] += s · x[j]` with the same dispatch policy as [`gemm_row`]:
+/// `out[j] += s · x[j]` with the same dispatch policy as `gemm_row`:
 /// an AVX2+FMA path (one rounding per element) when the CPU has it, a
 /// scalar loop otherwise. Every axpy in the workspace — the GCN
 /// aggregation above all — routes through here, so per-vertex and
@@ -276,7 +331,7 @@ unsafe fn axpy_fma(out: &mut [f32], s: f32, x: &[f32]) {
 /// LSTM gate arithmetic for one vertex with gate layout `[i, f, g, o]`:
 /// `x_pre`, `h_pre` and `bias` are `4·n` long, `h` and `c` are `n` long
 /// and updated in place. On AVX2+FMA hardware the sigmoids and tanhs run
-/// through a polynomial `exp` ([`exp_ps`], ≈ 1 ulp); elsewhere the
+/// through a polynomial `exp` (`exp_ps`, ≈ 1 ulp); elsewhere the
 /// scalar libm loop runs. The dispatch is a pure function of the CPU —
 /// every RNN path (per-vertex `step`, the batched engines, the
 /// delta-patched `step_cached`) funnels through this one kernel, so all
@@ -409,7 +464,7 @@ unsafe fn exp_ps(x: std::arch::x86_64::__m256) -> std::arch::x86_64::__m256 {
     }
 }
 
-/// Eight-lane logistic sigmoid `1 / (1 + exp(-x))` on top of [`exp_ps`].
+/// Eight-lane logistic sigmoid `1 / (1 + exp(-x))` on top of `exp_ps`.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2", enable = "fma")]
 unsafe fn sigmoid_ps(x: std::arch::x86_64::__m256) -> std::arch::x86_64::__m256 {
@@ -422,7 +477,7 @@ unsafe fn sigmoid_ps(x: std::arch::x86_64::__m256) -> std::arch::x86_64::__m256 
 }
 
 /// Eight-lane `tanh(x) = (exp(2x) - 1) / (exp(2x) + 1)` on top of
-/// [`exp_ps`]. The clamp inside `exp_ps` saturates the result cleanly to
+/// `exp_ps`. The clamp inside `exp_ps` saturates the result cleanly to
 /// ±1 for large |x|.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2", enable = "fma")]
@@ -617,6 +672,8 @@ pub struct Scratch {
     pub mask_changed0: ScratchBuf<bool>,
     /// Topology-change mask.
     pub mask_topo: ScratchBuf<bool>,
+    /// Sorted nonzero-row index list for [`spmm_csr_into`] dispatch.
+    pub nz_rows: ScratchBuf<u32>,
     steady_mark: u64,
 }
 
@@ -645,6 +702,7 @@ impl Scratch {
             + self.mask_b.growth_events()
             + self.mask_changed0.growth_events()
             + self.mask_topo.growth_events()
+            + self.nz_rows.growth_events()
     }
 
     /// Marks the end of warm-up: growth from here on is a contract

@@ -11,6 +11,7 @@
 //! results.
 
 pub mod activation;
+pub mod dispatch;
 pub mod init;
 pub mod kernels;
 pub mod matrix;
@@ -18,5 +19,6 @@ pub mod ops;
 pub mod similarity;
 
 pub use activation::Activation;
+pub use dispatch::{DispatchMode, DispatchTally, Dispatcher, RowBitmap};
 pub use kernels::{Scratch, ScratchBuf};
 pub use matrix::DenseMatrix;

@@ -48,6 +48,21 @@ pub fn matmul(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
 /// # Panics
 /// Panics if `a.cols() != b.rows()`.
 pub fn matmul_sparse_lhs(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
+    let (m, n) = (a.rows(), b.cols());
+    let mut out = vec![0.0f32; m * n];
+    matmul_sparse_lhs_into(a, b, &mut out);
+    DenseMatrix::from_vec(m, n, out)
+}
+
+/// The body of [`matmul_sparse_lhs`], writing into a caller-provided
+/// buffer (`m·n`, overwritten) so the dispatch layer can select the
+/// zero-skipping loop without breaking the engines' steady-state
+/// zero-allocation guarantee — hand it a `ScratchBuf` slice. The
+/// allocating wrapper remains for tests and one-shot callers.
+///
+/// # Panics
+/// Panics if `a.cols() != b.rows()` or `out.len() != a.rows()·b.cols()`.
+pub fn matmul_sparse_lhs_into(a: &DenseMatrix, b: &DenseMatrix, out: &mut [f32]) {
     assert_eq!(
         a.cols(),
         b.rows(),
@@ -58,10 +73,11 @@ pub fn matmul_sparse_lhs(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
         b.cols()
     );
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
-    let mut out = vec![0.0f32; m * n];
+    assert_eq!(out.len(), m * n, "matmul_sparse_lhs out shape mismatch");
     out.par_chunks_exact_mut(n.max(1))
         .enumerate()
         .for_each(|(i, out_row)| {
+            out_row.fill(0.0);
             let a_row = a.row(i);
             // Accumulate over k in the outer loop so each inner pass streams a
             // contiguous row of B — cache-friendly row-wise matmul, mirroring the
@@ -76,7 +92,6 @@ pub fn matmul_sparse_lhs(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
                 }
             }
         });
-    DenseMatrix::from_vec(m, n, out)
 }
 
 /// Vector-matrix product: `y = x * B` for a single row vector `x`.
@@ -255,6 +270,16 @@ mod tests {
         {
             assert!((x - y).abs() <= 1e-5 * y.abs().max(1.0), "{x} vs {y}");
         }
+    }
+
+    #[test]
+    fn sparse_lhs_into_overwrites_a_dirty_buffer() {
+        let a = m(2, 2, &[0.0, 1.0, 0.0, 0.0]);
+        let b = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let mut out = vec![9.0f32; 4];
+        matmul_sparse_lhs_into(&a, &b, &mut out);
+        assert_eq!(out, vec![3.0, 4.0, 0.0, 0.0]);
+        assert_eq!(matmul_sparse_lhs(&a, &b).as_slice(), out.as_slice());
     }
 
     #[test]

@@ -1,0 +1,117 @@
+//! Differential suite pinning the dispatch layer's exactness contract:
+//! over any matrix whose zero rows are *actually* zero,
+//! `spmm_csr_into` (given the nonzero-row list) must be bit-identical
+//! to `gemm_into` — not close, identical — at every density and shape.
+//! This is what lets the engines dispatch freely without perturbing
+//! Exact-mode digests. Run blocking in CI (`dispatch-differential`).
+
+use tagnn_tensor::dispatch::{CostModel, DispatchMode, Dispatcher, Kernel, RowBitmap};
+use tagnn_tensor::kernels::{gemm_into, spmm_csr_into};
+use tagnn_tensor::{init, ops, DenseMatrix};
+
+/// xorshift64* — deterministic pattern generator for the row masks.
+struct Rng(u64);
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Builds an `m×k` matrix where each row is zeroed with probability
+/// `zero_frac`, plus the matching sorted nonzero-row list.
+fn sparse_lhs(m: usize, k: usize, zero_frac: f64, seed: u64) -> (DenseMatrix, Vec<u32>) {
+    let dense = init::xavier_uniform(m, k, seed);
+    let mut data = dense.as_slice().to_vec();
+    let mut rng = Rng(seed.wrapping_mul(0x9E3779B97F4A7C15) | 1);
+    let mut rows = Vec::new();
+    for r in 0..m {
+        if rng.unit() < zero_frac {
+            data[r * k..(r + 1) * k].fill(0.0);
+        } else {
+            rows.push(r as u32);
+        }
+    }
+    (DenseMatrix::from_vec(m, k, data), rows)
+}
+
+const SHAPES: &[(usize, usize, usize)] = &[(7, 5, 3), (33, 17, 9), (64, 48, 32), (128, 64, 64)];
+const ZERO_FRACS: &[f64] = &[0.0, 0.01, 0.5, 0.99, 1.0];
+
+#[test]
+fn spmm_is_bit_identical_to_gemm_at_every_density_and_shape() {
+    for &(m, k, n) in SHAPES {
+        for &zf in ZERO_FRACS {
+            for seed in [1u64, 42, 0xD1FF] {
+                let (a, rows) = sparse_lhs(m, k, zf, seed);
+                let b = init::xavier_uniform(k, n, seed ^ 0xB);
+                let mut dense_out = vec![f32::NAN; m * n];
+                let mut spmm_out = vec![f32::NAN; m * n];
+                gemm_into(m, k, n, a.as_slice(), b.as_slice(), &mut dense_out);
+                spmm_csr_into(m, k, n, &rows, a.as_slice(), b.as_slice(), &mut spmm_out);
+                for (i, (x, y)) in dense_out.iter().zip(&spmm_out).enumerate() {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "shape {m}x{k}x{n} zero_frac {zf} seed {seed} elem {i}: {x} vs {y}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn bitmap_row_list_reproduces_the_ground_truth_mask() {
+    for &(m, k, _) in SHAPES {
+        for &zf in ZERO_FRACS {
+            let (a, rows) = sparse_lhs(m, k, zf, 7);
+            let bm = RowBitmap::from_rows(m, k, a.as_slice());
+            assert_eq!(bm.nnz_rows(), rows.len());
+            let mut got = Vec::new();
+            bm.collect_rows(&mut got);
+            assert_eq!(got, rows, "shape {m}x{k} zero_frac {zf}");
+        }
+    }
+}
+
+#[test]
+fn sparse_lhs_into_matches_its_allocating_wrapper_bitwise() {
+    for &(m, k, n) in SHAPES {
+        let (a, _) = sparse_lhs(m, k, 0.5, 11);
+        let b = init::xavier_uniform(k, n, 13);
+        let want = ops::matmul_sparse_lhs(&a, &b);
+        let mut got = vec![f32::NAN; m * n];
+        ops::matmul_sparse_lhs_into(&a, &b, &mut got);
+        assert_eq!(want.as_slice(), got.as_slice());
+    }
+}
+
+#[test]
+fn auto_dispatch_never_changes_the_bits_it_computes() {
+    // Whatever the cost model picks, the produced matrix is the same:
+    // run the dispatcher's actual choice and compare against dense.
+    let d = Dispatcher::with_model(DispatchMode::Auto, CostModel::default_coeffs());
+    for &(m, k, n) in SHAPES {
+        for &zf in ZERO_FRACS {
+            let (a, rows) = sparse_lhs(m, k, zf, 23);
+            let b = init::xavier_uniform(k, n, 29);
+            let mut want = vec![0.0f32; m * n];
+            gemm_into(m, k, n, a.as_slice(), b.as_slice(), &mut want);
+            let choice = d.choose_gemm(m, k, n, rows.len());
+            let mut got = vec![f32::NAN; m * n];
+            match choice.kernel {
+                Kernel::Spmm => spmm_csr_into(m, k, n, &rows, a.as_slice(), b.as_slice(), &mut got),
+                _ => gemm_into(m, k, n, a.as_slice(), b.as_slice(), &mut got),
+            }
+            assert_eq!(want, got, "shape {m}x{k}x{n} zero_frac {zf}");
+        }
+    }
+}
