@@ -21,10 +21,16 @@
 //!                   digests are shard-count-invariant, measure each
 //!                   point, write the curve (--out, default BENCH_7.json)
 //!   serve-ab        A/B the sparsity-adaptive kernel dispatcher on the
-//!                   MovieLens preset: run --dispatch auto vs dense,
-//!                   check served digests are bit-identical, and write
-//!                   both rows with their per-run dispatch-decision
+//!                   sparse high-churn preset: run --dispatch auto vs
+//!                   dense, check served digests are bit-identical, and
+//!                   write both rows with their per-run dispatch-decision
 //!                   counts (--out, default BENCH_8.json)
+//!   overlap-bench   ablate the plan/execute overlap: time the engine
+//!                   with plans built inline vs the pipelined executor
+//!                   (--lookahead), check bit-identity, and write both
+//!                   wall-clocks with the hidden-plan-time fraction
+//!                   (--out, default BENCH_9.json; --smoke skips the
+//!                   on-faster-than-off assertion)
 //!   --quick         reduced context (2 datasets, 1 model) for smoke runs
 //!   --json          emit one JSON object per experiment instead of text tables
 //!   --trace PATH    record a tagnn-obs trace of the whole run (spans per
@@ -64,6 +70,13 @@ fn main() {
         }
         Some("serve-ab") => {
             if let Err(e) = tagnn_bench::serve::run_serve_ab(&raw[1..]) {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+            return;
+        }
+        Some("overlap-bench") => {
+            if let Err(e) = tagnn_bench::overlap::run_overlap_bench(&raw[1..]) {
                 eprintln!("error: {e}");
                 std::process::exit(1);
             }

@@ -4,7 +4,7 @@ use std::collections::HashMap;
 use tagnn::prelude::*;
 
 /// Bare boolean flags accepted by the CLI.
-pub const BOOLEAN_FLAGS: [&str; 4] = ["no-skip", "no-oadl", "no-adsc", "round-robin"];
+pub const BOOLEAN_FLAGS: [&str; 5] = ["no-skip", "no-oadl", "no-adsc", "round-robin", "smoke"];
 
 /// Minimal flag parser: `--key value` pairs plus bare boolean flags.
 pub fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {

@@ -41,8 +41,10 @@ struct ServeArgs {
 fn parse(args: &[String], default_duration_s: f64) -> Result<ServeArgs, String> {
     let flags: HashMap<String, String> = parse_flags(args)?;
     for key in flags.keys() {
-        const KNOWN: [&str; 21] = [
+        const KNOWN: [&str; 23] = [
             "dispatch",
+            "overlap",
+            "lookahead",
             "addr",
             "dataset",
             "snapshots",
@@ -78,12 +80,18 @@ fn parse(args: &[String], default_duration_s: f64) -> Result<ServeArgs, String> 
         let mut g = GeneratorConfig::tiny();
         g.num_snapshots = snapshots;
         g
+    } else if dataset == "sparse" || dataset == "SP" {
+        // High-churn preset with ~12% nonzero feature rows: the operand
+        // shape that actually flips the auto dispatcher to SpMM (all
+        // Table 2 presets are fully dense, which leaves that A/B dead).
+        GeneratorConfig::sparse_high_churn(snapshots)
     } else {
         dataset_of(&flags)?.config_small(snapshots)
     };
     graph.seed = num(&flags, "seed", graph.seed)?;
 
     let incremental: u64 = num(&flags, "incremental", 1)?;
+    let overlap: u64 = num(&flags, "overlap", 0)?;
     let assignment_spelling = flags
         .get("shard-assignment")
         .map(String::as_str)
@@ -107,6 +115,8 @@ fn parse(args: &[String], default_duration_s: f64) -> Result<ServeArgs, String> 
         max_batch: num(&flags, "max-batch", 8)?,
         max_delay_us: num(&flags, "max-delay-us", 500)?,
         incremental_planning: incremental != 0,
+        overlap: overlap != 0,
+        lookahead: num(&flags, "lookahead", 1)?,
         ..ServeConfig::default()
     };
 
@@ -479,7 +489,9 @@ pub fn run_serve_scale(args: &[String]) -> Result<(), String> {
 }
 
 /// `experiments serve-ab`: A/B the sparsity-adaptive kernel dispatcher.
-/// Defaults to the MovieLens preset (`--dataset` overrides). For each
+/// Defaults to the sparse high-churn preset — the Table 2 presets are
+/// fully dense, so under them the auto dispatcher (correctly) never
+/// picks SpMM and the A/B degenerates — `--dataset` overrides. For each
 /// mode — `auto` (density-measured dispatch) then `dense` (legacy
 /// baseline) — it first replays the trace synchronously and checks the
 /// served digests are bit-identical across modes, then runs the
@@ -487,7 +499,7 @@ pub fn run_serve_scale(args: &[String]) -> Result<(), String> {
 /// throughput/latency row together with that run's dispatch-decision
 /// counts. Writes the pair of rows to `--out` (default `BENCH_8.json`).
 pub fn run_serve_ab(args: &[String]) -> Result<(), String> {
-    let mut full = vec!["--dataset".to_string(), "ML".to_string()];
+    let mut full = vec!["--dataset".to_string(), "sparse".to_string()];
     full.extend_from_slice(args);
     let a = parse(&full, 3.0)?;
     let out = a.out.clone().unwrap_or_else(|| "BENCH_8.json".to_string());
@@ -982,6 +994,69 @@ mod tests {
             .and_then(json::Value::as_u64)
             .unwrap();
         assert!(replies > 0, "smoke run must complete requests");
+        let _ = std::fs::remove_file(&out);
+    }
+
+    #[test]
+    fn parse_resolves_sparse_dataset_and_overlap_flags() {
+        let a = parse(&args(&["--dataset", "sparse"]), 10.0).unwrap();
+        assert_eq!(a.graph.num_vertices, 512);
+        assert!(a.graph.feature_row_sparsity > 0.0);
+        assert_eq!(a.serve.universe, a.graph.num_vertices);
+        assert!(!a.serve.overlap, "overlap is opt-in");
+        let a = parse(
+            &args(&["--dataset", "SP", "--overlap", "1", "--lookahead", "2"]),
+            10.0,
+        )
+        .unwrap();
+        assert!(a.graph.feature_row_sparsity > 0.0);
+        assert!(a.serve.overlap);
+        assert_eq!(a.serve.lookahead, 2);
+    }
+
+    /// The dispatch A/B is only meaningful when the auto arm actually
+    /// takes the SpMM path sometimes; the sparse default guarantees it.
+    #[test]
+    fn serve_ab_sparse_default_counts_spmm_decisions() {
+        let out = std::env::temp_dir().join("tagnn_serve_ab_sparse.json");
+        let out_s = out.to_string_lossy().to_string();
+        run_serve_ab(&args(&[
+            "--connections",
+            "1",
+            "--duration-s",
+            "0.4",
+            "--snapshots",
+            "4",
+            "--window",
+            "2",
+            "--out",
+            &out_s,
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&out).unwrap();
+        let doc = json::parse(&text).unwrap();
+        assert_eq!(
+            doc.get("config")
+                .and_then(|c| c.get("dataset"))
+                .and_then(json::Value::as_str),
+            Some("sparse")
+        );
+        let runs = doc.get("runs").and_then(json::Value::as_array).unwrap();
+        let auto = runs
+            .iter()
+            .find(|r| r.get("dispatch").and_then(json::Value::as_str) == Some("auto"))
+            .unwrap();
+        let decisions = auto.get("decisions").unwrap();
+        let spmm = decisions.get("spmm").and_then(json::Value::as_u64).unwrap();
+        assert!(spmm > 0, "sparse preset must flip auto dispatch to SpMM");
+        let density = decisions
+            .get("input_density")
+            .and_then(json::Value::as_f64)
+            .unwrap();
+        assert!(
+            density < 0.5,
+            "measured input density {density} should reflect the sparse rows"
+        );
         let _ = std::fs::remove_file(&out);
     }
 

@@ -64,6 +64,17 @@ pub struct GeneratorConfig {
     pub churn: ChurnConfig,
     /// RNG seed (ChaCha8; fully deterministic).
     pub seed: u64,
+    /// Fraction of vertices whose feature row is forced all-zero, in
+    /// `[0, 1)`. At `0.0` (the default, and what every Table 2 preset
+    /// uses) the generator draws every entry exactly as it always has —
+    /// the RNG stream, and thus every existing golden digest, is
+    /// unchanged. Above 0.0 each row first draws a support coin;
+    /// winners of the sparsity coin stay all-zero (sparse one-hot-like
+    /// inputs, the operand shape the SpMM dispatch path exists for),
+    /// and feature mutations re-toss the coin so the expected density
+    /// stays stationary under churn.
+    #[serde(default)]
+    pub feature_row_sparsity: f64,
 }
 
 impl GeneratorConfig {
@@ -77,6 +88,30 @@ impl GeneratorConfig {
             power_law_alpha: 0.8,
             churn: ChurnConfig::default(),
             seed: 42,
+            feature_row_sparsity: 0.0,
+        }
+    }
+
+    /// A sparse, high-churn serving preset: ~12 % of feature rows are
+    /// nonzero and churn runs hot, so the dispatch layer's density
+    /// measurement actually sees sparse operands and the auto-vs-dense
+    /// A/B exercises the SpMM path (the Table 2 presets are fully
+    /// dense, which left that A/B dead).
+    pub fn sparse_high_churn(num_snapshots: usize) -> Self {
+        Self {
+            num_vertices: 512,
+            num_edges: 2_048,
+            feature_dim: 32,
+            num_snapshots,
+            power_law_alpha: 0.9,
+            churn: ChurnConfig {
+                feature_mutation_rate: 0.30,
+                edge_rewire_rate: 0.05,
+                vertex_churn_rate: 0.002,
+                mutation_smoothness: 0.5,
+            },
+            seed: 0x5BA3,
+            feature_row_sparsity: 0.88,
         }
     }
 
@@ -113,7 +148,24 @@ impl GeneratorConfig {
                 edges.push((s, t));
             }
         }
-        let features = DenseMatrix::from_fn(n, self.feature_dim, |_, _| rng.gen_range(-1.0..1.0));
+        // Zero sparsity must take exactly the historical draw sequence
+        // (presets and golden digests depend on it); the sparse path
+        // draws one support coin per row, then fills only winners.
+        let features = if self.feature_row_sparsity <= 0.0 {
+            DenseMatrix::from_fn(n, self.feature_dim, |_, _| rng.gen_range(-1.0..1.0))
+        } else {
+            let density = (1.0 - self.feature_row_sparsity).max(0.0);
+            let d = self.feature_dim;
+            let mut data = vec![0.0f32; n * d];
+            for row in data.chunks_exact_mut(d) {
+                if rng.gen_range(0.0..1.0) < density {
+                    for x in row {
+                        *x = rng.gen_range(-1.0..1.0);
+                    }
+                }
+            }
+            DenseMatrix::from_vec(n, d, data)
+        };
         let mut snapshots = Vec::with_capacity(self.num_snapshots);
         snapshots.push(Snapshot::fully_active(Csr::from_edges(n, &edges), features));
 
@@ -142,11 +194,23 @@ impl GeneratorConfig {
         let keep = self.churn.mutation_smoothness.clamp(0.0, 1.0) as f32;
         for _ in 0..mutations {
             let v = rng.gen_range(0..n) as VertexId;
-            let feature = prev
-                .feature(v)
-                .iter()
-                .map(|&x| keep * x + (1.0 - keep) * rng.gen_range(-1.0f32..1.0))
-                .collect();
+            let feature: Vec<f32> = if self.feature_row_sparsity <= 0.0 {
+                prev.feature(v)
+                    .iter()
+                    .map(|&x| keep * x + (1.0 - keep) * rng.gen_range(-1.0f32..1.0))
+                    .collect()
+            } else if rng.gen_range(0.0..1.0) < (1.0 - self.feature_row_sparsity).max(0.0) {
+                // Re-tossing the support coin per mutation keeps the
+                // expected row density stationary across snapshots. A
+                // previously-zero row that wins simply drifts up from
+                // zero (`keep * 0 + fresh`).
+                prev.feature(v)
+                    .iter()
+                    .map(|&x| keep * x + (1.0 - keep) * rng.gen_range(-1.0f32..1.0))
+                    .collect()
+            } else {
+                vec![0.0; prev.feature(v).len()]
+            };
             updates.push(GraphUpdate::MutateFeature { v, feature });
         }
 
@@ -287,6 +351,7 @@ impl DatasetPreset {
             churn: self.churn(),
             // Seed derived from the preset so datasets differ deterministically.
             seed: 0xD6_0000 + self as u64,
+            feature_row_sparsity: 0.0,
         }
     }
 
@@ -350,6 +415,41 @@ mod tests {
         };
         let g = cfg.generate();
         assert_eq!(g.snapshot(0), g.snapshot(1));
+    }
+
+    #[test]
+    fn sparse_preset_sustains_row_sparsity_under_churn() {
+        let cfg = GeneratorConfig::sparse_high_churn(4);
+        let g = cfg.generate();
+        for s in 0..g.num_snapshots() {
+            let snap = g.snapshot(s);
+            let n = snap.num_vertices();
+            let nonzero = (0..n)
+                .filter(|&v| snap.feature(v as VertexId).iter().any(|&x| x != 0.0))
+                .count();
+            let density = nonzero as f64 / n as f64;
+            // Target density is 1 - 0.88 = 0.12; allow generous slack for
+            // the coin tosses while staying clearly in SpMM territory.
+            assert!(
+                density > 0.04 && density < 0.30,
+                "snapshot {s}: row density {density} drifted out of the sparse regime"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_sparsity_matches_legacy_dense_generation() {
+        // `feature_row_sparsity: 0.0` (the deserialization default) must
+        // reproduce the historical RNG stream bit-for-bit.
+        let cfg = GeneratorConfig::tiny();
+        let g = cfg.generate();
+        let any_zero_row = (0..g.num_vertices()).any(|v| {
+            g.snapshot(0)
+                .feature(v as VertexId)
+                .iter()
+                .all(|&x| x == 0.0)
+        });
+        assert!(!any_zero_row, "dense generation must fill every row");
     }
 
     #[test]

@@ -31,10 +31,11 @@ use tagnn_graph::stats::neighbor_overlap;
 use tagnn_graph::types::{VertexClass, VertexId};
 use tagnn_graph::{DynamicGraph, Snapshot};
 use tagnn_obs::{span as obs_span, Recorder};
+use tagnn_tensor::affinity;
 use tagnn_tensor::dispatch::{DispatchMode, Dispatcher, Kernel, LayerChoice};
 use tagnn_tensor::kernels;
 use tagnn_tensor::similarity::{theta_score, CondensedDelta};
-use tagnn_tensor::{ops, DenseMatrix, Scratch};
+use tagnn_tensor::{ops, DenseMatrix, Scratch, ScratchPair};
 
 /// Per-vertex recurrent context: cell state plus the last input the cached
 /// pre-activation corresponds to.
@@ -252,6 +253,7 @@ impl ConcurrentEngine {
                 rec,
                 &mut final_features,
                 &mut gnn_outputs,
+                None,
             );
         }
 
@@ -322,6 +324,12 @@ impl ConcurrentEngine {
     /// accumulates work counters into `stats`. Recurrent state threads
     /// through `ctxs`, so consecutive calls over consecutive windows are
     /// bit-identical to one offline run over their concatenation.
+    /// `prefetched_nz` carries an already-staged dispatch measurement: a
+    /// planner/prefetcher scanned the window's first-snapshot features
+    /// into `scratch.nz_rows` ahead of time (the same loop
+    /// [`Self::gnn_window`] would run) and reports the nonzero-row
+    /// count, so the executor skips the scan but books identical
+    /// dispatch counters and makes identical kernel choices.
     #[allow(clippy::too_many_arguments)]
     fn window_pass(
         &self,
@@ -335,6 +343,7 @@ impl ConcurrentEngine {
         rec: Option<&Recorder>,
         final_features: &mut Vec<DenseMatrix>,
         gnn_outputs: &mut Vec<DenseMatrix>,
+        prefetched_nz: Option<usize>,
     ) {
         assert!(!refs.is_empty(), "a window needs at least one snapshot");
         assert_eq!(
@@ -347,6 +356,9 @@ impl ConcurrentEngine {
         let cell = self.model.cell();
         let gh = cell.kind().gates() * hidden;
         let cell_in = cell.in_dim();
+        // Sampled before any counter moves so the end-of-window roofline
+        // fill sees exactly this window's deltas.
+        let before = *stats;
         {
             assert_eq!(
                 plan.window_len(),
@@ -368,7 +380,7 @@ impl ConcurrentEngine {
             // GNN phase with cross-snapshot reuse.
             let zs = {
                 let _span = obs_span(rec, "gnn_window");
-                self.gnn_window(refs, cls, choices, stats, rec, scratch)
+                self.gnn_window(refs, cls, choices, stats, rec, scratch, prefetched_nz)
             };
 
             // RNN phase with similarity-aware cell skipping. The first
@@ -550,6 +562,44 @@ impl ConcurrentEngine {
             stats.unaffected_row_hoists +=
                 cls.count(VertexClass::Unaffected) as u64 * (refs.len() as u64 - 1);
         }
+
+        // Per-window roofline fill: deterministic functions of this
+        // window's counter deltas and the plan structure (the traffic
+        // models live on `RooflineStats`). `before` was sampled ahead of
+        // every counter mutation, so `win` is exactly this window.
+        let win = stats.delta_since(&before);
+        let ps = plan.stats();
+        let d = refs[0].features().cols() as u64;
+        let h = hidden as u64;
+        let roofline = &mut stats.roofline;
+        roofline.plan_build.bytes +=
+            4 * (2 * ps.classified_vertices + 2 * ps.subgraph_vertices + 2 * ps.subgraph_edges);
+        roofline.gnn.flops += 2 * (win.gnn_aggregate_macs + win.gnn_combine_macs);
+        roofline.gnn.bytes += 4
+            * (win.feature_rows_loaded * d
+                + win.structure_words_loaded
+                + win.gnn_vertices_computed * h);
+        roofline.rnn.flops += 2 * win.rnn_macs;
+        roofline.rnn.bytes +=
+            4 * (win.skip.normal * (cell_in as u64 + 2 * h) + win.skip.delta * 2 * h);
+        roofline.delta.flops += 2 * win.similarity_ops;
+        roofline.delta.bytes += 4 * win.similarity_ops;
+        if let Some(rec) = rec {
+            // Per-window distributions in the trace; the cumulative
+            // totals travel as counters via `ExecutionStats::publish`.
+            for (stage, s) in [
+                (
+                    "plan_build",
+                    &roofline.plan_build.delta_since(&before.roofline.plan_build),
+                ),
+                ("gnn", &roofline.gnn.delta_since(&before.roofline.gnn)),
+                ("rnn", &roofline.rnn.delta_since(&before.roofline.rnn)),
+                ("delta", &roofline.delta.delta_since(&before.roofline.delta)),
+            ] {
+                rec.record(&format!("window.roofline.{stage}.bytes"), s.bytes);
+                rec.record(&format!("window.roofline.{stage}.flops"), s.flops);
+            }
+        }
     }
 
     /// GNN forward over a window: snapshot 0 in full, later snapshots only
@@ -562,6 +612,7 @@ impl ConcurrentEngine {
     /// rows are produced and consumed on-chip, so all their touches count
     /// as reuse — unlike the reference engine, which re-gathers every layer
     /// from memory per snapshot.
+    #[allow(clippy::too_many_arguments)]
     fn gnn_window(
         &self,
         refs: &[&Snapshot],
@@ -570,6 +621,7 @@ impl ConcurrentEngine {
         stats: &mut ExecutionStats,
         rec: Option<&Recorder>,
         scratch: &mut Scratch,
+        prefetched_nz: Option<usize>,
     ) -> Vec<DenseMatrix> {
         let first = refs[0];
         let n = first.num_vertices();
@@ -580,14 +632,22 @@ impl ConcurrentEngine {
         // vanishing fraction of the layer-0 GEMM it informs, and an
         // exact row list is the SpMM's correctness contract. Later
         // layers' inputs are densified by aggregation + activation.
+        // A prefetcher may have already run the identical scan into
+        // `scratch.nz_rows` (`prefetched_nz` is the count); the counters
+        // and the downstream kernel choice are the same either way.
         let auto = self.dispatch.mode() == DispatchMode::Auto;
         let nz_buf = scratch.nz_rows.take_uninit(n);
         let mut nz0 = 0usize;
         if auto {
-            for v in 0..n {
-                if first.features().row(v).iter().any(|&x| x != 0.0) {
-                    nz_buf[nz0] = v as u32;
-                    nz0 += 1;
+            match prefetched_nz {
+                Some(count) => nz0 = count,
+                None => {
+                    for v in 0..n {
+                        if first.features().row(v).iter().any(|&x| x != 0.0) {
+                            nz_buf[nz0] = v as u32;
+                            nz0 += 1;
+                        }
+                    }
                 }
             }
             stats.dispatch_nz_rows += nz0 as u64;
@@ -895,14 +955,251 @@ impl ConcurrentEngine {
         zs
     }
 
+    /// Software ping-pong prefetch: runs inference with a background
+    /// planner thread building (and prefetching dispatch inputs for)
+    /// window W+1..W+`lookahead` while this thread executes window W —
+    /// the software analogue of the paper's overlap between the MSDL
+    /// frontend and the execution units.
+    ///
+    /// Adaptive: when the host has no spare core for the planner
+    /// (`available_parallelism() < 2`), a background thread can only
+    /// time-slice against the executor — every planner slice evicts
+    /// the executor's warm state, which measures *slower* than
+    /// sequential. In that case this degrades to
+    /// [`Self::run_just_in_time`], which keeps the locality benefit of
+    /// pipelining (plan built immediately before use, one plan
+    /// resident) without the thread. Call
+    /// [`Self::run_pipelined_threaded`] directly to force the threaded
+    /// executor regardless of core count (the differential tests do,
+    /// so both paths stay pinned bit-identical everywhere).
+    ///
+    /// Output is bit-identical to [`Self::run`] either way.
+    ///
+    /// # Panics
+    /// Panics if `lookahead == 0` or the planner thread panics.
+    pub fn run_pipelined(
+        &self,
+        graph: &DynamicGraph,
+        rec: Option<&Recorder>,
+        lookahead: usize,
+    ) -> InferenceOutput {
+        assert!(lookahead > 0, "lookahead must be at least 1");
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if cores < 2 {
+            return self.run_just_in_time(graph, rec);
+        }
+        self.run_pipelined_threaded(graph, rec, lookahead)
+    }
+
+    /// Single-thread degeneration of the pipeline: plans each window
+    /// immediately before executing it (instead of materialising every
+    /// window plan up front as [`Self::run_traced`] does), so each plan
+    /// is consumed while hot and at most one plan is ever resident.
+    /// On large graphs this beats plan-everything-then-run even without
+    /// a second core. Output is bit-identical to [`Self::run`].
+    pub fn run_just_in_time(
+        &self,
+        graph: &DynamicGraph,
+        rec: Option<&Recorder>,
+    ) -> InferenceOutput {
+        let started = std::time::Instant::now();
+        let n = graph.num_vertices();
+        let mut stats = ExecutionStats::default();
+        let mut ctxs = self.fresh_ctxs(n);
+        let mut final_features = Vec::with_capacity(graph.num_snapshots());
+        let mut gnn_outputs: Vec<DenseMatrix> = Vec::with_capacity(graph.num_snapshots());
+        let choices: Vec<LayerChoice> = match graph.snapshots().first() {
+            Some(snap0) => plan_layer_choices(&self.dispatch, &self.model, snap0),
+            None => Vec::new(),
+        };
+        let mut scratch = Scratch::new();
+        self.reserve_scratch(&mut scratch, n);
+        let planner = WindowPlanner::new(self.window);
+        for (i, batch) in graph.batches(self.window).enumerate() {
+            let refs: Vec<&Snapshot> = batch.iter().collect();
+            let plan = planner.plan_window(&refs, i);
+            self.window_pass(
+                &refs,
+                &plan,
+                self.skip,
+                &choices,
+                &mut ctxs,
+                &mut scratch,
+                &mut stats,
+                rec,
+                &mut final_features,
+                &mut gnn_outputs,
+                None,
+            );
+            scratch.debug_assert_steady();
+        }
+        stats.wall_ns = started.elapsed().as_nanos() as u64;
+        if let Some(rec) = rec {
+            stats.publish(rec, "engine.concurrent");
+        }
+        InferenceOutput {
+            final_features,
+            gnn_outputs,
+            stats,
+        }
+    }
+
+    /// The threaded pipelined executor behind [`Self::run_pipelined`].
+    ///
+    /// Mechanics: the executor keeps its single warm [`Scratch`] arena
+    /// (rotating full arenas would execute every window from cold
+    /// buffers — measurably worse than sequential on large graphs);
+    /// what circulates is a ring of `lookahead + 1` small nonzero-row
+    /// staging buffers. The planner claims a buffer, builds the
+    /// window's plan, runs the dispatch layer's nonzero-row scan into
+    /// it (so the density measurement is off the critical path too),
+    /// and sends `(plan, rows)` through a bounded channel of depth
+    /// `lookahead` — which is the backpressure: once `lookahead`
+    /// windows are staged, the planner blocks until the executor
+    /// retires one. The executor memcpys the staged rows into its own
+    /// arena (a vanishing cost next to the GEMMs they inform) and
+    /// returns the buffer to the ring. With `TAGNN_PIN_THREADS` the
+    /// planner pins itself to the core after the rayon workers' range.
+    ///
+    /// Output is bit-identical to [`Self::run`]: plans are
+    /// deterministic pure functions of their window, the staged scan is
+    /// the exact loop the executor would run, and the sequentially
+    /// dependent RNN state never leaves this thread. The integration
+    /// suite pins that equality across window sizes, lookahead depths,
+    /// and skip modes.
+    ///
+    /// # Panics
+    /// Panics if `lookahead == 0` or the planner thread panics.
+    pub fn run_pipelined_threaded(
+        &self,
+        graph: &DynamicGraph,
+        rec: Option<&Recorder>,
+        lookahead: usize,
+    ) -> InferenceOutput {
+        assert!(lookahead > 0, "lookahead must be at least 1");
+        let windows = graph.num_snapshots().div_ceil(self.window);
+        if windows == 0 {
+            return self.run_traced(graph, rec);
+        }
+        let started = std::time::Instant::now();
+        let n = graph.num_vertices();
+        let auto = self.dispatch.mode() == DispatchMode::Auto;
+        let mut stats = ExecutionStats::default();
+        let mut ctxs = self.fresh_ctxs(n);
+        let mut final_features = Vec::with_capacity(graph.num_snapshots());
+        let mut gnn_outputs: Vec<DenseMatrix> = Vec::with_capacity(graph.num_snapshots());
+        let choices: Vec<LayerChoice> = match graph.snapshots().first() {
+            Some(snap0) => plan_layer_choices(&self.dispatch, &self.model, snap0),
+            None => Vec::new(),
+        };
+
+        // The executor's one warm arena — never leaves this thread.
+        let mut scratch = Scratch::new();
+        self.reserve_scratch(&mut scratch, n);
+
+        // Free ring: lookahead + 1 staging buffers so the planner can
+        // hold one while `lookahead` staged windows wait in the work
+        // channel. Only needed when dispatch actually measures density.
+        let (free_tx, free_rx) = std::sync::mpsc::channel::<Vec<u32>>();
+        let (work_tx, work_rx) =
+            std::sync::mpsc::sync_channel::<(WindowPlan, Option<Vec<u32>>)>(lookahead);
+        if auto {
+            for _ in 0..=lookahead {
+                free_tx
+                    .send(Vec::with_capacity(n))
+                    .expect("free ring is open");
+            }
+        }
+
+        let k = self.window;
+        std::thread::scope(|scope| {
+            let planner_handle = scope.spawn(move || {
+                if affinity::pinning_enabled() {
+                    // Rayon workers (when pinned) occupy cores
+                    // 0..num_threads; the planner takes the next one so
+                    // plan-build never time-slices against a GEMM.
+                    let _ = affinity::pin_current_thread(rayon::current_num_threads());
+                }
+                let planner = WindowPlanner::new(k);
+                for (i, batch) in graph.batches(k).enumerate() {
+                    // Backpressure point 1 (auto dispatch only): no
+                    // free staging buffer until the executor retires
+                    // one.
+                    let staged = if auto {
+                        let Ok(buf) = free_rx.recv() else {
+                            return; // executor dropped out early
+                        };
+                        Some(buf)
+                    } else {
+                        None
+                    };
+                    let refs: Vec<&Snapshot> = batch.iter().collect();
+                    let plan = planner.plan_window(&refs, i);
+                    let staged = staged.map(|mut buf| {
+                        buf.clear();
+                        for v in 0..n {
+                            if refs[0].features().row(v).iter().any(|&x| x != 0.0) {
+                                buf.push(v as u32);
+                            }
+                        }
+                        buf
+                    });
+                    // Backpressure point 2: the bounded work channel
+                    // caps the lookahead depth.
+                    if work_tx.send((plan, staged)).is_err() {
+                        return;
+                    }
+                }
+            });
+
+            for batch in graph.batches(k) {
+                let refs: Vec<&Snapshot> = batch.iter().collect();
+                let (plan, staged) = work_rx
+                    .recv()
+                    .expect("planner sends one staged window per batch");
+                let prefetched = staged.map(|rows| {
+                    let count = rows.len();
+                    scratch.nz_rows.take_uninit(n)[..count].copy_from_slice(&rows);
+                    let _ = free_tx.send(rows);
+                    count
+                });
+                self.window_pass(
+                    &refs,
+                    &plan,
+                    self.skip,
+                    &choices,
+                    &mut ctxs,
+                    &mut scratch,
+                    &mut stats,
+                    rec,
+                    &mut final_features,
+                    &mut gnn_outputs,
+                    prefetched,
+                );
+                scratch.debug_assert_steady();
+            }
+            planner_handle.join().expect("planner thread panicked");
+        });
+
+        stats.wall_ns = started.elapsed().as_nanos() as u64;
+        if let Some(rec) = rec {
+            stats.publish(rec, "engine.concurrent");
+        }
+        InferenceOutput {
+            final_features,
+            gnn_outputs,
+            stats,
+        }
+    }
+
     /// Opens a stateful streaming session over a vertex universe of
     /// `num_vertices`. The session owns its recurrent contexts and
     /// scratch arena, so windows can be fed one at a time (as a streaming
     /// roller produces them) with outputs bit-identical to one offline
     /// [`Self::run`] over the concatenated windows.
     pub fn session(&self, num_vertices: usize) -> EngineSession {
-        let mut scratch = Scratch::new();
-        self.reserve_scratch(&mut scratch, num_vertices);
+        let mut scratch = ScratchPair::new();
+        scratch.warm_with(|s| self.reserve_scratch(s, num_vertices));
         EngineSession {
             ctxs: self.fresh_ctxs(num_vertices),
             engine: self.clone(),
@@ -926,7 +1223,11 @@ impl ConcurrentEngine {
 pub struct EngineSession {
     engine: ConcurrentEngine,
     ctxs: Vec<VertexCtx>,
-    scratch: Scratch,
+    /// Double-buffered arenas: window W executes out of the front arena
+    /// while a serving-layer prefetcher may stage window W+1's
+    /// nonzero-row scan into the back one
+    /// ([`Self::process_window_prefetched`]); the pair swaps per window.
+    scratch: ScratchPair,
     stats: ExecutionStats,
     windows: u64,
     /// Association plan, pinned from the first window's first snapshot
@@ -993,6 +1294,27 @@ impl EngineSession {
         plan: &WindowPlan,
         skip: SkipConfig,
     ) -> WindowOutput {
+        self.process_window_prefetched(snaps, plan, skip, None)
+    }
+
+    /// [`Self::process_window_with`] with an optionally prefetched
+    /// dispatch measurement: `nz_rows`, when given, is the ascending
+    /// nonzero-row list of the window's first-snapshot features (what
+    /// the engine's own scan would produce), staged by an overlap
+    /// sidecar off the execute thread. It is copied into the session's
+    /// back scratch arena, the pair swaps, and the engine skips its
+    /// scan — output and counters stay bit-identical to the unprefetched
+    /// call, which the serving integration suite pins.
+    ///
+    /// # Panics
+    /// As [`Self::process_window_with`].
+    pub fn process_window_prefetched(
+        &mut self,
+        snaps: &[&Snapshot],
+        plan: &WindowPlan,
+        skip: SkipConfig,
+        nz_rows: Option<&[u32]>,
+    ) -> WindowOutput {
         let started = std::time::Instant::now();
         let before = self.stats;
         let mut final_features = Vec::with_capacity(snaps.len());
@@ -1005,17 +1327,25 @@ impl EngineSession {
                 snap0,
             ));
         }
+        let prefetched = nz_rows.map(|rows| {
+            let buf = self.scratch.back_mut().nz_rows.take_uninit(self.ctxs.len());
+            buf[..rows.len()].copy_from_slice(rows);
+            rows.len()
+        });
+        // Ping-pong: the staged back arena becomes this window's front.
+        self.scratch.swap();
         self.engine.window_pass(
             snaps,
             plan,
             skip,
             self.choices.as_deref().unwrap_or(&[]),
             &mut self.ctxs,
-            &mut self.scratch,
+            self.scratch.front_mut(),
             &mut self.stats,
             None,
             &mut final_features,
             &mut gnn_outputs,
+            prefetched,
         );
         self.scratch.debug_assert_steady();
         self.stats.wall_ns += started.elapsed().as_nanos() as u64;
@@ -1280,6 +1610,35 @@ mod tests {
         assert_eq!(summed, offline_stats, "work counters must match exactly");
         assert_eq!(session.windows_processed(), plans.len() as u64);
         assert_eq!(session.stats().skip, offline.stats.skip);
+    }
+
+    #[test]
+    fn pipelined_run_is_bit_identical_to_sequential() {
+        let g = DatasetPreset::HepPh.config_small(6).generate();
+        let m = || DgnnModel::new(ModelKind::TGcn, g.feature_dim(), 8, 1);
+        for lookahead in [1, 2] {
+            let e = ConcurrentEngine::with_window(m(), SkipConfig::paper_default(), 3);
+            let seq = e.run(&g);
+            let pipe = e.run_pipelined(&g, None, lookahead);
+            assert_eq!(seq.final_features, pipe.final_features);
+            assert_eq!(seq.gnn_outputs, pipe.gnn_outputs);
+            let (mut a, mut b) = (seq.stats, pipe.stats);
+            a.wall_ns = 0;
+            b.wall_ns = 0;
+            assert_eq!(a, b, "work counters must match at lookahead {lookahead}");
+        }
+    }
+
+    #[test]
+    fn pipelined_roofline_counters_fill() {
+        let g = tiny_graph();
+        let e =
+            ConcurrentEngine::with_window(model(ModelKind::TGcn), SkipConfig::paper_default(), 3);
+        let out = e.run_pipelined(&g, None, 1);
+        assert!(out.stats.roofline.plan_build.bytes > 0);
+        assert!(out.stats.roofline.gnn.flops > 0);
+        assert!(out.stats.roofline.rnn.flops > 0);
+        assert_eq!(out.stats.roofline.plan_build.flops, 0);
     }
 
     #[test]

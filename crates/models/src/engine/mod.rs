@@ -26,6 +26,101 @@ use tagnn_graph::Snapshot;
 use tagnn_tensor::dispatch::{DispatchTally, Dispatcher, LayerChoice};
 use tagnn_tensor::DenseMatrix;
 
+/// Bytes-moved / flops tally for one pipeline stage (the roofline axes).
+///
+/// Conventions: every floating-point word is 4 bytes, every MAC is two
+/// flops. The per-stage models are deliberately simple, deterministic
+/// functions of the work counters and the plan structure — the same
+/// quantities the integration suite recomputes from `SkipStats` plus the
+/// plan — so traced and untraced, sequential and pipelined runs always
+/// agree bit-for-bit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageRoofline {
+    /// Bytes the stage moved (reads + writes under the stage's traffic
+    /// model).
+    pub bytes: u64,
+    /// Floating-point operations the stage executed (2 × its MACs).
+    pub flops: u64,
+}
+
+impl StageRoofline {
+    /// Arithmetic intensity in flops per byte (0.0 when nothing moved).
+    pub fn intensity(&self) -> f64 {
+        if self.bytes == 0 {
+            0.0
+        } else {
+            self.flops as f64 / self.bytes as f64
+        }
+    }
+
+    fn delta_since(&self, earlier: &StageRoofline) -> StageRoofline {
+        StageRoofline {
+            bytes: self.bytes - earlier.bytes,
+            flops: self.flops - earlier.flops,
+        }
+    }
+
+    fn merge(&mut self, other: &StageRoofline) {
+        self.bytes += other.bytes;
+        self.flops += other.flops;
+    }
+}
+
+/// Per-stage roofline accounting for one run, mirroring the simulator's
+/// DRAM-vs-compute verdict axes in software. Published as
+/// `roofline.<stage>.{bytes,flops}` counters; `tagnn-obs` derives the
+/// arithmetic-intensity verdict (memory- vs compute-bound) from them.
+///
+/// Stage traffic models (`D` = feature dim, `H` = hidden dim, `I` = RNN
+/// input dim; one word = 4 bytes, one MAC = 2 flops):
+///
+/// * **plan_build** — classify reads two structure words per classified
+///   vertex, extract + O-CSR pack touch two words per subgraph vertex
+///   and two per subgraph edge; no arithmetic:
+///   `bytes = 4·(2·classified + 2·sub_vertices + 2·sub_edges)`,
+///   `flops = 0` (the MSDL frontend is pure data movement).
+/// * **gnn** — `flops = 2·(aggregate_macs + combine_macs)`; `bytes =
+///   4·(feature_rows_loaded·D + structure_words_loaded +
+///   gnn_vertices_computed·H)` (input rows + adjacency + output rows).
+/// * **rnn** — `flops = 2·rnn_macs`; `bytes = 4·(normal_cells·(I +
+///   2H) + delta_cells·2H)` (full cells stream their input row and
+///   read/write their state; delta cells touch state only — their
+///   condensed inputs are charged to the delta stage).
+/// * **delta** — the SCU similarity scan plus delta condensation:
+///   `flops = 2·similarity_ops`, `bytes = 4·similarity_ops` (each
+///   charged op streams one operand word through one multiply-add).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RooflineStats {
+    /// MSDL frontend: classification, subgraph extraction, O-CSR pack.
+    pub plan_build: StageRoofline,
+    /// GCN transform/aggregate work.
+    pub gnn: StageRoofline,
+    /// RNN gate work (full + delta cell updates).
+    pub rnn: StageRoofline,
+    /// Similarity scoring and delta condensation.
+    pub delta: StageRoofline,
+}
+
+impl RooflineStats {
+    /// Field-wise difference (`earlier` must be an earlier sample).
+    pub fn delta_since(&self, earlier: &RooflineStats) -> RooflineStats {
+        RooflineStats {
+            plan_build: self.plan_build.delta_since(&earlier.plan_build),
+            gnn: self.gnn.delta_since(&earlier.gnn),
+            rnn: self.rnn.delta_since(&earlier.rnn),
+            delta: self.delta.delta_since(&earlier.delta),
+        }
+    }
+
+    /// Field-wise accumulation.
+    pub fn merge(&mut self, other: &RooflineStats) {
+        self.plan_build.merge(&other.plan_build);
+        self.gnn.merge(&other.gnn);
+        self.rnn.merge(&other.rnn);
+        self.delta.merge(&other.delta);
+    }
+}
+
 /// Work and traffic accounting for one inference run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct ExecutionStats {
@@ -65,6 +160,10 @@ pub struct ExecutionStats {
     /// Sum of total row counts over the same operands (denominator).
     #[serde(default)]
     pub dispatch_rows_seen: u64,
+    /// Per-stage bytes-moved / flops roofline accounting (see
+    /// [`RooflineStats`] for the stage traffic models).
+    #[serde(default)]
+    pub roofline: RooflineStats,
     /// Wall-clock time of the run, nanoseconds.
     pub wall_ns: u64,
 }
@@ -121,6 +220,14 @@ impl ExecutionStats {
             ("kernel.dispatch.delta_skip", self.dispatch.delta_skip),
             ("kernel.dispatch.nz_rows", self.dispatch_nz_rows),
             ("kernel.dispatch.rows_seen", self.dispatch_rows_seen),
+            ("roofline.plan_build.bytes", self.roofline.plan_build.bytes),
+            ("roofline.plan_build.flops", self.roofline.plan_build.flops),
+            ("roofline.gnn.bytes", self.roofline.gnn.bytes),
+            ("roofline.gnn.flops", self.roofline.gnn.flops),
+            ("roofline.rnn.bytes", self.roofline.rnn.bytes),
+            ("roofline.rnn.flops", self.roofline.rnn.flops),
+            ("roofline.delta.bytes", self.roofline.delta.bytes),
+            ("roofline.delta.flops", self.roofline.delta.flops),
             ("wall_ns", self.wall_ns),
         ]
     }
@@ -162,6 +269,7 @@ impl ExecutionStats {
             dispatch: self.dispatch.delta_since(&earlier.dispatch),
             dispatch_nz_rows: self.dispatch_nz_rows - earlier.dispatch_nz_rows,
             dispatch_rows_seen: self.dispatch_rows_seen - earlier.dispatch_rows_seen,
+            roofline: self.roofline.delta_since(&earlier.roofline),
             wall_ns: self.wall_ns - earlier.wall_ns,
         }
     }
@@ -182,6 +290,7 @@ impl ExecutionStats {
         self.dispatch.merge(&other.dispatch);
         self.dispatch_nz_rows += other.dispatch_nz_rows;
         self.dispatch_rows_seen += other.dispatch_rows_seen;
+        self.roofline.merge(&other.roofline);
         self.wall_ns += other.wall_ns;
     }
 }

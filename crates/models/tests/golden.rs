@@ -30,6 +30,7 @@ fn churny_graph(seed: u64) -> DynamicGraph {
             mutation_smoothness: 0.5,
         },
         seed,
+        feature_row_sparsity: 0.0,
     }
     .generate()
 }

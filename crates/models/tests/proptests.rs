@@ -22,6 +22,7 @@ fn graph_strategy() -> impl Strategy<Value = GeneratorConfig> {
                 mutation_smoothness: 0.5,
             },
             seed,
+            feature_row_sparsity: 0.0,
         },
     )
 }

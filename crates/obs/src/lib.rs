@@ -38,7 +38,9 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 mod hist;
+pub mod roofline;
 pub use hist::Histogram;
+pub use roofline::{machine_balance, Bound, RooflineReport, RooflineStage};
 
 /// Handle to an open span, returned by [`Recorder::enter`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -322,8 +324,38 @@ impl Trace {
         if !self.hists.is_empty() {
             out.push_str("\n  ");
         }
-        out.push_str("}\n}\n");
+        out.push_str("},\n  \"roofline\": [");
+        if let Some(report) = self.roofline() {
+            for (i, s) in report.stages.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str("\n    {\"stage\": ");
+                push_json_str(&mut out, &s.name);
+                out.push_str(", \"bytes\": ");
+                out.push_str(&s.bytes.to_string());
+                out.push_str(", \"flops\": ");
+                out.push_str(&s.flops.to_string());
+                out.push_str(", \"intensity\": ");
+                push_json_f64(&mut out, s.intensity());
+                out.push_str(", \"bound\": ");
+                push_json_str(&mut out, s.verdict(report.balance).as_str());
+                out.push('}');
+            }
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
         out
+    }
+
+    /// The roofline report derivable from this trace's counters
+    /// (`None` when no `roofline.*` counters were published). Judged at
+    /// [`machine_balance`].
+    pub fn roofline(&self) -> Option<RooflineReport> {
+        RooflineReport::from_counters(
+            self.counters.iter().map(|(k, v)| (k.as_str(), *v)),
+            machine_balance(),
+        )
     }
 
     /// Renders a stdout-friendly summary: spans aggregated by name
@@ -385,6 +417,9 @@ impl Trace {
                     h.max()
                 ));
             }
+        }
+        if let Some(report) = self.roofline() {
+            out.push_str(&report.render());
         }
         out
     }
@@ -558,6 +593,29 @@ mod tests {
     fn empty_trace_has_empty_hists_section() {
         assert!(Trace::default().to_json().contains("\"hists\": {}"));
         assert!(Recorder::new().histogram("missing").is_none());
+    }
+
+    #[test]
+    fn roofline_counters_surface_in_json_and_summary() {
+        let r = Recorder::new();
+        r.incr("engine.concurrent.roofline.gnn.bytes", 64);
+        r.incr("engine.concurrent.roofline.gnn.flops", 4096);
+        r.incr("engine.concurrent.roofline.plan_build.bytes", 1024);
+        r.incr("engine.concurrent.roofline.plan_build.flops", 0);
+        let t = r.snapshot();
+        let json = t.to_json();
+        assert!(json.contains("\"roofline\": ["));
+        assert!(json.contains("\"stage\": \"gnn\""));
+        assert!(json.contains("\"bound\": \"compute\""));
+        assert!(json.contains("\"stage\": \"plan_build\""));
+        assert!(json.contains("\"bound\": \"memory\""));
+        let s = t.summary();
+        assert!(s.contains("roofline"));
+        assert!(s.contains("memory-bound"));
+        assert!(s.contains("compute-bound"));
+        // A trace without roofline counters keeps an empty section.
+        assert!(Trace::default().to_json().contains("\"roofline\": []"));
+        assert!(Trace::default().roofline().is_none());
     }
 
     #[test]

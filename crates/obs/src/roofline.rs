@@ -1,0 +1,242 @@
+//! Roofline analysis over published `roofline.*` counters.
+//!
+//! The engines account, per pipeline stage and per window, the bytes
+//! they move and the flops they execute (see
+//! `tagnn_models::RooflineStats`), and publish the totals as counters
+//! named `<prefix>.roofline.<stage>.{bytes,flops}`. This module turns
+//! any collection of such counters into a [`RooflineReport`]: per-stage
+//! arithmetic intensity (flops per byte moved) compared against a
+//! machine-balance point, yielding the same memory-bound vs
+//! compute-bound verdict the accelerator simulator derives from its
+//! DRAM-vs-compute cycle demand — so the software engines and the
+//! simulator report along the same axes.
+//!
+//! The balance point defaults to [`DEFAULT_MACHINE_BALANCE`] flops/byte
+//! (a conservative desktop-class ratio of peak FMA throughput to DRAM
+//! bandwidth) and can be pinned via the `TAGNN_ROOFLINE_BALANCE`
+//! environment variable for reproducible CI output.
+
+use std::fmt::Write as _;
+
+/// Default machine balance in flops per byte: roughly peak AVX2 FMA
+/// throughput over DRAM bandwidth for a desktop-class part. Stages with
+/// a lower arithmetic intensity are memory-bound on such a machine.
+pub const DEFAULT_MACHINE_BALANCE: f64 = 8.0;
+
+/// Which side of the roofline a stage lands on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bound {
+    /// Arithmetic intensity below the machine balance: the stage is
+    /// limited by data movement.
+    Memory,
+    /// Arithmetic intensity at or above the machine balance: the stage
+    /// is limited by arithmetic throughput.
+    Compute,
+}
+
+impl Bound {
+    /// The verdict spelling used in reports and JSON.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Self::Memory => "memory",
+            Self::Compute => "compute",
+        }
+    }
+}
+
+/// One stage's aggregated traffic and arithmetic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RooflineStage {
+    /// Stage name (e.g. `plan_build`, `gnn`, `rnn`, `delta`).
+    pub name: String,
+    /// Total bytes moved by the stage.
+    pub bytes: u64,
+    /// Total floating-point operations executed by the stage.
+    pub flops: u64,
+}
+
+impl RooflineStage {
+    /// Arithmetic intensity in flops per byte (0.0 when no bytes moved).
+    pub fn intensity(&self) -> f64 {
+        if self.bytes == 0 {
+            0.0
+        } else {
+            self.flops as f64 / self.bytes as f64
+        }
+    }
+
+    /// The memory- vs compute-bound verdict at `balance` flops/byte.
+    pub fn verdict(&self, balance: f64) -> Bound {
+        if self.intensity() < balance {
+            Bound::Memory
+        } else {
+            Bound::Compute
+        }
+    }
+}
+
+/// The machine-balance point to judge stages against: the
+/// `TAGNN_ROOFLINE_BALANCE` environment variable when set and parseable,
+/// otherwise [`DEFAULT_MACHINE_BALANCE`].
+pub fn machine_balance() -> f64 {
+    std::env::var("TAGNN_ROOFLINE_BALANCE")
+        .ok()
+        .and_then(|s| s.trim().parse::<f64>().ok())
+        .filter(|b| b.is_finite() && *b > 0.0)
+        .unwrap_or(DEFAULT_MACHINE_BALANCE)
+}
+
+/// Per-stage roofline verdicts extracted from published counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RooflineReport {
+    /// The balance point the verdicts were judged against (flops/byte).
+    pub balance: f64,
+    /// Stages in name order, aggregated across every publishing prefix.
+    pub stages: Vec<RooflineStage>,
+}
+
+impl RooflineReport {
+    /// Builds a report from counter `(name, value)` pairs by collecting
+    /// every key shaped `<prefix>.roofline.<stage>.bytes` /
+    /// `...flops` (or the bare `roofline.<stage>.*`), summing across
+    /// prefixes so one report covers every engine that published.
+    /// Returns `None` when no roofline counters are present.
+    pub fn from_counters<'a, I>(counters: I, balance: f64) -> Option<Self>
+    where
+        I: IntoIterator<Item = (&'a str, u64)>,
+    {
+        let mut stages: Vec<RooflineStage> = Vec::new();
+        for (key, value) in counters {
+            let Some((stage, metric)) = parse_key(key) else {
+                continue;
+            };
+            let entry = match stages.iter_mut().find(|s| s.name == stage) {
+                Some(e) => e,
+                None => {
+                    stages.push(RooflineStage {
+                        name: stage.to_string(),
+                        bytes: 0,
+                        flops: 0,
+                    });
+                    stages.last_mut().expect("just pushed")
+                }
+            };
+            match metric {
+                "bytes" => entry.bytes += value,
+                "flops" => entry.flops += value,
+                _ => unreachable!("parse_key only yields bytes|flops"),
+            }
+        }
+        if stages.is_empty() {
+            return None;
+        }
+        stages.sort_by(|a, b| a.name.cmp(&b.name));
+        Some(Self { balance, stages })
+    }
+
+    /// Renders the report as aligned text rows (one per stage), the form
+    /// appended to [`crate::Trace::summary`].
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "roofline (machine balance {} flop/byte):",
+            self.balance
+        );
+        for s in &self.stages {
+            let _ = writeln!(
+                out,
+                "  {:<12} bytes={:<14} flops={:<14} intensity={:<8.3} {}-bound",
+                s.name,
+                s.bytes,
+                s.flops,
+                s.intensity(),
+                s.verdict(self.balance).as_str()
+            );
+        }
+        out
+    }
+}
+
+/// Splits `<anything>.roofline.<stage>.<bytes|flops>` (the bare
+/// `roofline.<stage>.<metric>` included) into `(stage, metric)`.
+fn parse_key(key: &str) -> Option<(&str, &str)> {
+    let tail = if let Some(rest) = key.strip_prefix("roofline.") {
+        rest
+    } else {
+        let at = key.find(".roofline.")?;
+        &key[at + ".roofline.".len()..]
+    };
+    let (stage, metric) = tail.split_once('.')?;
+    if stage.is_empty() || !(metric == "bytes" || metric == "flops") {
+        return None;
+    }
+    Some((stage, metric))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_parse_with_and_without_prefix() {
+        assert_eq!(parse_key("roofline.gnn.bytes"), Some(("gnn", "bytes")));
+        assert_eq!(
+            parse_key("engine.concurrent.roofline.rnn.flops"),
+            Some(("rnn", "flops"))
+        );
+        assert_eq!(parse_key("engine.rnn_macs"), None);
+        assert_eq!(parse_key("roofline.gnn.wat"), None);
+        assert_eq!(parse_key("roofline."), None);
+    }
+
+    #[test]
+    fn report_aggregates_across_prefixes_and_judges_bounds() {
+        let counters = [
+            ("engine.concurrent.roofline.gnn.bytes", 100u64),
+            ("engine.concurrent.roofline.gnn.flops", 1600u64),
+            ("engine.reference.roofline.gnn.bytes", 100u64),
+            ("engine.reference.roofline.gnn.flops", 1600u64),
+            ("engine.concurrent.roofline.plan_build.bytes", 4096u64),
+            ("engine.concurrent.roofline.plan_build.flops", 0u64),
+            ("engine.concurrent.rnn_macs", 999u64),
+        ];
+        let r = RooflineReport::from_counters(counters, 8.0).unwrap();
+        assert_eq!(r.stages.len(), 2);
+        let gnn = r.stages.iter().find(|s| s.name == "gnn").unwrap();
+        assert_eq!((gnn.bytes, gnn.flops), (200, 3200));
+        assert_eq!(gnn.verdict(8.0), Bound::Compute);
+        let plan = r.stages.iter().find(|s| s.name == "plan_build").unwrap();
+        assert_eq!(plan.verdict(8.0), Bound::Memory);
+        assert_eq!(plan.intensity(), 0.0);
+        let text = r.render();
+        assert!(text.contains("compute-bound"));
+        assert!(text.contains("memory-bound"));
+    }
+
+    #[test]
+    fn empty_counters_yield_no_report() {
+        assert!(RooflineReport::from_counters([("a.b", 1u64)], 8.0).is_none());
+    }
+
+    #[test]
+    fn balance_threshold_is_inclusive_on_the_compute_side() {
+        let s = RooflineStage {
+            name: "x".into(),
+            bytes: 4,
+            flops: 32,
+        };
+        assert_eq!(s.intensity(), 8.0);
+        assert_eq!(s.verdict(8.0), Bound::Compute);
+        assert_eq!(s.verdict(8.1), Bound::Memory);
+    }
+
+    #[test]
+    fn machine_balance_defaults_sanely() {
+        // Do not mutate the process environment (other tests run in
+        // parallel); whatever `TAGNN_ROOFLINE_BALANCE` says, the
+        // resolved balance must be a usable positive threshold.
+        let balance = machine_balance();
+        assert!(balance.is_finite() && balance > 0.0);
+    }
+}

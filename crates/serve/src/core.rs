@@ -26,7 +26,7 @@ use std::time::{Duration, Instant};
 use tagnn_graph::{CacheStats, PlanCache, PlanSource, WindowPlan, WindowPlanner};
 use tagnn_models::{ConcurrentEngine, DgnnModel, EngineSession, SkipConfig};
 use tagnn_obs::Recorder;
-use tagnn_tensor::{DenseMatrix, DispatchTally};
+use tagnn_tensor::{DenseMatrix, DispatchMode, DispatchTally};
 
 use crate::config::ServeConfig;
 use crate::degrade::DegradationState;
@@ -328,6 +328,8 @@ impl ServeCore {
                 let universe = cfg.universe;
                 let window = cfg.window;
                 let incremental = cfg.incremental_planning;
+                let overlap = cfg.overlap;
+                let lookahead = cfg.lookahead;
                 std::thread::Builder::new()
                     .name(format!("tagnn-serve-shard-{i}"))
                     .spawn(move || {
@@ -341,6 +343,8 @@ impl ServeCore {
                             universe,
                             window,
                             incremental,
+                            overlap,
+                            lookahead,
                         })
                     })
                     .expect("spawn worker")
@@ -673,6 +677,8 @@ struct WorkerCtx<'a> {
     universe: usize,
     window: usize,
     incremental: bool,
+    overlap: bool,
+    lookahead: usize,
 }
 
 /// Obtains the plan for one rolled window: the incrementally sealed plan
@@ -713,13 +719,75 @@ fn obtain_plan(
 fn worker_loop(ctx: WorkerCtx<'_>) {
     let planner = WindowPlanner::new(ctx.window);
     let mut sessions: HashMap<u64, EngineSession> = HashMap::new();
-    while let Some(item) = ctx.queue.pop() {
+    if !ctx.overlap {
+        while let Some(item) = ctx.queue.pop() {
+            let (plan, plan_source) = obtain_plan(&ctx, &item, &planner);
+            execute_item(&ctx, &mut sessions, item, &plan, plan_source, None);
+        }
+        return;
+    }
+
+    // Overlap mode: a plan sidecar stages (plan, density prefetch) for
+    // up to `lookahead` windows ahead of the execute thread — the
+    // serving analogue of the engine's ping-pong prefetch. The sidecar
+    // pops the shard queue (preserving per-stream FIFO: one sidecar, one
+    // ordered channel), does the plan acquisition and the nonzero-row
+    // scan there, and the bounded channel is the backpressure. Shutdown
+    // drains naturally: queue close → sidecar exits → sender drops →
+    // executor's recv errors out.
+    let auto = ctx.engine.dispatcher().mode() == DispatchMode::Auto;
+    type Staged = (WorkItem, Arc<WindowPlan>, PlanSource, Option<Vec<u32>>);
+    let (tx, rx) = mpsc::sync_channel::<Staged>(ctx.lookahead);
+    std::thread::scope(|scope| {
+        let sidecar_ctx = &ctx;
+        scope.spawn(move || {
+            if tagnn_tensor::pinning_enabled() {
+                // Best effort: the highest core, away from compute
+                // workers pinned from core 0 upward.
+                let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+                let _ = tagnn_tensor::pin_current_thread(cores - 1);
+            }
+            while let Some(item) = sidecar_ctx.queue.pop() {
+                let (plan, plan_source) = obtain_plan(sidecar_ctx, &item, &planner);
+                let nz = auto.then(|| {
+                    let snap0 = &item.window.graph.snapshots()[0];
+                    let n = snap0.num_vertices();
+                    let mut rows = Vec::with_capacity(n);
+                    for v in 0..n {
+                        if snap0.features().row(v).iter().any(|&x| x != 0.0) {
+                            rows.push(v as u32);
+                        }
+                    }
+                    rows
+                });
+                if tx.send((item, plan, plan_source, nz)).is_err() {
+                    return;
+                }
+            }
+        });
+        while let Ok((item, plan, plan_source, nz)) = rx.recv() {
+            execute_item(&ctx, &mut sessions, item, &plan, plan_source, nz.as_deref());
+        }
+    });
+}
+
+/// Executes one staged window on its stream's session and completes the
+/// request when this was its last outstanding window. `nz_rows` is the
+/// sidecar's prefetched dispatch measurement (overlap mode only).
+fn execute_item(
+    ctx: &WorkerCtx<'_>,
+    sessions: &mut HashMap<u64, EngineSession>,
+    item: WorkItem,
+    plan: &WindowPlan,
+    plan_source: PlanSource,
+    nz_rows: Option<&[u32]>,
+) {
+    {
         let session = sessions
             .entry(item.stream)
             .or_insert_with(|| ctx.engine.session(ctx.universe));
-        let (plan, plan_source) = obtain_plan(&ctx, &item, &planner);
         let refs: Vec<&_> = item.window.graph.snapshots().iter().collect();
-        let out = session.process_window_with(&refs, &plan, item.skip);
+        let out = session.process_window_prefetched(&refs, plan, item.skip, nz_rows);
 
         ctx.dispatch_obs.add(&out.stats);
         let d = &out.stats.dispatch;
@@ -867,6 +935,30 @@ mod tests {
         assert_eq!(on_counts.scratch, 0, "got {on_counts:?}");
         assert_eq!(off_counts.incremental, 0, "got {off_counts:?}");
         assert_eq!(off_counts.scratch, 2, "got {off_counts:?}");
+    }
+
+    #[test]
+    fn overlap_mode_serves_identical_results() {
+        let strip = |ws: Vec<WindowResult>| {
+            ws.into_iter()
+                .map(|w| (w.seq, w.snapshots, w.digest, w.macs, w.skipped_cells))
+                .collect::<Vec<_>>()
+        };
+        let (seq, g) = tiny_core(|_| {});
+        let a = strip(replay(&seq, &g, 0));
+        seq.shutdown();
+        for lookahead in [1usize, 2] {
+            let (over, _) = tiny_core(|c| {
+                c.overlap = true;
+                c.lookahead = lookahead;
+            });
+            let b = strip(replay(&over, &g, 0));
+            over.shutdown();
+            assert_eq!(
+                a, b,
+                "overlap sidecar must not change served bits (lookahead {lookahead})"
+            );
+        }
     }
 
     #[test]

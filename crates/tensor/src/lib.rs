@@ -11,6 +11,7 @@
 //! results.
 
 pub mod activation;
+pub mod affinity;
 pub mod dispatch;
 pub mod init;
 pub mod kernels;
@@ -19,6 +20,7 @@ pub mod ops;
 pub mod similarity;
 
 pub use activation::Activation;
+pub use affinity::{pin_current_thread, pinning_enabled};
 pub use dispatch::{DispatchMode, DispatchTally, Dispatcher, RowBitmap};
-pub use kernels::{Scratch, ScratchBuf};
+pub use kernels::{Scratch, ScratchBuf, ScratchPair};
 pub use matrix::DenseMatrix;

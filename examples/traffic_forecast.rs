@@ -30,6 +30,7 @@ fn main() {
             mutation_smoothness: 0.8, // sensor readings drift smoothly
         },
         seed: 2026,
+        feature_row_sparsity: 0.0,
     };
 
     let pipeline = TagnnPipeline::builder()

@@ -96,6 +96,52 @@ fn rnn_macs_are_bounded_by_skip_tallies_under_paper_skipping() {
     assert_eq!(s.total(), active);
 }
 
+/// The per-stage roofline accounting must be exactly recomputable from
+/// the work counters, the skip tallies, and the plan structure — 4
+/// bytes per word, 2 flops per MAC — never merely plausible.
+#[test]
+fn roofline_counters_match_recomputation_from_stats_and_plans() {
+    let g = graph();
+    let out = run(SkipConfig::paper_default());
+    let s = &out.stats;
+    let r = &s.roofline;
+    let d = g.feature_dim() as u64;
+    let h = HIDDEN as u64;
+    let in_dim = DgnnModel::new(ModelKind::TGcn, g.feature_dim(), HIDDEN, 77)
+        .cell()
+        .in_dim() as u64;
+
+    assert_eq!(r.gnn.flops, 2 * (s.gnn_aggregate_macs + s.gnn_combine_macs));
+    assert_eq!(
+        r.gnn.bytes,
+        4 * (s.feature_rows_loaded * d + s.structure_words_loaded + s.gnn_vertices_computed * h)
+    );
+    assert_eq!(r.rnn.flops, 2 * s.rnn_macs);
+    assert_eq!(
+        r.rnn.bytes,
+        4 * (s.skip.normal * (in_dim + 2 * h) + s.skip.delta * 2 * h)
+    );
+    assert_eq!(r.delta.flops, 2 * s.similarity_ops);
+    assert_eq!(r.delta.bytes, 4 * s.similarity_ops);
+
+    // Plan-build traffic from the plan structure itself.
+    let plans = tagnn_graph::WindowPlanner::new(WINDOW).plan_graph(&g);
+    let expected_plan_bytes: u64 = plans
+        .iter()
+        .map(|p| {
+            let ps = p.stats();
+            4 * (2 * ps.classified_vertices + 2 * ps.subgraph_vertices + 2 * ps.subgraph_edges)
+        })
+        .sum();
+    assert_eq!(r.plan_build.bytes, expected_plan_bytes);
+    assert_eq!(r.plan_build.flops, 0, "plan building moves words, no MACs");
+
+    // Every compute stage did real work on this graph.
+    assert!(r.gnn.flops > 0 && r.gnn.bytes > 0);
+    assert!(r.rnn.flops > 0 && r.rnn.bytes > 0);
+    assert!(r.plan_build.bytes > 0);
+}
+
 #[test]
 fn reference_engine_rnn_macs_are_exactly_normal_updates() {
     let g = graph();

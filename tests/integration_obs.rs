@@ -123,6 +123,56 @@ fn traced_run_publishes_engine_and_sim_counters() {
     }
 }
 
+/// Traced runs publish the per-stage roofline counters, the trace
+/// aggregates them into a memory-vs-compute report, and the JSON export
+/// carries the verdicts.
+#[test]
+fn traced_run_surfaces_the_roofline_report() {
+    let rec = Arc::new(Recorder::new());
+    let p = traced_pipeline(&rec);
+    p.run_concurrent();
+
+    let trace = rec.snapshot();
+    for counter in [
+        "engine.concurrent.roofline.plan_build.bytes",
+        "engine.concurrent.roofline.gnn.bytes",
+        "engine.concurrent.roofline.gnn.flops",
+        "engine.concurrent.roofline.rnn.bytes",
+        "engine.concurrent.roofline.rnn.flops",
+    ] {
+        assert!(
+            trace.counters.get(counter).copied().unwrap_or(0) > 0,
+            "counter `{counter}` missing or zero"
+        );
+    }
+
+    let report = trace.roofline().expect("roofline counters present");
+    let names: Vec<&str> = report.stages.iter().map(|s| s.name.as_str()).collect();
+    for stage in ["plan_build", "gnn", "rnn"] {
+        assert!(names.contains(&stage), "missing `{stage}` in {names:?}");
+    }
+    let plan = report
+        .stages
+        .iter()
+        .find(|s| s.name == "plan_build")
+        .unwrap();
+    assert_eq!(plan.flops, 0, "plan building is pure data movement");
+    assert_eq!(
+        plan.verdict(report.balance),
+        tagnn_obs::roofline::Bound::Memory,
+        "zero-flop stages are memory-bound by definition"
+    );
+
+    let json = trace.to_json();
+    for needle in ["\"roofline\"", "\"intensity\"", "\"bound\""] {
+        assert!(json.contains(needle), "JSON export missing {needle}");
+    }
+    assert!(
+        trace.summary().contains("roofline"),
+        "summary table must render the roofline section"
+    );
+}
+
 #[test]
 fn attaching_a_recorder_does_not_change_any_result() {
     let rec = Arc::new(Recorder::new());
@@ -141,6 +191,10 @@ fn attaching_a_recorder_does_not_change_any_result() {
     let b = plain.run_concurrent();
     assert_eq!(a.final_features, b.final_features);
     assert_eq!(a.gnn_outputs, b.gnn_outputs);
+    assert_eq!(
+        a.stats.roofline, b.stats.roofline,
+        "the roofline recorder must not perturb its own accounting"
+    );
 
     // Simulator reports equal under report equality (which already
     // excludes wall-clock instrumentation).

@@ -68,11 +68,20 @@ impl std::fmt::Display for ThreadPoolBuildError {
 
 impl std::error::Error for ThreadPoolBuildError {}
 
-/// Accepts the configuration calls and ignores them — execution is
-/// sequential in this vendored build.
-#[derive(Debug, Default)]
+/// Accepts the configuration calls — execution is sequential in this
+/// vendored build, so the calling thread is the pool's only worker.
+#[derive(Default)]
 pub struct ThreadPoolBuilder {
     _threads: Option<usize>,
+    start_handler: Option<Box<dyn Fn(usize) + Send + Sync>>,
+}
+
+impl std::fmt::Debug for ThreadPoolBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPoolBuilder")
+            .field("_threads", &self._threads)
+            .finish_non_exhaustive()
+    }
 }
 
 impl ThreadPoolBuilder {
@@ -85,7 +94,22 @@ impl ThreadPoolBuilder {
         self
     }
 
+    /// Real rayon runs this on each worker thread as it spawns; the
+    /// sequential shim has exactly one worker — the calling thread — so
+    /// `build_global` invokes the handler once with index 0 (which is
+    /// how `TAGNN_PIN_THREADS` core pinning still takes effect here).
+    pub fn start_handler<H>(mut self, handler: H) -> Self
+    where
+        H: Fn(usize) + Send + Sync + 'static,
+    {
+        self.start_handler = Some(Box::new(handler));
+        self
+    }
+
     pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        if let Some(handler) = &self.start_handler {
+            handler(0);
+        }
         Ok(())
     }
 }
