@@ -31,6 +31,17 @@
 //!                   wall-clocks with the hidden-plan-time fraction
 //!                   (--out, default BENCH_9.json; --smoke skips the
 //!                   on-faster-than-off assertion)
+//!   crash-bench     fault-injection differential for durable serving:
+//!                   spawn crash-child processes hard-killed at
+//!                   randomized WAL/checkpoint instants, recover, and
+//!                   check the union of served window digests is
+//!                   bit-identical to an uninterrupted run across
+//!                   models x shard counts; also measures the
+//!                   durability overhead and checkpoint-cadence
+//!                   ablation (--kills, --seed, --smoke for a reduced
+//!                   matrix; --out, default BENCH_10.json)
+//!   crash-child     internal: one durable serving run used by
+//!                   crash-bench (killed via TAGNN_CRASH_AT)
 //!   --quick         reduced context (2 datasets, 1 model) for smoke runs
 //!   --json          emit one JSON object per experiment instead of text tables
 //!   --trace PATH    record a tagnn-obs trace of the whole run (spans per
@@ -77,6 +88,20 @@ fn main() {
         }
         Some("overlap-bench") => {
             if let Err(e) = tagnn_bench::overlap::run_overlap_bench(&raw[1..]) {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+            return;
+        }
+        Some("crash-bench") => {
+            if let Err(e) = tagnn_bench::crash::run_crash_bench(&raw[1..]) {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+            return;
+        }
+        Some("crash-child") => {
+            if let Err(e) = tagnn_bench::crash::run_crash_child(&raw[1..]) {
                 eprintln!("error: {e}");
                 std::process::exit(1);
             }

@@ -8,6 +8,7 @@
 //! engines, simulator).
 
 pub mod cli;
+pub mod crash;
 pub mod overlap;
 pub mod perf;
 pub mod serve;

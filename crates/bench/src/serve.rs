@@ -41,7 +41,7 @@ struct ServeArgs {
 fn parse(args: &[String], default_duration_s: f64) -> Result<ServeArgs, String> {
     let flags: HashMap<String, String> = parse_flags(args)?;
     for key in flags.keys() {
-        const KNOWN: [&str; 23] = [
+        const KNOWN: [&str; 27] = [
             "dispatch",
             "overlap",
             "lookahead",
@@ -65,6 +65,10 @@ fn parse(args: &[String], default_duration_s: f64) -> Result<ServeArgs, String> 
             "incremental",
             "max-fallback-rate",
             "out",
+            "durable-dir",
+            "group-commit",
+            "checkpoint-every",
+            "keep-checkpoints",
         ];
         if !KNOWN.contains(&key.as_str()) {
             return Err(format!("unknown flag --{key}"));
@@ -85,6 +89,11 @@ fn parse(args: &[String], default_duration_s: f64) -> Result<ServeArgs, String> 
         // shape that actually flips the auto dispatcher to SpMM (all
         // Table 2 presets are fully dense, which leaves that A/B dead).
         GeneratorConfig::sparse_high_churn(snapshots)
+    } else if dataset == "flash" || dataset == "flash_crowd" {
+        // Hostile-churn preset: bursty hub rewires that collapse
+        // inter-snapshot similarity — the worst case for incremental
+        // planning, delta-skip, and (here) WAL/checkpoint overhead.
+        GeneratorConfig::flash_crowd(snapshots)
     } else {
         dataset_of(&flags)?.config_small(snapshots)
     };
@@ -117,6 +126,17 @@ fn parse(args: &[String], default_duration_s: f64) -> Result<ServeArgs, String> 
         incremental_planning: incremental != 0,
         overlap: overlap != 0,
         lookahead: num(&flags, "lookahead", 1)?,
+        durability: match flags.get("durable-dir") {
+            Some(dir) => {
+                let mut d = tagnn_serve::DurabilityConfig::new(dir.as_str());
+                d.group_commit = num(&flags, "group-commit", d.group_commit)?;
+                d.checkpoint_every_windows =
+                    num(&flags, "checkpoint-every", d.checkpoint_every_windows)?;
+                d.keep_checkpoints = num(&flags, "keep-checkpoints", d.keep_checkpoints)?;
+                Some(d)
+            }
+            None => None,
+        },
         ..ServeConfig::default()
     };
 
@@ -207,6 +227,18 @@ fn check_fallback_rate(stats: &tagnn_serve::wire::StatsView, max_rate: f64) -> R
 pub fn run_serve(args: &[String]) -> Result<(), String> {
     let a = parse(args, 0.0)?;
     let core = ServeCore::start(a.serve.clone());
+    if let Some(r) = core.recovery_report() {
+        println!(
+            "recovered: checkpoint={} replayed_requests={} replayed_events={} \
+             truncated_tail_bytes={} replay_us={}",
+            r.checkpoint_seq
+                .map_or_else(|| "none".to_string(), |s| s.to_string()),
+            r.replayed_requests,
+            r.replayed_events,
+            r.truncated_tail_bytes,
+            r.replay_us,
+        );
+    }
     let server =
         Server::bind_with(core, &a.addr, a.wire).map_err(|e| format!("bind {}: {e}", a.addr))?;
     println!("tagnn-serve listening on {}", server.local_addr());

@@ -1,0 +1,274 @@
+//! Atomic checkpoint store: whole-state snapshots written via temp file +
+//! `rename` + directory fsync, named by a monotone sequence number.
+//!
+//! File layout (little-endian):
+//!
+//! ```text
+//! magic "TGNNCKPT" | version: u32 | seq: u64 | payload_len: u64 |
+//! crc32(payload): u32 | payload
+//! ```
+//!
+//! A checkpoint is visible only once `rename` lands it at its final name,
+//! so readers never observe a partial file; a crash before the rename
+//! leaves a `.tmp` that [`CheckpointStore::open`] sweeps away. Loading
+//! walks sequence numbers newest-first and returns the first checkpoint
+//! that both passes CRC validation and satisfies the caller's acceptance
+//! predicate — a corrupted or not-yet-coverable newest file falls back to
+//! the previous one instead of failing recovery.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::codec::crc32;
+use crate::crash;
+
+const MAGIC: &[u8; 8] = b"TGNNCKPT";
+const VERSION: u32 = 1;
+const HEADER_LEN: usize = 8 + 4 + 8 + 8 + 4;
+
+/// Bound on a checkpoint payload (1 GiB) so a corrupt header cannot
+/// demand an unbounded allocation.
+const MAX_PAYLOAD: u64 = 1 << 30;
+
+/// A loaded, CRC-validated checkpoint.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    pub seq: u64,
+    pub payload: Vec<u8>,
+}
+
+/// Directory of `ckpt-<seq>.bin` files, at most `keep` retained.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    keep: usize,
+}
+
+impl CheckpointStore {
+    /// Open (creating if absent) the store at `dir`, sweeping any stale
+    /// `.tmp` files left by a crash between temp-write and rename.
+    pub fn open(dir: &Path, keep: usize) -> io::Result<CheckpointStore> {
+        fs::create_dir_all(dir)?;
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with("ckpt-") && name.ends_with(".tmp") {
+                fs::remove_file(entry.path())?;
+            }
+        }
+        Ok(CheckpointStore {
+            dir: dir.to_path_buf(),
+            keep: keep.max(1),
+        })
+    }
+
+    fn final_path(&self, seq: u64) -> PathBuf {
+        self.dir.join(format!("ckpt-{seq:016x}.bin"))
+    }
+
+    /// Write checkpoint `seq` atomically: temp file + `fsync` + `rename`
+    /// + directory fsync, then prune down to the newest `keep` files.
+    pub fn write(&self, seq: u64, payload: &[u8]) -> io::Result<()> {
+        let tmp = self.dir.join(format!("ckpt-{seq:016x}.tmp"));
+        {
+            let mut f = OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&tmp)?;
+            f.write_all(MAGIC)?;
+            f.write_all(&VERSION.to_le_bytes())?;
+            f.write_all(&seq.to_le_bytes())?;
+            f.write_all(&(payload.len() as u64).to_le_bytes())?;
+            f.write_all(&crc32(payload).to_le_bytes())?;
+            f.write_all(payload)?;
+            f.sync_all()?;
+        }
+        crash::abort_if("ckpt_tmp");
+        fs::rename(&tmp, self.final_path(seq))?;
+        // fsync the directory so the rename itself is durable.
+        if let Ok(d) = File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        crash::abort_if("ckpt_done");
+        self.prune()?;
+        Ok(())
+    }
+
+    /// Sequence numbers of every checkpoint file present, ascending.
+    pub fn list(&self) -> io::Result<Vec<u64>> {
+        let mut seqs = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(hex) = name
+                .strip_prefix("ckpt-")
+                .and_then(|s| s.strip_suffix(".bin"))
+            {
+                if let Ok(seq) = u64::from_str_radix(hex, 16) {
+                    seqs.push(seq);
+                }
+            }
+        }
+        seqs.sort_unstable();
+        Ok(seqs)
+    }
+
+    /// Load the newest checkpoint that is both internally valid (magic,
+    /// version, CRC) and accepted by `accept`. Invalid or rejected files
+    /// are skipped, falling back to older ones; `None` means cold start.
+    pub fn latest_valid<F>(&self, mut accept: F) -> io::Result<Option<Checkpoint>>
+    where
+        F: FnMut(&Checkpoint) -> bool,
+    {
+        let mut seqs = self.list()?;
+        seqs.reverse();
+        for seq in seqs {
+            if let Some(ckpt) = load_file(&self.final_path(seq))? {
+                if ckpt.seq == seq && accept(&ckpt) {
+                    return Ok(Some(ckpt));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    fn prune(&self) -> io::Result<()> {
+        let seqs = self.list()?;
+        if seqs.len() > self.keep {
+            for &seq in &seqs[..seqs.len() - self.keep] {
+                fs::remove_file(self.final_path(seq))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Read and validate one checkpoint file; `None` on any corruption
+/// (short file, bad magic/version, CRC mismatch) — never a panic.
+fn load_file(path: &Path) -> io::Result<Option<Checkpoint>> {
+    let mut f = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let mut header = [0u8; HEADER_LEN];
+    if f.read_exact(&mut header).is_err() {
+        return Ok(None);
+    }
+    if &header[..8] != MAGIC {
+        return Ok(None);
+    }
+    let version = u32::from_le_bytes(header[8..12].try_into().unwrap());
+    if version != VERSION {
+        return Ok(None);
+    }
+    let seq = u64::from_le_bytes(header[12..20].try_into().unwrap());
+    let len = u64::from_le_bytes(header[20..28].try_into().unwrap());
+    let crc = u32::from_le_bytes(header[28..32].try_into().unwrap());
+    if len > MAX_PAYLOAD {
+        return Ok(None);
+    }
+    let mut payload = vec![0u8; len as usize];
+    if f.read_exact(&mut payload).is_err() {
+        return Ok(None);
+    }
+    if crc32(&payload) != crc {
+        return Ok(None);
+    }
+    Ok(Some(Checkpoint { seq, payload }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("tagnn-ckpt-{tag}-{}-{n}", std::process::id()))
+    }
+
+    #[test]
+    fn write_load_prune_cycle() {
+        let dir = temp_dir("cycle");
+        let store = CheckpointStore::open(&dir, 2).unwrap();
+        assert!(store.latest_valid(|_| true).unwrap().is_none());
+        store.write(1, b"one").unwrap();
+        store.write(2, b"two").unwrap();
+        store.write(3, b"three").unwrap();
+        // keep=2: checkpoint 1 pruned.
+        assert_eq!(store.list().unwrap(), vec![2, 3]);
+        let latest = store.latest_valid(|_| true).unwrap().unwrap();
+        assert_eq!(latest.seq, 3);
+        assert_eq!(latest.payload, b"three");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_newest_falls_back_to_older() {
+        let dir = temp_dir("fallback");
+        let store = CheckpointStore::open(&dir, 4).unwrap();
+        store.write(1, b"good-old").unwrap();
+        store.write(2, b"newest").unwrap();
+        // Flip a payload byte in the newest file.
+        let path = dir.join(format!("ckpt-{:016x}.bin", 2u64));
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+
+        let latest = store.latest_valid(|_| true).unwrap().unwrap();
+        assert_eq!(latest.seq, 1);
+        assert_eq!(latest.payload, b"good-old");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn acceptance_predicate_skips_uncoverable_checkpoints() {
+        let dir = temp_dir("accept");
+        let store = CheckpointStore::open(&dir, 4).unwrap();
+        store.write(5, b"covered").unwrap();
+        store.write(6, b"not-covered").unwrap();
+        let got = store
+            .latest_valid(|c| c.payload == b"covered")
+            .unwrap()
+            .unwrap();
+        assert_eq!(got.seq, 5);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_tmp_files_swept_on_open() {
+        let dir = temp_dir("tmp");
+        fs::create_dir_all(&dir).unwrap();
+        let stale = dir.join("ckpt-0000000000000007.tmp");
+        fs::write(&stale, b"partial").unwrap();
+        let store = CheckpointStore::open(&dir, 2).unwrap();
+        assert!(!stale.exists());
+        assert!(store.latest_valid(|_| true).unwrap().is_none());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_and_garbage_files_are_skipped() {
+        let dir = temp_dir("garbage");
+        let store = CheckpointStore::open(&dir, 4).unwrap();
+        store.write(1, b"valid").unwrap();
+        // A header-only truncated file with a newer seq.
+        fs::write(dir.join(format!("ckpt-{:016x}.bin", 9u64)), b"TGNNCKPT").unwrap();
+        // Plain garbage with an even newer seq.
+        fs::write(
+            dir.join(format!("ckpt-{:016x}.bin", 10u64)),
+            b"not a checkpoint",
+        )
+        .unwrap();
+        let got = store.latest_valid(|_| true).unwrap().unwrap();
+        assert_eq!(got.seq, 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+}

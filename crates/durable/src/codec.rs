@@ -1,0 +1,386 @@
+//! Explicit little-endian byte codec with typed truncation errors, plus a
+//! table-driven IEEE CRC32. Floats are carried as raw bit patterns so
+//! NaN payloads and signed zeros round-trip byte-identically — the same
+//! discipline the serve wire format uses.
+
+use std::fmt;
+
+/// Typed decode failure. Every variant is a clean error, never a panic:
+/// corrupted checkpoint/WAL bytes must be survivable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input ended before a fixed-width field or declared-length run.
+    Truncated { need: usize, have: usize },
+    /// A declared length or count exceeds a sanity bound, so honouring it
+    /// would mean an unbounded allocation.
+    TooLarge { len: usize, max: usize },
+    /// A tag, version, or structural invariant did not hold.
+    Invalid(&'static str),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { need, have } => {
+                write!(f, "truncated input: need {need} bytes, have {have}")
+            }
+            CodecError::TooLarge { len, max } => {
+                write!(f, "declared length {len} exceeds bound {max}")
+            }
+            CodecError::Invalid(what) => write!(f, "invalid encoding: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Upper bound for any single length-prefixed run inside a payload.
+/// Matches the serve wire frame bound so a corrupt length can never ask
+/// for more than one frame's worth of memory.
+pub const MAX_RUN: usize = 64 << 20;
+
+// ---------------------------------------------------------------------------
+// CRC32 (IEEE 802.3, reflected, init/xorout 0xFFFF_FFFF)
+// ---------------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// IEEE CRC32 of `bytes` (the common `cksum`/zlib polynomial, reflected).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// Append-only little-endian writer over a `Vec<u8>`.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    pub fn new() -> Self {
+        ByteWriter { buf: Vec::new() }
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        ByteWriter {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// f32 as raw IEEE-754 bits: NaN payloads and -0.0 survive.
+    pub fn put_f32(&mut self, v: f32) {
+        self.put_u32(v.to_bits());
+    }
+
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// `u32` length prefix followed by the raw bytes.
+    pub fn put_len_bytes(&mut self, bytes: &[u8]) {
+        self.put_u32(bytes.len() as u32);
+        self.put_bytes(bytes);
+    }
+
+    /// `u32` count followed by each f32 as raw bits.
+    pub fn put_f32_slice(&mut self, vals: &[f32]) {
+        self.put_u32(vals.len() as u32);
+        for &v in vals {
+            self.put_f32(v);
+        }
+    }
+
+    /// `u32` count followed by one byte per bool.
+    pub fn put_bool_slice(&mut self, vals: &[bool]) {
+        self.put_u32(vals.len() as u32);
+        for &v in vals {
+            self.put_bool(v);
+        }
+    }
+
+    /// `u32` count followed by each u64 little-endian.
+    pub fn put_u64_slice(&mut self, vals: &[u64]) {
+        self.put_u32(vals.len() as u32);
+        for &v in vals {
+            self.put_u64(v);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+/// Cursor over a byte slice; every read is bounds-checked and returns a
+/// typed [`CodecError`] instead of panicking.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub fn is_done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// Fails unless every byte has been consumed — trailing garbage in a
+    /// state blob means the encoding and decoding disagree.
+    pub fn finish(&self) -> Result<(), CodecError> {
+        if self.is_done() {
+            Ok(())
+        } else {
+            Err(CodecError::Invalid("trailing bytes after decode"))
+        }
+    }
+
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated {
+                need: n,
+                have: self.remaining(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    pub fn get_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn get_bool(&mut self) -> Result<bool, CodecError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(CodecError::Invalid("bool byte not 0/1")),
+        }
+    }
+
+    pub fn get_u32(&mut self) -> Result<u32, CodecError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub fn get_u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    pub fn get_f32(&mut self) -> Result<f32, CodecError> {
+        Ok(f32::from_bits(self.get_u32()?))
+    }
+
+    pub fn get_f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// A `u32` count bounded by `max` — use before allocating `count`
+    /// elements so a corrupt prefix cannot demand unbounded memory.
+    pub fn get_count(&mut self, max: usize) -> Result<usize, CodecError> {
+        let n = self.get_u32()? as usize;
+        if n > max {
+            return Err(CodecError::TooLarge { len: n, max });
+        }
+        Ok(n)
+    }
+
+    pub fn get_len_bytes(&mut self) -> Result<&'a [u8], CodecError> {
+        let n = self.get_count(MAX_RUN)?;
+        self.take(n)
+    }
+
+    pub fn get_f32_slice(&mut self) -> Result<Vec<f32>, CodecError> {
+        let n = self.get_count(MAX_RUN / 4)?;
+        // Bounds-check the whole run before allocating.
+        let raw = self.take(
+            n.checked_mul(4)
+                .ok_or(CodecError::Invalid("f32 run overflow"))?,
+        )?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| f32::from_bits(u32::from_le_bytes([c[0], c[1], c[2], c[3]])))
+            .collect())
+    }
+
+    pub fn get_bool_slice(&mut self) -> Result<Vec<bool>, CodecError> {
+        let n = self.get_count(MAX_RUN)?;
+        let raw = self.take(n)?;
+        let mut out = Vec::with_capacity(n);
+        for &b in raw {
+            match b {
+                0 => out.push(false),
+                1 => out.push(true),
+                _ => return Err(CodecError::Invalid("bool byte not 0/1")),
+            }
+        }
+        Ok(out)
+    }
+
+    pub fn get_u64_slice(&mut self) -> Result<Vec<u64>, CodecError> {
+        let n = self.get_count(MAX_RUN / 8)?;
+        let raw = self.take(
+            n.checked_mul(8)
+                .ok_or(CodecError::Invalid("u64 run overflow"))?,
+        )?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard IEEE test vectors.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn round_trip_scalars_and_slices() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_bool(true);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_f32(-0.0);
+        w.put_f32(f32::from_bits(0x7FC0_1234)); // NaN with payload
+        w.put_f64(std::f64::consts::PI);
+        w.put_len_bytes(b"abc");
+        w.put_f32_slice(&[1.5, -2.25, 0.0]);
+        w.put_bool_slice(&[true, false, true]);
+        w.put_u64_slice(&[3, 1, 4]);
+        let bytes = w.into_bytes();
+
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert!(r.get_bool().unwrap());
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.get_f32().unwrap().to_bits(), (-0.0f32).to_bits());
+        assert_eq!(r.get_f32().unwrap().to_bits(), 0x7FC0_1234);
+        assert_eq!(r.get_f64().unwrap(), std::f64::consts::PI);
+        assert_eq!(r.get_len_bytes().unwrap(), b"abc");
+        assert_eq!(r.get_f32_slice().unwrap(), vec![1.5, -2.25, 0.0]);
+        assert_eq!(r.get_bool_slice().unwrap(), vec![true, false, true]);
+        assert_eq!(r.get_u64_slice().unwrap(), vec![3, 1, 4]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncated_reads_are_typed_errors() {
+        let mut r = ByteReader::new(&[1, 2]);
+        assert!(matches!(
+            r.get_u32(),
+            Err(CodecError::Truncated { need: 4, have: 2 })
+        ));
+        // Cursor did not advance on failure-by-bounds.
+        assert_eq!(r.remaining(), 2);
+    }
+
+    #[test]
+    fn oversized_count_rejected_before_allocation() {
+        let mut w = ByteWriter::new();
+        w.put_u32(u32::MAX); // absurd element count
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(
+            r.get_f32_slice(),
+            Err(CodecError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut r = ByteReader::new(&[0]);
+        assert!(r.finish().is_err());
+        r.get_u8().unwrap();
+        assert!(r.finish().is_ok());
+    }
+
+    #[test]
+    fn bad_bool_byte_rejected() {
+        let mut r = ByteReader::new(&[2]);
+        assert!(matches!(r.get_bool(), Err(CodecError::Invalid(_))));
+    }
+}

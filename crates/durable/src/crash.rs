@@ -1,0 +1,83 @@
+//! Opt-in crash-injection points for the fault-injection harness.
+//!
+//! `TAGNN_CRASH_AT` is a comma-separated list of `point:n` pairs, e.g.
+//! `TAGNN_CRASH_AT=wal_fsync:3,ckpt_tmp:1`. The `n`-th time execution
+//! reaches the named point the process calls [`std::process::abort`] —
+//! no destructors, no flushes — modelling a hard kill at exactly that
+//! instant. Unlisted points are free: a single atomic load on the fast
+//! path when the variable is unset.
+//!
+//! Points wired into this crate:
+//! - `wal_fsync`   — before the WAL `fdatasync`, so acknowledged-but-
+//!   unsynced records can be lost (torn group commit).
+//! - `wal_torn`    — mid-`append`: only a prefix of the record's bytes
+//!   reach the file, leaving a torn tail for recovery to truncate.
+//! - `ckpt_tmp`    — after the checkpoint temp file is written and
+//!   synced but before the rename (stale `.tmp` left behind).
+//! - `ckpt_done`   — after the rename + directory fsync but before the
+//!   old checkpoint is pruned.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::OnceLock;
+
+struct Registry {
+    counters: HashMap<String, AtomicI64>,
+}
+
+fn registry() -> &'static Registry {
+    static REG: OnceLock<Registry> = OnceLock::new();
+    REG.get_or_init(|| {
+        let mut counters = HashMap::new();
+        if let Ok(spec) = std::env::var("TAGNN_CRASH_AT") {
+            for part in spec.split(',') {
+                let part = part.trim();
+                if part.is_empty() {
+                    continue;
+                }
+                if let Some((name, n)) = part.split_once(':') {
+                    if let Ok(n) = n.trim().parse::<i64>() {
+                        if n > 0 {
+                            counters.insert(name.trim().to_string(), AtomicI64::new(n));
+                        }
+                    }
+                }
+            }
+        }
+        Registry { counters }
+    })
+}
+
+/// Returns true exactly once: when the registered countdown for `point`
+/// reaches zero. Unregistered points always return false.
+pub fn hit(point: &str) -> bool {
+    let reg = registry();
+    if reg.counters.is_empty() {
+        return false;
+    }
+    match reg.counters.get(point) {
+        Some(c) => c.fetch_sub(1, Ordering::Relaxed) == 1,
+        None => false,
+    }
+}
+
+/// Abort the process if the countdown for `point` fires here.
+pub fn abort_if(point: &str) {
+    if hit(point) {
+        // A hard kill: no unwinding, no buffered-IO flushes.
+        std::process::abort();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unregistered_points_never_fire() {
+        // The test process runs without TAGNN_CRASH_AT.
+        for _ in 0..1000 {
+            assert!(!hit("wal_fsync"));
+        }
+    }
+}

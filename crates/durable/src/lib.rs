@@ -1,0 +1,33 @@
+//! Durability primitives for `tagnn-serve`: a per-shard write-ahead log
+//! (WAL), an atomic checkpoint store, and the binary codec they share.
+//!
+//! This crate is intentionally low-level and std-only. It knows nothing
+//! about graphs, models, or the serve core; it moves opaque byte payloads
+//! to disk with the guarantees recovery needs:
+//!
+//! - **WAL** ([`wal`]): length-prefixed records with a per-record CRC32,
+//!   appended sequentially and `fdatasync`'d in configurable group-commit
+//!   batches. On open, a torn or truncated tail (a crash mid-write) is
+//!   detected by the CRC/length scan and cleanly truncated away.
+//! - **Checkpoints** ([`checkpoint`]): whole-state snapshots written
+//!   atomically (temp file + `rename` + directory fsync) and named by a
+//!   monotone sequence number. Loading walks newest-to-oldest and returns
+//!   the first checkpoint that passes CRC validation *and* the caller's
+//!   acceptance predicate (e.g. "its WAL offsets are covered by what
+//!   survived on disk").
+//! - **Codec** ([`codec`]): a tiny explicit-endianness byte reader/writer
+//!   pair with typed truncation errors and a hand-rolled IEEE CRC32, used
+//!   by both layers above and by `tagnn-serve`'s state serialization.
+//! - **Crash hooks** ([`crash`]): opt-in `TAGNN_CRASH_AT` process-abort
+//!   points compiled into the durability hot path, so the fault-injection
+//!   harness can kill a process mid-fsync, mid-checkpoint-write, or
+//!   between temp-write and rename without patching the binary.
+
+pub mod checkpoint;
+pub mod codec;
+pub mod crash;
+pub mod wal;
+
+pub use checkpoint::{Checkpoint, CheckpointStore};
+pub use codec::{crc32, ByteReader, ByteWriter, CodecError};
+pub use wal::{WalRecovery, WalWriter, MAX_WAL_RECORD};

@@ -75,6 +75,31 @@ pub struct GeneratorConfig {
     /// stays stationary under churn.
     #[serde(default)]
     pub feature_row_sparsity: f64,
+    /// Periodic churn bursts — the flash-crowd hostile regime. `None`
+    /// (the default, and what every pre-existing preset uses) leaves the
+    /// per-step churn draw exactly as it always was, so legacy RNG
+    /// streams and golden digests are unchanged. With a burst config,
+    /// every `period`-th evolution step multiplies the churn rates,
+    /// collapsing the unaffected-vertex ratio toward zero on burst
+    /// steps — the regime where TaGNN's reuse premise degrades
+    /// (ROADMAP item 4b).
+    #[serde(default)]
+    pub burst: Option<BurstConfig>,
+}
+
+/// Flash-crowd burst shape: every `period`-th step runs the base churn
+/// rates multiplied up (capped at 1.0), quiet steps run them as-is.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BurstConfig {
+    /// Burst every `period` steps (steps `period`, `2·period`, …);
+    /// `0` disables bursts.
+    pub period: usize,
+    /// Multiplier on `feature_mutation_rate` during a burst.
+    pub feature_multiplier: f64,
+    /// Multiplier on `edge_rewire_rate` during a burst.
+    pub edge_multiplier: f64,
+    /// Multiplier on `vertex_churn_rate` during a burst.
+    pub vertex_multiplier: f64,
 }
 
 impl GeneratorConfig {
@@ -89,6 +114,7 @@ impl GeneratorConfig {
             churn: ChurnConfig::default(),
             seed: 42,
             feature_row_sparsity: 0.0,
+            burst: None,
         }
     }
 
@@ -112,6 +138,39 @@ impl GeneratorConfig {
             },
             seed: 0x5BA3,
             feature_row_sparsity: 0.88,
+            burst: None,
+        }
+    }
+
+    /// The flash-crowd hostile-churn preset (ROADMAP item 4b): already-hot
+    /// baseline churn with periodic burst steps that multiply it to
+    /// saturation — burst snapshots mutate over half the universe's
+    /// features and rewire a quarter of the edges, so the window
+    /// classification's unaffected ratio collapses toward zero and the
+    /// serving layer's skip-band degradation, plan fallbacks, and (with
+    /// durability on) WAL/checkpoint machinery are exercised under
+    /// adversarial load instead of well-behaved churn.
+    pub fn flash_crowd(num_snapshots: usize) -> Self {
+        Self {
+            num_vertices: 512,
+            num_edges: 2_048,
+            feature_dim: 32,
+            num_snapshots,
+            power_law_alpha: 0.9,
+            churn: ChurnConfig {
+                feature_mutation_rate: 0.08,
+                edge_rewire_rate: 0.04,
+                vertex_churn_rate: 0.004,
+                mutation_smoothness: 0.3,
+            },
+            seed: 0xF1A5,
+            feature_row_sparsity: 0.0,
+            burst: Some(BurstConfig {
+                period: 3,
+                feature_multiplier: 8.0,
+                edge_multiplier: 6.0,
+                vertex_multiplier: 4.0,
+            }),
         }
     }
 
@@ -178,20 +237,38 @@ impl GeneratorConfig {
         DynamicGraph::new(snapshots)
     }
 
+    /// The churn rates in effect at evolution step `step`: the base
+    /// config on quiet steps, multiplied (and capped at 1.0) on
+    /// flash-crowd burst steps. With `burst: None` this is the identity,
+    /// so legacy configs draw the exact historical RNG stream.
+    fn effective_churn(&self, step: usize) -> ChurnConfig {
+        match self.burst {
+            Some(b) if b.period > 0 && step % b.period == 0 => ChurnConfig {
+                feature_mutation_rate: (self.churn.feature_mutation_rate * b.feature_multiplier)
+                    .min(1.0),
+                edge_rewire_rate: (self.churn.edge_rewire_rate * b.edge_multiplier).min(1.0),
+                vertex_churn_rate: (self.churn.vertex_churn_rate * b.vertex_multiplier).min(1.0),
+                mutation_smoothness: self.churn.mutation_smoothness,
+            },
+            _ => self.churn,
+        }
+    }
+
     /// Produces one snapshot's worth of churn events against `prev`.
     fn churn_updates(
         &self,
         prev: &Snapshot,
         rng: &mut ChaCha8Rng,
-        _step: usize,
+        step: usize,
     ) -> Vec<GraphUpdate> {
         let n = prev.num_vertices();
+        let churn = self.effective_churn(step);
 
         let mut updates = Vec::new();
 
         // Feature mutations: bounded drift away from the previous value.
-        let mutations = (n as f64 * self.churn.feature_mutation_rate).round() as usize;
-        let keep = self.churn.mutation_smoothness.clamp(0.0, 1.0) as f32;
+        let mutations = (n as f64 * churn.feature_mutation_rate).round() as usize;
+        let keep = churn.mutation_smoothness.clamp(0.0, 1.0) as f32;
         for _ in 0..mutations {
             let v = rng.gen_range(0..n) as VertexId;
             let feature: Vec<f32> = if self.feature_row_sparsity <= 0.0 {
@@ -216,7 +293,7 @@ impl GeneratorConfig {
 
         // Edge rewires: remove existing edges, add fresh ones.
         let edges: Vec<(VertexId, VertexId)> = prev.csr().edges().collect();
-        let rewires = (edges.len() as f64 * self.churn.edge_rewire_rate).round() as usize;
+        let rewires = (edges.len() as f64 * churn.edge_rewire_rate).round() as usize;
         for _ in 0..rewires.min(edges.len()) {
             let (s, t) = edges[rng.gen_range(0..edges.len())];
             updates.push(GraphUpdate::RemoveEdge { src: s, dst: t });
@@ -228,7 +305,7 @@ impl GeneratorConfig {
         }
 
         // Rare vertex churn.
-        let churns = (n as f64 * self.churn.vertex_churn_rate).round() as usize;
+        let churns = (n as f64 * churn.vertex_churn_rate).round() as usize;
         for _ in 0..churns {
             let v = rng.gen_range(0..n) as VertexId;
             if prev.is_active(v) {
@@ -352,6 +429,7 @@ impl DatasetPreset {
             // Seed derived from the preset so datasets differ deterministically.
             seed: 0xD6_0000 + self as u64,
             feature_row_sparsity: 0.0,
+            burst: None,
         }
     }
 
@@ -450,6 +528,43 @@ mod tests {
                 .all(|&x| x == 0.0)
         });
         assert!(!any_zero_row, "dense generation must fill every row");
+    }
+
+    #[test]
+    fn no_burst_config_leaves_legacy_generation_untouched() {
+        // `burst: None` (the deserialization default) must be a pure
+        // pass-through: the effective churn is the config's own and the
+        // RNG draw sequence — and thus every golden digest — unchanged.
+        let cfg = GeneratorConfig::tiny();
+        for step in 1..8 {
+            assert_eq!(cfg.effective_churn(step), cfg.churn);
+        }
+    }
+
+    #[test]
+    fn flash_crowd_bursts_collapse_the_unaffected_ratio() {
+        use crate::classify::classify_window;
+        use crate::types::VertexClass;
+        let cfg = GeneratorConfig::flash_crowd(6);
+        let g = cfg.generate();
+        assert_eq!(g.num_snapshots(), 6);
+
+        // Burst steps must actually multiply churn.
+        let burst = cfg.effective_churn(3);
+        assert!(burst.feature_mutation_rate > cfg.churn.feature_mutation_rate * 4.0);
+        assert!(burst.edge_rewire_rate > cfg.churn.edge_rewire_rate * 4.0);
+
+        // A window spanning a burst has (close to) no unaffected
+        // vertices — the hostile regime where TaGNN's premise degrades.
+        let snaps: Vec<&Snapshot> = (2..5).map(|i| g.snapshot(i)).collect();
+        let cls = classify_window(&snaps);
+        let unaffected = cls.count(VertexClass::Unaffected) as f64 / g.num_vertices() as f64;
+        // Well-behaved churn lands 27–45 % unaffected at window 3
+        // (Fig. 3(a) bands); the hostile preset must collapse that.
+        assert!(
+            unaffected < 0.10,
+            "burst window should collapse the unaffected ratio, got {unaffected}"
+        );
     }
 
     #[test]

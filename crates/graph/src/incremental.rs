@@ -91,6 +91,31 @@ pub struct MaintainerStats {
     pub patched_vertices: u64,
 }
 
+/// Exported forming-window classifier state — the checkpoint surface for
+/// [`IncrementalClassifier`]. Field-for-field image of the private state
+/// so a restored classifier continues sealing bit-identical plans.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClassifierStateExport {
+    /// Snapshots absorbed so far in the forming window.
+    pub ticks: u64,
+    /// Monotone feature-instability bitmap.
+    pub feature_unstable: Vec<bool>,
+    /// Monotone topology-instability bitmap.
+    pub topo_unstable: Vec<bool>,
+    /// Whether the forming window cannot be vouched for.
+    pub poisoned: bool,
+}
+
+/// Exported [`PlanMaintainer`] state: the forming-window classifier (if
+/// one is in flight) plus the cumulative counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MaintainerState {
+    /// Forming-window classifier state, `None` between windows.
+    pub forming: Option<ClassifierStateExport>,
+    /// Cumulative maintainer counters.
+    pub stats: MaintainerStats,
+}
+
 #[derive(Debug)]
 struct ClassifierState {
     /// Snapshots absorbed so far in the forming window.
@@ -269,6 +294,27 @@ impl IncrementalClassifier {
     pub fn reset(&mut self) {
         self.state = None;
     }
+
+    /// Snapshots the forming-window state (`None` between windows).
+    pub fn export_state(&self) -> Option<ClassifierStateExport> {
+        self.state.as_ref().map(|s| ClassifierStateExport {
+            ticks: s.ticks as u64,
+            feature_unstable: s.feature_unstable.clone(),
+            topo_unstable: s.topo_unstable.clone(),
+            poisoned: s.poisoned,
+        })
+    }
+
+    /// Restores a previously exported forming-window state, replacing
+    /// whatever this classifier held.
+    pub fn import_state(&mut self, state: Option<ClassifierStateExport>) {
+        self.state = state.map(|s| ClassifierState {
+            ticks: s.ticks as usize,
+            feature_unstable: s.feature_unstable,
+            topo_unstable: s.topo_unstable,
+            poisoned: s.poisoned,
+        });
+    }
 }
 
 /// Streams the MSDL frontend: absorbs per-tick deltas during the window
@@ -342,6 +388,22 @@ impl PlanMaintainer {
     /// Drops any forming-window state (stream reset).
     pub fn reset(&mut self) {
         self.classifier.reset();
+    }
+
+    /// Snapshots the maintainer: forming-window classifier state plus
+    /// cumulative counters — the serving checkpoint surface.
+    pub fn export_state(&self) -> MaintainerState {
+        MaintainerState {
+            forming: self.classifier.export_state(),
+            stats: self.stats,
+        }
+    }
+
+    /// Restores a previously exported maintainer state, replacing this
+    /// maintainer's forming window and counters.
+    pub fn import_state(&mut self, state: MaintainerState) {
+        self.classifier.import_state(state.forming);
+        self.stats = state.stats;
     }
 }
 
@@ -463,6 +525,46 @@ mod tests {
         let plan = m.seal(&refs, 0).expect("vouched window");
         let scratch = WindowPlanner::new(3).try_plan_window(&refs, 0).unwrap();
         assert_eq!(plan, scratch);
+    }
+
+    #[test]
+    fn exported_state_resumes_mid_window_bit_identically() {
+        // Export after every tick of a forming window; a fresh maintainer
+        // importing the state and absorbing the remaining ticks must seal
+        // the exact plan the uninterrupted maintainer seals.
+        let g = crate::generate::GeneratorConfig::tiny().generate();
+        let k = 3;
+        let mut sealed: Vec<Snapshot> = Vec::new();
+        let mut prev = crate::snapshot::Snapshot::fully_active(
+            crate::csr::Csr::empty(g.num_vertices()),
+            tagnn_tensor::DenseMatrix::zeros(g.num_vertices(), g.feature_dim()),
+        );
+        let mut ticks: Vec<(Vec<Snapshot>, Vec<GraphUpdate>)> = Vec::new();
+        for snap in g.snapshots().iter().take(k) {
+            let updates = diff_snapshots(&prev, snap);
+            sealed.push(snap.clone());
+            ticks.push((sealed.clone(), updates));
+            prev = snap.clone();
+        }
+        for cut in 1..k {
+            let mut a = PlanMaintainer::new();
+            let mut b = PlanMaintainer::new();
+            for (sealed, updates) in &ticks[..cut] {
+                a.absorb(sealed, updates);
+            }
+            let exported = a.export_state();
+            assert!(exported.forming.is_some(), "window is forming at cut {cut}");
+            b.import_state(exported.clone());
+            assert_eq!(b.export_state(), exported, "round trip at cut {cut}");
+            for (sealed, updates) in &ticks[cut..] {
+                a.absorb(sealed, updates);
+                b.absorb(sealed, updates);
+            }
+            let refs: Vec<&Snapshot> = ticks[k - 1].0.iter().collect();
+            let pa = a.seal(&refs, 0).expect("vouched");
+            let pb = b.seal(&refs, 0).expect("vouched after import");
+            assert_eq!(pa, pb, "restored maintainer must seal identical plans");
+        }
     }
 
     #[test]

@@ -54,8 +54,11 @@ pub use classify::{classify_window, try_classify_window, WindowClassification, W
 pub use csr::Csr;
 pub use dynamic::DynamicGraph;
 pub use error::GraphError;
-pub use generate::{DatasetPreset, GeneratorConfig};
-pub use incremental::{IncrementalClassifier, MaintainerStats, PlanDelta, PlanMaintainer};
+pub use generate::{BurstConfig, DatasetPreset, GeneratorConfig};
+pub use incremental::{
+    ClassifierStateExport, IncrementalClassifier, MaintainerState, MaintainerStats, PlanDelta,
+    PlanMaintainer,
+};
 pub use ocsr::OCsr;
 pub use plan::{CacheStats, PlanCache, PlanInstrumentation, PlanSource, WindowPlan, WindowPlanner};
 pub use snapshot::Snapshot;

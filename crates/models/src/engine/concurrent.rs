@@ -23,6 +23,7 @@ use crate::engine::{plan_layer_choices, ExecutionStats, InferenceOutput};
 use crate::gcn;
 use crate::rnn::VertexState;
 use crate::skip::{CellMode, SkipConfig};
+use crate::state::{EngineState, StateError, StatefulModel, VertexStateExport};
 use rayon::prelude::*;
 use std::sync::Arc;
 use tagnn_graph::classify::WindowClassification;
@@ -1365,6 +1366,66 @@ impl EngineSession {
     }
 }
 
+impl StatefulModel for EngineSession {
+    fn export_state(&self) -> EngineState {
+        EngineState {
+            windows: self.windows,
+            vertices: self
+                .ctxs
+                .iter()
+                .map(|ctx| VertexStateExport {
+                    h: ctx.state.h.clone(),
+                    c: ctx.state.c.clone(),
+                    x_pre: ctx.state.x_pre.clone(),
+                    last_input: ctx.last_input.clone(),
+                    has_input: ctx.has_input,
+                })
+                .collect(),
+            choices: self.choices.clone(),
+        }
+    }
+
+    fn import_state(&mut self, state: EngineState) -> Result<(), StateError> {
+        if state.vertices.len() != self.ctxs.len() {
+            return Err(StateError::UniverseMismatch {
+                expected: self.ctxs.len(),
+                found: state.vertices.len(),
+            });
+        }
+        // Validate every shape against the session's model (the fresh
+        // contexts carry the canonical lengths) before touching anything,
+        // so a failed import leaves the session unchanged.
+        for (vu, (ctx, v)) in self.ctxs.iter().zip(&state.vertices).enumerate() {
+            let checks = [
+                ("h", ctx.state.h.len(), v.h.len()),
+                ("c", ctx.state.c.len(), v.c.len()),
+                ("x_pre", ctx.state.x_pre.len(), v.x_pre.len()),
+                ("last_input", ctx.last_input.len(), v.last_input.len()),
+            ];
+            for (field, expected, found) in checks {
+                if expected != found {
+                    return Err(StateError::ShapeMismatch {
+                        vertex: vu,
+                        field,
+                        expected,
+                        found,
+                    });
+                }
+            }
+        }
+        for (ctx, v) in self.ctxs.iter_mut().zip(state.vertices) {
+            ctx.state.h = v.h;
+            ctx.state.c = v.c;
+            ctx.state.x_pre = v.x_pre;
+            ctx.last_input = v.last_input;
+            ctx.has_input = v.has_input;
+        }
+        self.windows = state.windows;
+        self.choices = state.choices;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1700,5 +1761,70 @@ mod tests {
         let e = ConcurrentEngine::with_window(model(ModelKind::TGcn), SkipConfig::disabled(), 3);
         let plans = WindowPlanner::new(2).plan_graph(&g);
         let _ = e.run_with_plans(&g, &plans);
+    }
+
+    #[test]
+    fn exported_state_resumes_bit_identically_for_every_model() {
+        // A fresh session that imports a mid-stream export must produce
+        // exactly the bits the original session would have — the
+        // recovery correctness bar, per model kind (GRU has no cell
+        // vector; the LSTMs do).
+        let g = tiny_graph();
+        for kind in ModelKind::ALL {
+            let e = ConcurrentEngine::with_window(model(kind), SkipConfig::paper_default(), 3);
+            let plans = WindowPlanner::new(3).plan_graph(&g);
+            let mut original = e.session(g.num_vertices());
+            let windows: Vec<Vec<&Snapshot>> = g.batches(3).map(|b| b.iter().collect()).collect();
+            let _ = original.process_window(&windows[0], &plans[0]);
+
+            let exported = original.export_state();
+            let mut restored = e.session(g.num_vertices());
+            restored.import_state(exported.clone()).unwrap();
+            assert_eq!(restored.export_state(), exported, "{kind:?}: round trip");
+            assert_eq!(restored.windows_processed(), 1);
+
+            for (win, plan) in windows.iter().zip(&plans).skip(1) {
+                let a = original.process_window(win, plan);
+                let b = restored.process_window(win, plan);
+                assert_eq!(
+                    a.final_features, b.final_features,
+                    "{kind:?}: restored session must continue bit-identically"
+                );
+                assert_eq!(a.gnn_outputs, b.gnn_outputs);
+            }
+        }
+    }
+
+    #[test]
+    fn import_rejects_mismatched_shapes_without_mutating() {
+        let g = tiny_graph();
+        let e = ConcurrentEngine::with_window(model(ModelKind::TGcn), SkipConfig::disabled(), 3);
+        let mut session = e.session(g.num_vertices());
+        let baseline = session.export_state();
+
+        // Wrong universe.
+        let mut small = baseline.clone();
+        small.vertices.pop();
+        assert!(matches!(
+            session.import_state(small),
+            Err(StateError::UniverseMismatch { .. })
+        ));
+
+        // Wrong hidden dim on one vertex.
+        let mut bad = baseline.clone();
+        bad.vertices[0].h.push(0.0);
+        assert!(matches!(
+            session.import_state(bad),
+            Err(StateError::ShapeMismatch {
+                vertex: 0,
+                field: "h",
+                ..
+            })
+        ));
+        assert_eq!(
+            session.export_state(),
+            baseline,
+            "failed import must not mutate"
+        );
     }
 }

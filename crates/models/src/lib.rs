@@ -27,6 +27,7 @@ pub mod engine;
 pub mod gcn;
 pub mod rnn;
 pub mod skip;
+pub mod state;
 
 pub use dgnn::{DgnnModel, ModelKind};
 pub use engine::concurrent::{ConcurrentEngine, EngineSession, ReuseMode, WindowOutput};
@@ -34,3 +35,4 @@ pub use engine::reference::ReferenceEngine;
 pub use engine::{ExecutionStats, InferenceOutput};
 pub use gcn::AggregatorKind;
 pub use skip::{CellMode, SkipConfig};
+pub use state::{EngineState, StateError, StatefulModel, VertexStateExport};

@@ -1,0 +1,108 @@
+//! Model-agnostic engine-state export/import — the checkpoint surface.
+//!
+//! A serving layer that wants durability must capture everything a
+//! stream's future outputs depend on. For the engines here that is the
+//! per-vertex recurrent context (hidden state `h`, cell state `c` where
+//! the cell has one, the cached gate pre-activation `x_pre`, and the last
+//! input the cached state corresponds to) plus the session's pinned
+//! kernel-association plan. The shapes are model-agnostic: CD-GCN and
+//! GC-LSTM carry a cell vector, T-GCN's GRU leaves it empty — the export
+//! does not hard-code a cell type, mirroring how the generic dataflow
+//! accelerators keep their checkpoint interface model-free.
+//!
+//! The association plan ([`LayerChoice`]) is part of the state on
+//! purpose: it is pinned from the first window using a *timing-calibrated*
+//! cost model, so a restarted process re-deriving it could legally pick a
+//! different (bit-different) associativity. Restoring the recorded plan
+//! is what makes recovery bit-identical to an uninterrupted run.
+//!
+//! Cumulative work counters ([`crate::ExecutionStats`]) are deliberately
+//! *not* part of the state: they do not influence outputs, and a restart
+//! zeroing observability counters is conventional.
+
+use tagnn_tensor::dispatch::LayerChoice;
+
+/// One vertex's recurrent context, exported with exact float bits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VertexStateExport {
+    /// Hidden state `h` (length = model hidden dim).
+    pub h: Vec<f32>,
+    /// Cell state `c` (LSTM cells; empty for GRU).
+    pub c: Vec<f32>,
+    /// Cached input-side gate pre-activation `W_x · x`.
+    pub x_pre: Vec<f32>,
+    /// The last input the cached pre-activation corresponds to.
+    pub last_input: Vec<f32>,
+    /// Whether `last_input` has ever been written (a vertex that was
+    /// never active has no cached input to score similarity against).
+    pub has_input: bool,
+}
+
+/// Complete model-agnostic snapshot of one engine session's state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineState {
+    /// Windows processed so far (restored so cadence-style logic keeps
+    /// counting from where it left off).
+    pub windows: u64,
+    /// Per-vertex recurrent contexts, indexed by vertex id.
+    pub vertices: Vec<VertexStateExport>,
+    /// The session's pinned association plan (`None` if no window was
+    /// processed before the snapshot).
+    pub choices: Option<Vec<LayerChoice>>,
+}
+
+/// Why an [`EngineState`] could not be imported into a session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StateError {
+    /// The exported vertex count does not match the session's universe.
+    UniverseMismatch {
+        /// Vertices the session was opened over.
+        expected: usize,
+        /// Vertices in the exported state.
+        found: usize,
+    },
+    /// A per-vertex vector's length does not match the session's model
+    /// dimensions (wrong model kind or hidden size).
+    ShapeMismatch {
+        /// Vertex at which the mismatch was found.
+        vertex: usize,
+        /// Which field mismatched (`"h"`, `"c"`, `"x_pre"`, `"last_input"`).
+        field: &'static str,
+        /// Expected length per the session's model.
+        expected: usize,
+        /// Length found in the exported state.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for StateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StateError::UniverseMismatch { expected, found } => write!(
+                f,
+                "engine state universe mismatch: session has {expected} vertices, state has {found}"
+            ),
+            StateError::ShapeMismatch { vertex, field, expected, found } => write!(
+                f,
+                "engine state shape mismatch at vertex {vertex}: {field} expected len {expected}, found {found}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StateError {}
+
+/// Checkpointable execution state: everything a stream's future outputs
+/// depend on can be exported, and a freshly opened session can import it
+/// to continue bit-identically. Implemented by
+/// [`crate::engine::concurrent::EngineSession`].
+pub trait StatefulModel {
+    /// Snapshot the session's complete recurrent state.
+    fn export_state(&self) -> EngineState;
+
+    /// Restore a previously exported state into this session. The
+    /// session must have been opened over the same universe with the
+    /// same model configuration; shape mismatches are typed errors and
+    /// leave the session untouched.
+    fn import_state(&mut self, state: EngineState) -> Result<(), StateError>;
+}

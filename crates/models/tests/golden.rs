@@ -31,6 +31,7 @@ fn churny_graph(seed: u64) -> DynamicGraph {
         },
         seed,
         feature_row_sparsity: 0.0,
+        burst: None,
     }
     .generate()
 }

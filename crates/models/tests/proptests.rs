@@ -23,6 +23,7 @@ fn graph_strategy() -> impl Strategy<Value = GeneratorConfig> {
             },
             seed,
             feature_row_sparsity: 0.0,
+            burst: None,
         },
     )
 }

@@ -186,15 +186,35 @@ pub fn try_decode_frame(buf: &[u8]) -> Result<Option<Frame<'_>>, ServeError> {
 /// reads so pipelined replies that coalesce into one TCP segment still
 /// come out one frame at a time. Used by the load generator and bench
 /// clients; the server has its own nonblocking read path.
+///
+/// Consumed frames advance a cursor instead of draining the buffer
+/// (draining shifts every remaining byte — quadratic under pipelined
+/// bursts); the dead prefix is compacted away once it outgrows the live
+/// bytes. Buffered memory is explicitly capped: `try_decode_frame`
+/// rejects any length prefix above [`MAX_FRAME_LEN`] before allocation,
+/// so the buffer never holds more than one maximal frame plus one read
+/// chunk, and the reader enforces that invariant rather than assuming it.
 #[derive(Debug, Default)]
 pub struct FrameReader {
     buf: Vec<u8>,
+    start: usize,
 }
+
+/// Hard ceiling on bytes a [`FrameReader`] will buffer: one maximal
+/// frame (prefix included) plus one read chunk.
+const MAX_BUFFERED: usize = 4 + MAX_FRAME_LEN + READ_CHUNK;
+
+const READ_CHUNK: usize = 16 << 10;
 
 impl FrameReader {
     /// An empty reader.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Bytes currently buffered but not yet consumed by a frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
     }
 
     /// Reads the next frame from `src`, blocking as needed. Returns
@@ -205,13 +225,22 @@ impl FrameReader {
         &mut self,
         src: &mut R,
     ) -> std::io::Result<Option<(u8, u64, Vec<u8>)>> {
-        let mut chunk = [0u8; 16 << 10];
+        let mut chunk = [0u8; READ_CHUNK];
         loop {
-            match try_decode_frame(&self.buf) {
+            match try_decode_frame(&self.buf[self.start..]) {
                 Ok(Some(frame)) => {
                     let out = (frame.kind, frame.id, frame.body.to_vec());
-                    let consumed = frame.consumed;
-                    self.buf.drain(..consumed);
+                    self.start += frame.consumed;
+                    if self.start >= self.buf.len() {
+                        self.buf.clear();
+                        self.start = 0;
+                    } else if self.start > self.buf.len() - self.start {
+                        // Dead prefix outgrew the live tail: compact once
+                        // instead of shifting on every frame.
+                        self.buf.copy_within(self.start.., 0);
+                        self.buf.truncate(self.buf.len() - self.start);
+                        self.start = 0;
+                    }
                     return Ok(Some(out));
                 }
                 Ok(None) => {}
@@ -222,9 +251,17 @@ impl FrameReader {
                     ))
                 }
             }
+            if self.buffered() + READ_CHUNK > MAX_BUFFERED {
+                // Unreachable while try_decode_frame bounds frame lengths,
+                // but the cap must hold even if that invariant slips.
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "frame reader buffer cap exceeded",
+                ));
+            }
             let n = src.read(&mut chunk)?;
             if n == 0 {
-                return if self.buf.is_empty() {
+                return if self.buffered() == 0 {
                     Ok(None)
                 } else {
                     Err(std::io::Error::new(
@@ -489,6 +526,15 @@ pub fn encode_stats(out: &mut Vec<u8>, id: u64, s: &StatsView) {
     for &x in &s.shard_queue_depths {
         put_u64(&mut body, x as u64);
     }
+    // Durability counters ride at the end so readers of the pre-durable
+    // layout still decode everything before them.
+    body.push(u8::from(s.durability_enabled));
+    put_u64(&mut body, s.wal_appends);
+    put_u64(&mut body, s.wal_fsyncs);
+    put_u64(&mut body, s.checkpoints_written);
+    put_u64(&mut body, s.replayed_events);
+    put_u64(&mut body, s.replay_us);
+    put_u64(&mut body, s.truncated_tail_bytes);
     encode_frame(out, kind::STATS_REPLY, id, &body);
 }
 
@@ -527,6 +573,28 @@ pub fn decode_stats(body: &[u8]) -> Result<StatsView, ServeError> {
     for _ in 0..n {
         shard_queue_depths.push(r.u64()? as usize);
     }
+    // Absent tail (a pre-durable peer) decodes as durability-off zeros.
+    let (
+        durability_enabled,
+        wal_appends,
+        wal_fsyncs,
+        checkpoints_written,
+        replayed_events,
+        replay_us,
+        truncated_tail_bytes,
+    ) = if r.done() {
+        (false, 0, 0, 0, 0, 0, 0)
+    } else {
+        (
+            r.u8()? != 0,
+            r.u64()?,
+            r.u64()?,
+            r.u64()?,
+            r.u64()?,
+            r.u64()?,
+            r.u64()?,
+        )
+    };
     Ok(StatsView {
         queue_depth,
         shed,
@@ -546,6 +614,13 @@ pub fn decode_stats(body: &[u8]) -> Result<StatsView, ServeError> {
         shard_routed,
         shard_queue_depths,
         cross_shard_edges,
+        durability_enabled,
+        wal_appends,
+        wal_fsyncs,
+        checkpoints_written,
+        replayed_events,
+        replay_us,
+        truncated_tail_bytes,
     })
 }
 
@@ -715,5 +790,167 @@ mod tests {
         let frame = decode_one(&buf);
         assert_eq!(frame.kind, kind::STATS_REPLY);
         assert_eq!(decode_stats(frame.body).unwrap(), stats);
+    }
+
+    #[test]
+    fn durability_stats_round_trip_and_absent_tail_decodes_as_disabled() {
+        let stats = StatsView {
+            durability_enabled: true,
+            wal_appends: 100,
+            wal_fsyncs: 13,
+            checkpoints_written: 4,
+            replayed_events: 250,
+            replay_us: 9000,
+            truncated_tail_bytes: 7,
+            ..StatsView::default()
+        };
+        let mut buf = Vec::new();
+        encode_stats(&mut buf, 1, &stats);
+        let frame = decode_one(&buf);
+        assert_eq!(decode_stats(frame.body).unwrap(), stats);
+
+        // A pre-durable peer's body stops after the shard arrays; the
+        // appended tail must be optional, not a decode error.
+        let cut = frame.body.len() - (1 + 6 * 8);
+        let old = decode_stats(&frame.body[..cut]).unwrap();
+        assert!(!old.durability_enabled);
+        assert_eq!(old.wal_appends, 0);
+    }
+
+    /// Every well-formed frame, truncated at every length and with every
+    /// single byte flipped, must decode to Ok or a typed error — never a
+    /// panic, and never an allocation proportional to a lying length
+    /// field. (The alloc property is structural — counts are bounded by
+    /// body size before `Vec::with_capacity` — but the sweep would
+    /// abort on capacity overflow if that regressed.)
+    #[test]
+    fn corrupt_byte_sweep_never_panics() {
+        let mut frames: Vec<Vec<u8>> = Vec::new();
+        let mut buf = Vec::new();
+        encode_infer(
+            &mut buf,
+            7,
+            3,
+            &[
+                EdgeEvent::AddEdge { src: 1, dst: 2 },
+                EdgeEvent::UpdateFeature {
+                    v: 0,
+                    feature: vec![1.0, f32::NAN],
+                },
+                EdgeEvent::Tick,
+            ],
+            true,
+        );
+        frames.push(std::mem::take(&mut buf));
+        encode_reply(
+            &mut buf,
+            8,
+            &Reply {
+                accepted_events: 2,
+                windows: vec![WindowResult {
+                    stream: 3,
+                    seq: 1,
+                    snapshots: 3,
+                    digest: 42,
+                    macs: 99,
+                    skipped_cells: 0,
+                    plan_source: PlanSource::Cached,
+                    latency_us: 5,
+                }],
+            },
+        );
+        frames.push(std::mem::take(&mut buf));
+        encode_stats(
+            &mut buf,
+            9,
+            &StatsView {
+                shard_routed: vec![1, 2],
+                shard_queue_depths: vec![0, 3],
+                durability_enabled: true,
+                wal_appends: 5,
+                ..StatsView::default()
+            },
+        );
+        frames.push(std::mem::take(&mut buf));
+        encode_error(&mut buf, 10, &ServeError::Closed);
+        frames.push(std::mem::take(&mut buf));
+
+        let exercise = |bytes: &[u8]| {
+            if let Ok(Some(frame)) = try_decode_frame(bytes) {
+                let _ = decode_request(&frame);
+                let _ = decode_reply(frame.body);
+                let _ = decode_stats(frame.body);
+                let _ = decode_error(frame.body);
+            }
+        };
+        for frame in &frames {
+            for cut in 0..frame.len() {
+                exercise(&frame[..cut]);
+            }
+            let mut mutated = frame.clone();
+            for i in 0..frame.len() {
+                for flip in [0x01u8, 0x80, 0xFF] {
+                    mutated[i] = frame[i] ^ flip;
+                    exercise(&mutated);
+                }
+                mutated[i] = frame[i];
+            }
+        }
+    }
+
+    #[test]
+    fn frame_reader_reassembles_pipelined_and_fragmented_frames() {
+        let mut wire = Vec::new();
+        for id in 0..64u64 {
+            encode_infer(
+                &mut wire,
+                id,
+                id % 3,
+                &[EdgeEvent::Tick, EdgeEvent::AddEdge { src: 0, dst: 1 }],
+                false,
+            );
+        }
+        // Feed the whole burst through a reader that sees 7-byte reads:
+        // every frame straddles chunk boundaries.
+        struct Dribble<'a>(&'a [u8]);
+        impl std::io::Read for Dribble<'_> {
+            fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+                let n = self.0.len().min(out.len()).min(7);
+                out[..n].copy_from_slice(&self.0[..n]);
+                self.0 = &self.0[n..];
+                Ok(n)
+            }
+        }
+        let mut src = Dribble(&wire);
+        let mut reader = FrameReader::new();
+        for id in 0..64u64 {
+            let (k, got_id, _) = reader
+                .read_frame(&mut src)
+                .expect("clean stream")
+                .expect("frame present");
+            assert_eq!((k, got_id), (kind::INFER, id));
+        }
+        assert!(reader.read_frame(&mut src).expect("clean EOF").is_none());
+        assert_eq!(reader.buffered(), 0);
+    }
+
+    #[test]
+    fn frame_reader_reports_mid_frame_eof_and_bad_framing() {
+        let mut wire = Vec::new();
+        encode_ping(&mut wire, 1);
+        wire.truncate(wire.len() - 1);
+        let mut reader = FrameReader::new();
+        let err = reader
+            .read_frame(&mut std::io::Cursor::new(&wire))
+            .expect_err("mid-frame EOF");
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+
+        let mut huge = Vec::new();
+        put_u32(&mut huge, (MAX_FRAME_LEN + 1) as u32);
+        let mut reader = FrameReader::new();
+        let err = reader
+            .read_frame(&mut std::io::Cursor::new(&huge))
+            .expect_err("oversized length prefix");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
     }
 }

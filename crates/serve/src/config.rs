@@ -1,10 +1,48 @@
 //! Server configuration.
 
+use std::path::PathBuf;
+
 use tagnn_models::{ModelKind, ReuseMode, SkipConfig};
 use tagnn_tensor::DispatchMode;
 
 use crate::degrade::DegradationPolicy;
 use crate::shard::ShardAssignment;
+
+/// Durability envelope. When set on [`ServeConfig::durability`], every
+/// accepted request is appended to its execution shard's write-ahead log
+/// *before* it mutates stream state, and the engine periodically writes
+/// atomic checkpoints of every roller and session; a restarted core
+/// recovers from the latest valid checkpoint plus the WAL suffix and
+/// resumes with bit-identical digests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurabilityConfig {
+    /// Directory holding the WAL segments (`wal-<shard>.log`) and
+    /// checkpoint files (`ckpt-<seq>.bin`). Created if absent.
+    pub dir: PathBuf,
+    /// fdatasync every N appended records (1 = sync every record; larger
+    /// values amortise the sync across a group commit at the cost of the
+    /// tail being re-playable-but-unacknowledged after a crash).
+    pub group_commit: usize,
+    /// Kick off a checkpoint after this many rolled windows since the
+    /// previous one.
+    pub checkpoint_every_windows: u64,
+    /// Checkpoints retained on disk (older ones are pruned after a new
+    /// one lands; keeping ≥2 survives a corrupt newest).
+    pub keep_checkpoints: usize,
+}
+
+impl DurabilityConfig {
+    /// Durability under `dir` with the default cadence: group commits of
+    /// 8, a checkpoint every 16 windows, 2 checkpoints retained.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            group_commit: 8,
+            checkpoint_every_windows: 16,
+            keep_checkpoints: 2,
+        }
+    }
+}
 
 /// Everything a [`crate::core::ServeCore`] needs to boot: the vertex
 /// universe it serves, the model it runs, and the batching/backpressure
@@ -75,6 +113,9 @@ pub struct ServeConfig {
     pub lookahead: usize,
     /// Backlog-driven graceful degradation.
     pub degradation: DegradationPolicy,
+    /// Write-ahead logging + checkpointing (`None` = in-memory only, the
+    /// historical behaviour).
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl Default for ServeConfig {
@@ -101,6 +142,7 @@ impl Default for ServeConfig {
             overlap: false,
             lookahead: 1,
             degradation: DegradationPolicy::default(),
+            durability: None,
         }
     }
 }
@@ -128,6 +170,14 @@ impl ServeConfig {
             !self.overlap || self.lookahead > 0,
             "lookahead must be positive when overlap is enabled"
         );
+        if let Some(d) = &self.durability {
+            assert!(d.group_commit > 0, "group_commit must be positive");
+            assert!(
+                d.checkpoint_every_windows > 0,
+                "checkpoint_every_windows must be positive"
+            );
+            assert!(d.keep_checkpoints > 0, "keep_checkpoints must be positive");
+        }
         self
     }
 }

@@ -18,22 +18,27 @@
 //! stream — the property the integration suite pins down.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use tagnn_durable::checkpoint::CheckpointStore;
+use tagnn_durable::wal::WalWriter;
 use tagnn_graph::{CacheStats, PlanCache, PlanSource, WindowPlan, WindowPlanner};
-use tagnn_models::{ConcurrentEngine, DgnnModel, EngineSession, SkipConfig};
+use tagnn_models::{
+    ConcurrentEngine, DgnnModel, EngineSession, EngineState, SkipConfig, StatefulModel,
+};
 use tagnn_obs::Recorder;
 use tagnn_tensor::{DenseMatrix, DispatchMode, DispatchTally};
 
-use crate::config::ServeConfig;
+use crate::config::{DurabilityConfig, ServeConfig};
 use crate::degrade::DegradationState;
 use crate::error::ServeError;
 use crate::event::EdgeEvent;
+use crate::persist::{self, CheckpointBlob, ConfigStamp};
 use crate::queue::{BoundedQueue, PushOutcome};
-use crate::roller::{RolledWindow, ShardedRoller, WindowRoller};
+use crate::roller::{RolledWindow, ShardedRoller, ShardedRollerState, WindowRoller};
 use crate::shard::ShardRouter;
 
 /// One inference request: a slice of a stream's event sequence.
@@ -243,10 +248,69 @@ impl ShardObs {
     }
 }
 
+/// What recovery did at boot (only present when the core was started
+/// with [`ServeConfig::durability`] set).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecoveryReport {
+    /// Sequence number of the checkpoint restored (`None` on a cold
+    /// start with no usable checkpoint).
+    pub checkpoint_seq: Option<u64>,
+    /// WAL-suffix requests replayed through normal ingestion.
+    pub replayed_requests: u64,
+    /// Events contained in the replayed requests.
+    pub replayed_events: u64,
+    /// Wall time of the replay phase in microseconds.
+    pub replay_us: u64,
+    /// Bytes truncated from torn/corrupt WAL tails across all shards.
+    pub truncated_tail_bytes: u64,
+    /// Per-stream tick position after recovery (checkpoint ticks plus
+    /// replayed ticks), sorted by stream id — the resume cursor a
+    /// trace-feeding client needs to continue where the crash cut it.
+    pub resume_ticks: Vec<(u64, u64)>,
+    /// Windows the WAL replay re-served, in replay order. Their replies
+    /// went to the recovery path rather than any client, so this is the
+    /// only place their digests surface — the crash differential needs
+    /// them to prove the re-served bits match the original serve.
+    pub replayed_windows: Vec<WindowResult>,
+}
+
+/// Point-in-time durability counters since boot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DurableStats {
+    /// Whether durability is configured at all.
+    pub enabled: bool,
+    /// WAL records appended.
+    pub wal_appends: u64,
+    /// Group-commit fsyncs issued.
+    pub wal_fsyncs: u64,
+    /// Checkpoints written since boot.
+    pub checkpoints_written: u64,
+    /// Events replayed from the WAL at boot.
+    pub replayed_events: u64,
+    /// Replay wall time at boot in microseconds.
+    pub replay_us: u64,
+    /// WAL tail bytes truncated at boot.
+    pub truncated_tail_bytes: u64,
+}
+
+/// Shared atomic backing of [`DurableStats`].
+#[derive(Debug, Default)]
+struct DurableObs {
+    wal_appends: AtomicU64,
+    wal_fsyncs: AtomicU64,
+    checkpoints_written: AtomicU64,
+    replayed_events: AtomicU64,
+    replay_us: AtomicU64,
+    truncated_tail_bytes: AtomicU64,
+}
+
 struct Job {
     req: InferRequest,
     enqueued_at: Instant,
     reply: mpsc::Sender<Result<Reply, ServeError>>,
+    /// `false` for WAL-replayed requests: they were logged before the
+    /// crash and must not be logged again.
+    log: bool,
 }
 
 /// Book-keeping for a request whose windows are in flight: the reply is
@@ -258,13 +322,293 @@ struct Pending {
     accepted_events: usize,
 }
 
-struct WorkItem {
+struct WindowItem {
     stream: u64,
     window: RolledWindow,
     skip: SkipConfig,
     slot: usize,
     enqueued_at: Instant,
     pending: Arc<Pending>,
+}
+
+/// What flows through a shard's work queue: windows to execute, plus
+/// checkpoint markers. A marker makes the worker serialize its sessions
+/// *at that point in the queue* — i.e. after exactly the windows the
+/// batcher had rolled when it cut the checkpoint — which is what makes
+/// the assembled checkpoint a consistent image without stopping the
+/// world.
+enum WorkItem {
+    Window(WindowItem),
+    Checkpoint { seq: u64 },
+}
+
+/// The batcher's half of a checkpoint: everything it owns (rollers, WAL
+/// offsets), captured synchronously when the checkpoint is cut.
+struct CheckpointBegin {
+    seq: u64,
+    stamp: ConfigStamp,
+    wal_offsets: Vec<u64>,
+    windows_rolled: u64,
+    rollers: Vec<(u64, ShardedRollerState)>,
+}
+
+/// Messages feeding the checkpoint-writer thread.
+enum CkptMsg {
+    Begin(Box<CheckpointBegin>),
+    Sessions {
+        seq: u64,
+        parts: Vec<(u64, EngineState)>,
+    },
+}
+
+/// The batcher's durable state: per-shard WAL writers plus the
+/// checkpoint cadence bookkeeping.
+struct BatcherDurable {
+    wals: Vec<WalWriter>,
+    cadence: u64,
+    windows_rolled: u64,
+    windows_at_ckpt: u64,
+    next_seq: u64,
+    stamp: ConfigStamp,
+    tx: mpsc::Sender<CkptMsg>,
+    in_flight: Arc<AtomicBool>,
+}
+
+/// Everything recovery hands the booting core: restored rollers for the
+/// batcher, restored session states per worker, the batcher's durable
+/// half, the checkpoint-writer handle, and the WAL suffix to replay.
+#[derive(Default)]
+struct DurableBoot {
+    batcher: Option<BatcherDurable>,
+    rollers: HashMap<u64, ShardedRoller>,
+    sessions: Vec<HashMap<u64, EngineState>>,
+    ckpt_tx: Option<mpsc::Sender<CkptMsg>>,
+    writer: Option<JoinHandle<()>>,
+    replay: Vec<InferRequest>,
+    report: Option<RecoveryReport>,
+}
+
+/// Opens the WALs and checkpoint store, restores the latest valid
+/// checkpoint, and stages the WAL suffix for replay. IO failures here
+/// are boot-time operator errors (bad path, dead disk) and panic; data
+/// corruption never does — torn tails truncate and bad checkpoints fall
+/// back to older ones.
+fn durable_bootstrap(
+    dcfg: &DurabilityConfig,
+    cfg: &ServeConfig,
+    router: &ShardRouter,
+    recorder: &Arc<Recorder>,
+    obs: &Arc<DurableObs>,
+) -> DurableBoot {
+    std::fs::create_dir_all(&dcfg.dir).expect("create durability directory");
+    let mut wals = Vec::with_capacity(cfg.shards);
+    let mut recoveries = Vec::with_capacity(cfg.shards);
+    let mut truncated = 0u64;
+    for s in 0..cfg.shards {
+        let path = dcfg.dir.join(format!("wal-{s}.log"));
+        let (w, rec) = WalWriter::open(&path, dcfg.group_commit)
+            .unwrap_or_else(|e| panic!("open WAL {}: {e}", path.display()));
+        truncated += rec.truncated_bytes;
+        wals.push(w);
+        recoveries.push(rec);
+    }
+    let store =
+        CheckpointStore::open(&dcfg.dir, dcfg.keep_checkpoints).expect("open checkpoint store");
+    let stamp = ConfigStamp::of(cfg);
+    let valid_lens: Vec<u64> = recoveries.iter().map(|r| r.valid_len).collect();
+    // A checkpoint is usable when it decodes, was written under this
+    // exact serving configuration, and every WAL offset it claims to
+    // cover survived tail truncation. A stamp mismatch is an operator
+    // error (resuming someone else's state would serve wrong bits), so
+    // it panics rather than silently cold-starting; plain corruption
+    // falls back to the next-older checkpoint.
+    let ckpt = store
+        .latest_valid(|c| match persist::decode_checkpoint(&c.payload) {
+            Ok(blob) => {
+                assert_eq!(
+                    blob.stamp,
+                    stamp,
+                    "durability dir {} holds checkpoints from a different serving \
+                     configuration; wipe it or restore the original config",
+                    dcfg.dir.display()
+                );
+                blob.wal_offsets.len() == valid_lens.len()
+                    && blob
+                        .wal_offsets
+                        .iter()
+                        .zip(&valid_lens)
+                        .all(|(o, l)| o <= l)
+            }
+            Err(_) => false,
+        })
+        .expect("scan checkpoints");
+    let next_seq = store
+        .list()
+        .expect("list checkpoints")
+        .last()
+        .map_or(0, |s| s + 1);
+
+    let mut rollers = HashMap::new();
+    let mut sessions: Vec<HashMap<u64, EngineState>> =
+        (0..cfg.shards).map(|_| HashMap::new()).collect();
+    let mut offsets = vec![0u64; cfg.shards];
+    let mut checkpoint_seq = None;
+    let mut resume: HashMap<u64, u64> = HashMap::new();
+    let mut windows_rolled = 0;
+    if let Some(c) = ckpt {
+        let blob = persist::decode_checkpoint(&c.payload)
+            .expect("checkpoint accepted by the validity scan decodes");
+        checkpoint_seq = Some(c.seq);
+        offsets = blob.wal_offsets;
+        windows_rolled = blob.windows_rolled;
+        for (stream, state) in blob.rollers {
+            resume.insert(stream, state.inner.ticks);
+            let r = ShardedRoller::from_state(state, router.clone())
+                .expect("CRC-valid checkpoint roller state matches the config stamp");
+            rollers.insert(stream, r);
+        }
+        for (stream, st) in blob.sessions {
+            let shard = (stream % cfg.shards as u64) as usize;
+            sessions[shard].insert(stream, st);
+        }
+    }
+
+    // Stage the WAL suffix: every record past the checkpoint's covered
+    // offset, in file order (per-stream order, since a stream maps to
+    // exactly one WAL and the batcher is single-threaded).
+    let mut replay = Vec::new();
+    let mut replayed_events = 0u64;
+    for (s, rec) in recoveries.iter().enumerate() {
+        for record in &rec.records {
+            if record.end_offset <= offsets[s] {
+                continue;
+            }
+            match persist::decode_request(&record.payload) {
+                Ok(req) => {
+                    replayed_events += req.events.len() as u64;
+                    let ticks = req
+                        .events
+                        .iter()
+                        .filter(|e| matches!(e, EdgeEvent::Tick))
+                        .count() as u64;
+                    *resume.entry(req.stream).or_insert(0) += ticks;
+                    replay.push(req);
+                }
+                Err(_) => recorder.incr("serve.recovery.undecodable_records", 1),
+            }
+        }
+    }
+
+    obs.truncated_tail_bytes.store(truncated, Ordering::Relaxed);
+    obs.replayed_events
+        .store(replayed_events, Ordering::Relaxed);
+    recorder.incr("serve.recovery.truncated_tail_bytes", truncated);
+    recorder.incr("serve.recovery.replayed_events", replayed_events);
+
+    let in_flight = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = mpsc::channel::<CkptMsg>();
+    let writer = {
+        let recorder = Arc::clone(recorder);
+        let obs = Arc::clone(obs);
+        let in_flight = Arc::clone(&in_flight);
+        let shards = cfg.shards;
+        std::thread::Builder::new()
+            .name("tagnn-serve-ckpt".into())
+            .spawn(move || ckpt_writer_loop(rx, store, shards, recorder, obs, in_flight))
+            .expect("spawn checkpoint writer")
+    };
+
+    let mut resume_ticks: Vec<(u64, u64)> = resume.into_iter().collect();
+    resume_ticks.sort_unstable_by_key(|(stream, _)| *stream);
+    DurableBoot {
+        batcher: Some(BatcherDurable {
+            wals,
+            cadence: dcfg.checkpoint_every_windows,
+            windows_rolled,
+            windows_at_ckpt: windows_rolled,
+            next_seq,
+            stamp,
+            tx: tx.clone(),
+            in_flight,
+        }),
+        rollers,
+        sessions,
+        ckpt_tx: Some(tx),
+        writer: Some(writer),
+        report: Some(RecoveryReport {
+            checkpoint_seq,
+            replayed_requests: replay.len() as u64,
+            replayed_events,
+            replay_us: 0,
+            truncated_tail_bytes: truncated,
+            resume_ticks,
+            replayed_windows: Vec::new(),
+        }),
+        replay,
+    }
+}
+
+/// Assembles checkpoints from the batcher's Begin and the workers'
+/// Sessions parts and writes each one atomically once all `shards`
+/// parts have arrived. Exits when every sender is gone (batcher and
+/// workers have shut down); an incomplete checkpoint at that point is
+/// simply discarded — the previous one stays latest.
+fn ckpt_writer_loop(
+    rx: mpsc::Receiver<CkptMsg>,
+    store: CheckpointStore,
+    shards: usize,
+    recorder: Arc<Recorder>,
+    obs: Arc<DurableObs>,
+    in_flight: Arc<AtomicBool>,
+) {
+    let mut begin: Option<CheckpointBegin> = None;
+    let mut parts: Vec<(u64, EngineState)> = Vec::new();
+    let mut arrived = 0usize;
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            CkptMsg::Begin(b) => {
+                begin = Some(*b);
+                parts.clear();
+                arrived = 0;
+            }
+            CkptMsg::Sessions { seq, parts: p } => {
+                let Some(b) = &begin else { continue };
+                if b.seq != seq {
+                    continue;
+                }
+                parts.extend(p);
+                arrived += 1;
+                if arrived < shards {
+                    continue;
+                }
+                let b = begin.take().expect("begin present");
+                let seq = b.seq;
+                parts.sort_unstable_by_key(|(stream, _)| *stream);
+                let blob = CheckpointBlob {
+                    stamp: b.stamp,
+                    wal_offsets: b.wal_offsets,
+                    windows_rolled: b.windows_rolled,
+                    rollers: b.rollers,
+                    sessions: std::mem::take(&mut parts),
+                };
+                let t0 = Instant::now();
+                let payload = persist::encode_checkpoint(&blob);
+                match store.write(seq, &payload) {
+                    Ok(()) => {
+                        obs.checkpoints_written.fetch_add(1, Ordering::Relaxed);
+                        recorder.incr("serve.checkpoints", 1);
+                        recorder.record("serve.checkpoint_bytes", payload.len() as u64);
+                        recorder.record("serve.checkpoint_us", t0.elapsed().as_micros() as u64);
+                    }
+                    Err(e) => {
+                        recorder.incr("serve.checkpoint_errors", 1);
+                        eprintln!("tagnn-serve: checkpoint {seq} write failed: {e}");
+                    }
+                }
+                in_flight.store(false, Ordering::Release);
+            }
+        }
+    }
 }
 
 /// The in-process serving engine (the TCP frontend in [`crate::server`]
@@ -281,13 +625,20 @@ pub struct ServeCore {
     shed: Arc<AtomicU64>,
     degrade_level: Arc<AtomicU32>,
     max_degrade_level: Arc<AtomicU32>,
+    durable_obs: Arc<DurableObs>,
+    recovery: Option<RecoveryReport>,
     batcher: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    ckpt_writer: Option<JoinHandle<()>>,
 }
 
 impl ServeCore {
     /// Boots the core: model weights, plan cache, batcher, and worker
-    /// pool. Returns once every thread is running.
+    /// pool. When [`ServeConfig::durability`] is set, recovery runs
+    /// first — the latest valid checkpoint is restored and the WAL
+    /// suffix is replayed through normal ingestion — and `start` returns
+    /// only once the core has caught up to the pre-crash stream
+    /// positions. Returns once every thread is running.
     pub fn start(cfg: ServeConfig) -> Self {
         let cfg = cfg.validated();
         let recorder = Arc::new(Recorder::new());
@@ -296,6 +647,7 @@ impl ServeCore {
         let plan_counters = Arc::new(PlanCounters::default());
         let shard_obs = Arc::new(ShardObs::new(cfg.shards));
         let dispatch_obs = Arc::new(DispatchObs::default());
+        let durable_obs = Arc::new(DurableObs::default());
         let shed = Arc::new(AtomicU64::new(0));
         let degrade_level = Arc::new(AtomicU32::new(0));
         let max_degrade_level = Arc::new(AtomicU32::new(0));
@@ -311,10 +663,19 @@ impl ServeCore {
             cfg.degree_profile.as_deref(),
         );
 
+        let mut boot = match &cfg.durability {
+            Some(dcfg) => durable_bootstrap(dcfg, &cfg, &router, &recorder, &durable_obs),
+            None => DurableBoot::default(),
+        };
+        if boot.sessions.len() != cfg.shards {
+            boot.sessions = (0..cfg.shards).map(|_| HashMap::new()).collect();
+        }
+
         let worker_queues: Vec<Arc<BoundedQueue<WorkItem>>> = (0..cfg.shards)
             .map(|_| Arc::new(BoundedQueue::new(cfg.worker_queue_capacity)))
             .collect();
 
+        let mut initial_sessions = std::mem::take(&mut boot.sessions);
         let workers: Vec<JoinHandle<()>> = worker_queues
             .iter()
             .enumerate()
@@ -325,6 +686,8 @@ impl ServeCore {
                 let recorder = Arc::clone(&recorder);
                 let counters = Arc::clone(&plan_counters);
                 let dispatch_obs = Arc::clone(&dispatch_obs);
+                let ckpt_tx = boot.ckpt_tx.clone();
+                let initial = std::mem::take(&mut initial_sessions[i]);
                 let universe = cfg.universe;
                 let window = cfg.window;
                 let incremental = cfg.incremental_planning;
@@ -333,19 +696,23 @@ impl ServeCore {
                 std::thread::Builder::new()
                     .name(format!("tagnn-serve-shard-{i}"))
                     .spawn(move || {
-                        worker_loop(WorkerCtx {
-                            queue: &q,
-                            engine: &engine,
-                            cache: &cache,
-                            recorder: &recorder,
-                            counters: &counters,
-                            dispatch_obs: &dispatch_obs,
-                            universe,
-                            window,
-                            incremental,
-                            overlap,
-                            lookahead,
-                        })
+                        worker_loop(
+                            WorkerCtx {
+                                queue: &q,
+                                engine: &engine,
+                                cache: &cache,
+                                recorder: &recorder,
+                                counters: &counters,
+                                dispatch_obs: &dispatch_obs,
+                                ckpt_tx,
+                                universe,
+                                window,
+                                incremental,
+                                overlap,
+                                lookahead,
+                            },
+                            initial,
+                        )
                     })
                     .expect("spawn worker")
             })
@@ -360,24 +727,32 @@ impl ServeCore {
             let max_degrade_level = Arc::clone(&max_degrade_level);
             let router = router.clone();
             let shard_obs2 = Arc::clone(&shard_obs);
+            let durable_obs2 = Arc::clone(&durable_obs);
+            let rollers = std::mem::take(&mut boot.rollers);
+            let durable = boot.batcher.take();
             std::thread::Builder::new()
                 .name("tagnn-serve-batcher".into())
                 .spawn(move || {
-                    batcher_loop(BatcherCtx {
-                        admission: &admission,
-                        queues: &queues,
-                        recorder: &recorder,
-                        cfg: &cfg2,
-                        degrade_level: &degrade_level,
-                        max_degrade_level: &max_degrade_level,
-                        router: &router,
-                        shard_obs: &shard_obs2,
-                    })
+                    batcher_loop(
+                        BatcherCtx {
+                            admission: &admission,
+                            queues: &queues,
+                            recorder: &recorder,
+                            cfg: &cfg2,
+                            degrade_level: &degrade_level,
+                            max_degrade_level: &max_degrade_level,
+                            router: &router,
+                            shard_obs: &shard_obs2,
+                            durable_obs: &durable_obs2,
+                        },
+                        rollers,
+                        durable,
+                    )
                 })
                 .expect("spawn batcher")
         };
 
-        Self {
+        let mut core = Self {
             cfg,
             admission,
             worker_queues,
@@ -389,9 +764,39 @@ impl ServeCore {
             shed,
             degrade_level,
             max_degrade_level,
+            durable_obs,
+            recovery: None,
             batcher: Some(batcher),
             workers,
+            ckpt_writer: boot.writer.take(),
+        };
+
+        if let Some(mut report) = boot.report.take() {
+            // Replay the WAL suffix through the normal ingestion path,
+            // one request outstanding at a time (bounded memory, FIFO
+            // order). Rejections are counted, not fatal: a record that
+            // was admissible pre-crash stays admissible after a faithful
+            // state restore, so a rejection here indicates operator
+            // tampering — the remaining stream must still come up.
+            let t0 = Instant::now();
+            for req in boot.replay.drain(..) {
+                match core.submit_job(req, false) {
+                    Ok(ticket) => match ticket.wait() {
+                        Ok(reply) => report.replayed_windows.extend(reply.windows),
+                        Err(_) => core.recorder.incr("serve.recovery.rejected_requests", 1),
+                    },
+                    Err(_) => core.recorder.incr("serve.recovery.rejected_requests", 1),
+                }
+            }
+            report.replay_us = t0.elapsed().as_micros() as u64;
+            core.durable_obs
+                .replay_us
+                .store(report.replay_us, Ordering::Relaxed);
+            core.recorder
+                .incr("serve.recovery.replay_us", report.replay_us);
+            core.recovery = Some(report);
         }
+        core
     }
 
     /// The configuration the core was booted with.
@@ -461,14 +866,42 @@ impl ServeCore {
         self.max_degrade_level.load(Ordering::Relaxed)
     }
 
+    /// What recovery did at boot; `None` unless the core was started
+    /// with durability configured.
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
+    }
+
+    /// Durability counters (WAL appends/fsyncs, checkpoints, replay cost)
+    /// since boot. `enabled` is false when durability is off.
+    pub fn durable_stats(&self) -> DurableStats {
+        DurableStats {
+            enabled: self.cfg.durability.is_some(),
+            wal_appends: self.durable_obs.wal_appends.load(Ordering::Relaxed),
+            wal_fsyncs: self.durable_obs.wal_fsyncs.load(Ordering::Relaxed),
+            checkpoints_written: self.durable_obs.checkpoints_written.load(Ordering::Relaxed),
+            replayed_events: self.durable_obs.replayed_events.load(Ordering::Relaxed),
+            replay_us: self.durable_obs.replay_us.load(Ordering::Relaxed),
+            truncated_tail_bytes: self
+                .durable_obs
+                .truncated_tail_bytes
+                .load(Ordering::Relaxed),
+        }
+    }
+
     /// Non-blocking admission. `Err(Overloaded)` when the queue is full;
     /// the caller decides whether to retry, backpressure, or drop.
     pub fn submit(&self, req: InferRequest) -> Result<Ticket, ServeError> {
+        self.submit_job(req, true)
+    }
+
+    fn submit_job(&self, req: InferRequest, log: bool) -> Result<Ticket, ServeError> {
         let (tx, rx) = mpsc::channel();
         let job = Job {
             req,
             enqueued_at: Instant::now(),
             reply: tx,
+            log,
         };
         match self.admission.try_push(job) {
             (PushOutcome::Queued { .. }, None) => {
@@ -505,6 +938,11 @@ impl ServeCore {
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
+        // The checkpoint writer exits once every CkptMsg sender is gone
+        // (batcher + workers above), so this join cannot hang.
+        if let Some(h) = self.ckpt_writer.take() {
+            let _ = h.join();
+        }
     }
 }
 
@@ -523,10 +961,14 @@ struct BatcherCtx<'a> {
     max_degrade_level: &'a AtomicU32,
     router: &'a ShardRouter,
     shard_obs: &'a ShardObs,
+    durable_obs: &'a DurableObs,
 }
 
-fn batcher_loop(ctx: BatcherCtx<'_>) {
-    let mut rollers: HashMap<u64, ShardedRoller> = HashMap::new();
+fn batcher_loop(
+    ctx: BatcherCtx<'_>,
+    mut rollers: HashMap<u64, ShardedRoller>,
+    mut durable: Option<BatcherDurable>,
+) {
     let mut degrade = DegradationState::default();
     let max_delay = Duration::from_micros(ctx.cfg.max_delay_us);
     // Per-shard metric names, built once (the recorder keys by &str).
@@ -536,7 +978,14 @@ fn batcher_loop(ctx: BatcherCtx<'_>) {
     loop {
         let batch = ctx.admission.pop_batch(ctx.cfg.max_batch, max_delay);
         if batch.is_empty() {
-            // pop_batch returns empty only when closed and drained.
+            // pop_batch returns empty only when closed and drained. Make
+            // every appended-but-unsynced WAL byte durable before the
+            // core reports a clean shutdown.
+            if let Some(d) = &mut durable {
+                for wal in &mut d.wals {
+                    let _ = wal.sync();
+                }
+            }
             return;
         }
         ctx.recorder.record("serve.batch_size", batch.len() as u64);
@@ -554,7 +1003,64 @@ fn batcher_loop(ctx: BatcherCtx<'_>) {
         let skip = degrade.skip_config(ctx.cfg.skip, &ctx.cfg.degradation);
 
         for job in batch {
-            dispatch_job(&ctx, job, &mut rollers, skip);
+            dispatch_job(&ctx, job, &mut rollers, skip, &mut durable);
+        }
+
+        if let Some(d) = &mut durable {
+            maybe_cut_checkpoint(&ctx, d, &rollers);
+        }
+    }
+}
+
+/// Cuts a checkpoint when the cadence says so and none is in flight:
+/// syncs the WALs (the captured offsets must be durable — the checkpoint
+/// claims to cover everything before them), exports the rollers, hands
+/// the batcher's half to the writer thread, and drops a marker into
+/// every shard queue so the workers serialize their sessions at the
+/// matching point in the work stream.
+fn maybe_cut_checkpoint(
+    ctx: &BatcherCtx<'_>,
+    d: &mut BatcherDurable,
+    rollers: &HashMap<u64, ShardedRoller>,
+) {
+    if d.windows_rolled - d.windows_at_ckpt < d.cadence || d.in_flight.swap(true, Ordering::AcqRel)
+    {
+        return;
+    }
+    d.windows_at_ckpt = d.windows_rolled;
+    let mut wal_offsets = Vec::with_capacity(d.wals.len());
+    for wal in &mut d.wals {
+        if let Err(e) = wal.sync() {
+            ctx.recorder.incr("serve.wal.sync_errors", 1);
+            eprintln!("tagnn-serve: checkpoint aborted, WAL sync failed: {e}");
+            d.in_flight.store(false, Ordering::Release);
+            return;
+        }
+        wal_offsets.push(wal.offset());
+    }
+    let seq = d.next_seq;
+    d.next_seq += 1;
+    let mut exported: Vec<(u64, ShardedRollerState)> = rollers
+        .iter()
+        .map(|(&stream, r)| (stream, r.export_state()))
+        .collect();
+    exported.sort_unstable_by_key(|(stream, _)| *stream);
+    let begin = CheckpointBegin {
+        seq,
+        stamp: d.stamp.clone(),
+        wal_offsets,
+        windows_rolled: d.windows_rolled,
+        rollers: exported,
+    };
+    if d.tx.send(CkptMsg::Begin(Box::new(begin))).is_err() {
+        d.in_flight.store(false, Ordering::Release);
+        return;
+    }
+    for q in ctx.queues {
+        if q.push(WorkItem::Checkpoint { seq }).is_err() {
+            // A closed queue means shutdown: the writer will never see
+            // all parts for this seq and discards it on exit.
+            return;
         }
     }
 }
@@ -566,6 +1072,7 @@ fn dispatch_job(
     job: Job,
     rollers: &mut HashMap<u64, ShardedRoller>,
     skip: SkipConfig,
+    durable: &mut Option<BatcherDurable>,
 ) {
     let cfg = ctx.cfg;
     let recorder = ctx.recorder;
@@ -576,6 +1083,37 @@ fn dispatch_job(
             recorder.incr("serve.rejected", 1);
             let _ = job.reply.send(Err(ServeError::Rejected(e)));
             return;
+        }
+    }
+
+    // Log before apply: once the request mutates roller state it must be
+    // recoverable. Whole requests are the WAL unit (atomic with the
+    // rejection above — a logged record is always fully applicable), and
+    // a stream's records all land in one WAL (`stream % shards`, the
+    // same mapping as execution stickiness), so per-stream replay order
+    // is the file order. Replayed jobs (`log == false`) are already on
+    // disk and are not logged twice.
+    if let Some(d) = durable {
+        if job.log && (!job.req.events.is_empty() || job.req.flush) {
+            let shard = (job.req.stream % d.wals.len() as u64) as usize;
+            let payload = persist::encode_request(&job.req);
+            match d.wals[shard].append(&payload) {
+                Ok(fsync) => {
+                    ctx.durable_obs.wal_appends.fetch_add(1, Ordering::Relaxed);
+                    recorder.incr("serve.wal.appends", 1);
+                    if let Some(took) = fsync {
+                        ctx.durable_obs.wal_fsyncs.fetch_add(1, Ordering::Relaxed);
+                        recorder.record("serve.wal.fsync_us", took.as_micros() as u64);
+                    }
+                }
+                Err(e) => {
+                    recorder.incr("serve.wal.append_errors", 1);
+                    let _ = job
+                        .reply
+                        .send(Err(ServeError::Durability(format!("WAL append: {e}"))));
+                    return;
+                }
+            }
         }
     }
 
@@ -639,6 +1177,9 @@ fn dispatch_job(
     }
 
     recorder.incr("serve.windows", windows.len() as u64);
+    if let Some(d) = durable {
+        d.windows_rolled += windows.len() as u64;
+    }
     let pending = Arc::new(Pending {
         remaining: AtomicUsize::new(windows.len()),
         results: Mutex::new(vec![None; windows.len()]),
@@ -650,14 +1191,14 @@ fn dispatch_job(
     // governs admission routing and seal accounting.
     let shard = (job.req.stream % ctx.queues.len() as u64) as usize;
     for (slot, window) in windows.into_iter().enumerate() {
-        let item = WorkItem {
+        let item = WorkItem::Window(WindowItem {
             stream: job.req.stream,
             window,
             skip,
             slot,
             enqueued_at: job.enqueued_at,
             pending: Arc::clone(&pending),
-        };
+        });
         // Blocking push: worker backlog stalls the batcher, which fills
         // the admission queue, which sheds — backpressure end to end.
         if ctx.queues[shard].push(item).is_err() {
@@ -674,6 +1215,7 @@ struct WorkerCtx<'a> {
     recorder: &'a Recorder,
     counters: &'a PlanCounters,
     dispatch_obs: &'a DispatchObs,
+    ckpt_tx: Option<mpsc::Sender<CkptMsg>>,
     universe: usize,
     window: usize,
     incremental: bool,
@@ -688,7 +1230,7 @@ struct WorkerCtx<'a> {
 /// window (seal or scratch build; a cache hit does none).
 fn obtain_plan(
     ctx: &WorkerCtx<'_>,
-    item: &WorkItem,
+    item: &WindowItem,
     planner: &WindowPlanner,
 ) -> (Arc<WindowPlan>, PlanSource) {
     if let Some(sealed) = &item.window.plan {
@@ -716,13 +1258,46 @@ fn obtain_plan(
     (plan, PlanSource::Scratch)
 }
 
-fn worker_loop(ctx: WorkerCtx<'_>) {
+/// Ships this worker's half of checkpoint `seq` to the writer thread:
+/// every live session's exported state, plus the restored-but-untouched
+/// states still parked in `initial` (their streams exist durably even if
+/// no window arrived for them since boot).
+fn emit_sessions(
+    ctx: &WorkerCtx<'_>,
+    sessions: &HashMap<u64, EngineSession>,
+    initial: &HashMap<u64, EngineState>,
+    seq: u64,
+) {
+    let Some(tx) = &ctx.ckpt_tx else { return };
+    let mut parts: Vec<(u64, EngineState)> = sessions
+        .iter()
+        .map(|(&stream, s)| (stream, s.export_state()))
+        .collect();
+    parts.extend(initial.iter().map(|(&stream, st)| (stream, st.clone())));
+    parts.sort_unstable_by_key(|(stream, _)| *stream);
+    let _ = tx.send(CkptMsg::Sessions { seq, parts });
+}
+
+fn worker_loop(ctx: WorkerCtx<'_>, mut initial: HashMap<u64, EngineState>) {
     let planner = WindowPlanner::new(ctx.window);
     let mut sessions: HashMap<u64, EngineSession> = HashMap::new();
     if !ctx.overlap {
         while let Some(item) = ctx.queue.pop() {
-            let (plan, plan_source) = obtain_plan(&ctx, &item, &planner);
-            execute_item(&ctx, &mut sessions, item, &plan, plan_source, None);
+            match item {
+                WorkItem::Window(item) => {
+                    let (plan, plan_source) = obtain_plan(&ctx, &item, &planner);
+                    execute_item(
+                        &ctx,
+                        &mut sessions,
+                        &mut initial,
+                        item,
+                        &plan,
+                        plan_source,
+                        None,
+                    );
+                }
+                WorkItem::Checkpoint { seq } => emit_sessions(&ctx, &sessions, &initial, seq),
+            }
         }
         return;
     }
@@ -736,7 +1311,10 @@ fn worker_loop(ctx: WorkerCtx<'_>) {
     // drains naturally: queue close → sidecar exits → sender drops →
     // executor's recv errors out.
     let auto = ctx.engine.dispatcher().mode() == DispatchMode::Auto;
-    type Staged = (WorkItem, Arc<WindowPlan>, PlanSource, Option<Vec<u32>>);
+    enum Staged {
+        Window(WindowItem, Arc<WindowPlan>, PlanSource, Option<Vec<u32>>),
+        Checkpoint(u64),
+    }
     let (tx, rx) = mpsc::sync_channel::<Staged>(ctx.lookahead);
     std::thread::scope(|scope| {
         let sidecar_ctx = &ctx;
@@ -748,6 +1326,17 @@ fn worker_loop(ctx: WorkerCtx<'_>) {
                 let _ = tagnn_tensor::pin_current_thread(cores - 1);
             }
             while let Some(item) = sidecar_ctx.queue.pop() {
+                // Checkpoint markers ride the same ordered channel, so
+                // the executor still sees them at their queue position.
+                let item = match item {
+                    WorkItem::Window(item) => item,
+                    WorkItem::Checkpoint { seq } => {
+                        if tx.send(Staged::Checkpoint(seq)).is_err() {
+                            return;
+                        }
+                        continue;
+                    }
+                };
                 let (plan, plan_source) = obtain_plan(sidecar_ctx, &item, &planner);
                 let nz = auto.then(|| {
                     let snap0 = &item.window.graph.snapshots()[0];
@@ -760,13 +1349,27 @@ fn worker_loop(ctx: WorkerCtx<'_>) {
                     }
                     rows
                 });
-                if tx.send((item, plan, plan_source, nz)).is_err() {
+                if tx
+                    .send(Staged::Window(item, plan, plan_source, nz))
+                    .is_err()
+                {
                     return;
                 }
             }
         });
-        while let Ok((item, plan, plan_source, nz)) = rx.recv() {
-            execute_item(&ctx, &mut sessions, item, &plan, plan_source, nz.as_deref());
+        while let Ok(staged) = rx.recv() {
+            match staged {
+                Staged::Window(item, plan, plan_source, nz) => execute_item(
+                    &ctx,
+                    &mut sessions,
+                    &mut initial,
+                    item,
+                    &plan,
+                    plan_source,
+                    nz.as_deref(),
+                ),
+                Staged::Checkpoint(seq) => emit_sessions(&ctx, &sessions, &initial, seq),
+            }
         }
     });
 }
@@ -777,15 +1380,23 @@ fn worker_loop(ctx: WorkerCtx<'_>) {
 fn execute_item(
     ctx: &WorkerCtx<'_>,
     sessions: &mut HashMap<u64, EngineSession>,
-    item: WorkItem,
+    initial: &mut HashMap<u64, EngineState>,
+    item: WindowItem,
     plan: &WindowPlan,
     plan_source: PlanSource,
     nz_rows: Option<&[u32]>,
 ) {
     {
-        let session = sessions
-            .entry(item.stream)
-            .or_insert_with(|| ctx.engine.session(ctx.universe));
+        let session = sessions.entry(item.stream).or_insert_with(|| {
+            let mut s = ctx.engine.session(ctx.universe);
+            // Lazy restore: a checkpointed stream's RNN state is parked
+            // until its first post-recovery window shows up here.
+            if let Some(state) = initial.remove(&item.stream) {
+                s.import_state(state)
+                    .expect("checkpoint session state was exported under this config");
+            }
+            s
+        });
         let refs: Vec<&_> = item.window.graph.snapshots().iter().collect();
         let out = session.process_window_prefetched(&refs, plan, item.skip, nz_rows);
 

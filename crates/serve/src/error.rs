@@ -25,6 +25,9 @@ pub enum ServeError {
     Closed,
     /// The wire payload was not a well-formed request.
     Protocol(String),
+    /// The write-ahead log could not persist the request; it was refused
+    /// rather than served without the durability it was promised.
+    Durability(String),
 }
 
 impl fmt::Display for ServeError {
@@ -37,6 +40,7 @@ impl fmt::Display for ServeError {
             ServeError::Rejected(e) => write!(f, "rejected: {e}"),
             ServeError::Closed => write!(f, "server closed"),
             ServeError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ServeError::Durability(msg) => write!(f, "durability error: {msg}"),
         }
     }
 }
@@ -65,6 +69,7 @@ impl ServeError {
             ServeError::Rejected(_) => "rejected",
             ServeError::Closed => "closed",
             ServeError::Protocol(_) => "protocol",
+            ServeError::Durability(_) => "durability",
         }
     }
 }

@@ -38,13 +38,14 @@ pub mod error;
 pub mod event;
 pub mod json;
 pub mod loadgen;
+pub mod persist;
 pub mod queue;
 pub mod roller;
 pub mod server;
 pub mod shard;
 pub mod wire;
 
-pub use config::ServeConfig;
+pub use config::{DurabilityConfig, ServeConfig};
 pub use core::{
     digest_matrices, InferRequest, PlanSourceCounts, Reply, ServeCore, ShardStats, Ticket,
     WindowResult,
@@ -54,6 +55,6 @@ pub use error::ServeError;
 pub use event::{empty_base, events_from_graph, EdgeEvent};
 pub use loadgen::{LoadgenConfig, LoadgenSummary};
 pub use queue::{BoundedQueue, PushOutcome};
-pub use roller::{RolledWindow, ShardedRoller, WindowRoller};
+pub use roller::{RolledWindow, RollerState, ShardedRoller, ShardedRollerState, WindowRoller};
 pub use server::{Server, WireFormat};
-pub use shard::{SealStats, ShardAssignment, ShardLanes, ShardRouter};
+pub use shard::{LanesState, SealStats, ShardAssignment, ShardLanes, ShardRouter};

@@ -15,11 +15,11 @@
 use std::sync::Arc;
 
 use tagnn_graph::delta::{try_apply_updates, GraphUpdate};
-use tagnn_graph::incremental::{MaintainerStats, PlanMaintainer};
+use tagnn_graph::incremental::{MaintainerState, MaintainerStats, PlanMaintainer};
 use tagnn_graph::{DynamicGraph, GraphError, Snapshot, WindowPlan};
 
 use crate::event::{empty_base, EdgeEvent};
-use crate::shard::{SealStats, ShardLanes, ShardRouter};
+use crate::shard::{LanesState, SealStats, ShardLanes, ShardRouter};
 
 /// One window of K sealed snapshots, ready to plan and execute.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,6 +32,45 @@ pub struct RolledWindow {
     /// [`PlanMaintainer`] could vouch for it ([`None`] on the scratch /
     /// fallback path, or when incremental planning is disabled).
     pub plan: Option<Arc<WindowPlan>>,
+}
+
+/// Checkpointable image of a [`WindowRoller`]: every field that decides
+/// the stream's future windows. Restoring this state into
+/// [`WindowRoller::from_state`] and continuing the stream produces
+/// windows bit-identical to the uninterrupted roller — including the
+/// incrementally maintained plans, whose forming classifier travels in
+/// `maintainer`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RollerState {
+    /// Window size K.
+    pub window: usize,
+    /// Feature dimensionality of the stream.
+    pub feature_dim: usize,
+    /// The current (last sealed, or empty base) snapshot.
+    pub current: Snapshot,
+    /// Mutations buffered since the last tick.
+    pub pending: Vec<GraphUpdate>,
+    /// Snapshots sealed but not yet rolled into a window.
+    pub sealed: Vec<Snapshot>,
+    /// Next window sequence number.
+    pub seq: u64,
+    /// Total ticks the stream has seen.
+    pub ticks: u64,
+    /// Plan-maintainer state (`None` when incremental planning is off).
+    pub maintainer: Option<MaintainerState>,
+}
+
+/// Checkpointable image of a [`ShardedRoller`]: the inner roller's state
+/// plus the buffered admission lanes and cumulative seal totals. The
+/// router is rebuilt from config at recovery, not persisted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedRollerState {
+    /// The wrapped [`WindowRoller`]'s state.
+    pub inner: RollerState,
+    /// Buffered admission lanes and routing counters.
+    pub lanes: LanesState,
+    /// Cumulative seal statistics.
+    pub seal_totals: SealStats,
 }
 
 /// Rolls the event stream of one logical stream into windows of K
@@ -172,6 +211,57 @@ impl WindowRoller {
         }
         self.roll()
     }
+
+    /// Clones this roller's full stream position into a checkpointable
+    /// [`RollerState`].
+    pub fn export_state(&self) -> RollerState {
+        RollerState {
+            window: self.window,
+            feature_dim: self.feature_dim,
+            current: self.current.clone(),
+            pending: self.pending.clone(),
+            sealed: self.sealed.clone(),
+            seq: self.seq,
+            ticks: self.ticks,
+            maintainer: self.maintainer.as_ref().map(PlanMaintainer::export_state),
+        }
+    }
+
+    /// Rebuilds a roller from an exported [`RollerState`], resuming the
+    /// stream exactly where the exporter stood.
+    ///
+    /// # Errors
+    /// Rejects states with a zero window, an empty universe, or a current
+    /// snapshot whose feature width disagrees with `feature_dim` —
+    /// shapes a live roller can never reach, so they signal a corrupt or
+    /// mismatched checkpoint.
+    pub fn from_state(state: RollerState) -> Result<Self, GraphError> {
+        if state.window == 0 || state.current.num_vertices() == 0 {
+            return Err(GraphError::EmptyGraph);
+        }
+        if state.current.features().cols() != state.feature_dim {
+            return Err(GraphError::FeatureDimMismatch {
+                expected: state.feature_dim,
+                found: state.current.features().cols(),
+                snapshot: 0,
+            });
+        }
+        let maintainer = state.maintainer.map(|m| {
+            let mut pm = PlanMaintainer::new();
+            pm.import_state(m);
+            pm
+        });
+        Ok(Self {
+            window: state.window,
+            feature_dim: state.feature_dim,
+            current: state.current,
+            pending: state.pending,
+            sealed: state.sealed,
+            seq: state.seq,
+            ticks: state.ticks,
+            maintainer,
+        })
+    }
 }
 
 /// A [`WindowRoller`] fronted by per-shard admission lanes.
@@ -245,6 +335,38 @@ impl ShardedRoller {
     /// the plain roller's treatment of pending mutations.
     pub fn flush(&mut self) -> Result<Option<RolledWindow>, GraphError> {
         self.inner.flush()
+    }
+
+    /// Clones the inner roller, buffered lanes, and seal totals into a
+    /// checkpointable [`ShardedRollerState`].
+    pub fn export_state(&self) -> ShardedRollerState {
+        ShardedRollerState {
+            inner: self.inner.export_state(),
+            lanes: self.lanes.export_state(),
+            seal_totals: self.seal_totals,
+        }
+    }
+
+    /// Rebuilds a sharded roller from an exported state over a freshly
+    /// constructed `router` (routers are config-derived and deterministic,
+    /// so they are rebuilt rather than persisted).
+    ///
+    /// # Errors
+    /// Propagates [`WindowRoller::from_state`] validation failures, and
+    /// rejects states whose lane count disagrees with `router`'s shard
+    /// count (as [`GraphError::EmptyGraph`] — a shape no live deployment
+    /// reaches without a config/checkpoint mismatch).
+    pub fn from_state(state: ShardedRollerState, router: ShardRouter) -> Result<Self, GraphError> {
+        let inner = WindowRoller::from_state(state.inner)?;
+        let mut lanes = ShardLanes::new(router);
+        if lanes.import_state(state.lanes).is_err() {
+            return Err(GraphError::EmptyGraph);
+        }
+        Ok(Self {
+            inner,
+            lanes,
+            seal_totals: state.seal_totals,
+        })
     }
 }
 
@@ -502,6 +624,106 @@ mod tests {
         assert!(sharded.apply(&EdgeEvent::Tick).unwrap().is_none());
         let w = sharded.apply(&EdgeEvent::Tick).unwrap().expect("K=2 rolls");
         assert_eq!(w.graph.snapshot(0).num_edges(), 1);
+    }
+
+    /// Cuts a generated stream at every event boundary, exports the
+    /// roller there, restores into a fresh roller, and finishes both —
+    /// the restored roller must roll bit-identical windows (graphs AND
+    /// incrementally sealed plans) from every cut point.
+    #[test]
+    fn exported_roller_resumes_bit_identically_from_any_cut() {
+        let g = GeneratorConfig::tiny().generate();
+        let events: Vec<EdgeEvent> = events_from_graph(&g).into_iter().flatten().collect();
+        // Probe a spread of cut points including mid-batch and mid-window.
+        for cut in [1usize, 3, 7, events.len() / 2, events.len() - 1] {
+            let mut original =
+                WindowRoller::new(g.num_vertices(), g.feature_dim(), 4).with_incremental_planning();
+            let mut head_windows = Vec::new();
+            for e in &events[..cut] {
+                if let Some(w) = original.apply(e).unwrap() {
+                    head_windows.push(w);
+                }
+            }
+            let state = original.export_state();
+            let mut restored = WindowRoller::from_state(state).expect("valid export");
+            let mut orig_tail = Vec::new();
+            let mut rest_tail = Vec::new();
+            for e in &events[cut..] {
+                if let Some(w) = original.apply(e).unwrap() {
+                    orig_tail.push(w);
+                }
+                if let Some(w) = restored.apply(e).unwrap() {
+                    rest_tail.push(w);
+                }
+            }
+            if let Some(w) = original.flush().unwrap() {
+                orig_tail.push(w);
+            }
+            if let Some(w) = restored.flush().unwrap() {
+                rest_tail.push(w);
+            }
+            assert_eq!(orig_tail.len(), rest_tail.len(), "cut {cut}");
+            for (o, r) in orig_tail.iter().zip(&rest_tail) {
+                assert_eq!(o.seq, r.seq, "cut {cut}");
+                assert_eq!(o.graph, r.graph, "cut {cut}: window {} graph", o.seq);
+                assert_eq!(
+                    o.plan.as_deref(),
+                    r.plan.as_deref(),
+                    "cut {cut}: window {} plan",
+                    o.seq
+                );
+            }
+            assert_eq!(original.ticks(), restored.ticks(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn sharded_roller_state_round_trips_mid_stream() {
+        let g = GeneratorConfig::tiny().generate();
+        let events: Vec<EdgeEvent> = events_from_graph(&g).into_iter().flatten().collect();
+        let cut = events.len() / 2;
+        let router = crate::shard::ShardRouter::hash(g.num_vertices(), 4);
+        let inner =
+            WindowRoller::new(g.num_vertices(), g.feature_dim(), 3).with_incremental_planning();
+        let mut original = ShardedRoller::new(inner, router.clone());
+        for e in &events[..cut] {
+            original.apply(e).unwrap();
+        }
+        let state = original.export_state();
+        let mut restored =
+            ShardedRoller::from_state(state.clone(), router.clone()).expect("same topology");
+        let mut orig_tail = Vec::new();
+        let mut rest_tail = Vec::new();
+        for e in &events[cut..] {
+            if let Some(w) = original.apply(e).unwrap() {
+                orig_tail.push(w);
+            }
+            if let Some(w) = restored.apply(e).unwrap() {
+                rest_tail.push(w);
+            }
+        }
+        assert_eq!(orig_tail, rest_tail);
+        assert_eq!(original.routed(), restored.routed());
+        assert_eq!(original.seal_totals(), restored.seal_totals());
+
+        // Restoring under a different shard count is refused.
+        let wrong = crate::shard::ShardRouter::hash(g.num_vertices(), 2);
+        assert!(ShardedRoller::from_state(state, wrong).is_err());
+    }
+
+    #[test]
+    fn from_state_rejects_corrupt_shapes() {
+        let roller = WindowRoller::new(4, 2, 3);
+        let good = roller.export_state();
+        let mut zero_window = good.clone();
+        zero_window.window = 0;
+        assert!(WindowRoller::from_state(zero_window).is_err());
+        let mut bad_dim = good;
+        bad_dim.feature_dim = 5;
+        assert!(matches!(
+            WindowRoller::from_state(bad_dim),
+            Err(GraphError::FeatureDimMismatch { .. })
+        ));
     }
 
     #[test]

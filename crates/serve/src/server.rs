@@ -70,6 +70,7 @@ pub fn stats_view(core: &ServeCore) -> StatsView {
     let plan = core.plan_source_counts();
     let shard = core.shard_stats();
     let dispatch = core.dispatch_counts();
+    let durable = core.durable_stats();
     StatsView {
         queue_depth: core.queue_depth(),
         shed: core.shed_count(),
@@ -89,6 +90,13 @@ pub fn stats_view(core: &ServeCore) -> StatsView {
         shard_routed: shard.routed,
         shard_queue_depths: shard.queue_depths,
         cross_shard_edges: shard.cross_shard_edges,
+        durability_enabled: durable.enabled,
+        wal_appends: durable.wal_appends,
+        wal_fsyncs: durable.wal_fsyncs,
+        checkpoints_written: durable.checkpoints_written,
+        replayed_events: durable.replayed_events,
+        replay_us: durable.replay_us,
+        truncated_tail_bytes: durable.truncated_tail_bytes,
     }
 }
 

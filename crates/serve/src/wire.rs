@@ -284,6 +284,20 @@ pub struct StatsView {
     pub shard_queue_depths: Vec<usize>,
     /// Sealed edge events spanning two shards since boot.
     pub cross_shard_edges: u64,
+    /// Whether the core runs with a write-ahead log and checkpoints.
+    pub durability_enabled: bool,
+    /// WAL records appended since boot.
+    pub wal_appends: u64,
+    /// WAL group-commit fsyncs since boot.
+    pub wal_fsyncs: u64,
+    /// Checkpoints written since boot.
+    pub checkpoints_written: u64,
+    /// Events replayed from the WAL during boot recovery.
+    pub replayed_events: u64,
+    /// Boot recovery replay wall time in microseconds.
+    pub replay_us: u64,
+    /// WAL tail bytes truncated during boot recovery.
+    pub truncated_tail_bytes: u64,
 }
 
 fn write_u64_array<T: std::fmt::Display>(out: &mut String, xs: &[T]) {
@@ -329,7 +343,21 @@ pub fn encode_stats(id: u64, s: &StatsView) -> String {
     write_u64_array(&mut out, &s.shard_routed);
     out.push_str(",\"queue_depths\":");
     write_u64_array(&mut out, &s.shard_queue_depths);
-    out.push_str("}}");
+    let _ = write!(
+        out,
+        concat!(
+            r#"}},"durability":{{"enabled":{},"wal_appends":{},"wal_fsyncs":{},"#,
+            r#""checkpoints_written":{},"replayed_events":{},"replay_us":{},"#,
+            r#""truncated_tail_bytes":{}}}}}"#
+        ),
+        s.durability_enabled,
+        s.wal_appends,
+        s.wal_fsyncs,
+        s.checkpoints_written,
+        s.replayed_events,
+        s.replay_us,
+        s.truncated_tail_bytes,
+    );
     out
 }
 

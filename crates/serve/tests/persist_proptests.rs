@@ -1,0 +1,115 @@
+//! Property tests of the checkpoint codecs: live serving state must
+//! survive serialize → deserialize → serialize with byte-identical
+//! output across model kinds, window sizes K, and shard counts. Byte
+//! identity of the second encoding is a stronger property than value
+//! equality — it proves the codec has one canonical form, so recovered
+//! state re-checkpoints to the same bits it was restored from.
+
+use proptest::prelude::*;
+use tagnn_graph::generate::{ChurnConfig, GeneratorConfig};
+use tagnn_models::{ConcurrentEngine, DgnnModel, ModelKind, SkipConfig, StatefulModel};
+use tagnn_serve::event::events_from_graph;
+use tagnn_serve::persist;
+use tagnn_serve::{ShardAssignment, ShardRouter, ShardedRoller, WindowRoller};
+
+fn graph_strategy() -> impl Strategy<Value = GeneratorConfig> {
+    (2u64..5000, 2usize..5, 0.0f64..0.1, 0.0f64..0.06).prop_map(
+        |(seed, num_snapshots, mutation, rewire)| GeneratorConfig {
+            num_vertices: 20,
+            num_edges: 60,
+            feature_dim: 3,
+            num_snapshots,
+            power_law_alpha: 0.7,
+            churn: ChurnConfig {
+                feature_mutation_rate: mutation,
+                edge_rewire_rate: rewire,
+                vertex_churn_rate: 0.01,
+                mutation_smoothness: 0.5,
+            },
+            seed,
+            feature_row_sparsity: 0.0,
+            burst: None,
+        },
+    )
+}
+
+fn model_kind() -> impl Strategy<Value = ModelKind> {
+    prop_oneof![
+        Just(ModelKind::CdGcn),
+        Just(ModelKind::GcLstm),
+        Just(ModelKind::TGcn),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Sharded roller state cut mid-stream: encode → decode → encode is
+    /// byte-identical, and the decoded value equals the exported one.
+    #[test]
+    fn roller_state_reencodes_byte_identically(
+        cfg in graph_strategy(),
+        window in 1usize..4,
+        shards in 1usize..5,
+        cut_frac in 0.0f64..1.0,
+        incremental in proptest::bool::ANY,
+    ) {
+        let g = cfg.generate();
+        let events: Vec<_> = events_from_graph(&g).into_iter().flatten().collect();
+        let cut = ((events.len() as f64 * cut_frac) as usize).min(events.len());
+        let roller = WindowRoller::new(g.num_vertices(), g.feature_dim(), window);
+        let roller = if incremental { roller.with_incremental_planning() } else { roller };
+        let router = ShardRouter::new(ShardAssignment::Hash, g.num_vertices(), shards, None);
+        let mut roller = ShardedRoller::new(roller, router);
+        for event in &events[..cut] {
+            let _ = roller.apply(event).expect("canonical trace");
+        }
+        let state = roller.export_state();
+        let bytes = persist::encode_sharded_roller(&state);
+        let decoded = persist::decode_sharded_roller(&bytes).expect("own encoding decodes");
+        prop_assert_eq!(&decoded, &state, "decoded state != exported state");
+        let again = persist::encode_sharded_roller(&decoded);
+        prop_assert_eq!(again, bytes, "second encoding changed bytes");
+    }
+
+    /// Engine session state after serving a prefix of windows: byte
+    /// identity across model kinds and K.
+    #[test]
+    fn engine_state_reencodes_byte_identically(
+        cfg in graph_strategy(),
+        kind in model_kind(),
+        window in 1usize..4,
+        hidden in 3usize..8,
+    ) {
+        let g = cfg.generate();
+        let model = DgnnModel::new(kind, g.feature_dim(), hidden, cfg.seed);
+        let engine = ConcurrentEngine::with_window(model, SkipConfig::paper_default(), window);
+        let mut session = engine.session(g.num_vertices());
+        let planner = tagnn_graph::WindowPlanner::new(window);
+        let snaps: Vec<_> = g.snapshots().iter().collect();
+        for chunk in snaps.chunks(window) {
+            let plan = planner.plan_window(chunk, 0);
+            let _ = session.process_window(chunk, &plan);
+        }
+        let state = session.export_state();
+        let bytes = persist::encode_engine_state(&state);
+        let decoded = persist::decode_engine_state(&bytes).expect("own encoding decodes");
+        prop_assert_eq!(&decoded, &state, "decoded state != exported state");
+        let again = persist::encode_engine_state(&decoded);
+        prop_assert_eq!(again, bytes, "second encoding changed bytes");
+
+        // And the restored session continues identically to the original:
+        // import into a fresh session, process one more window on both.
+        let mut restored = engine.session(g.num_vertices());
+        restored.import_state(decoded).expect("state matches engine");
+        let probe: Vec<_> = snaps[..window.min(snaps.len())].to_vec();
+        let plan = planner.plan_window(&probe, 0);
+        let a = session.process_window(&probe, &plan);
+        let b = restored.process_window(&probe, &plan);
+        prop_assert_eq!(
+            tagnn_serve::digest_matrices(&a.final_features),
+            tagnn_serve::digest_matrices(&b.final_features),
+            "restored session diverged on the next window"
+        );
+    }
+}

@@ -372,7 +372,7 @@ pub struct GemmChoice {
 /// The layer-level decision that replaces the old `transform_first()`
 /// shape heuristic: which factorisation of `Â·X·W` to run, and which
 /// kernel computes the GEMM factor.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LayerChoice {
     /// `true` → transform first (`Â·(X·W)`), `false` → aggregate first
     /// (`(Â·X)·W`).

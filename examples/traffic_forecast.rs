@@ -31,6 +31,7 @@ fn main() {
         },
         seed: 2026,
         feature_row_sparsity: 0.0,
+        burst: None,
     };
 
     let pipeline = TagnnPipeline::builder()
